@@ -1,0 +1,98 @@
+//===- bench/BenchReport.h - Experiment reporting helpers ------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the experiment harnesses: aligned table
+/// printing and wall-clock timing.  Each bench binary regenerates one
+/// table or figure from the paper's evaluation (§7) and prints both the
+/// measured values and the paper's reference numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_BENCH_BENCHREPORT_H
+#define EXTERMINATOR_BENCH_BENCHREPORT_H
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchreport {
+
+/// Prints a heading like the paper's table/figure captions.
+inline void heading(const std::string &Title) {
+  std::printf("\n==== %s ====\n", Title.c_str());
+}
+
+inline void note(const char *Format, ...) {
+  std::va_list Args;
+  va_start(Args, Format);
+  std::printf("  ");
+  std::vprintf(Format, Args);
+  std::printf("\n");
+  va_end(Args);
+}
+
+/// Renders rows of equal-width columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print() const {
+    std::vector<size_t> Widths(Header.size(), 0);
+    auto Widen = [&](const std::vector<std::string> &Row) {
+      for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+        if (Row[I].size() > Widths[I])
+          Widths[I] = Row[I].size();
+    };
+    Widen(Header);
+    for (const auto &Row : Rows)
+      Widen(Row);
+
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      std::printf("  ");
+      for (size_t I = 0; I < Row.size(); ++I)
+        std::printf("%-*s  ", static_cast<int>(Widths[I]), Row[I].c_str());
+      std::printf("\n");
+    };
+    PrintRow(Header);
+    std::vector<std::string> Rule;
+    for (size_t W : Widths)
+      Rule.push_back(std::string(W, '-'));
+    PrintRow(Rule);
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+inline std::string fmt(const char *Format, ...) {
+  char Buffer[256];
+  std::va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buffer, sizeof(Buffer), Format, Args);
+  va_end(Args);
+  return Buffer;
+}
+
+/// Wall-clock seconds consumed by \p Fn.
+template <typename FnT> double timeSeconds(FnT Fn) {
+  const auto Start = std::chrono::steady_clock::now();
+  Fn();
+  const auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace benchreport
+
+#endif // EXTERMINATOR_BENCH_BENCHREPORT_H

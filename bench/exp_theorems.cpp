@@ -1,0 +1,163 @@
+//===- bench/exp_theorems.cpp - Theorems 1-3 validation --------------------------===//
+//
+// Empirically validates the paper's three analytical results against
+// Monte-Carlo simulation on real randomized heaps:
+//
+//   Theorem 1: P(an overflow overwrites k heaps identically)
+//              <= (1/2)^k * (1/(H-S))^k.
+//   Theorem 2: P(an overflow of b bytes misses every canary)
+//              <= (1 - (M-1)/2M)^k + (1/256)^b.
+//   Theorem 3: E[#culprits at the same distance from a victim across k
+//              heaps] = 1/(H-1)^(k-2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace exterminator;
+using namespace benchreport;
+
+namespace {
+
+/// Theorem 1 simulation: for a fixed culprit i and victim j, an overflow
+/// string of length S objects lands on j in one heap iff i precedes j
+/// with at most S objects of separation.  The theorem bounds the chance
+/// this happens in all k independently-randomized heaps — i.e., that an
+/// overflow overwrites the same object identically everywhere, which is
+/// what separates overflows from dangling overwrites (§4.2).
+double simulateIdenticalOverflow(unsigned H, unsigned K, unsigned S,
+                                 unsigned Trials, RandomGenerator &Rng) {
+  unsigned Identical = 0;
+  for (unsigned T = 0; T < Trials; ++T) {
+    bool AllHeapsHit = true;
+    for (unsigned Heap = 0; Heap < K && AllHeapsHit; ++Heap) {
+      // Positions of i and j: two distinct uniform slots of H.
+      const unsigned PosI = static_cast<unsigned>(Rng.nextBelow(H));
+      unsigned PosJ = static_cast<unsigned>(Rng.nextBelow(H - 1));
+      if (PosJ >= PosI)
+        ++PosJ;
+      AllHeapsHit = PosJ > PosI && PosJ - PosI <= S;
+    }
+    Identical += AllHeapsHit;
+  }
+  return static_cast<double>(Identical) / Trials;
+}
+
+/// Theorem 2 simulation: fraction of heap slots canaried is (M-1)/2M with
+/// fill probability 1/2; measure how often a random b-byte write misses
+/// every canary across k heaps (canary-value collision included).
+double simulateMissedOverflow(double M, unsigned K, unsigned B,
+                              unsigned Trials, RandomGenerator &Rng) {
+  unsigned Missed = 0;
+  const double CanariedFraction = (M - 1.0) / (2.0 * M);
+  for (unsigned T = 0; T < Trials; ++T) {
+    bool HitSomewhere = false;
+    for (unsigned Heap = 0; Heap < K && !HitSomewhere; ++Heap)
+      if (Rng.chance(CanariedFraction)) {
+        // Landed on canaried space: detection unless all b bytes match
+        // the (random) canary byte pattern.
+        bool Collides = true;
+        for (unsigned Byte = 0; Byte < B && Collides; ++Byte)
+          Collides = Rng.nextBelow(256) == 0;
+        if (!Collides)
+          HitSomewhere = true;
+      }
+    if (!HitSomewhere)
+      ++Missed;
+  }
+  return static_cast<double>(Missed) / Trials;
+}
+
+/// Theorem 3 simulation: for a victim at a fixed position, count objects
+/// (other than the true culprit) that sit at the same distance from the
+/// victim in all k heaps.
+double simulateSpuriousCulprits(unsigned H, unsigned K, unsigned Trials,
+                                RandomGenerator &Rng) {
+  uint64_t TotalSpurious = 0;
+  std::vector<std::vector<unsigned>> Positions(K,
+                                               std::vector<unsigned>(H));
+  for (unsigned T = 0; T < Trials; ++T) {
+    // Positions[heap][object] = slot of that object.
+    for (unsigned Heap = 0; Heap < K; ++Heap) {
+      std::vector<unsigned> Perm(H);
+      for (unsigned I = 0; I < H; ++I)
+        Perm[I] = I;
+      for (unsigned I = H - 1; I > 0; --I) {
+        unsigned J = static_cast<unsigned>(Rng.nextBelow(I + 1));
+        std::swap(Perm[I], Perm[J]);
+      }
+      for (unsigned Slot = 0; Slot < H; ++Slot)
+        Positions[Heap][Perm[Slot]] = Slot;
+    }
+    // Victim = object H-1.  An object is a spurious culprit if its
+    // (signed) distance to the victim is identical in every heap.
+    for (unsigned Obj = 0; Obj + 1 < H; ++Obj) {
+      const int Dist0 = static_cast<int>(Positions[0][H - 1]) -
+                        static_cast<int>(Positions[0][Obj]);
+      bool Same = true;
+      for (unsigned Heap = 1; Heap < K && Same; ++Heap)
+        Same = (static_cast<int>(Positions[Heap][H - 1]) -
+                static_cast<int>(Positions[Heap][Obj])) == Dist0;
+      TotalSpurious += Same;
+    }
+  }
+  return static_cast<double>(TotalSpurious) / Trials;
+}
+
+} // namespace
+
+int main() {
+  RandomGenerator Rng(0x7e03e5);
+
+  heading("Theorem 1: identical overflow across k heaps");
+  Table T1({"H", "S", "k", "measured", "exact (S/(H-1))^k",
+            "paper bound"});
+  for (unsigned K : {1u, 2u, 3u}) {
+    const unsigned H = 32, S = 4;
+    const double Measured =
+        simulateIdenticalOverflow(H, K, S, 200000, Rng);
+    const double Exact = std::pow(double(S) / (H - 1), K);
+    const double Bound = std::pow(0.5, K) * std::pow(1.0 / (H - S), K);
+    T1.addRow({fmt("%u", H), fmt("%u", S), fmt("%u", K),
+               fmt("%.6f", Measured), fmt("%.6f", Exact),
+               fmt("%.6f", Bound)});
+  }
+  T1.print();
+  note("the identical-overflow probability decays geometrically in k: "
+       "with 2+ images a deterministic overwrite of the *same* object "
+       "implicates a dangling pointer, not an overflow");
+
+  heading("Theorem 2: missed-overflow (false negative) rate");
+  Table T2({"M", "k", "b", "measured", "bound"});
+  for (unsigned K : {1u, 2u, 3u, 4u}) {
+    const double M = 2.0;
+    const unsigned B = 4;
+    const double Measured = simulateMissedOverflow(M, K, B, 60000, Rng);
+    const double Bound =
+        std::pow(1.0 - (M - 1.0) / (2.0 * M), K) + std::pow(1.0 / 256, B);
+    T2.addRow({fmt("%.1f", M), fmt("%u", K), fmt("%u", B),
+               fmt("%.4f", Measured), fmt("%.4f", Bound)});
+  }
+  T2.print();
+  note("paper: for k = 3 the bound is 0.42; observed espresso rate was 0");
+
+  heading("Theorem 3: expected spurious culprits per victim");
+  Table T3({"H", "k", "measured E[culprits]", "1/(H-1)^(k-2)"});
+  for (unsigned K : {1u, 2u, 3u}) {
+    const unsigned H = 24;
+    const double Measured = simulateSpuriousCulprits(H, K, 30000, Rng);
+    const double Bound = std::pow(1.0 / (H - 1), static_cast<int>(K) - 2);
+    T3.addRow({fmt("%u", H), fmt("%u", K), fmt("%.4f", Measured),
+               fmt("%.4f", Bound)});
+  }
+  T3.print();
+  note("one extra image reduces expected culprits to ~1; two make them "
+       "negligible (the basis of the 3-image result)");
+  return 0;
+}

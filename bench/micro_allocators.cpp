@@ -1,0 +1,90 @@
+//===- bench/micro_allocators.cpp - allocator microbenchmarks -------------------===//
+//
+// Google-benchmark microbenchmarks of the allocator stack: baseline
+// (GNU-libc stand-in), DieHard, DieFast, and the correcting allocator
+// with and without loaded patches.  These are the per-operation costs
+// underlying Figure 7's whole-program overheads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BaselineAllocator.h"
+#include "correct/CorrectingHeap.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace exterminator;
+
+namespace {
+
+/// Malloc/free pairs over a rotating size mix.
+template <typename HeapT>
+void churn(HeapT &Heap, benchmark::State &State) {
+  static constexpr size_t Sizes[] = {16, 24, 32, 48, 64, 96, 128, 256};
+  size_t Index = 0;
+  for (auto _ : State) {
+    void *Ptr = Heap.allocate(Sizes[Index++ % 8]);
+    benchmark::DoNotOptimize(Ptr);
+    Heap.deallocate(Ptr);
+  }
+}
+
+void BM_Baseline(benchmark::State &State) {
+  BaselineAllocator Heap;
+  churn(Heap, State);
+}
+
+void BM_DieHard(benchmark::State &State) {
+  DieHardConfig Config;
+  Config.Seed = 1;
+  DieHardHeap Heap(Config);
+  churn(Heap, State);
+}
+
+void BM_DieFast(benchmark::State &State) {
+  DieFastConfig Config;
+  Config.Heap.Seed = 1;
+  DieFastHeap Heap(Config);
+  churn(Heap, State);
+}
+
+void BM_DieFastCumulative(benchmark::State &State) {
+  DieFastConfig Config;
+  Config.Heap.Seed = 1;
+  Config.CanaryFillProbability = 0.5;
+  DieFastHeap Heap(Config);
+  churn(Heap, State);
+}
+
+void BM_Correcting(benchmark::State &State) {
+  CallContext Context;
+  DieFastConfig Config;
+  Config.Heap.Seed = 1;
+  CorrectingHeap Heap(Config, &Context);
+  churn(Heap, State);
+}
+
+void BM_CorrectingWithPatches(benchmark::State &State) {
+  CallContext Context;
+  DieFastConfig Config;
+  Config.Heap.Seed = 1;
+  CorrectingHeap Heap(Config, &Context);
+  // A populated patch table: lookups must still be O(1).
+  PatchSet Patches;
+  for (SiteId Site = 1; Site <= 500; ++Site) {
+    Patches.addPad(Site, Site % 64);
+    Patches.addDeferral(Site, Site + 1, Site % 128);
+  }
+  Heap.setPatches(Patches);
+  churn(Heap, State);
+}
+
+} // namespace
+
+BENCHMARK(BM_Baseline);
+BENCHMARK(BM_DieHard);
+BENCHMARK(BM_DieFast);
+BENCHMARK(BM_DieFastCumulative);
+BENCHMARK(BM_Correcting);
+BENCHMARK(BM_CorrectingWithPatches);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+//===- bench/table1_error_matrix.cpp - Table 1 --------------------------------===//
+//
+// Regenerates Table 1: how Exterminator handles each class of memory
+// error.  Each row exercises one error kind through the full stack and
+// reports the observed behavior: invalid and double frees are tolerated
+// (no effect), dangling pointers and buffer overflows are tolerated and
+// *corrected* via runtime patches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "runtime/IterativeDriver.h"
+#include "workload/TraceWorkload.h"
+
+#include <cstdio>
+
+using namespace exterminator;
+using namespace benchreport;
+
+namespace {
+constexpr uint32_t SiteA = 0x100, SiteB = 0x200, SiteF = 0x300;
+
+void churn(std::vector<TraceOp> &Ops, uint32_t Base) {
+  for (uint32_t R = 0; R < 6; ++R) {
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(TraceOp::alloc(Base + R * 30 + I, 64, SiteB));
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(TraceOp::free(Base + R * 30 + I, SiteF));
+  }
+}
+} // namespace
+
+/// Invalid free: freeing a pointer the allocator never returned.
+static std::string invalidFreeBehavior() {
+  CallContext Context;
+  CorrectingHeap Heap(DieFastConfig(), &Context);
+  void *Ptr = Heap.allocate(64);
+  int Local = 0;
+  Heap.deallocate(&Local);          // invalid free
+  Heap.deallocate(static_cast<char *>(Ptr) + 8); // interior pointer
+  const bool Tolerated = Heap.stats().InvalidFrees == 2 &&
+                         Heap.diefast().heap().isLivePointer(Ptr) &&
+                         Heap.allocate(64) != nullptr;
+  return Tolerated ? "tolerated (ignored)" : "NOT TOLERATED";
+}
+
+/// Double free: freeing the same object twice.
+static std::string doubleFreeBehavior() {
+  CallContext Context;
+  CorrectingHeap Heap(DieFastConfig(), &Context);
+  void *A = Heap.allocate(64);
+  void *B = Heap.allocate(64);
+  Heap.deallocate(A);
+  Heap.deallocate(A);
+  Heap.deallocate(A);
+  const bool Tolerated = Heap.stats().DoubleFrees == 2 &&
+                         Heap.diefast().heap().isLivePointer(B) &&
+                         Heap.diefast().errorsSignalled() == 0;
+  return Tolerated ? "tolerated (bit resets once)" : "NOT TOLERATED";
+}
+
+/// Uninitialized read: Exterminator zero-fills instead (§2.1).
+static std::string uninitializedReadBehavior() {
+  CallContext Context;
+  CorrectingHeap Heap(DieFastConfig(), &Context);
+  bool AllZero = true;
+  for (int I = 0; I < 32; ++I) {
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(64));
+    for (int B = 0; B < 64; ++B)
+      AllZero &= Ptr[B] == 0;
+    Heap.deallocate(Ptr);
+  }
+  return AllZero ? "made deterministic (zero-fill)" : "UNDEFINED";
+}
+
+/// Dangling pointer: a premature free followed by a write through the
+/// stale pointer; the iterative pipeline must produce a deferral patch.
+static std::string danglingBehavior() {
+  std::vector<TraceOp> Ops;
+  for (uint32_t I = 0; I < 16; ++I)
+    Ops.push_back(TraceOp::alloc(I, 32, SiteB));
+  Ops.push_back(TraceOp::alloc(50, 64, SiteA));
+  Ops.push_back(TraceOp::free(50, SiteF));
+  for (uint32_t I = 100; I < 106; ++I)
+    Ops.push_back(TraceOp::alloc(I, 32, SiteB));
+  Ops.push_back(TraceOp::write(50, 8, 16, 0x3c));
+  // Post-write churn in the same size class gives DieFast's reuse checks
+  // a chance to discover the broken canary.
+  for (uint32_t I = 200; I < 240; ++I) {
+    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
+    Ops.push_back(TraceOp::free(I, SiteF));
+  }
+
+  TraceWorkload Work(Ops);
+  ExterminatorConfig Config;
+  Config.MasterSeed = 0x7ab1e1;
+  IterativeDriver Driver(Work, Config);
+  const IterativeOutcome Outcome = Driver.run(1);
+  if (Outcome.Patches.deferralCount() > 0)
+    return "tolerated & corrected (deferral patch)";
+  return Outcome.ErrorFree ? "tolerated (undetected this session)"
+                           : "detected, not corrected";
+}
+
+/// Buffer overflow: a deterministic overrun; the iterative pipeline must
+/// produce a pad patch and a verified-clean rerun.
+static std::string overflowBehavior() {
+  std::vector<TraceOp> Ops;
+  churn(Ops, 1000);
+  for (uint32_t I = 0; I < 24; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
+  for (uint32_t I = 0; I < 24; I += 2)
+    Ops.push_back(TraceOp::free(I, SiteF));
+  Ops.push_back(TraceOp::alloc(100, 64, SiteA));
+  Ops.push_back(TraceOp::write(100, 64, 20, 0x77));
+  for (uint32_t I = 200; I < 212; ++I) {
+    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
+    Ops.push_back(TraceOp::free(I, SiteF));
+  }
+
+  TraceWorkload Work(Ops);
+  ExterminatorConfig Config;
+  Config.MasterSeed = 0x7ab1e2;
+  IterativeDriver Driver(Work, Config);
+  const IterativeOutcome Outcome = Driver.run(1);
+  if (Outcome.Corrected && Outcome.Patches.padCount() > 0)
+    return "tolerated & corrected (pad patch)";
+  return Outcome.ErrorFree ? "tolerated (undetected this session)"
+                           : "detected, not corrected";
+}
+
+int main() {
+  heading("Table 1: how Exterminator handles memory errors");
+  note("paper: invalid/double frees tolerated; uninitialized reads N/A "
+       "(zero-filled);");
+  note("dangling pointers and buffer overflows tolerated AND corrected "
+       "(probabilistically)");
+
+  Table Out({"error", "paper", "measured"});
+  Out.addRow({"invalid frees", "tolerate", invalidFreeBehavior()});
+  Out.addRow({"double frees", "tolerate", doubleFreeBehavior()});
+  Out.addRow({"uninitialized reads", "N/A (zero-fill)",
+              uninitializedReadBehavior()});
+  Out.addRow({"dangling pointers", "tolerate & correct*",
+              danglingBehavior()});
+  Out.addRow({"buffer overflows", "tolerate & correct*",
+              overflowBehavior()});
+  Out.print();
+  note("* probabilistically (asterisk as in the paper)");
+  return 0;
+}

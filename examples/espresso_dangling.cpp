@@ -1,0 +1,65 @@
+//===- examples/espresso_dangling.cpp - cumulative-mode deployment --------------===//
+//
+// Cumulative mode (§5) as a deployment story: an espresso-like program
+// with an injected premature free runs "in the field" — every execution
+// different, no replay, no replication.  Each run contributes a few
+// hundred bytes of statistics; after enough failures the Bayesian
+// classifier fingers the (allocation site, free site) pair and emits a
+// deferral patch that keeps the object alive past its last use.
+//
+// Build & run:  ./build/examples/espresso_dangling
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CumulativeDriver.h"
+#include "workload/EspressoWorkload.h"
+
+#include <cstdio>
+
+using namespace exterminator;
+
+int main() {
+  EspressoWorkload Program;
+
+  ExterminatorConfig Config;
+  Config.MasterSeed = 0xe59d;
+  Config.CanaryFillProbability = 0.5; // cumulative mode: p = 1/2 (§5.2)
+  Config.Fault.Kind = FaultKind::PrematureFree; // the injected bug
+  Config.Fault.TriggerAllocation = 285;
+  Config.Fault.PatternSeed = 104;
+
+  std::printf("deploying the buggy program; collecting per-run summaries"
+              " (p = 1/2)...\n");
+  CumulativeDriver Driver(Program, Config);
+  const CumulativeOutcome Outcome =
+      Driver.run(/*InputSeed=*/5, /*MaxRuns=*/150);
+
+  std::printf("%u runs executed, %u failed, %u showed heap corruption\n",
+              Outcome.RunsExecuted, Outcome.FailuresObserved,
+              Outcome.CorruptRuns);
+  if (!Outcome.Isolated) {
+    std::printf("the classifier never crossed the threshold (the dangled "
+                "object may be benign under this seed)\n");
+    return 1;
+  }
+
+  std::printf("isolated after %u runs (%u failures) - the paper needed "
+              "22-34 runs / ~15 failures for espresso\n",
+              Outcome.RunsToIsolation, Outcome.FailuresToIsolation);
+  for (const CumulativeDanglingFinding &Finding : Outcome.Danglings) {
+    std::printf("  dangling pair: alloc site %08x / free site %08x, "
+                "log Bayes factor %.1f (threshold %.1f)\n",
+                Finding.AllocSite, Finding.FreeSite,
+                Finding.LogBayesFactor, Finding.LogThreshold);
+  }
+  for (const DeferralPatch &Deferral : Outcome.Patches.deferrals())
+    std::printf("  patch: defer frees at (%08x, %08x) by %llu "
+                "allocations\n",
+                Deferral.AllocSite, Deferral.FreeSite,
+                static_cast<unsigned long long>(Deferral.DeferTicks));
+
+  std::printf("patched deployment: %s\n",
+              Outcome.Corrected ? "failure-free (verified)"
+                                : "still failing");
+  return Outcome.Corrected ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+//===- alloc/Allocator.cpp - Allocator interface ---------------------------===//
+
+#include "alloc/Allocator.h"
+
+using namespace exterminator;
+
+// Out-of-line virtual anchor.
+Allocator::~Allocator() = default;

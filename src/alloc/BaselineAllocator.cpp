@@ -1,0 +1,112 @@
+//===- alloc/BaselineAllocator.cpp - Lea-style baseline --------------------===//
+
+#include "alloc/BaselineAllocator.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+using namespace exterminator;
+
+// Small bins serve 8-byte-granular sizes up to SmallLimit; large bins
+// serve powers of two up to MaxRequest.
+static constexpr size_t SmallLimit = 256;
+static constexpr size_t MaxRequest = size_t(1) << 20;
+static constexpr unsigned NumSmallBins = SmallLimit / 8;   // bins 0..31
+static constexpr unsigned FirstLargeShift = 9;             // 512
+static constexpr unsigned LastLargeShift = 20;              // 1 MiB
+static constexpr unsigned NumBins =
+    NumSmallBins + (LastLargeShift - FirstLargeShift + 1);
+
+// Chunk headers carry the bin index plus a magic tag, mirroring dlmalloc's
+// boundary tags.
+static constexpr uint64_t HeaderMagic = 0x1eaa110cULL << 32;
+static constexpr size_t HeaderSize = 8;
+static constexpr size_t ArenaSize = size_t(1) << 18; // 256 KiB
+
+BaselineAllocator::BaselineAllocator() : Bins(NumBins, nullptr) {}
+
+BaselineAllocator::~BaselineAllocator() = default;
+
+unsigned BaselineAllocator::binFor(size_t Size) {
+  assert(Size > 0 && Size <= MaxRequest && "size out of range");
+  if (Size <= SmallLimit)
+    return static_cast<unsigned>((Size + 7) / 8) - 1;
+  unsigned Shift = std::bit_width(Size - 1);
+  if (Shift < FirstLargeShift)
+    Shift = FirstLargeShift;
+  return NumSmallBins + (Shift - FirstLargeShift);
+}
+
+size_t BaselineAllocator::binChunkSize(unsigned Bin) {
+  if (Bin < NumSmallBins)
+    return (Bin + 1) * 8;
+  return size_t(1) << (FirstLargeShift + (Bin - NumSmallBins));
+}
+
+void *BaselineAllocator::allocate(size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  if (Size > MaxRequest)
+    return nullptr;
+
+  while (ArenaLock.test_and_set(std::memory_order_acquire)) {
+  }
+  ++Stats.Allocations;
+  Stats.BytesRequested += Size;
+
+  const unsigned Bin = binFor(Size);
+  void *Ptr;
+  if (FreeChunk *Chunk = Bins[Bin]) {
+    Bins[Bin] = Chunk->Next;
+    uint64_t *Header = reinterpret_cast<uint64_t *>(Chunk) - 1;
+    *Header = HeaderMagic | Bin;
+    Ptr = Chunk;
+  } else {
+    Ptr = carve(Bin);
+  }
+  ArenaLock.clear(std::memory_order_release);
+  return Ptr;
+}
+
+void BaselineAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  while (ArenaLock.test_and_set(std::memory_order_acquire)) {
+  }
+  uint64_t *Header = static_cast<uint64_t *>(Ptr) - 1;
+  const uint64_t Tag = *Header;
+  if ((Tag & 0xffffffff00000000ULL) != HeaderMagic) {
+    // Not one of our live chunks: either a foreign pointer or a double
+    // free (freed chunks have their tag cleared).  Real dlmalloc would
+    // corrupt itself here; we count and ignore so harness code survives.
+    ++Stats.InvalidFrees;
+    ArenaLock.clear(std::memory_order_release);
+    return;
+  }
+  const unsigned Bin = static_cast<unsigned>(Tag & 0xffffffffULL);
+  assert(Bin < NumBins && "corrupt chunk header");
+  *Header = 0; // Clears the tag so a second free is caught above.
+  FreeChunk *Chunk = static_cast<FreeChunk *>(Ptr);
+  Chunk->Next = Bins[Bin];
+  Bins[Bin] = Chunk;
+  ++Stats.Deallocations;
+  ArenaLock.clear(std::memory_order_release);
+}
+
+void *BaselineAllocator::carve(unsigned Bin) {
+  const size_t Payload = binChunkSize(Bin);
+  const size_t Chunk = HeaderSize + Payload;
+  if (Chunk > ArenaRemaining) {
+    const size_t NewArena = Chunk > ArenaSize ? Chunk : ArenaSize;
+    Arenas.push_back(std::make_unique<uint8_t[]>(NewArena));
+    ArenaCursor = Arenas.back().get();
+    ArenaRemaining = NewArena;
+  }
+  uint64_t *Header = reinterpret_cast<uint64_t *>(ArenaCursor);
+  *Header = HeaderMagic | Bin;
+  void *Ptr = ArenaCursor + HeaderSize;
+  ArenaCursor += Chunk;
+  ArenaRemaining -= Chunk;
+  return Ptr;
+}

@@ -1,0 +1,64 @@
+//===- alloc/BaselineAllocator.h - Lea-style baseline ----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Lea-style segregated-freelist allocator standing in for the GNU libc
+/// (ptmalloc/dlmalloc) allocator that Figure 7 normalizes against.  Like
+/// dlmalloc it prepends a word-sized boundary header to each chunk,
+/// serves small requests from exact-size bins and larger ones from
+/// power-of-two bins, and carves fresh chunks from large arenas with a
+/// bump pointer.  It makes no reliability guarantees whatsoever — that is
+/// the point of the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_ALLOC_BASELINEALLOCATOR_H
+#define EXTERMINATOR_ALLOC_BASELINEALLOCATOR_H
+
+#include "alloc/Allocator.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace exterminator {
+
+/// Segregated-freelist allocator (the Figure 7 baseline).
+class BaselineAllocator : public Allocator {
+public:
+  BaselineAllocator();
+  ~BaselineAllocator() override;
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *name() const override { return "gnu-libc-baseline"; }
+
+private:
+  struct FreeChunk {
+    FreeChunk *Next;
+  };
+
+  static unsigned binFor(size_t Size);
+  static size_t binChunkSize(unsigned Bin);
+
+  /// Carves a fresh chunk (header + payload) for \p Bin from the current
+  /// arena, growing it if needed.
+  void *carve(unsigned Bin);
+
+  std::vector<std::unique_ptr<uint8_t[]>> Arenas;
+  uint8_t *ArenaCursor = nullptr;
+  size_t ArenaRemaining = 0;
+  std::vector<FreeChunk *> Bins;
+  /// ptmalloc2 (the paper-era glibc allocator) serializes every operation
+  /// on an arena mutex even in single-threaded programs; model that cost
+  /// with an uncontended spinlock.
+  std::atomic_flag ArenaLock = ATOMIC_FLAG_INIT;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_ALLOC_BASELINEALLOCATOR_H

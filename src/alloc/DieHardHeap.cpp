@@ -1,0 +1,217 @@
+//===- alloc/DieHardHeap.cpp - Adaptive randomized heap --------------------===//
+
+#include "alloc/DieHardHeap.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace exterminator;
+
+DieHardHeap::DieHardHeap(const DieHardConfig &Config,
+                         const CallContext *Context)
+    : Config(Config), Context(Context), Rng(Config.Seed) {
+  assert(Config.Multiplier > 1.0 && "heap multiplier must exceed 1");
+  assert(Config.InitialSlots > 0 && "initial miniheap must be nonempty");
+  Classes.resize(sizeclass::numClasses());
+}
+
+DieHardHeap::~DieHardHeap() = default;
+
+void *DieHardHeap::allocate(size_t Size) {
+  ObjectRef Ref;
+  return allocateWithRef(Size, Ref);
+}
+
+void *DieHardHeap::allocateWithRef(size_t Size, ObjectRef &RefOut) {
+  if (!sizeclass::fits(Size))
+    return nullptr;
+
+  tickAllocationClock(Size);
+  const ObjectRef Ref = reserveSlot(sizeclass::classFor(Size));
+  commitAllocation(Ref, Size);
+  RefOut = Ref;
+  return miniheap(Ref).slotPointer(Ref.SlotIndex);
+}
+
+void DieHardHeap::tickAllocationClock(size_t Size) {
+  ++Clock;
+  ++Stats.Allocations;
+  Stats.BytesRequested += Size;
+}
+
+ObjectRef DieHardHeap::reserveSlot(unsigned ClassIndex) {
+  ClassState &Class = Classes[ClassIndex];
+  ensureCapacity(Class, ClassIndex);
+  const ObjectRef Ref = placeRandomly(Class, ClassIndex);
+  Class.Heaps[Ref.HeapIndex]->markAllocated(Ref.SlotIndex);
+  ++Class.Live;
+  ++LiveObjects;
+  return Ref;
+}
+
+void DieHardHeap::commitAllocation(const ObjectRef &Ref, size_t Size) {
+  SlotMetadata &Meta = miniheap(Ref).slot(Ref.SlotIndex);
+  assert(!Meta.Bad && "cannot commit an allocation into a bad slot");
+  Meta.ObjectId = Clock;
+  Meta.AllocTime = Clock;
+  Meta.FreeTime = 0;
+  Meta.AllocSite = Context ? Context->currentSite() : 0;
+  Meta.FreeSite = 0;
+  Meta.RequestedSize = static_cast<uint32_t>(Size);
+  Meta.FrontPad = 0;
+  Meta.Canaried = false;
+}
+
+void DieHardHeap::markBad(const ObjectRef &Ref) {
+  Miniheap &Heap = miniheap(Ref);
+  assert(Heap.isAllocated(Ref.SlotIndex) &&
+         "markBad requires a reserved slot");
+  Heap.slot(Ref.SlotIndex).Bad = true;
+}
+
+void DieHardHeap::deallocate(void *Ptr) {
+  ObjectRef Ref;
+  deallocateWithRef(Ptr, Ref);
+}
+
+bool DieHardHeap::deallocateWithRef(void *Ptr, ObjectRef &RefOut,
+                                    std::optional<SiteId> SiteOverride) {
+  if (!Ptr)
+    return false;
+
+  // Range check: pointers outside the heap, or not at an object start, are
+  // invalid frees, which DieFast detects and ignores (§2).
+  std::optional<ObjectRef> Found = findObject(Ptr);
+  if (!Found) {
+    ++Stats.InvalidFrees;
+    return false;
+  }
+  Miniheap &Heap = miniheap(*Found);
+  if (Ptr != Heap.slotPointer(Found->SlotIndex)) {
+    ++Stats.InvalidFrees;
+    return false;
+  }
+
+  RefOut = *Found;
+  return deallocateResolved(*Found, SiteOverride);
+}
+
+bool DieHardHeap::deallocateResolved(const ObjectRef &Ref,
+                                     std::optional<SiteId> SiteOverride) {
+  Miniheap &Heap = miniheap(Ref);
+  // A bit can only be reset once, so multiple frees are benign (§2).  Bad
+  // slots keep their bit set forever, so a free of a quarantined object
+  // lands here as well.
+  if (!Heap.isAllocated(Ref.SlotIndex) || Heap.slot(Ref.SlotIndex).Bad) {
+    ++Stats.DoubleFrees;
+    return false;
+  }
+
+  Heap.markFree(Ref.SlotIndex);
+  --Classes[Ref.ClassIndex].Live;
+  --LiveObjects;
+  ++Stats.Deallocations;
+
+  SlotMetadata &Meta = Heap.slot(Ref.SlotIndex);
+  Meta.FreeTime = Clock;
+  Meta.FreeSite =
+      SiteOverride ? *SiteOverride : (Context ? Context->currentSite() : 0);
+  return true;
+}
+
+void DieHardHeap::quarantine(const ObjectRef &Ref) {
+  Miniheap &Heap = miniheap(Ref);
+  assert(!Heap.isAllocated(Ref.SlotIndex) &&
+         "only free slots can be quarantined");
+  Heap.markAllocated(Ref.SlotIndex);
+  Heap.slot(Ref.SlotIndex).Bad = true;
+  ++Classes[Ref.ClassIndex].Live;
+  ++LiveObjects;
+}
+
+std::optional<ObjectRef> DieHardHeap::findObject(const void *Ptr) const {
+  const uint8_t *Addr = static_cast<const uint8_t *>(Ptr);
+  // Ranges is sorted by base; find the first range whose base is > Addr,
+  // then step back.
+  auto It = std::upper_bound(
+      Ranges.begin(), Ranges.end(), Addr,
+      [](const uint8_t *A, const Range &R) { return A < R.Base; });
+  if (It == Ranges.begin())
+    return std::nullopt;
+  --It;
+  if (Addr >= It->End)
+    return std::nullopt;
+  const Miniheap &Heap = *Classes[It->ClassIndex].Heaps[It->HeapIndex];
+  std::optional<size_t> Slot = Heap.slotContaining(Addr);
+  if (!Slot)
+    return std::nullopt;
+  return ObjectRef{It->ClassIndex, It->HeapIndex, *Slot};
+}
+
+bool DieHardHeap::isLivePointer(const void *Ptr) const {
+  std::optional<ObjectRef> Ref = findObject(Ptr);
+  if (!Ref)
+    return false;
+  const Miniheap &Heap = miniheap(*Ref);
+  return Heap.isAllocated(Ref->SlotIndex) && !Heap.slot(Ref->SlotIndex).Bad;
+}
+
+std::optional<ObjectRef> DieHardHeap::previousSlot(const ObjectRef &Ref) const {
+  if (Ref.SlotIndex == 0)
+    return std::nullopt;
+  return ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Ref.SlotIndex - 1};
+}
+
+std::optional<ObjectRef> DieHardHeap::nextSlot(const ObjectRef &Ref) const {
+  const Miniheap &Heap = miniheap(Ref);
+  if (Ref.SlotIndex + 1 >= Heap.numSlots())
+    return std::nullopt;
+  return ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Ref.SlotIndex + 1};
+}
+
+void DieHardHeap::ensureCapacity(ClassState &Class, unsigned ClassIndex) {
+  // Keep (Live + 1) <= Capacity / M: adding a miniheap twice as large as
+  // the previous largest each time the bound would be violated (§3.1).
+  while (static_cast<double>(Class.Live + 1) * Config.Multiplier >
+         static_cast<double>(Class.Capacity)) {
+    size_t NewSlots = Class.Heaps.empty()
+                          ? Config.InitialSlots
+                          : Class.Heaps.back()->numSlots() * 2;
+    auto Heap = std::make_unique<Miniheap>(ClassIndex, NewSlots, Clock,
+                                           Config.GuardBytes);
+    registerRange(Heap.get(), ClassIndex,
+                  static_cast<unsigned>(Class.Heaps.size()));
+    Class.Capacity += NewSlots;
+    Class.Heaps.push_back(std::move(Heap));
+  }
+}
+
+ObjectRef DieHardHeap::placeRandomly(ClassState &Class, unsigned ClassIndex) {
+  assert(Class.Live < Class.Capacity && "class has no free slot");
+  // Uniform random probing over the class's combined slot space; expected
+  // O(1) probes at <= 1/M occupancy (§3.1).
+  for (;;) {
+    size_t Pick = Rng.nextBelow(Class.Capacity);
+    unsigned HeapIndex = 0;
+    for (const auto &Heap : Class.Heaps) {
+      if (Pick < Heap->numSlots()) {
+        if (!Heap->isAllocated(Pick))
+          return ObjectRef{ClassIndex, HeapIndex, Pick};
+        break;
+      }
+      Pick -= Heap->numSlots();
+      ++HeapIndex;
+    }
+  }
+}
+
+void DieHardHeap::registerRange(Miniheap *Heap, unsigned ClassIndex,
+                                unsigned HeapIndex) {
+  Range NewRange{Heap->base(),
+                 Heap->base() + Heap->numSlots() * Heap->objectSize(),
+                 ClassIndex, HeapIndex};
+  auto It = std::upper_bound(
+      Ranges.begin(), Ranges.end(), NewRange,
+      [](const Range &A, const Range &B) { return A.Base < B.Base; });
+  Ranges.insert(It, NewRange);
+}

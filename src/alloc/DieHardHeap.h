@@ -1,0 +1,221 @@
+//===- alloc/DieHardHeap.h - Adaptive randomized heap ----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive DieHard heap (paper §3.1, Figure 2; Berger & Zorn 2006),
+/// the substrate Exterminator is built on.
+///
+/// Objects of each power-of-two size class are allocated uniformly at
+/// random across that class's miniheaps, whose combined capacity is kept
+/// at least M times the number of live objects (the *heap multiplier*).
+/// When an allocation would push the class above 1/M occupancy, a new
+/// miniheap twice as large as the previous largest is added.  Random
+/// bitmap probing gives O(1) expected allocation; frees reset a bit, which
+/// makes double frees benign, and range checks make invalid frees benign
+/// (Table 1).
+///
+/// The heap also maintains Exterminator's per-object metadata (§3.2):
+/// object ids from a global allocation clock, allocation/deallocation site
+/// hashes sampled from an optional CallContext, and deallocation times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_ALLOC_DIEHARDHEAP_H
+#define EXTERMINATOR_ALLOC_DIEHARDHEAP_H
+
+#include "alloc/Allocator.h"
+#include "alloc/Miniheap.h"
+#include "alloc/SizeClass.h"
+#include "support/RandomGenerator.h"
+#include "support/SiteHash.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace exterminator {
+
+/// Tuning knobs for the DieHard heap.
+struct DieHardConfig {
+  /// Heap multiplier M: the heap is never more than 1/M full (paper fixes
+  /// M = 2 for all experiments).
+  double Multiplier = 2.0;
+  /// Slots in the first miniheap of each size class.
+  size_t InitialSlots = 64;
+  /// Seed for the heap's placement randomness.
+  uint64_t Seed = 0;
+  /// Guard region after each slab, absorbing forward overflows off the
+  /// last slot (stands in for the sparse address space between miniheaps).
+  size_t GuardBytes = 4096;
+};
+
+/// Identifies one object slot in the heap.
+struct ObjectRef {
+  unsigned ClassIndex = 0;
+  unsigned HeapIndex = 0;
+  size_t SlotIndex = 0;
+
+  bool operator==(const ObjectRef &Other) const = default;
+};
+
+/// The adaptive DieHard randomized allocator.
+class DieHardHeap : public Allocator {
+public:
+  /// \param Context optional call-context to sample allocation and
+  ///        deallocation sites from; may be null (sites record as 0).
+  explicit DieHardHeap(const DieHardConfig &Config = DieHardConfig(),
+                       const CallContext *Context = nullptr);
+  ~DieHardHeap() override;
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *name() const override { return "diehard"; }
+
+  /// Allocates and also reports which slot was chosen (used by DieFast to
+  /// run canary checks on the exact slot).  Advances the allocation clock.
+  void *allocateWithRef(size_t Size, ObjectRef &RefOut);
+
+  /// \name Two-phase allocation (DieFast building blocks, §3.3)
+  /// DieFast must inspect a slot's canary and old metadata *before* the
+  /// slot is recycled, so allocation is split: tick the clock, reserve a
+  /// random slot (metadata untouched), then either commit it as a fresh
+  /// object or mark it bad and reserve another.
+  /// @{
+
+  /// Advances the allocation clock and accounts one allocation request.
+  void tickAllocationClock(size_t Size);
+
+  /// Reserves a uniformly random free slot of \p ClassIndex: marks it
+  /// allocated but leaves its metadata (the previous object's history)
+  /// untouched.  Grows the class if needed.
+  ObjectRef reserveSlot(unsigned ClassIndex);
+
+  /// Fills in metadata for a reserved slot as a fresh object of \p Size
+  /// bytes, stamped with the current clock and call context.
+  void commitAllocation(const ObjectRef &Ref, size_t Size);
+
+  /// Converts a reserved slot into a quarantined bad slot, preserving the
+  /// previous object's metadata and contents (bad-object isolation).
+  void markBad(const ObjectRef &Ref);
+
+  /// @}
+
+  /// Frees and reports which slot was released; returns false (and counts
+  /// the event) for invalid or double frees.  \p SiteOverride, when set,
+  /// records that site hash instead of sampling the call context — the
+  /// correcting allocator uses it so deferred frees keep the site of the
+  /// original free request (§6.3).
+  bool deallocateWithRef(void *Ptr, ObjectRef &RefOut,
+                         std::optional<SiteId> SiteOverride = std::nullopt);
+
+  /// Frees an already-resolved slot (callers that mapped the pointer
+  /// once keep the lookup off the hot path).  Returns false for a double
+  /// free.
+  bool deallocateResolved(const ObjectRef &Ref,
+                          std::optional<SiteId> SiteOverride = std::nullopt);
+
+  /// Permanently withholds a slot from reuse, preserving its contents
+  /// (DieFast's bad-object isolation, §3.3).  The slot must be free.
+  void quarantine(const ObjectRef &Ref);
+
+  /// Maps any address within an object slot to the slot.
+  std::optional<ObjectRef> findObject(const void *Ptr) const;
+
+  /// True if \p Ptr points into a currently-allocated (non-bad) slot.
+  bool isLivePointer(const void *Ptr) const;
+
+  const Miniheap &miniheap(const ObjectRef &Ref) const {
+    return *Classes[Ref.ClassIndex].Heaps[Ref.HeapIndex];
+  }
+  Miniheap &miniheap(const ObjectRef &Ref) {
+    return *Classes[Ref.ClassIndex].Heaps[Ref.HeapIndex];
+  }
+
+  uint8_t *objectPointer(const ObjectRef &Ref) {
+    return miniheap(Ref).slotPointer(Ref.SlotIndex);
+  }
+  const uint8_t *objectPointer(const ObjectRef &Ref) const {
+    return miniheap(Ref).slotPointer(Ref.SlotIndex);
+  }
+  const SlotMetadata &objectMetadata(const ObjectRef &Ref) const {
+    return miniheap(Ref).slot(Ref.SlotIndex);
+  }
+
+  /// Neighboring slots in address order within the same miniheap; the
+  /// objects DieFast checks on free (§3.3, "implicit fence-posts").
+  std::optional<ObjectRef> previousSlot(const ObjectRef &Ref) const;
+  std::optional<ObjectRef> nextSlot(const ObjectRef &Ref) const;
+
+  /// Number of allocations performed to date; doubles as the object-id
+  /// counter and as "allocation time" (§3.2, §3.4).
+  uint64_t allocationClock() const { return Clock; }
+
+  /// Objects currently allocated (bad slots included, as they occupy
+  /// capacity).
+  size_t liveObjectCount() const { return LiveObjects; }
+
+  /// Total object slots across all miniheaps of class \p ClassIndex.
+  size_t classCapacity(unsigned ClassIndex) const {
+    return Classes[ClassIndex].Capacity;
+  }
+
+  /// Heap multiplier M.
+  double multiplier() const { return Config.Multiplier; }
+
+  /// The configuration this heap was built with.
+  const DieHardConfig &config() const { return Config; }
+
+  /// Number of miniheaps in class \p ClassIndex.
+  unsigned classHeapCount(unsigned ClassIndex) const {
+    return static_cast<unsigned>(Classes[ClassIndex].Heaps.size());
+  }
+
+  /// Visits every miniheap (heap-image capture, isolation).
+  template <typename CallbackT> void forEachMiniheap(CallbackT Callback) const {
+    for (unsigned C = 0; C < Classes.size(); ++C)
+      for (unsigned H = 0; H < Classes[C].Heaps.size(); ++H)
+        Callback(C, H, *Classes[C].Heaps[H]);
+  }
+
+  const CallContext *callContext() const { return Context; }
+
+private:
+  struct ClassState {
+    std::vector<std::unique_ptr<Miniheap>> Heaps;
+    size_t Capacity = 0;
+    size_t Live = 0;
+  };
+
+  /// Adds miniheaps until the class can absorb one more object while
+  /// staying at most 1/M full.
+  void ensureCapacity(ClassState &Class, unsigned ClassIndex);
+
+  /// Picks a uniformly random free slot across all miniheaps of a class.
+  ObjectRef placeRandomly(ClassState &Class, unsigned ClassIndex);
+
+  void registerRange(Miniheap *Heap, unsigned ClassIndex, unsigned HeapIndex);
+
+  DieHardConfig Config;
+  const CallContext *Context;
+  RandomGenerator Rng;
+  std::vector<ClassState> Classes;
+  uint64_t Clock = 0;
+  size_t LiveObjects = 0;
+
+  /// Sorted (by base address) index of every slab for O(log n) pointer
+  /// lookup.
+  struct Range {
+    const uint8_t *Base;
+    const uint8_t *End;
+    unsigned ClassIndex;
+    unsigned HeapIndex;
+  };
+  std::vector<Range> Ranges;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_ALLOC_DIEHARDHEAP_H

@@ -1,0 +1,30 @@
+//===- alloc/SizeClass.cpp - Power-of-two size classes ---------------------===//
+
+#include "alloc/SizeClass.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace exterminator;
+
+static constexpr unsigned MinShift = 3;  // log2(MinObjectSize)
+static constexpr unsigned MaxShift = 20; // log2(MaxObjectSize)
+
+unsigned sizeclass::numClasses() { return MaxShift - MinShift + 1; }
+
+unsigned sizeclass::classFor(size_t Size) {
+  assert(Size > 0 && "zero-sized allocation has no class");
+  assert(Size <= MaxObjectSize && "request exceeds the largest size class");
+  if (Size <= MinObjectSize)
+    return 0;
+  return std::bit_width(Size - 1) - MinShift;
+}
+
+size_t sizeclass::classSize(unsigned Index) {
+  assert(Index < numClasses() && "size class index out of range");
+  return size_t(1) << (MinShift + Index);
+}
+
+bool sizeclass::fits(size_t Size) {
+  return Size > 0 && Size <= MaxObjectSize;
+}

@@ -1,0 +1,46 @@
+//===- alloc/SizeClass.h - Power-of-two size classes -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DieHard's size-class scheme (§3.1, Figure 2): objects are rounded up to
+/// powers of two, and each miniheap holds objects of exactly one class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_ALLOC_SIZECLASS_H
+#define EXTERMINATOR_ALLOC_SIZECLASS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exterminator {
+
+namespace sizeclass {
+
+/// Smallest object size: big enough for a 64-bit pointer plus a whole
+/// 32-bit canary word.
+inline constexpr size_t MinObjectSize = 8;
+
+/// Largest object size served from miniheaps.
+inline constexpr size_t MaxObjectSize = size_t(1) << 20;
+
+/// Number of size classes: 8, 16, 32, ..., MaxObjectSize.
+unsigned numClasses();
+
+/// Maps a requested size (1..MaxObjectSize) to its class index.
+unsigned classFor(size_t Size);
+
+/// The object size of class \p Index.
+size_t classSize(unsigned Index);
+
+/// True if \p Size can be served from a miniheap.
+bool fits(size_t Size);
+
+} // namespace sizeclass
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_ALLOC_SIZECLASS_H

@@ -1,0 +1,139 @@
+//===- correct/CorrectingHeap.cpp - Correcting allocator --------------------===//
+
+#include "correct/CorrectingHeap.h"
+
+#include "patch/PatchIO.h"
+
+using namespace exterminator;
+
+CorrectingHeap::CorrectingHeap(const DieFastConfig &Config,
+                               const CallContext *Context)
+    : Context(Context), Inner(Config, Context) {}
+
+CorrectingHeap::~CorrectingHeap() = default;
+
+void *CorrectingHeap::allocate(size_t Size) {
+  // Figure 6: update the allocation clock, free deferred objects that
+  // have reached their due time, then pad and forward.
+  ++Clock;
+  drainDeferrals();
+
+  const SiteId AllocSite = Context ? Context->currentSite() : 0;
+  const uint32_t Pad = Patches.padFor(AllocSite);
+  // Backward-overflow extension: front padding shifts the returned
+  // pointer so underruns land in the object's own slot.  Rounded to 8 so
+  // the program's pointer stays maximally aligned.
+  const uint32_t FrontPad = (Patches.frontPadFor(AllocSite) + 7u) & ~7u;
+  size_t PaddedSize = Size + Pad + FrontPad;
+  uint32_t AppliedFront = FrontPad;
+  if (!sizeclass::fits(PaddedSize)) {
+    PaddedSize = Size; // A pad must never turn a servable request invalid.
+    AppliedFront = 0;
+  }
+  if (PaddedSize != Size) {
+    ++CStats.PaddedAllocations;
+    CStats.PadBytesAdded += Pad + AppliedFront;
+    CStats.LivePadBytes += Pad + AppliedFront;
+    CStats.MaxLivePadBytes =
+        std::max(CStats.MaxLivePadBytes, CStats.LivePadBytes);
+  }
+  uint8_t *Ptr = static_cast<uint8_t *>(Inner.allocate(PaddedSize));
+  Stats = Inner.stats();
+  if (!Ptr)
+    return Ptr;
+  if (AppliedFront > 0) {
+    // Remember the shift so the eventual free recognizes the interior
+    // pointer the program holds.
+    std::optional<ObjectRef> Ref = Inner.heap().findObject(Ptr);
+    assert(Ref && "fresh allocation must resolve");
+    Inner.heap().miniheap(*Ref).slot(Ref->SlotIndex).FrontPad =
+        AppliedFront;
+  }
+  return Ptr + AppliedFront;
+}
+
+void CorrectingHeap::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+
+  // Compute the site pair for this pointer: the allocation site is read
+  // from the object's metadata, the deallocation site from the current
+  // call context.  The pointer is resolved exactly once on this path.
+  const SiteId FreeSite = Context ? Context->currentSite() : 0;
+  std::optional<ObjectRef> Ref = Inner.heap().findObject(Ptr);
+  // The pointer the program holds sits FrontPad bytes into the slot when
+  // the site carries a front pad (backward-overflow correction).
+  const bool Resolvable =
+      Ref && Inner.heap().miniheap(*Ref).isAllocated(Ref->SlotIndex) &&
+      !Inner.heap().objectMetadata(*Ref).Bad &&
+      Ptr == Inner.heap().objectPointer(*Ref) +
+                 Inner.heap().objectMetadata(*Ref).FrontPad;
+  if (!Resolvable) {
+    // Invalid or double free: let DieFast count and ignore it.
+    Inner.deallocateWithSite(Ptr, FreeSite);
+    Stats = Inner.stats();
+    return;
+  }
+
+  const SlotMetadata &Meta = Inner.heap().objectMetadata(*Ref);
+  // Live-pad accounting: the dying object's site tells whether its
+  // allocation carried a pad.
+  const uint32_t DyingPad = Patches.padFor(Meta.AllocSite);
+  if (DyingPad > 0 && CStats.LivePadBytes >= DyingPad)
+    CStats.LivePadBytes -= DyingPad;
+
+  const uint64_t Defer = Patches.deferralFor(Meta.AllocSite, FreeSite);
+  if (Defer == 0) {
+    Inner.deallocateResolved(*Ref, FreeSite);
+    Stats = Inner.stats();
+    return;
+  }
+
+  Deferred Entry;
+  Entry.DueTime = Clock + Defer;
+  Entry.EnqueueTime = Clock;
+  Entry.Ref = *Ref;
+  Entry.FreeSite = FreeSite;
+  Entry.Bytes = Meta.RequestedSize;
+  Deferrals.push(Entry);
+  ++CStats.DeferredFrees;
+  CStats.CurrentDeferredBytes += Entry.Bytes;
+  CStats.MaxDeferredBytes =
+      std::max(CStats.MaxDeferredBytes, CStats.CurrentDeferredBytes);
+}
+
+bool CorrectingHeap::loadPatches(const std::string &Path) {
+  PatchSet Loaded;
+  if (!loadPatchSet(Path, Loaded))
+    return false;
+  Patches = Loaded;
+  return true;
+}
+
+void CorrectingHeap::drainDeferrals() {
+  while (!Deferrals.empty() && Deferrals.top().DueTime <= Clock) {
+    const Deferred Entry = Deferrals.top();
+    Deferrals.pop();
+    reallyFree(Entry);
+  }
+}
+
+void CorrectingHeap::flushDeferrals() {
+  while (!Deferrals.empty()) {
+    const Deferred Entry = Deferrals.top();
+    Deferrals.pop();
+    reallyFree(Entry);
+  }
+}
+
+void CorrectingHeap::reallyFree(const Deferred &Entry) {
+  // The free-site hash recorded for the object is the one sampled when
+  // the program requested the free, not the context that happens to be
+  // live when the deferral drains.  The slot reference stays valid while
+  // deferred: the object is still allocated until this very call.
+  Inner.deallocateResolved(Entry.Ref, Entry.FreeSite);
+  Stats = Inner.stats();
+  CStats.CurrentDeferredBytes -= Entry.Bytes;
+  CStats.DragByteTicks +=
+      static_cast<uint64_t>(Entry.Bytes) * (Clock - Entry.EnqueueTime);
+}

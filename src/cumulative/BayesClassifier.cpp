@@ -1,0 +1,85 @@
+//===- cumulative/BayesClassifier.cpp - Hypothesis testing ------------------===//
+
+#include "cumulative/BayesClassifier.h"
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace exterminator;
+
+// Simpson quadrature intervals for the θ integral; the integrand is a
+// polynomial of degree = #trials, so a few hundred nodes are ample.
+static constexpr int NumIntervals = 512;
+
+static double clampProbability(double P) {
+  // Guard against trials computed as exactly 0 or 1, which would make a
+  // single contrary observation produce -inf and poison the product.
+  const double Epsilon = 1e-12;
+  if (P < Epsilon)
+    return Epsilon;
+  if (P > 1.0 - Epsilon)
+    return 1.0 - Epsilon;
+  return P;
+}
+
+double
+BayesClassifier::logLikelihoodH0(const std::vector<BayesTrial> &Trials) {
+  double LogSum = 0.0;
+  for (const BayesTrial &Trial : Trials) {
+    const double X = clampProbability(Trial.Probability);
+    LogSum += std::log(Trial.Observed ? X : 1.0 - X);
+  }
+  return LogSum;
+}
+
+/// log Π_i P(Y_i | θ, X_i) at a fixed θ.
+static double logLikelihoodAtTheta(const std::vector<BayesTrial> &Trials,
+                                   double Theta) {
+  double LogSum = 0.0;
+  for (const BayesTrial &Trial : Trials) {
+    const double X = clampProbability(Trial.Probability);
+    const double PYes = clampProbability((1.0 - Theta) * X + Theta);
+    LogSum += std::log(Trial.Observed ? PYes : 1.0 - PYes);
+  }
+  return LogSum;
+}
+
+double
+BayesClassifier::logLikelihoodH1(const std::vector<BayesTrial> &Trials) {
+  // Composite Simpson over θ ∈ [0, 1], accumulated with log-sum-exp so
+  // long trial sequences cannot underflow.
+  const double H = 1.0 / NumIntervals;
+  double LogAccum = -std::numeric_limits<double>::infinity();
+  for (int I = 0; I <= NumIntervals; ++I) {
+    const double Theta = I * H;
+    double Weight = (I == 0 || I == NumIntervals) ? 1.0
+                    : (I % 2 == 1)                ? 4.0
+                                                  : 2.0;
+    const double LogTerm =
+        logLikelihoodAtTheta(Trials, Theta) + std::log(Weight);
+    LogAccum = logAdd(LogAccum, LogTerm);
+  }
+  return LogAccum + std::log(H / 3.0);
+}
+
+double
+BayesClassifier::logBayesFactor(const std::vector<BayesTrial> &Trials) {
+  return logLikelihoodH1(Trials) - logLikelihoodH0(Trials);
+}
+
+double BayesClassifier::logThreshold(size_t NumSites) const {
+  assert(NumSites > 0 && "need at least one candidate site");
+  // P(H1) = 1/(cN), P(H0) = 1 − P(H1).
+  const double PH1 = 1.0 / (PriorC * static_cast<double>(NumSites));
+  return std::log((1.0 - PH1) / PH1);
+}
+
+bool BayesClassifier::isErrorSource(const std::vector<BayesTrial> &Trials,
+                                    size_t NumSites) const {
+  if (Trials.empty())
+    return false;
+  return logBayesFactor(Trials) > logThreshold(NumSites);
+}

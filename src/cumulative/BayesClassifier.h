@@ -1,0 +1,73 @@
+//===- cumulative/BayesClassifier.h - Hypothesis testing -------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cumulative-mode Bayesian error classifier (§5.1).
+///
+/// Each run contributes a trial (X_i, Y_i) for a site: X_i is the chance
+/// the site satisfies the corruption criteria by luck, Y_i whether it did.
+/// The classifier compares H0 : θ_A = 0 (no error; Y happens at rate X)
+/// against H1 : θ_A > 0 (the site causes failures at some rate θ on top
+/// of chance), flagging the site when
+///
+///     P(X̄,Ȳ | H1) / P(X̄,Ȳ | H0)  >  P(H0) / P(H1),
+///
+/// with a uniform prior on θ_A and prior P(H1) = 1/(cN) over the N sites
+/// (c = 4): some probability the corruption is an overflow at all, split
+/// evenly across candidate sites.
+///
+/// Likelihoods are evaluated in log space; the θ integral uses composite
+/// Simpson quadrature on the log-sum-exp of the per-node log likelihoods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_CUMULATIVE_BAYESCLASSIFIER_H
+#define EXTERMINATOR_CUMULATIVE_BAYESCLASSIFIER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace exterminator {
+
+/// One (X, Y) observation for a site.
+struct BayesTrial {
+  /// Probability of Y = 1 under the null hypothesis.
+  double Probability = 0.0;
+  /// The observed outcome.
+  bool Observed = false;
+};
+
+/// The §5.1 likelihood-ratio classifier.
+class BayesClassifier {
+public:
+  /// \param PriorC the constant c in P(H1) = 1/(cN); the paper uses 4.
+  explicit BayesClassifier(double PriorC = 4.0) : PriorC(PriorC) {}
+
+  /// log P(X̄,Ȳ | H0) = Σ log[(1−X_i)(1−Y_i) + X_i·Y_i].
+  static double logLikelihoodH0(const std::vector<BayesTrial> &Trials);
+
+  /// log P(X̄,Ȳ | H1) = log ∫₀¹ Π_i P(Y_i | θ, X_i) dθ with
+  /// P(Y=1 | θ, X) = (1−θ)X + θ.
+  static double logLikelihoodH1(const std::vector<BayesTrial> &Trials);
+
+  /// log Bayes factor log[P(X̄,Ȳ|H1) / P(X̄,Ȳ|H0)].
+  static double logBayesFactor(const std::vector<BayesTrial> &Trials);
+
+  /// The decision threshold log[P(H0)/P(H1)] for \p NumSites candidate
+  /// sites.
+  double logThreshold(size_t NumSites) const;
+
+  /// True when the site should be flagged as an error source.
+  bool isErrorSource(const std::vector<BayesTrial> &Trials,
+                     size_t NumSites) const;
+
+private:
+  double PriorC;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_CUMULATIVE_BAYESCLASSIFIER_H

@@ -1,0 +1,187 @@
+//===- cumulative/CumulativeIsolator.cpp - Cumulative isolation ------------===//
+
+#include "cumulative/CumulativeIsolator.h"
+
+#include "support/Serializer.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+CumulativeIsolator::CumulativeIsolator(const CumulativeConfig &Config)
+    : Config(Config) {}
+
+void CumulativeIsolator::addRun(const RunSummary &Summary) {
+  ++Runs;
+  if (Summary.Failed)
+    ++FailedRuns;
+  if (Summary.CorruptionObserved)
+    ++CorruptRuns;
+
+  for (const OverflowTrial &Trial : Summary.OverflowTrials) {
+    OverflowSiteState &State = OverflowSites[Trial.AllocSite];
+    State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+    if (Trial.Observed) {
+      ++State.Observed;
+      State.MaxPad = std::max(State.MaxPad, Trial.PadEstimate);
+    }
+  }
+  for (const DanglingTrial &Trial : Summary.DanglingTrials) {
+    DanglingPairState &State =
+        DanglingPairs[pairKey(Trial.AllocSite, Trial.FreeSite)];
+    State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+    if (Trial.Observed) {
+      ++State.Observed;
+      State.MaxFreeToFailure =
+          std::max(State.MaxFreeToFailure, Trial.FreeToFailure);
+    }
+  }
+}
+
+std::vector<CumulativeOverflowFinding>
+CumulativeIsolator::classifyOverflows() const {
+  std::vector<CumulativeOverflowFinding> Findings;
+  if (OverflowSites.empty())
+    return Findings;
+  const size_t NumSites = Config.TotalSitesHint
+                              ? Config.TotalSitesHint
+                              : OverflowSites.size();
+  const BayesClassifier Classifier(Config.PriorC);
+  const double Threshold = Classifier.logThreshold(NumSites);
+
+  for (const auto &[Site, State] : OverflowSites) {
+    const double LogBF = BayesClassifier::logBayesFactor(State.Trials);
+    if (LogBF <= Threshold)
+      continue;
+    CumulativeOverflowFinding Finding;
+    Finding.AllocSite = Site;
+    Finding.LogBayesFactor = LogBF;
+    Finding.LogThreshold = Threshold;
+    Finding.PadBytes = State.MaxPad;
+    Finding.TrialCount = static_cast<uint32_t>(State.Trials.size());
+    Finding.ObservedCount = State.Observed;
+    Findings.push_back(Finding);
+  }
+  std::sort(Findings.begin(), Findings.end(),
+            [](const CumulativeOverflowFinding &A,
+               const CumulativeOverflowFinding &B) {
+              return A.LogBayesFactor > B.LogBayesFactor;
+            });
+  return Findings;
+}
+
+std::vector<CumulativeDanglingFinding>
+CumulativeIsolator::classifyDanglings() const {
+  std::vector<CumulativeDanglingFinding> Findings;
+  if (DanglingPairs.empty())
+    return Findings;
+  const size_t NumPairs = Config.TotalSitesHint ? Config.TotalSitesHint
+                                                : DanglingPairs.size();
+  const BayesClassifier Classifier(Config.PriorC);
+  const double Threshold = Classifier.logThreshold(NumPairs);
+
+  for (const auto &[Key, State] : DanglingPairs) {
+    const double LogBF = BayesClassifier::logBayesFactor(State.Trials);
+    if (LogBF <= Threshold)
+      continue;
+    CumulativeDanglingFinding Finding;
+    Finding.AllocSite = static_cast<SiteId>(Key >> 32);
+    Finding.FreeSite = static_cast<SiteId>(Key & 0xffffffffu);
+    Finding.LogBayesFactor = LogBF;
+    Finding.LogThreshold = Threshold;
+    Finding.DeferralTicks = 2 * State.MaxFreeToFailure;
+    Finding.TrialCount = static_cast<uint32_t>(State.Trials.size());
+    Finding.ObservedCount = State.Observed;
+    Findings.push_back(Finding);
+  }
+  std::sort(Findings.begin(), Findings.end(),
+            [](const CumulativeDanglingFinding &A,
+               const CumulativeDanglingFinding &B) {
+              return A.LogBayesFactor > B.LogBayesFactor;
+            });
+  return Findings;
+}
+
+PatchSet CumulativeIsolator::patches() const {
+  PatchSet Patches;
+  for (const CumulativeOverflowFinding &Finding : classifyOverflows())
+    Patches.addPad(Finding.AllocSite, Finding.PadBytes);
+  for (const CumulativeDanglingFinding &Finding : classifyDanglings())
+    Patches.addDeferral(Finding.AllocSite, Finding.FreeSite,
+                        Finding.DeferralTicks);
+  return Patches;
+}
+
+static constexpr uint32_t StateMagic = 0x58435331; // "XCS1"
+
+std::vector<uint8_t> CumulativeIsolator::serialize() const {
+  ByteWriter Writer;
+  Writer.writeU32(StateMagic);
+  Writer.writeU64(Runs);
+  Writer.writeU64(FailedRuns);
+  Writer.writeU64(CorruptRuns);
+  Writer.writeU64(OverflowSites.size());
+  for (const auto &[Site, State] : OverflowSites) {
+    Writer.writeU32(Site);
+    Writer.writeU32(State.MaxPad);
+    Writer.writeU32(State.Observed);
+    Writer.writeU64(State.Trials.size());
+    for (const BayesTrial &Trial : State.Trials) {
+      Writer.writeF64(Trial.Probability);
+      Writer.writeU8(Trial.Observed ? 1 : 0);
+    }
+  }
+  Writer.writeU64(DanglingPairs.size());
+  for (const auto &[Key, State] : DanglingPairs) {
+    Writer.writeU64(Key);
+    Writer.writeU64(State.MaxFreeToFailure);
+    Writer.writeU32(State.Observed);
+    Writer.writeU64(State.Trials.size());
+    for (const BayesTrial &Trial : State.Trials) {
+      Writer.writeF64(Trial.Probability);
+      Writer.writeU8(Trial.Observed ? 1 : 0);
+    }
+  }
+  return Writer.buffer();
+}
+
+bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
+  ByteReader Reader(Buffer);
+  if (Reader.readU32() != StateMagic)
+    return false;
+  Runs = Reader.readU64();
+  FailedRuns = Reader.readU64();
+  CorruptRuns = Reader.readU64();
+  OverflowSites.clear();
+  DanglingPairs.clear();
+
+  const uint64_t NumSites = Reader.readU64();
+  for (uint64_t I = 0; I < NumSites && !Reader.failed(); ++I) {
+    const SiteId Site = Reader.readU32();
+    OverflowSiteState &State = OverflowSites[Site];
+    State.MaxPad = Reader.readU32();
+    State.Observed = Reader.readU32();
+    const uint64_t NumTrials = Reader.readU64();
+    for (uint64_t T = 0; T < NumTrials && !Reader.failed(); ++T) {
+      BayesTrial Trial;
+      Trial.Probability = Reader.readF64();
+      Trial.Observed = Reader.readU8() != 0;
+      State.Trials.push_back(Trial);
+    }
+  }
+  const uint64_t NumPairs = Reader.readU64();
+  for (uint64_t I = 0; I < NumPairs && !Reader.failed(); ++I) {
+    const uint64_t Key = Reader.readU64();
+    DanglingPairState &State = DanglingPairs[Key];
+    State.MaxFreeToFailure = Reader.readU64();
+    State.Observed = Reader.readU32();
+    const uint64_t NumTrials = Reader.readU64();
+    for (uint64_t T = 0; T < NumTrials && !Reader.failed(); ++T) {
+      BayesTrial Trial;
+      Trial.Probability = Reader.readF64();
+      Trial.Observed = Reader.readU8() != 0;
+      State.Trials.push_back(Trial);
+    }
+  }
+  return Reader.atEnd();
+}

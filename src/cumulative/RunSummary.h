@@ -1,0 +1,82 @@
+//===- cumulative/RunSummary.h - Per-run summaries -------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cumulative-mode per-run summaries (§5).  Instead of storing whole heap
+/// images, cumulative mode reduces each run to a few kilobytes of
+/// statistics: for each allocation site, the probability X that the site
+/// could have caused the observed corruption and the indicator Y of
+/// whether it actually satisfied the criteria ("each run can be thought of
+/// as a coin flip, where P(C_A) is the probability of heads").  Dangling
+/// analysis keeps the analogous canary-trial per (allocation,
+/// deallocation) site pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_CUMULATIVE_RUNSUMMARY_H
+#define EXTERMINATOR_CUMULATIVE_RUNSUMMARY_H
+
+#include "support/SiteHash.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// One overflow coin flip for an allocation site (§5.1).
+struct OverflowTrial {
+  SiteId AllocSite = 0;
+  /// X_i = P(C_A): probability at least one object from the site lies in
+  /// the corrupted miniheap below the corruption, by chance.
+  double Probability = 0.0;
+  /// Y_i = C_A: whether some object from the site actually does.
+  bool Observed = false;
+  /// Pad estimate from this run when Observed: distance from the nearest
+  /// preceding object of this site to the corruption end, minus its
+  /// requested size (§5.1, final paragraph).
+  uint32_t PadEstimate = 0;
+
+  bool operator==(const OverflowTrial &Other) const = default;
+};
+
+/// One dangling coin flip for an (allocation, deallocation) pair (§5.2).
+struct DanglingTrial {
+  SiteId AllocSite = 0;
+  SiteId FreeSite = 0;
+  /// X_i: probability at least one freed object of the pair was canaried
+  /// (1 − (1−p)^n over the n observed frees).
+  double Probability = 0.0;
+  /// Y_i: whether one actually was.
+  bool Observed = false;
+  /// Allocations between the oldest canaried object's free and the
+  /// failure; the deferral is twice the maximum of this (§5.2).
+  uint64_t FreeToFailure = 0;
+
+  bool operator==(const DanglingTrial &Other) const = default;
+};
+
+/// Everything cumulative mode keeps from one execution.
+struct RunSummary {
+  /// The run failed (crash, abort, or divergent output).
+  bool Failed = false;
+  /// Heap corruption (a broken canary) was observed.
+  bool CorruptionObserved = false;
+  /// Allocation clock at the end of the run (failure time T).
+  uint64_t EndTime = 0;
+  /// Overflow trials: present whenever corruption was observed.
+  std::vector<OverflowTrial> OverflowTrials;
+  /// Dangling trials: present for failed runs.
+  std::vector<DanglingTrial> DanglingTrials;
+};
+
+/// Byte-level round-trip for persistence across executions.
+std::vector<uint8_t> serializeRunSummary(const RunSummary &Summary);
+bool deserializeRunSummary(const std::vector<uint8_t> &Buffer,
+                           RunSummary &SummaryOut);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_CUMULATIVE_RUNSUMMARY_H

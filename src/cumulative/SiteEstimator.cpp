@@ -1,0 +1,181 @@
+//===- cumulative/SiteEstimator.cpp - Per-site probabilities ----------------===//
+
+#include "cumulative/SiteEstimator.h"
+
+#include "diefast/Canary.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+using namespace exterminator;
+
+namespace {
+
+/// The first (lowest-index) corrupted canaried slot in the image.
+struct Corruption {
+  uint32_t MiniheapIndex;
+  uint32_t SlotIndex;
+  /// End of the corrupted bytes as an offset within the miniheap.
+  uint64_t EndOffsetInMiniheap;
+};
+
+} // namespace
+
+static std::optional<Corruption> findFirstCorruption(const HeapImage &Image) {
+  const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
+  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
+    const ImageMiniheap &Mini = Image.Miniheaps[M];
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
+      const ImageSlot &Slot = Mini.Slots[S];
+      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+        continue;
+      std::optional<CorruptionExtent> Extent = HeapCanary.findCorruption(
+          Slot.Contents.data(), Slot.Contents.size());
+      if (!Extent)
+        continue;
+      return Corruption{M, S, S * Mini.ObjectSize + Extent->End};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Overflow trials for the corruption at (M_c, k) per the §5.1 estimator.
+static void computeOverflowTrials(const HeapImage &Image,
+                                  const Corruption &Corrupt,
+                                  std::vector<OverflowTrial> &TrialsOut) {
+  const ImageMiniheap &CorruptMini = Image.Miniheaps[Corrupt.MiniheapIndex];
+  const uint32_t ClassIndex = CorruptMini.SizeClassIndex;
+  const double CorruptSize = static_cast<double>(CorruptMini.Slots.size());
+  const double K = static_cast<double>(Corrupt.SlotIndex);
+
+  // Miniheaps of the corrupt size class, for the size'(i, M_j) sums.
+  std::vector<const ImageMiniheap *> ClassMiniheaps;
+  for (const ImageMiniheap &Mini : Image.Miniheaps)
+    if (Mini.SizeClassIndex == ClassIndex)
+      ClassMiniheaps.push_back(&Mini);
+
+  struct SiteState {
+    double ProbNoObject = 1.0; // Π (1 − P(C_i))
+    bool Observed = false;
+    uint32_t PadEstimate = 0;
+    /// Nearest observed object start below the corruption, for the pad.
+    std::optional<uint64_t> NearestBelowOffset;
+  };
+  std::map<SiteId, SiteState> Sites;
+
+  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
+    const ImageMiniheap &Mini = Image.Miniheaps[M];
+    if (Mini.SizeClassIndex != ClassIndex)
+      continue; // Objects of other classes can never land in M_c.
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
+      const ImageSlot &Slot = Mini.Slots[S];
+      if (Slot.ObjectId == 0)
+        continue;
+      SiteState &State = Sites[Slot.AllocSite];
+
+      // size'(i, M_j): miniheaps that existed when object i was
+      // allocated.
+      double Denominator = 0.0;
+      for (const ImageMiniheap *Other : ClassMiniheaps)
+        if (Other->CreationTime <= Slot.AllocTime)
+          Denominator += static_cast<double>(Other->Slots.size());
+      const double Numerator =
+          CorruptMini.CreationTime <= Slot.AllocTime ? CorruptSize : 0.0;
+      if (Denominator > 0.0) {
+        const double PCi = (Numerator / Denominator) * (K / CorruptSize);
+        State.ProbNoObject *= 1.0 - PCi;
+      }
+
+      // Observed C_i: the object lies in M_c strictly below the corrupted
+      // slot.
+      if (M == Corrupt.MiniheapIndex && S < Corrupt.SlotIndex) {
+        State.Observed = true;
+        const uint64_t StartOffset = S * Mini.ObjectSize;
+        if (!State.NearestBelowOffset ||
+            StartOffset > *State.NearestBelowOffset) {
+          State.NearestBelowOffset = StartOffset;
+          const uint64_t Distance =
+              Corrupt.EndOffsetInMiniheap - StartOffset;
+          State.PadEstimate = static_cast<uint32_t>(
+              Distance > Slot.RequestedSize ? Distance - Slot.RequestedSize
+                                            : 0);
+        }
+      }
+    }
+  }
+
+  for (const auto &[Site, State] : Sites) {
+    OverflowTrial Trial;
+    Trial.AllocSite = Site;
+    Trial.Probability = 1.0 - State.ProbNoObject;
+    Trial.Observed = State.Observed;
+    Trial.PadEstimate = State.Observed ? State.PadEstimate : 0;
+    TrialsOut.push_back(Trial);
+  }
+}
+
+/// Dangling trials: one Bernoulli summary per (alloc, free) pair (§5.2).
+static void computeDanglingTrials(const HeapImage &Image,
+                                  std::vector<DanglingTrial> &TrialsOut) {
+  struct PairState {
+    uint64_t FreedCount = 0;
+    uint64_t CanariedCount = 0;
+    uint64_t OldestCanariedFreeTime = 0;
+  };
+  std::map<std::pair<SiteId, SiteId>, PairState> Pairs;
+
+  for (const ImageMiniheap &Mini : Image.Miniheaps) {
+    for (const ImageSlot &Slot : Mini.Slots) {
+      // Observed freed objects: freed at least once and not recycled
+      // (still free, or quarantined with their history intact).
+      if (Slot.ObjectId == 0 || Slot.FreeTime == 0)
+        continue;
+      if (Slot.Allocated && !Slot.Bad)
+        continue;
+      PairState &State = Pairs[{Slot.AllocSite, Slot.FreeSite}];
+      ++State.FreedCount;
+      if (Slot.Canaried) {
+        ++State.CanariedCount;
+        if (State.OldestCanariedFreeTime == 0 ||
+            Slot.FreeTime < State.OldestCanariedFreeTime)
+          State.OldestCanariedFreeTime = Slot.FreeTime;
+      }
+    }
+  }
+
+  const double P = Image.CanaryFillProbability;
+  for (const auto &[Key, State] : Pairs) {
+    DanglingTrial Trial;
+    Trial.AllocSite = Key.first;
+    Trial.FreeSite = Key.second;
+    // X = 1 − (1−p)^n: chance some object of the pair got canaried.
+    double NoneCanaried = 1.0;
+    for (uint64_t I = 0; I < State.FreedCount; ++I)
+      NoneCanaried *= 1.0 - P;
+    Trial.Probability = 1.0 - NoneCanaried;
+    Trial.Observed = State.CanariedCount > 0;
+    Trial.FreeToFailure =
+        Trial.Observed ? Image.AllocationTime - State.OldestCanariedFreeTime
+                       : 0;
+    TrialsOut.push_back(Trial);
+  }
+}
+
+RunSummary exterminator::summarizeRun(const HeapImage &Image, bool Failed) {
+  RunSummary Summary;
+  Summary.Failed = Failed;
+  Summary.EndTime = Image.AllocationTime;
+
+  std::optional<Corruption> Corrupt = findFirstCorruption(Image);
+  Summary.CorruptionObserved = Corrupt.has_value();
+  if (Corrupt)
+    computeOverflowTrials(Image, *Corrupt, Summary.OverflowTrials);
+
+  // Dangling analysis only learns from failed runs (§5.2: "For each
+  // failed run, Exterminator computes the probability that an object was
+  // canaried from each allocation site").
+  if (Failed)
+    computeDanglingTrials(Image, Summary.DanglingTrials);
+  return Summary;
+}

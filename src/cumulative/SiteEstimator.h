@@ -1,0 +1,40 @@
+//===- cumulative/SiteEstimator.h - Per-site probabilities -----*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduces one heap image to cumulative-mode trials (§5.1, §5.2).
+///
+/// Overflow: for the observed corruption (miniheap M_c, slot index k), an
+/// object i could be the forward-overflow source iff it was placed in M_c
+/// (probability size'(i,M_c) / Σ_j size'(i,M_j), counting only miniheaps
+/// that existed when i was allocated) at a lower address (probability
+/// k / size(M_c)).  A site's trial is
+/// P(C_A) = 1 − Π_{i from A} (1 − P(C_i)) with the observed indicator C_A.
+///
+/// Dangling: with canary-fill probability p, a pair's trial is
+/// X = 1 − (1−p)^n over its n observed freed objects and Y = "some object
+/// actually got canaried" — failures correlate with Y exactly when the
+/// pair dangles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_CUMULATIVE_SITEESTIMATOR_H
+#define EXTERMINATOR_CUMULATIVE_SITEESTIMATOR_H
+
+#include "cumulative/RunSummary.h"
+#include "heapimage/HeapImage.h"
+
+namespace exterminator {
+
+/// Builds the cumulative-mode summary of one execution.
+/// \param Image heap image captured at the end of the run (at failure for
+///        failed runs).
+/// \param Failed whether the run failed.
+RunSummary summarizeRun(const HeapImage &Image, bool Failed);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_CUMULATIVE_SITEESTIMATOR_H

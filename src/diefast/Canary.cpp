@@ -1,0 +1,73 @@
+//===- diefast/Canary.cpp - Random canaries --------------------------------===//
+
+#include "diefast/Canary.h"
+
+#include <cstring>
+
+using namespace exterminator;
+
+Canary Canary::random(RandomGenerator &Rng) {
+  // Low bit set: dereferencing the canary as a pointer misaligns and
+  // traps, while collision probability with program data stays 1/2^31.
+  return Canary(Rng.next32() | 1u);
+}
+
+/// The canary pattern repeated into a 64-bit word.  Slots are at least
+/// 8-byte aligned and sized, so fill/verify run word-at-a-time on the
+/// allocator's hot path (§3.3: the checks run on every malloc and free).
+uint64_t Canary::patternWord() const {
+  return (uint64_t(Value) << 32) | Value;
+}
+
+void Canary::fill(void *Ptr, size_t Size) const {
+  uint8_t *Bytes = static_cast<uint8_t *>(Ptr);
+  const uint64_t Word = patternWord();
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8)
+    std::memcpy(Bytes + I, &Word, 8);
+  for (; I < Size; ++I)
+    Bytes[I] = byteAt(I);
+}
+
+bool Canary::verify(const void *Ptr, size_t Size) const {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Ptr);
+  const uint64_t Word = patternWord();
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Have;
+    std::memcpy(&Have, Bytes + I, 8);
+    if (Have != Word)
+      return false;
+  }
+  for (; I < Size; ++I)
+    if (Bytes[I] != byteAt(I))
+      return false;
+  return true;
+}
+
+std::optional<CorruptionExtent>
+Canary::findCorruption(const void *Ptr, size_t Size) const {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Ptr);
+  const uint64_t Word = patternWord();
+  std::optional<CorruptionExtent> Extent;
+  auto NoteByte = [&](size_t I) {
+    if (Bytes[I] == byteAt(I))
+      return;
+    if (!Extent)
+      Extent = CorruptionExtent{I, I + 1};
+    else
+      Extent->End = I + 1;
+  };
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Have;
+    std::memcpy(&Have, Bytes + I, 8);
+    if (Have == Word)
+      continue;
+    for (size_t B = I; B < I + 8; ++B)
+      NoteByte(B);
+  }
+  for (; I < Size; ++I)
+    NoteByte(I);
+  return Extent;
+}

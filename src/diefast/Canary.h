@@ -1,0 +1,77 @@
+//===- diefast/Canary.h - Random canaries ----------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DieFast's random canaries (§3.3).  Instead of a fixed pattern like
+/// 0xDEADBEEF — which a program could legitimately store — DieFast picks a
+/// random 32-bit value at startup, so any fixed data value collides with
+/// it with probability at most 1/2^31.  The canary's last bit is set: if
+/// the program dereferences a canary as a pointer, the misalignment traps
+/// (§3.3, "Random Canaries").
+///
+/// Canaries fill *freed* slots (implicit fence-posts): because allocated
+/// objects are separated by E(M-1) freed slots on a DieHard heap, freed
+/// space acts as fence-posts with zero space overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_DIEFAST_CANARY_H
+#define EXTERMINATOR_DIEFAST_CANARY_H
+
+#include "support/RandomGenerator.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace exterminator {
+
+/// Byte range [Begin, End) of corrupted canary within a slot.
+struct CorruptionExtent {
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t length() const { return End - Begin; }
+};
+
+/// A random 32-bit canary with its low bit set.
+class Canary {
+public:
+  /// Draws a fresh random canary from \p Rng.
+  static Canary random(RandomGenerator &Rng);
+
+  /// Reconstructs a canary with a known value (heap-image processing).
+  static Canary fromValue(uint32_t Value) { return Canary(Value); }
+
+  uint32_t value() const { return Value; }
+
+  /// Fills \p Size bytes at \p Ptr with the repeated canary pattern.
+  void fill(void *Ptr, size_t Size) const;
+
+  /// True if \p Size bytes at \p Ptr hold the intact pattern.
+  bool verify(const void *Ptr, size_t Size) const;
+
+  /// The smallest byte range covering every corrupted byte, or
+  /// std::nullopt if the pattern is intact.
+  std::optional<CorruptionExtent> findCorruption(const void *Ptr,
+                                                 size_t Size) const;
+
+  /// The canary byte expected at offset \p Offset of a filled region.
+  uint8_t byteAt(size_t Offset) const {
+    return static_cast<uint8_t>(Value >> (8 * (Offset % 4)));
+  }
+
+  /// The pattern repeated into one 64-bit word (hot-path fill/verify).
+  uint64_t patternWord() const;
+
+private:
+  explicit Canary(uint32_t Value) : Value(Value) {}
+
+  uint32_t Value;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_DIEFAST_CANARY_H

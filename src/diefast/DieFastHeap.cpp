@@ -1,0 +1,123 @@
+//===- diefast/DieFastHeap.cpp - Probabilistic debugging allocator ---------===//
+
+#include "diefast/DieFastHeap.h"
+
+#include <cstring>
+
+using namespace exterminator;
+
+DieFastHeap::DieFastHeap(const DieFastConfig &Config,
+                         const CallContext *Context)
+    : Config(Config), Heap(Config.Heap, Context),
+      // The canary stream must be independent of heap placement, or the
+      // canary value would leak the layout; fork a derived seed.
+      Rng(Config.Heap.Seed ^ 0xca11a7c0ffee1234ULL),
+      HeapCanary(Canary::random(Rng)) {}
+
+DieFastHeap::~DieFastHeap() = default;
+
+void *DieFastHeap::allocate(size_t Size) {
+  if (!sizeclass::fits(Size))
+    return nullptr;
+
+  Heap.tickAllocationClock(Size);
+  Stats = Heap.stats();
+
+  const unsigned ClassIndex = sizeclass::classFor(Size);
+  for (;;) {
+    const ObjectRef Ref = Heap.reserveSlot(ClassIndex);
+    Miniheap &Mini = Heap.miniheap(Ref);
+    SlotMetadata &Meta = Mini.slot(Ref.SlotIndex);
+    uint8_t *Ptr = Mini.slotPointer(Ref.SlotIndex);
+
+    // Figure 4: check that the object either wasn't canary-filled or is
+    // uncorrupted.  A corrupt slot is never reused ("bad object
+    // isolation"): mark it allocated-for-good and pick another slot.
+    if (Meta.Canaried && !HeapCanary.verify(Ptr, Mini.objectSize())) {
+      Heap.markBad(Ref);
+      signalError(ErrorSignalKind::CanaryCorruptOnAlloc, Ref);
+      continue;
+    }
+
+    Heap.commitAllocation(Ref, Size);
+    // Zero the requested bytes (§2.1).  The slot's tail keeps whatever
+    // canary it carried: the next free re-fills the whole slot, so the
+    // alloc-time whole-slot verification stays sound.
+    if (Config.ZeroFillAllocations)
+      std::memset(Ptr, 0, Size);
+    return Ptr;
+  }
+}
+
+void DieFastHeap::deallocate(void *Ptr) {
+  deallocateImpl(Ptr, std::nullopt);
+}
+
+void DieFastHeap::deallocateWithSite(void *Ptr, SiteId FreeSite) {
+  deallocateImpl(Ptr, FreeSite);
+}
+
+void DieFastHeap::deallocateResolved(const ObjectRef &Ref, SiteId FreeSite) {
+  if (!Heap.deallocateResolved(Ref, FreeSite)) {
+    Stats = Heap.stats();
+    return; // Double free: counted and ignored (Table 1).
+  }
+  afterFree(Ref);
+}
+
+void DieFastHeap::deallocateImpl(void *Ptr,
+                                 std::optional<SiteId> SiteOverride) {
+  ObjectRef Ref;
+  if (!Heap.deallocateWithRef(Ptr, Ref, SiteOverride)) {
+    Stats = Heap.stats();
+    return; // Invalid or double free: counted and ignored (Table 1).
+  }
+  afterFree(Ref);
+}
+
+void DieFastHeap::afterFree(const ObjectRef &Ref) {
+  Stats = Heap.stats();
+
+  // Check the preceding and following objects: random placement means the
+  // identity of these neighbors differs from run to run, so repeated runs
+  // check different pairs and detect overflows within E(H) frees (§3.3).
+  if (std::optional<ObjectRef> Prev = Heap.previousSlot(Ref)) {
+    const Miniheap &Mini = Heap.miniheap(*Prev);
+    if (!Mini.isAllocated(Prev->SlotIndex) && Mini.slot(Prev->SlotIndex).Canaried)
+      checkSlot(*Prev, ErrorSignalKind::CanaryCorruptOnFree);
+  }
+  if (std::optional<ObjectRef> Next = Heap.nextSlot(Ref)) {
+    const Miniheap &Mini = Heap.miniheap(*Next);
+    if (!Mini.isAllocated(Next->SlotIndex) && Mini.slot(Next->SlotIndex).Canaried)
+      checkSlot(*Next, ErrorSignalKind::CanaryCorruptOnFree);
+  }
+
+  // Probabilistically fill the freed object with canaries.  Cumulative
+  // mode needs p < 1 to turn each run into a Bernoulli trial over which
+  // freed objects got canaried (§5.2).
+  Miniheap &Mini = Heap.miniheap(Ref);
+  SlotMetadata &Meta = Mini.slot(Ref.SlotIndex);
+  if (Rng.chance(Config.CanaryFillProbability)) {
+    HeapCanary.fill(Mini.slotPointer(Ref.SlotIndex), Mini.objectSize());
+    Meta.Canaried = true;
+  } else {
+    Meta.Canaried = false;
+  }
+}
+
+bool DieFastHeap::checkSlot(const ObjectRef &Ref, ErrorSignalKind Kind) {
+  Miniheap &Mini = Heap.miniheap(Ref);
+  const uint8_t *Ptr = Mini.slotPointer(Ref.SlotIndex);
+  if (HeapCanary.verify(Ptr, Mini.objectSize()))
+    return true;
+  // Quarantine preserves the corrupted contents for the error isolator.
+  Heap.quarantine(Ref);
+  signalError(Kind, Ref);
+  return false;
+}
+
+void DieFastHeap::signalError(ErrorSignalKind Kind, const ObjectRef &Where) {
+  ++ErrorsSignalled;
+  if (OnError)
+    OnError(ErrorSignal{Kind, Where, Heap.allocationClock()});
+}

@@ -1,0 +1,47 @@
+//===- diefast/ErrorSignal.h - DieFast error reports -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error signals DieFast raises (§3.3–3.4).  In the paper these are
+/// delivered as signals that make Exterminator force a heap-image dump;
+/// here they are a callback carrying the same information (what kind of
+/// check failed, on which slot, at what allocation time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_DIEFAST_ERRORSIGNAL_H
+#define EXTERMINATOR_DIEFAST_ERRORSIGNAL_H
+
+#include "alloc/DieHardHeap.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace exterminator {
+
+/// Which DieFast check detected heap corruption.
+enum class ErrorSignalKind {
+  /// verifyCanary failed on the slot chosen by an allocation.
+  CanaryCorruptOnAlloc,
+  /// verifyCanary failed on a free neighbor of a just-freed object.
+  CanaryCorruptOnFree,
+};
+
+/// One detected corruption event.
+struct ErrorSignal {
+  ErrorSignalKind Kind;
+  /// The corrupted (and now quarantined) slot.
+  ObjectRef Where;
+  /// Allocation-clock value when the corruption was detected.
+  uint64_t DetectionTime;
+};
+
+/// Receives DieFast error signals; typically dumps a heap image.
+using ErrorSignalHandler = std::function<void(const ErrorSignal &)>;
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_DIEFAST_ERRORSIGNAL_H

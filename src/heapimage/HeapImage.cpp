@@ -1,0 +1,104 @@
+//===- heapimage/HeapImage.cpp - Heap image dumps --------------------------===//
+
+#include "heapimage/HeapImage.h"
+
+#include "diefast/DieFastHeap.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace exterminator;
+
+size_t HeapImage::totalSlots() const {
+  size_t Total = 0;
+  for (const ImageMiniheap &Mini : Miniheaps)
+    Total += Mini.Slots.size();
+  return Total;
+}
+
+size_t HeapImage::objectCount() const {
+  size_t Count = 0;
+  for (const ImageMiniheap &Mini : Miniheaps)
+    for (const ImageSlot &Slot : Mini.Slots)
+      if (Slot.ObjectId != 0)
+        ++Count;
+  return Count;
+}
+
+HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap) {
+  HeapImage Image;
+  const DieHardHeap &Inner = Heap.heap();
+  Image.AllocationTime = Inner.allocationClock();
+  Image.CanaryValue = Heap.canary().value();
+  Image.CanaryFillProbability = Heap.canaryFillProbability();
+  Image.Multiplier = Inner.multiplier();
+  Image.HeapSeed = Inner.config().Seed;
+
+  Inner.forEachMiniheap([&](unsigned /*ClassIndex*/, unsigned /*HeapIndex*/,
+                            const Miniheap &Mini) {
+    ImageMiniheap Out;
+    Out.SizeClassIndex = Mini.sizeClassIndex();
+    Out.ObjectSize = Mini.objectSize();
+    Out.BaseAddress = reinterpret_cast<uint64_t>(Mini.base());
+    Out.CreationTime = Mini.creationTime();
+    Out.Slots.resize(Mini.numSlots());
+    for (size_t I = 0; I < Mini.numSlots(); ++I) {
+      const SlotMetadata &Meta = Mini.slot(I);
+      ImageSlot &Slot = Out.Slots[I];
+      Slot.Allocated = Mini.isAllocated(I);
+      Slot.Bad = Meta.Bad;
+      Slot.Canaried = Meta.Canaried;
+      Slot.ObjectId = Meta.ObjectId;
+      Slot.AllocTime = Meta.AllocTime;
+      Slot.FreeTime = Meta.FreeTime;
+      Slot.AllocSite = Meta.AllocSite;
+      Slot.FreeSite = Meta.FreeSite;
+      Slot.RequestedSize = Meta.RequestedSize;
+      Slot.Contents.assign(Mini.slotPointer(I),
+                           Mini.slotPointer(I) + Mini.objectSize());
+    }
+    Image.Miniheaps.push_back(std::move(Out));
+  });
+  return Image;
+}
+
+ImageIndex::ImageIndex(const HeapImage &Image) : Image(Image) {
+  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
+    const ImageMiniheap &Mini = Image.Miniheaps[M];
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S)
+      if (uint64_t Id = Mini.Slots[S].ObjectId)
+        ById.emplace(Id, ImageLocation{M, S});
+    ByAddress.push_back(M);
+  }
+  std::sort(ByAddress.begin(), ByAddress.end(), [&](uint32_t A, uint32_t B) {
+    return Image.Miniheaps[A].BaseAddress < Image.Miniheaps[B].BaseAddress;
+  });
+}
+
+std::optional<ImageLocation> ImageIndex::findById(uint64_t ObjectId) const {
+  auto It = ById.find(ObjectId);
+  if (It == ById.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<std::pair<ImageLocation, uint64_t>>
+ImageIndex::locateAddress(uint64_t Address) const {
+  // Binary search for the last miniheap whose base is <= Address.
+  auto It = std::upper_bound(
+      ByAddress.begin(), ByAddress.end(), Address,
+      [&](uint64_t Addr, uint32_t M) {
+        return Addr < Image.Miniheaps[M].BaseAddress;
+      });
+  if (It == ByAddress.begin())
+    return std::nullopt;
+  const uint32_t M = *--It;
+  const ImageMiniheap &Mini = Image.Miniheaps[M];
+  const uint64_t End =
+      Mini.BaseAddress + Mini.Slots.size() * Mini.ObjectSize;
+  if (Address < Mini.BaseAddress || Address >= End)
+    return std::nullopt;
+  const uint64_t Offset = Address - Mini.BaseAddress;
+  ImageLocation Loc{M, static_cast<uint32_t>(Offset / Mini.ObjectSize)};
+  return std::make_pair(Loc, Offset % Mini.ObjectSize);
+}

@@ -1,0 +1,135 @@
+//===- heapimage/HeapImage.h - Heap image dumps ----------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap images (§3.4): when DieFast signals an error, the voter detects
+/// divergence, or the program crashes, Exterminator dumps the complete
+/// state of the heap — "akin to a core dump, but contains less data (e.g.,
+/// no code), and is organized to simplify processing".
+///
+/// An image records the allocation time of the dump (the *malloc
+/// breakpoint* for replay runs), the heap's canary, and for every miniheap
+/// its base address plus per-slot metadata and raw contents.  ImageIndex
+/// provides the two lookups the error isolator lives on: object-id →
+/// location (ids identify the same logical object across
+/// differently-randomized heaps) and address → location (pointer
+/// identification, §4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_HEAPIMAGE_HEAPIMAGE_H
+#define EXTERMINATOR_HEAPIMAGE_HEAPIMAGE_H
+
+#include "support/SiteHash.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace exterminator {
+
+class DieFastHeap;
+
+/// One object slot as captured in an image.
+struct ImageSlot {
+  bool Allocated = false;
+  bool Bad = false;
+  bool Canaried = false;
+  uint64_t ObjectId = 0;
+  uint64_t AllocTime = 0;
+  uint64_t FreeTime = 0;
+  SiteId AllocSite = 0;
+  SiteId FreeSite = 0;
+  uint32_t RequestedSize = 0;
+  /// Raw slot contents (exactly the miniheap's object size).
+  std::vector<uint8_t> Contents;
+};
+
+/// One miniheap as captured in an image.
+struct ImageMiniheap {
+  uint32_t SizeClassIndex = 0;
+  uint64_t ObjectSize = 0;
+  /// Slab base address in the dumping process.  Addresses are only
+  /// meaningful within one image; cross-image identity uses object ids.
+  uint64_t BaseAddress = 0;
+  uint64_t CreationTime = 0;
+  std::vector<ImageSlot> Slots;
+
+  uint64_t slotAddress(size_t Slot) const {
+    return BaseAddress + Slot * ObjectSize;
+  }
+};
+
+/// Locates a slot within an image.
+struct ImageLocation {
+  uint32_t MiniheapIndex = 0;
+  uint32_t SlotIndex = 0;
+
+  bool operator==(const ImageLocation &Other) const = default;
+};
+
+/// A complete heap image.
+struct HeapImage {
+  /// Allocation clock at dump time ("the current allocation time,
+  /// measured by the number of allocations to date").
+  uint64_t AllocationTime = 0;
+  /// The dumping heap's random canary value.
+  uint32_t CanaryValue = 0;
+  /// Canary fill probability p in effect (1.0 outside cumulative mode).
+  double CanaryFillProbability = 1.0;
+  /// Heap multiplier M.
+  double Multiplier = 2.0;
+  /// Seed of the dumping heap, recorded for reproducibility reports.
+  uint64_t HeapSeed = 0;
+  std::vector<ImageMiniheap> Miniheaps;
+
+  const ImageSlot &slot(const ImageLocation &Loc) const {
+    return Miniheaps[Loc.MiniheapIndex].Slots[Loc.SlotIndex];
+  }
+  const ImageMiniheap &miniheap(const ImageLocation &Loc) const {
+    return Miniheaps[Loc.MiniheapIndex];
+  }
+  uint64_t slotAddress(const ImageLocation &Loc) const {
+    return Miniheaps[Loc.MiniheapIndex].slotAddress(Loc.SlotIndex);
+  }
+
+  /// Total number of object slots across all miniheaps.
+  size_t totalSlots() const;
+
+  /// Number of slots holding objects (live or freed-with-history).
+  size_t objectCount() const;
+};
+
+/// Captures a heap image from a live DieFast heap.
+HeapImage captureHeapImage(const DieFastHeap &Heap);
+
+/// Fast lookups over one image.
+class ImageIndex {
+public:
+  explicit ImageIndex(const HeapImage &Image);
+
+  /// Finds the slot currently associated with \p ObjectId (the id of its
+  /// last — possibly still live — owner).
+  std::optional<ImageLocation> findById(uint64_t ObjectId) const;
+
+  /// Finds the slot containing address \p Address, with the byte offset
+  /// into the slot.
+  std::optional<std::pair<ImageLocation, uint64_t>>
+  locateAddress(uint64_t Address) const;
+
+  const HeapImage &image() const { return Image; }
+
+private:
+  const HeapImage &Image;
+  std::unordered_map<uint64_t, ImageLocation> ById;
+  /// Miniheap index sorted by base address for binary search.
+  std::vector<uint32_t> ByAddress;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_HEAPIMAGE_HEAPIMAGE_H

@@ -1,0 +1,101 @@
+//===- heapimage/HeapImageIO.cpp - Heap image (de)serialization ------------===//
+
+#include "heapimage/HeapImageIO.h"
+
+#include "support/Serializer.h"
+
+using namespace exterminator;
+
+// Format magic/version: bump when the layout changes.
+static constexpr uint32_t ImageMagic = 0x58484931; // "XHI1"
+
+std::vector<uint8_t> exterminator::serializeHeapImage(const HeapImage &Image) {
+  ByteWriter Writer;
+  Writer.writeU32(ImageMagic);
+  Writer.writeU64(Image.AllocationTime);
+  Writer.writeU32(Image.CanaryValue);
+  Writer.writeF64(Image.CanaryFillProbability);
+  Writer.writeF64(Image.Multiplier);
+  Writer.writeU64(Image.HeapSeed);
+  Writer.writeU64(Image.Miniheaps.size());
+  for (const ImageMiniheap &Mini : Image.Miniheaps) {
+    Writer.writeU32(Mini.SizeClassIndex);
+    Writer.writeU64(Mini.ObjectSize);
+    Writer.writeU64(Mini.BaseAddress);
+    Writer.writeU64(Mini.CreationTime);
+    Writer.writeU64(Mini.Slots.size());
+    for (const ImageSlot &Slot : Mini.Slots) {
+      uint8_t Flags = (Slot.Allocated ? 1 : 0) | (Slot.Bad ? 2 : 0) |
+                      (Slot.Canaried ? 4 : 0);
+      Writer.writeU8(Flags);
+      Writer.writeU64(Slot.ObjectId);
+      Writer.writeU64(Slot.AllocTime);
+      Writer.writeU64(Slot.FreeTime);
+      Writer.writeU32(Slot.AllocSite);
+      Writer.writeU32(Slot.FreeSite);
+      Writer.writeU32(Slot.RequestedSize);
+      Writer.writeBlob(Slot.Contents);
+    }
+  }
+  return Writer.buffer();
+}
+
+bool exterminator::deserializeHeapImage(const std::vector<uint8_t> &Buffer,
+                                        HeapImage &ImageOut) {
+  ByteReader Reader(Buffer);
+  if (Reader.readU32() != ImageMagic)
+    return false;
+  ImageOut = HeapImage();
+  ImageOut.AllocationTime = Reader.readU64();
+  ImageOut.CanaryValue = Reader.readU32();
+  ImageOut.CanaryFillProbability = Reader.readF64();
+  ImageOut.Multiplier = Reader.readF64();
+  ImageOut.HeapSeed = Reader.readU64();
+  const uint64_t NumMiniheaps = Reader.readU64();
+  if (Reader.failed())
+    return false;
+  ImageOut.Miniheaps.reserve(NumMiniheaps);
+  for (uint64_t M = 0; M < NumMiniheaps; ++M) {
+    ImageMiniheap Mini;
+    Mini.SizeClassIndex = Reader.readU32();
+    Mini.ObjectSize = Reader.readU64();
+    Mini.BaseAddress = Reader.readU64();
+    Mini.CreationTime = Reader.readU64();
+    const uint64_t NumSlots = Reader.readU64();
+    if (Reader.failed())
+      return false;
+    Mini.Slots.reserve(NumSlots);
+    for (uint64_t S = 0; S < NumSlots; ++S) {
+      ImageSlot Slot;
+      const uint8_t Flags = Reader.readU8();
+      Slot.Allocated = Flags & 1;
+      Slot.Bad = Flags & 2;
+      Slot.Canaried = Flags & 4;
+      Slot.ObjectId = Reader.readU64();
+      Slot.AllocTime = Reader.readU64();
+      Slot.FreeTime = Reader.readU64();
+      Slot.AllocSite = Reader.readU32();
+      Slot.FreeSite = Reader.readU32();
+      Slot.RequestedSize = Reader.readU32();
+      Slot.Contents = Reader.readBlob();
+      if (Reader.failed())
+        return false;
+      Mini.Slots.push_back(std::move(Slot));
+    }
+    ImageOut.Miniheaps.push_back(std::move(Mini));
+  }
+  return Reader.atEnd();
+}
+
+bool exterminator::saveHeapImage(const HeapImage &Image,
+                                 const std::string &Path) {
+  return writeFileBytes(Path, serializeHeapImage(Image));
+}
+
+bool exterminator::loadHeapImage(const std::string &Path,
+                                 HeapImage &ImageOut) {
+  std::vector<uint8_t> Buffer;
+  if (!readFileBytes(Path, Buffer))
+    return false;
+  return deserializeHeapImage(Buffer, ImageOut);
+}

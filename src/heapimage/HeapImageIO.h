@@ -1,0 +1,41 @@
+//===- heapimage/HeapImageIO.h - Heap image (de)serialization --*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of heap images (§3.4).  Iterative mode stores an
+/// image per run on disk and post-processes them; this module is that disk
+/// format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_HEAPIMAGE_HEAPIMAGEIO_H
+#define EXTERMINATOR_HEAPIMAGE_HEAPIMAGEIO_H
+
+#include "heapimage/HeapImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Encodes \p Image into a self-describing byte buffer.
+std::vector<uint8_t> serializeHeapImage(const HeapImage &Image);
+
+/// Decodes an image; returns false (leaving \p ImageOut unspecified) on a
+/// malformed buffer.
+bool deserializeHeapImage(const std::vector<uint8_t> &Buffer,
+                          HeapImage &ImageOut);
+
+/// Saves \p Image to \p Path; returns false on I/O failure.
+bool saveHeapImage(const HeapImage &Image, const std::string &Path);
+
+/// Loads an image from \p Path; returns false on I/O or format failure.
+bool loadHeapImage(const std::string &Path, HeapImage &ImageOut);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_HEAPIMAGE_HEAPIMAGEIO_H

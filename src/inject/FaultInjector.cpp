@@ -1,0 +1,101 @@
+//===- inject/FaultInjector.cpp - Fault injection ---------------------------===//
+
+#include "inject/FaultInjector.h"
+
+#include "inject/FaultPlan.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace exterminator;
+
+FaultInjector::FaultInjector(Allocator &Inner, const FaultPlan &Plan)
+    : Inner(Inner), Plan(Plan) {}
+
+FaultInjector::~FaultInjector() = default;
+
+void *FaultInjector::allocate(size_t Size) {
+  void *Ptr = Inner.allocate(Size);
+  Stats = Inner.stats();
+  if (!Ptr)
+    return Ptr;
+  ++AllocCount;
+
+  switch (Plan.Kind) {
+  case FaultKind::None:
+    break;
+
+  case FaultKind::BufferOverflow:
+  case FaultKind::BufferUnderflow:
+    if (AllocCount == Plan.TriggerAllocation) {
+      OverflowTarget = Ptr;
+      OverflowTargetSize = Size;
+      OverflowDueAt = AllocCount + Plan.OverflowDelay;
+    }
+    fireOverflowIfDue();
+    break;
+
+  case FaultKind::PrematureFree:
+    Live.push_back(LiveObject{Ptr, AllocCount});
+    if (AllocCount == Plan.TriggerAllocation && !Fired && !Live.empty()) {
+      // Free one of the oldest still-live objects behind the program's
+      // back; the choice depends only on the application-level allocation
+      // order, so it is identical across differently-randomized heaps.
+      RandomGenerator Rng(Plan.PatternSeed);
+      const uint64_t Window =
+          std::min<uint64_t>(Plan.VictimWindow, Live.size());
+      const size_t Pick = static_cast<size_t>(Rng.nextBelow(Window));
+      Victim = Live[Pick].Ptr;
+      Live.erase(Live.begin() + Pick);
+      Inner.deallocate(Victim);
+      Stats = Inner.stats();
+      Fired = true;
+    }
+    break;
+  }
+  return Ptr;
+}
+
+void FaultInjector::deallocate(void *Ptr) {
+  if (Plan.Kind == FaultKind::PrematureFree) {
+    auto It = std::find_if(Live.begin(), Live.end(), [&](const LiveObject &O) {
+      return O.Ptr == Ptr;
+    });
+    if (It != Live.end())
+      Live.erase(It);
+    // The program freeing the injected victim again is the double free
+    // the heap must tolerate; forward it unchanged.
+  }
+  if ((Plan.Kind == FaultKind::BufferOverflow ||
+       Plan.Kind == FaultKind::BufferUnderflow) &&
+      Ptr == OverflowTarget && !Fired) {
+    // Target freed before the overrun was due: the bug strikes on the
+    // object's last moment instead (keeps plans effective regardless of
+    // object lifetime).
+    fireOverflowIfDue(/*Force=*/true);
+    OverflowTarget = nullptr;
+  }
+  Inner.deallocate(Ptr);
+  Stats = Inner.stats();
+}
+
+void FaultInjector::fireOverflowIfDue(bool Force) {
+  if (Fired || !OverflowTarget)
+    return;
+  if (!Force && AllocCount < OverflowDueAt)
+    return;
+  // A deterministic byte string written just past the requested end of
+  // the buffer (forward) or just before its start (backward, §2.1).
+  // Zero bytes are avoided so the string never masquerades as freshly
+  // zero-filled memory.
+  uint8_t *Start = static_cast<uint8_t *>(OverflowTarget);
+  uint8_t *At = Plan.Kind == FaultKind::BufferUnderflow
+                    ? Start - Plan.OverflowBytes
+                    : Start + OverflowTargetSize;
+  uint64_t State = Plan.PatternSeed;
+  for (uint32_t I = 0; I < Plan.OverflowBytes; ++I) {
+    uint8_t Byte = static_cast<uint8_t>(splitMix64(State) >> 24);
+    At[I] = Byte ? Byte : 0x5a;
+  }
+  Fired = true;
+}

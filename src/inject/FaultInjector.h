@@ -1,0 +1,83 @@
+//===- inject/FaultInjector.h - Fault injection ----------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An allocator decorator that injects memory errors into an otherwise
+/// correct program (§7.2).  It interposes between the workload and the
+/// heap stack, so an injected bug behaves exactly like an application
+/// bug:
+///
+///  * BufferOverflow — remembers the pointer returned for the trigger
+///    allocation and later writes a deterministic byte string past the
+///    *requested* end of that buffer (forward overflow, §2.1).  When a
+///    runtime patch pads the allocation site, the same write lands inside
+///    the enlarged allocation and the bug is corrected.
+///
+///  * PrematureFree — at the trigger allocation, frees one of the
+///    program's oldest live objects behind its back.  The program's own
+///    eventual free becomes a benign double free; its continued use of
+///    the object becomes a dangling-pointer error.  When a runtime patch
+///    defers frees at that site pair, the hidden free is delayed past the
+///    program's last use and the bug is corrected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_INJECT_FAULTINJECTOR_H
+#define EXTERMINATOR_INJECT_FAULTINJECTOR_H
+
+#include "alloc/Allocator.h"
+#include "inject/FaultPlan.h"
+#include "support/RandomGenerator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// Wraps an allocator and injects the faults described by a plan.
+class FaultInjector : public Allocator {
+public:
+  FaultInjector(Allocator &Inner, const FaultPlan &Plan);
+  ~FaultInjector() override;
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *name() const override { return "fault-injector"; }
+
+  /// Whether the fault has fired this run.
+  bool faultFired() const { return Fired; }
+
+  /// Allocation index observed so far (application clock).
+  uint64_t allocationCount() const { return AllocCount; }
+
+  /// The pointer prematurely freed (PrematureFree), for tests.
+  const void *injectedVictim() const { return Victim; }
+
+private:
+  void fireOverflowIfDue(bool Force = false);
+
+  Allocator &Inner;
+  FaultPlan Plan;
+  uint64_t AllocCount = 0;
+  bool Fired = false;
+
+  // BufferOverflow state.
+  void *OverflowTarget = nullptr;
+  size_t OverflowTargetSize = 0;
+  uint64_t OverflowDueAt = 0;
+
+  // PrematureFree state: live objects in allocation order.
+  struct LiveObject {
+    void *Ptr;
+    uint64_t AllocIndex;
+  };
+  std::vector<LiveObject> Live;
+  void *Victim = nullptr;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_INJECT_FAULTINJECTOR_H

@@ -1,0 +1,65 @@
+//===- inject/FaultPlan.h - Fault injection plans --------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptions of injectable memory errors, mirroring the fault injector
+/// that accompanies the DieHard distribution (§7.2).  A plan is keyed to
+/// *application-level allocation indexes*, which are identical across
+/// differently-randomized heaps — this is exactly the deterministic-error
+/// assumption of iterative/replicated isolation (§2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_INJECT_FAULTPLAN_H
+#define EXTERMINATOR_INJECT_FAULTPLAN_H
+
+#include <cstdint>
+
+namespace exterminator {
+
+/// Kinds of injectable errors.
+enum class FaultKind {
+  None,
+  /// Write OverflowBytes past the requested end of a chosen allocation.
+  BufferOverflow,
+  /// Write OverflowBytes *before* the start of a chosen allocation
+  /// (backward overflow; the §2.1 extension exercises this).
+  BufferUnderflow,
+  /// Free a still-live object behind the program's back, leaving the
+  /// program with a dangling pointer it will keep using.
+  PrematureFree,
+};
+
+/// One injected error.
+struct FaultPlan {
+  FaultKind Kind = FaultKind::None;
+
+  /// The application-level allocation index (1-based) at which the fault
+  /// fires: for overflows, the allocation whose buffer will be overrun;
+  /// for premature frees, the point at which a victim is chosen and
+  /// freed.
+  uint64_t TriggerAllocation = 0;
+
+  /// BufferOverflow: how many bytes past the requested size to write.
+  uint32_t OverflowBytes = 0;
+
+  /// BufferOverflow: perform the overrun this many allocations after the
+  /// target allocation (0 = immediately), modelling a bug that strikes
+  /// later in the object's lifetime.
+  uint64_t OverflowDelay = 0;
+
+  /// Seed for the overflow string contents and the premature-free victim
+  /// choice.  Identical plans inject identical faults in every run.
+  uint64_t PatternSeed = 1;
+
+  /// PrematureFree: choose the victim among the oldest live objects
+  /// (index drawn from [0, VictimWindow) in allocation order).
+  uint64_t VictimWindow = 16;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_INJECT_FAULTPLAN_H

@@ -1,0 +1,109 @@
+//===- isolate/DanglingIsolator.cpp - Dangling-pointer isolation -----------===//
+
+#include "isolate/DanglingIsolator.h"
+
+#include "diefast/Canary.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+DanglingIsolator::DanglingIsolator(const std::vector<HeapImage> &Images,
+                                   const std::vector<ImageIndex> &Indexes)
+    : Images(Images), Indexes(Indexes) {
+  assert(Images.size() == Indexes.size() &&
+         "images and indexes must be parallel");
+}
+
+/// A slot is inspectable for dangling overwrites when its canary was
+/// written and the contents have been preserved: either it is still free,
+/// or DieFast quarantined it on detection.
+static bool isCanaryPreserved(const ImageSlot &Slot) {
+  return Slot.Canaried && (!Slot.Allocated || Slot.Bad);
+}
+
+std::vector<DanglingFinding> DanglingIsolator::isolate() const {
+  std::vector<DanglingFinding> Findings;
+  if (Images.size() < 2)
+    return Findings; // A single image cannot separate overwrite sources.
+
+  const HeapImage &First = Images.front();
+  const Canary FirstCanary = Canary::fromValue(First.CanaryValue);
+
+  for (uint32_t M = 0; M < First.Miniheaps.size(); ++M) {
+    const ImageMiniheap &Mini = First.Miniheaps[M];
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
+      const ImageSlot &Slot = Mini.Slots[S];
+      if (!isCanaryPreserved(Slot) || Slot.ObjectId == 0)
+        continue;
+      std::optional<CorruptionExtent> Extent = FirstCanary.findCorruption(
+          Slot.Contents.data(), Slot.Contents.size());
+      if (!Extent)
+        continue;
+
+      // Gather the same logical object in every other image; it must be
+      // freed, canaried, and corrupted there too.
+      uint64_t UnionBegin = Extent->Begin;
+      uint64_t UnionEnd = Extent->End;
+      std::vector<const ImageSlot *> Slots(Images.size());
+      Slots[0] = &Slot;
+      bool Comparable = true;
+      for (size_t I = 1; I < Images.size() && Comparable; ++I) {
+        std::optional<ImageLocation> Loc = Indexes[I].findById(Slot.ObjectId);
+        if (!Loc) {
+          Comparable = false;
+          break;
+        }
+        const ImageSlot &Other = Images[I].slot(*Loc);
+        if (!isCanaryPreserved(Other) ||
+            Other.Contents.size() != Slot.Contents.size()) {
+          Comparable = false;
+          break;
+        }
+        const Canary OtherCanary = Canary::fromValue(Images[I].CanaryValue);
+        std::optional<CorruptionExtent> OtherExtent =
+            OtherCanary.findCorruption(Other.Contents.data(),
+                                       Other.Contents.size());
+        if (!OtherExtent) {
+          Comparable = false;
+          break;
+        }
+        UnionBegin = std::min(UnionBegin, OtherExtent->Begin);
+        UnionEnd = std::max(UnionEnd, OtherExtent->End);
+        Slots[I] = &Other;
+      }
+      if (!Comparable)
+        continue;
+
+      // The overwrite must be byte-identical across all images over the
+      // union of corrupted ranges.  (Canary values differ per image, so a
+      // written byte colliding with one image's canary still matches: the
+      // slot byte holds the written value either way.)
+      bool Identical = true;
+      for (size_t I = 1; I < Images.size() && Identical; ++I)
+        for (uint64_t B = UnionBegin; B < UnionEnd; ++B)
+          if (Slots[I]->Contents[B] != Slot.Contents[B]) {
+            Identical = false;
+            break;
+          }
+      if (!Identical)
+        continue;
+
+      DanglingFinding Finding;
+      Finding.ObjectId = Slot.ObjectId;
+      Finding.AllocSite = Slot.AllocSite;
+      Finding.FreeSite = Slot.FreeSite;
+      Finding.FreeTime = Slot.FreeTime;
+      // T: the latest allocation time across the images (images taken at
+      // the same malloc breakpoint agree; crash dumps may lag slightly).
+      uint64_t FailureTime = 0;
+      for (const HeapImage &Image : Images)
+        FailureTime = std::max(FailureTime, Image.AllocationTime);
+      Finding.FailureTime = FailureTime;
+      // Extend the object's drag, not its lifetime: 2·(T − τ) + 1 (§6.2).
+      Finding.DeferralTicks = 2 * (FailureTime - Finding.FreeTime) + 1;
+      Findings.push_back(Finding);
+    }
+  }
+  return Findings;
+}

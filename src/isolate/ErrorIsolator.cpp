@@ -1,0 +1,50 @@
+//===- isolate/ErrorIsolator.cpp - Iterative/replicated isolation ----------===//
+
+#include "isolate/ErrorIsolator.h"
+
+using namespace exterminator;
+
+IsolationResult exterminator::isolateErrors(
+    const std::vector<HeapImage> &Images, const IsolationConfig &Config) {
+  IsolationResult Result;
+  if (Images.size() < 2)
+    return Result;
+
+  std::vector<ImageIndex> Indexes;
+  Indexes.reserve(Images.size());
+  for (const HeapImage &Image : Images)
+    Indexes.emplace_back(Image);
+
+  // Dangling overwrites first: identical corruption across images is a
+  // dangling pointer with overwhelming probability (Theorem 1), so those
+  // objects must not feed the overflow analysis.
+  DanglingIsolator Dangling(Images, Indexes);
+  Result.Danglings = Dangling.isolate();
+
+  std::vector<uint64_t> ExcludeIds;
+  ExcludeIds.reserve(Result.Danglings.size());
+  for (const DanglingFinding &Finding : Result.Danglings)
+    ExcludeIds.push_back(Finding.ObjectId);
+
+  OverflowIsolator Overflow(Images, Indexes, Config.Overflow);
+  Result.Overflows = Overflow.isolate(ExcludeIds);
+
+  // Patches: every dangling finding defers its site pair; overflows pad
+  // the most highly-ranked culprit (§6.1) unless configured otherwise.
+  for (const DanglingFinding &Finding : Result.Danglings)
+    Result.Patches.addDeferral(Finding.AllocSite, Finding.FreeSite,
+                               Finding.DeferralTicks);
+  for (const OverflowCandidate &Candidate : Result.Overflows) {
+    if (Candidate.Score < Config.MinPatchScore)
+      break; // Ranked: everything after is below threshold too.
+    if (Candidate.PadBytes > 0)
+      Result.Patches.addPad(Candidate.CulpritAllocSite,
+                            Candidate.PadBytes);
+    if (Candidate.FrontPadBytes > 0)
+      Result.Patches.addFrontPad(Candidate.CulpritAllocSite,
+                                 Candidate.FrontPadBytes);
+    if (!Config.PatchAllCandidates)
+      break;
+  }
+  return Result;
+}

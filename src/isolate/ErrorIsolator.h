@@ -1,0 +1,60 @@
+//===- isolate/ErrorIsolator.h - Iterative/replicated isolation *- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4 error-isolation pipeline: given k heap images of the same
+/// execution (iterative mode) or of replicas over the same input
+/// (replicated mode), classify dangling-pointer overwrites first (their
+/// corruption is identical across images, Theorem 1), exclude them from
+/// overflow evidence, isolate overflow culprits, and emit runtime patches:
+/// a pad for the most highly-ranked overflow culprit (§6.1) and a deferral
+/// for every dangling finding (§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_ISOLATE_ERRORISOLATOR_H
+#define EXTERMINATOR_ISOLATE_ERRORISOLATOR_H
+
+#include "isolate/DanglingIsolator.h"
+#include "isolate/OverflowIsolator.h"
+#include "patch/RuntimePatch.h"
+
+#include <vector>
+
+namespace exterminator {
+
+/// Tuning for the full isolation pipeline.
+struct IsolationConfig {
+  OverflowIsolatorConfig Overflow;
+  /// Patch every overflow candidate at or above this score rather than
+  /// only the top-ranked one (off by default; the paper patches "the most
+  /// highly-ranked culprit").
+  bool PatchAllCandidates = false;
+  /// Candidates below this score never generate patches.
+  double MinPatchScore = 0.5;
+};
+
+/// Everything one isolation episode produced.
+struct IsolationResult {
+  /// Overflow culprits, ranked best-first.
+  std::vector<OverflowCandidate> Overflows;
+  /// Dangling-pointer overwrites.
+  std::vector<DanglingFinding> Danglings;
+  /// The runtime patches derived from the findings.
+  PatchSet Patches;
+
+  bool foundAnything() const {
+    return !Overflows.empty() || !Danglings.empty();
+  }
+};
+
+/// Runs the complete §4 isolation pipeline over a set of heap images.
+IsolationResult isolateErrors(const std::vector<HeapImage> &Images,
+                              const IsolationConfig &Config = {});
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_ISOLATE_ERRORISOLATOR_H

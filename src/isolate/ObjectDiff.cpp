@@ -1,0 +1,235 @@
+//===- isolate/ObjectDiff.cpp - Corruption evidence gathering --------------===//
+
+#include "isolate/ObjectDiff.h"
+
+#include "diefast/Canary.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+using namespace exterminator;
+
+EvidenceCollector::EvidenceCollector(const std::vector<HeapImage> &Images,
+                                     const std::vector<ImageIndex> &Indexes)
+    : Images(Images), Indexes(Indexes) {
+  assert(Images.size() == Indexes.size() &&
+         "images and indexes must be parallel");
+}
+
+std::vector<CorruptionRegion> EvidenceCollector::collectCanaryEvidence(
+    uint32_t ImageIndex, const std::vector<uint64_t> &ExcludeIds) const {
+  const HeapImage &Image = Images[ImageIndex];
+  const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
+  const std::unordered_set<uint64_t> Excluded(ExcludeIds.begin(),
+                                              ExcludeIds.end());
+
+  std::vector<CorruptionRegion> Evidence;
+  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
+    const ImageMiniheap &Mini = Image.Miniheaps[M];
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
+      const ImageSlot &Slot = Mini.Slots[S];
+      // Canary checks apply to canaried slots that are free, or that
+      // DieFast quarantined after finding them corrupted (still holding
+      // their canary-era contents).
+      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+        continue;
+      if (Excluded.count(Slot.ObjectId))
+        continue;
+      std::optional<CorruptionExtent> Extent = HeapCanary.findCorruption(
+          Slot.Contents.data(), Slot.Contents.size());
+      if (!Extent)
+        continue;
+      CorruptionRegion Region;
+      Region.ImageIndex = ImageIndex;
+      Region.Victim = ImageLocation{M, S};
+      Region.BeginAddress = Mini.slotAddress(S) + Extent->Begin;
+      Region.EndAddress = Mini.slotAddress(S) + Extent->End;
+      Region.Bytes.assign(Slot.Contents.begin() + Extent->Begin,
+                          Slot.Contents.begin() + Extent->End);
+      Evidence.push_back(std::move(Region));
+    }
+  }
+  return Evidence;
+}
+
+WordClassKind
+EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
+                                const std::vector<uint64_t> &Values) const {
+  assert(Values.size() == Images.size() && "one value per image");
+  (void)ObjectId;
+  (void)WordOffset;
+
+  bool AllEqual = true;
+  for (size_t I = 1; I < Values.size(); ++I)
+    if (Values[I] != Values[0])
+      AllEqual = false;
+  if (AllEqual)
+    return WordClassKind::Equal;
+
+  // Pointer identification: the value points into the heap and resolves
+  // to the same logical object at the same offset in every image (§4.1).
+  bool AllPointers = true;
+  uint64_t PointeeId = 0;
+  uint64_t PointeeOffset = 0;
+  for (size_t I = 0; I < Values.size() && AllPointers; ++I) {
+    auto Located = Indexes[I].locateAddress(Values[I]);
+    if (!Located) {
+      AllPointers = false;
+      break;
+    }
+    const ImageSlot &Pointee = Images[I].slot(Located->first);
+    if (Pointee.ObjectId == 0) {
+      AllPointers = false;
+      break;
+    }
+    if (I == 0) {
+      PointeeId = Pointee.ObjectId;
+      PointeeOffset = Located->second;
+    } else if (Pointee.ObjectId != PointeeId ||
+               Located->second != PointeeOffset) {
+      AllPointers = false;
+    }
+  }
+  if (AllPointers)
+    return WordClassKind::LogicalPointer;
+
+  // Values that legitimately differ per process (pids, handles,
+  // address-dependent values) differ in *every* image.
+  bool PairwiseDistinct = true;
+  for (size_t I = 0; I < Values.size() && PairwiseDistinct; ++I)
+    for (size_t J = I + 1; J < Values.size(); ++J)
+      if (Values[I] == Values[J]) {
+        PairwiseDistinct = false;
+        break;
+      }
+  if (PairwiseDistinct)
+    return WordClassKind::LegitimatelyDifferent;
+
+  return WordClassKind::OverflowEvidence;
+}
+
+void EvidenceCollector::diffLiveObject(
+    uint64_t ObjectId, std::vector<CorruptionRegion> &EvidenceOut) const {
+  const size_t K = Images.size();
+  if (K < 3)
+    return; // A plurality needs at least three images (DESIGN.md).
+
+  // The object must be live, unquarantined, and of identical size in
+  // every image; otherwise it is not comparable.
+  std::vector<ImageLocation> Locations(K);
+  for (size_t I = 0; I < K; ++I) {
+    std::optional<ImageLocation> Loc = Indexes[I].findById(ObjectId);
+    if (!Loc)
+      return;
+    const ImageSlot &Slot = Images[I].slot(*Loc);
+    if (!Slot.Allocated || Slot.Bad)
+      return;
+    Locations[I] = *Loc;
+  }
+  const uint64_t ObjectSize = Images[0].miniheap(Locations[0]).ObjectSize;
+  for (size_t I = 1; I < K; ++I)
+    if (Images[I].miniheap(Locations[I]).ObjectSize != ObjectSize)
+      return;
+  std::vector<uint64_t> Values(K);
+  for (uint64_t Offset = 0; Offset + 8 <= ObjectSize; Offset += 8) {
+    for (size_t I = 0; I < K; ++I) {
+      const ImageSlot &Slot = Images[I].slot(Locations[I]);
+      std::memcpy(&Values[I], Slot.Contents.data() + Offset, 8);
+    }
+    if (classifyWord(ObjectId, Offset, Values) !=
+        WordClassKind::OverflowEvidence)
+      continue;
+
+    // Attribute the corruption to the minority image(s): those that
+    // disagree with the plurality value.
+    uint64_t Plurality = Values[0];
+    size_t BestCount = 0;
+    for (size_t I = 0; I < K; ++I) {
+      size_t Count = 0;
+      for (size_t J = 0; J < K; ++J)
+        if (Values[J] == Values[I])
+          ++Count;
+      if (Count > BestCount) {
+        BestCount = Count;
+        Plurality = Values[I];
+      }
+    }
+    for (size_t I = 0; I < K; ++I) {
+      if (Values[I] == Plurality)
+        continue;
+      // Trim to the bytes that actually differ from the plurality value
+      // for byte-precise overflow extents.
+      const ImageSlot &Slot = Images[I].slot(Locations[I]);
+      uint8_t PluralityBytes[8];
+      std::memcpy(PluralityBytes, &Plurality, 8);
+      uint64_t First = 8, Last = 0;
+      for (uint64_t B = 0; B < 8; ++B) {
+        if (Slot.Contents[Offset + B] != PluralityBytes[B]) {
+          First = std::min(First, B);
+          Last = B + 1;
+        }
+      }
+      assert(First < Last && "differing word must differ in some byte");
+      CorruptionRegion Region;
+      Region.ImageIndex = static_cast<uint32_t>(I);
+      Region.Victim = Locations[I];
+      const uint64_t SlotAddr = Images[I].slotAddress(Locations[I]);
+      Region.BeginAddress = SlotAddr + Offset + First;
+      Region.EndAddress = SlotAddr + Offset + Last;
+      Region.Bytes.assign(Slot.Contents.begin() + Offset + First,
+                          Slot.Contents.begin() + Offset + Last);
+      EvidenceOut.push_back(std::move(Region));
+    }
+  }
+}
+
+std::vector<std::vector<CorruptionRegion>> EvidenceCollector::collectAllEvidence(
+    const std::vector<uint64_t> &ExcludeIds) const {
+  std::vector<std::vector<CorruptionRegion>> ByImage(Images.size());
+  for (uint32_t I = 0; I < Images.size(); ++I)
+    ByImage[I] = collectCanaryEvidence(I, ExcludeIds);
+
+  // Diff every object that is live in image 0 (liveness elsewhere is
+  // checked inside diffLiveObject).
+  std::vector<CorruptionRegion> DiffEvidence;
+  const HeapImage &First = Images.front();
+  for (const ImageMiniheap &Mini : First.Miniheaps)
+    for (const ImageSlot &Slot : Mini.Slots)
+      if (Slot.Allocated && !Slot.Bad && Slot.ObjectId != 0)
+        diffLiveObject(Slot.ObjectId, DiffEvidence);
+  for (CorruptionRegion &Region : DiffEvidence)
+    ByImage[Region.ImageIndex].push_back(std::move(Region));
+
+  for (auto &Regions : ByImage)
+    coalesceRegions(Regions);
+  return ByImage;
+}
+
+void exterminator::coalesceRegions(std::vector<CorruptionRegion> &Regions) {
+  if (Regions.size() < 2)
+    return;
+  std::sort(Regions.begin(), Regions.end(),
+            [](const CorruptionRegion &A, const CorruptionRegion &B) {
+              return A.BeginAddress < B.BeginAddress;
+            });
+  std::vector<CorruptionRegion> Merged;
+  Merged.push_back(std::move(Regions.front()));
+  for (size_t I = 1; I < Regions.size(); ++I) {
+    CorruptionRegion &Last = Merged.back();
+    CorruptionRegion &Next = Regions[I];
+    if (Next.ImageIndex == Last.ImageIndex &&
+        Next.BeginAddress <= Last.EndAddress) {
+      if (Next.EndAddress > Last.EndAddress) {
+        // Extend; splice in the non-overlapping suffix of Next's bytes.
+        const uint64_t Keep = Next.EndAddress - Last.EndAddress;
+        Last.Bytes.insert(Last.Bytes.end(), Next.Bytes.end() - Keep,
+                          Next.Bytes.end());
+        Last.EndAddress = Next.EndAddress;
+      }
+    } else {
+      Merged.push_back(std::move(Next));
+    }
+  }
+  Regions = std::move(Merged);
+}

@@ -1,0 +1,192 @@
+//===- isolate/OverflowIsolator.cpp - Buffer-overflow isolation ------------===//
+
+#include "isolate/OverflowIsolator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace exterminator;
+
+OverflowIsolator::OverflowIsolator(const std::vector<HeapImage> &Images,
+                                   const std::vector<ImageIndex> &Indexes,
+                                   const OverflowIsolatorConfig &Config)
+    : Images(Images), Indexes(Indexes), Config(Config) {
+  assert(Images.size() == Indexes.size() &&
+         "images and indexes must be parallel");
+}
+
+namespace {
+
+/// A corruption region re-expressed as byte offsets relative to a culprit
+/// candidate's object start within one image.  Offsets are signed:
+/// negative offsets are backward-overflow evidence (§2.1 extension).
+struct RelativeRegion {
+  uint32_t ImageIndex;
+  int64_t BeginOffset;
+  int64_t EndOffset;
+  const std::vector<uint8_t> *Bytes;
+};
+
+} // namespace
+
+std::vector<OverflowCandidate>
+OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
+  std::vector<OverflowCandidate> Result;
+  if (Images.size() < 2)
+    return Result; // Theorem 3: one image leaves H−1 candidates per victim.
+
+  const EvidenceCollector Collector(Images, Indexes);
+  const std::vector<std::vector<CorruptionRegion>> ByImage =
+      Collector.collectAllEvidence(ExcludeIds);
+
+  // Enumerate candidate culprits: for each victim region, every object at
+  // a lower address in the same miniheap could be a forward-overflow
+  // source; with the backward extension, objects at higher addresses are
+  // candidates too.
+  std::unordered_map<uint64_t, bool> CandidateIds;
+  for (uint32_t I = 0; I < ByImage.size(); ++I) {
+    for (const CorruptionRegion &Region : ByImage[I]) {
+      const ImageMiniheap &Mini =
+          Images[I].Miniheaps[Region.Victim.MiniheapIndex];
+      const uint32_t Limit = Config.DetectBackwardOverflows
+                                 ? static_cast<uint32_t>(Mini.Slots.size())
+                                 : Region.Victim.SlotIndex;
+      for (uint32_t C = 0; C < Limit; ++C) {
+        if (C == Region.Victim.SlotIndex)
+          continue;
+        const uint64_t Id = Mini.Slots[C].ObjectId;
+        if (Id != 0)
+          CandidateIds.emplace(Id, true);
+      }
+    }
+  }
+
+  for (const auto &[CulpritId, Unused] : CandidateIds) {
+    (void)Unused;
+
+    // Locate the culprit in every image; candidates whose slot has been
+    // recycled in some image cannot be cross-checked.
+    std::vector<ImageLocation> Locations(Images.size());
+    bool Present = true;
+    for (size_t I = 0; I < Images.size() && Present; ++I) {
+      std::optional<ImageLocation> Loc = Indexes[I].findById(CulpritId);
+      if (!Loc)
+        Present = false;
+      else
+        Locations[I] = *Loc;
+    }
+    if (!Present)
+      continue;
+
+    const ImageSlot &CulpritSlot = Images[0].slot(Locations[0]);
+    const uint32_t RequestedSize = CulpritSlot.RequestedSize;
+
+    // Project every image's corruption regions into culprit-relative
+    // offsets; a deterministic overflow produces the same offsets (same
+    // distance δ) in every image, while unrelated corruption lands at
+    // random offsets (Theorem 3).
+    std::vector<RelativeRegion> Relative;
+    for (uint32_t I = 0; I < ByImage.size(); ++I) {
+      const ImageMiniheap &CulpritMini = Images[I].miniheap(Locations[I]);
+      const uint64_t CulpritStart = Images[I].slotAddress(Locations[I]);
+      const uint64_t MiniEnd = CulpritMini.BaseAddress +
+                               CulpritMini.Slots.size() * CulpritMini.ObjectSize;
+      for (const CorruptionRegion &Region : ByImage[I]) {
+        if (Region.BeginAddress < CulpritMini.BaseAddress ||
+            Region.EndAddress > MiniEnd)
+          continue; // Overflows do not cross miniheaps (§5.1 assumption).
+        const int64_t Begin = static_cast<int64_t>(Region.BeginAddress) -
+                              static_cast<int64_t>(CulpritStart);
+        const int64_t End = static_cast<int64_t>(Region.EndAddress) -
+                            static_cast<int64_t>(CulpritStart);
+        // Corruption confined to the culprit's own requested bytes is not
+        // overflow evidence against it; backward evidence (negative
+        // offsets) only counts when the extension is enabled.
+        const bool Forward = End > static_cast<int64_t>(RequestedSize);
+        const bool Backward = Config.DetectBackwardOverflows && Begin < 0;
+        if (!Forward && !Backward)
+          continue;
+        Relative.push_back(RelativeRegion{I, Begin, End, &Region.Bytes});
+      }
+    }
+    if (Relative.empty())
+      continue;
+
+    // Byte-level cross-image agreement: an offset counts as evidence for
+    // an image when that image's observed byte agrees with at least one
+    // *other* image at the same culprit-relative offset ("the overflowed
+    // values have some bytes in common across the images").
+    std::map<int64_t, std::vector<std::pair<uint32_t, uint8_t>>> ByOffset;
+    for (const RelativeRegion &Rel : Relative)
+      for (int64_t Offset = Rel.BeginOffset; Offset < Rel.EndOffset;
+           ++Offset)
+        ByOffset[Offset].emplace_back(
+            Rel.ImageIndex,
+            (*Rel.Bytes)[static_cast<size_t>(Offset - Rel.BeginOffset)]);
+
+    uint64_t EvidenceBytes = 0;
+    int64_t MaxEndOffset = 0;
+    int64_t MinBeginOffset = 0;
+    std::vector<bool> ImageConfirmed(Images.size(), false);
+    for (const auto &[Offset, Observations] : ByOffset) {
+      for (size_t A = 0; A < Observations.size(); ++A) {
+        bool Agrees = false;
+        for (size_t B = 0; B < Observations.size(); ++B)
+          if (B != A && Observations[B].first != Observations[A].first &&
+              Observations[B].second == Observations[A].second) {
+            Agrees = true;
+            break;
+          }
+        if (Agrees) {
+          ++EvidenceBytes;
+          ImageConfirmed[Observations[A].first] = true;
+          if (Offset >= 0)
+            MaxEndOffset = std::max(MaxEndOffset, Offset + 1);
+          else
+            MinBeginOffset = std::min(MinBeginOffset, Offset);
+        }
+      }
+    }
+
+    uint32_t Confirmations = 0;
+    for (bool Confirmed : ImageConfirmed)
+      if (Confirmed)
+        ++Confirmations;
+    // A culprit-victim pair requires corroboration from at least two
+    // differently-randomized heaps (§4.1, "Culprit Identification").
+    if (Confirmations < Config.MinConfirmations || EvidenceBytes == 0)
+      continue;
+
+    OverflowCandidate Candidate;
+    Candidate.CulpritObjectId = CulpritId;
+    Candidate.CulpritAllocSite = CulpritSlot.AllocSite;
+    Candidate.EvidenceBytes = EvidenceBytes;
+    Candidate.Confirmations = Confirmations;
+    // Score 1 − (1/256)^S: the odds that S matching bytes arose by
+    // chance.
+    double Miss = 1.0;
+    for (uint64_t I = 0; I < EvidenceBytes && Miss > 1e-300; ++I)
+      Miss /= 256.0;
+    Candidate.Score = 1.0 - Miss;
+    // Pad so the farthest corruption lands inside the culprit's own
+    // allocation: (corruption end − object start) − requested size; the
+    // front pad covers the deepest backward reach.
+    Candidate.PadBytes = static_cast<uint32_t>(
+        MaxEndOffset > static_cast<int64_t>(RequestedSize)
+            ? MaxEndOffset - RequestedSize
+            : 0);
+    Candidate.FrontPadBytes = static_cast<uint32_t>(-MinBeginOffset);
+    Result.push_back(Candidate);
+  }
+
+  std::sort(Result.begin(), Result.end(),
+            [](const OverflowCandidate &A, const OverflowCandidate &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              if (A.EvidenceBytes != B.EvidenceBytes)
+                return A.EvidenceBytes > B.EvidenceBytes;
+              return A.CulpritObjectId < B.CulpritObjectId;
+            });
+  return Result;
+}

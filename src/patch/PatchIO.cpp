@@ -1,0 +1,75 @@
+//===- patch/PatchIO.cpp - Patch file format --------------------------------===//
+
+#include "patch/PatchIO.h"
+
+#include "support/Serializer.h"
+
+using namespace exterminator;
+
+static constexpr uint32_t PatchMagic = 0x58505432; // "XPT2"
+
+std::vector<uint8_t> exterminator::serializePatchSet(const PatchSet &Patches) {
+  ByteWriter Writer;
+  Writer.writeU32(PatchMagic);
+  const std::vector<PadPatch> Pads = Patches.pads();
+  const std::vector<FrontPadPatch> FrontPads = Patches.frontPads();
+  const std::vector<DeferralPatch> Deferrals = Patches.deferrals();
+  Writer.writeU64(Pads.size());
+  for (const PadPatch &Pad : Pads) {
+    Writer.writeU32(Pad.AllocSite);
+    Writer.writeU32(Pad.PadBytes);
+  }
+  Writer.writeU64(FrontPads.size());
+  for (const FrontPadPatch &Pad : FrontPads) {
+    Writer.writeU32(Pad.AllocSite);
+    Writer.writeU32(Pad.PadBytes);
+  }
+  Writer.writeU64(Deferrals.size());
+  for (const DeferralPatch &Deferral : Deferrals) {
+    Writer.writeU32(Deferral.AllocSite);
+    Writer.writeU32(Deferral.FreeSite);
+    Writer.writeU64(Deferral.DeferTicks);
+  }
+  return Writer.buffer();
+}
+
+bool exterminator::deserializePatchSet(const std::vector<uint8_t> &Buffer,
+                                       PatchSet &PatchesOut) {
+  ByteReader Reader(Buffer);
+  if (Reader.readU32() != PatchMagic)
+    return false;
+  PatchesOut.clear();
+  const uint64_t NumPads = Reader.readU64();
+  for (uint64_t I = 0; I < NumPads && !Reader.failed(); ++I) {
+    SiteId Site = Reader.readU32();
+    uint32_t Pad = Reader.readU32();
+    PatchesOut.addPad(Site, Pad);
+  }
+  const uint64_t NumFrontPads = Reader.readU64();
+  for (uint64_t I = 0; I < NumFrontPads && !Reader.failed(); ++I) {
+    SiteId Site = Reader.readU32();
+    uint32_t Pad = Reader.readU32();
+    PatchesOut.addFrontPad(Site, Pad);
+  }
+  const uint64_t NumDeferrals = Reader.readU64();
+  for (uint64_t I = 0; I < NumDeferrals && !Reader.failed(); ++I) {
+    SiteId AllocSite = Reader.readU32();
+    SiteId FreeSite = Reader.readU32();
+    uint64_t Defer = Reader.readU64();
+    PatchesOut.addDeferral(AllocSite, FreeSite, Defer);
+  }
+  return Reader.atEnd();
+}
+
+bool exterminator::savePatchSet(const PatchSet &Patches,
+                                const std::string &Path) {
+  return writeFileBytes(Path, serializePatchSet(Patches));
+}
+
+bool exterminator::loadPatchSet(const std::string &Path,
+                                PatchSet &PatchesOut) {
+  std::vector<uint8_t> Buffer;
+  if (!readFileBytes(Path, Buffer))
+    return false;
+  return deserializePatchSet(Buffer, PatchesOut);
+}

@@ -1,0 +1,40 @@
+//===- patch/PatchIO.h - Patch file format ---------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime patch file format (§6.3): what the correcting allocator
+/// loads at start-up or on a reload signal, and what collaborating users
+/// exchange (§6.4).  Patch files are bounded by the number of allocation
+/// sites in the program, so they stay compact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_PATCH_PATCHIO_H
+#define EXTERMINATOR_PATCH_PATCHIO_H
+
+#include "patch/RuntimePatch.h"
+
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Encodes \p Patches into a self-describing byte buffer.
+std::vector<uint8_t> serializePatchSet(const PatchSet &Patches);
+
+/// Decodes a patch set; returns false on a malformed buffer.
+bool deserializePatchSet(const std::vector<uint8_t> &Buffer,
+                         PatchSet &PatchesOut);
+
+/// Saves \p Patches to \p Path; returns false on I/O failure.
+bool savePatchSet(const PatchSet &Patches, const std::string &Path);
+
+/// Loads patches from \p Path; returns false on I/O or format failure.
+bool loadPatchSet(const std::string &Path, PatchSet &PatchesOut);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_PATCH_PATCHIO_H

@@ -1,0 +1,26 @@
+//===- patch/PatchMerge.cpp - Collaborative correction ----------------------===//
+
+#include "patch/PatchMerge.h"
+
+#include "patch/PatchIO.h"
+
+using namespace exterminator;
+
+PatchSet exterminator::mergePatchSets(const std::vector<PatchSet> &Sets) {
+  PatchSet Merged;
+  for (const PatchSet &Set : Sets)
+    Merged.merge(Set);
+  return Merged;
+}
+
+bool exterminator::mergePatchFiles(const std::vector<std::string> &Paths,
+                                   const std::string &OutputPath) {
+  PatchSet Merged;
+  for (const std::string &Path : Paths) {
+    PatchSet Loaded;
+    if (!loadPatchSet(Path, Loaded))
+      return false;
+    Merged.merge(Loaded);
+  }
+  return savePatchSet(Merged, OutputPath);
+}

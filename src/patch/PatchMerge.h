@@ -1,0 +1,37 @@
+//===- patch/PatchMerge.h - Collaborative correction -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collaborative bug correction (§6.4): "a simple utility that takes as
+/// input a number of runtime patch files ... and combines these patches by
+/// computing the maximum buffer pad required for any allocation site, and
+/// the maximal deferral amount", producing one patch file covering every
+/// error observed by any user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_PATCH_PATCHMERGE_H
+#define EXTERMINATOR_PATCH_PATCHMERGE_H
+
+#include "patch/RuntimePatch.h"
+
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Max-merges \p Sets into a single patch set.
+PatchSet mergePatchSets(const std::vector<PatchSet> &Sets);
+
+/// Loads every patch file in \p Paths, max-merges them, and writes the
+/// result to \p OutputPath.  Returns false if any file fails to load or
+/// the output fails to write.
+bool mergePatchFiles(const std::vector<std::string> &Paths,
+                     const std::string &OutputPath);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_PATCH_PATCHMERGE_H

@@ -1,0 +1,113 @@
+//===- patch/RuntimePatch.cpp - Runtime patches ----------------------------===//
+
+#include "patch/RuntimePatch.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+void PatchSet::addPad(SiteId AllocSite, uint32_t PadBytes) {
+  uint32_t &Entry = PadTable[AllocSite];
+  if (PadBytes > Entry)
+    Entry = PadBytes;
+}
+
+void PatchSet::addFrontPad(SiteId AllocSite, uint32_t PadBytes) {
+  uint32_t &Entry = FrontPadTable[AllocSite];
+  if (PadBytes > Entry)
+    Entry = PadBytes;
+}
+
+uint32_t PatchSet::frontPadFor(SiteId AllocSite) const {
+  if (FrontPadTable.empty())
+    return 0;
+  auto It = FrontPadTable.find(AllocSite);
+  return It == FrontPadTable.end() ? 0 : It->second;
+}
+
+std::vector<FrontPadPatch> PatchSet::frontPads() const {
+  std::vector<FrontPadPatch> Result;
+  Result.reserve(FrontPadTable.size());
+  for (const auto &[Site, Pad] : FrontPadTable)
+    Result.push_back(FrontPadPatch{Site, Pad});
+  std::sort(Result.begin(), Result.end(),
+            [](const FrontPadPatch &A, const FrontPadPatch &B) {
+              return A.AllocSite < B.AllocSite;
+            });
+  return Result;
+}
+
+void PatchSet::addDeferral(SiteId AllocSite, SiteId FreeSite,
+                           uint64_t DeferTicks) {
+  uint64_t &Entry = DeferralTable[pairKey(AllocSite, FreeSite)];
+  if (DeferTicks > Entry)
+    Entry = DeferTicks;
+}
+
+uint32_t PatchSet::padFor(SiteId AllocSite) const {
+  // Hot path: the correcting allocator queries on every malloc, and most
+  // programs run with few or no patches.
+  if (PadTable.empty())
+    return 0;
+  auto It = PadTable.find(AllocSite);
+  return It == PadTable.end() ? 0 : It->second;
+}
+
+uint64_t PatchSet::deferralFor(SiteId AllocSite, SiteId FreeSite) const {
+  if (DeferralTable.empty())
+    return 0;
+  auto It = DeferralTable.find(pairKey(AllocSite, FreeSite));
+  return It == DeferralTable.end() ? 0 : It->second;
+}
+
+void PatchSet::merge(const PatchSet &Other) {
+  for (const auto &[Site, Pad] : Other.PadTable)
+    addPad(Site, Pad);
+  for (const auto &[Site, Pad] : Other.FrontPadTable)
+    addFrontPad(Site, Pad);
+  for (const auto &[Key, Defer] : Other.DeferralTable) {
+    uint64_t &Entry = DeferralTable[Key];
+    if (Defer > Entry)
+      Entry = Defer;
+  }
+}
+
+std::vector<PadPatch> PatchSet::pads() const {
+  std::vector<PadPatch> Result;
+  Result.reserve(PadTable.size());
+  for (const auto &[Site, Pad] : PadTable)
+    Result.push_back(PadPatch{Site, Pad});
+  std::sort(Result.begin(), Result.end(),
+            [](const PadPatch &A, const PadPatch &B) {
+              return A.AllocSite < B.AllocSite;
+            });
+  return Result;
+}
+
+std::vector<DeferralPatch> PatchSet::deferrals() const {
+  std::vector<DeferralPatch> Result;
+  Result.reserve(DeferralTable.size());
+  for (const auto &[Key, Defer] : DeferralTable)
+    Result.push_back(DeferralPatch{static_cast<SiteId>(Key >> 32),
+                                   static_cast<SiteId>(Key & 0xffffffffu),
+                                   Defer});
+  std::sort(Result.begin(), Result.end(),
+            [](const DeferralPatch &A, const DeferralPatch &B) {
+              if (A.AllocSite != B.AllocSite)
+                return A.AllocSite < B.AllocSite;
+              return A.FreeSite < B.FreeSite;
+            });
+  return Result;
+}
+
+void PatchSet::clear() {
+  PadTable.clear();
+  FrontPadTable.clear();
+  DeferralTable.clear();
+}
+
+bool PatchSet::operator==(const PatchSet &Other) const {
+  return PadTable == Other.PadTable &&
+         FrontPadTable == Other.FrontPadTable &&
+         DeferralTable == Other.DeferralTable;
+}

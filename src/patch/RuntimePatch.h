@@ -1,0 +1,121 @@
+//===- patch/RuntimePatch.h - Runtime patches ------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime patches (§6): the output of error isolation and the input to
+/// the correcting allocator.
+///
+/// A *pad patch* maps an allocation site to the number of bytes of padding
+/// needed to contain an overflow from objects allocated there (§6.1).  A
+/// *deferral patch* maps an (allocation site, deallocation site) pair to a
+/// number of allocation-clock ticks by which frees at that pair must be
+/// deferred, preventing a premature free from dangling (§6.2).
+///
+/// Patches compose by taking maxima, which is what makes collaborative
+/// correction work: merging the patch sets of many users yields a patch
+/// set covering all observed errors (§6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_PATCH_RUNTIMEPATCH_H
+#define EXTERMINATOR_PATCH_RUNTIMEPATCH_H
+
+#include "support/SiteHash.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace exterminator {
+
+/// Pads every allocation from AllocSite by PadBytes (§6.1).
+struct PadPatch {
+  SiteId AllocSite = 0;
+  uint32_t PadBytes = 0;
+
+  bool operator==(const PadPatch &Other) const = default;
+};
+
+/// Front-pads every allocation from AllocSite by PadBytes: the backward
+/// overflow extension (§2.1 names backward overflows as future work; the
+/// correcting allocator absorbs them by returning an interior pointer
+/// with PadBytes of slack before it).
+struct FrontPadPatch {
+  SiteId AllocSite = 0;
+  uint32_t PadBytes = 0;
+
+  bool operator==(const FrontPadPatch &Other) const = default;
+};
+
+/// Defers frees at (AllocSite, FreeSite) by DeferTicks allocations (§6.2).
+struct DeferralPatch {
+  SiteId AllocSite = 0;
+  SiteId FreeSite = 0;
+  uint64_t DeferTicks = 0;
+
+  bool operator==(const DeferralPatch &Other) const = default;
+};
+
+/// A set of runtime patches: the pad table and the deferral table the
+/// correcting allocator builds at load time (§6.3).
+class PatchSet {
+public:
+  /// Records a pad for \p AllocSite, keeping the maximum pad seen (§6.1:
+  /// "Exterminator uses the maximum padding value encountered so far").
+  void addPad(SiteId AllocSite, uint32_t PadBytes);
+
+  /// Records a front pad (backward-overflow extension), keeping the max.
+  void addFrontPad(SiteId AllocSite, uint32_t PadBytes);
+
+  /// Front pad for \p AllocSite; 0 when unpatched.
+  uint32_t frontPadFor(SiteId AllocSite) const;
+
+  /// All front-pad patches, sorted by site.
+  std::vector<FrontPadPatch> frontPads() const;
+
+  size_t frontPadCount() const { return FrontPadTable.size(); }
+
+  /// Records a deferral for the site pair, keeping the maximum.
+  void addDeferral(SiteId AllocSite, SiteId FreeSite, uint64_t DeferTicks);
+
+  /// Pad for \p AllocSite; 0 when unpatched.
+  uint32_t padFor(SiteId AllocSite) const;
+
+  /// Deferral for the site pair; 0 when unpatched.
+  uint64_t deferralFor(SiteId AllocSite, SiteId FreeSite) const;
+
+  /// Max-merges \p Other into this set (collaborative correction, §6.4).
+  void merge(const PatchSet &Other);
+
+  /// All pad patches, sorted by site for deterministic output.
+  std::vector<PadPatch> pads() const;
+
+  /// All deferral patches, sorted by site pair.
+  std::vector<DeferralPatch> deferrals() const;
+
+  size_t padCount() const { return PadTable.size(); }
+  size_t deferralCount() const { return DeferralTable.size(); }
+  bool empty() const {
+    return PadTable.empty() && FrontPadTable.empty() &&
+           DeferralTable.empty();
+  }
+  void clear();
+
+  bool operator==(const PatchSet &Other) const;
+
+private:
+  static uint64_t pairKey(SiteId AllocSite, SiteId FreeSite) {
+    return (uint64_t(AllocSite) << 32) | FreeSite;
+  }
+
+  std::unordered_map<SiteId, uint32_t> PadTable;
+  std::unordered_map<SiteId, uint32_t> FrontPadTable;
+  std::unordered_map<uint64_t, uint64_t> DeferralTable;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_PATCH_RUNTIMEPATCH_H

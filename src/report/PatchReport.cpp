@@ -1,0 +1,128 @@
+//===- report/PatchReport.cpp - Patches as bug reports ----------------------===//
+
+#include "report/PatchReport.h"
+
+#include <cstdio>
+
+using namespace exterminator;
+
+std::string SiteRegistry::describe(SiteId Site) const {
+  auto It = Names.find(Site);
+  if (It != Names.end())
+    return It->second;
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "site 0x%08x", Site);
+  return Buffer;
+}
+
+static std::string describeSite(const SiteRegistry *Registry, SiteId Site) {
+  if (Registry)
+    return Registry->describe(Site);
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "site 0x%08x", Site);
+  return Buffer;
+}
+
+std::string
+exterminator::generatePatchReport(const PatchSet &Patches,
+                                  const SiteRegistry *Registry) {
+  std::string Report;
+  char Line[512];
+  unsigned Finding = 0;
+
+  auto Append = [&](const char *Text) { Report += Text; };
+
+  Append("Exterminator bug report\n");
+  Append("=======================\n");
+  if (Patches.empty()) {
+    Append("No errors recorded: the patch set is empty.\n");
+    return Report;
+  }
+
+  for (const PadPatch &Pad : Patches.pads()) {
+    ++Finding;
+    std::snprintf(Line, sizeof(Line),
+                  "\n[%u] heap-buffer-overflow (write past end)\n",
+                  Finding);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line), "    where:  allocations from %s\n",
+                  describeSite(Registry, Pad.AllocSite).c_str());
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    extent: writes up to %u byte(s) beyond the "
+                  "requested size\n",
+                  Pad.PadBytes);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    active mitigation: every allocation from this "
+                  "site is padded by %u byte(s)\n",
+                  Pad.PadBytes);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    suggested fix: enlarge the buffer by at least %u "
+                  "byte(s), or repair the length computation that "
+                  "overruns it\n",
+                  Pad.PadBytes);
+    Append(Line);
+  }
+
+  for (const FrontPadPatch &Pad : Patches.frontPads()) {
+    ++Finding;
+    std::snprintf(Line, sizeof(Line),
+                  "\n[%u] heap-buffer-underflow (write before start)\n",
+                  Finding);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line), "    where:  allocations from %s\n",
+                  describeSite(Registry, Pad.AllocSite).c_str());
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    extent: writes up to %u byte(s) before the "
+                  "buffer's start\n",
+                  Pad.PadBytes);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    active mitigation: allocations from this site are "
+                  "front-padded by %u byte(s)\n",
+                  Pad.PadBytes);
+    Append(Line);
+    Append("    suggested fix: repair the negative index or reversed "
+           "bounds computation that writes before the buffer\n");
+  }
+
+  for (const DeferralPatch &Deferral : Patches.deferrals()) {
+    ++Finding;
+    std::snprintf(Line, sizeof(Line),
+                  "\n[%u] dangling pointer (use after premature free)\n",
+                  Finding);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line), "    allocated at: %s\n",
+                  describeSite(Registry, Deferral.AllocSite).c_str());
+    Append(Line);
+    std::snprintf(Line, sizeof(Line), "    freed at:     %s\n",
+                  describeSite(Registry, Deferral.FreeSite).c_str());
+    Append(Line);
+    // The deferral is 2.(T - tau) + 1, so the observed use-after-free
+    // window is at least half of it (§6.2).
+    const uint64_t Window = Deferral.DeferTicks / 2;
+    std::snprintf(Line, sizeof(Line),
+                  "    extent: the object is still used at least %llu "
+                  "allocation(s) after this free\n",
+                  static_cast<unsigned long long>(Window));
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    active mitigation: frees at this site pair are "
+                  "deferred by %llu allocation(s)\n",
+                  static_cast<unsigned long long>(Deferral.DeferTicks));
+    Append(Line);
+    Append("    suggested fix: move the free past the object's last "
+           "use, or transfer ownership to the longer-lived consumer\n");
+  }
+
+  std::snprintf(Line, sizeof(Line),
+                "\n%u finding(s): %zu overflow site(s), %zu underflow "
+                "site(s), %zu dangling site pair(s)\n",
+                Finding, Patches.padCount(), Patches.frontPadCount(),
+                Patches.deferralCount());
+  Append(Line);
+  return Report;
+}

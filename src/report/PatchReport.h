@@ -1,0 +1,55 @@
+//===- report/PatchReport.h - Patches as bug reports -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable bug reports from runtime patches — the paper's §9
+/// future work: "runtime patches contain information that describe the
+/// error location and its extent ... we plan to develop a tool to
+/// process runtime patches into bug reports with suggested fixes."
+///
+/// A pad patch *is* a diagnosis: objects from one allocation site are
+/// overrun by up to N bytes.  A deferral patch is a diagnosis too: the
+/// free at one site runs while the object is still in use, by roughly
+/// half the deferral's allocation-time distance.  The report renders
+/// these with optional symbolic site names from a SiteRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_REPORT_PATCHREPORT_H
+#define EXTERMINATOR_REPORT_PATCHREPORT_H
+
+#include "patch/RuntimePatch.h"
+
+#include <map>
+#include <string>
+
+namespace exterminator {
+
+/// Optional symbolic names for site hashes (a debug-info stand-in: real
+/// deployments would resolve return addresses through symbols).
+class SiteRegistry {
+public:
+  void name(SiteId Site, std::string Name) {
+    Names[Site] = std::move(Name);
+  }
+
+  /// The registered name, or a hex rendering of the hash.
+  std::string describe(SiteId Site) const;
+
+  size_t size() const { return Names.size(); }
+
+private:
+  std::map<SiteId, std::string> Names;
+};
+
+/// Renders \p Patches as a bug report with one finding per patch entry,
+/// each with an explanation and a suggested fix.
+std::string generatePatchReport(const PatchSet &Patches,
+                                const SiteRegistry *Registry = nullptr);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_REPORT_PATCHREPORT_H

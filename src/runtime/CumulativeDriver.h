@@ -1,0 +1,73 @@
+//===- runtime/CumulativeDriver.h - Cumulative mode ------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cumulative mode (§3.4, §5): suitable for broad deployment.  Each
+/// execution — possibly over different inputs, with nondeterministic
+/// allocation behavior — is reduced to a per-site statistical summary
+/// (§5.1) and folded into the accumulated state; the Bayesian classifier
+/// flags error sources once their trials cross the likelihood threshold,
+/// and the derived patches correct subsequent executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H
+#define EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H
+
+#include "runtime/Exterminator.h"
+
+namespace exterminator {
+
+/// Outcome of a cumulative session.
+struct CumulativeOutcome {
+  /// Total executions performed.
+  unsigned RunsExecuted = 0;
+  /// Failed executions among them.
+  unsigned FailuresObserved = 0;
+  /// Executions with observed heap corruption.
+  unsigned CorruptRuns = 0;
+  /// Runs and failures needed until the first site crossed the
+  /// likelihood threshold (the paper's §7.2 metrics).
+  unsigned RunsToIsolation = 0;
+  unsigned FailuresToIsolation = 0;
+  /// Isolation succeeded (some site crossed the threshold).
+  bool Isolated = false;
+  /// Patched runs reached a failure-free streak.
+  bool Corrected = false;
+  /// The classifier's findings when last computed.
+  std::vector<CumulativeOverflowFinding> Overflows;
+  std::vector<CumulativeDanglingFinding> Danglings;
+  PatchSet Patches;
+};
+
+/// Drives repeated executions with summary accumulation (§5).
+class CumulativeDriver {
+public:
+  /// \param VaryInput when true, each run uses a different input seed
+  ///        (InputSeed + run index), modelling nondeterministic deployed
+  ///        use; when false, the same input is re-run (the §7.2 espresso
+  ///        experiments).
+  CumulativeDriver(Workload &Work, const ExterminatorConfig &Config,
+                   bool VaryInput = false)
+      : Work(Work), Config(Config), VaryInput(VaryInput) {}
+
+  /// Executes up to \p MaxRuns runs, folding each into the accumulated
+  /// state.  Patches apply to subsequent executions as soon as they
+  /// exist; deferrals double when a patched pair keeps failing (§6.2's
+  /// logarithmic convergence).  The session ends once \p VerifyRuns
+  /// consecutive patched executions stay failure-free.
+  CumulativeOutcome run(uint64_t InputSeed, unsigned MaxRuns = 200,
+                        unsigned VerifyRuns = 3);
+
+private:
+  Workload &Work;
+  ExterminatorConfig Config;
+  bool VaryInput;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H

@@ -1,0 +1,155 @@
+//===- runtime/IterativeDriver.cpp - Iterative mode --------------------------===//
+
+#include "runtime/IterativeDriver.h"
+
+#include "support/RandomGenerator.h"
+
+using namespace exterminator;
+
+namespace {
+
+/// One captured (seed, image-at-T) pair plus run outcome.
+struct ReplaySample {
+  uint64_t HeapSeed = 0;
+  bool Failed = false;
+  uint64_t EndTime = 0;
+  HeapImage AtBreakpoint;
+  HeapImage AtEnd; // valid only when Failed
+};
+
+} // namespace
+
+/// Replays \p Work at \p HeapSeed with a malloc breakpoint at \p T.
+/// Returns false when the run failed strictly before T — the caller must
+/// lower the breakpoint, since images at T are unreachable for this seed.
+static bool replayAt(Workload &Work, uint64_t InputSeed, uint64_t HeapSeed,
+                     const ExterminatorConfig &Config,
+                     const PatchSet &Patches, uint64_t T,
+                     ReplaySample &Sample) {
+  SingleRunResult Run =
+      runWorkloadOnce(Work, InputSeed, HeapSeed, Config, Patches, T);
+  Sample.HeapSeed = HeapSeed;
+  Sample.Failed = Run.failed();
+  Sample.EndTime = Run.EndTime;
+  if (Run.failed())
+    Sample.AtEnd = Run.FinalImage;
+  if (Run.BreakpointImage) {
+    Sample.AtBreakpoint = std::move(*Run.BreakpointImage);
+    return true;
+  }
+  // No breakpoint capture: the run ended first.  An end time of exactly
+  // T still yields a usable image (all activity up to the failure, which
+  // is what a signal-time dump contains); anything earlier forces the
+  // breakpoint down.
+  if (Run.EndTime >= T) {
+    Sample.AtBreakpoint = std::move(Run.FinalImage);
+    return true;
+  }
+  return false;
+}
+
+IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
+                                      const PatchSet &InitialPatches) {
+  IterativeOutcome Outcome;
+  Outcome.Patches = InitialPatches;
+  RandomGenerator SeedStream(Config.MasterSeed);
+
+  for (unsigned Episode = 0; Episode < Config.MaxEpisodes; ++Episode) {
+    // Discovery: run until the first DieFast signal or program failure.
+    // A single clean run does not prove health — the detector is
+    // probabilistic — so discovery retries with fresh heap seeds.
+    SingleRunResult Discovery;
+    uint64_t DiscoverySeed = 0;
+    bool ErrorManifested = false;
+    for (unsigned Attempt = 0; Attempt < Config.DiscoveryAttempts;
+         ++Attempt) {
+      DiscoverySeed = SeedStream.next();
+      Discovery = runWorkloadOnce(Work, InputSeed, DiscoverySeed, Config,
+                                  Outcome.Patches);
+      if (Discovery.ErrorSignalled || Discovery.failed()) {
+        ErrorManifested = true;
+        break;
+      }
+    }
+    if (!ErrorManifested) {
+      // Clean runs: either there never was an error, or the accumulated
+      // patches correct it.
+      Outcome.Corrected = Episode > 0;
+      Outcome.ErrorFree = Episode == 0;
+      return Outcome;
+    }
+
+    IterativeEpisode Ep;
+    Ep.DiscoveryStatus = Discovery.Result.Status;
+    Ep.SignalAnchored = Discovery.ErrorSignalled;
+
+    // The malloc breakpoint: the earliest failure time observed so far.
+    // Replays that fail before it lower it and invalidate prior images —
+    // heap images are only comparable at a common allocation time.
+    uint64_t T = Discovery.ErrorSignalled ? Discovery.FirstSignalTime
+                                          : Discovery.EndTime;
+    if (Discovery.failed() && Discovery.EndTime < T)
+      T = Discovery.EndTime;
+
+    std::vector<uint64_t> Seeds = {DiscoverySeed};
+    std::vector<ReplaySample> Samples;
+    unsigned RunBudget = Config.MaxImages * 3;
+    bool Isolated = false;
+
+    while (!Isolated && RunBudget > 0) {
+      // (Re)capture any seed lacking an image at the current breakpoint.
+      bool Lowered = false;
+      while (Samples.size() < Seeds.size() && RunBudget > 0) {
+        --RunBudget;
+        ReplaySample Sample;
+        if (replayAt(Work, InputSeed, Seeds[Samples.size()], Config,
+                     Outcome.Patches, T, Sample)) {
+          Samples.push_back(std::move(Sample));
+          continue;
+        }
+        // Earlier failure: lower the breakpoint, recapture everything.
+        T = Sample.EndTime;
+        Samples.clear();
+        Lowered = true;
+        break;
+      }
+      if (Lowered)
+        continue;
+      if (Samples.size() < Config.MinImages) {
+        if (Seeds.size() >= Config.MaxImages)
+          break;
+        Seeds.push_back(SeedStream.next());
+        continue;
+      }
+
+      // Attempt isolation over breakpoint-time images, falling back to
+      // end-of-run images of failed runs (dangling overwrites may
+      // postdate the last allocation).
+      std::vector<HeapImage> AtBreakpoint;
+      std::vector<HeapImage> AtEnd;
+      for (const ReplaySample &Sample : Samples) {
+        AtBreakpoint.push_back(Sample.AtBreakpoint);
+        if (Sample.Failed)
+          AtEnd.push_back(Sample.AtEnd);
+      }
+      Ep.Result = isolateErrors(AtBreakpoint, Config.Isolation);
+      if (Ep.Result.Patches.empty() && AtEnd.size() >= 2)
+        Ep.Result = isolateErrors(AtEnd, Config.Isolation);
+      if (!Ep.Result.Patches.empty()) {
+        Isolated = true;
+        break;
+      }
+      if (Seeds.size() >= Config.MaxImages)
+        break;
+      Seeds.push_back(SeedStream.next());
+    }
+
+    Ep.BreakpointTime = T;
+    Ep.ImagesUsed = static_cast<unsigned>(Samples.size());
+    Outcome.Episodes.push_back(Ep);
+    if (!Isolated)
+      return Outcome; // Could not isolate (e.g., read-only dangling).
+    Outcome.Patches.merge(Outcome.Episodes.back().Result.Patches);
+  }
+  return Outcome;
+}

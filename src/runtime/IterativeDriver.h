@@ -1,0 +1,75 @@
+//===- runtime/IterativeDriver.h - Iterative mode --------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative mode (§3.4): suitable for testing or whenever the input is
+/// available for re-execution.
+///
+/// One *episode* isolates one error: run until DieFast signals or the
+/// program fails, dump a heap image, then replay the same input under
+/// fresh heap seeds with a malloc breakpoint at the failure's allocation
+/// time, dumping an independent image per replay.  Isolation is attempted
+/// once MinImages images exist and more replays are added until it
+/// succeeds or MaxImages is reached.  Derived patches feed the correcting
+/// allocator and the episode loop repeats — fixing further errors or
+/// doubling deferrals (§6.2) — until a patched run completes cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_RUNTIME_ITERATIVEDRIVER_H
+#define EXTERMINATOR_RUNTIME_ITERATIVEDRIVER_H
+
+#include "runtime/Exterminator.h"
+
+#include <vector>
+
+namespace exterminator {
+
+/// What one episode (one error) took and found.
+struct IterativeEpisode {
+  /// Total independent heap images used (first run + replays).
+  unsigned ImagesUsed = 0;
+  /// The isolation outcome over those images.
+  IsolationResult Result;
+  /// The failure's allocation time (the malloc breakpoint).
+  uint64_t BreakpointTime = 0;
+  /// How the discovery run ended.
+  RunStatusKind DiscoveryStatus = RunStatusKind::Success;
+  /// Whether the discovery failure was a DieFast signal (vs. crash).
+  bool SignalAnchored = false;
+};
+
+/// Outcome of a full iterative session.
+struct IterativeOutcome {
+  /// The final verification run succeeded under the accumulated patches.
+  bool Corrected = false;
+  /// No error ever manifested (nothing to correct).
+  bool ErrorFree = false;
+  std::vector<IterativeEpisode> Episodes;
+  /// All patches accumulated across episodes.
+  PatchSet Patches;
+};
+
+/// Runs the iterative-mode protocol for one workload and input.
+class IterativeDriver {
+public:
+  IterativeDriver(Workload &Work, const ExterminatorConfig &Config)
+      : Work(Work), Config(Config) {}
+
+  /// Runs discover → replay → isolate → patch episodes until a patched
+  /// run is clean.  \p InitialPatches seeds the correcting allocator
+  /// (e.g., patches from earlier sessions or other users, §6.4).
+  IterativeOutcome run(uint64_t InputSeed,
+                       const PatchSet &InitialPatches = PatchSet());
+
+private:
+  Workload &Work;
+  ExterminatorConfig Config;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_RUNTIME_ITERATIVEDRIVER_H

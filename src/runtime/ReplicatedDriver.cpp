@@ -1,0 +1,124 @@
+//===- runtime/ReplicatedDriver.cpp - Replicated mode ------------------------===//
+
+#include "runtime/ReplicatedDriver.h"
+
+#include "support/RandomGenerator.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+ReplicatedOutcome ReplicatedDriver::run(uint64_t InputSeed,
+                                        const PatchSet &InitialPatches) {
+  ReplicatedOutcome Outcome;
+  Outcome.Patches = InitialPatches;
+  RandomGenerator SeedStream(Config.MasterSeed ^ 0x5eed5eedULL);
+
+  unsigned CleanStreak = 0;
+  const unsigned MaxRounds = Config.MaxEpisodes + Config.DiscoveryAttempts;
+  for (unsigned RoundIndex = 0; RoundIndex < MaxRounds; ++RoundIndex) {
+    ReplicatedRound Round;
+
+    // Broadcast the input to every replica (each gets an independently
+    // randomized heap) and collect results.
+    std::vector<uint64_t> HeapSeeds(NumReplicas);
+    for (auto &Seed : HeapSeeds)
+      Seed = SeedStream.next();
+
+    std::vector<SingleRunResult> Runs;
+    std::vector<WorkloadResult> Results;
+    Runs.reserve(NumReplicas);
+    for (unsigned R = 0; R < NumReplicas; ++R) {
+      Runs.push_back(runWorkloadOnce(Work, InputSeed, HeapSeeds[R], Config,
+                                     Outcome.Patches));
+      Results.push_back(Runs.back().Result);
+    }
+    Round.Vote = voteOnOutputs(Results);
+
+    bool AnySignal = false;
+    uint64_t DumpTime = ~uint64_t(0);
+    for (const SingleRunResult &Run : Runs) {
+      if (Run.ErrorSignalled) {
+        AnySignal = true;
+        DumpTime = std::min(DumpTime, Run.FirstSignalTime);
+      }
+      if (Run.failed())
+        DumpTime = std::min(DumpTime, Run.EndTime);
+    }
+    Round.ErrorDetected =
+        AnySignal || !Round.Vote.Dissenters.empty() || !Round.Vote.HasWinner;
+
+    if (!Round.ErrorDetected) {
+      // With patches in hand, one agreeing round means corrected; before
+      // any error has been seen, a clean round is only weak evidence —
+      // the detector is probabilistic — so re-run with fresh seeds.
+      ++CleanStreak;
+      Outcome.Output = Round.Vote.Output;
+      Outcome.Rounds.push_back(std::move(Round));
+      if (!Outcome.Patches.empty()) {
+        Outcome.Corrected = true;
+        return Outcome;
+      }
+      if (CleanStreak >= Config.DiscoveryAttempts) {
+        Outcome.ErrorFree = true;
+        return Outcome;
+      }
+      continue;
+    }
+    CleanStreak = 0;
+
+    // Lockstep dump: replay every replica to the earliest failure time
+    // and capture its image there (sequential simulation of the paper's
+    // concurrent signal-triggered dumps).  A replay failing before the
+    // dump time lowers it — images are only comparable at a common
+    // allocation time — and forces a recapture.
+    if (DumpTime == ~uint64_t(0)) {
+      // Pure divergence without failure: dump at the shortest run's end.
+      for (const SingleRunResult &Run : Runs)
+        DumpTime = std::min(DumpTime, Run.EndTime);
+    }
+
+    std::vector<HeapImage> Images;
+    std::vector<HeapImage> EndImages;
+    for (unsigned Attempt = 0; Attempt < 4 && Images.empty(); ++Attempt) {
+      std::vector<HeapImage> Captured;
+      std::vector<HeapImage> Ends;
+      bool Lowered = false;
+      for (unsigned R = 0; R < NumReplicas && !Lowered; ++R) {
+        SingleRunResult Replay =
+            runWorkloadOnce(Work, InputSeed, HeapSeeds[R], Config,
+                            Outcome.Patches, DumpTime);
+        if (Replay.failed())
+          Ends.push_back(Replay.FinalImage);
+        if (Replay.BreakpointImage) {
+          Captured.push_back(std::move(*Replay.BreakpointImage));
+        } else if (Replay.EndTime >= DumpTime) {
+          Captured.push_back(std::move(Replay.FinalImage));
+        } else {
+          DumpTime = Replay.EndTime;
+          Lowered = true;
+        }
+      }
+      if (!Lowered) {
+        Images = std::move(Captured);
+        EndImages = std::move(Ends);
+      }
+    }
+    Round.DumpTime = DumpTime;
+
+    Round.Result = isolateErrors(Images, Config.Isolation);
+    if (Round.Result.Patches.empty() && EndImages.size() >= 2) {
+      // Dangling overwrites may postdate the last allocation; retry over
+      // the end-of-run images of the failed replicas.
+      Round.Result = isolateErrors(EndImages, Config.Isolation);
+    }
+
+    const bool Isolated = !Round.Result.Patches.empty();
+    Outcome.Patches.merge(Round.Result.Patches);
+    Outcome.Rounds.push_back(std::move(Round));
+    if (!Isolated)
+      return Outcome; // Cannot make progress on this error.
+    // Patches reloaded (§6.3); the next round runs corrected replicas.
+  }
+  return Outcome;
+}

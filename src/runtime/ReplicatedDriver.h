@@ -1,0 +1,74 @@
+//===- runtime/ReplicatedDriver.h - Replicated mode ------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replicated mode (§3.4, Figure 5): several replicas with independently
+/// randomized DieFast heaps process the same broadcast input; a voter
+/// compares their outputs.  A DieFast signal, a crash, or divergent
+/// output triggers a heap-image dump from every replica at the same
+/// allocation time, error isolation runs over those images, and the
+/// resulting patches are reloaded into the correcting allocators so
+/// subsequent allocations are patched on-the-fly.
+///
+/// The paper runs replicas as concurrent processes; this harness runs
+/// them sequentially in-process and reproduces the lockstep dump by
+/// replaying each replica to the common failure time — replicas are
+/// deterministic in their input, so the replay is exact (see DESIGN.md,
+/// substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_RUNTIME_REPLICATEDDRIVER_H
+#define EXTERMINATOR_RUNTIME_REPLICATEDDRIVER_H
+
+#include "runtime/Exterminator.h"
+#include "runtime/Voter.h"
+
+#include <vector>
+
+namespace exterminator {
+
+/// One round of replicated execution.
+struct ReplicatedRound {
+  VoteResult Vote;
+  /// Any replica signalled, crashed, aborted, or diverged.
+  bool ErrorDetected = false;
+  /// Allocation time of the earliest failure (the dump time).
+  uint64_t DumpTime = 0;
+  IsolationResult Result;
+};
+
+/// Outcome of a replicated session.
+struct ReplicatedOutcome {
+  /// The final round's replicas agreed unanimously under the patches.
+  bool Corrected = false;
+  /// No round ever detected an error.
+  bool ErrorFree = false;
+  std::vector<ReplicatedRound> Rounds;
+  PatchSet Patches;
+  /// The voted output of the final round.
+  std::vector<uint8_t> Output;
+};
+
+/// Drives N replicas with voting and on-the-fly patch reload.
+class ReplicatedDriver {
+public:
+  ReplicatedDriver(Workload &Work, const ExterminatorConfig &Config,
+                   unsigned NumReplicas = 3)
+      : Work(Work), Config(Config), NumReplicas(NumReplicas) {}
+
+  ReplicatedOutcome run(uint64_t InputSeed,
+                        const PatchSet &InitialPatches = PatchSet());
+
+private:
+  Workload &Work;
+  ExterminatorConfig Config;
+  unsigned NumReplicas;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_RUNTIME_REPLICATEDDRIVER_H

@@ -1,0 +1,51 @@
+//===- runtime/Voter.cpp - Output voting -------------------------------------===//
+
+#include "runtime/Voter.h"
+
+#include <map>
+
+using namespace exterminator;
+
+VoteResult exterminator::voteOnOutputs(
+    const std::vector<WorkloadResult> &Results) {
+  VoteResult Vote;
+
+  // Group successful replicas by exact output bytes.
+  std::map<std::vector<uint8_t>, std::vector<uint32_t>> Groups;
+  for (uint32_t I = 0; I < Results.size(); ++I) {
+    if (Results[I].Status == RunStatusKind::Success)
+      Groups[Results[I].Output].push_back(I);
+    else
+      Vote.Dissenters.push_back(I);
+  }
+
+  const std::vector<uint32_t> *Best = nullptr;
+  const std::vector<uint8_t> *BestOutput = nullptr;
+  for (const auto &[Output, Members] : Groups) {
+    if (!Best || Members.size() > Best->size()) {
+      Best = &Members;
+      BestOutput = &Output;
+    }
+  }
+  if (!Best || Best->size() < 1)
+    return Vote;
+
+  // A plurality must be more than a lone voice unless it is the only
+  // replica running.
+  if (Results.size() > 1 && Best->size() < 2)
+    return Vote;
+
+  Vote.HasWinner = true;
+  Vote.Winners = *Best;
+  Vote.Output = *BestOutput;
+  for (uint32_t I = 0; I < Results.size(); ++I) {
+    bool IsWinner = false;
+    for (uint32_t W : Vote.Winners)
+      if (W == I)
+        IsWinner = true;
+    if (!IsWinner && Results[I].Status == RunStatusKind::Success)
+      Vote.Dissenters.push_back(I);
+  }
+  Vote.Unanimous = Vote.Winners.size() == Results.size();
+  return Vote;
+}

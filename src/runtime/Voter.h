@@ -1,0 +1,44 @@
+//===- runtime/Voter.h - Output voting -------------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replicated-mode voter (§3.1, §3.4): replicas receive the same
+/// input, and only output agreed on by a plurality is emitted.  A crash,
+/// abort, or divergent output marks a replica as a dissenter and triggers
+/// error isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_RUNTIME_VOTER_H
+#define EXTERMINATOR_RUNTIME_VOTER_H
+
+#include "workload/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// Outcome of voting over replica outputs.
+struct VoteResult {
+  /// A plurality of successful replicas agreed on an output.
+  bool HasWinner = false;
+  /// Every replica succeeded with the winning output.
+  bool Unanimous = false;
+  /// Replica indexes whose output won the vote.
+  std::vector<uint32_t> Winners;
+  /// Replica indexes that crashed, aborted, or diverged.
+  std::vector<uint32_t> Dissenters;
+  /// The agreed output (empty when no winner).
+  std::vector<uint8_t> Output;
+};
+
+/// Votes over per-replica results by byte-equality of outputs.
+VoteResult voteOnOutputs(const std::vector<WorkloadResult> &Results);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_RUNTIME_VOTER_H

@@ -1,0 +1,72 @@
+//===- support/Bitmap.cpp - Allocation bitmap ----------------------------===//
+
+#include "support/Bitmap.h"
+
+#include <bit>
+
+using namespace exterminator;
+
+void Bitmap::resize(size_t NewNumBits) {
+  NumBits = NewNumBits;
+  NumSet = 0;
+  Words.assign((NumBits + 63) / 64, 0);
+}
+
+bool Bitmap::set(size_t Index) {
+  assert(Index < NumBits && "bit index out of range");
+  uint64_t &Word = Words[Index / 64];
+  const uint64_t Mask = uint64_t(1) << (Index % 64);
+  if (Word & Mask)
+    return false;
+  Word |= Mask;
+  ++NumSet;
+  return true;
+}
+
+bool Bitmap::reset(size_t Index) {
+  assert(Index < NumBits && "bit index out of range");
+  uint64_t &Word = Words[Index / 64];
+  const uint64_t Mask = uint64_t(1) << (Index % 64);
+  if (!(Word & Mask))
+    return false;
+  Word &= ~Mask;
+  --NumSet;
+  return true;
+}
+
+void Bitmap::clear() {
+  NumSet = 0;
+  for (auto &Word : Words)
+    Word = 0;
+}
+
+std::optional<size_t> Bitmap::probeClear(RandomGenerator &Rng) const {
+  if (NumSet == NumBits || NumBits == 0)
+    return std::nullopt;
+  // Random probing: each probe hits a clear bit with probability
+  // (NumBits - NumSet) / NumBits, so at most-1/M load this terminates in
+  // O(1) expected probes (paper §3.1).
+  for (;;) {
+    size_t Index = Rng.nextBelow(NumBits);
+    if (!test(Index))
+      return Index;
+  }
+}
+
+std::optional<size_t> Bitmap::findNextSet(size_t From) const {
+  if (From >= NumBits)
+    return std::nullopt;
+  size_t WordIndex = From / 64;
+  uint64_t Word = Words[WordIndex] & (~uint64_t(0) << (From % 64));
+  for (;;) {
+    if (Word != 0) {
+      size_t Index = WordIndex * 64 + std::countr_zero(Word);
+      if (Index >= NumBits)
+        return std::nullopt;
+      return Index;
+    }
+    if (++WordIndex >= Words.size())
+      return std::nullopt;
+    Word = Words[WordIndex];
+  }
+}

@@ -1,0 +1,76 @@
+//===- support/Bitmap.h - Allocation bitmap --------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size bit vector used as the in-use bitmap of DieHard miniheaps
+/// (paper §3.1, Figure 2).
+///
+/// Besides the usual set/reset/test operations it offers the operation the
+/// DieHard allocator is built on: \c probeClear, which finds a clear bit by
+/// uniform random probing in O(1) expected time when the map is at most
+/// 1/M full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_SUPPORT_BITMAP_H
+#define EXTERMINATOR_SUPPORT_BITMAP_H
+
+#include "support/RandomGenerator.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace exterminator {
+
+/// Fixed-size bit vector with random probing.
+class Bitmap {
+public:
+  Bitmap() = default;
+  explicit Bitmap(size_t NumBits) { resize(NumBits); }
+
+  /// Resizes to \p NumBits bits, clearing all of them.
+  void resize(size_t NumBits);
+
+  size_t size() const { return NumBits; }
+
+  /// Number of set bits.
+  size_t count() const { return NumSet; }
+
+  bool test(size_t Index) const {
+    assert(Index < NumBits && "bit index out of range");
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  /// Sets bit \p Index; returns false if it was already set.
+  bool set(size_t Index);
+
+  /// Clears bit \p Index; returns false if it was already clear.
+  bool reset(size_t Index);
+
+  /// Clears every bit.
+  void clear();
+
+  /// Returns the index of a uniformly random clear bit, found by random
+  /// probing (expected O(1) probes when load factor <= 1/2), or
+  /// std::nullopt if the map is full.
+  std::optional<size_t> probeClear(RandomGenerator &Rng) const;
+
+  /// Returns the index of the first set bit at or after \p From, or
+  /// std::nullopt if none.
+  std::optional<size_t> findNextSet(size_t From) const;
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+  size_t NumSet = 0;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_SUPPORT_BITMAP_H

@@ -1,0 +1,62 @@
+//===- support/RandomGenerator.h - Deterministic PRNG ----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable pseudo-random number generator.
+///
+/// Every randomized component of Exterminator (heap placement, canary
+/// values, canary-fill coin flips, fault injection, workload noise) draws
+/// from an explicitly-seeded RandomGenerator so that whole experiments are
+/// reproducible from a single master seed.  The core is xoshiro256**,
+/// seeded through SplitMix64 as its authors recommend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_SUPPORT_RANDOMGENERATOR_H
+#define EXTERMINATOR_SUPPORT_RANDOMGENERATOR_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace exterminator {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+uint64_t splitMix64(uint64_t &State);
+
+/// Deterministic xoshiro256** generator.
+class RandomGenerator {
+public:
+  /// Creates a generator whose entire stream is a function of \p Seed.
+  explicit RandomGenerator(uint64_t Seed = 0) { reseed(Seed); }
+
+  /// Resets the stream as if freshly constructed with \p Seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns the next 32 random bits.
+  uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool chance(double P);
+
+  /// Derives an independent child generator; calls advance this stream.
+  RandomGenerator fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_SUPPORT_RANDOMGENERATOR_H

@@ -1,0 +1,131 @@
+//===- support/Serializer.cpp - Binary serialization ----------------------===//
+
+#include "support/Serializer.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace exterminator;
+
+void ByteWriter::writeU32(uint32_t Value) {
+  for (int I = 0; I < 4; ++I)
+    Buffer.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+void ByteWriter::writeU64(uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Buffer.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+void ByteWriter::writeF64(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void ByteWriter::writeBytes(const void *Data, size_t Size) {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
+}
+
+void ByteWriter::writeBlob(const std::vector<uint8_t> &Blob) {
+  writeU64(Blob.size());
+  writeBytes(Blob.data(), Blob.size());
+}
+
+void ByteWriter::writeString(const std::string &Str) {
+  writeU64(Str.size());
+  writeBytes(Str.data(), Str.size());
+}
+
+uint8_t ByteReader::readU8() {
+  uint8_t Value = 0;
+  readBytes(&Value, 1);
+  return Value;
+}
+
+uint32_t ByteReader::readU32() {
+  uint8_t Raw[4] = {};
+  readBytes(Raw, 4);
+  uint32_t Value = 0;
+  for (int I = 3; I >= 0; --I)
+    Value = (Value << 8) | Raw[I];
+  return Value;
+}
+
+uint64_t ByteReader::readU64() {
+  uint8_t Raw[8] = {};
+  readBytes(Raw, 8);
+  uint64_t Value = 0;
+  for (int I = 7; I >= 0; --I)
+    Value = (Value << 8) | Raw[I];
+  return Value;
+}
+
+double ByteReader::readF64() {
+  uint64_t Bits = readU64();
+  double Value;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return Value;
+}
+
+bool ByteReader::readBytes(void *Out, size_t Count) {
+  if (Failed || Count > Size - Offset) {
+    Failed = true;
+    std::memset(Out, 0, Count);
+    return false;
+  }
+  std::memcpy(Out, Data + Offset, Count);
+  Offset += Count;
+  return true;
+}
+
+std::vector<uint8_t> ByteReader::readBlob() {
+  uint64_t Count = readU64();
+  if (Failed || Count > Size - Offset) {
+    Failed = true;
+    return {};
+  }
+  std::vector<uint8_t> Blob(Data + Offset, Data + Offset + Count);
+  Offset += Count;
+  return Blob;
+}
+
+std::string ByteReader::readString() {
+  uint64_t Count = readU64();
+  if (Failed || Count > Size - Offset) {
+    Failed = true;
+    return {};
+  }
+  std::string Str(reinterpret_cast<const char *>(Data + Offset), Count);
+  Offset += Count;
+  return Str;
+}
+
+bool exterminator::writeFileBytes(const std::string &Path,
+                                  const std::vector<uint8_t> &Buffer) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written =
+      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  bool Ok = Written == Buffer.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+bool exterminator::readFileBytes(const std::string &Path,
+                                 std::vector<uint8_t> &Buffer) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Buffer.clear();
+  uint8_t Chunk[4096];
+  size_t Count;
+  while ((Count = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Buffer.insert(Buffer.end(), Chunk, Chunk + Count);
+  bool Ok = std::feof(File) && !std::ferror(File);
+  std::fclose(File);
+  return Ok;
+}

@@ -1,0 +1,82 @@
+//===- support/Serializer.h - Binary serialization -------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary readers/writers used by heap images (§3.4) and
+/// runtime patch files (§6).  The reader is fail-soft: out-of-bounds reads
+/// set a sticky failure flag and return zeros, so callers can validate once
+/// at the end instead of after every field (no exceptions, per the LLVM
+/// coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_SUPPORT_SERIALIZER_H
+#define EXTERMINATOR_SUPPORT_SERIALIZER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Appends little-endian fields to a growable byte buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t Value) { Buffer.push_back(Value); }
+  void writeU32(uint32_t Value);
+  void writeU64(uint64_t Value);
+  void writeF64(double Value);
+  void writeBytes(const void *Data, size_t Size);
+  /// Length-prefixed byte string.
+  void writeBlob(const std::vector<uint8_t> &Blob);
+  void writeString(const std::string &Str);
+
+  const std::vector<uint8_t> &buffer() const { return Buffer; }
+  size_t size() const { return Buffer.size(); }
+
+private:
+  std::vector<uint8_t> Buffer;
+};
+
+/// Reads little-endian fields from a byte buffer with sticky failure.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buffer)
+      : Data(Buffer.data()), Size(Buffer.size()) {}
+
+  uint8_t readU8();
+  uint32_t readU32();
+  uint64_t readU64();
+  double readF64();
+  bool readBytes(void *Out, size_t Count);
+  std::vector<uint8_t> readBlob();
+  std::string readString();
+
+  /// True if any read ran past the end of the buffer.
+  bool failed() const { return Failed; }
+  /// True when the whole buffer has been consumed without failure.
+  bool atEnd() const { return !Failed && Offset == Size; }
+  size_t remaining() const { return Failed ? 0 : Size - Offset; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Offset = 0;
+  bool Failed = false;
+};
+
+/// Writes \p Buffer to \p Path; returns false on I/O failure.
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Buffer);
+
+/// Reads all of \p Path into \p Buffer; returns false on I/O failure.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Buffer);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_SUPPORT_SERIALIZER_H

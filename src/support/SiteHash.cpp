@@ -1,0 +1,25 @@
+//===- support/SiteHash.cpp - Call-site hashing ---------------------------===//
+
+#include "support/SiteHash.h"
+
+using namespace exterminator;
+
+SiteId exterminator::computeSiteHash(const uint32_t Pc[SiteHashDepth]) {
+  // Paper Figure 3 (DJB2 [6]): int hash = 5381;
+  // for i in 0..5: hash = ((hash << 5) + hash) + pc[i].
+  uint32_t Hash = 5381;
+  for (unsigned I = 0; I < SiteHashDepth; ++I)
+    Hash = ((Hash << 5) + Hash) + Pc[I];
+  return Hash;
+}
+
+SiteId CallContext::currentSite() const {
+  uint32_t Pc[SiteHashDepth] = {0, 0, 0, 0, 0};
+  const size_t Depth = Frames.size();
+  const size_t Take = Depth < SiteHashDepth ? Depth : SiteHashDepth;
+  // Pc[0] is the innermost (most recent) frame, as a return-address walk
+  // would produce.
+  for (size_t I = 0; I < Take; ++I)
+    Pc[I] = Frames[Depth - 1 - I];
+  return computeSiteHash(Pc);
+}

@@ -1,0 +1,83 @@
+//===- support/SiteHash.h - Call-site hashing ------------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation/deallocation call-site identification (paper §3.2, Fig. 3).
+///
+/// Exterminator identifies heap objects by the *calling context* of their
+/// allocation and deallocation: the paper hashes the least-significant
+/// bytes of the five most-recent return addresses with the DJB2 hash.  We
+/// reproduce the exact hash (Figure 3) over an explicit CallContext — a
+/// five-deep stack of frame tokens maintained by the workload — which
+/// yields stable, reproducible 32-bit site identifiers without depending
+/// on ASLR or the compiler's code layout.  Everything downstream (error
+/// isolation, runtime patches) only needs these identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_SUPPORT_SITEHASH_H
+#define EXTERMINATOR_SUPPORT_SITEHASH_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// A 32-bit call-site identifier; 0 means "unknown site".
+using SiteId = uint32_t;
+
+/// Number of stack frames folded into a site hash (paper: "the five
+/// most-recent return addresses").
+inline constexpr unsigned SiteHashDepth = 5;
+
+/// The paper's DJB2-based site hash (Figure 3), verbatim:
+/// hash = ((hash << 5) + hash) + pc[i], seeded with 5381, over five
+/// program-counter words.
+SiteId computeSiteHash(const uint32_t Pc[SiteHashDepth]);
+
+/// A stack of synthetic "return addresses" standing in for the native call
+/// stack.  Workloads push a frame token on entry to each logical function
+/// and pop on exit; \c currentSite hashes the five most recent frames.
+class CallContext {
+public:
+  CallContext() = default;
+
+  void pushFrame(uint32_t FrameToken) { Frames.push_back(FrameToken); }
+
+  void popFrame() {
+    assert(!Frames.empty() && "popFrame on empty call context");
+    Frames.pop_back();
+  }
+
+  size_t depth() const { return Frames.size(); }
+
+  /// Hashes the five most-recent frames (missing frames hash as zero,
+  /// mirroring a shallow native stack).
+  SiteId currentSite() const;
+
+  /// RAII helper: pushes a frame for the lifetime of the scope.
+  class Scope {
+  public:
+    Scope(CallContext &Ctx, uint32_t FrameToken) : Ctx(Ctx) {
+      Ctx.pushFrame(FrameToken);
+    }
+    ~Scope() { Ctx.popFrame(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    CallContext &Ctx;
+  };
+
+private:
+  std::vector<uint32_t> Frames;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_SUPPORT_SITEHASH_H

@@ -1,0 +1,60 @@
+//===- workload/CfracWorkload.cpp - cfrac-like program -----------------------===//
+
+#include "workload/CfracWorkload.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cstring>
+
+using namespace exterminator;
+
+namespace {
+constexpr uint32_t FrameMain = 0x1100;
+constexpr uint32_t FrameNewLimbs = 0x1101;
+constexpr uint32_t FrameTemp = 0x1102;
+constexpr uint32_t FrameFreeLimbs = 0x1103;
+} // namespace
+
+WorkloadResult CfracWorkload::run(AllocatorHandle &Handle,
+                                  uint64_t InputSeed) {
+  WorkloadResult Result;
+  RandomGenerator Rng(InputSeed ^ 0xcf2acULL);
+  CallContext::Scope MainScope(Handle.context(), FrameMain);
+
+  uint64_t Accumulator = InputSeed | 1;
+  for (unsigned Step = 0; Step < Params.Steps; ++Step) {
+    // Bignum "multiply": two operand limb arrays and a result, all small
+    // and immediately dead — the classic cfrac churn.
+    const size_t LimbsA = 1 + Rng.nextBelow(4);
+    const size_t LimbsB = 1 + Rng.nextBelow(4);
+    uint64_t *A = static_cast<uint64_t *>(
+        Handle.allocate(LimbsA * 8, FrameNewLimbs));
+    uint64_t *B = static_cast<uint64_t *>(
+        Handle.allocate(LimbsB * 8, FrameNewLimbs));
+    uint64_t *Product = static_cast<uint64_t *>(
+        Handle.allocate((LimbsA + LimbsB) * 8, FrameTemp));
+    if (!A || !B || !Product) {
+      Result.Status = RunStatusKind::Abort;
+      return Result;
+    }
+    for (size_t I = 0; I < LimbsA; ++I)
+      A[I] = Accumulator * (2 * I + 3);
+    for (size_t I = 0; I < LimbsB; ++I)
+      B[I] = Accumulator ^ (0x517cc1b727220a95ULL * (I + 1));
+    for (size_t I = 0; I < LimbsA + LimbsB; ++I)
+      Product[I] = 0;
+    for (size_t I = 0; I < LimbsA; ++I)
+      for (size_t J = 0; J < LimbsB; ++J)
+        Product[I + J] += A[I] * B[J] + (A[I] >> 32) * (B[J] & 0xffffffffu);
+    for (size_t I = 0; I < LimbsA + LimbsB; ++I)
+      Accumulator = (Accumulator ^ Product[I]) * 0x100000001b3ULL;
+
+    Handle.deallocate(A, FrameFreeLimbs);
+    Handle.deallocate(B, FrameFreeLimbs);
+    Handle.deallocate(Product, FrameFreeLimbs);
+  }
+
+  for (int B = 0; B < 8; ++B)
+    Result.Output.push_back(static_cast<uint8_t>(Accumulator >> (8 * B)));
+  return Result;
+}

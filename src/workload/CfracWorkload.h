@@ -1,0 +1,46 @@
+//===- workload/CfracWorkload.h - cfrac-like program -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cfrac-like workload: continued-fraction factorization is the most
+/// allocation-intensive program in the paper's suite (Exterminator's
+/// worst case in Figure 7 at 132% overhead).  This miniature churns
+/// small, short-lived bignum limb arrays at a very high allocation rate
+/// with little computation per object — the profile that makes allocator
+/// overhead dominate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_CFRACWORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_CFRACWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace exterminator {
+
+/// Size/shape knobs for the cfrac-like program.
+struct CfracParams {
+  /// Factoring steps; each performs several bignum operations.
+  unsigned Steps = 1500;
+};
+
+/// The cfrac-like workload.
+class CfracWorkload : public Workload {
+public:
+  explicit CfracWorkload(const CfracParams &Params = CfracParams())
+      : Params(Params) {}
+
+  const char *name() const override { return "cfrac"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+
+private:
+  CfracParams Params;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_CFRACWORKLOAD_H

@@ -1,0 +1,233 @@
+//===- workload/EspressoWorkload.cpp - espresso-like program ----------------===//
+
+#include "workload/EspressoWorkload.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace exterminator;
+
+namespace {
+
+/// Object layout: a 16-byte header followed by bitset words, sized so the
+/// whole cube is an exact power of two (full DieHard slot).
+struct CubeHeader {
+  uint16_t Magic;
+  /// Payload words after the header; peers read it to stay in bounds.
+  uint16_t Words;
+  uint32_t Tag;
+  /// For indirect cubes: a pointer to a peer cube (pointer-equivalence
+  /// masking food) — stored as the raw address.
+  uint64_t Peer;
+};
+
+constexpr uint16_t CubeMagic = 0xCB5Eu;
+
+/// Cube archetypes: how the program uses the object after creation.
+enum class CubeUse : uint8_t {
+  ReadWrite, // intersected in place (writes through the pointer)
+  ReadOnly,  // only folded into checksums
+  Indirect,  // holds a pointer + index used to write into peers
+};
+
+struct CubeRef {
+  uint8_t *Ptr = nullptr;
+  uint32_t Bytes = 0;
+  uint32_t Tag = 0;
+  CubeUse Use = CubeUse::ReadOnly;
+};
+
+/// Cube sizes: exact powers of two, biased small like espresso's cubes.
+uint32_t pickCubeBytes(RandomGenerator &Rng) {
+  switch (Rng.nextBelow(10)) {
+  case 0:
+  case 1:
+  case 2:
+  case 3:
+    return 32;
+  case 4:
+  case 5:
+  case 6:
+    return 64;
+  case 7:
+  case 8:
+    return 128;
+  default:
+    return 256;
+  }
+}
+
+/// Allocation-site frame tokens: distinct call paths into the allocator,
+/// as espresso allocates cubes from parse/expand/reduce/irredundant.
+constexpr uint32_t FrameMain = 0x1000;
+constexpr uint32_t AllocFrames[] = {0x2001, 0x2002, 0x2003, 0x2004};
+constexpr uint32_t FreeFrames[] = {0x3001, 0x3002, 0x3003};
+
+} // namespace
+
+WorkloadResult EspressoWorkload::run(AllocatorHandle &Handle,
+                                     uint64_t InputSeed) {
+  WorkloadResult Result;
+  RandomGenerator Rng(InputSeed ^ 0xe59e550ULL);
+  CallContext::Scope MainScope(Handle.context(), FrameMain);
+
+  std::vector<CubeRef> Table;
+  Table.reserve(Params.MaxLive + Params.CubesPerRound);
+  uint64_t Checksum = 0x9dc5;
+
+  auto emitOutput = [&](uint64_t Value) {
+    for (int B = 0; B < 8; ++B)
+      Result.Output.push_back(static_cast<uint8_t>(Value >> (8 * B)));
+  };
+
+  auto abortRun = [&]() {
+    Result.Status = RunStatusKind::Abort;
+    return Result;
+  };
+  auto crashRun = [&]() {
+    Result.Status = RunStatusKind::Crash;
+    return Result;
+  };
+
+  for (unsigned Round = 0; Round < Params.Rounds; ++Round) {
+    // --- Allocation phase: fresh cubes from a round-dependent call path.
+    for (unsigned C = 0; C < Params.CubesPerRound; ++C) {
+      CubeRef Cube;
+      Cube.Bytes = pickCubeBytes(Rng);
+      Cube.Tag = Rng.next32();
+      const unsigned UsePick = static_cast<unsigned>(Rng.nextBelow(10));
+      Cube.Use = UsePick < 4   ? CubeUse::ReadWrite
+                 : UsePick < 8 ? CubeUse::ReadOnly
+                               : CubeUse::Indirect;
+      const uint32_t Frame = AllocFrames[(Round / 4 + C) % 4];
+      Cube.Ptr = static_cast<uint8_t *>(Handle.allocate(Cube.Bytes, Frame));
+      if (!Cube.Ptr)
+        return abortRun();
+
+      CubeHeader Header;
+      Header.Magic = CubeMagic;
+      Header.Words =
+          static_cast<uint16_t>((Cube.Bytes - sizeof(CubeHeader)) / 8);
+      Header.Tag = Cube.Tag;
+      Header.Peer = 0;
+      std::memcpy(Cube.Ptr, &Header, sizeof(Header));
+      // Bitset payload: deterministic program data.
+      for (uint32_t Off = sizeof(CubeHeader); Off + 8 <= Cube.Bytes; Off += 8) {
+        uint64_t Word = Rng.next();
+        std::memcpy(Cube.Ptr + Off, &Word, 8);
+      }
+      if (Cube.Use == CubeUse::Indirect && !Table.empty()) {
+        // Point at an existing cube (address differs per heap; the
+        // isolator must recognize it as the same logical pointer).
+        const CubeRef &Peer = Table[Rng.nextBelow(Table.size())];
+        uint64_t PeerAddr = reinterpret_cast<uint64_t>(Peer.Ptr);
+        std::memcpy(Cube.Ptr + offsetof(CubeHeader, Peer), &PeerAddr, 8);
+      }
+      Table.push_back(Cube);
+    }
+
+    // --- Compute phase: espresso-style cover manipulation.
+    for (unsigned Step = 0; Step < Params.CubesPerRound * 6; ++Step) {
+      if (Table.empty())
+        break;
+      CubeRef &Cube = Table[Rng.nextBelow(Table.size())];
+
+      switch (Cube.Use) {
+      case CubeUse::ReadOnly: {
+        // Read-only cubes validate their header first: canary-filled or
+        // recycled cubes fail here, which is how a dangled read turns
+        // into an abort (§7.2, "reads a canary value through the dangled
+        // pointer, treats it as valid data, and ... aborts").
+        CubeHeader Header;
+        std::memcpy(&Header, Cube.Ptr, sizeof(Header));
+        if (Header.Magic != CubeMagic)
+          return abortRun();
+        for (uint32_t Off = sizeof(CubeHeader); Off + 8 <= Cube.Bytes;
+             Off += 8) {
+          uint64_t Word;
+          std::memcpy(&Word, Cube.Ptr + Off, 8);
+          Checksum = (Checksum ^ Word) * 0x100000001b3ULL;
+        }
+        break;
+      }
+      case CubeUse::ReadWrite: {
+        // Working cubes are recomputed in place without validation, the
+        // way espresso rewrites cover rows.  The written words are pure
+        // program data — deterministic in the input — so a write through
+        // a dangling pointer overwrites the canary *identically in every
+        // run*: exactly the evidence DanglingIsolator keys on (§4.2).
+        for (uint32_t Off = sizeof(CubeHeader); Off + 8 <= Cube.Bytes;
+             Off += 8) {
+          uint64_t Word = (0x9e3779b97f4a7c15ULL + Cube.Tag) *
+                          (Off + 0x51ed2701u);
+          std::memcpy(Cube.Ptr + Off, &Word, 8);
+          Checksum += Word;
+        }
+        break;
+      }
+      case CubeUse::Indirect: {
+        // Follow the stored peer pointer; dereferencing a canary value
+        // (low bit set, no live object there) is a simulated segfault.
+        uint64_t PeerAddr;
+        std::memcpy(&PeerAddr, Cube.Ptr + offsetof(CubeHeader, Peer), 8);
+        if (PeerAddr == 0)
+          break;
+        uint8_t *Peer = reinterpret_cast<uint8_t *>(PeerAddr);
+        if (!Handle.isLive(Peer))
+          return crashRun();
+        // Spray a short run of words into the peer (the cascade vector:
+        // when this cube's contents are stale, these writes land in
+        // whatever now sits at the old peer address).  The peer's own
+        // header bounds the write.
+        CubeHeader PeerHeader;
+        std::memcpy(&PeerHeader, Peer, sizeof(PeerHeader));
+        if (PeerHeader.Magic != CubeMagic)
+          return abortRun();
+        const uint32_t SprayWords =
+            PeerHeader.Words < 4 ? PeerHeader.Words : 4;
+        for (uint32_t W = 0; W < SprayWords; ++W) {
+          // Derived from the peer's own tag (not global state): a wild
+          // read elsewhere must not diffuse into every peer write.
+          uint64_t Word = PeerHeader.Tag * 0x9e3779b97f4a7c15ULL + W;
+          std::memcpy(Peer + sizeof(CubeHeader) + 8 * W, &Word, 8);
+        }
+        Checksum += PeerHeader.Tag;
+        break;
+      }
+      }
+    }
+
+    // --- Free phase: drop cubes back to the cap through one of several
+    // deallocation call paths (site-pair diversity for deferral patches).
+    while (Table.size() > Params.MaxLive) {
+      const size_t Pick = Rng.chance(0.5) ? Table.size() - 1
+                                          : Rng.nextBelow(Table.size());
+      const uint32_t Frame = FreeFrames[Round % 3];
+      // A correct program unlinks references before freeing: clear any
+      // peer pointers aimed at the dying cube.
+      const uint64_t Dying = reinterpret_cast<uint64_t>(Table[Pick].Ptr);
+      for (CubeRef &Other : Table) {
+        if (Other.Use != CubeUse::Indirect || Other.Ptr == Table[Pick].Ptr)
+          continue;
+        uint64_t PeerAddr;
+        std::memcpy(&PeerAddr, Other.Ptr + offsetof(CubeHeader, Peer), 8);
+        if (PeerAddr == Dying) {
+          const uint64_t Zero = 0;
+          std::memcpy(Other.Ptr + offsetof(CubeHeader, Peer), &Zero, 8);
+        }
+      }
+      Handle.deallocate(Table[Pick].Ptr, Frame);
+      Table.erase(Table.begin() + Pick);
+    }
+
+    emitOutput(Checksum);
+  }
+
+  // Teardown: free the survivors.
+  for (const CubeRef &Cube : Table)
+    Handle.deallocate(Cube.Ptr, FreeFrames[2]);
+  emitOutput(Checksum * 0x2545f4914f6cdd1dULL);
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===- workload/EspressoWorkload.h - espresso-like program -----*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An espresso-like workload: the PLA-minimizer espresso is the paper's
+/// fault-injection target (§7.2) and a standard allocation-intensive
+/// memory-management benchmark.  This miniature reproduces the traits the
+/// experiments depend on:
+///
+///  * bitset ("cube") objects of power-of-two sizes, so buffers fill
+///    their DieHard slot exactly and overflows escape into neighbors;
+///  * several distinct allocation and deallocation call paths (site
+///    diversity for site-keyed patches);
+///  * pointer-bearing objects (exercises the isolator's logical-pointer
+///    masking, §4.1);
+///  * three usage archetypes that make injected dangling pointers behave
+///    as in the paper: read-write cubes (overwrite the canary →
+///    isolable), read-only cubes (read the canary, "treat it as valid
+///    data, and either crash or abort"), and indirect cubes whose stored
+///    pointers/indexes spray writes when stale (cascading corruption);
+///  * integrity checks (magic/tag words) standing in for the ways real
+///    programs notice impossible states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_ESPRESSOWORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_ESPRESSOWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace exterminator {
+
+/// Size/shape knobs for the espresso-like program.
+struct EspressoParams {
+  /// Cover-minimization rounds.
+  unsigned Rounds = 60;
+  /// Cubes allocated per round.
+  unsigned CubesPerRound = 12;
+  /// Cap on simultaneously live cubes.
+  unsigned MaxLive = 96;
+};
+
+/// The espresso-like workload.
+class EspressoWorkload : public Workload {
+public:
+  explicit EspressoWorkload(const EspressoParams &Params = EspressoParams())
+      : Params(Params) {}
+
+  const char *name() const override { return "espresso"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+
+private:
+  EspressoParams Params;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_ESPRESSOWORKLOAD_H

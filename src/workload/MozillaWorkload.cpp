@@ -1,0 +1,144 @@
+//===- workload/MozillaWorkload.cpp - Mozilla bug 307259 scenario ------------===//
+
+#include "workload/MozillaWorkload.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace exterminator;
+
+namespace {
+constexpr uint32_t FrameMain = 0x1400;
+constexpr uint32_t FrameRenderPage = 0x1401;
+constexpr uint32_t FrameDomNode = 0x1402;
+constexpr uint32_t FrameStyle = 0x1403;
+constexpr uint32_t FrameMouseEvent = 0x1404;
+constexpr uint32_t FrameIdnConvert = 0x1405; // the buggy buffer's site
+constexpr uint32_t FrameUnloadPage = 0x1406;
+
+constexpr size_t PunycodeBufferBytes = 64;
+} // namespace
+
+SiteId MozillaWorkload::overflowSite() {
+  CallContext Context;
+  Context.pushFrame(FrameMain);
+  Context.pushFrame(FrameRenderPage);
+  Context.pushFrame(FrameIdnConvert);
+  return Context.currentSite();
+}
+
+WorkloadResult MozillaWorkload::run(AllocatorHandle &Handle,
+                                    uint64_t InputSeed) {
+  WorkloadResult Result;
+  // Per-run nondeterminism: the input seed differs run to run (threads,
+  // mouse movement), so allocation counts and object ids diverge.
+  RandomGenerator Rng(InputSeed ^ 0x307259ULL);
+  CallContext::Scope MainScope(Handle.context(), FrameMain);
+
+  uint64_t Digest = 0x6d6f7aULL;
+
+  // One page render: DOM nodes, style objects, mouse-event noise, and an
+  // IDN conversion through the (buggy) punycode path.
+  auto renderPage = [&](bool UnicodeDomain) -> bool {
+    CallContext::Scope PageScope(Handle.context(), FrameRenderPage);
+    std::vector<std::pair<uint8_t *, uint32_t>> PageObjects;
+
+    const unsigned DomNodes = 40 + static_cast<unsigned>(Rng.nextBelow(80));
+    for (unsigned N = 0; N < DomNodes; ++N) {
+      const uint32_t Bytes =
+          16u << Rng.nextBelow(5); // 16..256, power of two
+      const uint32_t Frame = Rng.chance(0.3) ? FrameStyle : FrameDomNode;
+      uint8_t *Ptr = static_cast<uint8_t *>(Handle.allocate(Bytes, Frame));
+      if (!Ptr)
+        return false;
+      std::memset(Ptr, static_cast<int>(N & 0xff), Bytes);
+      PageObjects.push_back({Ptr, Bytes});
+    }
+
+    // Mouse-move noise: small transient allocations, count random per
+    // run.
+    const unsigned MouseEvents = static_cast<unsigned>(Rng.nextBelow(24));
+    for (unsigned M = 0; M < MouseEvents; ++M) {
+      uint8_t *Ptr =
+          static_cast<uint8_t *>(Handle.allocate(32, FrameMouseEvent));
+      if (!Ptr)
+        return false;
+      std::memset(Ptr, 0x4d, 32);
+      Handle.deallocate(Ptr, FrameMouseEvent);
+    }
+
+    // IDN conversion: every page resolves a domain through this site;
+    // only a Unicode domain triggers the overrun (bug 307259).
+    uint8_t *Punycode = static_cast<uint8_t *>(
+        Handle.allocate(PunycodeBufferBytes, FrameIdnConvert));
+    if (!Punycode)
+      return false;
+    const size_t WriteBytes = UnicodeDomain
+                                  ? PunycodeBufferBytes + Params.OverrunBytes
+                                  : PunycodeBufferBytes;
+    for (size_t I = 0; I < WriteBytes; ++I)
+      Punycode[I] = static_cast<uint8_t>('x' + (I % 13));
+    for (size_t I = 0; I < PunycodeBufferBytes; ++I)
+      Digest = (Digest ^ Punycode[I]) * 0x100000001b3ULL;
+    Handle.deallocate(Punycode, FrameIdnConvert);
+
+    // Page unload: free this page's DOM.
+    for (const auto &[Ptr, Bytes] : PageObjects)
+      Handle.deallocate(Ptr, FrameUnloadPage);
+    return true;
+  };
+
+  // Browser startup: chrome UI, profile and cache structures.  Even a
+  // just-started browser has churned through thousands of allocations,
+  // which is what makes freed space canary-bearing from the first page.
+  {
+    CallContext::Scope StartupScope(Handle.context(), FrameRenderPage);
+    std::vector<uint8_t *> Startup;
+    const unsigned StartupObjects =
+        220 + static_cast<unsigned>(Rng.nextBelow(40));
+    for (unsigned N = 0; N < StartupObjects; ++N) {
+      const uint32_t Bytes = 16u << Rng.nextBelow(5);
+      uint8_t *Ptr =
+          static_cast<uint8_t *>(Handle.allocate(Bytes, FrameDomNode));
+      if (!Ptr) {
+        Result.Status = RunStatusKind::Abort;
+        return Result;
+      }
+      std::memset(Ptr, 0x5c, Bytes);
+      Startup.push_back(Ptr);
+    }
+    // Most startup structures are transient.
+    for (size_t N = 0; N + 8 < Startup.size(); ++N)
+      Handle.deallocate(Startup[N], FrameUnloadPage);
+  }
+
+  const unsigned Pages =
+      Params.Scenario == MozillaScenario::BrowseThenTrigger
+          ? Params.BrowsePages +
+                static_cast<unsigned>(Rng.nextBelow(Params.BrowsePages + 1))
+          : 0;
+  for (unsigned P = 0; P < Pages; ++P) {
+    if (!renderPage(/*UnicodeDomain=*/false)) {
+      Result.Status = RunStatusKind::Abort;
+      return Result;
+    }
+  }
+  if (Params.IncludeTrigger) {
+    if (!renderPage(/*UnicodeDomain=*/true)) {
+      Result.Status = RunStatusKind::Abort;
+      return Result;
+    }
+  }
+  // A little post-trigger activity so DieFast's allocation-time checks
+  // get a chance to discover the corruption.
+  if (!renderPage(/*UnicodeDomain=*/false)) {
+    Result.Status = RunStatusKind::Abort;
+    return Result;
+  }
+
+  for (int B = 0; B < 8; ++B)
+    Result.Output.push_back(static_cast<uint8_t>(Digest >> (8 * B)));
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- workload/MozillaWorkload.h - Mozilla bug 307259 scenario *- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mozilla scenario (§7.2): a heap overflow in Mozilla 1.7.3 /
+/// Firefox 1.0.6 processing Unicode characters in domain names
+/// (bug 307259).  Mozilla is multi-threaded and allocation behavior
+/// diverges across runs even from mouse movement, so neither iterative
+/// nor replicated mode can match objects across runs — this is the
+/// paper's showcase for cumulative mode.
+///
+/// This miniature renders a nondeterministic number of "pages" (per-run
+/// random DOM allocations and mouse-noise allocations), each of which
+/// also exercises the IDN punycode-conversion allocation site with benign
+/// domains; the error-triggering page converts a Unicode domain and
+/// overruns the conversion buffer.  Two case studies match the paper:
+/// trigger immediately (a testing environment with a proof-of-concept
+/// input) or browse first (deployed use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_MOZILLAWORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_MOZILLAWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace exterminator {
+
+/// Which §7.2 case study to run.
+enum class MozillaScenario {
+  /// Start the browser and immediately load the triggering page.
+  ImmediateTrigger,
+  /// Navigate a per-run-random selection of pages first.
+  BrowseThenTrigger,
+};
+
+/// Shape of the Mozilla scenario.
+struct MozillaParams {
+  MozillaScenario Scenario = MozillaScenario::ImmediateTrigger;
+  /// Pages browsed before the trigger (BrowseThenTrigger).
+  unsigned BrowsePages = 6;
+  /// Bytes written past the 64-byte punycode buffer.
+  unsigned OverrunBytes = 17;
+  /// Include the triggering page at all (false = clean baseline).
+  bool IncludeTrigger = true;
+};
+
+/// The Mozilla-like browser.
+class MozillaWorkload : public Workload {
+public:
+  explicit MozillaWorkload(const MozillaParams &Params = MozillaParams())
+      : Params(Params) {}
+
+  const char *name() const override { return "mozilla"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+
+  /// The punycode buffer's allocation-site hash (the true culprit).
+  static SiteId overflowSite();
+
+private:
+  MozillaParams Params;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_MOZILLAWORKLOAD_H

@@ -1,0 +1,83 @@
+//===- workload/SquidWorkload.cpp - Squid 2.3s5 scenario ---------------------===//
+
+#include "workload/SquidWorkload.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cstring>
+
+using namespace exterminator;
+
+namespace {
+constexpr uint32_t FrameMain = 0x1300;
+constexpr uint32_t FrameHandleRequest = 0x1301;
+constexpr uint32_t FrameRewriteUrl = 0x1302;   // the buggy buffer's site
+constexpr uint32_t FrameConnState = 0x1303;
+constexpr uint32_t FrameRelease = 0x1304;
+
+constexpr size_t UrlBufferBytes = 64;
+} // namespace
+
+SiteId SquidWorkload::overflowSite() {
+  // The rewrite buffer is allocated under main → handleRequest →
+  // rewriteUrl; reproduce the context hash the heap records.
+  CallContext Context;
+  Context.pushFrame(FrameMain);
+  Context.pushFrame(FrameHandleRequest);
+  Context.pushFrame(FrameRewriteUrl);
+  return Context.currentSite();
+}
+
+WorkloadResult SquidWorkload::run(AllocatorHandle &Handle,
+                                  uint64_t InputSeed) {
+  WorkloadResult Result;
+  RandomGenerator Rng(InputSeed ^ 0x5041dULL);
+  CallContext::Scope MainScope(Handle.context(), FrameMain);
+
+  uint64_t Digest = 0x811c9dc5;
+  for (unsigned R = 0; R < Params.Requests; ++R) {
+    CallContext::Scope RequestScope(Handle.context(), FrameHandleRequest);
+
+    // Per-connection state object.
+    uint8_t *Conn =
+        static_cast<uint8_t *>(Handle.allocate(48, FrameConnState));
+    if (!Conn) {
+      Result.Status = RunStatusKind::Abort;
+      return Result;
+    }
+    std::memset(Conn, 0xab, 48);
+
+    // URL rewrite: a fixed 64-byte buffer, as in Squid's buggy path.
+    uint8_t *Url = static_cast<uint8_t *>(
+        Handle.allocate(UrlBufferBytes, FrameRewriteUrl));
+    if (!Url) {
+      Result.Status = RunStatusKind::Abort;
+      return Result;
+    }
+
+    const bool Malformed =
+        Params.IncludeTrigger && R == Params.TriggerIndex;
+    // The bug: %-escape expansion is under-counted for malformed
+    // requests, so the rewrite writes OverrunBytes past the buffer.
+    const size_t WriteBytes =
+        Malformed ? UrlBufferBytes + Params.OverrunBytes : UrlBufferBytes;
+    for (size_t I = 0; I < WriteBytes; ++I)
+      Url[I] = static_cast<uint8_t>('a' + ((R + I) % 23));
+
+    // Serve the request: fold the rewritten URL into the response digest.
+    for (size_t I = 0; I < UrlBufferBytes; ++I)
+      Digest = (Digest ^ Url[I]) * 0x01000193u;
+    // Benign jitter in connection lifetime.
+    if (Rng.chance(0.7)) {
+      Handle.deallocate(Url, FrameRelease);
+      Handle.deallocate(Conn, FrameRelease);
+    } else {
+      Handle.deallocate(Conn, FrameRelease);
+      Handle.deallocate(Url, FrameRelease);
+    }
+
+    for (int B = 0; B < 4; ++B)
+      Result.Output.push_back(static_cast<uint8_t>(Digest >> (8 * B)));
+  }
+  return Result;
+}

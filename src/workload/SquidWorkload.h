@@ -1,0 +1,63 @@
+//===- workload/SquidWorkload.h - Squid 2.3s5 scenario ---------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Squid web-cache scenario (§7.2, "Real Faults").  Squid 2.3.STABLE5
+/// contains a buffer overflow: certain inputs make it overrun a
+/// heap-allocated buffer by a handful of bytes, crashing it under the GNU
+/// libc allocator.  Running under Exterminator, the overflow corrupts a
+/// canary instead; three iterative runs isolate a single allocation site
+/// and generate a pad of exactly 6 bytes.
+///
+/// This miniature serves a stream of requests; a malformed request (a
+/// URL whose %-escape decoding is under-counted, enabled by
+/// \c IncludeTrigger) makes the URL-rewrite path write 6 bytes past its
+/// 64-byte buffer — a 64-byte request fills its DieHard slot exactly, so
+/// the overrun escapes into the adjacent slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_SQUIDWORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_SQUIDWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace exterminator {
+
+/// Shape of the Squid scenario.
+struct SquidParams {
+  /// Requests served per run.
+  unsigned Requests = 150;
+  /// Which request is malformed (0-based).
+  unsigned TriggerIndex = 75;
+  /// Serve the malformed request at all (false = clean baseline).
+  bool IncludeTrigger = true;
+  /// Bytes the buggy rewrite writes past the buffer (Squid's is 6).
+  unsigned OverrunBytes = 6;
+};
+
+/// The Squid-like cache server.
+class SquidWorkload : public Workload {
+public:
+  explicit SquidWorkload(const SquidParams &Params = SquidParams())
+      : Params(Params) {}
+
+  const char *name() const override { return "squid"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+
+  /// The buggy buffer's allocation-site hash, for checking that
+  /// isolation fingered the right site (computed from the frame tokens
+  /// this workload uses).
+  static SiteId overflowSite();
+
+private:
+  SquidParams Params;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_SQUIDWORKLOAD_H

@@ -1,0 +1,109 @@
+//===- workload/SyntheticSuite.cpp - Figure 7 benchmark suite ----------------===//
+
+#include "workload/SyntheticSuite.h"
+
+#include "support/RandomGenerator.h"
+
+#include <cstring>
+#include <deque>
+
+using namespace exterminator;
+
+namespace {
+constexpr uint32_t FrameMain = 0x1200;
+constexpr uint32_t FrameAlloc = 0x1201;
+constexpr uint32_t FrameFree = 0x1202;
+} // namespace
+
+WorkloadResult SyntheticWorkload::run(AllocatorHandle &Handle,
+                                      uint64_t InputSeed) {
+  WorkloadResult Result;
+  RandomGenerator Rng(InputSeed ^ 0x5f37e71cULL);
+  CallContext::Scope MainScope(Handle.context(), FrameMain);
+
+  struct LiveObject {
+    uint8_t *Ptr;
+    uint32_t Bytes;
+  };
+  std::deque<LiveObject> Window;
+  uint64_t Accumulator = 0xcbf29ce484222325ULL ^ InputSeed;
+
+  for (unsigned Op = 0; Op < Profile.Operations; ++Op) {
+    // Allocation phase.
+    for (unsigned A = 0; A < Profile.AllocsPerOp; ++A) {
+      const uint32_t Bytes =
+          Profile.MinSize +
+          static_cast<uint32_t>(
+              Rng.nextBelow(Profile.MaxSize - Profile.MinSize + 1));
+      uint8_t *Ptr =
+          static_cast<uint8_t *>(Handle.allocate(Bytes, FrameAlloc));
+      if (!Ptr) {
+        Result.Status = RunStatusKind::Abort;
+        return Result;
+      }
+      // Touch the object: realistic programs initialize what they
+      // allocate.
+      std::memset(Ptr, static_cast<int>(Accumulator & 0xff), Bytes);
+      Window.push_back(LiveObject{Ptr, Bytes});
+    }
+
+    // Compute phase: pointer-free arithmetic, the non-allocator time.
+    for (unsigned C = 0; C < Profile.ComputePerOp; ++C)
+      Accumulator = (Accumulator ^ (Accumulator >> 29)) *
+                        0xbf58476d1ce4e5b9ULL +
+                    Op + C;
+
+    // Read a window object (memory traffic).
+    if (!Window.empty()) {
+      const LiveObject &Obj = Window[Rng.nextBelow(Window.size())];
+      for (uint32_t Off = 0; Off + 8 <= Obj.Bytes; Off += 8) {
+        uint64_t Word;
+        std::memcpy(&Word, Obj.Ptr + Off, 8);
+        Accumulator ^= Word;
+      }
+    }
+
+    // Retirement phase: FIFO beyond the live window.
+    while (Window.size() > Profile.LiveWindow) {
+      Handle.deallocate(Window.front().Ptr, FrameFree);
+      Window.pop_front();
+    }
+  }
+
+  while (!Window.empty()) {
+    Handle.deallocate(Window.front().Ptr, FrameFree);
+    Window.pop_front();
+  }
+
+  for (int B = 0; B < 8; ++B)
+    Result.Output.push_back(static_cast<uint8_t>(Accumulator >> (8 * B)));
+  return Result;
+}
+
+std::vector<SyntheticProfile> exterminator::figure7Profiles() {
+  std::vector<SyntheticProfile> Suite;
+  // Allocation-intensive group: allocator time is a large share of the
+  // run, but each program still computes — ComputePerOp is calibrated to
+  // the compute-to-allocation ratios implied by the paper's Figure 7
+  // bars (cfrac, the extreme case, spends the least time computing per
+  // allocation).
+  Suite.push_back({"cfrac", true, 12000, 6, 8, 48, 165, 12});
+  Suite.push_back({"espresso", true, 8000, 5, 32, 256, 725, 64});
+  Suite.push_back({"lindsay", true, 9000, 4, 16, 96, 460, 48});
+  Suite.push_back({"p2c", true, 7000, 4, 24, 160, 330, 96});
+  Suite.push_back({"roboop", true, 10000, 5, 40, 200, 385, 32});
+  // SPECint2000-like group: compute dominates, allocation is incidental.
+  Suite.push_back({"164.gzip", false, 600, 1, 4096, 65536, 24000, 8});
+  Suite.push_back({"175.vpr", false, 1200, 2, 32, 512, 9000, 128});
+  Suite.push_back({"176.gcc", false, 1500, 4, 16, 512, 6000, 512});
+  Suite.push_back({"181.mcf", false, 400, 1, 1024, 16384, 26000, 32});
+  Suite.push_back({"186.crafty", false, 300, 1, 64, 256, 40000, 8});
+  Suite.push_back({"197.parser", false, 2000, 5, 8, 128, 4000, 256});
+  Suite.push_back({"252.eon", false, 1200, 3, 48, 384, 8000, 96});
+  Suite.push_back({"253.perlbmk", false, 1600, 4, 16, 256, 5200, 384});
+  Suite.push_back({"254.gap", false, 1000, 3, 32, 1024, 9000, 192});
+  Suite.push_back({"255.vortex", false, 1400, 4, 40, 512, 5600, 448});
+  Suite.push_back({"256.bzip2", false, 500, 1, 8192, 65536, 28000, 8});
+  Suite.push_back({"300.twolf", false, 1100, 3, 24, 256, 8800, 160});
+  return Suite;
+}

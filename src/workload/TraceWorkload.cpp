@@ -1,0 +1,62 @@
+//===- workload/TraceWorkload.cpp - Scripted workloads -----------------------===//
+
+#include "workload/TraceWorkload.h"
+
+#include <map>
+
+using namespace exterminator;
+
+WorkloadResult TraceWorkload::run(AllocatorHandle &Handle,
+                                  uint64_t /*InputSeed*/) {
+  WorkloadResult Result;
+  std::map<uint32_t, uint8_t *> Slots;
+
+  for (const TraceOp &Op : Ops) {
+    switch (Op.OpKind) {
+    case TraceOp::Kind::Alloc: {
+      uint8_t *Ptr =
+          static_cast<uint8_t *>(Handle.allocate(Op.Size, Op.SiteToken));
+      if (!Ptr) {
+        Result.Status = RunStatusKind::Abort;
+        return Result;
+      }
+      Slots[Op.Slot] = Ptr;
+      break;
+    }
+    case TraceOp::Kind::Free: {
+      auto It = Slots.find(Op.Slot);
+      if (It == Slots.end())
+        break;
+      // Intentionally keep the pointer: later ops on this slot script
+      // use-after-free and double-free scenarios.
+      Handle.deallocate(It->second, Op.SiteToken);
+      break;
+    }
+    case TraceOp::Kind::Write: {
+      auto It = Slots.find(Op.Slot);
+      if (It == Slots.end())
+        break;
+      for (uint32_t I = 0; I < Op.Length; ++I)
+        It->second[Op.Offset + I] = Op.Value;
+      break;
+    }
+    case TraceOp::Kind::WriteBack: {
+      auto It = Slots.find(Op.Slot);
+      if (It == Slots.end())
+        break;
+      for (uint32_t I = 0; I < Op.Length; ++I)
+        It->second[static_cast<int64_t>(I) - Op.Offset] = Op.Value;
+      break;
+    }
+    case TraceOp::Kind::Read: {
+      auto It = Slots.find(Op.Slot);
+      if (It == Slots.end())
+        break;
+      for (uint32_t I = 0; I < Op.Length; ++I)
+        Result.Output.push_back(It->second[I]);
+      break;
+    }
+    }
+  }
+  return Result;
+}

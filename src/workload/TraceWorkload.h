@@ -1,0 +1,110 @@
+//===- workload/TraceWorkload.h - Scripted workloads -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scripted workload: a fixed list of allocator operations, including
+/// deliberately buggy ones (overruns, writes through freed pointers).
+/// Tests and benches use it to construct precise error scenarios with
+/// known culprits, victims, and extents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_TRACEWORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_TRACEWORKLOAD_H
+
+#include "workload/Workload.h"
+
+#include <vector>
+
+namespace exterminator {
+
+/// One scripted operation.  Slots name objects across operations.
+struct TraceOp {
+  enum class Kind : uint8_t {
+    /// Allocate Size bytes into Slot under SiteToken.
+    Alloc,
+    /// Free Slot under SiteToken (the pointer is remembered — freeing
+    /// twice scripts a double free).
+    Free,
+    /// Write Length bytes of Value at Offset from Slot's pointer.
+    /// Offset + Length may exceed the allocation: that is an overflow,
+    /// or a use-after-free if the slot was freed.
+    Write,
+    /// Write Length bytes of Value starting Offset bytes *before* Slot's
+    /// pointer: a backward overflow (underrun).
+    WriteBack,
+    /// Fold Slot's first Length bytes into the output.
+    Read,
+  };
+
+  Kind OpKind = Kind::Alloc;
+  uint32_t Slot = 0;
+  uint32_t Size = 0;
+  uint32_t SiteToken = 0;
+  uint32_t Offset = 0;
+  uint32_t Length = 0;
+  uint8_t Value = 0;
+
+  static TraceOp alloc(uint32_t Slot, uint32_t Size, uint32_t SiteToken) {
+    TraceOp Op;
+    Op.OpKind = Kind::Alloc;
+    Op.Slot = Slot;
+    Op.Size = Size;
+    Op.SiteToken = SiteToken;
+    return Op;
+  }
+  static TraceOp free(uint32_t Slot, uint32_t SiteToken) {
+    TraceOp Op;
+    Op.OpKind = Kind::Free;
+    Op.Slot = Slot;
+    Op.SiteToken = SiteToken;
+    return Op;
+  }
+  static TraceOp write(uint32_t Slot, uint32_t Offset, uint32_t Length,
+                       uint8_t Value) {
+    TraceOp Op;
+    Op.OpKind = Kind::Write;
+    Op.Slot = Slot;
+    Op.Offset = Offset;
+    Op.Length = Length;
+    Op.Value = Value;
+    return Op;
+  }
+  static TraceOp writeBack(uint32_t Slot, uint32_t BytesBefore,
+                           uint32_t Length, uint8_t Value) {
+    TraceOp Op;
+    Op.OpKind = Kind::WriteBack;
+    Op.Slot = Slot;
+    Op.Offset = BytesBefore;
+    Op.Length = Length;
+    Op.Value = Value;
+    return Op;
+  }
+  static TraceOp read(uint32_t Slot, uint32_t Length) {
+    TraceOp Op;
+    Op.OpKind = Kind::Read;
+    Op.Slot = Slot;
+    Op.Length = Length;
+    return Op;
+  }
+};
+
+/// Replays a fixed operation list.
+class TraceWorkload : public Workload {
+public:
+  explicit TraceWorkload(std::vector<TraceOp> Ops) : Ops(std::move(Ops)) {}
+
+  const char *name() const override { return "trace"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+
+private:
+  std::vector<TraceOp> Ops;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_TRACEWORKLOAD_H

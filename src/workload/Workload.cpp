@@ -1,0 +1,8 @@
+//===- workload/Workload.cpp - Workload interface ---------------------------===//
+
+#include "workload/Workload.h"
+
+using namespace exterminator;
+
+// Out-of-line virtual anchor.
+Workload::~Workload() = default;

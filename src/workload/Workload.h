@@ -1,0 +1,113 @@
+//===- workload/Workload.h - Workload interface ----------------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between "application programs" and the Exterminator
+/// runtime.  A Workload is a deterministic program parameterized by an
+/// input seed: given the same input it performs the same sequence of
+/// allocations, frees, reads, and writes regardless of how the heap
+/// randomizes placement — exactly the property Exterminator's iterative
+/// and replicated modes rely on.  Workloads produce an output byte stream
+/// (what the replicated-mode voter compares) and report how the run ended.
+///
+/// The AllocatorHandle bundles the allocator with the shared CallContext
+/// (so allocation/deallocation sites are recorded, §3.2) and provides the
+/// pointer-validity probe that stands in for a hardware trap: a stored
+/// pointer overwritten by a canary has its low bit set and never points at
+/// a live object, so dereferencing it "segfaults" (§3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_WORKLOAD_H
+#define EXTERMINATOR_WORKLOAD_WORKLOAD_H
+
+#include "alloc/Allocator.h"
+#include "alloc/DieHardHeap.h"
+#include "support/SiteHash.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// How a run ended.
+enum class RunStatusKind {
+  /// Ran to completion with output.
+  Success,
+  /// Simulated segmentation fault (wild pointer dereference).
+  Crash,
+  /// The program detected an impossible state and aborted.
+  Abort,
+};
+
+/// What a run produced.
+struct WorkloadResult {
+  RunStatusKind Status = RunStatusKind::Success;
+  /// The program's output; replicas vote on byte equality.
+  std::vector<uint8_t> Output;
+};
+
+/// The allocator as seen by a workload.
+class AllocatorHandle {
+public:
+  /// \param Heap the underlying randomized heap when one exists (null for
+  ///        baseline allocators; pointer probes then always succeed).
+  AllocatorHandle(Allocator &Alloc, CallContext &Context,
+                  const DieHardHeap *Heap)
+      : Alloc(Alloc), Context(Context), Heap(Heap) {}
+
+  /// Allocates under a one-frame call context extension, so \p SiteToken
+  /// becomes the innermost frame of the recorded allocation site.
+  void *allocate(size_t Size, uint32_t SiteToken) {
+    CallContext::Scope Scope(Context, SiteToken);
+    return Alloc.allocate(Size);
+  }
+
+  /// Frees under a one-frame call context extension.
+  void deallocate(void *Ptr, uint32_t SiteToken) {
+    CallContext::Scope Scope(Context, SiteToken);
+    Alloc.deallocate(Ptr);
+  }
+
+  /// Simulates a pointer dereference: false means the access would trap.
+  /// Faithful to a real process: freed heap memory is still mapped and
+  /// reads fine (returning canaries or stale data); only addresses
+  /// outside the heap trap — exactly what happens when a program
+  /// dereferences a canary value it read through a dangling pointer
+  /// (§3.3: the canary's set low bit guarantees it is never a valid
+  /// object address).
+  bool isLive(const void *Ptr) const {
+    if (!Heap)
+      return Ptr != nullptr;
+    return Heap->findObject(Ptr).has_value();
+  }
+
+  CallContext &context() { return Context; }
+  Allocator &allocator() { return Alloc; }
+  const DieHardHeap *heap() const { return Heap; }
+
+private:
+  Allocator &Alloc;
+  CallContext &Context;
+  const DieHardHeap *Heap;
+};
+
+/// A deterministic application program.
+class Workload {
+public:
+  virtual ~Workload();
+
+  virtual const char *name() const = 0;
+
+  /// Executes the program against \p Handle.  Must be deterministic in
+  /// \p InputSeed: heap randomization may change *addresses* but never
+  /// the logical allocation/free/output sequence of a successful run.
+  virtual WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) = 0;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,51 @@
+//===- tests/TestHelpers.h - Shared test scaffolding -----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across the test suite: running scripted traces over the
+/// full heap stack and collecting heap images from differently-seeded
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_TESTS_TESTHELPERS_H
+#define EXTERMINATOR_TESTS_TESTHELPERS_H
+
+#include "runtime/Exterminator.h"
+#include "workload/TraceWorkload.h"
+
+#include <vector>
+
+namespace exterminator {
+namespace testing_support {
+
+/// Runs \p Ops once over the full stack with the given heap seed.
+inline SingleRunResult runTrace(const std::vector<TraceOp> &Ops,
+                                uint64_t HeapSeed,
+                                const ExterminatorConfig &Config =
+                                    ExterminatorConfig()) {
+  TraceWorkload Work(Ops);
+  return runWorkloadOnce(Work, /*InputSeed=*/1, HeapSeed, Config,
+                         PatchSet());
+}
+
+/// Collects \p Count end-of-run images of \p Ops under distinct heap
+/// seeds (what iterative mode sees for a trace that runs to completion).
+inline std::vector<HeapImage>
+imagesFromTrace(const std::vector<TraceOp> &Ops, unsigned Count,
+                uint64_t FirstSeed = 1000,
+                const ExterminatorConfig &Config = ExterminatorConfig()) {
+  std::vector<HeapImage> Images;
+  for (unsigned I = 0; I < Count; ++I)
+    Images.push_back(
+        runTrace(Ops, FirstSeed + I * 7919, Config).FinalImage);
+  return Images;
+}
+
+} // namespace testing_support
+} // namespace exterminator
+
+#endif // EXTERMINATOR_TESTS_TESTHELPERS_H

@@ -1,0 +1,427 @@
+//===- tests/alloc_test.cpp - Allocator substrate tests ----------------------===//
+
+#include "alloc/BaselineAllocator.h"
+#include "alloc/DieHardHeap.h"
+#include "alloc/Miniheap.h"
+#include "alloc/SizeClass.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// Size classes
+//===----------------------------------------------------------------------===//
+
+TEST(SizeClass, ClassSizesArePowersOfTwo) {
+  for (unsigned C = 0; C < sizeclass::numClasses(); ++C) {
+    const size_t Size = sizeclass::classSize(C);
+    EXPECT_EQ(Size & (Size - 1), 0u) << "class " << C;
+  }
+}
+
+TEST(SizeClass, SmallestAndLargest) {
+  EXPECT_EQ(sizeclass::classSize(0), sizeclass::MinObjectSize);
+  EXPECT_EQ(sizeclass::classSize(sizeclass::numClasses() - 1),
+            sizeclass::MaxObjectSize);
+}
+
+TEST(SizeClass, FitsBoundaries) {
+  EXPECT_FALSE(sizeclass::fits(0));
+  EXPECT_TRUE(sizeclass::fits(1));
+  EXPECT_TRUE(sizeclass::fits(sizeclass::MaxObjectSize));
+  EXPECT_FALSE(sizeclass::fits(sizeclass::MaxObjectSize + 1));
+}
+
+// Property sweep: every representable size maps to the smallest class
+// that fits it.
+class SizeClassSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeClassSweep, RequestFitsItsClassTightly) {
+  const size_t Size = GetParam();
+  const unsigned Class = sizeclass::classFor(Size);
+  EXPECT_GE(sizeclass::classSize(Class), Size);
+  if (Class > 0) {
+    EXPECT_LT(sizeclass::classSize(Class - 1), Size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeSizes, SizeClassSweep,
+                         ::testing::Values(1, 7, 8, 9, 15, 16, 17, 31, 32,
+                                           33, 63, 64, 65, 100, 127, 128,
+                                           129, 255, 256, 257, 1000, 1024,
+                                           4095, 4096, 65536, 1048576));
+
+//===----------------------------------------------------------------------===//
+// Miniheap
+//===----------------------------------------------------------------------===//
+
+TEST(Miniheap, LayoutIsContiguous) {
+  Miniheap Mini(/*SizeClassIndex=*/2, /*NumSlots=*/16, /*CreationTime=*/0,
+                /*GuardBytes=*/64);
+  EXPECT_EQ(Mini.objectSize(), 32u);
+  for (size_t I = 0; I + 1 < 16; ++I)
+    EXPECT_EQ(Mini.slotPointer(I) + 32, Mini.slotPointer(I + 1));
+}
+
+TEST(Miniheap, ContainsAndSlotContaining) {
+  Miniheap Mini(0, 8, 0, 64);
+  EXPECT_TRUE(Mini.contains(Mini.slotPointer(0)));
+  EXPECT_TRUE(Mini.contains(Mini.slotPointer(7) + 7));
+  EXPECT_FALSE(Mini.contains(Mini.slotPointer(7) + 8)); // guard region
+  EXPECT_EQ(Mini.slotContaining(Mini.slotPointer(3) + 5),
+            std::optional<size_t>(3));
+  int Local;
+  EXPECT_FALSE(Mini.contains(&Local));
+}
+
+TEST(Miniheap, MarkAllocatedAndFree) {
+  Miniheap Mini(1, 8, 0, 0);
+  EXPECT_FALSE(Mini.isAllocated(2));
+  Mini.markAllocated(2);
+  EXPECT_TRUE(Mini.isAllocated(2));
+  EXPECT_EQ(Mini.allocatedCount(), 1u);
+  Mini.markFree(2);
+  EXPECT_FALSE(Mini.isAllocated(2));
+}
+
+TEST(Miniheap, SlabStartsZeroed) {
+  Miniheap Mini(1, 4, 0, 0);
+  for (size_t I = 0; I < 4 * 16; ++I)
+    EXPECT_EQ(Mini.base()[I], 0);
+}
+
+TEST(Miniheap, MetadataStartsCleared) {
+  Miniheap Mini(1, 4, 0, 0);
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Mini.slot(I).ObjectId, 0u);
+    EXPECT_FALSE(Mini.slot(I).Canaried);
+    EXPECT_FALSE(Mini.slot(I).Bad);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DieHardHeap
+//===----------------------------------------------------------------------===//
+
+static DieHardConfig testConfig(uint64_t Seed = 1) {
+  DieHardConfig Config;
+  Config.Seed = Seed;
+  Config.InitialSlots = 16;
+  return Config;
+}
+
+TEST(DieHardHeap, AllocateReturnsWritableMemory) {
+  DieHardHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(100);
+  ASSERT_NE(Ptr, nullptr);
+  std::memset(Ptr, 0xcd, 100);
+  EXPECT_EQ(static_cast<uint8_t *>(Ptr)[99], 0xcd);
+}
+
+TEST(DieHardHeap, AllocationsDoNotOverlap) {
+  DieHardHeap Heap(testConfig());
+  std::vector<std::pair<uint8_t *, size_t>> Objects;
+  for (int I = 0; I < 200; ++I) {
+    const size_t Size = 16 + (I % 5) * 24;
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(Size));
+    ASSERT_NE(Ptr, nullptr);
+    Objects.push_back({Ptr, Size});
+  }
+  for (size_t A = 0; A < Objects.size(); ++A)
+    for (size_t B = A + 1; B < Objects.size(); ++B) {
+      const bool Disjoint =
+          Objects[A].first + Objects[A].second <= Objects[B].first ||
+          Objects[B].first + Objects[B].second <= Objects[A].first;
+      EXPECT_TRUE(Disjoint) << A << " overlaps " << B;
+    }
+}
+
+TEST(DieHardHeap, ZeroSizeAndOversizeRejected) {
+  DieHardHeap Heap(testConfig());
+  EXPECT_EQ(Heap.allocate(0), nullptr);
+  EXPECT_EQ(Heap.allocate(sizeclass::MaxObjectSize + 1), nullptr);
+}
+
+TEST(DieHardHeap, ClockCountsAllocations) {
+  DieHardHeap Heap(testConfig());
+  EXPECT_EQ(Heap.allocationClock(), 0u);
+  Heap.allocate(16);
+  Heap.allocate(16);
+  EXPECT_EQ(Heap.allocationClock(), 2u);
+}
+
+TEST(DieHardHeap, ObjectIdsAreSequential) {
+  DieHardHeap Heap(testConfig());
+  for (uint64_t I = 1; I <= 5; ++I) {
+    void *Ptr = Heap.allocate(32);
+    auto Ref = Heap.findObject(Ptr);
+    ASSERT_TRUE(Ref.has_value());
+    EXPECT_EQ(Heap.objectMetadata(*Ref).ObjectId, I);
+  }
+}
+
+TEST(DieHardHeap, InvalidFreeIsIgnoredAndCounted) {
+  DieHardHeap Heap(testConfig());
+  int Local = 0;
+  Heap.deallocate(&Local);
+  EXPECT_EQ(Heap.stats().InvalidFrees, 1u);
+  EXPECT_EQ(Heap.stats().Deallocations, 0u);
+}
+
+TEST(DieHardHeap, InteriorPointerFreeIsInvalid) {
+  DieHardHeap Heap(testConfig());
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(64));
+  Heap.deallocate(Ptr + 8);
+  EXPECT_EQ(Heap.stats().InvalidFrees, 1u);
+  EXPECT_TRUE(Heap.isLivePointer(Ptr));
+}
+
+TEST(DieHardHeap, DoubleFreeIsIgnoredAndCounted) {
+  DieHardHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(64);
+  Heap.deallocate(Ptr);
+  Heap.deallocate(Ptr);
+  EXPECT_EQ(Heap.stats().Deallocations, 1u);
+  EXPECT_EQ(Heap.stats().DoubleFrees, 1u);
+}
+
+TEST(DieHardHeap, FreeRecordsTimeAndLiveness) {
+  DieHardHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(64);
+  Heap.allocate(64);
+  auto Ref = Heap.findObject(Ptr);
+  ASSERT_TRUE(Ref.has_value());
+  EXPECT_TRUE(Heap.isLivePointer(Ptr));
+  Heap.deallocate(Ptr);
+  EXPECT_FALSE(Heap.isLivePointer(Ptr));
+  EXPECT_EQ(Heap.objectMetadata(*Ref).FreeTime, 2u);
+}
+
+TEST(DieHardHeap, FindObjectMapsInteriorAddresses) {
+  DieHardHeap Heap(testConfig());
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(128));
+  auto Ref = Heap.findObject(Ptr + 100);
+  ASSERT_TRUE(Ref.has_value());
+  EXPECT_EQ(Heap.objectPointer(*Ref), Ptr);
+}
+
+TEST(DieHardHeap, FindObjectRejectsForeignAddresses) {
+  DieHardHeap Heap(testConfig());
+  Heap.allocate(64);
+  int Local;
+  EXPECT_FALSE(Heap.findObject(&Local).has_value());
+  EXPECT_FALSE(Heap.findObject(nullptr).has_value());
+}
+
+TEST(DieHardHeap, MultiplierKeepsHeapUnderOccupied) {
+  // The heap invariant: live objects never exceed capacity / M (§3.1).
+  DieHardConfig Config = testConfig();
+  Config.Multiplier = 2.0;
+  DieHardHeap Heap(Config);
+  for (int I = 0; I < 500; ++I)
+    Heap.allocate(32);
+  const unsigned Class = sizeclass::classFor(32);
+  EXPECT_GE(Heap.classCapacity(Class),
+            static_cast<size_t>(Heap.liveObjectCount() * 2));
+}
+
+TEST(DieHardHeap, MiniheapsDoubleInSize) {
+  DieHardHeap Heap(testConfig());
+  for (int I = 0; I < 300; ++I)
+    Heap.allocate(32);
+  const unsigned Class = sizeclass::classFor(32);
+  const unsigned HeapCount = Heap.classHeapCount(Class);
+  ASSERT_GE(HeapCount, 2u);
+  size_t PrevSlots = 0;
+  Heap.forEachMiniheap([&](unsigned C, unsigned /*H*/, const Miniheap &Mini) {
+    if (C != Class)
+      return;
+    if (PrevSlots) {
+      EXPECT_EQ(Mini.numSlots(), PrevSlots * 2);
+    }
+    PrevSlots = Mini.numSlots();
+  });
+}
+
+TEST(DieHardHeap, PlacementDiffersAcrossSeeds) {
+  // Differently-seeded heaps must randomize object placement
+  // independently — the foundation of every probabilistic claim.
+  DieHardHeap A(testConfig(1)), B(testConfig(2));
+  unsigned SameSlot = 0;
+  constexpr int N = 64;
+  for (int I = 0; I < N; ++I) {
+    void *Pa = A.allocate(32);
+    void *Pb = B.allocate(32);
+    auto Ra = A.findObject(Pa);
+    auto Rb = B.findObject(Pb);
+    if (Ra->SlotIndex == Rb->SlotIndex && Ra->HeapIndex == Rb->HeapIndex)
+      ++SameSlot;
+  }
+  EXPECT_LT(SameSlot, N / 2);
+}
+
+TEST(DieHardHeap, SameSeedIsReproducible) {
+  DieHardHeap A(testConfig(77)), B(testConfig(77));
+  for (int I = 0; I < 64; ++I) {
+    auto Ra = A.findObject(A.allocate(48));
+    auto Rb = B.findObject(B.allocate(48));
+    EXPECT_EQ(Ra->SlotIndex, Rb->SlotIndex);
+    EXPECT_EQ(Ra->HeapIndex, Rb->HeapIndex);
+  }
+}
+
+TEST(DieHardHeap, PlacementIsRoughlyUniform) {
+  // Chi-square-ish check: allocate/free repeatedly in a fixed-capacity
+  // class and confirm every slot gets used.
+  DieHardHeap Heap(testConfig(5));
+  std::map<size_t, int> SlotUse;
+  for (int I = 0; I < 2000; ++I) {
+    void *Ptr = Heap.allocate(32);
+    auto Ref = Heap.findObject(Ptr);
+    ++SlotUse[Ref->SlotIndex + 1000 * Ref->HeapIndex];
+    Heap.deallocate(Ptr);
+  }
+  EXPECT_GT(SlotUse.size(), 10u);
+}
+
+TEST(DieHardHeap, QuarantineBlocksReuse) {
+  DieHardHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(32);
+  auto Ref = Heap.findObject(Ptr);
+  Heap.deallocate(Ptr);
+  Heap.quarantine(*Ref);
+  // The quarantined slot must never be returned again.
+  for (int I = 0; I < 200; ++I)
+    EXPECT_NE(Heap.allocate(32), Ptr);
+  // Freeing it counts as a double free and changes nothing.
+  Heap.deallocate(Ptr);
+  EXPECT_EQ(Heap.stats().DoubleFrees, 1u);
+}
+
+TEST(DieHardHeap, SiteHashesRecordedFromContext) {
+  CallContext Context;
+  Context.pushFrame(0xaa);
+  DieHardHeap Heap(testConfig(), &Context);
+  void *Ptr;
+  {
+    CallContext::Scope Scope(Context, 0xbb);
+    Ptr = Heap.allocate(32);
+  }
+  auto Ref = Heap.findObject(Ptr);
+  const SiteId AllocSite = Heap.objectMetadata(*Ref).AllocSite;
+  EXPECT_NE(AllocSite, 0u);
+  {
+    CallContext::Scope Scope(Context, 0xcc);
+    Heap.deallocate(Ptr);
+  }
+  EXPECT_NE(Heap.objectMetadata(*Ref).FreeSite, 0u);
+  EXPECT_NE(Heap.objectMetadata(*Ref).FreeSite, AllocSite);
+}
+
+TEST(DieHardHeap, NeighborSlotsAreAddressOrdered) {
+  DieHardHeap Heap(testConfig());
+  void *Ptr = nullptr;
+  // Find an object with both neighbors.
+  std::optional<ObjectRef> Mid;
+  for (int I = 0; I < 50 && !Mid; ++I) {
+    Ptr = Heap.allocate(32);
+    auto Ref = Heap.findObject(Ptr);
+    if (Ref->SlotIndex > 0 &&
+        Ref->SlotIndex + 1 < Heap.miniheap(*Ref).numSlots())
+      Mid = Ref;
+  }
+  ASSERT_TRUE(Mid.has_value());
+  auto Prev = Heap.previousSlot(*Mid);
+  auto Next = Heap.nextSlot(*Mid);
+  ASSERT_TRUE(Prev && Next);
+  EXPECT_EQ(Heap.objectPointer(*Prev) + Heap.miniheap(*Mid).objectSize(),
+            Heap.objectPointer(*Mid));
+  EXPECT_EQ(Heap.objectPointer(*Mid) + Heap.miniheap(*Mid).objectSize(),
+            Heap.objectPointer(*Next));
+}
+
+// Parameterized: the heap behaves across multipliers.
+class MultiplierSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultiplierSweep, OccupancyBoundHolds) {
+  DieHardConfig Config = testConfig(3);
+  Config.Multiplier = GetParam();
+  DieHardHeap Heap(Config);
+  std::vector<void *> Live;
+  RandomGenerator Rng(9);
+  for (int I = 0; I < 400; ++I) {
+    Live.push_back(Heap.allocate(64));
+    if (Live.size() > 20 && Rng.chance(0.5)) {
+      const size_t Pick = Rng.nextBelow(Live.size());
+      Heap.deallocate(Live[Pick]);
+      Live.erase(Live.begin() + Pick);
+    }
+  }
+  const unsigned Class = sizeclass::classFor(64);
+  EXPECT_GE(static_cast<double>(Heap.classCapacity(Class)),
+            static_cast<double>(Heap.liveObjectCount()) * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, MultiplierSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0));
+
+//===----------------------------------------------------------------------===//
+// BaselineAllocator
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineAllocator, AllocateAndReuse) {
+  BaselineAllocator Alloc;
+  void *A = Alloc.allocate(40);
+  ASSERT_NE(A, nullptr);
+  std::memset(A, 1, 40);
+  Alloc.deallocate(A);
+  // Freelist reuse: the same chunk comes back for an equal-size request.
+  void *B = Alloc.allocate(40);
+  EXPECT_EQ(B, A);
+}
+
+TEST(BaselineAllocator, DistinctLiveChunks) {
+  BaselineAllocator Alloc;
+  void *A = Alloc.allocate(32);
+  void *B = Alloc.allocate(32);
+  EXPECT_NE(A, B);
+}
+
+TEST(BaselineAllocator, DoubleFreeDetectedViaHeaderTag) {
+  BaselineAllocator Alloc;
+  void *A = Alloc.allocate(32);
+  Alloc.deallocate(A);
+  Alloc.deallocate(A);
+  EXPECT_EQ(Alloc.stats().InvalidFrees, 1u);
+}
+
+TEST(BaselineAllocator, LargeAllocations) {
+  BaselineAllocator Alloc;
+  void *Big = Alloc.allocate(500000);
+  ASSERT_NE(Big, nullptr);
+  std::memset(Big, 0x7e, 500000);
+  Alloc.deallocate(Big);
+  EXPECT_EQ(Alloc.stats().Deallocations, 1u);
+}
+
+TEST(BaselineAllocator, ZeroByteRequestSucceeds) {
+  BaselineAllocator Alloc;
+  EXPECT_NE(Alloc.allocate(0), nullptr);
+}
+
+TEST(BaselineAllocator, ManyCycles) {
+  BaselineAllocator Alloc;
+  for (int I = 0; I < 10000; ++I) {
+    void *Ptr = Alloc.allocate(16 + (I % 7) * 8);
+    ASSERT_NE(Ptr, nullptr);
+    Alloc.deallocate(Ptr);
+  }
+  EXPECT_EQ(Alloc.stats().Allocations, 10000u);
+  EXPECT_EQ(Alloc.stats().Deallocations, 10000u);
+}

@@ -1,0 +1,383 @@
+//===- tests/cumulative_test.cpp - Cumulative mode tests (§5) -----------------===//
+
+#include "cumulative/BayesClassifier.h"
+#include "cumulative/CumulativeIsolator.h"
+#include "cumulative/SiteEstimator.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace exterminator;
+using namespace exterminator::testing_support;
+
+//===----------------------------------------------------------------------===//
+// BayesClassifier (§5.1)
+//===----------------------------------------------------------------------===//
+
+TEST(BayesClassifier, H0LikelihoodMatchesClosedForm) {
+  // Two trials with X = 1/2: observing (Y=1, Y=0) has probability 1/4.
+  std::vector<BayesTrial> Trials = {{0.5, true}, {0.5, false}};
+  EXPECT_NEAR(BayesClassifier::logLikelihoodH0(Trials), std::log(0.25),
+              1e-9);
+}
+
+TEST(BayesClassifier, H1IntegralMatchesClosedForm) {
+  // One trial, X = 0, Y = 1: P(Y|θ) = θ, so ∫θ dθ = 1/2.
+  std::vector<BayesTrial> Trials = {{0.0, true}};
+  EXPECT_NEAR(std::exp(BayesClassifier::logLikelihoodH1(Trials)), 0.5,
+              1e-6);
+}
+
+TEST(BayesClassifier, H1IntegralMatchesClosedFormQuadratic) {
+  // Two trials, X = 0, Y = 1 twice: ∫θ² dθ = 1/3.
+  std::vector<BayesTrial> Trials = {{0.0, true}, {0.0, true}};
+  EXPECT_NEAR(std::exp(BayesClassifier::logLikelihoodH1(Trials)),
+              1.0 / 3.0, 1e-6);
+}
+
+TEST(BayesClassifier, H1IntegralWithMixedOutcomes) {
+  // X = 0 trials: P(Y=1|θ) = θ, P(Y=0|θ) = 1−θ.
+  // ∫ θ(1−θ) dθ = 1/6.
+  std::vector<BayesTrial> Trials = {{0.0, true}, {0.0, false}};
+  EXPECT_NEAR(std::exp(BayesClassifier::logLikelihoodH1(Trials)),
+              1.0 / 6.0, 1e-6);
+}
+
+TEST(BayesClassifier, BayesFactorGrowsWithConsistentHits) {
+  // A site whose Y = 1 at X = 1/2 every run: the Bayes factor must grow
+  // without bound — this is how "15 failures" eventually cross any
+  // threshold (§7.2).
+  std::vector<BayesTrial> Trials;
+  double Previous = -1e300;
+  for (int I = 0; I < 20; ++I) {
+    Trials.push_back(BayesTrial{0.5, true});
+    const double LogBF = BayesClassifier::logBayesFactor(Trials);
+    EXPECT_GT(LogBF, Previous);
+    Previous = LogBF;
+  }
+  EXPECT_GT(Previous, 5.0);
+}
+
+TEST(BayesClassifier, ChanceLevelHitsDoNotAccumulateEvidence) {
+  // Y = 1 at exactly the chance rate: no sustained growth.  Interleave
+  // hits and misses at X = 1/2.
+  std::vector<BayesTrial> Trials;
+  for (int I = 0; I < 30; ++I)
+    Trials.push_back(BayesTrial{0.5, I % 2 == 0});
+  EXPECT_LT(BayesClassifier::logBayesFactor(Trials), 1.0);
+}
+
+TEST(BayesClassifier, ThresholdScalesWithSiteCount) {
+  const BayesClassifier Classifier(4.0);
+  // P(H1) = 1/(4N): more candidate sites → higher threshold.
+  EXPECT_LT(Classifier.logThreshold(10), Classifier.logThreshold(1000));
+  EXPECT_NEAR(Classifier.logThreshold(1),
+              std::log((1.0 - 0.25) / 0.25), 1e-9);
+}
+
+TEST(BayesClassifier, IsErrorSourceEndToEnd) {
+  const BayesClassifier Classifier(4.0);
+  std::vector<BayesTrial> Guilty, Innocent;
+  for (int I = 0; I < 15; ++I) {
+    Guilty.push_back(BayesTrial{0.3, true});
+    Innocent.push_back(BayesTrial{0.3, I % 3 == 0}); // ~chance rate
+  }
+  EXPECT_TRUE(Classifier.isErrorSource(Guilty, 100));
+  EXPECT_FALSE(Classifier.isErrorSource(Innocent, 100));
+}
+
+TEST(BayesClassifier, EmptyTrialsNeverFlag) {
+  const BayesClassifier Classifier(4.0);
+  EXPECT_FALSE(Classifier.isErrorSource({}, 10));
+}
+
+TEST(BayesClassifier, ExtremeProbabilitiesAreClamped) {
+  // X = 0 with Y = 1 would be -inf under H0 without clamping; the
+  // classifier must stay finite and strongly favor H1.
+  std::vector<BayesTrial> Trials = {{0.0, true}, {0.0, true}};
+  const double LogBF = BayesClassifier::logBayesFactor(Trials);
+  EXPECT_TRUE(std::isfinite(LogBF));
+  EXPECT_GT(LogBF, 10.0);
+}
+
+//===----------------------------------------------------------------------===//
+// SiteEstimator (§5.1, §5.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint32_t SiteA = 0x100;
+constexpr uint32_t SiteB = 0x200;
+constexpr uint32_t SiteF = 0x300;
+
+SiteId tokenSite(uint32_t Token) {
+  CallContext Context;
+  Context.pushFrame(Token);
+  return Context.currentSite();
+}
+
+/// A run with a 6-byte overflow from SiteA (64-byte buffer).
+std::vector<TraceOp> overflowTrace() {
+  std::vector<TraceOp> Ops;
+  for (uint32_t I = 0; I < 24; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
+  for (uint32_t I = 0; I < 24; I += 2)
+    Ops.push_back(TraceOp::free(I, SiteF));
+  Ops.push_back(TraceOp::alloc(100, 64, SiteA));
+  Ops.push_back(TraceOp::write(100, 64, 6, 0x77));
+  return Ops;
+}
+} // namespace
+
+TEST(SiteEstimator, CleanRunHasNoCorruption) {
+  std::vector<TraceOp> Ops;
+  for (uint32_t I = 0; I < 16; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
+  const auto Run = runTrace(Ops, 42);
+  const RunSummary Summary = summarizeRun(Run.FinalImage, false);
+  EXPECT_FALSE(Summary.CorruptionObserved);
+  EXPECT_TRUE(Summary.OverflowTrials.empty());
+  EXPECT_FALSE(Summary.Failed);
+}
+
+TEST(SiteEstimator, OverflowRunProducesTrials) {
+  // The overflow lands on a canaried free slot in most randomizations;
+  // find a seed where it does and check the trial structure.
+  for (uint64_t Seed = 1; Seed < 20; ++Seed) {
+    const auto Run = runTrace(overflowTrace(), Seed);
+    const RunSummary Summary = summarizeRun(Run.FinalImage, false);
+    if (!Summary.CorruptionObserved)
+      continue;
+    ASSERT_FALSE(Summary.OverflowTrials.empty());
+    for (const OverflowTrial &Trial : Summary.OverflowTrials) {
+      EXPECT_GE(Trial.Probability, 0.0);
+      EXPECT_LE(Trial.Probability, 1.0);
+    }
+    return;
+  }
+  FAIL() << "no seed produced observable corruption";
+}
+
+TEST(SiteEstimator, TrueCulpritSiteObservedWhenCorrupt) {
+  // Whenever corruption is observed, the true culprit (directly below
+  // its own overflow) must have Y = 1.
+  unsigned Corrupt = 0, CulpritObserved = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    const auto Run = runTrace(overflowTrace(), Seed);
+    const RunSummary Summary = summarizeRun(Run.FinalImage, false);
+    if (!Summary.CorruptionObserved)
+      continue;
+    ++Corrupt;
+    for (const OverflowTrial &Trial : Summary.OverflowTrials)
+      if (Trial.AllocSite == tokenSite(SiteA) && Trial.Observed)
+        ++CulpritObserved;
+  }
+  ASSERT_GT(Corrupt, 0u);
+  EXPECT_EQ(CulpritObserved, Corrupt);
+}
+
+TEST(SiteEstimator, DanglingTrialsOnlyOnFailedRuns) {
+  std::vector<TraceOp> Ops;
+  Ops.push_back(TraceOp::alloc(0, 64, SiteA));
+  Ops.push_back(TraceOp::free(0, SiteF));
+  const auto Run = runTrace(Ops, 3);
+  EXPECT_TRUE(summarizeRun(Run.FinalImage, false).DanglingTrials.empty());
+  EXPECT_FALSE(summarizeRun(Run.FinalImage, true).DanglingTrials.empty());
+}
+
+TEST(SiteEstimator, DanglingTrialProbabilityReflectsP) {
+  // With p = 1 and one freed object, X = 1 − (1−p)^1 = 1.
+  std::vector<TraceOp> Ops;
+  Ops.push_back(TraceOp::alloc(0, 64, SiteA));
+  Ops.push_back(TraceOp::free(0, SiteF));
+  const auto Run = runTrace(Ops, 3);
+  const RunSummary Summary = summarizeRun(Run.FinalImage, true);
+  ASSERT_EQ(Summary.DanglingTrials.size(), 1u);
+  EXPECT_NEAR(Summary.DanglingTrials[0].Probability, 1.0, 1e-12);
+  EXPECT_TRUE(Summary.DanglingTrials[0].Observed);
+}
+
+TEST(SiteEstimator, HalfCanaryProbabilityInTrials) {
+  ExterminatorConfig Config;
+  Config.CanaryFillProbability = 0.5;
+  std::vector<TraceOp> Ops;
+  Ops.push_back(TraceOp::alloc(0, 64, SiteA));
+  Ops.push_back(TraceOp::free(0, SiteF));
+  Ops.push_back(TraceOp::alloc(1, 64, SiteA));
+  Ops.push_back(TraceOp::free(1, SiteF));
+  const auto Run = runTrace(Ops, 3, Config);
+  const RunSummary Summary = summarizeRun(Run.FinalImage, true);
+  ASSERT_EQ(Summary.DanglingTrials.size(), 1u);
+  // Two freed objects at p = 1/2: X = 1 − (1/2)² = 3/4.
+  EXPECT_NEAR(Summary.DanglingTrials[0].Probability, 0.75, 1e-12);
+}
+
+TEST(RunSummary, SerializationRoundTrip) {
+  RunSummary Summary;
+  Summary.Failed = true;
+  Summary.CorruptionObserved = true;
+  Summary.EndTime = 12345;
+  Summary.OverflowTrials.push_back(OverflowTrial{0xaaaa, 0.25, true, 6});
+  Summary.OverflowTrials.push_back(OverflowTrial{0xbbbb, 0.5, false, 0});
+  Summary.DanglingTrials.push_back(
+      DanglingTrial{0xcccc, 0xdddd, 0.75, true, 42});
+
+  RunSummary Back;
+  ASSERT_TRUE(deserializeRunSummary(serializeRunSummary(Summary), Back));
+  EXPECT_EQ(Back.Failed, Summary.Failed);
+  EXPECT_EQ(Back.CorruptionObserved, Summary.CorruptionObserved);
+  EXPECT_EQ(Back.EndTime, Summary.EndTime);
+  EXPECT_EQ(Back.OverflowTrials, Summary.OverflowTrials);
+  EXPECT_EQ(Back.DanglingTrials, Summary.DanglingTrials);
+}
+
+TEST(RunSummary, DeserializeRejectsGarbage) {
+  RunSummary Back;
+  EXPECT_FALSE(deserializeRunSummary({9, 9, 9, 9}, Back));
+}
+
+//===----------------------------------------------------------------------===//
+// CumulativeIsolator (§5)
+//===----------------------------------------------------------------------===//
+
+TEST(CumulativeIsolator, FlagsConsistentlyGuiltySite) {
+  CumulativeIsolator Isolator;
+  // 20 corrupted runs where site 0xaaaa always satisfies the criteria at
+  // 30% chance probability, while 50 innocent sites hit at chance.
+  RandomGenerator Rng(7);
+  for (int Run = 0; Run < 20; ++Run) {
+    RunSummary Summary;
+    Summary.CorruptionObserved = true;
+    Summary.OverflowTrials.push_back(OverflowTrial{0xaaaa, 0.3, true, 6});
+    for (SiteId S = 1; S <= 50; ++S)
+      Summary.OverflowTrials.push_back(
+          OverflowTrial{S, 0.3, Rng.chance(0.3), 2});
+    Isolator.addRun(Summary);
+  }
+  const auto Findings = Isolator.classifyOverflows();
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_EQ(Findings.front().AllocSite, 0xaaaau);
+  EXPECT_EQ(Findings.front().PadBytes, 6u);
+  // No innocent site outranks the guilty one.
+  for (const auto &Finding : Findings) {
+    if (Finding.AllocSite != 0xaaaa) {
+      EXPECT_LT(Finding.LogBayesFactor, Findings.front().LogBayesFactor);
+    }
+  }
+}
+
+TEST(CumulativeIsolator, NoFindingsFromChanceAlone) {
+  CumulativeIsolator Isolator;
+  RandomGenerator Rng(11);
+  for (int Run = 0; Run < 30; ++Run) {
+    RunSummary Summary;
+    Summary.CorruptionObserved = true;
+    for (SiteId S = 1; S <= 50; ++S)
+      Summary.OverflowTrials.push_back(
+          OverflowTrial{S, 0.3, Rng.chance(0.3), 1});
+    Isolator.addRun(Summary);
+  }
+  EXPECT_TRUE(Isolator.classifyOverflows().empty());
+}
+
+TEST(CumulativeIsolator, DanglingPairCrossesThresholdWithFailures) {
+  CumulativeIsolator Isolator;
+  RandomGenerator Rng(13);
+  unsigned Failures = 0;
+  // Failed runs: the dangled pair was always canaried (that is why the
+  // run failed); innocent pairs are canaried at the chance rate p = 1/2.
+  while (Isolator.classifyDanglings().empty() && Failures < 50) {
+    RunSummary Summary;
+    Summary.Failed = true;
+    Summary.DanglingTrials.push_back(
+        DanglingTrial{0xaaaa, 0xbbbb, 0.5, true, 40});
+    for (SiteId S = 1; S <= 30; ++S)
+      Summary.DanglingTrials.push_back(
+          DanglingTrial{S, S + 1, 0.5, Rng.chance(0.5), 10});
+    Isolator.addRun(Summary);
+    ++Failures;
+  }
+  const auto Findings = Isolator.classifyDanglings();
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_EQ(Findings.front().AllocSite, 0xaaaau);
+  EXPECT_EQ(Findings.front().FreeSite, 0xbbbbu);
+  // 2 × max free-to-failure distance (§5.2).
+  EXPECT_EQ(Findings.front().DeferralTicks, 80u);
+  // The paper observes ~15 failures before crossing; ours should be in
+  // the same regime (tens, not thousands or units).
+  EXPECT_GE(Failures, 5u);
+  EXPECT_LE(Failures, 40u);
+}
+
+TEST(CumulativeIsolator, PatchesReflectFindings) {
+  CumulativeIsolator Isolator;
+  for (int Run = 0; Run < 25; ++Run) {
+    RunSummary Summary;
+    Summary.CorruptionObserved = true;
+    Summary.Failed = true;
+    Summary.OverflowTrials.push_back(OverflowTrial{0x1111, 0.2, true, 36});
+    Summary.DanglingTrials.push_back(
+        DanglingTrial{0x2222, 0x3333, 0.5, true, 100});
+    for (SiteId S = 1; S <= 40; ++S) {
+      Summary.OverflowTrials.push_back(OverflowTrial{S, 0.2, false, 0});
+      Summary.DanglingTrials.push_back(
+          DanglingTrial{S, S, 0.5, Run % 2 == 0, 5});
+    }
+    Isolator.addRun(Summary);
+  }
+  const PatchSet Patches = Isolator.patches();
+  EXPECT_EQ(Patches.padFor(0x1111), 36u);
+  EXPECT_EQ(Patches.deferralFor(0x2222, 0x3333), 200u);
+}
+
+TEST(CumulativeIsolator, StateSerializationRoundTrip) {
+  CumulativeIsolator Isolator;
+  RunSummary Summary;
+  Summary.Failed = true;
+  Summary.CorruptionObserved = true;
+  Summary.OverflowTrials.push_back(OverflowTrial{0xaaaa, 0.3, true, 6});
+  Summary.DanglingTrials.push_back(
+      DanglingTrial{0xbbbb, 0xcccc, 0.5, true, 42});
+  for (int I = 0; I < 10; ++I)
+    Isolator.addRun(Summary);
+
+  CumulativeIsolator Back;
+  ASSERT_TRUE(Back.deserialize(Isolator.serialize()));
+  EXPECT_EQ(Back.runCount(), 10u);
+  EXPECT_EQ(Back.failedRunCount(), 10u);
+  // Classification over the restored state matches.
+  const auto A = Isolator.classifyOverflows();
+  const auto B = Back.classifyOverflows();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].AllocSite, B[I].AllocSite);
+    EXPECT_DOUBLE_EQ(A[I].LogBayesFactor, B[I].LogBayesFactor);
+  }
+}
+
+TEST(CumulativeIsolator, DeserializeRejectsGarbage) {
+  CumulativeIsolator Isolator;
+  EXPECT_FALSE(Isolator.deserialize({1, 2, 3}));
+}
+
+TEST(CumulativeIsolator, TotalSitesHintRaisesThreshold) {
+  // The same evidence flags with a small N but not with a huge one.
+  RunSummary Summary;
+  Summary.CorruptionObserved = true;
+  Summary.OverflowTrials.push_back(OverflowTrial{0xaaaa, 0.5, true, 4});
+
+  CumulativeConfig SmallN;
+  SmallN.TotalSitesHint = 2;
+  CumulativeIsolator Small(SmallN);
+  CumulativeConfig HugeN;
+  HugeN.TotalSitesHint = 1000000000;
+  CumulativeIsolator Huge(HugeN);
+  for (int I = 0; I < 8; ++I) {
+    Small.addRun(Summary);
+    Huge.addRun(Summary);
+  }
+  EXPECT_FALSE(Small.classifyOverflows().empty());
+  EXPECT_TRUE(Huge.classifyOverflows().empty());
+}

@@ -1,0 +1,293 @@
+//===- tests/diefast_test.cpp - DieFast tests --------------------------------===//
+
+#include "diefast/DieFastHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace exterminator;
+
+static DieFastConfig testConfig(uint64_t Seed = 1, double P = 1.0) {
+  DieFastConfig Config;
+  Config.Heap.Seed = Seed;
+  Config.Heap.InitialSlots = 16;
+  Config.CanaryFillProbability = P;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// Canary
+//===----------------------------------------------------------------------===//
+
+TEST(Canary, RandomCanaryHasLowBitSet) {
+  RandomGenerator Rng(1);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Canary::random(Rng).value() & 1u, 1u);
+}
+
+TEST(Canary, RandomCanariesDiffer) {
+  RandomGenerator Rng(2);
+  EXPECT_NE(Canary::random(Rng).value(), Canary::random(Rng).value());
+}
+
+TEST(Canary, FillVerifyRoundTrip) {
+  const Canary C = Canary::fromValue(0xdeadbeefu | 1);
+  uint8_t Buffer[64];
+  C.fill(Buffer, sizeof(Buffer));
+  EXPECT_TRUE(C.verify(Buffer, sizeof(Buffer)));
+}
+
+TEST(Canary, VerifyDetectsSingleByteCorruption) {
+  const Canary C = Canary::fromValue(0x12345679u);
+  uint8_t Buffer[32];
+  C.fill(Buffer, sizeof(Buffer));
+  Buffer[17] ^= 0xff;
+  EXPECT_FALSE(C.verify(Buffer, sizeof(Buffer)));
+}
+
+TEST(Canary, FindCorruptionReturnsExactEnvelope) {
+  const Canary C = Canary::fromValue(0xabcdef01u);
+  uint8_t Buffer[64];
+  C.fill(Buffer, sizeof(Buffer));
+  Buffer[10] ^= 1;
+  Buffer[20] ^= 1;
+  auto Extent = C.findCorruption(Buffer, sizeof(Buffer));
+  ASSERT_TRUE(Extent.has_value());
+  EXPECT_EQ(Extent->Begin, 10u);
+  EXPECT_EQ(Extent->End, 21u);
+  EXPECT_EQ(Extent->length(), 11u);
+}
+
+TEST(Canary, FindCorruptionOnIntactBufferIsEmpty) {
+  const Canary C = Canary::fromValue(0x55555555u);
+  uint8_t Buffer[16];
+  C.fill(Buffer, sizeof(Buffer));
+  EXPECT_FALSE(C.findCorruption(Buffer, sizeof(Buffer)).has_value());
+}
+
+TEST(Canary, ByteAtMatchesLittleEndianPattern) {
+  const Canary C = Canary::fromValue(0x04030201u);
+  EXPECT_EQ(C.byteAt(0), 0x01);
+  EXPECT_EQ(C.byteAt(1), 0x02);
+  EXPECT_EQ(C.byteAt(2), 0x03);
+  EXPECT_EQ(C.byteAt(3), 0x04);
+  EXPECT_EQ(C.byteAt(4), 0x01); // repeats
+}
+
+//===----------------------------------------------------------------------===//
+// DieFastHeap basics
+//===----------------------------------------------------------------------===//
+
+TEST(DieFastHeap, AllocationsAreZeroFilled) {
+  DieFastHeap Heap(testConfig());
+  for (int I = 0; I < 20; ++I) {
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(64));
+    ASSERT_NE(Ptr, nullptr);
+    for (int B = 0; B < 64; ++B)
+      EXPECT_EQ(Ptr[B], 0) << "allocation " << I << " byte " << B;
+    std::memset(Ptr, 0xff, 64); // dirty it for the next reuse
+    Heap.deallocate(Ptr);
+  }
+}
+
+TEST(DieFastHeap, FreeFillsWithCanary) {
+  DieFastHeap Heap(testConfig());
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(64));
+  Heap.deallocate(Ptr);
+  // p = 1.0 outside cumulative mode: the slot must hold the canary.
+  EXPECT_TRUE(Heap.canary().verify(Ptr, 64));
+  auto Ref = Heap.heap().findObject(Ptr);
+  EXPECT_TRUE(Heap.heap().objectMetadata(*Ref).Canaried);
+}
+
+TEST(DieFastHeap, CanaryFillProbabilityZeroNeverFills) {
+  DieFastHeap Heap(testConfig(1, 0.0));
+  for (int I = 0; I < 50; ++I) {
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+    Heap.deallocate(Ptr);
+    auto Ref = Heap.heap().findObject(Ptr);
+    EXPECT_FALSE(Heap.heap().objectMetadata(*Ref).Canaried);
+  }
+}
+
+TEST(DieFastHeap, CanaryFillProbabilityHalfIsBernoulli) {
+  DieFastHeap Heap(testConfig(3, 0.5));
+  int Canaried = 0;
+  constexpr int N = 2000;
+  for (int I = 0; I < N; ++I) {
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+    Heap.deallocate(Ptr);
+    auto Ref = Heap.heap().findObject(Ptr);
+    if (Heap.heap().objectMetadata(*Ref).Canaried)
+      ++Canaried;
+  }
+  EXPECT_NEAR(Canaried, N / 2, N * 0.05);
+}
+
+TEST(DieFastHeap, CanariesDifferAcrossSeeds) {
+  DieFastHeap A(testConfig(1)), B(testConfig(2));
+  EXPECT_NE(A.canary().value(), B.canary().value());
+}
+
+//===----------------------------------------------------------------------===//
+// DieFast error detection (Figure 4)
+//===----------------------------------------------------------------------===//
+
+TEST(DieFastHeap, DetectsCorruptionOnReuse) {
+  DieFastHeap Heap(testConfig(7));
+  std::vector<ErrorSignal> Signals;
+  Heap.setErrorHandler([&](const ErrorSignal &S) { Signals.push_back(S); });
+
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+  Heap.deallocate(Ptr);
+  // Simulate a dangling write: scribble over the canary-filled slot.
+  Ptr[4] = 0x77;
+  Ptr[5] = 0x88;
+
+  // Hammer the same size class until the corrupted slot is probed.
+  std::vector<void *> Hold;
+  for (int I = 0; I < 500 && Signals.empty(); ++I)
+    Hold.push_back(Heap.allocate(32));
+
+  ASSERT_FALSE(Signals.empty());
+  EXPECT_EQ(Signals[0].Kind, ErrorSignalKind::CanaryCorruptOnAlloc);
+  EXPECT_GE(Heap.errorsSignalled(), 1u);
+}
+
+TEST(DieFastHeap, BadObjectIsolationPreservesCorruptContents) {
+  DieFastHeap Heap(testConfig(7));
+  bool Signalled = false;
+  ObjectRef BadRef;
+  Heap.setErrorHandler([&](const ErrorSignal &S) {
+    Signalled = true;
+    BadRef = S.Where;
+  });
+
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+  auto Ref = Heap.heap().findObject(Ptr);
+  const uint64_t OriginalId = Heap.heap().objectMetadata(*Ref).ObjectId;
+  Heap.deallocate(Ptr);
+  Ptr[4] = 0x77;
+
+  std::vector<void *> Hold;
+  for (int I = 0; I < 500 && !Signalled; ++I)
+    Hold.push_back(Heap.allocate(32));
+  ASSERT_TRUE(Signalled);
+
+  // The corrupted slot keeps the dead object's identity and the
+  // corrupting bytes, and is never handed out again.
+  const SlotMetadata &Meta = Heap.heap().objectMetadata(BadRef);
+  EXPECT_TRUE(Meta.Bad);
+  EXPECT_EQ(Meta.ObjectId, OriginalId);
+  EXPECT_EQ(Heap.heap().objectPointer(BadRef)[4], 0x77);
+  for (void *Held : Hold)
+    EXPECT_NE(Held, Ptr);
+}
+
+TEST(DieFastHeap, DetectsNeighborCorruptionOnFree) {
+  // Overflow past a live object into a canaried free slot, then free the
+  // overflowing object: the neighbor check must fire (Figure 4).
+  DieFastHeap Heap(testConfig(11));
+  std::vector<ErrorSignal> Signals;
+  Heap.setErrorHandler([&](const ErrorSignal &S) { Signals.push_back(S); });
+
+  // Arrange a live object directly before a canaried free slot.
+  for (int Attempt = 0; Attempt < 200 && Signals.empty(); ++Attempt) {
+    uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+    auto Ref = Heap.heap().findObject(Ptr);
+    auto Next = Heap.heap().nextSlot(*Ref);
+    if (Next && !Heap.heap().miniheap(*Next).isAllocated(Next->SlotIndex) &&
+        Heap.heap().objectMetadata(*Next).Canaried) {
+      Ptr[32] = 0x5a; // forward overflow: first byte of the next slot
+      Heap.deallocate(Ptr);
+      break;
+    }
+    Heap.deallocate(Ptr);
+  }
+  ASSERT_FALSE(Signals.empty());
+  EXPECT_EQ(Signals[0].Kind, ErrorSignalKind::CanaryCorruptOnFree);
+}
+
+TEST(DieFastHeap, NoFalsePositivesOnCleanWorkload) {
+  DieFastHeap Heap(testConfig(13));
+  uint64_t Errors = 0;
+  Heap.setErrorHandler([&](const ErrorSignal &) { ++Errors; });
+  RandomGenerator Rng(5);
+  std::vector<std::pair<uint8_t *, size_t>> Live;
+  for (int I = 0; I < 3000; ++I) {
+    if (Live.empty() || Rng.chance(0.55)) {
+      const size_t Size = 8u << Rng.nextBelow(6);
+      uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(Size));
+      ASSERT_NE(Ptr, nullptr);
+      std::memset(Ptr, 0xee, Size); // write the whole object, in bounds
+      Live.push_back({Ptr, Size});
+    } else {
+      const size_t Pick = Rng.nextBelow(Live.size());
+      Heap.deallocate(Live[Pick].first);
+      Live.erase(Live.begin() + Pick);
+    }
+  }
+  EXPECT_EQ(Errors, 0u);
+}
+
+TEST(DieFastHeap, InvalidAndDoubleFreesRemainBenign) {
+  DieFastHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(32);
+  Heap.deallocate(Ptr);
+  Heap.deallocate(Ptr); // double free
+  int Local;
+  Heap.deallocate(&Local); // invalid free
+  EXPECT_EQ(Heap.stats().DoubleFrees, 1u);
+  EXPECT_EQ(Heap.stats().InvalidFrees, 1u);
+  // The heap still works.
+  EXPECT_NE(Heap.allocate(32), nullptr);
+}
+
+TEST(DieFastHeap, DeallocateWithSiteRecordsOverride) {
+  CallContext Context;
+  Context.pushFrame(1);
+  DieFastConfig Config = testConfig();
+  DieFastHeap Heap(Config, &Context);
+  void *Ptr = Heap.allocate(32);
+  auto Ref = Heap.heap().findObject(Ptr);
+  Heap.deallocateWithSite(Ptr, 0xfeedf00d);
+  EXPECT_EQ(Heap.heap().objectMetadata(*Ref).FreeSite, 0xfeedf00du);
+}
+
+// Property sweep: detection latency. With canaries everywhere, DieFast
+// detects a corrupted freed slot within E(H) subsequent allocations
+// (§3.3, "Probabilistic Error Detection").
+class DetectionLatencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectionLatencySweep, CorruptionDetectedWithinHeapSizeAllocations) {
+  DieFastHeap Heap(testConfig(GetParam()));
+  bool Signalled = false;
+  Heap.setErrorHandler([&](const ErrorSignal &) { Signalled = true; });
+
+  // Build up a heap of ~64 objects.
+  std::vector<void *> Hold;
+  for (int I = 0; I < 64; ++I)
+    Hold.push_back(Heap.allocate(32));
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+  Heap.deallocate(Ptr);
+  Ptr[0] ^= 0xff;
+
+  // Alloc/free pairs keep the class capacity constant, so each probe
+  // hits the corrupted slot with probability 1/capacity; 20x capacity
+  // bounds the miss odds at e^-20.
+  const unsigned Class = sizeclass::classFor(32);
+  const size_t Budget = Heap.heap().classCapacity(Class) * 20;
+  size_t Used = 0;
+  while (!Signalled && Used < Budget) {
+    void *Probe = Heap.allocate(32);
+    Heap.deallocate(Probe);
+    ++Used;
+  }
+  EXPECT_TRUE(Signalled) << "not detected within " << Budget
+                         << " allocations";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectionLatencySweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));

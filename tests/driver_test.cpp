@@ -1,0 +1,203 @@
+//===- tests/driver_test.cpp - Mode driver end-to-end tests --------------------===//
+//
+// Full-pipeline tests of the three modes of operation (§3.4): inject or
+// script an error, run the mode driver, and check that the error is
+// isolated and corrected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CumulativeDriver.h"
+#include "runtime/IterativeDriver.h"
+#include "runtime/ReplicatedDriver.h"
+
+#include "workload/EspressoWorkload.h"
+#include "workload/SquidWorkload.h"
+#include "workload/TraceWorkload.h"
+
+#include <gtest/gtest.h>
+
+using namespace exterminator;
+
+namespace {
+
+ExterminatorConfig baseConfig(uint64_t MasterSeed = 0x5eed) {
+  ExterminatorConfig Config;
+  Config.MasterSeed = MasterSeed;
+  return Config;
+}
+
+ExterminatorConfig overflowConfig(uint64_t Trigger, uint32_t Bytes,
+                                  uint64_t MasterSeed = 0x5eed) {
+  ExterminatorConfig Config = baseConfig(MasterSeed);
+  Config.Fault.Kind = FaultKind::BufferOverflow;
+  Config.Fault.TriggerAllocation = Trigger;
+  Config.Fault.OverflowBytes = Bytes;
+  Config.Fault.OverflowDelay = 10;
+  Config.Fault.PatternSeed = 1234;
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Iterative mode (§3.4)
+//===----------------------------------------------------------------------===//
+
+TEST(IterativeDriver, CleanWorkloadReportsErrorFree) {
+  EspressoWorkload Work;
+  IterativeDriver Driver(Work, baseConfig());
+  const IterativeOutcome Outcome = Driver.run(/*InputSeed=*/5);
+  EXPECT_TRUE(Outcome.ErrorFree);
+  EXPECT_FALSE(Outcome.Corrected);
+  EXPECT_TRUE(Outcome.Episodes.empty());
+  EXPECT_TRUE(Outcome.Patches.empty());
+}
+
+TEST(IterativeDriver, CorrectsInjectedOverflow) {
+  EspressoWorkload Work;
+  IterativeDriver Driver(Work, overflowConfig(400, 20));
+  const IterativeOutcome Outcome = Driver.run(5);
+  ASSERT_FALSE(Outcome.Episodes.empty());
+  EXPECT_TRUE(Outcome.Corrected);
+  // The patch pads some allocation site by at least the overflow size.
+  bool FoundPad = false;
+  for (const PadPatch &Pad : Outcome.Patches.pads())
+    FoundPad |= Pad.PadBytes >= 20;
+  EXPECT_TRUE(FoundPad);
+}
+
+TEST(IterativeDriver, OverflowIsolationUsesFewImages) {
+  EspressoWorkload Work;
+  IterativeDriver Driver(Work, overflowConfig(400, 20));
+  const IterativeOutcome Outcome = Driver.run(5);
+  ASSERT_FALSE(Outcome.Episodes.empty());
+  // The paper: 3 images in every case (§7.2).  Allow a little slack but
+  // require the same regime.
+  EXPECT_LE(Outcome.Episodes.front().ImagesUsed, 5u);
+  EXPECT_GE(Outcome.Episodes.front().ImagesUsed, 3u);
+}
+
+TEST(IterativeDriver, CorrectsInjectedDanglingWrite) {
+  // Some premature-free victims are read-only (not isolable
+  // iteratively, §7.2); scan seeds for one that produces a correctable
+  // outcome and assert it ends corrected with a deferral patch.
+  EspressoWorkload Work;
+  bool SawCorrection = false;
+  for (uint64_t PatternSeed = 1; PatternSeed <= 10 && !SawCorrection;
+       ++PatternSeed) {
+    ExterminatorConfig Config = baseConfig(0xd00d + PatternSeed);
+    Config.Fault.Kind = FaultKind::PrematureFree;
+    Config.Fault.TriggerAllocation = 180;
+    Config.Fault.PatternSeed = PatternSeed;
+    IterativeDriver Driver(Work, Config);
+    const IterativeOutcome Outcome = Driver.run(5);
+    if (Outcome.Corrected && Outcome.Patches.deferralCount() > 0)
+      SawCorrection = true;
+  }
+  EXPECT_TRUE(SawCorrection);
+}
+
+TEST(IterativeDriver, SquidPadIsExactlySixBytes) {
+  // §7.2: "Exterminator's error isolation algorithm identifies a single
+  // allocation site as the culprit and generates a pad of exactly 6
+  // bytes, fixing the error."
+  SquidWorkload Work;
+  IterativeDriver Driver(Work, baseConfig(0x509d));
+  const IterativeOutcome Outcome = Driver.run(1);
+  ASSERT_FALSE(Outcome.Episodes.empty());
+  EXPECT_TRUE(Outcome.Corrected);
+  const auto Pads = Outcome.Patches.pads();
+  ASSERT_EQ(Pads.size(), 1u);
+  EXPECT_EQ(Pads[0].AllocSite, SquidWorkload::overflowSite());
+  EXPECT_EQ(Pads[0].PadBytes, 6u);
+}
+
+TEST(IterativeDriver, PatchedRunHasNoSignals) {
+  SquidWorkload Work;
+  IterativeDriver Driver(Work, baseConfig(0x509e));
+  const IterativeOutcome Outcome = Driver.run(1);
+  ASSERT_TRUE(Outcome.Corrected);
+  // Independent verification outside the driver.
+  const SingleRunResult Verify = runWorkloadOnce(
+      Work, 1, /*HeapSeed=*/0xabcdef, baseConfig(), Outcome.Patches);
+  EXPECT_EQ(Verify.Result.Status, RunStatusKind::Success);
+  EXPECT_FALSE(Verify.ErrorSignalled);
+}
+
+TEST(IterativeDriver, InitialPatchesAreHonored) {
+  // Seeding the driver with the correct patch suppresses the bug, so the
+  // first run is already clean (collaborative correction in action).
+  SquidWorkload Work;
+  IterativeDriver Discover(Work, baseConfig(0x509f));
+  const IterativeOutcome First = Discover.run(1);
+  ASSERT_TRUE(First.Corrected);
+
+  IterativeDriver Again(Work, baseConfig(0x50a0));
+  const IterativeOutcome Second = Again.run(1, First.Patches);
+  EXPECT_TRUE(Second.ErrorFree);
+  EXPECT_TRUE(Second.Episodes.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Replicated mode (§3.4, Figure 5)
+//===----------------------------------------------------------------------===//
+
+TEST(ReplicatedDriver, CleanWorkloadAgreesUnanimously) {
+  EspressoWorkload Work;
+  ReplicatedDriver Driver(Work, baseConfig(), /*NumReplicas=*/3);
+  const ReplicatedOutcome Outcome = Driver.run(5);
+  EXPECT_TRUE(Outcome.ErrorFree);
+  // Every (clean discovery) round must have voted unanimously.
+  ASSERT_FALSE(Outcome.Rounds.empty());
+  for (const ReplicatedRound &Round : Outcome.Rounds)
+    EXPECT_TRUE(Round.Vote.Unanimous);
+  EXPECT_FALSE(Outcome.Output.empty());
+}
+
+TEST(ReplicatedDriver, CorrectsInjectedOverflowOnTheFly) {
+  EspressoWorkload Work;
+  ReplicatedDriver Driver(Work, overflowConfig(400, 20, 0xdeed),
+                          /*NumReplicas=*/3);
+  const ReplicatedOutcome Outcome = Driver.run(5);
+  EXPECT_TRUE(Outcome.Corrected);
+  EXPECT_GE(Outcome.Rounds.size(), 2u); // detect + corrected rerun
+  EXPECT_FALSE(Outcome.Patches.empty());
+}
+
+TEST(ReplicatedDriver, SquidCorrectedWithThreeReplicas) {
+  SquidWorkload Work;
+  ReplicatedDriver Driver(Work, baseConfig(0x1e91), 3);
+  const ReplicatedOutcome Outcome = Driver.run(1);
+  EXPECT_TRUE(Outcome.Corrected);
+  EXPECT_EQ(Outcome.Patches.padFor(SquidWorkload::overflowSite()), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cumulative mode (§3.4, §5)
+//===----------------------------------------------------------------------===//
+
+TEST(CumulativeDriver, IsolatesInjectedDangling) {
+  // §7.2: in cumulative mode Exterminator isolates all injected dangling
+  // pointer errors, requiring tens of runs at p = 1/2.
+  EspressoWorkload Work;
+  ExterminatorConfig Config = baseConfig(0xc0de);
+  Config.CanaryFillProbability = 0.5;
+  Config.Fault.Kind = FaultKind::PrematureFree;
+  Config.Fault.TriggerAllocation = 180;
+  Config.Fault.PatternSeed = 2;
+  CumulativeDriver Driver(Work, Config);
+  const CumulativeOutcome Outcome = Driver.run(5, /*MaxRuns=*/150);
+  EXPECT_TRUE(Outcome.Isolated);
+  EXPECT_FALSE(Outcome.Danglings.empty());
+  EXPECT_GT(Outcome.FailuresObserved, 0u);
+}
+
+TEST(CumulativeDriver, CleanWorkloadNeverIsolates) {
+  EspressoWorkload Work;
+  ExterminatorConfig Config = baseConfig(0xc1ea);
+  Config.CanaryFillProbability = 0.5;
+  CumulativeDriver Driver(Work, Config);
+  const CumulativeOutcome Outcome = Driver.run(5, /*MaxRuns=*/40);
+  EXPECT_FALSE(Outcome.Isolated);
+  EXPECT_EQ(Outcome.FailuresObserved, 0u);
+}

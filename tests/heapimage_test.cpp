@@ -1,0 +1,201 @@
+//===- tests/heapimage_test.cpp - Heap image tests ----------------------------===//
+
+#include "heapimage/HeapImageIO.h"
+
+#include "diefast/DieFastHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace exterminator;
+
+namespace {
+
+DieFastConfig testConfig(uint64_t Seed = 1) {
+  DieFastConfig Config;
+  Config.Heap.Seed = Seed;
+  Config.Heap.InitialSlots = 16;
+  return Config;
+}
+
+/// A small heap with live, freed-canaried, and dirty objects.
+struct Fixture {
+  DieFastHeap Heap;
+  uint8_t *Live = nullptr;
+  uint8_t *Freed = nullptr;
+  uint64_t LiveId = 0;
+  uint64_t FreedId = 0;
+
+  explicit Fixture(uint64_t Seed = 5) : Heap(testConfig(Seed)) {
+    Live = static_cast<uint8_t *>(Heap.allocate(48));
+    std::memset(Live, 0x11, 48);
+    Freed = static_cast<uint8_t *>(Heap.allocate(64));
+    LiveId = Heap.heap().objectMetadata(*Heap.heap().findObject(Live)).ObjectId;
+    FreedId =
+        Heap.heap().objectMetadata(*Heap.heap().findObject(Freed)).ObjectId;
+    Heap.allocate(32);
+    Heap.deallocate(Freed);
+  }
+};
+
+} // namespace
+
+TEST(HeapImage, CaptureRecordsClockAndCanary) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  EXPECT_EQ(Image.AllocationTime, 3u);
+  EXPECT_EQ(Image.CanaryValue, F.Heap.canary().value());
+  EXPECT_DOUBLE_EQ(Image.CanaryFillProbability, 1.0);
+  EXPECT_DOUBLE_EQ(Image.Multiplier, 2.0);
+}
+
+TEST(HeapImage, CaptureReflectsSlotStates) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const ImageIndex Index(Image);
+
+  auto LiveLoc = Index.findById(F.LiveId);
+  ASSERT_TRUE(LiveLoc.has_value());
+  EXPECT_TRUE(Image.slot(*LiveLoc).Allocated);
+  EXPECT_FALSE(Image.slot(*LiveLoc).Canaried);
+  EXPECT_EQ(Image.slot(*LiveLoc).RequestedSize, 48u);
+  EXPECT_EQ(Image.slot(*LiveLoc).Contents[0], 0x11);
+
+  auto FreedLoc = Index.findById(F.FreedId);
+  ASSERT_TRUE(FreedLoc.has_value());
+  EXPECT_FALSE(Image.slot(*FreedLoc).Allocated);
+  EXPECT_TRUE(Image.slot(*FreedLoc).Canaried);
+  EXPECT_EQ(Image.slot(*FreedLoc).FreeTime, 3u);
+}
+
+TEST(HeapImage, CapturedContentsMatchMemory) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const ImageIndex Index(Image);
+  auto Loc = Index.findById(F.LiveId);
+  const ImageSlot &Slot = Image.slot(*Loc);
+  EXPECT_EQ(std::memcmp(Slot.Contents.data(), F.Live, Slot.Contents.size()),
+            0);
+}
+
+TEST(HeapImage, ObjectAndSlotCounts) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  EXPECT_EQ(Image.objectCount(), 3u); // live + freed + third
+  EXPECT_GT(Image.totalSlots(), 3u);  // over-provisioned heap
+}
+
+TEST(ImageIndex, LocateAddressMapsInteriorBytes) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const ImageIndex Index(Image);
+  const uint64_t Addr = reinterpret_cast<uint64_t>(F.Live) + 17;
+  auto Located = Index.locateAddress(Addr);
+  ASSERT_TRUE(Located.has_value());
+  EXPECT_EQ(Image.slot(Located->first).ObjectId, F.LiveId);
+  EXPECT_EQ(Located->second, 17u);
+}
+
+TEST(ImageIndex, LocateAddressRejectsOutsideHeap) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const ImageIndex Index(Image);
+  EXPECT_FALSE(Index.locateAddress(0x10).has_value());
+  EXPECT_FALSE(Index.locateAddress(~uint64_t(0) - 64).has_value());
+}
+
+TEST(ImageIndex, FindByIdMissesUnknownIds) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const ImageIndex Index(Image);
+  EXPECT_FALSE(Index.findById(999).has_value());
+  EXPECT_FALSE(Index.findById(0).has_value());
+}
+
+TEST(HeapImageIO, SerializeDeserializeRoundTrip) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const std::vector<uint8_t> Bytes = serializeHeapImage(Image);
+  HeapImage Back;
+  ASSERT_TRUE(deserializeHeapImage(Bytes, Back));
+
+  EXPECT_EQ(Back.AllocationTime, Image.AllocationTime);
+  EXPECT_EQ(Back.CanaryValue, Image.CanaryValue);
+  ASSERT_EQ(Back.Miniheaps.size(), Image.Miniheaps.size());
+  for (size_t M = 0; M < Image.Miniheaps.size(); ++M) {
+    const ImageMiniheap &A = Image.Miniheaps[M];
+    const ImageMiniheap &B = Back.Miniheaps[M];
+    EXPECT_EQ(A.SizeClassIndex, B.SizeClassIndex);
+    EXPECT_EQ(A.ObjectSize, B.ObjectSize);
+    EXPECT_EQ(A.BaseAddress, B.BaseAddress);
+    EXPECT_EQ(A.CreationTime, B.CreationTime);
+    ASSERT_EQ(A.Slots.size(), B.Slots.size());
+    for (size_t S = 0; S < A.Slots.size(); ++S) {
+      EXPECT_EQ(A.Slots[S].Allocated, B.Slots[S].Allocated);
+      EXPECT_EQ(A.Slots[S].Canaried, B.Slots[S].Canaried);
+      EXPECT_EQ(A.Slots[S].ObjectId, B.Slots[S].ObjectId);
+      EXPECT_EQ(A.Slots[S].AllocSite, B.Slots[S].AllocSite);
+      EXPECT_EQ(A.Slots[S].FreeSite, B.Slots[S].FreeSite);
+      EXPECT_EQ(A.Slots[S].Contents, B.Slots[S].Contents);
+    }
+  }
+}
+
+TEST(HeapImageIO, RejectsGarbageBuffer) {
+  HeapImage Image;
+  EXPECT_FALSE(deserializeHeapImage({1, 2, 3, 4, 5, 6, 7, 8}, Image));
+  EXPECT_FALSE(deserializeHeapImage({}, Image));
+}
+
+TEST(HeapImageIO, RejectsTruncatedBuffer) {
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeHeapImage(captureHeapImage(F.Heap));
+  Bytes.resize(Bytes.size() / 2);
+  HeapImage Image;
+  EXPECT_FALSE(deserializeHeapImage(Bytes, Image));
+}
+
+TEST(HeapImageIO, FileRoundTrip) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const std::string Path = ::testing::TempDir() + "/image_test.xhi";
+  ASSERT_TRUE(saveHeapImage(Image, Path));
+  HeapImage Back;
+  ASSERT_TRUE(loadHeapImage(Path, Back));
+  EXPECT_EQ(Back.AllocationTime, Image.AllocationTime);
+  EXPECT_EQ(Back.objectCount(), Image.objectCount());
+}
+
+TEST(HeapImageIO, LoadMissingFileFails) {
+  HeapImage Image;
+  EXPECT_FALSE(loadHeapImage("/nonexistent/image.xhi", Image));
+}
+
+TEST(HeapImage, QuarantinedSlotSurvivesCapture) {
+  DieFastHeap Heap(testConfig(31));
+  bool Signalled = false;
+  ObjectRef Bad;
+  Heap.setErrorHandler([&](const ErrorSignal &S) {
+    Signalled = true;
+    Bad = S.Where;
+  });
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+  Heap.deallocate(Ptr);
+  Ptr[3] = 0x99;
+  for (int I = 0; I < 500 && !Signalled; ++I)
+    Heap.deallocate(Heap.allocate(32));
+  ASSERT_TRUE(Signalled);
+
+  const HeapImage Image = captureHeapImage(Heap);
+  bool FoundBad = false;
+  for (const ImageMiniheap &Mini : Image.Miniheaps)
+    for (const ImageSlot &Slot : Mini.Slots)
+      if (Slot.Bad) {
+        FoundBad = true;
+        EXPECT_TRUE(Slot.Allocated);
+        EXPECT_TRUE(Slot.Canaried);
+        EXPECT_EQ(Slot.Contents[3], 0x99);
+      }
+  EXPECT_TRUE(FoundBad);
+}

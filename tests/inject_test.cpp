@@ -1,0 +1,178 @@
+//===- tests/inject_test.cpp - Fault injector tests ----------------------------===//
+
+#include "inject/FaultInjector.h"
+
+#include "diefast/DieFastHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace exterminator;
+
+namespace {
+
+DieFastConfig testConfig(uint64_t Seed = 1) {
+  DieFastConfig Config;
+  Config.Heap.Seed = Seed;
+  Config.Heap.InitialSlots = 16;
+  return Config;
+}
+
+FaultPlan overflowPlan(uint64_t Trigger, uint32_t Bytes) {
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::BufferOverflow;
+  Plan.TriggerAllocation = Trigger;
+  Plan.OverflowBytes = Bytes;
+  Plan.PatternSeed = 99;
+  return Plan;
+}
+
+} // namespace
+
+TEST(FaultInjector, NoPlanIsTransparent) {
+  DieFastHeap Heap(testConfig());
+  FaultInjector Injector(Heap, FaultPlan());
+  void *Ptr = Injector.allocate(64);
+  ASSERT_NE(Ptr, nullptr);
+  Injector.deallocate(Ptr);
+  EXPECT_FALSE(Injector.faultFired());
+  EXPECT_EQ(Heap.errorsSignalled(), 0u);
+}
+
+TEST(FaultInjector, OverflowWritesPastRequestedEnd) {
+  DieFastHeap Heap(testConfig());
+  FaultInjector Injector(Heap, overflowPlan(3, 6));
+  Injector.allocate(64);
+  Injector.allocate(64);
+  uint8_t *Target = static_cast<uint8_t *>(Injector.allocate(64));
+  EXPECT_TRUE(Injector.faultFired());
+  // Bytes past the end are nonzero (the deterministic overflow string).
+  bool AnyNonZero = false;
+  for (int I = 0; I < 6; ++I)
+    AnyNonZero |= Target[64 + I] != 0;
+  EXPECT_TRUE(AnyNonZero);
+}
+
+TEST(FaultInjector, OverflowStringIsDeterministicAcrossHeapSeeds) {
+  // The injected fault must be identical across differently-randomized
+  // heaps — the §2.1 deterministic-error assumption.
+  uint8_t StringA[8], StringB[8];
+  for (int Round = 0; Round < 2; ++Round) {
+    DieFastHeap Heap(testConfig(Round == 0 ? 1 : 999));
+    FaultInjector Injector(Heap, overflowPlan(2, 8));
+    Injector.allocate(64);
+    uint8_t *Target = static_cast<uint8_t *>(Injector.allocate(64));
+    std::memcpy(Round == 0 ? StringA : StringB, Target + 64, 8);
+  }
+  EXPECT_EQ(std::memcmp(StringA, StringB, 8), 0);
+}
+
+TEST(FaultInjector, DelayedOverflowFiresLater) {
+  DieFastHeap Heap(testConfig());
+  FaultPlan Plan = overflowPlan(1, 4);
+  Plan.OverflowDelay = 3;
+  FaultInjector Injector(Heap, Plan);
+  uint8_t *Target = static_cast<uint8_t *>(Injector.allocate(64));
+  EXPECT_FALSE(Injector.faultFired());
+  Injector.allocate(64);
+  Injector.allocate(64);
+  EXPECT_FALSE(Injector.faultFired());
+  Injector.allocate(64); // allocation 4 = trigger + delay
+  EXPECT_TRUE(Injector.faultFired());
+  EXPECT_NE(Target[64], 0);
+}
+
+TEST(FaultInjector, OverflowFiresOnFreeIfTargetDiesEarly) {
+  DieFastHeap Heap(testConfig());
+  FaultPlan Plan = overflowPlan(1, 4);
+  Plan.OverflowDelay = 1000; // would never fire by allocation count
+  FaultInjector Injector(Heap, Plan);
+  uint8_t *Target = static_cast<uint8_t *>(Injector.allocate(64));
+  Injector.deallocate(Target);
+  EXPECT_TRUE(Injector.faultFired());
+}
+
+TEST(FaultInjector, PrematureFreeDanglesALiveObject) {
+  DieFastHeap Heap(testConfig());
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::PrematureFree;
+  Plan.TriggerAllocation = 10;
+  Plan.PatternSeed = 5;
+  Plan.VictimWindow = 4;
+  FaultInjector Injector(Heap, Plan);
+
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 10; ++I)
+    Ptrs.push_back(Injector.allocate(32));
+  ASSERT_TRUE(Injector.faultFired());
+  const void *Victim = Injector.injectedVictim();
+  ASSERT_NE(Victim, nullptr);
+  // The victim is one of the program's pointers and is no longer live.
+  EXPECT_NE(std::find(Ptrs.begin(), Ptrs.end(), Victim), Ptrs.end());
+  EXPECT_FALSE(Heap.heap().isLivePointer(Victim));
+}
+
+TEST(FaultInjector, VictimChoiceIsDeterministicAcrossHeapSeeds) {
+  // The victim is chosen by application-level allocation order, so the
+  // same logical object dangles under every heap randomization.
+  size_t IndexA = ~size_t(0), IndexB = ~size_t(0);
+  for (int Round = 0; Round < 2; ++Round) {
+    DieFastHeap Heap(testConfig(Round == 0 ? 3 : 777));
+    FaultPlan Plan;
+    Plan.Kind = FaultKind::PrematureFree;
+    Plan.TriggerAllocation = 8;
+    Plan.PatternSeed = 21;
+    FaultInjector Injector(Heap, Plan);
+    std::vector<void *> Ptrs;
+    for (int I = 0; I < 8; ++I)
+      Ptrs.push_back(Injector.allocate(32));
+    const void *Victim = Injector.injectedVictim();
+    const size_t Index =
+        std::find(Ptrs.begin(), Ptrs.end(), Victim) - Ptrs.begin();
+    (Round == 0 ? IndexA : IndexB) = Index;
+  }
+  EXPECT_EQ(IndexA, IndexB);
+  EXPECT_LT(IndexA, 8u);
+}
+
+TEST(FaultInjector, ProgramsOwnFreeOfVictimBecomesDoubleFree) {
+  DieFastHeap Heap(testConfig());
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::PrematureFree;
+  Plan.TriggerAllocation = 5;
+  FaultInjector Injector(Heap, Plan);
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 5; ++I)
+    Ptrs.push_back(Injector.allocate(32));
+  ASSERT_TRUE(Injector.faultFired());
+  // The program eventually frees everything, including the victim.
+  for (void *Ptr : Ptrs)
+    Injector.deallocate(Ptr);
+  EXPECT_EQ(Heap.stats().DoubleFrees, 1u);
+}
+
+TEST(FaultInjector, DifferentSeedsPickDifferentVictims) {
+  std::vector<size_t> Indexes;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    DieFastHeap Heap(testConfig());
+    FaultPlan Plan;
+    Plan.Kind = FaultKind::PrematureFree;
+    Plan.TriggerAllocation = 16;
+    Plan.PatternSeed = Seed;
+    Plan.VictimWindow = 16;
+    FaultInjector Injector(Heap, Plan);
+    std::vector<void *> Ptrs;
+    for (int I = 0; I < 16; ++I)
+      Ptrs.push_back(Injector.allocate(32));
+    Indexes.push_back(std::find(Ptrs.begin(), Ptrs.end(),
+                                Injector.injectedVictim()) -
+                      Ptrs.begin());
+  }
+  // Not all eight plans should hit the same victim.
+  bool AllSame = true;
+  for (size_t I : Indexes)
+    AllSame &= I == Indexes[0];
+  EXPECT_FALSE(AllSame);
+}

@@ -1,0 +1,186 @@
+//===- tests/integration_test.cpp - Cross-module edge interactions -------------===//
+//
+// Integration tests of behaviors that only emerge when modules compose:
+// logical-pointer masking over real stored pointers, double frees of
+// deferred objects, voter ties, and isolation under cumulative-mode
+// partial canarying.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isolate/ErrorIsolator.h"
+#include "runtime/Exterminator.h"
+#include "runtime/Voter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace exterminator;
+
+namespace {
+
+/// A workload whose objects store *pointers to each other*: every image
+/// has different addresses inside object payloads, which the isolator
+/// must recognize as the same logical pointers (§4.1).
+class PointerGraphWorkload : public Workload {
+public:
+  const char *name() const override { return "pointer-graph"; }
+
+  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override {
+    WorkloadResult Result;
+    (void)InputSeed;
+    std::vector<uint8_t *> Nodes;
+    // A linked structure: node[i] points at node[i-1].
+    for (int I = 0; I < 24; ++I) {
+      uint8_t *Node = static_cast<uint8_t *>(Handle.allocate(64, 0x70));
+      if (!Node) {
+        Result.Status = RunStatusKind::Abort;
+        return Result;
+      }
+      uint64_t Prev =
+          Nodes.empty() ? 0 : reinterpret_cast<uint64_t>(Nodes.back());
+      std::memcpy(Node, &Prev, 8);
+      std::memset(Node + 8, 0x77, 56);
+      Nodes.push_back(Node);
+    }
+    // Churn so there are canaried slots too.
+    for (int I = 0; I < 30; ++I) {
+      uint8_t *Tmp = static_cast<uint8_t *>(Handle.allocate(64, 0x71));
+      Handle.deallocate(Tmp, 0x72);
+    }
+    Result.Output.push_back(1);
+    return Result;
+  }
+};
+
+} // namespace
+
+TEST(Integration, StoredPointersAreNotFlaggedAcrossImages) {
+  // Heap addresses differ per image; the pointer fields must be masked
+  // as logical pointers and produce zero findings.
+  PointerGraphWorkload Work;
+  ExterminatorConfig Config;
+  std::vector<HeapImage> Images;
+  for (uint64_t Seed : {11, 22, 33, 44})
+    Images.push_back(
+        runWorkloadOnce(Work, 1, Seed, Config, PatchSet()).FinalImage);
+  const IsolationResult Result = isolateErrors(Images);
+  EXPECT_TRUE(Result.Overflows.empty());
+  EXPECT_TRUE(Result.Danglings.empty());
+}
+
+TEST(Integration, ClassifyWordSeesStoredPointersAsLogical) {
+  PointerGraphWorkload Work;
+  ExterminatorConfig Config;
+  std::vector<HeapImage> Images;
+  for (uint64_t Seed : {11, 22, 33})
+    Images.push_back(
+        runWorkloadOnce(Work, 1, Seed, Config, PatchSet()).FinalImage);
+  std::vector<ImageIndex> Indexes;
+  for (const HeapImage &Image : Images)
+    Indexes.emplace_back(Image);
+  const EvidenceCollector Collector(Images, Indexes);
+
+  // Node with object id 2 points at node id 1: gather its pointer word
+  // from each image and classify.
+  std::vector<uint64_t> Values;
+  for (size_t I = 0; I < Images.size(); ++I) {
+    auto Loc = Indexes[I].findById(2);
+    ASSERT_TRUE(Loc.has_value());
+    uint64_t Word;
+    std::memcpy(&Word, Images[I].slot(*Loc).Contents.data(), 8);
+    Values.push_back(Word);
+  }
+  EXPECT_EQ(Collector.classifyWord(2, 0, Values),
+            WordClassKind::LogicalPointer);
+}
+
+TEST(Integration, DoubleFreeOfDeferredObjectStaysBenign) {
+  CallContext Context;
+  CorrectingHeap Heap(DieFastConfig(), &Context);
+  CallContext ProbeA, ProbeF;
+  ProbeA.pushFrame(0xa);
+  ProbeF.pushFrame(0xf);
+  PatchSet Patches;
+  Patches.addDeferral(ProbeA.currentSite(), ProbeF.currentSite(), 10);
+  Heap.setPatches(Patches);
+
+  void *Ptr;
+  {
+    CallContext::Scope Scope(Context, 0xa);
+    Ptr = Heap.allocate(32);
+  }
+  {
+    CallContext::Scope Scope(Context, 0xf);
+    Heap.deallocate(Ptr); // deferred
+    Heap.deallocate(Ptr); // double free while deferred
+  }
+  // Drain everything; the heap must survive with exactly one real free.
+  Heap.flushDeferrals();
+  EXPECT_EQ(Heap.stats().Deallocations, 1u);
+  EXPECT_EQ(Heap.stats().DoubleFrees, 1u);
+  EXPECT_FALSE(Heap.diefast().heap().isLivePointer(Ptr));
+  // And stays usable.
+  EXPECT_NE(Heap.allocate(32), nullptr);
+}
+
+TEST(Integration, VoterTieHasNoWinner) {
+  WorkloadResult A, B;
+  A.Output = {1};
+  B.Output = {2};
+  const auto Vote = voteOnOutputs({A, A, B, B});
+  // 2-2 tie: some output wins the plurality scan, but dissenters exist,
+  // which is what flags the error in replicated mode.
+  EXPECT_FALSE(Vote.Unanimous);
+  EXPECT_FALSE(Vote.Dissenters.empty());
+}
+
+TEST(Integration, IsolationToleratesPartialCanarying) {
+  // Cumulative-style images (p = 1/2) still feed the iterative isolator
+  // without false positives: uncanaried freed slots are simply
+  // unobservable.
+  PointerGraphWorkload Work;
+  ExterminatorConfig Config;
+  Config.CanaryFillProbability = 0.5;
+  std::vector<HeapImage> Images;
+  for (uint64_t Seed : {5, 6, 7})
+    Images.push_back(
+        runWorkloadOnce(Work, 1, Seed, Config, PatchSet()).FinalImage);
+  const IsolationResult Result = isolateErrors(Images);
+  EXPECT_TRUE(Result.Patches.empty());
+}
+
+TEST(Integration, QuarantinedEvidenceSurvivesHeavyReuse) {
+  // After DieFast quarantines a corrupted slot, arbitrary amounts of
+  // later traffic must not disturb the preserved bytes.
+  DieFastConfig Config;
+  Config.Heap.Seed = 91;
+  Config.Heap.InitialSlots = 16;
+  DieFastHeap Heap(Config);
+  bool Signalled = false;
+  ObjectRef Bad;
+  Heap.setErrorHandler([&](const ErrorSignal &Signal) {
+    if (!Signalled)
+      Bad = Signal.Where;
+    Signalled = true;
+  });
+
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(32));
+  Heap.deallocate(Ptr);
+  Ptr[5] = 0xEE;
+  for (int I = 0; I < 1000 && !Signalled; ++I)
+    Heap.deallocate(Heap.allocate(32));
+  ASSERT_TRUE(Signalled);
+
+  // Heavy traffic across several classes.
+  std::vector<void *> Hold;
+  for (int I = 0; I < 2000; ++I) {
+    void *P = Heap.allocate(8u << (I % 5));
+    if (I % 3 == 0)
+      Hold.push_back(P);
+    else
+      Heap.deallocate(P);
+  }
+  EXPECT_EQ(Heap.heap().objectPointer(Bad)[5], 0xEE);
+  EXPECT_TRUE(Heap.heap().objectMetadata(Bad).Bad);
+}

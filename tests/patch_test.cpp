@@ -1,0 +1,175 @@
+//===- tests/patch_test.cpp - Runtime patch tests ------------------------------===//
+
+#include "patch/PatchIO.h"
+#include "patch/PatchMerge.h"
+#include "patch/RuntimePatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace exterminator;
+
+TEST(PatchSet, EmptyByDefault) {
+  PatchSet Patches;
+  EXPECT_TRUE(Patches.empty());
+  EXPECT_EQ(Patches.padFor(123), 0u);
+  EXPECT_EQ(Patches.deferralFor(1, 2), 0u);
+}
+
+TEST(PatchSet, AddPadKeepsMaximum) {
+  PatchSet Patches;
+  Patches.addPad(10, 6);
+  Patches.addPad(10, 4); // smaller: ignored (§6.1)
+  EXPECT_EQ(Patches.padFor(10), 6u);
+  Patches.addPad(10, 36);
+  EXPECT_EQ(Patches.padFor(10), 36u);
+}
+
+TEST(PatchSet, AddDeferralKeepsMaximum) {
+  PatchSet Patches;
+  Patches.addDeferral(1, 2, 100);
+  Patches.addDeferral(1, 2, 50);
+  EXPECT_EQ(Patches.deferralFor(1, 2), 100u);
+  Patches.addDeferral(1, 2, 2001);
+  EXPECT_EQ(Patches.deferralFor(1, 2), 2001u);
+}
+
+TEST(PatchSet, DeferralIsKeyedOnSitePair) {
+  PatchSet Patches;
+  Patches.addDeferral(1, 2, 100);
+  EXPECT_EQ(Patches.deferralFor(1, 2), 100u);
+  EXPECT_EQ(Patches.deferralFor(2, 1), 0u);
+  EXPECT_EQ(Patches.deferralFor(1, 3), 0u);
+}
+
+TEST(PatchSet, MergeTakesMaxima) {
+  PatchSet A, B;
+  A.addPad(10, 6);
+  A.addPad(11, 20);
+  A.addDeferral(1, 2, 100);
+  B.addPad(10, 36);
+  B.addPad(12, 8);
+  B.addDeferral(1, 2, 40);
+  B.addDeferral(3, 4, 7);
+
+  A.merge(B);
+  EXPECT_EQ(A.padFor(10), 36u);
+  EXPECT_EQ(A.padFor(11), 20u);
+  EXPECT_EQ(A.padFor(12), 8u);
+  EXPECT_EQ(A.deferralFor(1, 2), 100u);
+  EXPECT_EQ(A.deferralFor(3, 4), 7u);
+  EXPECT_EQ(A.padCount(), 3u);
+  EXPECT_EQ(A.deferralCount(), 2u);
+}
+
+TEST(PatchSet, MergeIsCommutative) {
+  PatchSet A, B, A2, B2;
+  A.addPad(10, 6);
+  A.addDeferral(1, 2, 100);
+  B.addPad(10, 36);
+  B.addDeferral(3, 4, 7);
+  A2 = A;
+  B2 = B;
+  A.merge(B);
+  B2.merge(A2);
+  EXPECT_TRUE(A == B2);
+}
+
+TEST(PatchSet, PadsAndDeferralsAreSorted) {
+  PatchSet Patches;
+  Patches.addPad(30, 1);
+  Patches.addPad(10, 2);
+  Patches.addPad(20, 3);
+  const auto Pads = Patches.pads();
+  ASSERT_EQ(Pads.size(), 3u);
+  EXPECT_EQ(Pads[0].AllocSite, 10u);
+  EXPECT_EQ(Pads[1].AllocSite, 20u);
+  EXPECT_EQ(Pads[2].AllocSite, 30u);
+
+  Patches.addDeferral(2, 9, 1);
+  Patches.addDeferral(1, 5, 2);
+  Patches.addDeferral(1, 3, 3);
+  const auto Deferrals = Patches.deferrals();
+  ASSERT_EQ(Deferrals.size(), 3u);
+  EXPECT_EQ(Deferrals[0].AllocSite, 1u);
+  EXPECT_EQ(Deferrals[0].FreeSite, 3u);
+  EXPECT_EQ(Deferrals[1].FreeSite, 5u);
+  EXPECT_EQ(Deferrals[2].AllocSite, 2u);
+}
+
+TEST(PatchSet, ClearEmpties) {
+  PatchSet Patches;
+  Patches.addPad(1, 1);
+  Patches.addDeferral(1, 2, 3);
+  Patches.clear();
+  EXPECT_TRUE(Patches.empty());
+}
+
+TEST(PatchIO, RoundTrip) {
+  PatchSet Patches;
+  Patches.addPad(0xdeadbeef, 6);
+  Patches.addPad(0x12345678, 36);
+  Patches.addDeferral(0xa, 0xb, 2001);
+
+  PatchSet Back;
+  ASSERT_TRUE(deserializePatchSet(serializePatchSet(Patches), Back));
+  EXPECT_TRUE(Back == Patches);
+}
+
+TEST(PatchIO, EmptySetRoundTrips) {
+  PatchSet Back;
+  ASSERT_TRUE(deserializePatchSet(serializePatchSet(PatchSet()), Back));
+  EXPECT_TRUE(Back.empty());
+}
+
+TEST(PatchIO, RejectsGarbage) {
+  PatchSet Back;
+  EXPECT_FALSE(deserializePatchSet({0, 1, 2, 3}, Back));
+}
+
+TEST(PatchIO, FileRoundTrip) {
+  PatchSet Patches;
+  Patches.addPad(77, 6);
+  const std::string Path = ::testing::TempDir() + "/patch_test.xpt";
+  ASSERT_TRUE(savePatchSet(Patches, Path));
+  PatchSet Back;
+  ASSERT_TRUE(loadPatchSet(Path, Back));
+  EXPECT_TRUE(Back == Patches);
+}
+
+TEST(PatchMerge, MergesManySets) {
+  // Collaborative correction (§6.4): three users, each with a different
+  // observed error; the merged patch covers all of them.
+  PatchSet User1, User2, User3;
+  User1.addPad(100, 6);
+  User2.addPad(100, 12);
+  User2.addDeferral(5, 6, 500);
+  User3.addPad(200, 4);
+  User3.addDeferral(5, 6, 900);
+
+  const PatchSet Merged = mergePatchSets({User1, User2, User3});
+  EXPECT_EQ(Merged.padFor(100), 12u);
+  EXPECT_EQ(Merged.padFor(200), 4u);
+  EXPECT_EQ(Merged.deferralFor(5, 6), 900u);
+}
+
+TEST(PatchMerge, MergePatchFilesEndToEnd) {
+  const std::string Dir = ::testing::TempDir();
+  PatchSet User1, User2;
+  User1.addPad(100, 6);
+  User2.addPad(100, 36);
+  User2.addDeferral(1, 2, 64);
+  ASSERT_TRUE(savePatchSet(User1, Dir + "/user1.xpt"));
+  ASSERT_TRUE(savePatchSet(User2, Dir + "/user2.xpt"));
+
+  ASSERT_TRUE(mergePatchFiles({Dir + "/user1.xpt", Dir + "/user2.xpt"},
+                              Dir + "/merged.xpt"));
+  PatchSet Merged;
+  ASSERT_TRUE(loadPatchSet(Dir + "/merged.xpt", Merged));
+  EXPECT_EQ(Merged.padFor(100), 36u);
+  EXPECT_EQ(Merged.deferralFor(1, 2), 64u);
+}
+
+TEST(PatchMerge, MissingInputFileFails) {
+  EXPECT_FALSE(mergePatchFiles({"/nonexistent/patches.xpt"},
+                               ::testing::TempDir() + "/out.xpt"));
+}

@@ -1,0 +1,267 @@
+//===- tests/property_test.cpp - Probabilistic property sweeps -----------------===//
+//
+// Property-style tests of the probabilistic claims the system rests on
+// (Theorems 1-3 and the randomization properties of the heap), swept over
+// seeds and parameters with TEST_P.  These complement bench/exp_theorems:
+// the bench prints the tables, these enforce the invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/DieHardHeap.h"
+#include "diefast/DieFastHeap.h"
+#include "support/RandomGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// Placement randomization (the root of every probabilistic guarantee)
+//===----------------------------------------------------------------------===//
+
+class PlacementSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacementSweep, PlacementIsIndependentAcrossSeeds) {
+  // Two heaps with different seeds place the same allocation sequence
+  // into slots that agree no more often than chance.
+  DieHardConfig ConfigA, ConfigB;
+  ConfigA.Seed = GetParam();
+  ConfigB.Seed = GetParam() ^ 0xffffffffULL;
+  ConfigA.InitialSlots = ConfigB.InitialSlots = 64;
+  DieHardHeap A(ConfigA), B(ConfigB);
+
+  unsigned Agreements = 0;
+  constexpr unsigned N = 32; // stay under 1/M of the initial 64 slots
+  for (unsigned I = 0; I < N; ++I) {
+    auto Ra = A.findObject(A.allocate(32));
+    auto Rb = B.findObject(B.allocate(32));
+    Agreements += Ra->SlotIndex == Rb->SlotIndex;
+  }
+  // E[agreements] = N * (1/64)-ish; 10 would be a wild outlier.
+  EXPECT_LT(Agreements, 10u);
+}
+
+TEST_P(PlacementSweep, FreedSlotNotImmediatelyReused) {
+  // DieHard makes prompt reuse unlikely: after freeing one object among
+  // many free slots, the next allocation rarely lands on it.
+  DieHardConfig Config;
+  Config.Seed = GetParam();
+  Config.InitialSlots = 64;
+  DieHardHeap Heap(Config);
+
+  unsigned Reuses = 0;
+  constexpr unsigned Trials = 64;
+  for (unsigned I = 0; I < Trials; ++I) {
+    void *Ptr = Heap.allocate(32);
+    Heap.deallocate(Ptr);
+    void *Next = Heap.allocate(32);
+    Reuses += Next == Ptr;
+    Heap.deallocate(Next);
+  }
+  // Reuse probability is ~1/64 per trial; 16 would be absurd.
+  EXPECT_LT(Reuses, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+//===----------------------------------------------------------------------===//
+// Theorem 1 flavor: identical placement relations vanish with extra heaps
+//===----------------------------------------------------------------------===//
+
+TEST(TheoremProperties, AdjacencyRarelySurvivesTwoRandomizations) {
+  // For a pair of objects allocated together, the probability they are
+  // adjacent (victim right after culprit) in TWO independently seeded
+  // heaps is ~(1/H)^2: over 200 seed pairs we expect ~0 occurrences.
+  unsigned BothAdjacent = 0;
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    bool Adjacent[2];
+    for (int Heap = 0; Heap < 2; ++Heap) {
+      DieHardConfig Config;
+      Config.Seed = Seed * 2 + Heap + 1;
+      Config.InitialSlots = 64;
+      DieHardHeap H(Config);
+      std::vector<void *> Hold;
+      for (int I = 0; I < 20; ++I)
+        Hold.push_back(H.allocate(32));
+      auto A = H.findObject(Hold[10]);
+      auto B = H.findObject(Hold[11]);
+      Adjacent[Heap] = A->HeapIndex == B->HeapIndex &&
+                       B->SlotIndex == A->SlotIndex + 1;
+    }
+    BothAdjacent += Adjacent[0] && Adjacent[1];
+  }
+  EXPECT_LE(BothAdjacent, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 2 flavor: canaried-space fraction under M
+//===----------------------------------------------------------------------===//
+
+class CanariedSpaceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CanariedSpaceSweep, FreedFractionApproachesSteadyState) {
+  // After heavy churn at p = 1, the fraction of slots holding canaries
+  // must be at least (M-1)/M minus slack for miniheap growth granularity
+  // — the quantity Theorem 2's detection bound builds on.
+  const double M = GetParam();
+  DieFastConfig Config;
+  Config.Heap.Seed = 77;
+  Config.Heap.Multiplier = M;
+  Config.Heap.InitialSlots = 64;
+  DieFastHeap Heap(Config);
+
+  std::vector<void *> Live;
+  RandomGenerator Rng(5);
+  for (int I = 0; I < 4000; ++I) {
+    if (Live.size() < 40 || Rng.chance(0.5)) {
+      Live.push_back(Heap.allocate(32));
+    } else {
+      const size_t Pick = Rng.nextBelow(Live.size());
+      Heap.deallocate(Live[Pick]);
+      Live.erase(Live.begin() + Pick);
+    }
+  }
+
+  size_t Canaried = 0, Total = 0;
+  Heap.heap().forEachMiniheap(
+      [&](unsigned /*C*/, unsigned /*H*/, const Miniheap &Mini) {
+        if (Mini.objectSize() != 32)
+          return;
+        Total += Mini.numSlots();
+        for (size_t S = 0; S < Mini.numSlots(); ++S)
+          if (!Mini.isAllocated(S) && Mini.slot(S).Canaried)
+            ++Canaried;
+      });
+  ASSERT_GT(Total, 0u);
+  const double Fraction = double(Canaried) / double(Total);
+  // At least half the steady-state free fraction must carry canaries
+  // after this much churn.
+  EXPECT_GT(Fraction, (M - 1.0) / M * 0.5)
+      << "canaried fraction " << Fraction << " at M = " << M;
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, CanariedSpaceSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0));
+
+//===----------------------------------------------------------------------===//
+// Canary collision properties (§3.3, "Random Canaries")
+//===----------------------------------------------------------------------===//
+
+TEST(CanaryProperties, DistinctAcrossManySeeds) {
+  std::set<uint32_t> Values;
+  for (uint64_t Seed = 0; Seed < 300; ++Seed) {
+    RandomGenerator Rng(Seed);
+    Values.insert(Canary::random(Rng).value());
+  }
+  // Collisions among 300 random 31-bit draws are possible but should be
+  // rare; near-total duplication would mean broken seeding.
+  EXPECT_GT(Values.size(), 295u);
+}
+
+TEST(CanaryProperties, FixedDataRarelyMatchesCanary) {
+  // A program storing a fixed 32-bit value collides with the canary in
+  // at most 1/2^31 of runs; across 2000 seeds we should see none.
+  const uint32_t CommonValues[] = {0, 1, 0xffffffffu, 0xdeadbeefu, 42};
+  unsigned Collisions = 0;
+  for (uint64_t Seed = 0; Seed < 2000; ++Seed) {
+    RandomGenerator Rng(Seed);
+    const uint32_t Value = Canary::random(Rng).value();
+    for (uint32_t Common : CommonValues)
+      Collisions += Value == Common;
+  }
+  EXPECT_EQ(Collisions, 0u);
+}
+
+TEST(CanaryProperties, CanaryValueIsNeverAValidObjectAddress) {
+  // The low bit guarantees misalignment: interpreting a canary as a
+  // pointer never resolves to an object start on any heap.
+  DieHardConfig Config;
+  Config.Seed = 3;
+  DieHardHeap Heap(Config);
+  for (int I = 0; I < 32; ++I)
+    Heap.allocate(32);
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    RandomGenerator Rng(Seed);
+    const uint32_t Value = Canary::random(Rng).value();
+    const uint64_t AsPointer = (uint64_t(Value) << 32) | Value;
+    auto Found = Heap.findObject(reinterpret_cast<void *>(AsPointer));
+    if (Found) {
+      // Even if it lands inside a slab, it cannot be a slot start: slots
+      // are 8-byte aligned and the canary's low bit is set.
+      EXPECT_NE(reinterpret_cast<uint64_t>(Heap.objectPointer(*Found)),
+                AsPointer);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RNG statistical sanity (chi-square-ish)
+//===----------------------------------------------------------------------===//
+
+class RngSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSweep, ByteFrequenciesAreFlat) {
+  RandomGenerator Rng(GetParam());
+  int Counts[256] = {};
+  constexpr int Draws = 256 * 400;
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[Rng.next() & 0xff];
+  double ChiSquare = 0;
+  for (int B = 0; B < 256; ++B) {
+    const double Expected = Draws / 256.0;
+    ChiSquare += (Counts[B] - Expected) * (Counts[B] - Expected) / Expected;
+  }
+  // 255 dof: mean 255, sd ~22.6; 400 is a ~6-sigma bound.
+  EXPECT_LT(ChiSquare, 400.0);
+}
+
+TEST_P(RngSweep, NoShortCycles) {
+  RandomGenerator Rng(GetParam());
+  const uint64_t First = Rng.next();
+  for (int I = 0; I < 10000; ++I)
+    ASSERT_NE(Rng.next(), First) << "cycle at step " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep,
+                         ::testing::Values(0, 1, 42, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+//===----------------------------------------------------------------------===//
+// Site-hash distribution: patches key on these hashes, so distinct call
+// paths must rarely collide.
+//===----------------------------------------------------------------------===//
+
+TEST(SiteHashProperties, DistinctPathsRarelyCollide) {
+  std::set<SiteId> Hashes;
+  unsigned Total = 0;
+  for (uint32_t A = 1; A <= 40; ++A)
+    for (uint32_t B = 1; B <= 40; ++B) {
+      CallContext Context;
+      Context.pushFrame(A * 0x101);
+      Context.pushFrame(B * 0x313);
+      Hashes.insert(Context.currentSite());
+      ++Total;
+    }
+  // 1600 two-frame paths: collisions under DJB2 should be minimal.
+  EXPECT_GT(Hashes.size(), Total - 8);
+}
+
+TEST(SiteHashProperties, DepthBeyondFiveIsIgnored) {
+  // Guaranteed by construction, but patches depend on it: two paths
+  // differing only 6+ frames up hash identically, so one patch covers
+  // both (the paper's 5-frame context).
+  CallContext A, B;
+  A.pushFrame(111);
+  B.pushFrame(222);
+  for (uint32_t F = 1; F <= 5; ++F) {
+    A.pushFrame(F);
+    B.pushFrame(F);
+  }
+  EXPECT_EQ(A.currentSite(), B.currentSite());
+}

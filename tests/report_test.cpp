@@ -1,0 +1,61 @@
+//===- tests/report_test.cpp - Patch-report tests --------------------------------===//
+
+#include "report/PatchReport.h"
+
+#include <gtest/gtest.h>
+
+using namespace exterminator;
+
+TEST(SiteRegistry, DescribesNamedAndUnnamedSites) {
+  SiteRegistry Registry;
+  Registry.name(0x1234, "rewriteUrl (src/url.c:88)");
+  EXPECT_EQ(Registry.describe(0x1234), "rewriteUrl (src/url.c:88)");
+  EXPECT_EQ(Registry.describe(0xabcd), "site 0x0000abcd");
+}
+
+TEST(PatchReport, EmptyPatchSetSaysSo) {
+  const std::string Report = generatePatchReport(PatchSet());
+  EXPECT_NE(Report.find("empty"), std::string::npos);
+}
+
+TEST(PatchReport, OverflowFindingCarriesExtentAndFix) {
+  PatchSet Patches;
+  Patches.addPad(0xdeadbeef, 6);
+  const std::string Report = generatePatchReport(Patches);
+  EXPECT_NE(Report.find("heap-buffer-overflow"), std::string::npos);
+  EXPECT_NE(Report.find("0xdeadbeef"), std::string::npos);
+  EXPECT_NE(Report.find("6 byte(s)"), std::string::npos);
+  EXPECT_NE(Report.find("suggested fix"), std::string::npos);
+}
+
+TEST(PatchReport, DanglingFindingCarriesBothSites) {
+  PatchSet Patches;
+  Patches.addDeferral(0xaaaa0001, 0xbbbb0002, 101);
+  const std::string Report = generatePatchReport(Patches);
+  EXPECT_NE(Report.find("dangling pointer"), std::string::npos);
+  EXPECT_NE(Report.find("0xaaaa0001"), std::string::npos);
+  EXPECT_NE(Report.find("0xbbbb0002"), std::string::npos);
+  // Deferral 101 = 2*50 + 1: the report derives a 50-allocation window.
+  EXPECT_NE(Report.find("50 allocation(s)"), std::string::npos);
+}
+
+TEST(PatchReport, RegistryNamesAppearInReport) {
+  PatchSet Patches;
+  Patches.addPad(0x1111, 36);
+  SiteRegistry Registry;
+  Registry.name(0x1111, "cube_alloc (espresso/cvrm.c:142)");
+  const std::string Report = generatePatchReport(Patches, &Registry);
+  EXPECT_NE(Report.find("cube_alloc (espresso/cvrm.c:142)"),
+            std::string::npos);
+}
+
+TEST(PatchReport, CountsFindings) {
+  PatchSet Patches;
+  Patches.addPad(1, 4);
+  Patches.addPad(2, 8);
+  Patches.addDeferral(3, 4, 11);
+  const std::string Report = generatePatchReport(Patches);
+  EXPECT_NE(Report.find("3 finding(s)"), std::string::npos);
+  EXPECT_NE(Report.find("2 overflow site(s)"), std::string::npos);
+  EXPECT_NE(Report.find("1 dangling site pair(s)"), std::string::npos);
+}

@@ -1,0 +1,404 @@
+//===- tests/support_test.cpp - Support substrate tests ---------------------===//
+
+#include "support/Bitmap.h"
+#include "support/RandomGenerator.h"
+#include "support/Serializer.h"
+#include "support/SiteHash.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// RandomGenerator
+//===----------------------------------------------------------------------===//
+
+TEST(RandomGenerator, SameSeedSameStream) {
+  RandomGenerator A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomGenerator, DifferentSeedsDifferentStreams) {
+  RandomGenerator A(1), B(2);
+  unsigned Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Matches;
+  EXPECT_EQ(Matches, 0u);
+}
+
+TEST(RandomGenerator, ReseedResetsStream) {
+  RandomGenerator A(7);
+  const uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RandomGenerator, NextBelowStaysInRange) {
+  RandomGenerator Rng(3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(RandomGenerator, NextBelowOneIsZero) {
+  RandomGenerator Rng(5);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Rng.nextBelow(1), 0u);
+}
+
+TEST(RandomGenerator, NextBelowIsRoughlyUniform) {
+  RandomGenerator Rng(11);
+  constexpr uint64_t Buckets = 8;
+  constexpr int Draws = 80000;
+  int Counts[Buckets] = {};
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[Rng.nextBelow(Buckets)];
+  for (uint64_t B = 0; B < Buckets; ++B) {
+    // Each bucket expects 10000; allow 5% deviation.
+    EXPECT_NEAR(Counts[B], Draws / Buckets, Draws / Buckets * 0.05);
+  }
+}
+
+TEST(RandomGenerator, NextDoubleInUnitInterval) {
+  RandomGenerator Rng(13);
+  for (int I = 0; I < 1000; ++I) {
+    const double X = Rng.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(RandomGenerator, ChanceExtremes) {
+  RandomGenerator Rng(17);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.chance(0.0));
+    EXPECT_TRUE(Rng.chance(1.0));
+  }
+}
+
+TEST(RandomGenerator, ChanceMatchesProbability) {
+  RandomGenerator Rng(19);
+  int Heads = 0;
+  constexpr int Draws = 40000;
+  for (int I = 0; I < Draws; ++I)
+    if (Rng.chance(0.25))
+      ++Heads;
+  EXPECT_NEAR(Heads, Draws * 0.25, Draws * 0.02);
+}
+
+TEST(RandomGenerator, ForkProducesIndependentStream) {
+  RandomGenerator A(23);
+  RandomGenerator Child = A.fork();
+  unsigned Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == Child.next())
+      ++Matches;
+  EXPECT_EQ(Matches, 0u);
+}
+
+TEST(RandomGenerator, SplitMix64KnownSequenceIsDeterministic) {
+  uint64_t S1 = 0, S2 = 0;
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(splitMix64(S1), splitMix64(S2));
+}
+
+//===----------------------------------------------------------------------===//
+// Bitmap
+//===----------------------------------------------------------------------===//
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap Map(100);
+  EXPECT_EQ(Map.size(), 100u);
+  EXPECT_EQ(Map.count(), 0u);
+  for (size_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(Map.test(I));
+}
+
+TEST(Bitmap, SetAndTest) {
+  Bitmap Map(70);
+  EXPECT_TRUE(Map.set(0));
+  EXPECT_TRUE(Map.set(63));
+  EXPECT_TRUE(Map.set(64));
+  EXPECT_TRUE(Map.set(69));
+  EXPECT_TRUE(Map.test(0));
+  EXPECT_TRUE(Map.test(63));
+  EXPECT_TRUE(Map.test(64));
+  EXPECT_TRUE(Map.test(69));
+  EXPECT_FALSE(Map.test(1));
+  EXPECT_EQ(Map.count(), 4u);
+}
+
+TEST(Bitmap, DoubleSetReturnsFalse) {
+  Bitmap Map(10);
+  EXPECT_TRUE(Map.set(5));
+  // A bit can only be set once — this is what makes double frees benign.
+  EXPECT_FALSE(Map.set(5));
+  EXPECT_EQ(Map.count(), 1u);
+}
+
+TEST(Bitmap, DoubleResetReturnsFalse) {
+  Bitmap Map(10);
+  Map.set(5);
+  EXPECT_TRUE(Map.reset(5));
+  EXPECT_FALSE(Map.reset(5));
+  EXPECT_EQ(Map.count(), 0u);
+}
+
+TEST(Bitmap, ClearResetsEverything) {
+  Bitmap Map(100);
+  for (size_t I = 0; I < 100; I += 3)
+    Map.set(I);
+  Map.clear();
+  EXPECT_EQ(Map.count(), 0u);
+  for (size_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(Map.test(I));
+}
+
+TEST(Bitmap, ProbeClearFindsOnlyClearBits) {
+  Bitmap Map(64);
+  for (size_t I = 0; I < 64; ++I)
+    if (I != 17 && I != 42)
+      Map.set(I);
+  RandomGenerator Rng(1);
+  std::set<size_t> Found;
+  for (int I = 0; I < 100; ++I) {
+    auto Bit = Map.probeClear(Rng);
+    ASSERT_TRUE(Bit.has_value());
+    EXPECT_TRUE(*Bit == 17 || *Bit == 42);
+    Found.insert(*Bit);
+  }
+  // Both free bits should be reachable by random probing.
+  EXPECT_EQ(Found.size(), 2u);
+}
+
+TEST(Bitmap, ProbeClearOnFullMapFails) {
+  Bitmap Map(8);
+  for (size_t I = 0; I < 8; ++I)
+    Map.set(I);
+  RandomGenerator Rng(1);
+  EXPECT_FALSE(Map.probeClear(Rng).has_value());
+}
+
+TEST(Bitmap, ProbeClearOnEmptySizeFails) {
+  Bitmap Map;
+  RandomGenerator Rng(1);
+  EXPECT_FALSE(Map.probeClear(Rng).has_value());
+}
+
+TEST(Bitmap, ProbeClearIsUniform) {
+  // At half occupancy, every free bit should be hit roughly equally —
+  // the uniformity DieHard's probabilistic guarantees build on.
+  Bitmap Map(32);
+  for (size_t I = 0; I < 32; I += 2)
+    Map.set(I);
+  RandomGenerator Rng(99);
+  int Counts[32] = {};
+  constexpr int Draws = 32000;
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[*Map.probeClear(Rng)];
+  for (size_t I = 1; I < 32; I += 2)
+    EXPECT_NEAR(Counts[I], Draws / 16, Draws / 16 * 0.1);
+}
+
+TEST(Bitmap, FindNextSet) {
+  Bitmap Map(130);
+  Map.set(3);
+  Map.set(64);
+  Map.set(129);
+  EXPECT_EQ(Map.findNextSet(0), std::optional<size_t>(3));
+  EXPECT_EQ(Map.findNextSet(4), std::optional<size_t>(64));
+  EXPECT_EQ(Map.findNextSet(65), std::optional<size_t>(129));
+  EXPECT_EQ(Map.findNextSet(130), std::nullopt);
+}
+
+TEST(Bitmap, FindNextSetOnEmptyMap) {
+  Bitmap Map(64);
+  EXPECT_EQ(Map.findNextSet(0), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// SiteHash
+//===----------------------------------------------------------------------===//
+
+TEST(SiteHash, MatchesPaperDJB2Definition) {
+  // Figure 3: hash = 5381; hash = ((hash << 5) + hash) + pc[i].
+  const uint32_t Pc[SiteHashDepth] = {10, 20, 30, 40, 50};
+  uint32_t Expected = 5381;
+  for (unsigned I = 0; I < SiteHashDepth; ++I)
+    Expected = ((Expected << 5) + Expected) + Pc[I];
+  EXPECT_EQ(computeSiteHash(Pc), Expected);
+}
+
+TEST(SiteHash, AllZeroFramesHashDeterministically) {
+  const uint32_t Pc[SiteHashDepth] = {0, 0, 0, 0, 0};
+  EXPECT_EQ(computeSiteHash(Pc), computeSiteHash(Pc));
+  EXPECT_NE(computeSiteHash(Pc), 0u);
+}
+
+TEST(CallContext, EmptyContextHasStableSite) {
+  CallContext Context;
+  EXPECT_EQ(Context.currentSite(), Context.currentSite());
+}
+
+TEST(CallContext, DifferentFramesDifferentSites) {
+  CallContext A, B;
+  A.pushFrame(1);
+  B.pushFrame(2);
+  EXPECT_NE(A.currentSite(), B.currentSite());
+}
+
+TEST(CallContext, SiteDependsOnFiveInnermostFrames) {
+  CallContext A, B;
+  // Frames deeper than SiteHashDepth from the top must not matter.
+  A.pushFrame(100);
+  for (uint32_t F = 1; F <= SiteHashDepth; ++F) {
+    A.pushFrame(F);
+    B.pushFrame(F);
+  }
+  EXPECT_EQ(A.currentSite(), B.currentSite());
+}
+
+TEST(CallContext, ScopePushesAndPops) {
+  CallContext Context;
+  Context.pushFrame(7);
+  const SiteId Before = Context.currentSite();
+  {
+    CallContext::Scope Scope(Context, 8);
+    EXPECT_NE(Context.currentSite(), Before);
+    EXPECT_EQ(Context.depth(), 2u);
+  }
+  EXPECT_EQ(Context.currentSite(), Before);
+  EXPECT_EQ(Context.depth(), 1u);
+}
+
+TEST(CallContext, OrderMatters) {
+  CallContext A, B;
+  A.pushFrame(1);
+  A.pushFrame(2);
+  B.pushFrame(2);
+  B.pushFrame(1);
+  EXPECT_NE(A.currentSite(), B.currentSite());
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer
+//===----------------------------------------------------------------------===//
+
+TEST(Serializer, RoundTripScalars) {
+  ByteWriter Writer;
+  Writer.writeU8(0xab);
+  Writer.writeU32(0xdeadbeef);
+  Writer.writeU64(0x0123456789abcdefULL);
+  Writer.writeF64(3.14159);
+
+  ByteReader Reader(Writer.buffer());
+  EXPECT_EQ(Reader.readU8(), 0xab);
+  EXPECT_EQ(Reader.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(Reader.readU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(Reader.readF64(), 3.14159);
+  EXPECT_TRUE(Reader.atEnd());
+  EXPECT_FALSE(Reader.failed());
+}
+
+TEST(Serializer, RoundTripBlobAndString) {
+  ByteWriter Writer;
+  Writer.writeBlob({1, 2, 3, 4, 5});
+  Writer.writeString("exterminator");
+
+  ByteReader Reader(Writer.buffer());
+  EXPECT_EQ(Reader.readBlob(), (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(Reader.readString(), "exterminator");
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(Serializer, EmptyBlobRoundTrips) {
+  ByteWriter Writer;
+  Writer.writeBlob({});
+  ByteReader Reader(Writer.buffer());
+  EXPECT_TRUE(Reader.readBlob().empty());
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(Serializer, OverReadSetsStickyFailure) {
+  ByteWriter Writer;
+  Writer.writeU8(1);
+  ByteReader Reader(Writer.buffer());
+  Reader.readU8();
+  EXPECT_EQ(Reader.readU32(), 0u); // past end: zero + failure
+  EXPECT_TRUE(Reader.failed());
+  EXPECT_EQ(Reader.readU64(), 0u); // failure is sticky
+  EXPECT_FALSE(Reader.atEnd());
+}
+
+TEST(Serializer, TruncatedBlobFails) {
+  ByteWriter Writer;
+  Writer.writeU64(1000); // claims 1000 bytes, provides none
+  ByteReader Reader(Writer.buffer());
+  EXPECT_TRUE(Reader.readBlob().empty());
+  EXPECT_TRUE(Reader.failed());
+}
+
+TEST(Serializer, FileRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/serializer_test.bin";
+  std::vector<uint8_t> Data = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(writeFileBytes(Path, Data));
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back));
+  EXPECT_EQ(Back, Data);
+}
+
+TEST(Serializer, ReadMissingFileFails) {
+  std::vector<uint8_t> Back;
+  EXPECT_FALSE(readFileBytes("/nonexistent/path/nope.bin", Back));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Statistics, MeanBasic) { EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5); }
+
+TEST(Statistics, GeometricMeanBasic) {
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Statistics, GeometricMeanOfIdenticalValues) {
+  EXPECT_NEAR(geometricMean({1.25, 1.25, 1.25}), 1.25, 1e-12);
+}
+
+TEST(Statistics, LogAddMatchesDirectComputation) {
+  const double A = std::log(0.3), B = std::log(0.7);
+  EXPECT_NEAR(logAdd(A, B), std::log(1.0), 1e-12);
+}
+
+TEST(Statistics, LogAddHandlesNegativeInfinity) {
+  const double NegInf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(logAdd(std::log(0.5), NegInf), std::log(0.5), 1e-12);
+}
+
+TEST(Statistics, RunningStatMatchesClosedForm) {
+  RunningStat Stat;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    Stat.add(X);
+  EXPECT_EQ(Stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(Stat.mean(), 5.0);
+  EXPECT_NEAR(Stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(Stat.max(), 9.0);
+}
+
+TEST(Statistics, RunningStatSingleValue) {
+  RunningStat Stat;
+  Stat.add(3.0);
+  EXPECT_DOUBLE_EQ(Stat.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(Stat.variance(), 0.0);
+}

@@ -1,0 +1,226 @@
+//===- tests/workload_test.cpp - Workload + voter tests ------------------------===//
+
+#include "workload/CfracWorkload.h"
+#include "workload/EspressoWorkload.h"
+#include "workload/MozillaWorkload.h"
+#include "workload/SquidWorkload.h"
+#include "workload/SyntheticSuite.h"
+
+#include "TestHelpers.h"
+#include "runtime/Voter.h"
+
+#include <gtest/gtest.h>
+
+using namespace exterminator;
+using namespace exterminator::testing_support;
+
+namespace {
+
+/// Runs \p Work with the given heap seed over the full stack.
+SingleRunResult runOn(Workload &Work, uint64_t InputSeed, uint64_t HeapSeed,
+                      double CanaryP = 1.0) {
+  ExterminatorConfig Config;
+  Config.CanaryFillProbability = CanaryP;
+  return runWorkloadOnce(Work, InputSeed, HeapSeed, Config, PatchSet());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinism: same input ⇒ same output, regardless of heap seed.  This
+// is the property iterative/replicated modes require (§3.4).
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadDeterminism, EspressoOutputIndependentOfHeapSeed) {
+  EspressoWorkload Work;
+  const auto A = runOn(Work, 42, 1);
+  const auto B = runOn(Work, 42, 999);
+  ASSERT_EQ(A.Result.Status, RunStatusKind::Success);
+  ASSERT_EQ(B.Result.Status, RunStatusKind::Success);
+  EXPECT_EQ(A.Result.Output, B.Result.Output);
+  // And the allocation clock agrees: object ids are comparable.
+  EXPECT_EQ(A.EndTime, B.EndTime);
+}
+
+TEST(WorkloadDeterminism, EspressoOutputDependsOnInput) {
+  EspressoWorkload Work;
+  const auto A = runOn(Work, 42, 1);
+  const auto B = runOn(Work, 43, 1);
+  EXPECT_NE(A.Result.Output, B.Result.Output);
+}
+
+TEST(WorkloadDeterminism, CfracDeterministic) {
+  CfracParams Params;
+  Params.Steps = 300;
+  CfracWorkload Work(Params);
+  const auto A = runOn(Work, 7, 1);
+  const auto B = runOn(Work, 7, 888);
+  EXPECT_EQ(A.Result.Output, B.Result.Output);
+  EXPECT_EQ(A.EndTime, B.EndTime);
+}
+
+TEST(WorkloadDeterminism, SquidDeterministic) {
+  SquidParams Params;
+  Params.Requests = 60;
+  Params.TriggerIndex = 30;
+  SquidWorkload Work(Params);
+  const auto A = runOn(Work, 5, 1);
+  const auto B = runOn(Work, 5, 12345);
+  EXPECT_EQ(A.Result.Output, B.Result.Output);
+}
+
+TEST(WorkloadDeterminism, SyntheticSuiteDeterministic) {
+  for (const SyntheticProfile &Profile : figure7Profiles()) {
+    SyntheticProfile Small = Profile;
+    Small.Operations = 50; // keep the test fast
+    Small.ComputePerOp = Small.ComputePerOp / 10 + 1;
+    SyntheticWorkload Work(Small);
+    const auto A = runOn(Work, 3, 1);
+    const auto B = runOn(Work, 3, 777);
+    EXPECT_EQ(A.Result.Output, B.Result.Output) << Profile.Name;
+  }
+}
+
+TEST(WorkloadNondeterminism, MozillaAllocationsVaryAcrossInputs) {
+  // Mozilla's allocation behavior diverges run to run — the reason
+  // cumulative mode exists (§3.4).
+  MozillaParams Params;
+  Params.IncludeTrigger = false;
+  Params.Scenario = MozillaScenario::BrowseThenTrigger;
+  MozillaWorkload Work(Params);
+  const auto A = runOn(Work, 1, 5);
+  const auto B = runOn(Work, 2, 5);
+  EXPECT_NE(A.EndTime, B.EndTime);
+}
+
+//===----------------------------------------------------------------------===//
+// Clean-run health: no failures, no DieFast signals.
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadHealth, EspressoCleanUnderDieFast) {
+  EspressoWorkload Work;
+  for (uint64_t Seed : {1, 2, 3}) {
+    const auto Run = runOn(Work, 11, Seed);
+    EXPECT_EQ(Run.Result.Status, RunStatusKind::Success);
+    EXPECT_FALSE(Run.ErrorSignalled);
+  }
+}
+
+TEST(WorkloadHealth, SquidWithoutTriggerIsClean) {
+  SquidParams Params;
+  Params.IncludeTrigger = false;
+  SquidWorkload Work(Params);
+  const auto Run = runOn(Work, 1, 7);
+  EXPECT_EQ(Run.Result.Status, RunStatusKind::Success);
+  EXPECT_FALSE(Run.ErrorSignalled);
+}
+
+TEST(WorkloadHealth, SquidWithTriggerCorruptsACanary) {
+  SquidWorkload Work;
+  // The overflow escapes its slot; across a few seeds DieFast must see
+  // it (exactly the paper's "the overflow corrupts a canary").
+  unsigned Detected = 0;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    const auto Run = runOn(Work, 1, Seed);
+    if (Run.ErrorSignalled)
+      ++Detected;
+  }
+  EXPECT_GT(Detected, 0u);
+}
+
+TEST(WorkloadHealth, MozillaWithoutTriggerIsClean) {
+  MozillaParams Params;
+  Params.IncludeTrigger = false;
+  MozillaWorkload Work(Params);
+  const auto Run = runOn(Work, 9, 4, /*CanaryP=*/0.5);
+  EXPECT_EQ(Run.Result.Status, RunStatusKind::Success);
+  EXPECT_FALSE(Run.ErrorSignalled);
+}
+
+TEST(WorkloadHealth, EspressoAbortsOnInjectedDanglingSometimes) {
+  // With an injected premature free, espresso must notice something in
+  // at least some runs (abort, crash, or a DieFast signal).
+  EspressoWorkload Work;
+  ExterminatorConfig Config;
+  Config.Fault.Kind = FaultKind::PrematureFree;
+  Config.Fault.TriggerAllocation = 200;
+  Config.Fault.PatternSeed = 3;
+  unsigned Noticed = 0;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    const auto Run = runWorkloadOnce(Work, 11, Seed, Config, PatchSet());
+    if (Run.failed() || Run.ErrorSignalled)
+      ++Noticed;
+  }
+  EXPECT_GT(Noticed, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Voter (§3.4)
+//===----------------------------------------------------------------------===//
+
+static WorkloadResult successWith(std::vector<uint8_t> Output) {
+  WorkloadResult Result;
+  Result.Output = std::move(Output);
+  return Result;
+}
+
+TEST(Voter, UnanimousAgreement) {
+  const auto Vote = voteOnOutputs(
+      {successWith({1, 2}), successWith({1, 2}), successWith({1, 2})});
+  EXPECT_TRUE(Vote.HasWinner);
+  EXPECT_TRUE(Vote.Unanimous);
+  EXPECT_EQ(Vote.Winners.size(), 3u);
+  EXPECT_TRUE(Vote.Dissenters.empty());
+  EXPECT_EQ(Vote.Output, (std::vector<uint8_t>{1, 2}));
+}
+
+TEST(Voter, PluralityWinsOverDissenter) {
+  const auto Vote = voteOnOutputs(
+      {successWith({1, 2}), successWith({9, 9}), successWith({1, 2})});
+  EXPECT_TRUE(Vote.HasWinner);
+  EXPECT_FALSE(Vote.Unanimous);
+  EXPECT_EQ(Vote.Winners.size(), 2u);
+  ASSERT_EQ(Vote.Dissenters.size(), 1u);
+  EXPECT_EQ(Vote.Dissenters[0], 1u);
+}
+
+TEST(Voter, CrashedReplicaIsDissenter) {
+  WorkloadResult Crashed;
+  Crashed.Status = RunStatusKind::Crash;
+  const auto Vote = voteOnOutputs(
+      {successWith({1}), Crashed, successWith({1})});
+  EXPECT_TRUE(Vote.HasWinner);
+  ASSERT_EQ(Vote.Dissenters.size(), 1u);
+  EXPECT_EQ(Vote.Dissenters[0], 1u);
+}
+
+TEST(Voter, AllDistinctOutputsNoWinner) {
+  const auto Vote = voteOnOutputs(
+      {successWith({1}), successWith({2}), successWith({3})});
+  EXPECT_FALSE(Vote.HasWinner);
+}
+
+TEST(Voter, AllCrashedNoWinner) {
+  WorkloadResult Crashed;
+  Crashed.Status = RunStatusKind::Crash;
+  const auto Vote = voteOnOutputs({Crashed, Crashed});
+  EXPECT_FALSE(Vote.HasWinner);
+  EXPECT_EQ(Vote.Dissenters.size(), 2u);
+}
+
+TEST(Voter, SingleReplicaWins) {
+  const auto Vote = voteOnOutputs({successWith({5})});
+  EXPECT_TRUE(Vote.HasWinner);
+  EXPECT_TRUE(Vote.Unanimous);
+}
+
+TEST(Voter, ReplicasAgreeAcrossHeapSeedsInPractice) {
+  // End-to-end: three differently-seeded replicas of espresso produce
+  // identical output, so the voter reports unanimity (§3.1).
+  EspressoWorkload Work;
+  std::vector<WorkloadResult> Results;
+  for (uint64_t Seed : {10, 20, 30})
+    Results.push_back(runOn(Work, 77, Seed).Result);
+  const auto Vote = voteOnOutputs(Results);
+  EXPECT_TRUE(Vote.Unanimous);
+}

@@ -1,0 +1,148 @@
+//===- tools/xtermtool.cpp - Exterminator patch & image utility -----------------===//
+//
+// Command-line companion to the Exterminator runtime:
+//
+//   xtermtool inspect <patch.xpt>            list a patch file's contents
+//   xtermtool report  <patch.xpt>            render it as a bug report (§9)
+//   xtermtool merge   <out.xpt> <in.xpt>...  collaborative max-merge (§6.4)
+//   xtermtool image   <dump.xhi>             summarize a heap image (§3.4)
+//
+//===----------------------------------------------------------------------===//
+
+#include "diefast/Canary.h"
+#include "heapimage/HeapImageIO.h"
+#include "patch/PatchIO.h"
+#include "patch/PatchMerge.h"
+#include "report/PatchReport.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace exterminator;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: xtermtool inspect <patch.xpt>\n"
+               "       xtermtool report  <patch.xpt>\n"
+               "       xtermtool merge   <out.xpt> <in.xpt>...\n"
+               "       xtermtool image   <dump.xhi>\n");
+  return 2;
+}
+
+static int inspectPatches(const std::string &Path) {
+  PatchSet Patches;
+  if (!loadPatchSet(Path, Patches)) {
+    std::fprintf(stderr, "error: cannot load patch file '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu pad(s), %zu front pad(s), %zu deferral(s)\n",
+              Path.c_str(), Patches.padCount(), Patches.frontPadCount(),
+              Patches.deferralCount());
+  for (const PadPatch &Pad : Patches.pads())
+    std::printf("  pad      site=0x%08x  bytes=%u\n", Pad.AllocSite,
+                Pad.PadBytes);
+  for (const FrontPadPatch &Pad : Patches.frontPads())
+    std::printf("  frontpad site=0x%08x  bytes=%u\n", Pad.AllocSite,
+                Pad.PadBytes);
+  for (const DeferralPatch &Deferral : Patches.deferrals())
+    std::printf("  deferral alloc=0x%08x free=0x%08x  ticks=%llu\n",
+                Deferral.AllocSite, Deferral.FreeSite,
+                static_cast<unsigned long long>(Deferral.DeferTicks));
+  return 0;
+}
+
+static int reportPatches(const std::string &Path) {
+  PatchSet Patches;
+  if (!loadPatchSet(Path, Patches)) {
+    std::fprintf(stderr, "error: cannot load patch file '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::fputs(generatePatchReport(Patches).c_str(), stdout);
+  return 0;
+}
+
+static int mergePatches(const std::string &Out,
+                        const std::vector<std::string> &Inputs) {
+  if (!mergePatchFiles(Inputs, Out)) {
+    std::fprintf(stderr, "error: merge failed (missing or malformed "
+                         "input, or unwritable output)\n");
+    return 1;
+  }
+  PatchSet Merged;
+  loadPatchSet(Out, Merged);
+  std::printf("merged %zu file(s) -> %s (%zu pads, %zu deferrals)\n",
+              Inputs.size(), Out.c_str(), Merged.padCount(),
+              Merged.deferralCount());
+  return 0;
+}
+
+static int summarizeImage(const std::string &Path) {
+  HeapImage Image;
+  if (!loadHeapImage(Path, Image)) {
+    std::fprintf(stderr, "error: cannot load heap image '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::printf("%s: allocation time %llu, canary 0x%08x, M = %.1f, "
+              "p = %.2f\n",
+              Path.c_str(),
+              static_cast<unsigned long long>(Image.AllocationTime),
+              Image.CanaryValue, Image.Multiplier,
+              Image.CanaryFillProbability);
+
+  const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
+  size_t Live = 0, Freed = 0, Canaried = 0, Bad = 0, Corrupt = 0;
+  for (const ImageMiniheap &Mini : Image.Miniheaps) {
+    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
+      const ImageSlot &Slot = Mini.Slots[S];
+      if (Slot.Bad)
+        ++Bad;
+      else if (Slot.Allocated)
+        ++Live;
+      else if (Slot.ObjectId)
+        ++Freed;
+      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+        continue;
+      ++Canaried;
+      if (HeapCanary.findCorruption(Slot.Contents.data(),
+                                    Slot.Contents.size())) {
+        ++Corrupt;
+        std::printf("  CORRUPT slot: miniheap objsize=%llu slot=%u "
+                    "object=%llu alloc-site=0x%08x free-site=0x%08x\n",
+                    static_cast<unsigned long long>(Mini.ObjectSize), S,
+                    static_cast<unsigned long long>(Slot.ObjectId),
+                    Slot.AllocSite, Slot.FreeSite);
+      }
+    }
+  }
+  std::printf("%zu miniheap(s), %zu slot(s): %zu live, %zu freed, "
+              "%zu canaried, %zu quarantined, %zu corrupt\n",
+              Image.Miniheaps.size(), Image.totalSlots(), Live, Freed,
+              Canaried, Bad, Corrupt);
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  const std::string Command = Argv[1];
+  if (Command == "inspect")
+    return inspectPatches(Argv[2]);
+  if (Command == "report")
+    return reportPatches(Argv[2]);
+  if (Command == "image")
+    return summarizeImage(Argv[2]);
+  if (Command == "merge") {
+    if (Argc < 4)
+      return usage();
+    std::vector<std::string> Inputs;
+    for (int I = 3; I < Argc; ++I)
+      Inputs.push_back(Argv[I]);
+    return mergePatches(Argv[2], Inputs);
+  }
+  return usage();
+}
