@@ -15,8 +15,10 @@
 #ifndef EXTERMINATOR_BENCH_BENCHREPORT_H
 #define EXTERMINATOR_BENCH_BENCHREPORT_H
 
+#include <cassert>
 #include <chrono>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -92,6 +94,106 @@ template <typename FnT> double timeSeconds(FnT Fn) {
   const auto End = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(End - Start).count();
 }
+
+/// Minimal streaming JSON writer for the machine-readable bench reports
+/// (BENCH_*.json).  Keys/values are emitted in call order; a stack of
+/// comma states keeps the nesting honest.
+class JsonWriter {
+public:
+  void beginObject(const std::string &Key = "") { open('{', Key); }
+  void endObject() { close('}'); }
+  void beginArray(const std::string &Key = "") { open('[', Key); }
+  void endArray() { close(']'); }
+
+  void field(const std::string &Key, const std::string &Value) {
+    prefix(Key);
+    Out += quote(Value);
+  }
+  void field(const std::string &Key, const char *Value) {
+    field(Key, std::string(Value));
+  }
+  void field(const std::string &Key, double Value) {
+    prefix(Key);
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+    Out += Buffer;
+  }
+  void field(const std::string &Key, uint64_t Value) {
+    prefix(Key);
+    Out += std::to_string(Value);
+  }
+  void field(const std::string &Key, int Value) {
+    prefix(Key);
+    Out += std::to_string(Value);
+  }
+  void field(const std::string &Key, bool Value) {
+    prefix(Key);
+    Out += Value ? "true" : "false";
+  }
+
+  const std::string &str() const {
+    assert(Depth.empty() && "unbalanced begin/end");
+    return Out;
+  }
+
+  /// Writes the document (plus trailing newline) to \p Path; returns
+  /// false on I/O failure.
+  bool writeFile(const std::string &Path) const {
+    std::FILE *File = std::fopen(Path.c_str(), "w");
+    if (!File)
+      return false;
+    const std::string &Doc = str();
+    const bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), File) == Doc.size();
+    std::fputc('\n', File);
+    return std::fclose(File) == 0 && Ok;
+  }
+
+private:
+  static std::string quote(const std::string &S) {
+    std::string Quoted = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\') {
+        Quoted += '\\';
+        Quoted += C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned char>(C));
+        Quoted += Buffer;
+      } else {
+        Quoted += C;
+      }
+    }
+    Quoted += '"';
+    return Quoted;
+  }
+
+  void prefix(const std::string &Key) {
+    if (!Depth.empty() && Depth.back())
+      Out += ',';
+    if (!Depth.empty())
+      Depth.back() = true;
+    if (!Key.empty()) {
+      Out += quote(Key);
+      Out += ':';
+    }
+  }
+
+  void open(char C, const std::string &Key) {
+    prefix(Key);
+    Out += C;
+    Depth.push_back(false);
+  }
+
+  void close(char C) {
+    assert(!Depth.empty() && "close without open");
+    Depth.pop_back();
+    Out += C;
+  }
+
+  std::string Out;
+  std::vector<bool> Depth; // true once the scope has emitted an element
+};
 
 } // namespace benchreport
 

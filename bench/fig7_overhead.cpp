@@ -21,6 +21,7 @@
 #include "workload/SyntheticSuite.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace exterminator;
 using namespace benchreport;
@@ -55,13 +56,28 @@ double measure(SyntheticWorkload &Work, bool UseExterminator,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: fig7_overhead [--json FILE]\n");
+      return 2;
+    }
+  }
+
   heading("Figure 7: Exterminator runtime overhead vs GNU libc allocator");
   note("normalized execution time (1.00 = baseline allocator)");
 
   Table Out({"benchmark", "suite", "baseline(s)", "exterminator(s)",
              "normalized"});
   std::vector<double> AllocIntensive, SpecLike, All;
+  JsonWriter Json;
+  Json.beginObject();
+  Json.field("bench", "fig7_overhead");
+  Json.field("schema_version", 1);
+  Json.beginArray("results");
 
   for (const SyntheticProfile &Profile : figure7Profiles()) {
     SyntheticWorkload Work(Profile);
@@ -75,7 +91,16 @@ int main() {
                 Profile.AllocationIntensive ? "alloc-intensive" : "SPECint",
                 fmt("%.4f", Base), fmt("%.4f", Ext),
                 fmt("%.2f", Normalized)});
+    Json.beginObject();
+    Json.field("name", Profile.Name);
+    Json.field("suite",
+               Profile.AllocationIntensive ? "alloc-intensive" : "SPECint");
+    Json.field("baseline_seconds", Base);
+    Json.field("exterminator_seconds", Ext);
+    Json.field("normalized", Normalized);
+    Json.endObject();
   }
+  Json.endArray();
   Out.print();
 
   const double GeoAlloc = geometricMean(AllocIntensive);
@@ -86,5 +111,17 @@ int main() {
        GeoAlloc, GeoSpec, GeoAll);
   note("shape check: alloc-intensive overhead %s SPECint overhead",
        GeoAlloc > GeoSpec ? "exceeds" : "DOES NOT exceed");
+
+  Json.field("geomean_alloc_intensive", GeoAlloc);
+  Json.field("geomean_specint", GeoSpec);
+  Json.field("geomean_overall", GeoAll);
+  Json.endObject();
+  if (!JsonPath.empty()) {
+    if (!Json.writeFile(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    note("wrote %s", JsonPath.c_str());
+  }
   return 0;
 }

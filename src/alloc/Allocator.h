@@ -50,7 +50,10 @@ public:
   /// Human-readable allocator name for reports.
   virtual const char *name() const = 0;
 
-  const AllocatorStats &stats() const { return Stats; }
+  /// Virtual so wrapper heaps (DieFast, the correcting allocator) can
+  /// forward to the heap that actually owns the counters instead of
+  /// copying the whole struct on every allocate/deallocate.
+  virtual const AllocatorStats &stats() const { return Stats; }
 
 protected:
   AllocatorStats Stats;

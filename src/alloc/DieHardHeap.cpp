@@ -93,12 +93,16 @@ bool DieHardHeap::deallocateWithRef(void *Ptr, ObjectRef &RefOut,
   }
 
   RefOut = *Found;
-  return deallocateResolved(*Found, SiteOverride);
+  return deallocateIn(Heap, *Found, SiteOverride);
 }
 
 bool DieHardHeap::deallocateResolved(const ObjectRef &Ref,
                                      std::optional<SiteId> SiteOverride) {
-  Miniheap &Heap = miniheap(Ref);
+  return deallocateIn(miniheap(Ref), Ref, SiteOverride);
+}
+
+bool DieHardHeap::deallocateIn(Miniheap &Heap, const ObjectRef &Ref,
+                               std::optional<SiteId> SiteOverride) {
   // A bit can only be reset once, so multiple frees are benign (§2).  Bad
   // slots keep their bit set forever, so a free of a quarantined object
   // lands here as well.
@@ -131,6 +135,28 @@ void DieHardHeap::quarantine(const ObjectRef &Ref) {
 
 std::optional<ObjectRef> DieHardHeap::findObject(const void *Ptr) const {
   const uint8_t *Addr = static_cast<const uint8_t *>(Ptr);
+  if (Config.LegacyHotPath)
+    return findObjectSorted(Addr);
+
+  // Page directory: every page an object region overlaps is keyed here,
+  // so a miss proves Addr is outside the heap (guard regions included).
+  const uint32_t Id = PageDirectory.lookup(pageOf(Addr));
+  if (Id == PageTable::NotFound)
+    return std::nullopt;
+  if (Id == AmbiguousPage)
+    return findObjectSorted(Addr);
+  const Range &Slab = Slabs[Id];
+  // The page can hang over the slab's edges into guard space; range-check
+  // before trusting it.
+  if (Addr < Slab.Base || Addr >= Slab.End)
+    return std::nullopt;
+  std::optional<size_t> Slot = Slab.Heap->slotContaining(Addr);
+  assert(Slot && "in-range address must resolve to a slot");
+  return ObjectRef{Slab.ClassIndex, Slab.HeapIndex, *Slot};
+}
+
+std::optional<ObjectRef>
+DieHardHeap::findObjectSorted(const uint8_t *Addr) const {
   // Ranges is sorted by base; find the first range whose base is > Addr,
   // then step back.
   auto It = std::upper_bound(
@@ -141,8 +167,7 @@ std::optional<ObjectRef> DieHardHeap::findObject(const void *Ptr) const {
   --It;
   if (Addr >= It->End)
     return std::nullopt;
-  const Miniheap &Heap = *Classes[It->ClassIndex].Heaps[It->HeapIndex];
-  std::optional<size_t> Slot = Heap.slotContaining(Addr);
+  std::optional<size_t> Slot = It->Heap->slotContaining(Addr);
   if (!Slot)
     return std::nullopt;
   return ObjectRef{It->ClassIndex, It->HeapIndex, *Slot};
@@ -172,8 +197,9 @@ std::optional<ObjectRef> DieHardHeap::nextSlot(const ObjectRef &Ref) const {
 void DieHardHeap::ensureCapacity(ClassState &Class, unsigned ClassIndex) {
   // Keep (Live + 1) <= Capacity / M: adding a miniheap twice as large as
   // the previous largest each time the bound would be violated (§3.1).
-  while (static_cast<double>(Class.Live + 1) * Config.Multiplier >
-         static_cast<double>(Class.Capacity)) {
+  // MaxLive caches floor(Capacity / M): for integer Live the comparison
+  // is exactly equivalent and the hot check costs no multiplier math.
+  while (Class.Live + 1 > Class.MaxLive) {
     size_t NewSlots = Class.Heaps.empty()
                           ? Config.InitialSlots
                           : Class.Heaps.back()->numSlots() * 2;
@@ -182,36 +208,102 @@ void DieHardHeap::ensureCapacity(ClassState &Class, unsigned ClassIndex) {
     registerRange(Heap.get(), ClassIndex,
                   static_cast<unsigned>(Class.Heaps.size()));
     Class.Capacity += NewSlots;
+    Class.MaxLive = static_cast<size_t>(static_cast<double>(Class.Capacity) /
+                                        Config.Multiplier);
+    Class.CumulativeSlots.push_back(Class.Capacity);
     Class.Heaps.push_back(std::move(Heap));
   }
 }
 
+std::pair<unsigned, size_t>
+DieHardHeap::resolveClassSlot(const ClassState &Class, size_t Pick) const {
+  // First miniheap whose inclusive prefix sum exceeds Pick owns the slot.
+  // Doubling miniheaps keep this table at ~log2(live) entries, so a
+  // branch-free predicate-sum scan (every comparison compiles to
+  // setcc/add, none to a conditional jump) beats a binary search whose
+  // branches are data-random by construction.
+  const size_t *Cum = Class.CumulativeSlots.data();
+  const size_t Count = Class.CumulativeSlots.size();
+  unsigned HeapIndex = 0;
+  for (size_t I = 0; I < Count; ++I)
+    HeapIndex += static_cast<unsigned>(Pick >= Cum[I]);
+  assert(HeapIndex < Count && "pick past class capacity");
+  const size_t Before = HeapIndex == 0 ? 0 : Cum[HeapIndex - 1];
+  return {HeapIndex, Pick - Before};
+}
+
 ObjectRef DieHardHeap::placeRandomly(ClassState &Class, unsigned ClassIndex) {
   assert(Class.Live < Class.Capacity && "class has no free slot");
-  // Uniform random probing over the class's combined slot space; expected
-  // O(1) probes at <= 1/M occupancy (§3.1).
-  for (;;) {
-    size_t Pick = Rng.nextBelow(Class.Capacity);
-    unsigned HeapIndex = 0;
-    for (const auto &Heap : Class.Heaps) {
-      if (Pick < Heap->numSlots()) {
-        if (!Heap->isAllocated(Pick))
-          return ObjectRef{ClassIndex, HeapIndex, Pick};
-        break;
+
+  if (Config.LegacyHotPath) {
+    // The pre-PR-1 implementation: every probe walks the miniheap list
+    // linearly to resolve the class-global pick.  Kept only for the bench
+    // baseline toggle.
+    for (;;) {
+      size_t Pick = Rng.nextBelow(Class.Capacity);
+      unsigned HeapIndex = 0;
+      for (const auto &Heap : Class.Heaps) {
+        if (Pick < Heap->numSlots()) {
+          if (!Heap->isAllocated(Pick))
+            return ObjectRef{ClassIndex, HeapIndex, Pick};
+          break;
+        }
+        Pick -= Heap->numSlots();
+        ++HeapIndex;
       }
-      Pick -= Heap->numSlots();
-      ++HeapIndex;
     }
   }
+
+  // Uniform random probing over the class's combined slot space; expected
+  // O(1) probes at <= 1/M occupancy (§3.1).  Each probe is one draw, one
+  // branch-free scan of the offset table, one bitmap word load.
+  static constexpr unsigned MaxPlacementProbes = 64;
+  for (unsigned Probe = 0; Probe < MaxPlacementProbes; ++Probe) {
+    const size_t Pick = Rng.nextBelow(Class.Capacity);
+    const auto [HeapIndex, Slot] = resolveClassSlot(Class, Pick);
+    if (!Class.Heaps[HeapIndex]->isAllocated(Slot))
+      return ObjectRef{ClassIndex, HeapIndex, Slot};
+  }
+
+  // Degenerate density (never reached at the <= 1/M invariant): draw a
+  // uniform rank among the free slots and select it exactly — the same
+  // distribution rejection sampling produces, with a bounded sweep.
+  size_t Rank = Rng.nextBelow(Class.Capacity - Class.Live);
+  for (unsigned H = 0; H < Class.Heaps.size(); ++H) {
+    const Miniheap &Heap = *Class.Heaps[H];
+    const size_t FreeHere = Heap.numSlots() - Heap.allocatedCount();
+    if (Rank < FreeHere) {
+      std::optional<size_t> Slot = Heap.inUseBitmap().selectClear(Rank);
+      assert(Slot && "rank within free count must select");
+      return ObjectRef{ClassIndex, H, *Slot};
+    }
+    Rank -= FreeHere;
+  }
+  assert(false && "free-slot rank walk must terminate");
+  return ObjectRef{ClassIndex, 0, 0};
 }
 
 void DieHardHeap::registerRange(Miniheap *Heap, unsigned ClassIndex,
                                 unsigned HeapIndex) {
   Range NewRange{Heap->base(),
                  Heap->base() + Heap->numSlots() * Heap->objectSize(),
-                 ClassIndex, HeapIndex};
+                 ClassIndex, HeapIndex, Heap};
   auto It = std::upper_bound(
       Ranges.begin(), Ranges.end(), NewRange,
       [](const Range &A, const Range &B) { return A.Base < B.Base; });
   Ranges.insert(It, NewRange);
+
+  // Page directory: map every page the object region overlaps to this
+  // slab.  A page already claimed by another slab (only possible when
+  // guard regions are smaller than a page) turns ambiguous and falls back
+  // to the sorted-range search.
+  const uint32_t SlabId = static_cast<uint32_t>(Slabs.size());
+  Slabs.push_back(NewRange);
+  for (uintptr_t Page = pageOf(NewRange.Base),
+                 LastPage = pageOf(NewRange.End - 1);
+       Page <= LastPage; ++Page) {
+    const auto [Value, Inserted] = PageDirectory.emplace(Page, SlabId);
+    if (!Inserted)
+      Value = AmbiguousPage;
+  }
 }

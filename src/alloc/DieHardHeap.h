@@ -17,6 +17,22 @@
 /// makes double frees benign, and range checks make invalid frees benign
 /// (Table 1).
 ///
+/// Hot-path layout (see ROADMAP.md "Hot-path architecture"):
+///
+///  * Placement draws one random index over the class's combined slot
+///    space and resolves it to a miniheap through a per-class cumulative
+///    slot-offset table (rebuilt only when the class grows), so a probe is
+///    a draw, a branch-free scan over a handful of prefix sums, and one
+///    bitmap word load.  A bounded number of rejection probes is followed by an
+///    exact rank-select over the free slots, preserving the uniform
+///    distribution even on adversarially dense maps.
+///
+///  * Pointer lookup (`findObject`) consults a page directory keyed on the
+///    address's 4 KiB page: every page a slab's object region overlaps
+///    maps to that slab, making free-path resolution one hash probe.  The
+///    sorted-range binary search is kept as the fallback for pages shared
+///    by two slabs (possible only with guard regions smaller than a page).
+///
 /// The heap also maintains Exterminator's per-object metadata (§3.2):
 /// object ids from a global allocation clock, allocation/deallocation site
 /// hashes sampled from an optional CallContext, and deallocation times.
@@ -29,6 +45,7 @@
 #include "alloc/Allocator.h"
 #include "alloc/Miniheap.h"
 #include "alloc/SizeClass.h"
+#include "support/PageTable.h"
 #include "support/RandomGenerator.h"
 #include "support/SiteHash.h"
 
@@ -50,6 +67,11 @@ struct DieHardConfig {
   /// Guard region after each slab, absorbing forward overflows off the
   /// last slot (stands in for the sparse address space between miniheaps).
   size_t GuardBytes = 4096;
+  /// Routes placement and pointer lookup through the pre-PR-1 O(n) code
+  /// paths (linear miniheap scan, sorted-range-only lookup).  Exists so
+  /// bench/micro_allocators can measure the fast paths against the
+  /// original implementation in one run; never enable it in production.
+  bool LegacyHotPath = false;
 };
 
 /// Identifies one object slot in the heap.
@@ -185,8 +207,16 @@ public:
 private:
   struct ClassState {
     std::vector<std::unique_ptr<Miniheap>> Heaps;
+    /// Inclusive prefix sums of Heaps[i]->numSlots(); CumulativeSlots[i]
+    /// is the combined slot count of heaps 0..i.  Grows in lockstep with
+    /// Heaps, so a class-global slot index resolves to a miniheap by
+    /// binary search instead of a linear walk.
+    std::vector<size_t> CumulativeSlots;
     size_t Capacity = 0;
     size_t Live = 0;
+    /// floor(Capacity / M): the hot-path growth check compares integers
+    /// instead of redoing the multiplier math on every allocation.
+    size_t MaxLive = 0;
   };
 
   /// Adds miniheaps until the class can absorb one more object while
@@ -195,6 +225,21 @@ private:
 
   /// Picks a uniformly random free slot across all miniheaps of a class.
   ObjectRef placeRandomly(ClassState &Class, unsigned ClassIndex);
+
+  /// Resolves a class-global slot index to (miniheap, slot) through the
+  /// cumulative offset table (branch-free predicate-sum scan; see the
+  /// definition for why not a binary search).
+  std::pair<unsigned, size_t> resolveClassSlot(const ClassState &Class,
+                                               size_t Pick) const;
+
+  /// The pre-directory lookup: binary search over the sorted slab ranges.
+  /// Kept as the fallback for ambiguous pages and the legacy toggle.
+  std::optional<ObjectRef> findObjectSorted(const uint8_t *Addr) const;
+
+  /// Shared tail of the two deallocation entry points; \p Heap must be
+  /// the miniheap \p Ref lives in (resolved exactly once by the caller).
+  bool deallocateIn(Miniheap &Heap, const ObjectRef &Ref,
+                    std::optional<SiteId> SiteOverride);
 
   void registerRange(Miniheap *Heap, unsigned ClassIndex, unsigned HeapIndex);
 
@@ -205,15 +250,34 @@ private:
   uint64_t Clock = 0;
   size_t LiveObjects = 0;
 
-  /// Sorted (by base address) index of every slab for O(log n) pointer
-  /// lookup.
+  /// One slab's object region (guard regions excluded).
   struct Range {
     const uint8_t *Base;
     const uint8_t *End;
     unsigned ClassIndex;
     unsigned HeapIndex;
+    /// Owning miniheap, denormalized so a directory hit resolves without
+    /// chasing Classes[c].Heaps[h].
+    Miniheap *Heap;
   };
+  /// Sorted (by base address) index of every slab: the fallback lookup
+  /// path and the legacy toggle's only path.
   std::vector<Range> Ranges;
+  /// Append-only copy of every slab in registration order; stable ids for
+  /// the page directory.
+  std::vector<Range> Slabs;
+
+  static constexpr unsigned PageShift = 12;
+  /// Sentinel for a page overlapped by more than one slab's object
+  /// region; lookups on such pages take the sorted-range fallback.
+  static constexpr uint32_t AmbiguousPage = PageTable::NotFound - 1;
+  static uintptr_t pageOf(const uint8_t *Addr) {
+    return reinterpret_cast<uintptr_t>(Addr) >> PageShift;
+  }
+  /// 4 KiB page -> index into Slabs (or AmbiguousPage).  Covers every
+  /// page any object region overlaps, so a missing key proves the address
+  /// is outside the heap.
+  PageTable PageDirectory;
 };
 
 } // namespace exterminator

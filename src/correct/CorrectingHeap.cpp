@@ -8,7 +8,8 @@ using namespace exterminator;
 
 CorrectingHeap::CorrectingHeap(const DieFastConfig &Config,
                                const CallContext *Context)
-    : Context(Context), Inner(Config, Context) {}
+    : Context(Context), Legacy(Config.Heap.LegacyHotPath),
+      Inner(Config, Context) {}
 
 CorrectingHeap::~CorrectingHeap() = default;
 
@@ -38,7 +39,8 @@ void *CorrectingHeap::allocate(size_t Size) {
         std::max(CStats.MaxLivePadBytes, CStats.LivePadBytes);
   }
   uint8_t *Ptr = static_cast<uint8_t *>(Inner.allocate(PaddedSize));
-  Stats = Inner.stats();
+  if (Legacy)
+    Stats = Inner.stats();
   if (!Ptr)
     return Ptr;
   if (AppliedFront > 0) {
@@ -71,7 +73,8 @@ void CorrectingHeap::deallocate(void *Ptr) {
   if (!Resolvable) {
     // Invalid or double free: let DieFast count and ignore it.
     Inner.deallocateWithSite(Ptr, FreeSite);
-    Stats = Inner.stats();
+    if (Legacy)
+      Stats = Inner.stats();
     return;
   }
 
@@ -85,7 +88,8 @@ void CorrectingHeap::deallocate(void *Ptr) {
   const uint64_t Defer = Patches.deferralFor(Meta.AllocSite, FreeSite);
   if (Defer == 0) {
     Inner.deallocateResolved(*Ref, FreeSite);
-    Stats = Inner.stats();
+    if (Legacy)
+      Stats = Inner.stats();
     return;
   }
 
@@ -132,7 +136,6 @@ void CorrectingHeap::reallyFree(const Deferred &Entry) {
   // live when the deferral drains.  The slot reference stays valid while
   // deferred: the object is still allocated until this very call.
   Inner.deallocateResolved(Entry.Ref, Entry.FreeSite);
-  Stats = Inner.stats();
   CStats.CurrentDeferredBytes -= Entry.Bytes;
   CStats.DragByteTicks +=
       static_cast<uint64_t>(Entry.Bytes) * (Clock - Entry.EnqueueTime);

@@ -63,6 +63,10 @@ public:
   void deallocate(void *Ptr) override;
   const char *name() const override { return "exterminator-correcting"; }
 
+  /// Counters live in the innermost DieHard heap; forwarding keeps the
+  /// per-operation stats copy off the hot path.
+  const AllocatorStats &stats() const override { return Inner.stats(); }
+
   /// Replaces the live patch set ("reload signal", §6.3).
   void setPatches(const PatchSet &NewPatches) { Patches = NewPatches; }
 
@@ -103,6 +107,9 @@ private:
   void reallyFree(const Deferred &Entry);
 
   const CallContext *Context;
+  /// Mirrors DieHardConfig::LegacyHotPath: reinstates the pre-PR-1
+  /// per-operation stats copies for the bench baseline.
+  bool Legacy;
   DieFastHeap Inner;
   PatchSet Patches;
   std::priority_queue<Deferred, std::vector<Deferred>, DeferredLater>

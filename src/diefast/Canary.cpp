@@ -2,9 +2,250 @@
 
 #include "diefast/Canary.h"
 
+#include <algorithm>
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EXTERMINATOR_CANARY_X86 1
+#include <immintrin.h>
+#endif
+
 using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// Dispatched fill/verify kernels
+//
+// The canary pattern has period 4, so any offset that is a multiple of 8
+// sees the same repeated 64-bit pattern word — kernels may chunk the
+// buffer at any power-of-two granularity >= 8 without tracking phase.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+inline uint8_t patternByte(uint64_t Word, size_t Offset) {
+  return static_cast<uint8_t>(Word >> (8 * (Offset % 8)));
+}
+
+inline void zeroSpan(uint8_t *Bytes, size_t Begin, size_t End,
+                     size_t ZeroPrefix) {
+  // Zero the part of [Begin, End) that falls inside the prefix.
+  if (Begin < ZeroPrefix)
+    std::memset(Bytes + Begin, 0, std::min(End, ZeroPrefix) - Begin);
+}
+
+void fillScalar(uint8_t *Bytes, size_t Size, uint64_t Word) {
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8)
+    std::memcpy(Bytes + I, &Word, 8);
+  for (; I < Size; ++I)
+    Bytes[I] = patternByte(Word, I);
+}
+
+bool verifyScalar(const uint8_t *Bytes, size_t Size, uint64_t Word) {
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Have;
+    std::memcpy(&Have, Bytes + I, 8);
+    if (Have != Word)
+      return false;
+  }
+  for (; I < Size; ++I)
+    if (Bytes[I] != patternByte(Word, I))
+      return false;
+  return true;
+}
+
+size_t verifyZeroScalar(uint8_t *Bytes, size_t Size, size_t ZeroPrefix,
+                        uint64_t Word) {
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Have;
+    std::memcpy(&Have, Bytes + I, 8);
+    if (Have != Word)
+      return std::min(I, ZeroPrefix);
+    zeroSpan(Bytes, I, I + 8, ZeroPrefix);
+  }
+  for (; I < Size; ++I) {
+    if (Bytes[I] != patternByte(Word, I))
+      return std::min(I, ZeroPrefix);
+    if (I < ZeroPrefix)
+      Bytes[I] = 0;
+  }
+  return canary_detail::AllVerifiedSentinel;
+}
+
+#if EXTERMINATOR_CANARY_X86
+
+void fillSse2(uint8_t *Bytes, size_t Size, uint64_t Word) {
+  const __m128i Pattern = _mm_set1_epi64x(static_cast<long long>(Word));
+  size_t I = 0;
+  for (; I + 64 <= Size; I += 64) {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I), Pattern);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I + 16), Pattern);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I + 32), Pattern);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I + 48), Pattern);
+  }
+  for (; I + 16 <= Size; I += 16)
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I), Pattern);
+  fillScalar(Bytes + I, Size - I, Word);
+}
+
+bool verifySse2(const uint8_t *Bytes, size_t Size, uint64_t Word) {
+  const __m128i Pattern = _mm_set1_epi64x(static_cast<long long>(Word));
+  size_t I = 0;
+  for (; I + 16 <= Size; I += 16) {
+    const __m128i Have =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Bytes + I));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(Have, Pattern)) != 0xFFFF)
+      return false;
+  }
+  return verifyScalar(Bytes + I, Size - I, Word);
+}
+
+size_t verifyZeroSse2(uint8_t *Bytes, size_t Size, size_t ZeroPrefix,
+                      uint64_t Word) {
+  const __m128i Pattern = _mm_set1_epi64x(static_cast<long long>(Word));
+  const __m128i Zero = _mm_setzero_si128();
+  size_t I = 0;
+  for (; I + 16 <= Size; I += 16) {
+    const __m128i Have =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Bytes + I));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(Have, Pattern)) != 0xFFFF)
+      return std::min(I, ZeroPrefix);
+    if (I + 16 <= ZeroPrefix)
+      _mm_storeu_si128(reinterpret_cast<__m128i *>(Bytes + I), Zero);
+    else
+      zeroSpan(Bytes, I, I + 16, ZeroPrefix);
+  }
+  const size_t Tail = verifyZeroScalar(Bytes + I, Size - I,
+                                       ZeroPrefix > I ? ZeroPrefix - I : 0,
+                                       Word);
+  if (Tail == canary_detail::AllVerifiedSentinel)
+    return Tail;
+  return std::min(I + Tail, ZeroPrefix);
+}
+
+__attribute__((target("avx2"))) void fillAvx2(uint8_t *Bytes, size_t Size,
+                                              uint64_t Word) {
+  const __m256i Pattern = _mm256_set1_epi64x(static_cast<long long>(Word));
+  size_t I = 0;
+  for (; I + 128 <= Size; I += 128) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I), Pattern);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I + 32), Pattern);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I + 64), Pattern);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I + 96), Pattern);
+  }
+  for (; I + 32 <= Size; I += 32)
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I), Pattern);
+  fillScalar(Bytes + I, Size - I, Word);
+}
+
+__attribute__((target("avx2"))) bool verifyAvx2(const uint8_t *Bytes,
+                                                size_t Size, uint64_t Word) {
+  const __m256i Pattern = _mm256_set1_epi64x(static_cast<long long>(Word));
+  size_t I = 0;
+  for (; I + 32 <= Size; I += 32) {
+    const __m256i Have =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Bytes + I));
+    if (static_cast<uint32_t>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(Have, Pattern))) != 0xFFFFFFFFu)
+      return false;
+  }
+  return verifyScalar(Bytes + I, Size - I, Word);
+}
+
+__attribute__((target("avx2"))) size_t
+verifyZeroAvx2(uint8_t *Bytes, size_t Size, size_t ZeroPrefix, uint64_t Word) {
+  const __m256i Pattern = _mm256_set1_epi64x(static_cast<long long>(Word));
+  const __m256i Zero = _mm256_setzero_si256();
+  size_t I = 0;
+  for (; I + 32 <= Size; I += 32) {
+    const __m256i Have =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Bytes + I));
+    if (static_cast<uint32_t>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(Have, Pattern))) != 0xFFFFFFFFu)
+      return std::min(I, ZeroPrefix);
+    if (I + 32 <= ZeroPrefix)
+      _mm256_storeu_si256(reinterpret_cast<__m256i *>(Bytes + I), Zero);
+    else
+      zeroSpan(Bytes, I, I + 32, ZeroPrefix);
+  }
+  const size_t Tail = verifyZeroScalar(Bytes + I, Size - I,
+                                       ZeroPrefix > I ? ZeroPrefix - I : 0,
+                                       Word);
+  if (Tail == canary_detail::AllVerifiedSentinel)
+    return Tail;
+  return std::min(I + Tail, ZeroPrefix);
+}
+
+#endif // EXTERMINATOR_CANARY_X86
+
+struct CanaryOps {
+  canary_detail::FillFn Fill;
+  canary_detail::VerifyFn Verify;
+  canary_detail::VerifyZeroFn VerifyZero;
+  const char *Name;
+};
+
+CanaryOps selectOps(canary_dispatch::Mode M) {
+  using canary_dispatch::Mode;
+#if EXTERMINATOR_CANARY_X86
+  const CanaryOps Sse2 = {fillSse2, verifySse2, verifyZeroSse2, "sse2"};
+  const CanaryOps Avx2 = {fillAvx2, verifyAvx2, verifyZeroAvx2, "avx2"};
+  const bool HaveAvx2 = __builtin_cpu_supports("avx2");
+  switch (M) {
+  case Mode::Scalar:
+    return {fillScalar, verifyScalar, verifyZeroScalar, "scalar"};
+  case Mode::Sse2:
+    return Sse2;
+  case Mode::Avx2:
+  case Mode::Auto:
+    break;
+  }
+  return HaveAvx2 ? Avx2 : Sse2;
+#else
+  (void)M;
+  return {fillScalar, verifyScalar, verifyZeroScalar, "scalar"};
+#endif
+}
+
+const char *ActiveName = "scalar";
+
+} // namespace
+
+namespace exterminator {
+namespace canary_detail {
+
+FillFn Fill = fillScalar;
+VerifyFn Verify = verifyScalar;
+VerifyZeroFn VerifyZero = verifyZeroScalar;
+
+} // namespace canary_detail
+} // namespace exterminator
+
+void canary_dispatch::force(Mode M) {
+  const CanaryOps Ops = selectOps(M);
+  canary_detail::Fill = Ops.Fill;
+  canary_detail::Verify = Ops.Verify;
+  canary_detail::VerifyZero = Ops.VerifyZero;
+  ActiveName = Ops.Name;
+}
+
+const char *canary_dispatch::activeName() { return ActiveName; }
+
+namespace {
+
+/// Startup selection, libp-style: one CPU probe before main, then every
+/// call is a plain indirect jump.
+struct DispatchInitializer {
+  DispatchInitializer() { canary_dispatch::force(canary_dispatch::Mode::Auto); }
+} InitializeDispatch;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Canary
+//===----------------------------------------------------------------------===//
 
 Canary Canary::random(RandomGenerator &Rng) {
   // Low bit set: dereferencing the canary as a pointer misaligns and
@@ -19,55 +260,38 @@ uint64_t Canary::patternWord() const {
   return (uint64_t(Value) << 32) | Value;
 }
 
-void Canary::fill(void *Ptr, size_t Size) const {
-  uint8_t *Bytes = static_cast<uint8_t *>(Ptr);
-  const uint64_t Word = patternWord();
-  size_t I = 0;
-  for (; I + 8 <= Size; I += 8)
-    std::memcpy(Bytes + I, &Word, 8);
-  for (; I < Size; ++I)
-    Bytes[I] = byteAt(I);
-}
-
-bool Canary::verify(const void *Ptr, size_t Size) const {
-  const uint8_t *Bytes = static_cast<const uint8_t *>(Ptr);
-  const uint64_t Word = patternWord();
-  size_t I = 0;
-  for (; I + 8 <= Size; I += 8) {
-    uint64_t Have;
-    std::memcpy(&Have, Bytes + I, 8);
-    if (Have != Word)
-      return false;
-  }
-  for (; I < Size; ++I)
-    if (Bytes[I] != byteAt(I))
-      return false;
-  return true;
-}
-
 std::optional<CorruptionExtent>
 Canary::findCorruption(const void *Ptr, size_t Size) const {
   const uint8_t *Bytes = static_cast<const uint8_t *>(Ptr);
   const uint64_t Word = patternWord();
   std::optional<CorruptionExtent> Extent;
-  auto NoteByte = [&](size_t I) {
-    if (Bytes[I] == byteAt(I))
-      return;
-    if (!Extent)
-      Extent = CorruptionExtent{I, I + 1};
-    else
-      Extent->End = I + 1;
+
+  // Expected bytes come straight off the pattern word — no per-byte
+  // byteAt recomputation in the extent scan.
+  auto ScanRange = [&](size_t Begin, size_t End) {
+    for (size_t B = Begin; B < End; ++B) {
+      if (Bytes[B] == patternByte(Word, B))
+        continue;
+      if (!Extent)
+        Extent = CorruptionExtent{B, B + 1};
+      else
+        Extent->End = B + 1;
+    }
   };
+
+  // Let the dispatched verifier skip clean chunks; byte-scan only the
+  // chunks that fail.
+  static constexpr size_t Chunk = 64;
   size_t I = 0;
+  for (; I + Chunk <= Size; I += Chunk)
+    if (!canary_detail::Verify(Bytes + I, Chunk, Word))
+      ScanRange(I, I + Chunk);
   for (; I + 8 <= Size; I += 8) {
     uint64_t Have;
     std::memcpy(&Have, Bytes + I, 8);
-    if (Have == Word)
-      continue;
-    for (size_t B = I; B < I + 8; ++B)
-      NoteByte(B);
+    if (Have != Word)
+      ScanRange(I, I + 8);
   }
-  for (; I < Size; ++I)
-    NoteByte(I);
+  ScanRange(I, Size);
   return Extent;
 }

@@ -16,6 +16,13 @@
 /// objects are separated by E(M-1) freed slots on a DieHard heap, freed
 /// space acts as fence-posts with zero space overhead.
 ///
+/// fill/verify run on every malloc and every free, so they dispatch to
+/// the widest vector unit the CPU offers: AVX2 or SSE2 on x86-64, with a
+/// portable word-wise fallback elsewhere.  Selection happens once at
+/// startup through function pointers (the libp pattern); the
+/// canary_dispatch namespace exposes the knob the benchmarks use to pin
+/// the scalar baseline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_DIEFAST_CANARY_H
@@ -28,6 +35,52 @@
 #include <optional>
 
 namespace exterminator {
+
+/// Controls which fill/verify implementation the Canary hot path uses.
+namespace canary_dispatch {
+
+enum class Mode {
+  /// Best implementation the running CPU supports (startup default).
+  Auto,
+  /// Portable word-at-a-time code (bench baseline toggle).
+  Scalar,
+  /// 16-byte SSE2 kernels (x86-64 only; ignored elsewhere).
+  Sse2,
+  /// 32-byte AVX2 kernels (requires AVX2 hardware; ignored without it).
+  Avx2,
+};
+
+/// Repoints the hot-path function pointers; Auto re-runs CPU detection.
+/// Unsupported requests degrade to the best available implementation.
+void force(Mode M);
+
+/// Name of the active implementation: "avx2", "sse2", or "scalar".
+const char *activeName();
+
+} // namespace canary_dispatch
+
+/// Startup-selected kernel pointers (the libp pattern).  Exposed in the
+/// header only so Canary's wrappers can dispatch without an extra call
+/// through the .cpp; use canary_dispatch to change them.
+namespace canary_detail {
+
+using FillFn = void (*)(uint8_t *Bytes, size_t Size, uint64_t Word);
+using VerifyFn = bool (*)(const uint8_t *Bytes, size_t Size, uint64_t Word);
+/// Fused verify+zero: checks \p Size bytes against the pattern while
+/// zeroing the first \p ZeroPrefix bytes of every block it has just
+/// verified.  Returns the number of prefix bytes zeroed before a
+/// mismatch, or AllVerifiedSentinel when the whole region was intact
+/// (prefix then fully zeroed).
+using VerifyZeroFn = size_t (*)(uint8_t *Bytes, size_t Size,
+                                size_t ZeroPrefix, uint64_t Word);
+
+inline constexpr size_t AllVerifiedSentinel = ~size_t(0);
+
+extern FillFn Fill;
+extern VerifyFn Verify;
+extern VerifyZeroFn VerifyZero;
+
+} // namespace canary_detail
 
 /// Byte range [Begin, End) of corrupted canary within a slot.
 struct CorruptionExtent {
@@ -47,11 +100,33 @@ public:
 
   uint32_t value() const { return Value; }
 
+  /// Return value of verifyAndZeroPrefix when the whole region held the
+  /// intact pattern.
+  static constexpr size_t AllVerified = canary_detail::AllVerifiedSentinel;
+
   /// Fills \p Size bytes at \p Ptr with the repeated canary pattern.
-  void fill(void *Ptr, size_t Size) const;
+  void fill(void *Ptr, size_t Size) const {
+    canary_detail::Fill(static_cast<uint8_t *>(Ptr), Size, patternWord());
+  }
 
   /// True if \p Size bytes at \p Ptr hold the intact pattern.
-  bool verify(const void *Ptr, size_t Size) const;
+  bool verify(const void *Ptr, size_t Size) const {
+    return canary_detail::Verify(static_cast<const uint8_t *>(Ptr), Size,
+                                 patternWord());
+  }
+
+  /// The DieFast malloc fast path (§3.3 + §2.1 fused): verifies \p Size
+  /// bytes and zero-fills the first \p ZeroPrefix of them in the same
+  /// sweep, so a reused slot is read once instead of verify-then-memset
+  /// passes.  Only already-verified bytes are ever zeroed.  Returns
+  /// AllVerified on an intact pattern (prefix fully zeroed); otherwise
+  /// the number of prefix bytes zeroed before the corruption — refill
+  /// that many bytes (they held intact canary) to restore the slot for
+  /// evidence collection.
+  size_t verifyAndZeroPrefix(void *Ptr, size_t Size, size_t ZeroPrefix) const {
+    return canary_detail::VerifyZero(static_cast<uint8_t *>(Ptr), Size,
+                                     ZeroPrefix, patternWord());
+  }
 
   /// The smallest byte range covering every corrupted byte, or
   /// std::nullopt if the pattern is intact.

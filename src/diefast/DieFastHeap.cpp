@@ -21,7 +21,8 @@ void *DieFastHeap::allocate(size_t Size) {
     return nullptr;
 
   Heap.tickAllocationClock(Size);
-  Stats = Heap.stats();
+  if (Config.Heap.LegacyHotPath)
+    Stats = Heap.stats(); // pre-PR-1 per-op copy, kept for the bench toggle
 
   const unsigned ClassIndex = sizeclass::classFor(Size);
   for (;;) {
@@ -33,6 +34,28 @@ void *DieFastHeap::allocate(size_t Size) {
     // Figure 4: check that the object either wasn't canary-filled or is
     // uncorrupted.  A corrupt slot is never reused ("bad object
     // isolation"): mark it allocated-for-good and pick another slot.
+    //
+    // Zeroing the requested bytes (§2.1) is fused into the verification
+    // sweep: the slot is traversed once instead of verify-then-memset.
+    // The slot's tail keeps whatever canary it carried: the next free
+    // re-fills the whole slot, so the alloc-time whole-slot verification
+    // stays sound.
+    if (Meta.Canaried && Config.ZeroFillAllocations &&
+        !Config.Heap.LegacyHotPath) {
+      const size_t Zeroed =
+          HeapCanary.verifyAndZeroPrefix(Ptr, Mini.objectSize(), Size);
+      if (Zeroed != Canary::AllVerified) {
+        // Only intact canary bytes were zeroed; restore them so the
+        // quarantined slot carries its exact corruption evidence.
+        HeapCanary.fill(Ptr, Zeroed);
+        Heap.markBad(Ref);
+        signalError(ErrorSignalKind::CanaryCorruptOnAlloc, Ref);
+        continue;
+      }
+      Heap.commitAllocation(Ref, Size);
+      return Ptr;
+    }
+
     if (Meta.Canaried && !HeapCanary.verify(Ptr, Mini.objectSize())) {
       Heap.markBad(Ref);
       signalError(ErrorSignalKind::CanaryCorruptOnAlloc, Ref);
@@ -40,9 +63,6 @@ void *DieFastHeap::allocate(size_t Size) {
     }
 
     Heap.commitAllocation(Ref, Size);
-    // Zero the requested bytes (§2.1).  The slot's tail keeps whatever
-    // canary it carried: the next free re-fills the whole slot, so the
-    // alloc-time whole-slot verification stays sound.
     if (Config.ZeroFillAllocations)
       std::memset(Ptr, 0, Size);
     return Ptr;
@@ -58,44 +78,45 @@ void DieFastHeap::deallocateWithSite(void *Ptr, SiteId FreeSite) {
 }
 
 void DieFastHeap::deallocateResolved(const ObjectRef &Ref, SiteId FreeSite) {
-  if (!Heap.deallocateResolved(Ref, FreeSite)) {
-    Stats = Heap.stats();
+  if (!Heap.deallocateResolved(Ref, FreeSite))
     return; // Double free: counted and ignored (Table 1).
-  }
   afterFree(Ref);
 }
 
 void DieFastHeap::deallocateImpl(void *Ptr,
                                  std::optional<SiteId> SiteOverride) {
   ObjectRef Ref;
-  if (!Heap.deallocateWithRef(Ptr, Ref, SiteOverride)) {
-    Stats = Heap.stats();
+  if (!Heap.deallocateWithRef(Ptr, Ref, SiteOverride))
     return; // Invalid or double free: counted and ignored (Table 1).
-  }
   afterFree(Ref);
 }
 
 void DieFastHeap::afterFree(const ObjectRef &Ref) {
-  Stats = Heap.stats();
+  if (Config.Heap.LegacyHotPath)
+    Stats = Heap.stats(); // pre-PR-1 per-op copy, kept for the bench toggle
 
   // Check the preceding and following objects: random placement means the
   // identity of these neighbors differs from run to run, so repeated runs
   // check different pairs and detect overflows within E(H) frees (§3.3).
-  if (std::optional<ObjectRef> Prev = Heap.previousSlot(Ref)) {
-    const Miniheap &Mini = Heap.miniheap(*Prev);
-    if (!Mini.isAllocated(Prev->SlotIndex) && Mini.slot(Prev->SlotIndex).Canaried)
-      checkSlot(*Prev, ErrorSignalKind::CanaryCorruptOnFree);
+  // Neighbors live in the freed slot's own miniheap, so it is resolved
+  // exactly once for the neighbor checks and the canary fill.
+  Miniheap &Mini = Heap.miniheap(Ref);
+  if (Ref.SlotIndex > 0) {
+    const size_t Prev = Ref.SlotIndex - 1;
+    if (!Mini.isAllocated(Prev) && Mini.slot(Prev).Canaried)
+      checkSlot(Mini, ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Prev},
+                ErrorSignalKind::CanaryCorruptOnFree);
   }
-  if (std::optional<ObjectRef> Next = Heap.nextSlot(Ref)) {
-    const Miniheap &Mini = Heap.miniheap(*Next);
-    if (!Mini.isAllocated(Next->SlotIndex) && Mini.slot(Next->SlotIndex).Canaried)
-      checkSlot(*Next, ErrorSignalKind::CanaryCorruptOnFree);
+  if (Ref.SlotIndex + 1 < Mini.numSlots()) {
+    const size_t Next = Ref.SlotIndex + 1;
+    if (!Mini.isAllocated(Next) && Mini.slot(Next).Canaried)
+      checkSlot(Mini, ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Next},
+                ErrorSignalKind::CanaryCorruptOnFree);
   }
 
   // Probabilistically fill the freed object with canaries.  Cumulative
   // mode needs p < 1 to turn each run into a Bernoulli trial over which
   // freed objects got canaried (§5.2).
-  Miniheap &Mini = Heap.miniheap(Ref);
   SlotMetadata &Meta = Mini.slot(Ref.SlotIndex);
   if (Rng.chance(Config.CanaryFillProbability)) {
     HeapCanary.fill(Mini.slotPointer(Ref.SlotIndex), Mini.objectSize());
@@ -105,8 +126,8 @@ void DieFastHeap::afterFree(const ObjectRef &Ref) {
   }
 }
 
-bool DieFastHeap::checkSlot(const ObjectRef &Ref, ErrorSignalKind Kind) {
-  Miniheap &Mini = Heap.miniheap(Ref);
+bool DieFastHeap::checkSlot(Miniheap &Mini, const ObjectRef &Ref,
+                            ErrorSignalKind Kind) {
   const uint8_t *Ptr = Mini.slotPointer(Ref.SlotIndex);
   if (HeapCanary.verify(Ptr, Mini.objectSize()))
     return true;

@@ -58,6 +58,10 @@ public:
   void deallocate(void *Ptr) override;
   const char *name() const override { return "diefast"; }
 
+  /// Counters live in the underlying DieHard heap; forwarding keeps the
+  /// per-operation stats copy off the hot path.
+  const AllocatorStats &stats() const override { return Heap.stats(); }
+
   /// Like \c deallocate but records \p FreeSite instead of sampling the
   /// call context (deferred frees keep their original site, §6.3).
   void deallocateWithSite(void *Ptr, SiteId FreeSite);
@@ -91,9 +95,10 @@ private:
   /// that was just freed (the Figure 4 post-free work).
   void afterFree(const ObjectRef &Ref);
 
-  /// Runs the canary check on a free slot; on corruption quarantines it,
-  /// signals \p Kind, and returns false.
-  bool checkSlot(const ObjectRef &Ref, ErrorSignalKind Kind);
+  /// Runs the canary check on a free slot of \p Mini (the slot's already
+  /// -resolved miniheap); on corruption quarantines it, signals \p Kind,
+  /// and returns false.
+  bool checkSlot(Miniheap &Mini, const ObjectRef &Ref, ErrorSignalKind Kind);
 
   void signalError(ErrorSignalKind Kind, const ObjectRef &Where);
 

@@ -16,7 +16,6 @@ FaultInjector::~FaultInjector() = default;
 
 void *FaultInjector::allocate(size_t Size) {
   void *Ptr = Inner.allocate(Size);
-  Stats = Inner.stats();
   if (!Ptr)
     return Ptr;
   ++AllocCount;
@@ -48,7 +47,6 @@ void *FaultInjector::allocate(size_t Size) {
       Victim = Live[Pick].Ptr;
       Live.erase(Live.begin() + Pick);
       Inner.deallocate(Victim);
-      Stats = Inner.stats();
       Fired = true;
     }
     break;
@@ -76,7 +74,6 @@ void FaultInjector::deallocate(void *Ptr) {
     OverflowTarget = nullptr;
   }
   Inner.deallocate(Ptr);
-  Stats = Inner.stats();
 }
 
 void FaultInjector::fireOverflowIfDue(bool Force) {

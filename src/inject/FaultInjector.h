@@ -47,6 +47,10 @@ public:
   void deallocate(void *Ptr) override;
   const char *name() const override { return "fault-injector"; }
 
+  /// Counters live in the wrapped allocator; forwarding keeps the
+  /// per-operation stats copy off the hot path.
+  const AllocatorStats &stats() const override { return Inner.stats(); }
+
   /// Whether the fault has fired this run.
   bool faultFired() const { return Fired; }
 

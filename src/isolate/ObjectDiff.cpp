@@ -131,12 +131,36 @@ void EvidenceCollector::diffLiveObject(
   for (size_t I = 1; I < K; ++I)
     if (Images[I].miniheap(Locations[I]).ObjectSize != ObjectSize)
       return;
+
+  // Hoist the per-word slot resolution: content pointers are stable for
+  // the whole sweep.
+  std::vector<const uint8_t *> Data(K);
+  for (size_t I = 0; I < K; ++I)
+    Data[I] = Images[I].slot(Locations[I]).Contents.data();
+
+  // The overwhelmingly common case is an uncorrupted object that is
+  // byte-identical everywhere: one memcmp sweep per image settles it
+  // without any per-word classification.
+  bool AllIdentical = true;
+  for (size_t I = 1; I < K && AllIdentical; ++I)
+    AllIdentical = std::memcmp(Data[0], Data[I], ObjectSize) == 0;
+  if (AllIdentical)
+    return;
+
   std::vector<uint64_t> Values(K);
   for (uint64_t Offset = 0; Offset + 8 <= ObjectSize; Offset += 8) {
-    for (size_t I = 0; I < K; ++I) {
-      const ImageSlot &Slot = Images[I].slot(Locations[I]);
-      std::memcpy(&Values[I], Slot.Contents.data() + Offset, 8);
-    }
+    // Word-level short-circuit of the all-equal class before the full
+    // classifier runs.
+    uint64_t First;
+    std::memcpy(&First, Data[0] + Offset, 8);
+    bool Equal = true;
+    for (size_t I = 1; I < K && Equal; ++I)
+      Equal = std::memcmp(Data[0] + Offset, Data[I] + Offset, 8) == 0;
+    if (Equal)
+      continue;
+    Values[0] = First;
+    for (size_t I = 1; I < K; ++I)
+      std::memcpy(&Values[I], Data[I] + Offset, 8);
     if (classifyWord(ObjectId, Offset, Values) !=
         WordClassKind::OverflowEvidence)
       continue;
@@ -160,25 +184,24 @@ void EvidenceCollector::diffLiveObject(
         continue;
       // Trim to the bytes that actually differ from the plurality value
       // for byte-precise overflow extents.
-      const ImageSlot &Slot = Images[I].slot(Locations[I]);
       uint8_t PluralityBytes[8];
       std::memcpy(PluralityBytes, &Plurality, 8);
-      uint64_t First = 8, Last = 0;
+      uint64_t FirstByte = 8, Last = 0;
       for (uint64_t B = 0; B < 8; ++B) {
-        if (Slot.Contents[Offset + B] != PluralityBytes[B]) {
-          First = std::min(First, B);
+        if (Data[I][Offset + B] != PluralityBytes[B]) {
+          FirstByte = std::min(FirstByte, B);
           Last = B + 1;
         }
       }
-      assert(First < Last && "differing word must differ in some byte");
+      assert(FirstByte < Last && "differing word must differ in some byte");
       CorruptionRegion Region;
       Region.ImageIndex = static_cast<uint32_t>(I);
       Region.Victim = Locations[I];
       const uint64_t SlotAddr = Images[I].slotAddress(Locations[I]);
-      Region.BeginAddress = SlotAddr + Offset + First;
+      Region.BeginAddress = SlotAddr + Offset + FirstByte;
       Region.EndAddress = SlotAddr + Offset + Last;
-      Region.Bytes.assign(Slot.Contents.begin() + Offset + First,
-                          Slot.Contents.begin() + Offset + Last);
+      Region.Bytes.assign(Data[I] + Offset + FirstByte,
+                          Data[I] + Offset + Last);
       EvidenceOut.push_back(std::move(Region));
     }
   }

@@ -30,17 +30,14 @@ public:
       Image = captureHeapImage(Inner.diefast());
       Captured = true;
     }
-    void *Ptr = Inner.allocate(Size);
-    Stats = Inner.stats();
-    return Ptr;
+    return Inner.allocate(Size);
   }
 
-  void deallocate(void *Ptr) override {
-    Inner.deallocate(Ptr);
-    Stats = Inner.stats();
-  }
+  void deallocate(void *Ptr) override { Inner.deallocate(Ptr); }
 
   const char *name() const override { return "breakpoint-watcher"; }
+
+  const AllocatorStats &stats() const override { return Inner.stats(); }
 
   bool captured() const { return Captured; }
   HeapImage takeImage() { return std::move(Image); }

@@ -12,28 +12,6 @@ void Bitmap::resize(size_t NewNumBits) {
   Words.assign((NumBits + 63) / 64, 0);
 }
 
-bool Bitmap::set(size_t Index) {
-  assert(Index < NumBits && "bit index out of range");
-  uint64_t &Word = Words[Index / 64];
-  const uint64_t Mask = uint64_t(1) << (Index % 64);
-  if (Word & Mask)
-    return false;
-  Word |= Mask;
-  ++NumSet;
-  return true;
-}
-
-bool Bitmap::reset(size_t Index) {
-  assert(Index < NumBits && "bit index out of range");
-  uint64_t &Word = Words[Index / 64];
-  const uint64_t Mask = uint64_t(1) << (Index % 64);
-  if (!(Word & Mask))
-    return false;
-  Word &= ~Mask;
-  --NumSet;
-  return true;
-}
-
 void Bitmap::clear() {
   NumSet = 0;
   for (auto &Word : Words)
@@ -43,14 +21,43 @@ void Bitmap::clear() {
 std::optional<size_t> Bitmap::probeClear(RandomGenerator &Rng) const {
   if (NumSet == NumBits || NumBits == 0)
     return std::nullopt;
-  // Random probing: each probe hits a clear bit with probability
-  // (NumBits - NumSet) / NumBits, so at most-1/M load this terminates in
-  // O(1) expected probes (paper §3.1).
-  for (;;) {
-    size_t Index = Rng.nextBelow(NumBits);
-    if (!test(Index))
+  // Rejection sampling is exactly uniform over the clear bits: each probe
+  // hits one with probability (NumBits - NumSet) / NumBits, so at the
+  // <= 1/M loads DieHard maintains this terminates in O(1) expected
+  // probes (paper §3.1).
+  static constexpr unsigned MaxProbes = 64;
+  for (unsigned Probe = 0; Probe < MaxProbes; ++Probe) {
+    const size_t Index = Rng.nextBelow(NumBits);
+    if (!((Words[Index / 64] >> (Index % 64)) & 1))
       return Index;
   }
+  // Dense map: 64 straight misses.  Switch to rank selection, which draws
+  // from the same uniform distribution but is guaranteed to finish in one
+  // word-wise sweep.
+  return selectClear(Rng.nextBelow(NumBits - NumSet));
+}
+
+std::optional<size_t> Bitmap::selectClear(size_t Rank) const {
+  if (Rank >= NumBits - NumSet)
+    return std::nullopt;
+  const size_t TailBits = NumBits % 64;
+  for (size_t W = 0; W < Words.size(); ++W) {
+    uint64_t Clear = ~Words[W];
+    // Mask off the bits past NumBits in a partial last word.
+    if (W + 1 == Words.size() && TailBits != 0)
+      Clear &= (uint64_t(1) << TailBits) - 1;
+    const unsigned ClearHere = std::popcount(Clear);
+    if (Rank < ClearHere) {
+      // Drop the lowest Rank clear bits, then the lowest survivor is the
+      // one we want.
+      for (size_t R = 0; R < Rank; ++R)
+        Clear &= Clear - 1;
+      return W * 64 + std::countr_zero(Clear);
+    }
+    Rank -= ClearHere;
+  }
+  assert(false && "rank < clearCount() must select within the sweep");
+  return std::nullopt;
 }
 
 std::optional<size_t> Bitmap::findNextSet(size_t From) const {

@@ -9,9 +9,12 @@
 /// (paper §3.1, Figure 2).
 ///
 /// Besides the usual set/reset/test operations it offers the operation the
-/// DieHard allocator is built on: \c probeClear, which finds a clear bit by
-/// uniform random probing in O(1) expected time when the map is at most
-/// 1/M full.
+/// DieHard allocator is built on: \c probeClear, which finds a uniformly
+/// random clear bit.  Probing is word-wise: a probe costs one 64-bit load,
+/// and when the map is dense enough that rejection sampling stalls, the
+/// search falls back to \c selectClear — exact rank selection over the
+/// clear bits by per-word popcount — which draws from the very same
+/// uniform distribution in O(words) worst case.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,24 +45,53 @@ public:
   /// Number of set bits.
   size_t count() const { return NumSet; }
 
+  /// Number of clear bits.
+  size_t clearCount() const { return NumBits - NumSet; }
+
   bool test(size_t Index) const {
     assert(Index < NumBits && "bit index out of range");
     return (Words[Index / 64] >> (Index % 64)) & 1;
   }
 
-  /// Sets bit \p Index; returns false if it was already set.
-  bool set(size_t Index);
+  /// Sets bit \p Index; returns false if it was already set.  Inline: this
+  /// runs on every allocation.
+  bool set(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    uint64_t &Word = Words[Index / 64];
+    const uint64_t Mask = uint64_t(1) << (Index % 64);
+    if (Word & Mask)
+      return false;
+    Word |= Mask;
+    ++NumSet;
+    return true;
+  }
 
-  /// Clears bit \p Index; returns false if it was already clear.
-  bool reset(size_t Index);
+  /// Clears bit \p Index; returns false if it was already clear.  Inline:
+  /// this runs on every deallocation.
+  bool reset(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    uint64_t &Word = Words[Index / 64];
+    const uint64_t Mask = uint64_t(1) << (Index % 64);
+    if (!(Word & Mask))
+      return false;
+    Word &= ~Mask;
+    --NumSet;
+    return true;
+  }
 
   /// Clears every bit.
   void clear();
 
-  /// Returns the index of a uniformly random clear bit, found by random
-  /// probing (expected O(1) probes when load factor <= 1/2), or
-  /// std::nullopt if the map is full.
+  /// Returns the index of a uniformly random clear bit (expected O(1)
+  /// probes when load factor <= 1/2, O(words) worst case via the
+  /// rank-select fallback), or std::nullopt if the map is full.
   std::optional<size_t> probeClear(RandomGenerator &Rng) const;
+
+  /// Returns the index of the \p Rank'th clear bit (rank 0 = lowest), or
+  /// std::nullopt when fewer than Rank+1 bits are clear.  Word-wise
+  /// popcount scan: exact uniform selection over free slots when fed a
+  /// uniform rank.
+  std::optional<size_t> selectClear(size_t Rank) const;
 
   /// Returns the index of the first set bit at or after \p From, or
   /// std::nullopt if none.

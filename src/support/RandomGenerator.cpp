@@ -12,39 +12,12 @@ uint64_t exterminator::splitMix64(uint64_t &State) {
   return Z ^ (Z >> 31);
 }
 
-static uint64_t rotl(uint64_t X, int K) {
-  return (X << K) | (X >> (64 - K));
-}
-
 void RandomGenerator::reseed(uint64_t Seed) {
   // xoshiro256** must not be seeded with an all-zero state; SplitMix64
   // never produces four consecutive zeros.
   uint64_t S = Seed;
   for (auto &Word : State)
     Word = splitMix64(S);
-}
-
-uint64_t RandomGenerator::next() {
-  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
-  const uint64_t T = State[1] << 17;
-  State[2] ^= State[0];
-  State[3] ^= State[1];
-  State[1] ^= State[2];
-  State[0] ^= State[3];
-  State[2] ^= T;
-  State[3] = rotl(State[3], 45);
-  return Result;
-}
-
-uint64_t RandomGenerator::nextBelow(uint64_t Bound) {
-  assert(Bound != 0 && "nextBelow requires a nonzero bound");
-  // Rejection sampling keeps the distribution exactly uniform.
-  const uint64_t Threshold = -Bound % Bound;
-  for (;;) {
-    uint64_t X = next();
-    if (X >= Threshold)
-      return X % Bound;
-  }
 }
 
 double RandomGenerator::nextDouble() {

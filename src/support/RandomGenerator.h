@@ -35,14 +35,42 @@ public:
   /// Resets the stream as if freshly constructed with \p Seed.
   void reseed(uint64_t Seed);
 
-  /// Returns the next 64 random bits.
-  uint64_t next();
+  /// Returns the next 64 random bits.  Inline: the heap draws at least
+  /// once per allocation.
+  uint64_t next() {
+    const auto Rotl = [](uint64_t X, int K) {
+      return (X << K) | (X >> (64 - K));
+    };
+    const uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
 
   /// Returns the next 32 random bits.
   uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
 
   /// Returns a uniform integer in [0, Bound).  \p Bound must be nonzero.
-  uint64_t nextBelow(uint64_t Bound);
+  /// Inline for the allocator's placement probes.  The draw->value
+  /// mapping is part of the reproducibility contract (seeded experiment
+  /// streams must not shift between releases), so the classic rejection
+  /// + modulo mapping is kept rather than a faster reduction that would
+  /// renumber every stream.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Rejection sampling keeps the distribution exactly uniform.
+    const uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t X = next();
+      if (X >= Threshold)
+        return X % Bound;
+    }
+  }
 
   /// Returns a uniform double in [0, 1).
   double nextDouble();

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <set>
@@ -217,6 +218,140 @@ TEST(DieHardHeap, FindObjectRejectsForeignAddresses) {
   int Local;
   EXPECT_FALSE(Heap.findObject(&Local).has_value());
   EXPECT_FALSE(Heap.findObject(nullptr).has_value());
+}
+
+TEST(DieHardHeap, FindObjectRejectsGuardRegionAddresses) {
+  // Guard regions flank each slab; addresses in them share pages with
+  // the object region but must not resolve (that is how DieFast probes
+  // one-past-the-end pointers safely).
+  DieHardHeap Heap(testConfig());
+  void *Ptr = Heap.allocate(64);
+  auto Ref = Heap.findObject(Ptr);
+  ASSERT_TRUE(Ref.has_value());
+  const Miniheap &Mini = Heap.miniheap(*Ref);
+  const uint8_t *Base = Mini.base();
+  const uint8_t *End = Base + Mini.numSlots() * Mini.objectSize();
+  EXPECT_FALSE(Heap.findObject(Base - 1).has_value());
+  EXPECT_FALSE(Heap.findObject(End).has_value()); // one past the end
+  EXPECT_FALSE(Heap.findObject(End + 100).has_value());
+  EXPECT_TRUE(Heap.findObject(Base).has_value());
+  EXPECT_TRUE(Heap.findObject(End - 1).has_value());
+}
+
+TEST(DieHardHeap, FastAndLegacyLookupAgree) {
+  // The page directory and the sorted-range fallback are two indexes of
+  // the same slabs; they must agree on every probe, hits and misses.
+  DieHardConfig Fast = testConfig();
+  DieHardConfig Legacy = testConfig();
+  Legacy.LegacyHotPath = true;
+  DieHardHeap A(Fast), B(Legacy);
+  std::vector<void *> FromA, FromB;
+  for (int I = 0; I < 300; ++I) {
+    const size_t Size = 8u << (I % 5);
+    FromA.push_back(A.allocate(Size));
+    FromB.push_back(B.allocate(Size));
+  }
+  for (size_t I = 0; I < FromA.size(); ++I) {
+    // Same seed, same stream: the two heaps place identically, so slots
+    // found by each lookup must match ref-for-ref.
+    auto Ra = A.findObject(FromA[I]);
+    auto Rb = B.findObject(FromB[I]);
+    ASSERT_TRUE(Ra.has_value());
+    ASSERT_TRUE(Rb.has_value());
+    EXPECT_EQ(*Ra, *Rb);
+    // Interior and guard probes agree between the two index structures.
+    auto Ia = A.findObject(static_cast<uint8_t *>(FromA[I]) + 3);
+    ASSERT_TRUE(Ia.has_value());
+    EXPECT_EQ(*Ia, *Ra);
+  }
+}
+
+TEST(DieHardHeap, PlacementIsUniformAcrossSlots) {
+  // Chi-squared sanity check over a single 64-slot miniheap: reserving
+  // and releasing one slot at a time, every slot must be drawn with the
+  // same frequency (the uniformity DieHard's guarantees rest on, §3.1).
+  // The seed is fixed, so the statistic is deterministic.
+  DieHardConfig Config = testConfig(1234);
+  Config.InitialSlots = 64;
+  DieHardHeap Heap(Config);
+  constexpr int PerSlot = 300;
+  constexpr int Draws = 64 * PerSlot;
+  std::vector<int> Counts(64, 0);
+  for (int I = 0; I < Draws; ++I) {
+    const ObjectRef Ref = Heap.reserveSlot(0);
+    ASSERT_LT(Ref.SlotIndex, 64u);
+    ++Counts[Ref.SlotIndex];
+    Heap.deallocateResolved(Ref);
+  }
+  double Chi2 = 0;
+  for (int Count : Counts) {
+    const double Delta = Count - PerSlot;
+    Chi2 += Delta * Delta / PerSlot;
+  }
+  // 63 degrees of freedom: mean 63, sd ~11.2; 130 is ~6 sigma.
+  EXPECT_LT(Chi2, 130.0);
+}
+
+TEST(DieHardHeap, PlacementIsUniformAcrossMiniheaps) {
+  // Multi-slab uniformity: with live objects pinned and several
+  // miniheaps in the class, the offset-table placement must still draw
+  // every *free* slot equally often (and never a live one).
+  DieHardConfig Config = testConfig(99);
+  Config.InitialSlots = 64;
+  DieHardHeap Heap(Config);
+  std::vector<ObjectRef> Pinned;
+  for (int I = 0; I < 100; ++I)
+    Pinned.push_back(Heap.reserveSlot(0));
+  ASSERT_GE(Heap.classHeapCount(0), 2u);
+  const size_t Capacity = Heap.classCapacity(0);
+  const size_t FreeSlots = Capacity - Pinned.size();
+
+  // Tally draws by class-global slot index.
+  std::vector<size_t> Offsets(Heap.classHeapCount(0), 0);
+  for (unsigned H = 1; H < Heap.classHeapCount(0); ++H)
+    Offsets[H] =
+        Offsets[H - 1] +
+        Heap.miniheap(ObjectRef{0, H - 1, 0}).numSlots();
+  std::vector<int> Counts(Capacity, 0);
+  constexpr int PerSlot = 100;
+  const int Draws = static_cast<int>(FreeSlots) * PerSlot;
+  for (int I = 0; I < Draws; ++I) {
+    const ObjectRef Ref = Heap.reserveSlot(0);
+    ++Counts[Offsets[Ref.HeapIndex] + Ref.SlotIndex];
+    Heap.deallocateResolved(Ref);
+  }
+  double Chi2 = 0;
+  int FreeSeen = 0;
+  for (const ObjectRef &Ref : Pinned)
+    EXPECT_EQ(Counts[Offsets[Ref.HeapIndex] + Ref.SlotIndex], 0)
+        << "live slot was chosen";
+  for (size_t I = 0; I < Capacity; ++I) {
+    if (Counts[I] == 0)
+      continue; // pinned (checked above) — free slots all get draws
+    ++FreeSeen;
+    const double Delta = Counts[I] - PerSlot;
+    Chi2 += Delta * Delta / PerSlot;
+  }
+  EXPECT_EQ(FreeSeen, static_cast<int>(FreeSlots));
+  // df = FreeSlots - 1; bound at ~6 sigma above the mean.
+  const double Df = static_cast<double>(FreeSlots - 1);
+  EXPECT_LT(Chi2, Df + 6.0 * std::sqrt(2.0 * Df));
+}
+
+TEST(DieHardHeap, FastAndLegacyPlacementSequencesMatch) {
+  // Same seed, same draw stream: the offset-table resolve must pick the
+  // exact slot the legacy linear walk picked, allocation for allocation.
+  DieHardConfig Fast = testConfig(7);
+  DieHardConfig Legacy = testConfig(7);
+  Legacy.LegacyHotPath = true;
+  DieHardHeap A(Fast), B(Legacy);
+  for (int I = 0; I < 2000; ++I) {
+    ObjectRef Ra, Rb;
+    const size_t Size = 8u << (I % 4);
+    ASSERT_NE(A.allocateWithRef(Size, Ra), nullptr);
+    ASSERT_NE(B.allocateWithRef(Size, Rb), nullptr);
+    ASSERT_EQ(Ra, Rb) << "placement diverged at allocation " << I;
+  }
 }
 
 TEST(DieHardHeap, MultiplierKeepsHeapUnderOccupied) {

@@ -76,6 +76,89 @@ TEST(Canary, ByteAtMatchesLittleEndianPattern) {
   EXPECT_EQ(C.byteAt(4), 0x01); // repeats
 }
 
+TEST(Canary, DispatchModesAgree) {
+  // Scalar, SSE2, and AVX2 kernels must be byte-for-byte interchangeable
+  // on every size and corruption pattern (unsupported modes degrade to
+  // the best available, so forcing is always safe).
+  RandomGenerator Rng(11);
+  const Canary C = Canary::random(Rng);
+  const canary_dispatch::Mode Modes[] = {
+      canary_dispatch::Mode::Scalar, canary_dispatch::Mode::Sse2,
+      canary_dispatch::Mode::Avx2, canary_dispatch::Mode::Auto};
+  for (size_t Size : {size_t(1), size_t(7), size_t(8), size_t(16),
+                      size_t(24), size_t(63), size_t(64), size_t(65),
+                      size_t(129), size_t(256), size_t(1000)}) {
+    // Reference fill from the scalar kernel.
+    canary_dispatch::force(canary_dispatch::Mode::Scalar);
+    std::vector<uint8_t> Reference(Size);
+    C.fill(Reference.data(), Size);
+    for (canary_dispatch::Mode Mode : Modes) {
+      canary_dispatch::force(Mode);
+      std::vector<uint8_t> Buffer(Size, 0xAB);
+      C.fill(Buffer.data(), Size);
+      ASSERT_EQ(Buffer, Reference) << "size " << Size;
+      EXPECT_TRUE(C.verify(Buffer.data(), Size));
+      EXPECT_FALSE(C.findCorruption(Buffer.data(), Size).has_value());
+      if (Size < 3)
+        continue;
+      // Corrupt one interior byte: every mode must detect it at the
+      // same extent.
+      Buffer[Size / 2] ^= 0xFF;
+      EXPECT_FALSE(C.verify(Buffer.data(), Size));
+      auto Extent = C.findCorruption(Buffer.data(), Size);
+      ASSERT_TRUE(Extent.has_value());
+      EXPECT_EQ(Extent->Begin, Size / 2);
+      EXPECT_EQ(Extent->End, Size / 2 + 1);
+    }
+  }
+  canary_dispatch::force(canary_dispatch::Mode::Auto);
+}
+
+TEST(Canary, VerifyAndZeroPrefixOnIntactSlot) {
+  RandomGenerator Rng(12);
+  const Canary C = Canary::random(Rng);
+  for (size_t Size : {size_t(16), size_t(64), size_t(256), size_t(1000)}) {
+    for (size_t Prefix : {size_t(0), size_t(1), Size / 2, Size}) {
+      std::vector<uint8_t> Buffer(Size);
+      C.fill(Buffer.data(), Size);
+      EXPECT_EQ(C.verifyAndZeroPrefix(Buffer.data(), Size, Prefix),
+                Canary::AllVerified);
+      for (size_t I = 0; I < Prefix; ++I)
+        ASSERT_EQ(Buffer[I], 0) << "prefix byte " << I;
+      for (size_t I = Prefix; I < Size; ++I)
+        ASSERT_EQ(Buffer[I], C.byteAt(I)) << "tail byte " << I;
+    }
+  }
+}
+
+TEST(Canary, VerifyAndZeroPrefixRestoresOnCorruption) {
+  // On a corrupted slot the fused kernel reports how many prefix bytes
+  // it zeroed; refilling exactly that many must reproduce the slot as it
+  // was (the quarantined-evidence invariant), in every dispatch mode.
+  RandomGenerator Rng(13);
+  const Canary C = Canary::random(Rng);
+  const canary_dispatch::Mode Modes[] = {
+      canary_dispatch::Mode::Scalar, canary_dispatch::Mode::Sse2,
+      canary_dispatch::Mode::Avx2};
+  for (canary_dispatch::Mode Mode : Modes) {
+    canary_dispatch::force(Mode);
+    for (size_t Corrupt : {size_t(0), size_t(5), size_t(64), size_t(200),
+                           size_t(255)}) {
+      constexpr size_t Size = 256;
+      std::vector<uint8_t> Buffer(Size);
+      C.fill(Buffer.data(), Size);
+      Buffer[Corrupt] ^= 0x5A;
+      const std::vector<uint8_t> Snapshot = Buffer;
+      const size_t Zeroed = C.verifyAndZeroPrefix(Buffer.data(), Size, Size);
+      ASSERT_NE(Zeroed, Canary::AllVerified);
+      ASSERT_LE(Zeroed, Corrupt); // never zeroes at or past the corruption
+      C.fill(Buffer.data(), Zeroed);
+      EXPECT_EQ(Buffer, Snapshot) << "corrupt byte " << Corrupt;
+    }
+  }
+  canary_dispatch::force(canary_dispatch::Mode::Auto);
+}
+
 //===----------------------------------------------------------------------===//
 // DieFastHeap basics
 //===----------------------------------------------------------------------===//

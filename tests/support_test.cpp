@@ -1,6 +1,7 @@
 //===- tests/support_test.cpp - Support substrate tests ---------------------===//
 
 #include "support/Bitmap.h"
+#include "support/PageTable.h"
 #include "support/RandomGenerator.h"
 #include "support/Serializer.h"
 #include "support/SiteHash.h"
@@ -206,6 +207,69 @@ TEST(Bitmap, ProbeClearIsUniform) {
     EXPECT_NEAR(Counts[I], Draws / 16, Draws / 16 * 0.1);
 }
 
+TEST(Bitmap, ProbeClearPartialLastWord) {
+  // 70 bits: the last word holds only 6 valid bits.  Set every bit but
+  // the final one; probing must find exactly bit 69 and never a
+  // past-the-end bit of the partial word.
+  Bitmap Map(70);
+  for (size_t I = 0; I < 69; ++I)
+    Map.set(I);
+  RandomGenerator Rng(5);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(Map.probeClear(Rng), std::optional<size_t>(69));
+}
+
+TEST(Bitmap, ProbeClearDenseFallbackStaysUniform) {
+  // One clear bit in 4096: rejection probes nearly always miss, forcing
+  // the rank-select fallback, which must still return only clear bits.
+  Bitmap Map(4096);
+  for (size_t I = 0; I < 4096; ++I)
+    if (I != 1234 && I != 4000)
+      Map.set(I);
+  RandomGenerator Rng(7);
+  std::set<size_t> Found;
+  for (int I = 0; I < 300; ++I) {
+    auto Bit = Map.probeClear(Rng);
+    ASSERT_TRUE(Bit.has_value());
+    EXPECT_TRUE(*Bit == 1234 || *Bit == 4000);
+    Found.insert(*Bit);
+  }
+  EXPECT_EQ(Found.size(), 2u);
+}
+
+TEST(Bitmap, SelectClearRanks) {
+  Bitmap Map(130);
+  // Clear bits: everything except 0..9 and 127.
+  for (size_t I = 0; I < 10; ++I)
+    Map.set(I);
+  Map.set(127);
+  EXPECT_EQ(Map.clearCount(), 119u);
+  EXPECT_EQ(Map.selectClear(0), std::optional<size_t>(10));
+  EXPECT_EQ(Map.selectClear(1), std::optional<size_t>(11));
+  // Rank of the last clear bit (129): clear bits below it are
+  // 10..126 (117 of them) and 128, so rank 118.
+  EXPECT_EQ(Map.selectClear(117), std::optional<size_t>(128));
+  EXPECT_EQ(Map.selectClear(118), std::optional<size_t>(129));
+  EXPECT_EQ(Map.selectClear(119), std::nullopt);
+}
+
+TEST(Bitmap, SelectClearFullMap) {
+  Bitmap Map(64);
+  for (size_t I = 0; I < 64; ++I)
+    Map.set(I);
+  EXPECT_EQ(Map.selectClear(0), std::nullopt);
+}
+
+TEST(Bitmap, SelectClearLastWordPartial) {
+  // Clear bits only in the partial tail word.
+  Bitmap Map(67);
+  for (size_t I = 0; I < 65; ++I)
+    Map.set(I);
+  EXPECT_EQ(Map.selectClear(0), std::optional<size_t>(65));
+  EXPECT_EQ(Map.selectClear(1), std::optional<size_t>(66));
+  EXPECT_EQ(Map.selectClear(2), std::nullopt);
+}
+
 TEST(Bitmap, FindNextSet) {
   Bitmap Map(130);
   Map.set(3);
@@ -220,6 +284,49 @@ TEST(Bitmap, FindNextSet) {
 TEST(Bitmap, FindNextSetOnEmptyMap) {
   Bitmap Map(64);
   EXPECT_EQ(Map.findNextSet(0), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// PageTable
+//===----------------------------------------------------------------------===//
+
+TEST(PageTable, LookupMissesOnEmptyTable) {
+  PageTable Table;
+  EXPECT_EQ(Table.lookup(12345), PageTable::NotFound);
+  EXPECT_EQ(Table.lookup(0), PageTable::NotFound); // null page sentinel
+}
+
+TEST(PageTable, InsertAndLookup) {
+  PageTable Table;
+  auto [Value, Inserted] = Table.emplace(7, 42);
+  EXPECT_TRUE(Inserted);
+  EXPECT_EQ(Value, 42u);
+  EXPECT_EQ(Table.lookup(7), 42u);
+  EXPECT_EQ(Table.lookup(8), PageTable::NotFound);
+}
+
+TEST(PageTable, EmplaceReturnsExistingMapping) {
+  PageTable Table;
+  Table.emplace(7, 1);
+  auto [Value, Inserted] = Table.emplace(7, 2);
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(Value, 1u);
+  // The returned reference writes through (how the heap marks a page
+  // ambiguous).
+  Value = 99;
+  EXPECT_EQ(Table.lookup(7), 99u);
+}
+
+TEST(PageTable, SurvivesGrowth) {
+  PageTable Table;
+  // Far past the initial capacity, with both consecutive pages (the heap
+  // registration pattern) and scattered ones.
+  for (uintptr_t Page = 1; Page <= 5000; ++Page)
+    Table.emplace(Page, static_cast<uint32_t>(Page * 3));
+  EXPECT_EQ(Table.size(), 5000u);
+  for (uintptr_t Page = 1; Page <= 5000; ++Page)
+    ASSERT_EQ(Table.lookup(Page), static_cast<uint32_t>(Page * 3));
+  EXPECT_EQ(Table.lookup(5001), PageTable::NotFound);
 }
 
 //===----------------------------------------------------------------------===//

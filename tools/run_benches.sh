@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+#===- tools/run_benches.sh - hot-path bench runner -----------------------===#
+#
+# Builds the tree and regenerates the machine-readable bench reports:
+#
+#   BENCH_hotpath.json   — micro_allocators: per-op malloc/free costs,
+#                          fast-vs-legacy speedups (schema: ROADMAP.md)
+#   BENCH_fig7.json      — fig7_overhead: normalized whole-program
+#                          overheads vs the baseline allocator (--full)
+#
+# Usage:
+#   tools/run_benches.sh [--smoke] [--full]
+#
+#   --smoke   shrunk iteration counts (CI smoke run)
+#   --full    also run the fig7 whole-program overhead suite (slower)
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SMOKE=""
+FULL=0
+for Arg in "$@"; do
+  case "$Arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --full) FULL=1 ;;
+    *) echo "usage: tools/run_benches.sh [--smoke] [--full]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target micro_allocators fig7_overhead \
+  >/dev/null
+
+"$BUILD_DIR"/bench/micro_allocators $SMOKE --json BENCH_hotpath.json
+
+if [ "$FULL" = 1 ]; then
+  "$BUILD_DIR"/bench/fig7_overhead --json BENCH_fig7.json
+fi
