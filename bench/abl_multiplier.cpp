@@ -52,9 +52,10 @@ int main() {
           runWorkloadOnce(Work, 5, Seeds.next(), Config, PatchSet());
       Detected += Run.ErrorSignalled ? 1 : 0;
       size_t Live = 0;
-      for (const ImageMiniheap &Mini : Run.FinalImage.Miniheaps)
-        for (const ImageSlot &Slot : Mini.Slots)
-          Live += Slot.Allocated && !Slot.Bad;
+      for (size_t G = 0; G < Run.FinalImage.totalSlots(); ++G) {
+        const uint8_t Flags = Run.FinalImage.slotFlagsAt(G);
+        Live += (Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad);
+      }
       if (Live)
         SlotsPerLive += static_cast<double>(Run.FinalImage.totalSlots()) /
                         static_cast<double>(Live);

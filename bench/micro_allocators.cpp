@@ -40,6 +40,10 @@
 
 #include "alloc/BaselineAllocator.h"
 #include "correct/CorrectingHeap.h"
+#include "heapimage/HeapImageIO.h"
+#include "runtime/Exterminator.h"
+#include "workload/EspressoWorkload.h"
+#include "workload/SquidWorkload.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -286,6 +290,42 @@ opSpeedups(const std::vector<Measurement> &OpResults) {
   return Out;
 }
 
+/// Heap-image format footprint: serialized bytes of the same image in
+/// the legacy v1 layout and the columnar v2 layout (PR 2), on the
+/// example workloads the diagnosis side processes.
+struct ImageSizeSample {
+  std::string Workload;
+  size_t V1Bytes = 0;
+  size_t V2Bytes = 0;
+  double reduction() const {
+    return V2Bytes ? static_cast<double>(V1Bytes) / V2Bytes : 0.0;
+  }
+};
+
+static std::vector<ImageSizeSample> measureImageSizes() {
+  std::vector<ImageSizeSample> Samples;
+  ExterminatorConfig Config;
+  EspressoWorkload Espresso;
+  SquidWorkload Squid;
+  struct Case {
+    const char *Name;
+    Workload *Work;
+    uint64_t Input;
+  } Cases[] = {{"espresso", &Espresso, 5}, {"squid", &Squid, 1}};
+  for (const Case &C : Cases) {
+    const HeapImage Image =
+        runWorkloadOnce(*C.Work, C.Input, /*HeapSeed=*/11, Config,
+                        PatchSet())
+            .FinalImage;
+    ImageSizeSample Sample;
+    Sample.Workload = C.Name;
+    Sample.V1Bytes = serializeHeapImageV1(Image).size();
+    Sample.V2Bytes = serializeHeapImage(Image).size();
+    Samples.push_back(std::move(Sample));
+  }
+  return Samples;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -361,11 +401,20 @@ int main(int Argc, char **Argv) {
   note("resident-churn is DRAM-bound by design (random placement defeats "
        "locality), so its speedups are memory-limited");
 
+  const std::vector<ImageSizeSample> ImageSizes = measureImageSizes();
+  heading("Heap-image footprint: columnar v2 vs legacy v1 (bytes)");
+  Table ImageTable({"workload", "v1 bytes", "v2 bytes", "reduction"});
+  for (const ImageSizeSample &Sample : ImageSizes)
+    ImageTable.addRow({Sample.Workload, fmt("%zu", Sample.V1Bytes),
+                       fmt("%zu", Sample.V2Bytes),
+                       fmt("%.2fx", Sample.reduction())});
+  ImageTable.print();
+
   if (!Opts.JsonPath.empty()) {
     JsonWriter Json;
     Json.beginObject();
     Json.field("bench", "hotpath");
-    Json.field("schema_version", 1);
+    Json.field("schema_version", 2);
     Json.beginObject("config");
     Json.field("scale_divisor", Opts.Scale);
     Json.field("canary_dispatch_auto", canary_dispatch::activeName());
@@ -395,6 +444,16 @@ int main(int Argc, char **Argv) {
       Json.beginObject();
       Json.field("scenario", Scenario);
       Json.field("speedup", Speedup);
+      Json.endObject();
+    }
+    Json.endArray();
+    Json.beginArray("image_format");
+    for (const ImageSizeSample &Sample : ImageSizes) {
+      Json.beginObject();
+      Json.field("workload", Sample.Workload);
+      Json.field("v1_bytes", static_cast<uint64_t>(Sample.V1Bytes));
+      Json.field("v2_bytes", static_cast<uint64_t>(Sample.V2Bytes));
+      Json.field("reduction", Sample.reduction());
       Json.endObject();
     }
     Json.endArray();

@@ -52,8 +52,7 @@ ObjectRef DieHardHeap::reserveSlot(unsigned ClassIndex) {
 void DieHardHeap::commitAllocation(const ObjectRef &Ref, size_t Size) {
   SlotMetadata &Meta = miniheap(Ref).slot(Ref.SlotIndex);
   assert(!Meta.Bad && "cannot commit an allocation into a bad slot");
-  Meta.ObjectId = Clock;
-  Meta.AllocTime = Clock;
+  Meta.ObjectId = Clock; // doubles as the allocation time
   Meta.FreeTime = 0;
   Meta.AllocSite = Context ? Context->currentSite() : 0;
   Meta.FreeSite = 0;

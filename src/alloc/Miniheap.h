@@ -33,12 +33,16 @@
 namespace exterminator {
 
 /// Out-of-band metadata kept for every object slot (paper Figure 1).
+///
+/// The paper's Figure 1 lists object id and allocation time as separate
+/// fields, but ids are drawn from the allocation clock, so ObjectId *is*
+/// the allocation time — one 8-byte field covers both (allocTime()).
+/// Dropping the duplicate shaves a cache line's worth of metadata off
+/// every 1.6 slots on the placement-bound hot path.
 struct SlotMetadata {
   /// The object is the ObjectId'th allocation from this heap; 0 = the
-  /// slot has never been allocated.
+  /// slot has never been allocated.  Doubles as the allocation time.
   uint64_t ObjectId = 0;
-  /// Allocation clock value when the object was allocated.
-  uint64_t AllocTime = 0;
   /// Allocation clock value when the object was last freed.
   uint64_t FreeTime = 0;
   /// Call-site hash of the allocation (Figure 3).
@@ -55,7 +59,13 @@ struct SlotMetadata {
   /// Bad-object isolation (§3.3): the slot was found corrupted and is
   /// permanently withheld from reuse to preserve its contents.
   bool Bad = false;
+
+  /// Allocation clock value when the object was allocated (== ObjectId).
+  uint64_t allocTime() const { return ObjectId; }
 };
+static_assert(sizeof(SlotMetadata) <= 40,
+              "SlotMetadata grew past five words; placement-op cache "
+              "behavior regresses (see ROADMAP open items)");
 
 /// A slab of NumSlots objects of one size class.
 class Miniheap {

@@ -24,14 +24,16 @@ struct Corruption {
 
 static std::optional<Corruption> findFirstCorruption(const HeapImage &Image) {
   const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
-  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
-    const ImageMiniheap &Mini = Image.Miniheaps[M];
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
-      const ImageSlot &Slot = Mini.Slots[S];
-      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      const uint8_t Flags = Image.slotFlags(Loc);
+      if (!(Flags & SlotFlagCanaried) ||
+          ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad)))
         continue;
-      std::optional<CorruptionExtent> Extent = HeapCanary.findCorruption(
-          Slot.Contents.data(), Slot.Contents.size());
+      std::optional<CorruptionExtent> Extent =
+          Image.contents(Loc).findCorruption(HeapCanary);
       if (!Extent)
         continue;
       return Corruption{M, S, S * Mini.ObjectSize + Extent->End};
@@ -44,16 +46,17 @@ static std::optional<Corruption> findFirstCorruption(const HeapImage &Image) {
 static void computeOverflowTrials(const HeapImage &Image,
                                   const Corruption &Corrupt,
                                   std::vector<OverflowTrial> &TrialsOut) {
-  const ImageMiniheap &CorruptMini = Image.Miniheaps[Corrupt.MiniheapIndex];
+  const ImageMiniheapInfo &CorruptMini =
+      Image.miniheapInfo(Corrupt.MiniheapIndex);
   const uint32_t ClassIndex = CorruptMini.SizeClassIndex;
-  const double CorruptSize = static_cast<double>(CorruptMini.Slots.size());
+  const double CorruptSize = static_cast<double>(CorruptMini.NumSlots);
   const double K = static_cast<double>(Corrupt.SlotIndex);
 
   // Miniheaps of the corrupt size class, for the size'(i, M_j) sums.
-  std::vector<const ImageMiniheap *> ClassMiniheaps;
-  for (const ImageMiniheap &Mini : Image.Miniheaps)
-    if (Mini.SizeClassIndex == ClassIndex)
-      ClassMiniheaps.push_back(&Mini);
+  std::vector<const ImageMiniheapInfo *> ClassMiniheaps;
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M)
+    if (Image.miniheapInfo(M).SizeClassIndex == ClassIndex)
+      ClassMiniheaps.push_back(&Image.miniheapInfo(M));
 
   struct SiteState {
     double ProbNoObject = 1.0; // Π (1 − P(C_i))
@@ -64,24 +67,25 @@ static void computeOverflowTrials(const HeapImage &Image,
   };
   std::map<SiteId, SiteState> Sites;
 
-  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
-    const ImageMiniheap &Mini = Image.Miniheaps[M];
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
     if (Mini.SizeClassIndex != ClassIndex)
       continue; // Objects of other classes can never land in M_c.
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
-      const ImageSlot &Slot = Mini.Slots[S];
-      if (Slot.ObjectId == 0)
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      if (Image.objectId(Loc) == 0)
         continue;
-      SiteState &State = Sites[Slot.AllocSite];
+      SiteState &State = Sites[Image.allocSite(Loc)];
 
       // size'(i, M_j): miniheaps that existed when object i was
-      // allocated.
+      // allocated (ObjectId doubles as the allocation time).
+      const uint64_t AllocTime = Image.allocTime(Loc);
       double Denominator = 0.0;
-      for (const ImageMiniheap *Other : ClassMiniheaps)
-        if (Other->CreationTime <= Slot.AllocTime)
-          Denominator += static_cast<double>(Other->Slots.size());
+      for (const ImageMiniheapInfo *Other : ClassMiniheaps)
+        if (Other->CreationTime <= AllocTime)
+          Denominator += static_cast<double>(Other->NumSlots);
       const double Numerator =
-          CorruptMini.CreationTime <= Slot.AllocTime ? CorruptSize : 0.0;
+          CorruptMini.CreationTime <= AllocTime ? CorruptSize : 0.0;
       if (Denominator > 0.0) {
         const double PCi = (Numerator / Denominator) * (K / CorruptSize);
         State.ProbNoObject *= 1.0 - PCi;
@@ -97,9 +101,9 @@ static void computeOverflowTrials(const HeapImage &Image,
           State.NearestBelowOffset = StartOffset;
           const uint64_t Distance =
               Corrupt.EndOffsetInMiniheap - StartOffset;
+          const uint32_t RequestedSize = Image.requestedSize(Loc);
           State.PadEstimate = static_cast<uint32_t>(
-              Distance > Slot.RequestedSize ? Distance - Slot.RequestedSize
-                                            : 0);
+              Distance > RequestedSize ? Distance - RequestedSize : 0);
         }
       }
     }
@@ -125,21 +129,24 @@ static void computeDanglingTrials(const HeapImage &Image,
   };
   std::map<std::pair<SiteId, SiteId>, PairState> Pairs;
 
-  for (const ImageMiniheap &Mini : Image.Miniheaps) {
-    for (const ImageSlot &Slot : Mini.Slots) {
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
       // Observed freed objects: freed at least once and not recycled
       // (still free, or quarantined with their history intact).
-      if (Slot.ObjectId == 0 || Slot.FreeTime == 0)
+      if (Image.objectId(Loc) == 0 || Image.freeTime(Loc) == 0)
         continue;
-      if (Slot.Allocated && !Slot.Bad)
+      const uint8_t Flags = Image.slotFlags(Loc);
+      if ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad))
         continue;
-      PairState &State = Pairs[{Slot.AllocSite, Slot.FreeSite}];
+      PairState &State = Pairs[{Image.allocSite(Loc), Image.freeSite(Loc)}];
       ++State.FreedCount;
-      if (Slot.Canaried) {
+      if (Flags & SlotFlagCanaried) {
         ++State.CanariedCount;
         if (State.OldestCanariedFreeTime == 0 ||
-            Slot.FreeTime < State.OldestCanariedFreeTime)
-          State.OldestCanariedFreeTime = Slot.FreeTime;
+            Image.freeTime(Loc) < State.OldestCanariedFreeTime)
+          State.OldestCanariedFreeTime = Image.freeTime(Loc);
       }
     }
   }

@@ -1,0 +1,58 @@
+//===- diagnose/DiagnosisPipeline.cpp - Unified diagnosis ------------------===//
+
+#include "diagnose/DiagnosisPipeline.h"
+
+#include "cumulative/SiteEstimator.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+DiagnosisPipeline::DiagnosisPipeline(const DiagnosisConfig &Config)
+    : Config(Config), Cumulative(Config.Cumulative) {}
+
+void DiagnosisPipeline::seedPatches(const PatchSet &Initial) {
+  Active.merge(Initial);
+}
+
+IsolationResult DiagnosisPipeline::submitImages(const ImageEvidence &Evidence) {
+  IsolationResult Result = isolateErrors(Evidence.Primary, Config.Isolation);
+  if (Result.Patches.empty() && Evidence.Fallback.size() >= 2)
+    Result = isolateErrors(Evidence.Fallback, Config.Isolation);
+  Active.merge(Result.Patches);
+  return Result;
+}
+
+RunSummary DiagnosisPipeline::summarize(const HeapImage &FinalImage,
+                                        bool Failed) const {
+  return summarizeRun(FinalImage, Failed);
+}
+
+CumulativeDiagnosis DiagnosisPipeline::submitSummary(const RunSummary &Summary,
+                                                     unsigned CleanStreak) {
+  Cumulative.addRun(Summary);
+
+  CumulativeDiagnosis Diagnosis;
+  Diagnosis.Overflows = Cumulative.classifyOverflows();
+  Diagnosis.Danglings = Cumulative.classifyDanglings();
+
+  // Fold findings into the active patch set.  A deferral that has
+  // already been applied but keeps failing doubles instead — the §6.2
+  // logarithmic-convergence rule — because post-patch failures measure
+  // their free-to-failure distance from the already-deferred free.
+  for (const CumulativeOverflowFinding &Finding : Diagnosis.Overflows)
+    Active.addPad(Finding.AllocSite, Finding.PadBytes);
+  for (const CumulativeDanglingFinding &Finding : Diagnosis.Danglings) {
+    const uint64_t Existing =
+        Active.deferralFor(Finding.AllocSite, Finding.FreeSite);
+    uint64_t Target = Finding.DeferralTicks;
+    if (Existing > 0 && CleanStreak == 0)
+      Target = std::max(Target, Existing * 2 + 1);
+    Active.addDeferral(Finding.AllocSite, Finding.FreeSite, Target);
+  }
+  return Diagnosis;
+}
+
+std::string DiagnosisPipeline::report(const SiteRegistry *Registry) const {
+  return generatePatchReport(Active, Registry);
+}

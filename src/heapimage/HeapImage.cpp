@@ -2,6 +2,7 @@
 
 #include "heapimage/HeapImage.h"
 
+#include "diefast/Canary.h"
 #include "diefast/DieFastHeap.h"
 
 #include <algorithm>
@@ -9,21 +10,263 @@
 
 using namespace exterminator;
 
-size_t HeapImage::totalSlots() const {
-  size_t Total = 0;
-  for (const ImageMiniheap &Mini : Miniheaps)
-    Total += Mini.Slots.size();
-  return Total;
+/// Shortest repeated-word run worth a Pattern entry: two words (16 bytes)
+/// already serialize smaller than their literal bytes.
+static constexpr size_t MinPatternWords = 2;
+
+//===----------------------------------------------------------------------===//
+// SlotContents
+//===----------------------------------------------------------------------===//
+
+SlotContents::SlotContents(const HeapImage &Image, uint64_t GlobalSlot)
+    : Image(&Image), FirstRun(Image.slotFirstRun(GlobalSlot)),
+      NumRuns(Image.slotRunEnd(GlobalSlot) - Image.slotFirstRun(GlobalSlot)) {
+  uint64_t Total = 0;
+  for (uint32_t R = FirstRun; R < FirstRun + NumRuns; ++R)
+    Total += Image.runs()[R].Length;
+  Size = Total;
 }
+
+const ContentsRun &SlotContents::run(size_t I) const {
+  assert(I < NumRuns && "run index out of range");
+  return Image->runs()[FirstRun + I];
+}
+
+uint8_t SlotContents::operator[](size_t I) const {
+  assert(I < Size && "contents offset out of range");
+  uint64_t Offset = I;
+  for (uint32_t R = FirstRun; R < FirstRun + NumRuns; ++R) {
+    const ContentsRun &Run = Image->runs()[R];
+    if (Offset < Run.Length) {
+      if (Run.RunKind == ContentsRun::Literal)
+        return Image->pool()[Run.PoolOffset + Offset];
+      return static_cast<uint8_t>(Run.Word >> (8 * (Offset % 8)));
+    }
+    Offset -= Run.Length;
+  }
+  return 0; // Unreachable with a well-formed run table.
+}
+
+const uint8_t *SlotContents::bytes(std::vector<uint8_t> &Scratch) const {
+  if (NumRuns == 1) {
+    const ContentsRun &Run = Image->runs()[FirstRun];
+    if (Run.RunKind == ContentsRun::Literal)
+      return Image->pool().data() + Run.PoolOffset;
+  }
+  Scratch.resize(Size);
+  decodeTo(Scratch.data());
+  return Scratch.data();
+}
+
+void SlotContents::decodeTo(uint8_t *Out) const {
+  for (uint32_t R = FirstRun; R < FirstRun + NumRuns; ++R) {
+    const ContentsRun &Run = Image->runs()[R];
+    if (Run.RunKind == ContentsRun::Literal) {
+      std::memcpy(Out, Image->pool().data() + Run.PoolOffset, Run.Length);
+    } else {
+      for (uint32_t I = 0; I < Run.Length; I += 8)
+        std::memcpy(Out + I, &Run.Word, 8);
+    }
+    Out += Run.Length;
+  }
+}
+
+std::vector<uint8_t> SlotContents::decode() const {
+  std::vector<uint8_t> Out(Size);
+  decodeTo(Out.data());
+  return Out;
+}
+
+std::optional<CorruptionExtent>
+SlotContents::findCorruption(const Canary &HeapCanary) const {
+  // Runs are 8-byte aligned within the slot, so a run always starts at
+  // phase 0 of the 4-byte canary pattern.
+  const uint64_t Expected = HeapCanary.patternWord();
+  size_t Begin = Size, End = 0;
+  uint64_t Offset = 0;
+  for (uint32_t R = FirstRun; R < FirstRun + NumRuns; ++R) {
+    const ContentsRun &Run = Image->runs()[R];
+    if (Run.RunKind == ContentsRun::Pattern) {
+      if (Run.Word != Expected) {
+        // Every 8-byte block of the run differs identically; the extent
+        // spans from the first differing byte of the first block to the
+        // last differing byte of the last block.
+        size_t FirstByte = 8, LastByte = 0;
+        for (size_t B = 0; B < 8; ++B) {
+          const uint8_t Have = static_cast<uint8_t>(Run.Word >> (8 * B));
+          const uint8_t Want = static_cast<uint8_t>(Expected >> (8 * B));
+          if (Have != Want) {
+            FirstByte = std::min(FirstByte, B);
+            LastByte = B + 1;
+          }
+        }
+        Begin = std::min(Begin, static_cast<size_t>(Offset) + FirstByte);
+        End = std::max(End, static_cast<size_t>(Offset) + Run.Length - 8 +
+                                LastByte);
+      }
+    } else {
+      const uint8_t *Data = Image->pool().data() + Run.PoolOffset;
+      if (std::optional<CorruptionExtent> Extent =
+              HeapCanary.findCorruption(Data, Run.Length)) {
+        Begin = std::min(Begin, static_cast<size_t>(Offset) + Extent->Begin);
+        End = std::max(End, static_cast<size_t>(Offset) + Extent->End);
+      }
+    }
+    Offset += Run.Length;
+  }
+  if (End == 0)
+    return std::nullopt;
+  return CorruptionExtent{Begin, End};
+}
+
+bool SlotContents::equals(const SlotContents &Other) const {
+  if (Size != Other.Size)
+    return false;
+  // Fast path: structurally identical encodings (both sides come from
+  // the same canonical encoder).
+  if (NumRuns == Other.NumRuns) {
+    bool Structural = true;
+    for (size_t R = 0; R < NumRuns && Structural; ++R) {
+      const ContentsRun &A = run(R);
+      const ContentsRun &B = Other.run(R);
+      if (A.RunKind != B.RunKind || A.Length != B.Length) {
+        Structural = false;
+      } else if (A.RunKind == ContentsRun::Pattern) {
+        if (A.Word != B.Word)
+          return false;
+      } else if (std::memcmp(Image->pool().data() + A.PoolOffset,
+                             Other.Image->pool().data() + B.PoolOffset,
+                             A.Length) != 0) {
+        return false;
+      }
+    }
+    if (Structural)
+      return true;
+  }
+  std::vector<uint8_t> ScratchA, ScratchB;
+  return std::memcmp(bytes(ScratchA), Other.bytes(ScratchB), Size) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// HeapImage
+//===----------------------------------------------------------------------===//
 
 size_t HeapImage::objectCount() const {
   size_t Count = 0;
-  for (const ImageMiniheap &Mini : Miniheaps)
-    for (const ImageSlot &Slot : Mini.Slots)
-      if (Slot.ObjectId != 0)
-        ++Count;
+  for (uint64_t Id : ObjectIds)
+    if (Id != 0)
+      ++Count;
   return Count;
 }
+
+uint32_t HeapImage::beginMiniheap(uint32_t SizeClassIndex, uint64_t ObjectSize,
+                                  uint64_t BaseAddress,
+                                  uint64_t CreationTime) {
+  ImageMiniheapInfo Info;
+  Info.SizeClassIndex = SizeClassIndex;
+  Info.ObjectSize = ObjectSize;
+  Info.BaseAddress = BaseAddress;
+  Info.CreationTime = CreationTime;
+  Info.FirstSlot = Flags.size();
+  Info.NumSlots = 0;
+  Miniheaps.push_back(Info);
+  return static_cast<uint32_t>(Miniheaps.size() - 1);
+}
+
+void HeapImage::addSlot(uint8_t SlotFlags, uint64_t ObjectId,
+                        uint64_t FreeTime, SiteId AllocSite, SiteId FreeSite,
+                        uint32_t RequestedSize) {
+  assert(!Miniheaps.empty() && "addSlot before beginMiniheap");
+  ++Miniheaps.back().NumSlots;
+  Flags.push_back(SlotFlags);
+  ObjectIds.push_back(ObjectId);
+  FreeTimes.push_back(FreeTime);
+  AllocSites.push_back(AllocSite);
+  FreeSites.push_back(FreeSite);
+  RequestedSizes.push_back(RequestedSize);
+  RunBegin.push_back(static_cast<uint32_t>(Runs.size()));
+}
+
+void HeapImage::addLiteralRun(const uint8_t *Data, size_t Size) {
+  assert(!RunBegin.empty() && "contents run before addSlot");
+  ContentsRun Run;
+  Run.RunKind = ContentsRun::Literal;
+  Run.Length = static_cast<uint32_t>(Size);
+  Run.PoolOffset = static_cast<uint32_t>(Pool.size());
+  Pool.insert(Pool.end(), Data, Data + Size);
+  Runs.push_back(Run);
+}
+
+void HeapImage::addPatternRun(uint64_t Word, uint32_t Length) {
+  assert(!RunBegin.empty() && "contents run before addSlot");
+  assert(Length % 8 == 0 && "pattern runs cover whole words");
+  ContentsRun Run;
+  Run.RunKind = ContentsRun::Pattern;
+  Run.Length = Length;
+  Run.Word = Word;
+  Runs.push_back(Run);
+}
+
+void HeapImage::addSlotBytes(const uint8_t *Data, size_t Size) {
+  const size_t Words = Size / 8;
+  auto wordAt = [&](size_t W) {
+    uint64_t Value;
+    std::memcpy(&Value, Data + W * 8, 8);
+    return Value;
+  };
+
+  size_t LiteralStart = 0;
+  size_t W = 0;
+  while (W < Words) {
+    const uint64_t Value = wordAt(W);
+    size_t Repeat = 1;
+    while (W + Repeat < Words && wordAt(W + Repeat) == Value)
+      ++Repeat;
+    // A whole-slot single word is also a pattern run, so even 8-byte
+    // virgin slots stay collapsible at serialization time.
+    if (Repeat >= MinPatternWords || (W == 0 && Repeat == Words)) {
+      if (LiteralStart < W * 8)
+        addLiteralRun(Data + LiteralStart, W * 8 - LiteralStart);
+      addPatternRun(Value, static_cast<uint32_t>(Repeat * 8));
+      W += Repeat;
+      LiteralStart = W * 8;
+    } else {
+      W += Repeat;
+    }
+  }
+  // Object sizes are powers of two ≥ 8, so there is normally no tail;
+  // handle one anyway for robustness against odd inputs.
+  if (LiteralStart < Size)
+    addLiteralRun(Data + LiteralStart, Size - LiteralStart);
+}
+
+void HeapImage::reserveSlots(size_t Slots) {
+  Flags.reserve(Flags.size() + Slots);
+  ObjectIds.reserve(ObjectIds.size() + Slots);
+  FreeTimes.reserve(FreeTimes.size() + Slots);
+  AllocSites.reserve(AllocSites.size() + Slots);
+  FreeSites.reserve(FreeSites.size() + Slots);
+  RequestedSizes.reserve(RequestedSizes.size() + Slots);
+  RunBegin.reserve(RunBegin.size() + Slots);
+}
+
+bool HeapImage::operator==(const HeapImage &Other) const {
+  // SourceFormatVersion is provenance, not content.
+  return AllocationTime == Other.AllocationTime &&
+         CanaryValue == Other.CanaryValue &&
+         CanaryFillProbability == Other.CanaryFillProbability &&
+         Multiplier == Other.Multiplier && HeapSeed == Other.HeapSeed &&
+         Miniheaps == Other.Miniheaps && Flags == Other.Flags &&
+         ObjectIds == Other.ObjectIds && FreeTimes == Other.FreeTimes &&
+         AllocSites == Other.AllocSites && FreeSites == Other.FreeSites &&
+         RequestedSizes == Other.RequestedSizes &&
+         RunBegin == Other.RunBegin && Runs == Other.Runs &&
+         Pool == Other.Pool;
+}
+
+//===----------------------------------------------------------------------===//
+// Capture
+//===----------------------------------------------------------------------===//
 
 HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap) {
   HeapImage Image;
@@ -36,46 +279,43 @@ HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap) {
 
   Inner.forEachMiniheap([&](unsigned /*ClassIndex*/, unsigned /*HeapIndex*/,
                             const Miniheap &Mini) {
-    ImageMiniheap Out;
-    Out.SizeClassIndex = Mini.sizeClassIndex();
-    Out.ObjectSize = Mini.objectSize();
-    Out.BaseAddress = reinterpret_cast<uint64_t>(Mini.base());
-    Out.CreationTime = Mini.creationTime();
-    Out.Slots.resize(Mini.numSlots());
+    Image.beginMiniheap(Mini.sizeClassIndex(), Mini.objectSize(),
+                        reinterpret_cast<uint64_t>(Mini.base()),
+                        Mini.creationTime());
+    Image.reserveSlots(Mini.numSlots());
     for (size_t I = 0; I < Mini.numSlots(); ++I) {
       const SlotMetadata &Meta = Mini.slot(I);
-      ImageSlot &Slot = Out.Slots[I];
-      Slot.Allocated = Mini.isAllocated(I);
-      Slot.Bad = Meta.Bad;
-      Slot.Canaried = Meta.Canaried;
-      Slot.ObjectId = Meta.ObjectId;
-      Slot.AllocTime = Meta.AllocTime;
-      Slot.FreeTime = Meta.FreeTime;
-      Slot.AllocSite = Meta.AllocSite;
-      Slot.FreeSite = Meta.FreeSite;
-      Slot.RequestedSize = Meta.RequestedSize;
-      Slot.Contents.assign(Mini.slotPointer(I),
-                           Mini.slotPointer(I) + Mini.objectSize());
+      const uint8_t Flags =
+          (Mini.isAllocated(I) ? SlotFlagAllocated : 0) |
+          (Meta.Bad ? SlotFlagBad : 0) | (Meta.Canaried ? SlotFlagCanaried : 0);
+      Image.addSlot(Flags, Meta.ObjectId, Meta.FreeTime, Meta.AllocSite,
+                    Meta.FreeSite, Meta.RequestedSize);
+      Image.addSlotBytes(Mini.slotPointer(I), Mini.objectSize());
     }
-    Image.Miniheaps.push_back(std::move(Out));
   });
   return Image;
 }
 
-ImageIndex::ImageIndex(const HeapImage &Image) : Image(Image) {
-  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
-    const ImageMiniheap &Mini = Image.Miniheaps[M];
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S)
-      if (uint64_t Id = Mini.Slots[S].ObjectId)
+//===----------------------------------------------------------------------===//
+// HeapImageView
+//===----------------------------------------------------------------------===//
+
+HeapImageView::HeapImageView(const HeapImage &Image) : Image(Image) {
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S)
+      if (uint64_t Id = Image.objectIdAt(Mini.FirstSlot + S))
         ById.emplace(Id, ImageLocation{M, S});
     ByAddress.push_back(M);
   }
   std::sort(ByAddress.begin(), ByAddress.end(), [&](uint32_t A, uint32_t B) {
-    return Image.Miniheaps[A].BaseAddress < Image.Miniheaps[B].BaseAddress;
+    return Image.miniheapInfo(A).BaseAddress <
+           Image.miniheapInfo(B).BaseAddress;
   });
 }
 
-std::optional<ImageLocation> ImageIndex::findById(uint64_t ObjectId) const {
+std::optional<ImageLocation>
+HeapImageView::findById(uint64_t ObjectId) const {
   auto It = ById.find(ObjectId);
   if (It == ById.end())
     return std::nullopt;
@@ -83,22 +323,29 @@ std::optional<ImageLocation> ImageIndex::findById(uint64_t ObjectId) const {
 }
 
 std::optional<std::pair<ImageLocation, uint64_t>>
-ImageIndex::locateAddress(uint64_t Address) const {
+HeapImageView::locateAddress(uint64_t Address) const {
   // Binary search for the last miniheap whose base is <= Address.
   auto It = std::upper_bound(
       ByAddress.begin(), ByAddress.end(), Address,
       [&](uint64_t Addr, uint32_t M) {
-        return Addr < Image.Miniheaps[M].BaseAddress;
+        return Addr < Image.miniheapInfo(M).BaseAddress;
       });
   if (It == ByAddress.begin())
     return std::nullopt;
   const uint32_t M = *--It;
-  const ImageMiniheap &Mini = Image.Miniheaps[M];
-  const uint64_t End =
-      Mini.BaseAddress + Mini.Slots.size() * Mini.ObjectSize;
-  if (Address < Mini.BaseAddress || Address >= End)
+  const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+  if (Address < Mini.BaseAddress || Address >= Mini.endAddress())
     return std::nullopt;
   const uint64_t Offset = Address - Mini.BaseAddress;
   ImageLocation Loc{M, static_cast<uint32_t>(Offset / Mini.ObjectSize)};
   return std::make_pair(Loc, Offset % Mini.ObjectSize);
+}
+
+std::vector<HeapImageView>
+exterminator::makeViews(const std::vector<HeapImage> &Images) {
+  std::vector<HeapImageView> Views;
+  Views.reserve(Images.size());
+  for (const HeapImage &Image : Images)
+    Views.emplace_back(Image);
+  return Views;
 }

@@ -2,100 +2,421 @@
 
 #include "heapimage/HeapImageIO.h"
 
-#include "support/Serializer.h"
-
 using namespace exterminator;
 
-// Format magic/version: bump when the layout changes.
-static constexpr uint32_t ImageMagic = 0x58484931; // "XHI1"
+// Format magics: "XHI1" (legacy array-of-structs) and "XHI2" (columnar).
+static constexpr uint32_t ImageMagicV1 = 0x58484931;
+static constexpr uint32_t ImageMagicV2 = 0x58484932;
 
-std::vector<uint8_t> exterminator::serializeHeapImage(const HeapImage &Image) {
-  ByteWriter Writer;
-  Writer.writeU32(ImageMagic);
+// Sanity bounds rejecting absurd values from corrupt headers before any
+// allocation is sized from them.  Counts read from a header additionally
+// never pre-size more than ReserveCap entries (see reserveSlots calls):
+// a forged count with no data behind it then fails at the first record
+// read instead of reserving gigabytes up front.
+static constexpr uint64_t MaxMiniheaps = uint64_t(1) << 24;
+static constexpr uint64_t MaxSlotsPerMiniheap = uint64_t(1) << 28;
+static constexpr uint64_t MaxObjectSizeBound = uint64_t(1) << 20;
+static constexpr uint64_t MaxSites = uint64_t(1) << 20;
+static constexpr uint64_t ReserveCap = uint64_t(1) << 16;
+/// Virgin-region records amplify (a few bytes expand to Count slots), so
+/// the decoded image's total slot count is capped as well — 16M slots is
+/// an order of magnitude past any real capture.
+static constexpr uint64_t MaxTotalSlots = uint64_t(1) << 24;
+
+/// Marker tag for a run of consecutive virgin slots (never allocated,
+/// contents one repeated word).  Distinct from any flags|HasMeta byte:
+/// flags occupy the low three bits and HasMeta bit 7.
+static constexpr uint8_t VirginRunTag = 0xff;
+static constexpr uint8_t HasMetaBit = 0x80;
+static constexpr uint8_t FlagsMask =
+    SlotFlagAllocated | SlotFlagBad | SlotFlagCanaried;
+
+//===----------------------------------------------------------------------===//
+// v2 serialization
+//===----------------------------------------------------------------------===//
+
+/// True when global slot \p G can join a virgin region run: never
+/// allocated, no recorded history, and contents a single repeated word.
+static bool isVirginSlot(const HeapImage &Image, const ImageLocation &Loc,
+                         uint64_t &WordOut) {
+  if (Image.slotFlags(Loc) != 0 || Image.objectId(Loc) != 0 ||
+      Image.freeTime(Loc) != 0 || Image.allocSite(Loc) != 0 ||
+      Image.freeSite(Loc) != 0 || Image.requestedSize(Loc) != 0)
+    return false;
+  const SlotContents Contents = Image.contents(Loc);
+  if (Contents.runCount() != 1)
+    return false;
+  const ContentsRun &Run = Contents.run(0);
+  if (Run.RunKind != ContentsRun::Pattern)
+    return false;
+  WordOut = Run.Word;
+  return true;
+}
+
+static void writeSlotContents(StreamWriter &Writer, const HeapImage &Image,
+                              const SlotContents &Contents) {
+  Writer.writeVarU64(Contents.runCount());
+  for (size_t R = 0; R < Contents.runCount(); ++R) {
+    const ContentsRun &Run = Contents.run(R);
+    Writer.writeU8(Run.RunKind);
+    Writer.writeVarU64(Run.Length);
+    if (Run.RunKind == ContentsRun::Pattern)
+      Writer.writeU64(Run.Word);
+    else
+      Writer.writeBytes(Image.pool().data() + Run.PoolOffset, Run.Length);
+  }
+}
+
+bool exterminator::serializeHeapImage(const HeapImage &Image,
+                                      ByteSink &Sink) {
+  StreamWriter Writer(Sink);
+  Writer.writeU32(ImageMagicV2);
+  Writer.writeU32(HeapImageFormatV2);
   Writer.writeU64(Image.AllocationTime);
   Writer.writeU32(Image.CanaryValue);
   Writer.writeF64(Image.CanaryFillProbability);
   Writer.writeF64(Image.Multiplier);
   Writer.writeU64(Image.HeapSeed);
-  Writer.writeU64(Image.Miniheaps.size());
-  for (const ImageMiniheap &Mini : Image.Miniheaps) {
+
+  // Call-site dictionary: a handful of 32-bit site hashes account for
+  // every slot, so slots store 1-byte dictionary indexes instead of
+  // 5-byte varint hashes.  First-appearance order keeps the encoding
+  // deterministic.
+  std::vector<SiteId> SiteTable;
+  std::unordered_map<SiteId, uint64_t> SiteIndex;
+  auto internSite = [&](SiteId Site) {
+    auto [It, Inserted] = SiteIndex.emplace(Site, SiteTable.size());
+    if (Inserted)
+      SiteTable.push_back(Site);
+    return It->second;
+  };
+  internSite(0); // Index 0 is always "no site".
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      internSite(Image.allocSite(Loc));
+      internSite(Image.freeSite(Loc));
+    }
+  }
+  Writer.writeVarU64(SiteTable.size());
+  for (SiteId Site : SiteTable)
+    Writer.writeU32(Site);
+
+  Writer.writeVarU64(Image.miniheapCount());
+
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    Writer.writeVarU64(Mini.SizeClassIndex);
+    Writer.writeVarU64(Mini.ObjectSize);
+    Writer.writeU64(Mini.BaseAddress);
+    Writer.writeVarU64(Mini.CreationTime);
+    Writer.writeVarU64(Mini.NumSlots);
+
+    for (uint32_t S = 0; S < Mini.NumSlots;) {
+      const ImageLocation Loc{M, S};
+      uint64_t Word = 0;
+      if (isVirginSlot(Image, Loc, Word)) {
+        // Collapse the whole virgin region (same fill word) to one
+        // record — the dominant population of an over-provisioned heap.
+        uint32_t Count = 1;
+        uint64_t NextWord = 0;
+        while (S + Count < Mini.NumSlots &&
+               isVirginSlot(Image, ImageLocation{M, S + Count}, NextWord) &&
+               NextWord == Word)
+          ++Count;
+        Writer.writeU8(VirginRunTag);
+        Writer.writeVarU64(Count);
+        Writer.writeU64(Word);
+        S += Count;
+        continue;
+      }
+
+      const uint8_t Flags = Image.slotFlags(Loc);
+      const bool HasMeta =
+          Image.objectId(Loc) != 0 || Image.freeTime(Loc) != 0 ||
+          Image.allocSite(Loc) != 0 || Image.freeSite(Loc) != 0 ||
+          Image.requestedSize(Loc) != 0;
+      Writer.writeU8(Flags | (HasMeta ? HasMetaBit : 0));
+      if (HasMeta) {
+        Writer.writeVarU64(Image.objectId(Loc));
+        Writer.writeVarU64(Image.freeTime(Loc));
+        Writer.writeVarU64(SiteIndex.at(Image.allocSite(Loc)));
+        Writer.writeVarU64(SiteIndex.at(Image.freeSite(Loc)));
+        Writer.writeVarU64(Image.requestedSize(Loc));
+      }
+      writeSlotContents(Writer, Image, Image.contents(Loc));
+      ++S;
+    }
+  }
+  return !Writer.failed();
+}
+
+std::vector<uint8_t>
+exterminator::serializeHeapImage(const HeapImage &Image) {
+  std::vector<uint8_t> Buffer;
+  VectorSink Sink(Buffer);
+  serializeHeapImage(Image, Sink);
+  return Buffer;
+}
+
+//===----------------------------------------------------------------------===//
+// v2 deserialization
+//===----------------------------------------------------------------------===//
+
+/// Reads one slot's contents runs; total length must be exactly
+/// \p ObjectSize.
+static bool readSlotContents(StreamReader &Reader, HeapImage &Image,
+                             uint64_t ObjectSize,
+                             std::vector<uint8_t> &Scratch) {
+  const uint64_t RunCount = Reader.readVarU64();
+  if (Reader.failed() || RunCount > ObjectSize / 8 + 1)
+    return false;
+  uint64_t Total = 0;
+  for (uint64_t R = 0; R < RunCount; ++R) {
+    const uint8_t Kind = Reader.readU8();
+    const uint64_t Length = Reader.readVarU64();
+    // Non-wrapping form: Total + Length could overflow on a corrupt
+    // varint and slip past the bound into a huge allocation.
+    if (Reader.failed() || Length == 0 || Length > ObjectSize - Total)
+      return false;
+    if (Kind == ContentsRun::Pattern) {
+      if (Length % 8 != 0)
+        return false;
+      const uint64_t Word = Reader.readU64();
+      if (Reader.failed())
+        return false;
+      Image.addPatternRun(Word, static_cast<uint32_t>(Length));
+    } else if (Kind == ContentsRun::Literal) {
+      Scratch.resize(Length);
+      if (!Reader.readBytes(Scratch.data(), Length))
+        return false;
+      Image.addLiteralRun(Scratch.data(), Length);
+    } else {
+      return false;
+    }
+    Total += Length;
+  }
+  return Total == ObjectSize;
+}
+
+static bool deserializeV2(StreamReader &Reader, HeapImage &Image) {
+  if (Reader.readU32() != HeapImageFormatV2)
+    return false;
+  Image.AllocationTime = Reader.readU64();
+  Image.CanaryValue = Reader.readU32();
+  Image.CanaryFillProbability = Reader.readF64();
+  Image.Multiplier = Reader.readF64();
+  Image.HeapSeed = Reader.readU64();
+  Image.SourceFormatVersion = HeapImageFormatV2;
+
+  const uint64_t NumSites = Reader.readVarU64();
+  if (Reader.failed() || NumSites == 0 || NumSites > MaxSites)
+    return false;
+  std::vector<SiteId> SiteTable;
+  SiteTable.reserve(std::min(NumSites, ReserveCap));
+  for (uint64_t I = 0; I < NumSites && !Reader.failed(); ++I)
+    SiteTable.push_back(Reader.readU32());
+  if (Reader.failed())
+    return false;
+
+  const uint64_t NumMiniheaps = Reader.readVarU64();
+  if (Reader.failed() || NumMiniheaps > MaxMiniheaps)
+    return false;
+
+  std::vector<uint8_t> Scratch;
+  for (uint64_t M = 0; M < NumMiniheaps; ++M) {
+    const uint64_t SizeClassIndex = Reader.readVarU64();
+    const uint64_t ObjectSize = Reader.readVarU64();
+    const uint64_t BaseAddress = Reader.readU64();
+    const uint64_t CreationTime = Reader.readVarU64();
+    const uint64_t NumSlots = Reader.readVarU64();
+    if (Reader.failed() || NumSlots > MaxSlotsPerMiniheap ||
+        Image.totalSlots() + NumSlots > MaxTotalSlots || ObjectSize == 0 ||
+        ObjectSize > MaxObjectSizeBound || ObjectSize % 8 != 0)
+      return false;
+    Image.beginMiniheap(static_cast<uint32_t>(SizeClassIndex), ObjectSize,
+                        BaseAddress, CreationTime);
+    Image.reserveSlots(std::min(NumSlots, ReserveCap));
+
+    for (uint64_t S = 0; S < NumSlots;) {
+      const uint8_t Tag = Reader.readU8();
+      if (Reader.failed())
+        return false;
+      if (Tag == VirginRunTag) {
+        const uint64_t Count = Reader.readVarU64();
+        const uint64_t Word = Reader.readU64();
+        // Non-wrapping form (see readSlotContents).
+        if (Reader.failed() || Count == 0 || Count > NumSlots - S)
+          return false;
+        for (uint64_t I = 0; I < Count; ++I) {
+          Image.addSlot(0, 0, 0, 0, 0, 0);
+          Image.addPatternRun(Word, static_cast<uint32_t>(ObjectSize));
+        }
+        S += Count;
+        continue;
+      }
+      if (Tag & ~(FlagsMask | HasMetaBit))
+        return false;
+      uint64_t ObjectId = 0, FreeTime = 0, RequestedSize = 0;
+      SiteId AllocSite = 0, FreeSite = 0;
+      if (Tag & HasMetaBit) {
+        ObjectId = Reader.readVarU64();
+        FreeTime = Reader.readVarU64();
+        const uint64_t AllocIndex = Reader.readVarU64();
+        const uint64_t FreeIndex = Reader.readVarU64();
+        RequestedSize = Reader.readVarU64();
+        if (Reader.failed() || AllocIndex >= SiteTable.size() ||
+            FreeIndex >= SiteTable.size() || RequestedSize > ~uint32_t(0))
+          return false;
+        AllocSite = SiteTable[AllocIndex];
+        FreeSite = SiteTable[FreeIndex];
+      }
+      Image.addSlot(Tag & FlagsMask, ObjectId, FreeTime, AllocSite,
+                    FreeSite, static_cast<uint32_t>(RequestedSize));
+      if (!readSlotContents(Reader, Image, ObjectSize, Scratch))
+        return false;
+      ++S;
+    }
+  }
+  return !Reader.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// v1 compatibility
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t>
+exterminator::serializeHeapImageV1(const HeapImage &Image) {
+  ByteWriter Writer;
+  Writer.writeU32(ImageMagicV1);
+  Writer.writeU64(Image.AllocationTime);
+  Writer.writeU32(Image.CanaryValue);
+  Writer.writeF64(Image.CanaryFillProbability);
+  Writer.writeF64(Image.Multiplier);
+  Writer.writeU64(Image.HeapSeed);
+  Writer.writeU64(Image.miniheapCount());
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
     Writer.writeU32(Mini.SizeClassIndex);
     Writer.writeU64(Mini.ObjectSize);
     Writer.writeU64(Mini.BaseAddress);
     Writer.writeU64(Mini.CreationTime);
-    Writer.writeU64(Mini.Slots.size());
-    for (const ImageSlot &Slot : Mini.Slots) {
-      uint8_t Flags = (Slot.Allocated ? 1 : 0) | (Slot.Bad ? 2 : 0) |
-                      (Slot.Canaried ? 4 : 0);
-      Writer.writeU8(Flags);
-      Writer.writeU64(Slot.ObjectId);
-      Writer.writeU64(Slot.AllocTime);
-      Writer.writeU64(Slot.FreeTime);
-      Writer.writeU32(Slot.AllocSite);
-      Writer.writeU32(Slot.FreeSite);
-      Writer.writeU32(Slot.RequestedSize);
-      Writer.writeBlob(Slot.Contents);
+    Writer.writeU64(Mini.NumSlots);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      const uint8_t Flags = Image.slotFlags(Loc);
+      uint8_t V1Flags = (Flags & SlotFlagAllocated ? 1 : 0) |
+                        (Flags & SlotFlagBad ? 2 : 0) |
+                        (Flags & SlotFlagCanaried ? 4 : 0);
+      Writer.writeU8(V1Flags);
+      Writer.writeU64(Image.objectId(Loc));
+      Writer.writeU64(Image.allocTime(Loc)); // v1 stored the pair
+      Writer.writeU64(Image.freeTime(Loc));
+      Writer.writeU32(Image.allocSite(Loc));
+      Writer.writeU32(Image.freeSite(Loc));
+      Writer.writeU32(Image.requestedSize(Loc));
+      Writer.writeBlob(Image.contents(Loc).decode());
     }
   }
   return Writer.buffer();
 }
 
-bool exterminator::deserializeHeapImage(const std::vector<uint8_t> &Buffer,
-                                        HeapImage &ImageOut) {
-  ByteReader Reader(Buffer);
-  if (Reader.readU32() != ImageMagic)
-    return false;
-  ImageOut = HeapImage();
-  ImageOut.AllocationTime = Reader.readU64();
-  ImageOut.CanaryValue = Reader.readU32();
-  ImageOut.CanaryFillProbability = Reader.readF64();
-  ImageOut.Multiplier = Reader.readF64();
-  ImageOut.HeapSeed = Reader.readU64();
+static bool deserializeV1(StreamReader &Reader, HeapImage &Image) {
+  Image.AllocationTime = Reader.readU64();
+  Image.CanaryValue = Reader.readU32();
+  Image.CanaryFillProbability = Reader.readF64();
+  Image.Multiplier = Reader.readF64();
+  Image.HeapSeed = Reader.readU64();
+  Image.SourceFormatVersion = HeapImageFormatV1;
   const uint64_t NumMiniheaps = Reader.readU64();
+  if (Reader.failed() || NumMiniheaps > MaxMiniheaps)
+    return false;
+
+  std::vector<uint8_t> Contents;
+  for (uint64_t M = 0; M < NumMiniheaps; ++M) {
+    const uint32_t SizeClassIndex = Reader.readU32();
+    const uint64_t ObjectSize = Reader.readU64();
+    const uint64_t BaseAddress = Reader.readU64();
+    const uint64_t CreationTime = Reader.readU64();
+    const uint64_t NumSlots = Reader.readU64();
+    // Same shape rules as v2 (including ObjectSize % 8: real captures
+    // are power-of-two sized), so a loaded v1 image always re-saves as
+    // a loadable v2 file.
+    if (Reader.failed() || NumSlots > MaxSlotsPerMiniheap ||
+        Image.totalSlots() + NumSlots > MaxTotalSlots || ObjectSize == 0 ||
+        ObjectSize > MaxObjectSizeBound || ObjectSize % 8 != 0)
+      return false;
+    Image.beginMiniheap(SizeClassIndex, ObjectSize, BaseAddress,
+                        CreationTime);
+    Image.reserveSlots(std::min(NumSlots, ReserveCap));
+    for (uint64_t S = 0; S < NumSlots; ++S) {
+      const uint8_t V1Flags = Reader.readU8();
+      const uint8_t Flags = (V1Flags & 1 ? SlotFlagAllocated : 0) |
+                            (V1Flags & 2 ? SlotFlagBad : 0) |
+                            (V1Flags & 4 ? SlotFlagCanaried : 0);
+      const uint64_t ObjectId = Reader.readU64();
+      Reader.readU64(); // AllocTime: redundant with ObjectId, dropped.
+      const uint64_t FreeTime = Reader.readU64();
+      const SiteId AllocSite = Reader.readU32();
+      const SiteId FreeSite = Reader.readU32();
+      const uint32_t RequestedSize = Reader.readU32();
+      const uint64_t ContentsSize = Reader.readU64();
+      if (Reader.failed() || ContentsSize != ObjectSize)
+        return false;
+      Contents.resize(ContentsSize);
+      if (!Reader.readBytes(Contents.data(), ContentsSize))
+        return false;
+      Image.addSlot(Flags, ObjectId, FreeTime, AllocSite, FreeSite,
+                    RequestedSize);
+      Image.addSlotBytes(Contents.data(), Contents.size());
+    }
+  }
+  return !Reader.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+bool exterminator::deserializeHeapImage(ByteSource &Source,
+                                        HeapImage &ImageOut) {
+  StreamReader Reader(Source);
+  const uint32_t Magic = Reader.readU32();
   if (Reader.failed())
     return false;
-  ImageOut.Miniheaps.reserve(NumMiniheaps);
-  for (uint64_t M = 0; M < NumMiniheaps; ++M) {
-    ImageMiniheap Mini;
-    Mini.SizeClassIndex = Reader.readU32();
-    Mini.ObjectSize = Reader.readU64();
-    Mini.BaseAddress = Reader.readU64();
-    Mini.CreationTime = Reader.readU64();
-    const uint64_t NumSlots = Reader.readU64();
-    if (Reader.failed())
-      return false;
-    Mini.Slots.reserve(NumSlots);
-    for (uint64_t S = 0; S < NumSlots; ++S) {
-      ImageSlot Slot;
-      const uint8_t Flags = Reader.readU8();
-      Slot.Allocated = Flags & 1;
-      Slot.Bad = Flags & 2;
-      Slot.Canaried = Flags & 4;
-      Slot.ObjectId = Reader.readU64();
-      Slot.AllocTime = Reader.readU64();
-      Slot.FreeTime = Reader.readU64();
-      Slot.AllocSite = Reader.readU32();
-      Slot.FreeSite = Reader.readU32();
-      Slot.RequestedSize = Reader.readU32();
-      Slot.Contents = Reader.readBlob();
-      if (Reader.failed())
-        return false;
-      Mini.Slots.push_back(std::move(Slot));
-    }
-    ImageOut.Miniheaps.push_back(std::move(Mini));
-  }
-  return Reader.atEnd();
+  ImageOut = HeapImage();
+  if (Magic == ImageMagicV2)
+    return deserializeV2(Reader, ImageOut);
+  if (Magic == ImageMagicV1)
+    return deserializeV1(Reader, ImageOut);
+  return false;
+}
+
+bool exterminator::deserializeHeapImage(const std::vector<uint8_t> &Buffer,
+                                        HeapImage &ImageOut) {
+  MemorySource Source(Buffer);
+  if (!deserializeHeapImage(Source, ImageOut))
+    return false;
+  return Source.remaining() == 0;
 }
 
 bool exterminator::saveHeapImage(const HeapImage &Image,
                                  const std::string &Path) {
-  return writeFileBytes(Path, serializeHeapImage(Image));
+  FileSink Sink(Path);
+  if (!Sink.ok())
+    return false;
+  if (!serializeHeapImage(Image, Sink))
+    return false;
+  return Sink.close();
 }
 
 bool exterminator::loadHeapImage(const std::string &Path,
                                  HeapImage &ImageOut) {
-  std::vector<uint8_t> Buffer;
-  if (!readFileBytes(Path, Buffer))
+  FileSource Source(Path);
+  if (!Source.ok())
     return false;
-  return deserializeHeapImage(Buffer, ImageOut);
+  if (!deserializeHeapImage(Source, ImageOut))
+    return false;
+  return Source.exhausted();
 }

@@ -9,12 +9,26 @@
 /// image per run on disk and post-processes them; this module is that disk
 /// format.
 ///
+/// Two wire formats exist:
+///
+///  * v1 ("XHI1") — the original eager array-of-structs layout: full
+///    per-slot metadata plus a length-prefixed blob of every slot's raw
+///    contents.  Still *loaded* for compatibility; serializeHeapImageV1
+///    is retained so tests and benchmarks can measure against it.
+///  * v2 ("XHI2") — the columnar layout: an explicit version header,
+///    varint-packed metadata (virgin slots collapse to region runs), and
+///    run-length-encoded contents.  Writes stream through a ByteSink, so
+///    saving never materializes a second copy of the image.
+///
+/// deserializeHeapImage dispatches on the magic, so readers accept both.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_HEAPIMAGE_HEAPIMAGEIO_H
 #define EXTERMINATOR_HEAPIMAGE_HEAPIMAGEIO_H
 
 #include "heapimage/HeapImage.h"
+#include "support/Serializer.h"
 
 #include <cstdint>
 #include <string>
@@ -22,18 +36,36 @@
 
 namespace exterminator {
 
-/// Encodes \p Image into a self-describing byte buffer.
+/// Wire format versions (HeapImage::SourceFormatVersion after a load).
+inline constexpr uint32_t HeapImageFormatV1 = 1;
+inline constexpr uint32_t HeapImageFormatV2 = 2;
+
+/// Encodes \p Image into a self-describing v2 byte buffer.
 std::vector<uint8_t> serializeHeapImage(const HeapImage &Image);
 
-/// Decodes an image; returns false (leaving \p ImageOut unspecified) on a
-/// malformed buffer.
+/// Streams \p Image in v2 format into \p Sink; returns false on write
+/// failure.
+bool serializeHeapImage(const HeapImage &Image, ByteSink &Sink);
+
+/// Encodes \p Image in the legacy v1 format (compat tests, size
+/// comparisons).
+std::vector<uint8_t> serializeHeapImageV1(const HeapImage &Image);
+
+/// Decodes an image of either format version; returns false (leaving
+/// \p ImageOut unspecified) on a malformed buffer.
 bool deserializeHeapImage(const std::vector<uint8_t> &Buffer,
                           HeapImage &ImageOut);
 
-/// Saves \p Image to \p Path; returns false on I/O failure.
+/// Streaming decode of either format version.  Does not check for
+/// trailing bytes — callers owning the stream decide what follows.
+bool deserializeHeapImage(ByteSource &Source, HeapImage &ImageOut);
+
+/// Saves \p Image (v2, streamed) to \p Path; returns false on I/O
+/// failure.
 bool saveHeapImage(const HeapImage &Image, const std::string &Path);
 
-/// Loads an image from \p Path; returns false on I/O or format failure.
+/// Loads an image of either format from \p Path; returns false on I/O or
+/// format failure (including trailing garbage).
 bool loadHeapImage(const std::string &Path, HeapImage &ImageOut);
 
 } // namespace exterminator

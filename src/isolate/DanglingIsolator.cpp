@@ -8,36 +8,36 @@
 
 using namespace exterminator;
 
-DanglingIsolator::DanglingIsolator(const std::vector<HeapImage> &Images,
-                                   const std::vector<ImageIndex> &Indexes)
-    : Images(Images), Indexes(Indexes) {
-  assert(Images.size() == Indexes.size() &&
-         "images and indexes must be parallel");
-}
+DanglingIsolator::DanglingIsolator(const std::vector<HeapImageView> &Views)
+    : Views(Views) {}
 
 /// A slot is inspectable for dangling overwrites when its canary was
 /// written and the contents have been preserved: either it is still free,
 /// or DieFast quarantined it on detection.
-static bool isCanaryPreserved(const ImageSlot &Slot) {
-  return Slot.Canaried && (!Slot.Allocated || Slot.Bad);
+static bool isCanaryPreserved(uint8_t Flags) {
+  return (Flags & SlotFlagCanaried) &&
+         (!(Flags & SlotFlagAllocated) || (Flags & SlotFlagBad));
 }
 
 std::vector<DanglingFinding> DanglingIsolator::isolate() const {
   std::vector<DanglingFinding> Findings;
-  if (Images.size() < 2)
+  if (Views.size() < 2)
     return Findings; // A single image cannot separate overwrite sources.
 
-  const HeapImage &First = Images.front();
+  const HeapImage &First = Views.front().image();
   const Canary FirstCanary = Canary::fromValue(First.CanaryValue);
 
-  for (uint32_t M = 0; M < First.Miniheaps.size(); ++M) {
-    const ImageMiniheap &Mini = First.Miniheaps[M];
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
-      const ImageSlot &Slot = Mini.Slots[S];
-      if (!isCanaryPreserved(Slot) || Slot.ObjectId == 0)
+  std::vector<std::vector<uint8_t>> Scratch(Views.size());
+  for (uint32_t M = 0; M < First.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = First.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      if (!isCanaryPreserved(First.slotFlags(Loc)) ||
+          First.objectId(Loc) == 0)
         continue;
-      std::optional<CorruptionExtent> Extent = FirstCanary.findCorruption(
-          Slot.Contents.data(), Slot.Contents.size());
+      const SlotContents Contents = First.contents(Loc);
+      std::optional<CorruptionExtent> Extent =
+          Contents.findCorruption(FirstCanary);
       if (!Extent)
         continue;
 
@@ -45,32 +45,33 @@ std::vector<DanglingFinding> DanglingIsolator::isolate() const {
       // freed, canaried, and corrupted there too.
       uint64_t UnionBegin = Extent->Begin;
       uint64_t UnionEnd = Extent->End;
-      std::vector<const ImageSlot *> Slots(Images.size());
-      Slots[0] = &Slot;
+      std::vector<const uint8_t *> Bytes(Views.size());
+      Bytes[0] = Contents.bytes(Scratch[0]);
       bool Comparable = true;
-      for (size_t I = 1; I < Images.size() && Comparable; ++I) {
-        std::optional<ImageLocation> Loc = Indexes[I].findById(Slot.ObjectId);
-        if (!Loc) {
+      for (size_t I = 1; I < Views.size() && Comparable; ++I) {
+        std::optional<ImageLocation> OtherLoc =
+            Views[I].findById(First.objectId(Loc));
+        if (!OtherLoc) {
           Comparable = false;
           break;
         }
-        const ImageSlot &Other = Images[I].slot(*Loc);
-        if (!isCanaryPreserved(Other) ||
-            Other.Contents.size() != Slot.Contents.size()) {
+        const HeapImage &Other = Views[I].image();
+        const SlotContents OtherContents = Other.contents(*OtherLoc);
+        if (!isCanaryPreserved(Other.slotFlags(*OtherLoc)) ||
+            OtherContents.size() != Contents.size()) {
           Comparable = false;
           break;
         }
-        const Canary OtherCanary = Canary::fromValue(Images[I].CanaryValue);
+        const Canary OtherCanary = Canary::fromValue(Other.CanaryValue);
         std::optional<CorruptionExtent> OtherExtent =
-            OtherCanary.findCorruption(Other.Contents.data(),
-                                       Other.Contents.size());
+            OtherContents.findCorruption(OtherCanary);
         if (!OtherExtent) {
           Comparable = false;
           break;
         }
         UnionBegin = std::min(UnionBegin, OtherExtent->Begin);
         UnionEnd = std::max(UnionEnd, OtherExtent->End);
-        Slots[I] = &Other;
+        Bytes[I] = OtherContents.bytes(Scratch[I]);
       }
       if (!Comparable)
         continue;
@@ -80,9 +81,9 @@ std::vector<DanglingFinding> DanglingIsolator::isolate() const {
       // written byte colliding with one image's canary still matches: the
       // slot byte holds the written value either way.)
       bool Identical = true;
-      for (size_t I = 1; I < Images.size() && Identical; ++I)
+      for (size_t I = 1; I < Views.size() && Identical; ++I)
         for (uint64_t B = UnionBegin; B < UnionEnd; ++B)
-          if (Slots[I]->Contents[B] != Slot.Contents[B]) {
+          if (Bytes[I][B] != Bytes[0][B]) {
             Identical = false;
             break;
           }
@@ -90,15 +91,15 @@ std::vector<DanglingFinding> DanglingIsolator::isolate() const {
         continue;
 
       DanglingFinding Finding;
-      Finding.ObjectId = Slot.ObjectId;
-      Finding.AllocSite = Slot.AllocSite;
-      Finding.FreeSite = Slot.FreeSite;
-      Finding.FreeTime = Slot.FreeTime;
+      Finding.ObjectId = First.objectId(Loc);
+      Finding.AllocSite = First.allocSite(Loc);
+      Finding.FreeSite = First.freeSite(Loc);
+      Finding.FreeTime = First.freeTime(Loc);
       // T: the latest allocation time across the images (images taken at
       // the same malloc breakpoint agree; crash dumps may lag slightly).
       uint64_t FailureTime = 0;
-      for (const HeapImage &Image : Images)
-        FailureTime = std::max(FailureTime, Image.AllocationTime);
+      for (const HeapImageView &View : Views)
+        FailureTime = std::max(FailureTime, View.image().AllocationTime);
       Finding.FailureTime = FailureTime;
       // Extend the object's drag, not its lifetime: 2·(T − τ) + 1 (§6.2).
       Finding.DeferralTicks = 2 * (FailureTime - Finding.FreeTime) + 1;

@@ -52,15 +52,13 @@ struct DanglingFinding {
 /// Searches heap images for dangling-pointer overwrites.
 class DanglingIsolator {
 public:
-  DanglingIsolator(const std::vector<HeapImage> &Images,
-                   const std::vector<ImageIndex> &Indexes);
+  explicit DanglingIsolator(const std::vector<HeapImageView> &Views);
 
   /// Returns every freed object overwritten identically in all images.
   std::vector<DanglingFinding> isolate() const;
 
 private:
-  const std::vector<HeapImage> &Images;
-  const std::vector<ImageIndex> &Indexes;
+  const std::vector<HeapImageView> &Views;
 };
 
 } // namespace exterminator

@@ -4,21 +4,17 @@
 
 using namespace exterminator;
 
-IsolationResult exterminator::isolateErrors(
-    const std::vector<HeapImage> &Images, const IsolationConfig &Config) {
+IsolationResult
+exterminator::isolateErrors(const std::vector<HeapImageView> &Views,
+                            const IsolationConfig &Config) {
   IsolationResult Result;
-  if (Images.size() < 2)
+  if (Views.size() < 2)
     return Result;
-
-  std::vector<ImageIndex> Indexes;
-  Indexes.reserve(Images.size());
-  for (const HeapImage &Image : Images)
-    Indexes.emplace_back(Image);
 
   // Dangling overwrites first: identical corruption across images is a
   // dangling pointer with overwhelming probability (Theorem 1), so those
   // objects must not feed the overflow analysis.
-  DanglingIsolator Dangling(Images, Indexes);
+  DanglingIsolator Dangling(Views);
   Result.Danglings = Dangling.isolate();
 
   std::vector<uint64_t> ExcludeIds;
@@ -26,7 +22,7 @@ IsolationResult exterminator::isolateErrors(
   for (const DanglingFinding &Finding : Result.Danglings)
     ExcludeIds.push_back(Finding.ObjectId);
 
-  OverflowIsolator Overflow(Images, Indexes, Config.Overflow);
+  OverflowIsolator Overflow(Views, Config.Overflow);
   Result.Overflows = Overflow.isolate(ExcludeIds);
 
   // Patches: every dangling finding defers its site pair; overflows pad
@@ -47,4 +43,12 @@ IsolationResult exterminator::isolateErrors(
       break;
   }
   return Result;
+}
+
+IsolationResult
+exterminator::isolateErrors(const std::vector<HeapImage> &Images,
+                            const IsolationConfig &Config) {
+  if (Images.size() < 2)
+    return IsolationResult();
+  return isolateErrors(makeViews(Images), Config);
 }

@@ -55,6 +55,11 @@ struct IsolationResult {
 IsolationResult isolateErrors(const std::vector<HeapImage> &Images,
                               const IsolationConfig &Config = {});
 
+/// Same pipeline over pre-built views (avoids re-indexing when the
+/// caller — e.g. DiagnosisPipeline — already holds them).
+IsolationResult isolateErrors(const std::vector<HeapImageView> &Views,
+                              const IsolationConfig &Config = {});
+
 } // namespace exterminator
 
 #endif // EXTERMINATOR_ISOLATE_ERRORISOLATOR_H

@@ -10,43 +10,43 @@
 
 using namespace exterminator;
 
-EvidenceCollector::EvidenceCollector(const std::vector<HeapImage> &Images,
-                                     const std::vector<ImageIndex> &Indexes)
-    : Images(Images), Indexes(Indexes) {
-  assert(Images.size() == Indexes.size() &&
-         "images and indexes must be parallel");
-}
+EvidenceCollector::EvidenceCollector(const std::vector<HeapImageView> &Views)
+    : Views(Views) {}
 
 std::vector<CorruptionRegion> EvidenceCollector::collectCanaryEvidence(
     uint32_t ImageIndex, const std::vector<uint64_t> &ExcludeIds) const {
-  const HeapImage &Image = Images[ImageIndex];
+  const HeapImage &Image = Views[ImageIndex].image();
   const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
   const std::unordered_set<uint64_t> Excluded(ExcludeIds.begin(),
                                               ExcludeIds.end());
 
   std::vector<CorruptionRegion> Evidence;
-  for (uint32_t M = 0; M < Image.Miniheaps.size(); ++M) {
-    const ImageMiniheap &Mini = Image.Miniheaps[M];
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
-      const ImageSlot &Slot = Mini.Slots[S];
+  std::vector<uint8_t> Scratch;
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      const uint8_t Flags = Image.slotFlags(Loc);
       // Canary checks apply to canaried slots that are free, or that
       // DieFast quarantined after finding them corrupted (still holding
       // their canary-era contents).
-      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+      if (!(Flags & SlotFlagCanaried) ||
+          ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad)))
         continue;
-      if (Excluded.count(Slot.ObjectId))
+      if (Excluded.count(Image.objectId(Loc)))
         continue;
-      std::optional<CorruptionExtent> Extent = HeapCanary.findCorruption(
-          Slot.Contents.data(), Slot.Contents.size());
+      const SlotContents Contents = Image.contents(Loc);
+      std::optional<CorruptionExtent> Extent =
+          Contents.findCorruption(HeapCanary);
       if (!Extent)
         continue;
       CorruptionRegion Region;
       Region.ImageIndex = ImageIndex;
-      Region.Victim = ImageLocation{M, S};
+      Region.Victim = Loc;
       Region.BeginAddress = Mini.slotAddress(S) + Extent->Begin;
       Region.EndAddress = Mini.slotAddress(S) + Extent->End;
-      Region.Bytes.assign(Slot.Contents.begin() + Extent->Begin,
-                          Slot.Contents.begin() + Extent->End);
+      const uint8_t *Bytes = Contents.bytes(Scratch);
+      Region.Bytes.assign(Bytes + Extent->Begin, Bytes + Extent->End);
       Evidence.push_back(std::move(Region));
     }
   }
@@ -56,7 +56,7 @@ std::vector<CorruptionRegion> EvidenceCollector::collectCanaryEvidence(
 WordClassKind
 EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
                                 const std::vector<uint64_t> &Values) const {
-  assert(Values.size() == Images.size() && "one value per image");
+  assert(Values.size() == Views.size() && "one value per image");
   (void)ObjectId;
   (void)WordOffset;
 
@@ -73,21 +73,20 @@ EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
   uint64_t PointeeId = 0;
   uint64_t PointeeOffset = 0;
   for (size_t I = 0; I < Values.size() && AllPointers; ++I) {
-    auto Located = Indexes[I].locateAddress(Values[I]);
+    auto Located = Views[I].locateAddress(Values[I]);
     if (!Located) {
       AllPointers = false;
       break;
     }
-    const ImageSlot &Pointee = Images[I].slot(Located->first);
-    if (Pointee.ObjectId == 0) {
+    const uint64_t Id = Views[I].image().objectId(Located->first);
+    if (Id == 0) {
       AllPointers = false;
       break;
     }
     if (I == 0) {
-      PointeeId = Pointee.ObjectId;
+      PointeeId = Id;
       PointeeOffset = Located->second;
-    } else if (Pointee.ObjectId != PointeeId ||
-               Located->second != PointeeOffset) {
+    } else if (Id != PointeeId || Located->second != PointeeOffset) {
       AllPointers = false;
     }
   }
@@ -111,7 +110,7 @@ EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
 
 void EvidenceCollector::diffLiveObject(
     uint64_t ObjectId, std::vector<CorruptionRegion> &EvidenceOut) const {
-  const size_t K = Images.size();
+  const size_t K = Views.size();
   if (K < 3)
     return; // A plurality needs at least three images (DESIGN.md).
 
@@ -119,46 +118,49 @@ void EvidenceCollector::diffLiveObject(
   // every image; otherwise it is not comparable.
   std::vector<ImageLocation> Locations(K);
   for (size_t I = 0; I < K; ++I) {
-    std::optional<ImageLocation> Loc = Indexes[I].findById(ObjectId);
+    std::optional<ImageLocation> Loc = Views[I].findById(ObjectId);
     if (!Loc)
       return;
-    const ImageSlot &Slot = Images[I].slot(*Loc);
-    if (!Slot.Allocated || Slot.Bad)
+    const uint8_t Flags = Views[I].image().slotFlags(*Loc);
+    if (!(Flags & SlotFlagAllocated) || (Flags & SlotFlagBad))
       return;
     Locations[I] = *Loc;
   }
-  const uint64_t ObjectSize = Images[0].miniheap(Locations[0]).ObjectSize;
+  const uint64_t ObjectSize =
+      Views[0].image().miniheap(Locations[0]).ObjectSize;
   for (size_t I = 1; I < K; ++I)
-    if (Images[I].miniheap(Locations[I]).ObjectSize != ObjectSize)
+    if (Views[I].image().miniheap(Locations[I]).ObjectSize != ObjectSize)
       return;
 
-  // Hoist the per-word slot resolution: content pointers are stable for
-  // the whole sweep.
-  std::vector<const uint8_t *> Data(K);
-  for (size_t I = 0; I < K; ++I)
-    Data[I] = Images[I].slot(Locations[I]).Contents.data();
-
   // The overwhelmingly common case is an uncorrupted object that is
-  // byte-identical everywhere: one memcmp sweep per image settles it
-  // without any per-word classification.
+  // byte-identical everywhere: run-table comparison settles it without
+  // materializing contents.
   bool AllIdentical = true;
+  const SlotContents First = Views[0].image().contents(Locations[0]);
   for (size_t I = 1; I < K && AllIdentical; ++I)
-    AllIdentical = std::memcmp(Data[0], Data[I], ObjectSize) == 0;
+    AllIdentical = First.equals(Views[I].image().contents(Locations[I]));
   if (AllIdentical)
     return;
+
+  // Hoist the per-word slot resolution: decode each image's copy once
+  // (zero-copy when the slot is a single literal run) and sweep words.
+  std::vector<std::vector<uint8_t>> Scratch(K);
+  std::vector<const uint8_t *> Data(K);
+  for (size_t I = 0; I < K; ++I)
+    Data[I] = Views[I].image().contents(Locations[I]).bytes(Scratch[I]);
 
   std::vector<uint64_t> Values(K);
   for (uint64_t Offset = 0; Offset + 8 <= ObjectSize; Offset += 8) {
     // Word-level short-circuit of the all-equal class before the full
     // classifier runs.
-    uint64_t First;
-    std::memcpy(&First, Data[0] + Offset, 8);
+    uint64_t FirstWord;
+    std::memcpy(&FirstWord, Data[0] + Offset, 8);
     bool Equal = true;
     for (size_t I = 1; I < K && Equal; ++I)
       Equal = std::memcmp(Data[0] + Offset, Data[I] + Offset, 8) == 0;
     if (Equal)
       continue;
-    Values[0] = First;
+    Values[0] = FirstWord;
     for (size_t I = 1; I < K; ++I)
       std::memcpy(&Values[I], Data[I] + Offset, 8);
     if (classifyWord(ObjectId, Offset, Values) !=
@@ -197,7 +199,7 @@ void EvidenceCollector::diffLiveObject(
       CorruptionRegion Region;
       Region.ImageIndex = static_cast<uint32_t>(I);
       Region.Victim = Locations[I];
-      const uint64_t SlotAddr = Images[I].slotAddress(Locations[I]);
+      const uint64_t SlotAddr = Views[I].image().slotAddress(Locations[I]);
       Region.BeginAddress = SlotAddr + Offset + FirstByte;
       Region.EndAddress = SlotAddr + Offset + Last;
       Region.Bytes.assign(Data[I] + Offset + FirstByte,
@@ -209,18 +211,24 @@ void EvidenceCollector::diffLiveObject(
 
 std::vector<std::vector<CorruptionRegion>> EvidenceCollector::collectAllEvidence(
     const std::vector<uint64_t> &ExcludeIds) const {
-  std::vector<std::vector<CorruptionRegion>> ByImage(Images.size());
-  for (uint32_t I = 0; I < Images.size(); ++I)
+  std::vector<std::vector<CorruptionRegion>> ByImage(Views.size());
+  for (uint32_t I = 0; I < Views.size(); ++I)
     ByImage[I] = collectCanaryEvidence(I, ExcludeIds);
 
   // Diff every object that is live in image 0 (liveness elsewhere is
   // checked inside diffLiveObject).
   std::vector<CorruptionRegion> DiffEvidence;
-  const HeapImage &First = Images.front();
-  for (const ImageMiniheap &Mini : First.Miniheaps)
-    for (const ImageSlot &Slot : Mini.Slots)
-      if (Slot.Allocated && !Slot.Bad && Slot.ObjectId != 0)
-        diffLiveObject(Slot.ObjectId, DiffEvidence);
+  const HeapImage &FirstImage = Views.front().image();
+  for (uint32_t M = 0; M < FirstImage.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = FirstImage.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      const uint8_t Flags = FirstImage.slotFlags(Loc);
+      if ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad) &&
+          FirstImage.objectId(Loc) != 0)
+        diffLiveObject(FirstImage.objectId(Loc), DiffEvidence);
+    }
+  }
   for (CorruptionRegion &Region : DiffEvidence)
     ByImage[Region.ImageIndex].push_back(std::move(Region));
 

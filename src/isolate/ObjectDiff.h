@@ -22,6 +22,11 @@
 ///     minority of images with one fixed value (the rest agree on the
 ///     original contents).
 ///
+/// The collector consumes HeapImageViews: canary sweeps stay inside the
+/// run encoding (a clean canary-filled slot is one O(1) pattern-run
+/// check) and live-object contents are only materialized when the slot's
+/// encoding forces it.
+///
 /// Evidence is reported as byte ranges at absolute addresses within one
 /// image, carrying the observed (corrupting) bytes for later similarity
 /// scoring.
@@ -72,9 +77,8 @@ struct CorruptionRegion {
 /// program execution (iterative or replicated mode).
 class EvidenceCollector {
 public:
-  /// \p Images and \p Indexes must be parallel and outlive the collector.
-  EvidenceCollector(const std::vector<HeapImage> &Images,
-                    const std::vector<ImageIndex> &Indexes);
+  /// \p Views must outlive the collector.
+  explicit EvidenceCollector(const std::vector<HeapImageView> &Views);
 
   /// Broken-canary evidence in image \p ImageIndex, optionally skipping
   /// the object ids in \p ExcludeIds (objects already classified as
@@ -99,11 +103,10 @@ public:
   WordClassKind classifyWord(uint64_t ObjectId, uint64_t WordOffset,
                              const std::vector<uint64_t> &Values) const;
 
-  size_t imageCount() const { return Images.size(); }
+  size_t imageCount() const { return Views.size(); }
 
 private:
-  const std::vector<HeapImage> &Images;
-  const std::vector<ImageIndex> &Indexes;
+  const std::vector<HeapImageView> &Views;
 };
 
 /// Merges regions in place: regions of the same image whose address

@@ -8,13 +8,9 @@
 
 using namespace exterminator;
 
-OverflowIsolator::OverflowIsolator(const std::vector<HeapImage> &Images,
-                                   const std::vector<ImageIndex> &Indexes,
+OverflowIsolator::OverflowIsolator(const std::vector<HeapImageView> &Views,
                                    const OverflowIsolatorConfig &Config)
-    : Images(Images), Indexes(Indexes), Config(Config) {
-  assert(Images.size() == Indexes.size() &&
-         "images and indexes must be parallel");
-}
+    : Views(Views), Config(Config) {}
 
 namespace {
 
@@ -33,10 +29,10 @@ struct RelativeRegion {
 std::vector<OverflowCandidate>
 OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
   std::vector<OverflowCandidate> Result;
-  if (Images.size() < 2)
+  if (Views.size() < 2)
     return Result; // Theorem 3: one image leaves H−1 candidates per victim.
 
-  const EvidenceCollector Collector(Images, Indexes);
+  const EvidenceCollector Collector(Views);
   const std::vector<std::vector<CorruptionRegion>> ByImage =
       Collector.collectAllEvidence(ExcludeIds);
 
@@ -46,16 +42,18 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
   // candidates too.
   std::unordered_map<uint64_t, bool> CandidateIds;
   for (uint32_t I = 0; I < ByImage.size(); ++I) {
+    const HeapImage &Image = Views[I].image();
     for (const CorruptionRegion &Region : ByImage[I]) {
-      const ImageMiniheap &Mini =
-          Images[I].Miniheaps[Region.Victim.MiniheapIndex];
+      const ImageMiniheapInfo &Mini =
+          Image.miniheapInfo(Region.Victim.MiniheapIndex);
       const uint32_t Limit = Config.DetectBackwardOverflows
-                                 ? static_cast<uint32_t>(Mini.Slots.size())
+                                 ? static_cast<uint32_t>(Mini.NumSlots)
                                  : Region.Victim.SlotIndex;
       for (uint32_t C = 0; C < Limit; ++C) {
         if (C == Region.Victim.SlotIndex)
           continue;
-        const uint64_t Id = Mini.Slots[C].ObjectId;
+        const uint64_t Id =
+            Image.objectId(ImageLocation{Region.Victim.MiniheapIndex, C});
         if (Id != 0)
           CandidateIds.emplace(Id, true);
       }
@@ -67,10 +65,10 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
 
     // Locate the culprit in every image; candidates whose slot has been
     // recycled in some image cannot be cross-checked.
-    std::vector<ImageLocation> Locations(Images.size());
+    std::vector<ImageLocation> Locations(Views.size());
     bool Present = true;
-    for (size_t I = 0; I < Images.size() && Present; ++I) {
-      std::optional<ImageLocation> Loc = Indexes[I].findById(CulpritId);
+    for (size_t I = 0; I < Views.size() && Present; ++I) {
+      std::optional<ImageLocation> Loc = Views[I].findById(CulpritId);
       if (!Loc)
         Present = false;
       else
@@ -79,8 +77,9 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
     if (!Present)
       continue;
 
-    const ImageSlot &CulpritSlot = Images[0].slot(Locations[0]);
-    const uint32_t RequestedSize = CulpritSlot.RequestedSize;
+    const HeapImage &FirstImage = Views[0].image();
+    const SiteId CulpritSite = FirstImage.allocSite(Locations[0]);
+    const uint32_t RequestedSize = FirstImage.requestedSize(Locations[0]);
 
     // Project every image's corruption regions into culprit-relative
     // offsets; a deterministic overflow produces the same offsets (same
@@ -88,13 +87,12 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
     // random offsets (Theorem 3).
     std::vector<RelativeRegion> Relative;
     for (uint32_t I = 0; I < ByImage.size(); ++I) {
-      const ImageMiniheap &CulpritMini = Images[I].miniheap(Locations[I]);
-      const uint64_t CulpritStart = Images[I].slotAddress(Locations[I]);
-      const uint64_t MiniEnd = CulpritMini.BaseAddress +
-                               CulpritMini.Slots.size() * CulpritMini.ObjectSize;
+      const HeapImage &Image = Views[I].image();
+      const ImageMiniheapInfo &CulpritMini = Image.miniheap(Locations[I]);
+      const uint64_t CulpritStart = Image.slotAddress(Locations[I]);
       for (const CorruptionRegion &Region : ByImage[I]) {
         if (Region.BeginAddress < CulpritMini.BaseAddress ||
-            Region.EndAddress > MiniEnd)
+            Region.EndAddress > CulpritMini.endAddress())
           continue; // Overflows do not cross miniheaps (§5.1 assumption).
         const int64_t Begin = static_cast<int64_t>(Region.BeginAddress) -
                               static_cast<int64_t>(CulpritStart);
@@ -128,7 +126,7 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
     uint64_t EvidenceBytes = 0;
     int64_t MaxEndOffset = 0;
     int64_t MinBeginOffset = 0;
-    std::vector<bool> ImageConfirmed(Images.size(), false);
+    std::vector<bool> ImageConfirmed(Views.size(), false);
     for (const auto &[Offset, Observations] : ByOffset) {
       for (size_t A = 0; A < Observations.size(); ++A) {
         bool Agrees = false;
@@ -160,7 +158,7 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
 
     OverflowCandidate Candidate;
     Candidate.CulpritObjectId = CulpritId;
-    Candidate.CulpritAllocSite = CulpritSlot.AllocSite;
+    Candidate.CulpritAllocSite = CulpritSite;
     Candidate.EvidenceBytes = EvidenceBytes;
     Candidate.Confirmations = Confirmations;
     // Score 1 − (1/256)^S: the odds that S matching bytes arose by

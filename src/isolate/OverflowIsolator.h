@@ -68,9 +68,8 @@ struct OverflowIsolatorConfig {
 /// Searches heap images for buffer overflows.
 class OverflowIsolator {
 public:
-  OverflowIsolator(const std::vector<HeapImage> &Images,
-                   const std::vector<ImageIndex> &Indexes,
-                   const OverflowIsolatorConfig &Config = {});
+  explicit OverflowIsolator(const std::vector<HeapImageView> &Views,
+                            const OverflowIsolatorConfig &Config = {});
 
   /// Returns culprits ranked by score (ties broken toward more evidence
   /// bytes).  \p ExcludeIds lists objects already classified as dangling
@@ -80,8 +79,7 @@ public:
   isolate(const std::vector<uint64_t> &ExcludeIds = {}) const;
 
 private:
-  const std::vector<HeapImage> &Images;
-  const std::vector<ImageIndex> &Indexes;
+  const std::vector<HeapImageView> &Views;
   OverflowIsolatorConfig Config;
 };
 

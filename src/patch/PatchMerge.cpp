@@ -7,6 +7,11 @@
 using namespace exterminator;
 
 PatchSet exterminator::mergePatchSets(const std::vector<PatchSet> &Sets) {
+  // PatchSet's add/merge operations are keyed max-folds, so folding set
+  // by set deduplicates pads per allocation site (and deferrals per
+  // site pair) and is invariant to input order — §6.4's "maximum buffer
+  // pad required for any allocation site", pinned by the merge-order
+  // and duplicate-entry tests.
   PatchSet Merged;
   for (const PatchSet &Set : Sets)
     Merged.merge(Set);
@@ -15,12 +20,13 @@ PatchSet exterminator::mergePatchSets(const std::vector<PatchSet> &Sets) {
 
 bool exterminator::mergePatchFiles(const std::vector<std::string> &Paths,
                                    const std::string &OutputPath) {
-  PatchSet Merged;
+  std::vector<PatchSet> Sets;
+  Sets.reserve(Paths.size());
   for (const std::string &Path : Paths) {
     PatchSet Loaded;
     if (!loadPatchSet(Path, Loaded))
       return false;
-    Merged.merge(Loaded);
+    Sets.push_back(std::move(Loaded));
   }
-  return savePatchSet(Merged, OutputPath);
+  return savePatchSet(mergePatchSets(Sets), OutputPath);
 }

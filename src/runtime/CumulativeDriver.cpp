@@ -2,10 +2,7 @@
 
 #include "runtime/CumulativeDriver.h"
 
-#include "cumulative/SiteEstimator.h"
 #include "support/RandomGenerator.h"
-
-#include <algorithm>
 
 using namespace exterminator;
 
@@ -13,13 +10,16 @@ CumulativeOutcome CumulativeDriver::run(uint64_t InputSeed, unsigned MaxRuns,
                                         unsigned VerifyRuns) {
   CumulativeOutcome Outcome;
   RandomGenerator SeedStream(Config.MasterSeed ^ 0xc0a1e5ceULL);
-  CumulativeIsolator Isolator(Config.Cumulative);
+  // The driver executes runs and counts outcomes; summarization,
+  // classification, and patch folding (including the §6.2 doubling rule)
+  // live in the diagnosis pipeline.
+  DiagnosisPipeline Pipeline({Config.Isolation, Config.Cumulative});
   unsigned CleanStreak = 0;
 
   for (unsigned RunIndex = 0; RunIndex < MaxRuns; ++RunIndex) {
     const uint64_t Input = VaryInput ? InputSeed + RunIndex : InputSeed;
     SingleRunResult Run = runWorkloadOnce(Work, Input, SeedStream.next(),
-                                          Config, Outcome.Patches);
+                                          Config, Pipeline.patches());
     ++Outcome.RunsExecuted;
     if (Run.failed()) {
       ++Outcome.FailuresObserved;
@@ -28,36 +28,21 @@ CumulativeOutcome CumulativeDriver::run(uint64_t InputSeed, unsigned MaxRuns,
       ++CleanStreak;
     }
 
-    const RunSummary Summary = summarizeRun(Run.FinalImage, Run.failed());
+    const RunSummary Summary = Pipeline.summarize(Run.FinalImage,
+                                                  Run.failed());
     if (Summary.CorruptionObserved)
       ++Outcome.CorruptRuns;
-    Isolator.addRun(Summary);
+    const CumulativeDiagnosis Diagnosis =
+        Pipeline.submitSummary(Summary, CleanStreak);
 
-    Outcome.Overflows = Isolator.classifyOverflows();
-    Outcome.Danglings = Isolator.classifyDanglings();
-    if (!Outcome.Overflows.empty() || !Outcome.Danglings.empty()) {
-      if (!Outcome.Isolated) {
-        Outcome.Isolated = true;
-        Outcome.RunsToIsolation = Outcome.RunsExecuted;
-        Outcome.FailuresToIsolation = Outcome.FailuresObserved;
-      }
-      // Fold findings into the live patch set.  A deferral that has
-      // already been applied but keeps failing doubles instead — the
-      // §6.2 logarithmic-convergence rule — because post-patch failures
-      // measure their free-to-failure distance from the already-deferred
-      // free.
-      for (const CumulativeOverflowFinding &Finding : Outcome.Overflows)
-        Outcome.Patches.addPad(Finding.AllocSite, Finding.PadBytes);
-      for (const CumulativeDanglingFinding &Finding : Outcome.Danglings) {
-        const uint64_t Existing = Outcome.Patches.deferralFor(
-            Finding.AllocSite, Finding.FreeSite);
-        uint64_t Target = Finding.DeferralTicks;
-        if (Existing > 0 && CleanStreak == 0)
-          Target = std::max(Target, Existing * 2 + 1);
-        Outcome.Patches.addDeferral(Finding.AllocSite, Finding.FreeSite,
-                                    Target);
-      }
+    Outcome.Overflows = Diagnosis.Overflows;
+    Outcome.Danglings = Diagnosis.Danglings;
+    if (Diagnosis.foundAnything() && !Outcome.Isolated) {
+      Outcome.Isolated = true;
+      Outcome.RunsToIsolation = Outcome.RunsExecuted;
+      Outcome.FailuresToIsolation = Outcome.FailuresObserved;
     }
+    Outcome.Patches = Pipeline.patches();
 
     if (Outcome.Isolated && CleanStreak >= VerifyRuns) {
       Outcome.Corrected = true;

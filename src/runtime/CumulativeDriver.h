@@ -17,6 +17,7 @@
 #ifndef EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H
 #define EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H
 
+#include "diagnose/DiagnosisPipeline.h"
 #include "runtime/Exterminator.h"
 
 namespace exterminator {

@@ -51,7 +51,11 @@ static bool replayAt(Workload &Work, uint64_t InputSeed, uint64_t HeapSeed,
 IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
                                       const PatchSet &InitialPatches) {
   IterativeOutcome Outcome;
-  Outcome.Patches = InitialPatches;
+  // The driver only gathers evidence; isolation, patch derivation, and
+  // patch accumulation live in the diagnosis pipeline.
+  DiagnosisPipeline Pipeline({Config.Isolation, Config.Cumulative});
+  Pipeline.seedPatches(InitialPatches);
+  Outcome.Patches = Pipeline.patches();
   RandomGenerator SeedStream(Config.MasterSeed);
 
   for (unsigned Episode = 0; Episode < Config.MaxEpisodes; ++Episode) {
@@ -65,7 +69,7 @@ IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
          ++Attempt) {
       DiscoverySeed = SeedStream.next();
       Discovery = runWorkloadOnce(Work, InputSeed, DiscoverySeed, Config,
-                                  Outcome.Patches);
+                                  Pipeline.patches());
       if (Discovery.ErrorSignalled || Discovery.failed()) {
         ErrorManifested = true;
         break;
@@ -76,6 +80,7 @@ IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
       // patches correct it.
       Outcome.Corrected = Episode > 0;
       Outcome.ErrorFree = Episode == 0;
+      Outcome.Patches = Pipeline.patches();
       return Outcome;
     }
 
@@ -103,7 +108,7 @@ IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
         --RunBudget;
         ReplaySample Sample;
         if (replayAt(Work, InputSeed, Seeds[Samples.size()], Config,
-                     Outcome.Patches, T, Sample)) {
+                     Pipeline.patches(), T, Sample)) {
           Samples.push_back(std::move(Sample));
           continue;
         }
@@ -122,19 +127,16 @@ IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
         continue;
       }
 
-      // Attempt isolation over breakpoint-time images, falling back to
-      // end-of-run images of failed runs (dangling overwrites may
+      // Submit breakpoint-time images as evidence, with end-of-run
+      // images of failed runs as the fallback (dangling overwrites may
       // postdate the last allocation).
-      std::vector<HeapImage> AtBreakpoint;
-      std::vector<HeapImage> AtEnd;
+      ImageEvidence Evidence;
       for (const ReplaySample &Sample : Samples) {
-        AtBreakpoint.push_back(Sample.AtBreakpoint);
+        Evidence.Primary.push_back(Sample.AtBreakpoint);
         if (Sample.Failed)
-          AtEnd.push_back(Sample.AtEnd);
+          Evidence.Fallback.push_back(Sample.AtEnd);
       }
-      Ep.Result = isolateErrors(AtBreakpoint, Config.Isolation);
-      if (Ep.Result.Patches.empty() && AtEnd.size() >= 2)
-        Ep.Result = isolateErrors(AtEnd, Config.Isolation);
+      Ep.Result = Pipeline.submitImages(Evidence);
       if (!Ep.Result.Patches.empty()) {
         Isolated = true;
         break;
@@ -147,9 +149,11 @@ IterativeOutcome IterativeDriver::run(uint64_t InputSeed,
     Ep.BreakpointTime = T;
     Ep.ImagesUsed = static_cast<unsigned>(Samples.size());
     Outcome.Episodes.push_back(Ep);
+    Outcome.Patches = Pipeline.patches();
     if (!Isolated)
       return Outcome; // Could not isolate (e.g., read-only dangling).
-    Outcome.Patches.merge(Outcome.Episodes.back().Result.Patches);
+    // Patches merged by the pipeline; the next episode runs corrected.
   }
+  Outcome.Patches = Pipeline.patches();
   return Outcome;
 }

@@ -11,17 +11,20 @@
 /// One *episode* isolates one error: run until DieFast signals or the
 /// program fails, dump a heap image, then replay the same input under
 /// fresh heap seeds with a malloc breakpoint at the failure's allocation
-/// time, dumping an independent image per replay.  Isolation is attempted
-/// once MinImages images exist and more replays are added until it
-/// succeeds or MaxImages is reached.  Derived patches feed the correcting
-/// allocator and the episode loop repeats — fixing further errors or
-/// doubling deferrals (§6.2) — until a patched run completes cleanly.
+/// time, dumping an independent image per replay.  The images are
+/// submitted to the DiagnosisPipeline once MinImages exist, and more
+/// replays are added until isolation succeeds or MaxImages is reached.
+/// The pipeline owns isolation and patch accumulation; its patches feed
+/// the correcting allocator and the episode loop repeats — fixing
+/// further errors or doubling deferrals (§6.2) — until a patched run
+/// completes cleanly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_RUNTIME_ITERATIVEDRIVER_H
 #define EXTERMINATOR_RUNTIME_ITERATIVEDRIVER_H
 
+#include "diagnose/DiagnosisPipeline.h"
 #include "runtime/Exterminator.h"
 
 #include <vector>

@@ -9,21 +9,32 @@
 /// randomized DieFast heaps process the same broadcast input; a voter
 /// compares their outputs.  A DieFast signal, a crash, or divergent
 /// output triggers a heap-image dump from every replica at the same
-/// allocation time, error isolation runs over those images, and the
-/// resulting patches are reloaded into the correcting allocators so
-/// subsequent allocations are patched on-the-fly.
+/// allocation time, error isolation runs over those images through the
+/// DiagnosisPipeline, and the resulting patches are reloaded into the
+/// correcting allocators so subsequent allocations are patched
+/// on-the-fly.
 ///
-/// The paper runs replicas as concurrent processes; this harness runs
-/// them sequentially in-process and reproduces the lockstep dump by
-/// replaying each replica to the common failure time — replicas are
-/// deterministic in their input, so the replay is exact (see DESIGN.md,
-/// substitutions).
+/// As in the paper, replicas run *concurrently*: each round maps the N
+/// replicas onto a thread-pool Executor (each replica owns its heap, its
+/// call context, and its fault injector, so they share nothing), and the
+/// fork-join barrier doubles as the lockstep dump barrier — isolation
+/// starts only after every replica has produced its image at the common
+/// allocation time.  Replicas are deterministic in (input, heap seed), so
+/// the dump at the common failure time is reproduced by an exact replay
+/// (see DESIGN.md, substitutions).
+///
+/// The Sequential toggle runs the identical round protocol on the
+/// calling thread alone.  Because results are committed per replica
+/// index either way, a concurrent session is bit-identical to a
+/// sequential one with the same seeds — which is what makes concurrency
+/// testable.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_RUNTIME_REPLICATEDDRIVER_H
 #define EXTERMINATOR_RUNTIME_REPLICATEDDRIVER_H
 
+#include "diagnose/DiagnosisPipeline.h"
 #include "runtime/Exterminator.h"
 #include "runtime/Voter.h"
 
@@ -56,9 +67,12 @@ struct ReplicatedOutcome {
 /// Drives N replicas with voting and on-the-fly patch reload.
 class ReplicatedDriver {
 public:
+  /// \param Sequential run replicas one after another on the calling
+  ///        thread instead of concurrently (determinism baseline).
   ReplicatedDriver(Workload &Work, const ExterminatorConfig &Config,
-                   unsigned NumReplicas = 3)
-      : Work(Work), Config(Config), NumReplicas(NumReplicas) {}
+                   unsigned NumReplicas = 3, bool Sequential = false)
+      : Work(Work), Config(Config), NumReplicas(NumReplicas),
+        Sequential(Sequential) {}
 
   ReplicatedOutcome run(uint64_t InputSeed,
                         const PatchSet &InitialPatches = PatchSet());
@@ -67,6 +81,7 @@ private:
   Workload &Work;
   ExterminatorConfig Config;
   unsigned NumReplicas;
+  bool Sequential;
 };
 
 } // namespace exterminator

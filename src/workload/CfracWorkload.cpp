@@ -16,7 +16,7 @@ constexpr uint32_t FrameFreeLimbs = 0x1103;
 } // namespace
 
 WorkloadResult CfracWorkload::run(AllocatorHandle &Handle,
-                                  uint64_t InputSeed) {
+                                  uint64_t InputSeed) const {
   WorkloadResult Result;
   RandomGenerator Rng(InputSeed ^ 0xcf2acULL);
   CallContext::Scope MainScope(Handle.context(), FrameMain);

@@ -35,7 +35,8 @@ public:
 
   const char *name() const override { return "cfrac"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
 private:
   CfracParams Params;

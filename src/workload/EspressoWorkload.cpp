@@ -68,7 +68,7 @@ constexpr uint32_t FreeFrames[] = {0x3001, 0x3002, 0x3003};
 } // namespace
 
 WorkloadResult EspressoWorkload::run(AllocatorHandle &Handle,
-                                     uint64_t InputSeed) {
+                                     uint64_t InputSeed) const {
   WorkloadResult Result;
   RandomGenerator Rng(InputSeed ^ 0xe59e550ULL);
   CallContext::Scope MainScope(Handle.context(), FrameMain);

@@ -51,7 +51,8 @@ public:
 
   const char *name() const override { return "espresso"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
 private:
   EspressoParams Params;

@@ -30,7 +30,7 @@ SiteId MozillaWorkload::overflowSite() {
 }
 
 WorkloadResult MozillaWorkload::run(AllocatorHandle &Handle,
-                                    uint64_t InputSeed) {
+                                    uint64_t InputSeed) const {
   WorkloadResult Result;
   // Per-run nondeterminism: the input seed differs run to run (threads,
   // mouse movement), so allocation counts and object ids diverge.

@@ -56,7 +56,8 @@ public:
 
   const char *name() const override { return "mozilla"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
   /// The punycode buffer's allocation-site hash (the true culprit).
   static SiteId overflowSite();

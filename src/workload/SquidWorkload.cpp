@@ -29,7 +29,7 @@ SiteId SquidWorkload::overflowSite() {
 }
 
 WorkloadResult SquidWorkload::run(AllocatorHandle &Handle,
-                                  uint64_t InputSeed) {
+                                  uint64_t InputSeed) const {
   WorkloadResult Result;
   RandomGenerator Rng(InputSeed ^ 0x5041dULL);
   CallContext::Scope MainScope(Handle.context(), FrameMain);

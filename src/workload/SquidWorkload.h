@@ -47,7 +47,8 @@ public:
 
   const char *name() const override { return "squid"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
   /// The buggy buffer's allocation-site hash, for checking that
   /// isolation fingered the right site (computed from the frame tokens

@@ -16,7 +16,7 @@ constexpr uint32_t FrameFree = 0x1202;
 } // namespace
 
 WorkloadResult SyntheticWorkload::run(AllocatorHandle &Handle,
-                                      uint64_t InputSeed) {
+                                      uint64_t InputSeed) const {
   WorkloadResult Result;
   RandomGenerator Rng(InputSeed ^ 0x5f37e71cULL);
   CallContext::Scope MainScope(Handle.context(), FrameMain);

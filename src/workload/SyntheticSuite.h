@@ -53,7 +53,8 @@ public:
 
   const char *name() const override { return Profile.Name; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
   const SyntheticProfile &profile() const { return Profile; }
 

@@ -7,7 +7,7 @@
 using namespace exterminator;
 
 WorkloadResult TraceWorkload::run(AllocatorHandle &Handle,
-                                  uint64_t /*InputSeed*/) {
+                                  uint64_t /*InputSeed*/) const {
   WorkloadResult Result;
   std::map<uint32_t, uint8_t *> Slots;
 

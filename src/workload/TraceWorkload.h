@@ -99,7 +99,8 @@ public:
 
   const char *name() const override { return "trace"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override;
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override;
 
 private:
   std::vector<TraceOp> Ops;

@@ -105,7 +105,13 @@ public:
   /// Executes the program against \p Handle.  Must be deterministic in
   /// \p InputSeed: heap randomization may change *addresses* but never
   /// the logical allocation/free/output sequence of a successful run.
-  virtual WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) = 0;
+  ///
+  /// const because replicated mode (§3.4, Figure 5) calls run()
+  /// concurrently from several replicas over one Workload object: all
+  /// per-run state must live in locals (or be internally synchronized),
+  /// never in members.
+  virtual WorkloadResult run(AllocatorHandle &Handle,
+                             uint64_t InputSeed) const = 0;
 };
 
 } // namespace exterminator

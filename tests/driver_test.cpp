@@ -201,3 +201,41 @@ TEST(CumulativeDriver, CleanWorkloadNeverIsolates) {
   EXPECT_FALSE(Outcome.Isolated);
   EXPECT_EQ(Outcome.FailuresObserved, 0u);
 }
+
+TEST(ReplicatedDriver, ConcurrentMatchesSequentialBitForBit) {
+  // The lockstep-dump barrier makes concurrency invisible: the same
+  // seeds must produce the identical outcome whether the replicas run
+  // on the executor or one after another (--sequential).
+  for (const bool WithFault : {false, true}) {
+    ExterminatorConfig Config =
+        WithFault ? overflowConfig(400, 20, 0xdeed) : baseConfig(0xfeed);
+    EspressoWorkload WorkA, WorkB;
+    ReplicatedDriver Concurrent(WorkA, Config, /*NumReplicas=*/3,
+                                /*Sequential=*/false);
+    ReplicatedDriver Sequential(WorkB, Config, /*NumReplicas=*/3,
+                                /*Sequential=*/true);
+    const ReplicatedOutcome A = Concurrent.run(5);
+    const ReplicatedOutcome B = Sequential.run(5);
+
+    EXPECT_EQ(A.Corrected, B.Corrected);
+    EXPECT_EQ(A.ErrorFree, B.ErrorFree);
+    EXPECT_EQ(A.Output, B.Output);
+    EXPECT_TRUE(A.Patches == B.Patches);
+    ASSERT_EQ(A.Rounds.size(), B.Rounds.size());
+    for (size_t R = 0; R < A.Rounds.size(); ++R) {
+      EXPECT_EQ(A.Rounds[R].ErrorDetected, B.Rounds[R].ErrorDetected);
+      EXPECT_EQ(A.Rounds[R].DumpTime, B.Rounds[R].DumpTime);
+      EXPECT_EQ(A.Rounds[R].Vote.Unanimous, B.Rounds[R].Vote.Unanimous);
+      EXPECT_EQ(A.Rounds[R].Vote.Output, B.Rounds[R].Vote.Output);
+      EXPECT_TRUE(A.Rounds[R].Result.Patches == B.Rounds[R].Result.Patches);
+    }
+  }
+}
+
+TEST(ReplicatedDriver, SquidSequentialToggleStillCorrects) {
+  SquidWorkload Work;
+  ReplicatedDriver Driver(Work, baseConfig(0x1e91), 3, /*Sequential=*/true);
+  const ReplicatedOutcome Outcome = Driver.run(1);
+  EXPECT_TRUE(Outcome.Corrected);
+  EXPECT_EQ(Outcome.Patches.padFor(SquidWorkload::overflowSite()), 6u);
+}

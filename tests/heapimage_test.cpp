@@ -1,8 +1,21 @@
 //===- tests/heapimage_test.cpp - Heap image tests ----------------------------===//
+//
+// Covers the columnar format-v2 heap image: capture, run-encoded
+// contents, the HeapImageView lookups, v2 round-trips, v1 compatibility
+// (load + equivalence with v2), malformed-input rejection, and the
+// image-size reduction the columnar layout exists for.
+//
+//===----------------------------------------------------------------------===//
 
 #include "heapimage/HeapImageIO.h"
 
+#include "support/Serializer.h"
+
 #include "diefast/DieFastHeap.h"
+#include "runtime/Exterminator.h"
+#include "workload/EspressoWorkload.h"
+#include "workload/SquidWorkload.h"
+#include "workload/TraceWorkload.h"
 
 #include <gtest/gtest.h>
 
@@ -39,7 +52,28 @@ struct Fixture {
   }
 };
 
+/// A bigger randomized image: scripted churn with varied writes.
+HeapImage randomizedImage(uint64_t HeapSeed) {
+  std::vector<TraceOp> Ops;
+  for (uint32_t I = 0; I < 40; ++I) {
+    Ops.push_back(TraceOp::alloc(I, 16 + (I % 5) * 24, 0x100 + I % 7));
+    Ops.push_back(
+        TraceOp::write(I, 0, 8 + (I % 3) * 8, static_cast<uint8_t>(I)));
+  }
+  for (uint32_t I = 0; I < 40; I += 3)
+    Ops.push_back(TraceOp::free(I, 0x300));
+  for (uint32_t I = 100; I < 130; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, 0x200));
+  TraceWorkload Work(Ops);
+  ExterminatorConfig Config;
+  return runWorkloadOnce(Work, 1, HeapSeed, Config, PatchSet()).FinalImage;
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Capture
+//===----------------------------------------------------------------------===//
 
 TEST(HeapImage, CaptureRecordsClockAndCanary) {
   Fixture F;
@@ -48,35 +82,36 @@ TEST(HeapImage, CaptureRecordsClockAndCanary) {
   EXPECT_EQ(Image.CanaryValue, F.Heap.canary().value());
   EXPECT_DOUBLE_EQ(Image.CanaryFillProbability, 1.0);
   EXPECT_DOUBLE_EQ(Image.Multiplier, 2.0);
+  EXPECT_EQ(Image.SourceFormatVersion, HeapImageFormatV2);
 }
 
 TEST(HeapImage, CaptureReflectsSlotStates) {
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
-  const ImageIndex Index(Image);
+  const HeapImageView View(Image);
 
-  auto LiveLoc = Index.findById(F.LiveId);
+  auto LiveLoc = View.findById(F.LiveId);
   ASSERT_TRUE(LiveLoc.has_value());
-  EXPECT_TRUE(Image.slot(*LiveLoc).Allocated);
-  EXPECT_FALSE(Image.slot(*LiveLoc).Canaried);
-  EXPECT_EQ(Image.slot(*LiveLoc).RequestedSize, 48u);
-  EXPECT_EQ(Image.slot(*LiveLoc).Contents[0], 0x11);
+  EXPECT_TRUE(Image.isAllocated(*LiveLoc));
+  EXPECT_FALSE(Image.isCanaried(*LiveLoc));
+  EXPECT_EQ(Image.requestedSize(*LiveLoc), 48u);
+  EXPECT_EQ(Image.contents(*LiveLoc)[0], 0x11);
 
-  auto FreedLoc = Index.findById(F.FreedId);
+  auto FreedLoc = View.findById(F.FreedId);
   ASSERT_TRUE(FreedLoc.has_value());
-  EXPECT_FALSE(Image.slot(*FreedLoc).Allocated);
-  EXPECT_TRUE(Image.slot(*FreedLoc).Canaried);
-  EXPECT_EQ(Image.slot(*FreedLoc).FreeTime, 3u);
+  EXPECT_FALSE(Image.isAllocated(*FreedLoc));
+  EXPECT_TRUE(Image.isCanaried(*FreedLoc));
+  EXPECT_EQ(Image.freeTime(*FreedLoc), 3u);
 }
 
 TEST(HeapImage, CapturedContentsMatchMemory) {
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
-  const ImageIndex Index(Image);
-  auto Loc = Index.findById(F.LiveId);
-  const ImageSlot &Slot = Image.slot(*Loc);
-  EXPECT_EQ(std::memcmp(Slot.Contents.data(), F.Live, Slot.Contents.size()),
-            0);
+  const HeapImageView View(Image);
+  auto Loc = View.findById(F.LiveId);
+  ASSERT_TRUE(Loc.has_value());
+  const std::vector<uint8_t> Bytes = Image.contents(*Loc).decode();
+  EXPECT_EQ(std::memcmp(Bytes.data(), F.Live, Bytes.size()), 0);
 }
 
 TEST(HeapImage, ObjectAndSlotCounts) {
@@ -86,75 +121,282 @@ TEST(HeapImage, ObjectAndSlotCounts) {
   EXPECT_GT(Image.totalSlots(), 3u);  // over-provisioned heap
 }
 
-TEST(ImageIndex, LocateAddressMapsInteriorBytes) {
+TEST(HeapImage, ObjectIdDoublesAsAllocTime) {
+  // The collapsed ObjectId/AllocTime pair: ids are drawn from the
+  // allocation clock.
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
-  const ImageIndex Index(Image);
-  const uint64_t Addr = reinterpret_cast<uint64_t>(F.Live) + 17;
-  auto Located = Index.locateAddress(Addr);
+  const HeapImageView View(Image);
+  auto Loc = View.findById(F.LiveId);
+  ASSERT_TRUE(Loc.has_value());
+  EXPECT_EQ(Image.allocTime(*Loc), Image.objectId(*Loc));
+  EXPECT_EQ(Image.allocTime(*Loc), F.LiveId);
+}
+
+//===----------------------------------------------------------------------===//
+// Run encoding
+//===----------------------------------------------------------------------===//
+
+TEST(HeapImage, VirginSlotsEncodeAsSinglePatternRun) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  bool SawVirgin = false;
+  for (uint32_t M = 0; M < Image.miniheapCount() && !SawVirgin; ++M)
+    for (uint32_t S = 0; S < Image.miniheapInfo(M).NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      if (Image.objectId(Loc) != 0 || Image.slotFlags(Loc) != 0)
+        continue;
+      SawVirgin = true;
+      const SlotContents Contents = Image.contents(Loc);
+      ASSERT_EQ(Contents.runCount(), 1u);
+      EXPECT_EQ(Contents.run(0).RunKind, ContentsRun::Pattern);
+      EXPECT_EQ(Contents.run(0).Word, 0u);
+      break;
+    }
+  EXPECT_TRUE(SawVirgin);
+}
+
+TEST(HeapImage, CanariedSlotsEncodeAsPatternRun) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const HeapImageView View(Image);
+  auto Loc = View.findById(F.FreedId);
+  ASSERT_TRUE(Loc.has_value());
+  const SlotContents Contents = Image.contents(*Loc);
+  // A freshly canary-filled 64-byte slot is one repeated-word run, and
+  // the canary scan over it reports an intact pattern.
+  ASSERT_EQ(Contents.runCount(), 1u);
+  EXPECT_EQ(Contents.run(0).RunKind, ContentsRun::Pattern);
+  EXPECT_FALSE(
+      Contents.findCorruption(Canary::fromValue(Image.CanaryValue)));
+}
+
+TEST(HeapImage, RunDecodeMatchesLiveMemory) {
+  // Every slot's decoded contents must equal the slab bytes, whatever
+  // mix of literal and pattern runs the encoder chose.
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  size_t Checked = 0;
+  uint32_t ImageM = 0;
+  F.Heap.heap().forEachMiniheap([&](unsigned, unsigned,
+                                    const Miniheap &Mini) {
+    for (uint32_t S = 0; S < Mini.numSlots(); ++S) {
+      const std::vector<uint8_t> Decoded =
+          Image.contents(ImageLocation{ImageM, S}).decode();
+      ASSERT_EQ(Decoded.size(), Mini.objectSize());
+      EXPECT_EQ(std::memcmp(Decoded.data(), Mini.slotPointer(S),
+                            Decoded.size()),
+                0);
+      ++Checked;
+    }
+    ++ImageM;
+  });
+  EXPECT_EQ(Checked, Image.totalSlots());
+}
+
+TEST(HeapImage, CorruptedCanaryFoundThroughRuns) {
+  DieFastHeap Heap(testConfig(17));
+  uint8_t *Ptr = static_cast<uint8_t *>(Heap.allocate(64));
+  Heap.deallocate(Ptr); // canary fill
+  Ptr[10] = 0x5a;       // corrupt one byte mid-slot
+  Ptr[11] = 0x5b;
+  const HeapImage Image = captureHeapImage(Heap);
+  const HeapImageView View(Image);
+  auto Located = View.locateAddress(reinterpret_cast<uint64_t>(Ptr));
   ASSERT_TRUE(Located.has_value());
-  EXPECT_EQ(Image.slot(Located->first).ObjectId, F.LiveId);
+  const std::optional<CorruptionExtent> Extent =
+      Image.contents(Located->first)
+          .findCorruption(Canary::fromValue(Image.CanaryValue));
+  ASSERT_TRUE(Extent.has_value());
+  EXPECT_LE(Extent->Begin, 10u);
+  EXPECT_GE(Extent->End, 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// View lookups
+//===----------------------------------------------------------------------===//
+
+TEST(HeapImageView, LocateAddressMapsInteriorBytes) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const HeapImageView View(Image);
+  const uint64_t Addr = reinterpret_cast<uint64_t>(F.Live) + 17;
+  auto Located = View.locateAddress(Addr);
+  ASSERT_TRUE(Located.has_value());
+  EXPECT_EQ(Image.objectId(Located->first), F.LiveId);
   EXPECT_EQ(Located->second, 17u);
 }
 
-TEST(ImageIndex, LocateAddressRejectsOutsideHeap) {
+TEST(HeapImageView, LocateAddressRejectsOutsideHeap) {
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
-  const ImageIndex Index(Image);
-  EXPECT_FALSE(Index.locateAddress(0x10).has_value());
-  EXPECT_FALSE(Index.locateAddress(~uint64_t(0) - 64).has_value());
+  const HeapImageView View(Image);
+  EXPECT_FALSE(View.locateAddress(0x10).has_value());
+  EXPECT_FALSE(View.locateAddress(~uint64_t(0) - 64).has_value());
 }
 
-TEST(ImageIndex, FindByIdMissesUnknownIds) {
+TEST(HeapImageView, FindByIdMissesUnknownIds) {
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
-  const ImageIndex Index(Image);
-  EXPECT_FALSE(Index.findById(999).has_value());
-  EXPECT_FALSE(Index.findById(0).has_value());
+  const HeapImageView View(Image);
+  EXPECT_FALSE(View.findById(999).has_value());
+  EXPECT_FALSE(View.findById(0).has_value());
 }
 
-TEST(HeapImageIO, SerializeDeserializeRoundTrip) {
+//===----------------------------------------------------------------------===//
+// v2 round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(HeapImageIO, V2SerializeDeserializeRoundTrip) {
   Fixture F;
   const HeapImage Image = captureHeapImage(F.Heap);
   const std::vector<uint8_t> Bytes = serializeHeapImage(Image);
   HeapImage Back;
   ASSERT_TRUE(deserializeHeapImage(Bytes, Back));
+  EXPECT_EQ(Back.SourceFormatVersion, HeapImageFormatV2);
+  EXPECT_TRUE(Back == Image);
+}
 
-  EXPECT_EQ(Back.AllocationTime, Image.AllocationTime);
-  EXPECT_EQ(Back.CanaryValue, Image.CanaryValue);
-  ASSERT_EQ(Back.Miniheaps.size(), Image.Miniheaps.size());
-  for (size_t M = 0; M < Image.Miniheaps.size(); ++M) {
-    const ImageMiniheap &A = Image.Miniheaps[M];
-    const ImageMiniheap &B = Back.Miniheaps[M];
-    EXPECT_EQ(A.SizeClassIndex, B.SizeClassIndex);
-    EXPECT_EQ(A.ObjectSize, B.ObjectSize);
-    EXPECT_EQ(A.BaseAddress, B.BaseAddress);
-    EXPECT_EQ(A.CreationTime, B.CreationTime);
-    ASSERT_EQ(A.Slots.size(), B.Slots.size());
-    for (size_t S = 0; S < A.Slots.size(); ++S) {
-      EXPECT_EQ(A.Slots[S].Allocated, B.Slots[S].Allocated);
-      EXPECT_EQ(A.Slots[S].Canaried, B.Slots[S].Canaried);
-      EXPECT_EQ(A.Slots[S].ObjectId, B.Slots[S].ObjectId);
-      EXPECT_EQ(A.Slots[S].AllocSite, B.Slots[S].AllocSite);
-      EXPECT_EQ(A.Slots[S].FreeSite, B.Slots[S].FreeSite);
-      EXPECT_EQ(A.Slots[S].Contents, B.Slots[S].Contents);
-    }
+TEST(HeapImageIO, V2RoundTripOnRandomizedImages) {
+  for (uint64_t Seed : {7u, 1234u, 99999u}) {
+    const HeapImage Image = randomizedImage(Seed);
+    HeapImage Back;
+    ASSERT_TRUE(deserializeHeapImage(serializeHeapImage(Image), Back))
+        << "seed " << Seed;
+    EXPECT_TRUE(Back == Image) << "seed " << Seed;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// v1 compatibility
+//===----------------------------------------------------------------------===//
+
+TEST(HeapImageIO, V1ImagesStillLoad) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const std::vector<uint8_t> V1Bytes = serializeHeapImageV1(Image);
+  HeapImage Back;
+  ASSERT_TRUE(deserializeHeapImage(V1Bytes, Back));
+  EXPECT_EQ(Back.SourceFormatVersion, HeapImageFormatV1);
+  EXPECT_TRUE(Back == Image);
+}
+
+TEST(HeapImageIO, V1V2EquivalenceOnRandomizedImages) {
+  // The acceptance pin: an image round-tripped through v1 and through v2
+  // deserializes to the identical in-memory image, so every downstream
+  // consumer (isolation, estimation) sees identical inputs.
+  for (uint64_t Seed : {3u, 4242u, 777777u}) {
+    const HeapImage Image = randomizedImage(Seed);
+    HeapImage FromV1, FromV2;
+    ASSERT_TRUE(deserializeHeapImage(serializeHeapImageV1(Image), FromV1));
+    ASSERT_TRUE(deserializeHeapImage(serializeHeapImage(Image), FromV2));
+    EXPECT_TRUE(FromV1 == FromV2) << "seed " << Seed;
+    EXPECT_TRUE(FromV1 == Image) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed input rejection
+//===----------------------------------------------------------------------===//
 
 TEST(HeapImageIO, RejectsGarbageBuffer) {
   HeapImage Image;
   EXPECT_FALSE(deserializeHeapImage({1, 2, 3, 4, 5, 6, 7, 8}, Image));
-  EXPECT_FALSE(deserializeHeapImage({}, Image));
+  EXPECT_FALSE(deserializeHeapImage(std::vector<uint8_t>{}, Image));
 }
 
-TEST(HeapImageIO, RejectsTruncatedBuffer) {
+TEST(HeapImageIO, RejectsCorruptVersionField) {
   Fixture F;
   std::vector<uint8_t> Bytes = serializeHeapImage(captureHeapImage(F.Heap));
-  Bytes.resize(Bytes.size() / 2);
+  Bytes[4] = 0x77; // version field of the v2 header
   HeapImage Image;
   EXPECT_FALSE(deserializeHeapImage(Bytes, Image));
 }
+
+TEST(HeapImageIO, RejectsTruncatedBuffers) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  for (const std::vector<uint8_t> &Full :
+       {serializeHeapImage(Image), serializeHeapImageV1(Image)}) {
+    // Every prefix must be rejected, not just the half-way cut.
+    for (size_t Cut = 0; Cut < Full.size();
+         Cut += 1 + Full.size() / 97) {
+      std::vector<uint8_t> Truncated(Full.begin(), Full.begin() + Cut);
+      HeapImage Out;
+      EXPECT_FALSE(deserializeHeapImage(Truncated, Out))
+          << "prefix of " << Cut << " of " << Full.size();
+    }
+  }
+}
+
+namespace {
+
+/// Hand-forges a v2 image header for one miniheap of \p NumSlots
+/// 64-byte slots, ready for malicious slot records.
+ByteWriter forgeV2Header(uint64_t NumSlots) {
+  ByteWriter Writer;
+  Writer.writeU32(0x58484932); // "XHI2" magic
+  Writer.writeU32(2);          // version
+  Writer.writeU64(10);         // allocation time
+  Writer.writeU32(0x12345679); // canary
+  Writer.writeF64(1.0);
+  Writer.writeF64(2.0);
+  Writer.writeU64(1);     // heap seed
+  Writer.writeVarU64(1);  // site table: just the null site
+  Writer.writeU32(0);
+  Writer.writeVarU64(1);  // one miniheap
+  Writer.writeVarU64(3);  // size class
+  Writer.writeVarU64(64); // object size
+  Writer.writeU64(0x1000);
+  Writer.writeVarU64(0); // creation time
+  Writer.writeVarU64(NumSlots);
+  return Writer;
+}
+
+} // namespace
+
+TEST(HeapImageIO, RejectsWrappingRunLength) {
+  // A run length of 2^64-1 after 8 valid bytes would wrap the naive
+  // Total + Length bound and size a buffer from the bogus value; the
+  // loader must reject it, not crash.
+  ByteWriter Writer = forgeV2Header(1);
+  Writer.writeU8(0);      // slot tag: no flags, no metadata
+  Writer.writeVarU64(2);  // two runs
+  Writer.writeU8(0);      // literal
+  Writer.writeVarU64(8);
+  for (int I = 0; I < 8; ++I)
+    Writer.writeU8(0x11);
+  Writer.writeU8(0);                // literal again
+  Writer.writeVarU64(~uint64_t(0)); // wrapping length
+  HeapImage Out;
+  EXPECT_FALSE(deserializeHeapImage(Writer.buffer(), Out));
+}
+
+TEST(HeapImageIO, RejectsWrappingVirginRunCount) {
+  // Likewise a virgin-region count of 2^64-1 after one real slot must
+  // not wrap past the slot-count bound into an unbounded append loop.
+  ByteWriter Writer = forgeV2Header(4);
+  Writer.writeU8(0xff); // virgin run
+  Writer.writeVarU64(1);
+  Writer.writeU64(0);
+  Writer.writeU8(0xff);             // second virgin run
+  Writer.writeVarU64(~uint64_t(0)); // wrapping count
+  Writer.writeU64(0);
+  HeapImage Out;
+  EXPECT_FALSE(deserializeHeapImage(Writer.buffer(), Out));
+}
+
+TEST(HeapImageIO, RejectsTrailingGarbage) {
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeHeapImage(captureHeapImage(F.Heap));
+  Bytes.push_back(0xab);
+  HeapImage Image;
+  EXPECT_FALSE(deserializeHeapImage(Bytes, Image));
+}
+
+//===----------------------------------------------------------------------===//
+// Files (streaming path)
+//===----------------------------------------------------------------------===//
 
 TEST(HeapImageIO, FileRoundTrip) {
   Fixture F;
@@ -163,14 +405,56 @@ TEST(HeapImageIO, FileRoundTrip) {
   ASSERT_TRUE(saveHeapImage(Image, Path));
   HeapImage Back;
   ASSERT_TRUE(loadHeapImage(Path, Back));
-  EXPECT_EQ(Back.AllocationTime, Image.AllocationTime);
-  EXPECT_EQ(Back.objectCount(), Image.objectCount());
+  EXPECT_TRUE(Back == Image);
+}
+
+TEST(HeapImageIO, LoadsV1File) {
+  Fixture F;
+  const HeapImage Image = captureHeapImage(F.Heap);
+  const std::string Path = ::testing::TempDir() + "/image_test_v1.xhi";
+  ASSERT_TRUE(writeFileBytes(Path, serializeHeapImageV1(Image)));
+  HeapImage Back;
+  ASSERT_TRUE(loadHeapImage(Path, Back));
+  EXPECT_EQ(Back.SourceFormatVersion, HeapImageFormatV1);
+  EXPECT_TRUE(Back == Image);
 }
 
 TEST(HeapImageIO, LoadMissingFileFails) {
   HeapImage Image;
   EXPECT_FALSE(loadHeapImage("/nonexistent/image.xhi", Image));
 }
+
+//===----------------------------------------------------------------------===//
+// Size reduction (the point of format v2)
+//===----------------------------------------------------------------------===//
+
+TEST(HeapImageIO, V2IsFiveTimesSmallerOnExampleWorkloads) {
+  struct Case {
+    const char *Name;
+    HeapImage Image;
+  };
+  EspressoWorkload Espresso;
+  SquidWorkload Squid;
+  ExterminatorConfig Config;
+  std::vector<Case> Cases;
+  Cases.push_back(
+      {"espresso",
+       runWorkloadOnce(Espresso, 5, 11, Config, PatchSet()).FinalImage});
+  Cases.push_back(
+      {"squid",
+       runWorkloadOnce(Squid, 1, 13, Config, PatchSet()).FinalImage});
+
+  for (const Case &C : Cases) {
+    const size_t V1 = serializeHeapImageV1(C.Image).size();
+    const size_t V2 = serializeHeapImage(C.Image).size();
+    EXPECT_GE(static_cast<double>(V1) / static_cast<double>(V2), 5.0)
+        << C.Name << ": v1 " << V1 << " bytes, v2 " << V2 << " bytes";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine
+//===----------------------------------------------------------------------===//
 
 TEST(HeapImage, QuarantinedSlotSurvivesCapture) {
   DieFastHeap Heap(testConfig(31));
@@ -189,13 +473,15 @@ TEST(HeapImage, QuarantinedSlotSurvivesCapture) {
 
   const HeapImage Image = captureHeapImage(Heap);
   bool FoundBad = false;
-  for (const ImageMiniheap &Mini : Image.Miniheaps)
-    for (const ImageSlot &Slot : Mini.Slots)
-      if (Slot.Bad) {
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M)
+    for (uint32_t S = 0; S < Image.miniheapInfo(M).NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      if (Image.isBad(Loc)) {
         FoundBad = true;
-        EXPECT_TRUE(Slot.Allocated);
-        EXPECT_TRUE(Slot.Canaried);
-        EXPECT_EQ(Slot.Contents[3], 0x99);
+        EXPECT_TRUE(Image.isAllocated(Loc));
+        EXPECT_TRUE(Image.isCanaried(Loc));
+        EXPECT_EQ(Image.contents(Loc)[3], 0x99);
       }
+    }
   EXPECT_TRUE(FoundBad);
 }

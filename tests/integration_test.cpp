@@ -26,7 +26,8 @@ class PointerGraphWorkload : public Workload {
 public:
   const char *name() const override { return "pointer-graph"; }
 
-  WorkloadResult run(AllocatorHandle &Handle, uint64_t InputSeed) override {
+  WorkloadResult run(AllocatorHandle &Handle,
+                     uint64_t InputSeed) const override {
     WorkloadResult Result;
     (void)InputSeed;
     std::vector<uint8_t *> Nodes;
@@ -76,19 +77,18 @@ TEST(Integration, ClassifyWordSeesStoredPointersAsLogical) {
   for (uint64_t Seed : {11, 22, 33})
     Images.push_back(
         runWorkloadOnce(Work, 1, Seed, Config, PatchSet()).FinalImage);
-  std::vector<ImageIndex> Indexes;
-  for (const HeapImage &Image : Images)
-    Indexes.emplace_back(Image);
-  const EvidenceCollector Collector(Images, Indexes);
+  const std::vector<HeapImageView> Views = makeViews(Images);
+  const EvidenceCollector Collector(Views);
 
   // Node with object id 2 points at node id 1: gather its pointer word
   // from each image and classify.
   std::vector<uint64_t> Values;
   for (size_t I = 0; I < Images.size(); ++I) {
-    auto Loc = Indexes[I].findById(2);
+    auto Loc = Views[I].findById(2);
     ASSERT_TRUE(Loc.has_value());
+    const std::vector<uint8_t> Bytes = Images[I].contents(*Loc).decode();
     uint64_t Word;
-    std::memcpy(&Word, Images[I].slot(*Loc).Contents.data(), 8);
+    std::memcpy(&Word, Bytes.data(), 8);
     Values.push_back(Word);
   }
   EXPECT_EQ(Collector.classifyWord(2, 0, Values),

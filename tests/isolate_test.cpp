@@ -241,10 +241,8 @@ TEST(ErrorIsolation, OverflowAndDanglingInOneRun) {
 TEST(ErrorIsolation, EvidenceCollectorClassifiesWords) {
   // Unit-level checks of the §4.1 masking rules.
   const auto Images = imagesFromTrace(overflowTrace(6), 3);
-  std::vector<ImageIndex> Indexes;
-  for (const HeapImage &Image : Images)
-    Indexes.emplace_back(Image);
-  const EvidenceCollector Collector(Images, Indexes);
+  const std::vector<HeapImageView> Views = makeViews(Images);
+  const EvidenceCollector Collector(Views);
 
   EXPECT_EQ(Collector.classifyWord(1, 0, {5, 5, 5}), WordClassKind::Equal);
   // All pairwise distinct: legitimately different (pids etc.).

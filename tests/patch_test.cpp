@@ -3,6 +3,7 @@
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
 #include "patch/RuntimePatch.h"
+#include "support/Serializer.h"
 
 #include <gtest/gtest.h>
 
@@ -172,4 +173,52 @@ TEST(PatchMerge, MergePatchFilesEndToEnd) {
 TEST(PatchMerge, MissingInputFileFails) {
   EXPECT_FALSE(mergePatchFiles({"/nonexistent/patches.xpt"},
                                ::testing::TempDir() + "/out.xpt"));
+}
+
+TEST(PatchMerge, MergeIsOrderIndependent) {
+  // Max-merge must be commutative: last-writer-wins on merge order would
+  // under-pad whichever site the larger observation merged first.
+  PatchSet Big, Small, Other;
+  Big.addPad(100, 36);
+  Big.addFrontPad(100, 16);
+  Big.addDeferral(7, 8, 900);
+  Small.addPad(100, 6);
+  Small.addFrontPad(100, 4);
+  Small.addDeferral(7, 8, 50);
+  Other.addPad(200, 9);
+
+  const PatchSet AB = mergePatchSets({Big, Small, Other});
+  const PatchSet BA = mergePatchSets({Other, Small, Big});
+  EXPECT_TRUE(AB == BA);
+  EXPECT_EQ(AB.padFor(100), 36u);
+  EXPECT_EQ(AB.frontPadFor(100), 16u);
+  EXPECT_EQ(AB.deferralFor(7, 8), 900u);
+  EXPECT_EQ(AB.padFor(200), 9u);
+}
+
+TEST(PatchMerge, DuplicatePadEntriesInOneFileTakeMax) {
+  // A patch file with duplicate pad records for one allocation site
+  // (e.g. produced by concatenating reports) must load as the max, not
+  // whichever record happens to come last.
+  ByteWriter Writer;
+  Writer.writeU32(0x58505432); // "XPT2"
+  Writer.writeU64(2);          // two pad records, same site
+  Writer.writeU32(123);
+  Writer.writeU32(40);
+  Writer.writeU32(123);
+  Writer.writeU32(8); // smaller, later: must not win
+  Writer.writeU64(0); // front pads
+  Writer.writeU64(0); // deferrals
+  PatchSet Loaded;
+  ASSERT_TRUE(deserializePatchSet(Writer.buffer(), Loaded));
+  EXPECT_EQ(Loaded.padCount(), 1u);
+  EXPECT_EQ(Loaded.padFor(123), 40u);
+}
+
+TEST(PatchMerge, DuplicateSetsAreIdempotent) {
+  PatchSet User;
+  User.addPad(100, 6);
+  User.addDeferral(1, 2, 64);
+  const PatchSet Merged = mergePatchSets({User, User, User});
+  EXPECT_TRUE(Merged == User);
 }

@@ -100,15 +100,18 @@ TEST(RunHarness, SameSeedReplaysIdentically) {
   ExterminatorConfig Config;
   const SingleRunResult A = runWorkloadOnce(Work, 1, 99, Config, PatchSet());
   const SingleRunResult B = runWorkloadOnce(Work, 1, 99, Config, PatchSet());
-  ASSERT_EQ(A.FinalImage.Miniheaps.size(), B.FinalImage.Miniheaps.size());
+  ASSERT_EQ(A.FinalImage.miniheapCount(), B.FinalImage.miniheapCount());
   EXPECT_EQ(A.FinalImage.CanaryValue, B.FinalImage.CanaryValue);
-  for (size_t M = 0; M < A.FinalImage.Miniheaps.size(); ++M)
-    for (size_t S = 0; S < A.FinalImage.Miniheaps[M].Slots.size(); ++S) {
-      const ImageSlot &Sa = A.FinalImage.Miniheaps[M].Slots[S];
-      const ImageSlot &Sb = B.FinalImage.Miniheaps[M].Slots[S];
-      ASSERT_EQ(Sa.ObjectId, Sb.ObjectId);
-      ASSERT_EQ(Sa.Contents, Sb.Contents);
+  for (uint32_t M = 0; M < A.FinalImage.miniheapCount(); ++M) {
+    ASSERT_EQ(A.FinalImage.miniheapInfo(M).NumSlots,
+              B.FinalImage.miniheapInfo(M).NumSlots);
+    for (uint32_t S = 0; S < A.FinalImage.miniheapInfo(M).NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      ASSERT_EQ(A.FinalImage.objectId(Loc), B.FinalImage.objectId(Loc));
+      ASSERT_EQ(A.FinalImage.contents(Loc).decode(),
+                B.FinalImage.contents(Loc).decode());
     }
+  }
 }
 
 TEST(RunHarness, InjectedFaultReportsFired) {

@@ -3,6 +3,7 @@
 #include "support/Bitmap.h"
 #include "support/PageTable.h"
 #include "support/RandomGenerator.h"
+#include "support/Executor.h"
 #include "support/Serializer.h"
 #include "support/SiteHash.h"
 #include "support/Statistics.h"
@@ -508,4 +509,171 @@ TEST(Statistics, RunningStatSingleValue) {
   Stat.add(3.0);
   EXPECT_DOUBLE_EQ(Stat.mean(), 3.0);
   EXPECT_DOUBLE_EQ(Stat.variance(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer: varints and streaming
+//===----------------------------------------------------------------------===//
+
+TEST(Serializer, VarintRoundTripsBoundaryValues) {
+  ByteWriter Writer;
+  const uint64_t Values[] = {0,       1,          127,        128,
+                             16383,   16384,      0xffffffff, uint64_t(1) << 35,
+                             ~uint64_t(0)};
+  for (uint64_t V : Values)
+    Writer.writeVarU64(V);
+  ByteReader Reader(Writer.buffer());
+  for (uint64_t V : Values)
+    EXPECT_EQ(Reader.readVarU64(), V);
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(Serializer, VarintSmallValuesAreOneByte) {
+  ByteWriter Writer;
+  Writer.writeVarU64(100);
+  EXPECT_EQ(Writer.size(), 1u);
+  Writer.writeVarU64(1000);
+  EXPECT_EQ(Writer.size(), 3u); // 2 more
+}
+
+TEST(Serializer, VarintOverlongEncodingFails) {
+  // 11 continuation bytes cannot encode a u64.
+  std::vector<uint8_t> Bad(11, 0x80);
+  ByteReader Reader(Bad);
+  Reader.readVarU64();
+  EXPECT_TRUE(Reader.failed());
+}
+
+TEST(Serializer, VarintTenthByteOverflowBitsFail) {
+  // A tenth byte carrying bits past bit 63 must fail, not silently
+  // truncate to a wrong value.
+  std::vector<uint8_t> Bad(9, 0x80);
+  Bad.push_back(0x7f); // bits 1-6 would shift past bit 63
+  ByteReader Reader(Bad);
+  EXPECT_EQ(Reader.readVarU64(), 0u);
+  EXPECT_TRUE(Reader.failed());
+
+  // The legitimate extreme (bit 63 set, nothing past it) still decodes.
+  std::vector<uint8_t> Max(9, 0xff);
+  Max.push_back(0x01);
+  ByteReader MaxReader(Max);
+  EXPECT_EQ(MaxReader.readVarU64(), ~uint64_t(0));
+  EXPECT_FALSE(MaxReader.failed());
+}
+
+TEST(Serializer, StreamWriterMatchesByteWriter) {
+  ByteWriter Legacy;
+  Legacy.writeU8(7);
+  Legacy.writeU32(0xcafebabe);
+  Legacy.writeU64(123456789);
+  Legacy.writeVarU64(300);
+  Legacy.writeF64(2.5);
+
+  std::vector<uint8_t> Streamed;
+  VectorSink Sink(Streamed);
+  StreamWriter Writer(Sink);
+  Writer.writeU8(7);
+  Writer.writeU32(0xcafebabe);
+  Writer.writeU64(123456789);
+  Writer.writeVarU64(300);
+  Writer.writeF64(2.5);
+
+  EXPECT_FALSE(Writer.failed());
+  EXPECT_EQ(Streamed, Legacy.buffer());
+}
+
+TEST(Serializer, StreamReaderReadsMemorySource) {
+  ByteWriter Writer;
+  Writer.writeU32(42);
+  Writer.writeVarU64(90000);
+  MemorySource Source(Writer.buffer());
+  StreamReader Reader(Source);
+  EXPECT_EQ(Reader.readU32(), 42u);
+  EXPECT_EQ(Reader.readVarU64(), 90000u);
+  EXPECT_FALSE(Reader.failed());
+  EXPECT_EQ(Source.remaining(), 0u);
+  Reader.readU8();
+  EXPECT_TRUE(Reader.failed()); // sticky past-end failure
+}
+
+TEST(Serializer, FileSinkSourceRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/stream_test.bin";
+  {
+    FileSink Sink(Path);
+    ASSERT_TRUE(Sink.ok());
+    StreamWriter Writer(Sink);
+    Writer.writeU64(0x1122334455667788ULL);
+    Writer.writeVarU64(77);
+    EXPECT_FALSE(Writer.failed());
+    EXPECT_TRUE(Sink.close());
+  }
+  FileSource Source(Path);
+  ASSERT_TRUE(Source.ok());
+  StreamReader Reader(Source);
+  EXPECT_EQ(Reader.readU64(), 0x1122334455667788ULL);
+  EXPECT_EQ(Reader.readVarU64(), 77u);
+  EXPECT_FALSE(Reader.failed());
+  EXPECT_TRUE(Source.exhausted());
+}
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  Executor Exec(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  for (auto &Hit : Hits)
+    Hit.store(0);
+  Exec.parallelFor(Hits.size(),
+                   [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(Executor, JoinIsABarrier) {
+  // Every write must be visible after parallelFor returns, without any
+  // synchronization by the caller.
+  Executor Exec(3);
+  std::vector<uint64_t> Results(64, 0);
+  Exec.parallelFor(Results.size(), [&](size_t I) { Results[I] = I * I; });
+  for (size_t I = 0; I < Results.size(); ++I)
+    EXPECT_EQ(Results[I], I * I);
+}
+
+TEST(Executor, ReusableAcrossJobs) {
+  Executor Exec(4);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<size_t> Sum{0};
+    Exec.parallelFor(10, [&](size_t I) { Sum.fetch_add(I + 1); });
+    EXPECT_EQ(Sum.load(), 55u) << "round " << Round;
+  }
+}
+
+TEST(Executor, SingleThreadDegeneratesToLoop) {
+  Executor Exec(1);
+  EXPECT_EQ(Exec.threadCount(), 1u);
+  std::vector<int> Order;
+  Exec.parallelFor(5, [&](size_t I) { Order.push_back(static_cast<int>(I)); });
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, ActuallyRunsConcurrently) {
+  // Two tasks that each wait for the other can only finish if they
+  // overlap in time.
+  Executor Exec(2);
+  std::atomic<int> Arrived{0};
+  Exec.parallelFor(2, [&](size_t) {
+    Arrived.fetch_add(1);
+    for (int Spin = 0; Spin < 100000000 && Arrived.load() < 2; ++Spin)
+      std::this_thread::yield();
+    EXPECT_EQ(Arrived.load(), 2);
+  });
+}
+
+TEST(Executor, EmptyJobReturnsImmediately) {
+  Executor Exec(4);
+  bool Ran = false;
+  Exec.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
 }

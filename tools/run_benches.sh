@@ -4,9 +4,11 @@
 # Builds the tree and regenerates the machine-readable bench reports:
 #
 #   BENCH_hotpath.json   — micro_allocators: per-op malloc/free costs,
-#                          fast-vs-legacy speedups (schema: ROADMAP.md)
+#                          fast-vs-legacy speedups, and the heap-image
+#                          v1-vs-v2 footprint (schema: ROADMAP.md)
 #   BENCH_fig7.json      — fig7_overhead: normalized whole-program
-#                          overheads vs the baseline allocator (--full)
+#                          overheads vs the baseline allocator (--full;
+#                          CI runs it as a smoke step)
 #
 # Usage:
 #   tools/run_benches.sh [--smoke] [--full]

@@ -2,13 +2,19 @@
 //
 // Command-line companion to the Exterminator runtime:
 //
-//   xtermtool inspect <patch.xpt>            list a patch file's contents
-//   xtermtool report  <patch.xpt>            render it as a bug report (§9)
-//   xtermtool merge   <out.xpt> <in.xpt>...  collaborative max-merge (§6.4)
-//   xtermtool image   <dump.xhi>             summarize a heap image (§3.4)
+//   xtermtool inspect  <patch.xpt>             list a patch file's contents
+//   xtermtool report   <patch.xpt>             render it as a bug report (§9)
+//   xtermtool merge    <out.xpt> <in.xpt>...   collaborative max-merge (§6.4)
+//   xtermtool image    <dump.xhi>              summarize a heap image (§3.4)
+//   xtermtool diagnose <out.xpt> <dump.xhi>... run isolation over images
+//
+// The tool is a thin client of the runtime: diagnose feeds images (v1 or
+// v2) straight into the DiagnosisPipeline — the same ingestion point the
+// mode drivers use — and writes out the derived patches plus the report.
 //
 //===----------------------------------------------------------------------===//
 
+#include "diagnose/DiagnosisPipeline.h"
 #include "diefast/Canary.h"
 #include "heapimage/HeapImageIO.h"
 #include "patch/PatchIO.h"
@@ -24,10 +30,11 @@ using namespace exterminator;
 
 static int usage() {
   std::fprintf(stderr,
-               "usage: xtermtool inspect <patch.xpt>\n"
-               "       xtermtool report  <patch.xpt>\n"
-               "       xtermtool merge   <out.xpt> <in.xpt>...\n"
-               "       xtermtool image   <dump.xhi>\n");
+               "usage: xtermtool inspect  <patch.xpt>\n"
+               "       xtermtool report   <patch.xpt>\n"
+               "       xtermtool merge    <out.xpt> <in.xpt>...\n"
+               "       xtermtool image    <dump.xhi>\n"
+               "       xtermtool diagnose <out.xpt> <dump.xhi>...\n");
   return 2;
 }
 
@@ -87,42 +94,84 @@ static int summarizeImage(const std::string &Path) {
                  Path.c_str());
     return 1;
   }
-  std::printf("%s: allocation time %llu, canary 0x%08x, M = %.1f, "
-              "p = %.2f\n",
-              Path.c_str(),
+  std::printf("%s: format v%u, allocation time %llu, canary 0x%08x, "
+              "M = %.1f, p = %.2f\n",
+              Path.c_str(), Image.SourceFormatVersion,
               static_cast<unsigned long long>(Image.AllocationTime),
               Image.CanaryValue, Image.Multiplier,
               Image.CanaryFillProbability);
 
   const Canary HeapCanary = Canary::fromValue(Image.CanaryValue);
   size_t Live = 0, Freed = 0, Canaried = 0, Bad = 0, Corrupt = 0;
-  for (const ImageMiniheap &Mini : Image.Miniheaps) {
-    for (uint32_t S = 0; S < Mini.Slots.size(); ++S) {
-      const ImageSlot &Slot = Mini.Slots[S];
-      if (Slot.Bad)
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      const uint8_t Flags = Image.slotFlags(Loc);
+      if (Flags & SlotFlagBad)
         ++Bad;
-      else if (Slot.Allocated)
+      else if (Flags & SlotFlagAllocated)
         ++Live;
-      else if (Slot.ObjectId)
+      else if (Image.objectId(Loc))
         ++Freed;
-      if (!Slot.Canaried || (Slot.Allocated && !Slot.Bad))
+      if (!(Flags & SlotFlagCanaried) ||
+          ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad)))
         continue;
       ++Canaried;
-      if (HeapCanary.findCorruption(Slot.Contents.data(),
-                                    Slot.Contents.size())) {
+      if (Image.contents(Loc).findCorruption(HeapCanary)) {
         ++Corrupt;
         std::printf("  CORRUPT slot: miniheap objsize=%llu slot=%u "
                     "object=%llu alloc-site=0x%08x free-site=0x%08x\n",
                     static_cast<unsigned long long>(Mini.ObjectSize), S,
-                    static_cast<unsigned long long>(Slot.ObjectId),
-                    Slot.AllocSite, Slot.FreeSite);
+                    static_cast<unsigned long long>(Image.objectId(Loc)),
+                    Image.allocSite(Loc), Image.freeSite(Loc));
       }
     }
   }
   std::printf("%zu miniheap(s), %zu slot(s): %zu live, %zu freed, "
               "%zu canaried, %zu quarantined, %zu corrupt\n",
-              Image.Miniheaps.size(), Image.totalSlots(), Live, Freed,
+              Image.miniheapCount(), Image.totalSlots(), Live, Freed,
               Canaried, Bad, Corrupt);
+  return 0;
+}
+
+static int diagnoseImages(const std::string &Out,
+                          const std::vector<std::string> &Inputs) {
+  ImageEvidence Evidence;
+  for (const std::string &Path : Inputs) {
+    HeapImage Image;
+    if (!loadHeapImage(Path, Image)) {
+      std::fprintf(stderr, "error: cannot load heap image '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::printf("loaded %s (format v%u, %zu slots, allocation time "
+                "%llu)\n",
+                Path.c_str(), Image.SourceFormatVersion,
+                Image.totalSlots(),
+                static_cast<unsigned long long>(Image.AllocationTime));
+    Evidence.Primary.push_back(std::move(Image));
+  }
+  if (Evidence.Primary.size() < 2) {
+    std::fprintf(stderr, "error: diagnosis needs at least two images of "
+                         "differently-randomized heaps\n");
+    return 1;
+  }
+
+  DiagnosisPipeline Pipeline;
+  const IsolationResult Result = Pipeline.submitImages(Evidence);
+  std::printf("%zu overflow candidate(s), %zu dangling finding(s)\n",
+              Result.Overflows.size(), Result.Danglings.size());
+  std::fputs(Pipeline.report().c_str(), stdout);
+  if (!savePatchSet(Pipeline.patches(), Out)) {
+    std::fprintf(stderr, "error: cannot write patch file '%s'\n",
+                 Out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu pads, %zu front pads, %zu deferrals)\n",
+              Out.c_str(), Pipeline.patches().padCount(),
+              Pipeline.patches().frontPadCount(),
+              Pipeline.patches().deferralCount());
   return 0;
 }
 
@@ -136,13 +185,14 @@ int main(int Argc, char **Argv) {
     return reportPatches(Argv[2]);
   if (Command == "image")
     return summarizeImage(Argv[2]);
-  if (Command == "merge") {
+  if (Command == "merge" || Command == "diagnose") {
     if (Argc < 4)
       return usage();
     std::vector<std::string> Inputs;
     for (int I = 3; I < Argc; ++I)
       Inputs.push_back(Argv[I]);
-    return mergePatches(Argv[2], Inputs);
+    return Command == "merge" ? mergePatches(Argv[2], Inputs)
+                              : diagnoseImages(Argv[2], Inputs);
   }
   return usage();
 }
