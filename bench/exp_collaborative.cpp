@@ -9,21 +9,59 @@
 // patches ... for injected errors in espresso was just 130K, and shrinks
 // to 17K compressed"); we report our (binary, already compact) sizes.
 //
+// PR 3 extends this with the patch exchange: the same collaboration as a
+// client/server service.  The bench measures the exchange's ingest
+// throughput over the deterministic loopback transport (image
+// submissions and summary submissions per second, full frame encode →
+// decode → diagnose per item) and the ImageBundle saving (one
+// cross-image site dictionary vs N independent v2 images).
+//
+// --json FILE writes BENCH_exchange.json (schema in ROADMAP.md):
+//   schema_version        1
+//   config                {smoke, images_per_submission, rounds}
+//   ingest[]              {kind, items, seconds, per_sec} for
+//                         kind ∈ {image-submission, image, summary}
+//   bundle                {images, bundle_bytes, independent_bytes,
+//                          ratio}
+//   collaboration         {users, pads_merged, all_protected}
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
 
+#include "exchange/PatchClient.h"
+#include "exchange/PatchServer.h"
+#include "heapimage/HeapImageIO.h"
+#include "heapimage/ImageBundle.h"
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
 #include "runtime/IterativeDriver.h"
 #include "workload/EspressoWorkload.h"
+#include "workload/ScriptedBugs.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace exterminator;
 using namespace benchreport;
 
-int main() {
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: exp_collaborative [--smoke] [--json FILE]\n");
+      return 2;
+    }
+  }
+
   heading("Sec 6.4: collaborative bug correction");
   note("three users, each hitting a different injected overflow; patches "
        "merge by maximum");
@@ -34,8 +72,8 @@ int main() {
   };
   const UserBug Bugs[3] = {{320, 8}, {430, 24}, {540, 36}};
 
-  Table Users({"user", "bug (alloc#, size)", "isolated", "pads",
-               "patch file (B)"});
+  Table UsersTable({"user", "bug (alloc#, size)", "isolated", "pads",
+                    "patch file (B)"});
   std::vector<PatchSet> UserPatches;
   std::vector<ExterminatorConfig> UserConfigs;
 
@@ -54,19 +92,32 @@ int main() {
     const IterativeOutcome Outcome = Driver.run(/*InputSeed=*/5);
     UserPatches.push_back(Outcome.Patches);
 
-    Users.addRow({fmt("%u", User),
-                  fmt("#%llu, %uB",
-                      static_cast<unsigned long long>(Bugs[User].Trigger),
-                      Bugs[User].Bytes),
-                  Outcome.Corrected ? "yes" : "no",
-                  fmt("%zu", Outcome.Patches.padCount()),
-                  fmt("%zu", serializePatchSet(Outcome.Patches).size())});
+    UsersTable.addRow(
+        {fmt("%u", User),
+         fmt("#%llu, %uB",
+             static_cast<unsigned long long>(Bugs[User].Trigger),
+             Bugs[User].Bytes),
+         Outcome.Corrected ? "yes" : "no",
+         fmt("%zu", Outcome.Patches.padCount()),
+         fmt("%zu", serializePatchSet(Outcome.Patches).size())});
   }
-  Users.print();
+  UsersTable.print();
 
-  // Merge and verify: every user's bug must be fixed by the merged file.
-  const PatchSet Merged = mergePatchSets(UserPatches);
-  note("merged patch: %zu pads, %zu deferrals, %zu bytes on disk",
+  // The community merge, now through the exchange: every user's patches
+  // seed one server, every user fetches the merged set.
+  PatchServer MergeServer;
+  for (const PatchSet &Patches : UserPatches)
+    MergeServer.seedPatches(Patches);
+  LoopbackTransport MergeTransport(MergeServer);
+  PatchClient MergeClient(MergeTransport);
+  if (!MergeClient.fetchPatches()) {
+    std::fprintf(stderr, "exchange fetch failed\n");
+    return 1;
+  }
+  const PatchSet &Merged = MergeClient.patches();
+  note("merged patch (served at epoch %llu): %zu pads, %zu deferrals, "
+       "%zu bytes on disk",
+       static_cast<unsigned long long>(MergeClient.epoch()),
        Merged.padCount(), Merged.deferralCount(),
        serializePatchSet(Merged).size());
 
@@ -87,5 +138,145 @@ int main() {
   note("users whose bug the merged patch fixes: %u/3 (paper: patches "
        "compose by construction)",
        AllFixed);
+
+  //===--------------------------------------------------------------------===//
+  // Exchange ingest throughput (loopback: deterministic, no socket noise)
+  //===--------------------------------------------------------------------===//
+
+  heading("PR 3: patch-exchange ingest throughput (loopback)");
+
+  const unsigned ImagesPerSubmission = 3;
+  const unsigned ImageRounds = Smoke ? 5 : 50;
+  const unsigned SummaryRounds = Smoke ? 200 : 2000;
+
+  const std::vector<HeapImage> Evidence =
+      scriptedEvidenceImages(ImagesPerSubmission, /*OverflowBytes=*/9);
+  DiagnosisPipeline Summarizer;
+  const RunSummary Summary =
+      Summarizer.summarize(Evidence.front(), /*Failed=*/true);
+
+  PatchServer IngestServer;
+  LoopbackTransport IngestTransport(IngestServer);
+  PatchClient IngestClient(IngestTransport);
+
+  // Image ingest: each submission frames a 3-image bundle, the server
+  // decodes it and runs full §4 isolation.
+  bool IngestOk = true;
+  const double ImageSeconds = timeSeconds([&] {
+    for (unsigned I = 0; I < ImageRounds; ++I)
+      IngestOk &= IngestClient.submitImages({Evidence, {}});
+  });
+  const double SubmissionsPerSec = ImageRounds / ImageSeconds;
+  const double ImagesPerSec =
+      ImageRounds * double(ImagesPerSubmission) / ImageSeconds;
+
+  // Summary ingest: the kilobyte-sized evidence cumulative mode ships.
+  const double SummarySeconds = timeSeconds([&] {
+    for (unsigned I = 0; I < SummaryRounds; ++I)
+      IngestOk &= IngestClient.submitSummary(Summary, 0);
+  });
+  if (!IngestOk) {
+    std::fprintf(stderr, "ingest submissions failed; throughput numbers "
+                         "would be bogus\n");
+    return 1;
+  }
+  const double SummariesPerSec = SummaryRounds / SummarySeconds;
+
+  Table Ingest({"kind", "items", "seconds", "per second"});
+  Ingest.addRow({"image submission (3-image bundle + isolation)",
+                 fmt("%u", ImageRounds), fmt("%.3f", ImageSeconds),
+                 fmt("%.0f", SubmissionsPerSec)});
+  Ingest.addRow({"image", fmt("%u", ImageRounds * ImagesPerSubmission),
+                 fmt("%.3f", ImageSeconds), fmt("%.0f", ImagesPerSec)});
+  Ingest.addRow({"summary (+ Bayes classification)",
+                 fmt("%u", SummaryRounds), fmt("%.3f", SummarySeconds),
+                 fmt("%.0f", SummariesPerSec)});
+  Ingest.print();
+  const PatchServerStats IngestStats = IngestServer.stats();
+  note("server counters: %llu images, %llu summaries, 0 expected "
+       "rejects (got %llu)",
+       static_cast<unsigned long long>(IngestStats.ImagesIngested),
+       static_cast<unsigned long long>(IngestStats.SummariesIngested),
+       static_cast<unsigned long long>(IngestStats.FramesRejected));
+
+  //===--------------------------------------------------------------------===//
+  // Bundle vs independent images
+  //===--------------------------------------------------------------------===//
+
+  heading("PR 3: ImageBundle vs independent v2 images");
+  // Replicated espresso dumps: the site-rich images real deployments
+  // ship (the trace evidence above references too few sites to show the
+  // shared dictionary off).
+  const unsigned BundleImages = Smoke ? 3 : 5;
+  std::vector<HeapImage> Dumps;
+  for (unsigned I = 0; I < BundleImages; ++I) {
+    EspressoWorkload Work;
+    ExterminatorConfig Config;
+    Dumps.push_back(
+        runWorkloadOnce(Work, /*InputSeed=*/5, /*HeapSeed=*/11 + I * 101,
+                        Config, PatchSet())
+            .FinalImage);
+  }
+  size_t IndependentBytes = 0;
+  for (const HeapImage &Image : Dumps)
+    IndependentBytes += serializeHeapImage(Image).size();
+  const size_t BundleBytes = serializeImageBundle(Dumps).size();
+  const double Ratio = double(BundleBytes) / double(IndependentBytes);
+  note("%u replicated espresso dumps: bundle %zu B vs %zu B independent "
+       "(%.3fx, one shared site dictionary)",
+       BundleImages, BundleBytes, IndependentBytes, Ratio);
+
+  //===--------------------------------------------------------------------===//
+  // Machine-readable report
+  //===--------------------------------------------------------------------===//
+
+  if (!JsonPath.empty()) {
+    JsonWriter Json;
+    Json.beginObject();
+    Json.field("schema_version", 1);
+    Json.beginObject("config");
+    Json.field("smoke", Smoke);
+    Json.field("images_per_submission", int(ImagesPerSubmission));
+    Json.field("image_rounds", int(ImageRounds));
+    Json.field("summary_rounds", int(SummaryRounds));
+    Json.endObject();
+    Json.beginArray("ingest");
+    Json.beginObject();
+    Json.field("kind", "image-submission");
+    Json.field("items", uint64_t(ImageRounds));
+    Json.field("seconds", ImageSeconds);
+    Json.field("per_sec", SubmissionsPerSec);
+    Json.endObject();
+    Json.beginObject();
+    Json.field("kind", "image");
+    Json.field("items", uint64_t(ImageRounds) * ImagesPerSubmission);
+    Json.field("seconds", ImageSeconds);
+    Json.field("per_sec", ImagesPerSec);
+    Json.endObject();
+    Json.beginObject();
+    Json.field("kind", "summary");
+    Json.field("items", uint64_t(SummaryRounds));
+    Json.field("seconds", SummarySeconds);
+    Json.field("per_sec", SummariesPerSec);
+    Json.endObject();
+    Json.endArray();
+    Json.beginObject("bundle");
+    Json.field("images", uint64_t(BundleImages));
+    Json.field("bundle_bytes", uint64_t(BundleBytes));
+    Json.field("independent_bytes", uint64_t(IndependentBytes));
+    Json.field("ratio", Ratio);
+    Json.endObject();
+    Json.beginObject("collaboration");
+    Json.field("users", 3);
+    Json.field("pads_merged", uint64_t(Merged.padCount()));
+    Json.field("all_protected", AllFixed == 3);
+    Json.endObject();
+    Json.endObject();
+    if (!Json.writeFile(JsonPath)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    note("wrote %s", JsonPath.c_str());
+  }
   return 0;
 }

@@ -1,88 +1,137 @@
 //===- examples/collaborative_patching.cpp - a community fixing itself ----------===//
 //
-// Collaborative correction (§6.4): three users run the same application;
-// each hits a different bug and each copy of Exterminator writes a
-// runtime patch file.  The merge utility max-combines the files; the
-// merged patch protects every user from every observed bug — including
-// bugs they never personally hit.
+// Collaborative correction (§6.4) over the patch exchange: three users
+// run the same application; each hits a different latent overflow.
+// Instead of mailing patch files around (the PR-2 flow), every user's
+// Exterminator ships its *evidence* — a bundle of heap images — to a
+// patch server over a Unix socket, concurrently.  The server's
+// DiagnosisPipeline isolates each bug and max-merges the patches into
+// one versioned set; every user then pulls the community set and is
+// protected from every observed bug, including bugs they never hit.
 //
 // Build & run:  ./build/examples/collaborative_patching
 //
 //===----------------------------------------------------------------------===//
 
-#include "patch/PatchIO.h"
-#include "patch/PatchMerge.h"
-#include "runtime/IterativeDriver.h"
-#include "workload/EspressoWorkload.h"
+#include "exchange/PatchClient.h"
+#include "exchange/PatchServer.h"
+#include "exchange/SocketTransport.h"
+#include "runtime/Exterminator.h"
+#include "workload/ScriptedBugs.h"
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace exterminator;
 
+namespace {
+
+/// "The same app" — the canonical scripted overflow
+/// (workload/ScriptedBugs.h) whose buggy site and overflow size depend
+/// on which input a user feeds it.
+std::vector<TraceOp> appTrace(uint32_t CulpritSite, uint32_t OverflowBytes) {
+  ScriptedBugSites Sites;
+  Sites.Culprit = CulpritSite;
+  Sites.Bystander = 0xb0b;
+  Sites.Free = 0xf3ee;
+  return scriptedOverflowTrace(OverflowBytes, Sites);
+}
+
+struct User {
+  const char *Name;
+  uint32_t CulpritSite;
+  uint32_t Bytes;
+};
+
+constexpr User Users[3] = {{"alice", 0xa11ce, 8},
+                           {"bob", 0xb0b0, 24},
+                           {"carol", 0xca401, 36}};
+
+/// One run of a user's buggy input; patched runs should come back clean.
+SingleRunResult runOnce(const User &U, uint64_t HeapSeed,
+                        const PatchSet &Patches) {
+  TraceWorkload Work(appTrace(U.CulpritSite, U.Bytes));
+  ExterminatorConfig Config;
+  return runWorkloadOnce(Work, /*InputSeed=*/1, HeapSeed, Config, Patches);
+}
+
+} // namespace
+
 int main() {
-  // Three users, three different latent overflows in "the same app".
-  struct User {
-    const char *Name;
-    uint64_t Trigger;
-    uint32_t Bytes;
-  };
-  const User Users[3] = {{"alice", 320, 8}, {"bob", 430, 24},
-                         {"carol", 540, 36}};
-
-  std::vector<std::string> PatchFiles;
-  std::vector<ExterminatorConfig> Configs;
-
-  for (const User &U : Users) {
-    EspressoWorkload App;
-    ExterminatorConfig Config;
-    Config.MasterSeed = 0xabc0de ^ U.Trigger;
-    Config.Fault.Kind = FaultKind::BufferOverflow;
-    Config.Fault.TriggerAllocation = U.Trigger;
-    Config.Fault.OverflowBytes = U.Bytes;
-    Config.Fault.OverflowDelay = 7;
-    Config.Fault.PatternSeed = U.Trigger * 3;
-    Configs.push_back(Config);
-
-    IterativeDriver Driver(App, Config);
-    const IterativeOutcome Outcome = Driver.run(/*InputSeed=*/5);
-
-    const std::string File =
-        std::string("/tmp/exterminator_") + U.Name + ".xpt";
-    savePatchSet(Outcome.Patches, File);
-    PatchFiles.push_back(File);
-    std::printf("%s hit a %u-byte overflow -> %zu pad patch(es), saved "
-                "to %s (%zu bytes)\n",
-                U.Name, U.Bytes, Outcome.Patches.padCount(), File.c_str(),
-                serializePatchSet(Outcome.Patches).size());
-  }
-
-  // The community merge: one file covering everyone's bugs.
-  const std::string MergedFile = "/tmp/exterminator_community.xpt";
-  if (!mergePatchFiles(PatchFiles, MergedFile)) {
-    std::printf("merge failed\n");
+  // The community's patch server.
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/3);
+  Endpoint Ep;
+  if (!parseEndpoint("unix:/tmp/exterminator_exchange.sock", Ep) ||
+      !Front.listen(Ep) || !Front.start()) {
+    std::printf("cannot start patch server\n");
     return 1;
   }
-  PatchSet Merged;
-  loadPatchSet(MergedFile, Merged);
-  std::printf("\nmerged community patch: %zu pads, %zu deferrals -> %s\n",
-              Merged.padCount(), Merged.deferralCount(),
-              MergedFile.c_str());
+  std::printf("patch server on %s\n",
+              endpointToString(Front.endpoint()).c_str());
 
-  // Every user re-runs *their* buggy scenario under the merged patch.
+  // Each user hits their own bug and ships image evidence — concurrent
+  // client threads over the real socket transport.
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < 3; ++I) {
+    Clients.emplace_back([I, &Front] {
+      const User &U = Users[I];
+      ImageEvidence Evidence;
+      for (unsigned Run = 0; Run < 3; ++Run)
+        Evidence.Primary.push_back(
+            runOnce(U, 1000 + I * 101 + Run * 7919, PatchSet())
+                .FinalImage);
+
+      SocketClientTransport Transport(Front.endpoint());
+      PatchClient Client(Transport);
+      ImagesReply Reply;
+      if (!Client.submitImages(Evidence, &Reply)) {
+        std::printf("%s: submission failed\n", U.Name);
+        return;
+      }
+      std::printf("%s hit a %u-byte overflow -> shipped %zu images, "
+                  "server isolated %llu overflow(s) (epoch %llu)\n",
+                  U.Name, U.Bytes, Evidence.Primary.size(),
+                  static_cast<unsigned long long>(Reply.OverflowFindings),
+                  static_cast<unsigned long long>(Reply.Epoch));
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+
+  // Any client can now pull the community's merged set.
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Community(Transport);
+  if (!Community.fetchPatches()) {
+    std::printf("fetch failed\n");
+    return 1;
+  }
+  std::printf("\ncommunity patch set: epoch %llu, %zu pads, %zu "
+              "deferrals\n",
+              static_cast<unsigned long long>(Community.epoch()),
+              Community.patches().padCount(),
+              Community.patches().deferralCount());
+
+  // Every user re-runs *their* buggy input under the fetched set.
   unsigned Protected = 0;
   for (unsigned I = 0; I < 3; ++I) {
-    EspressoWorkload App;
-    const SingleRunResult Run = runWorkloadOnce(
-        App, /*InputSeed=*/5, /*HeapSeed=*/0x600d + I, Configs[I], Merged);
+    const SingleRunResult Run =
+        runOnce(Users[I], 0x600d + I, Community.patches());
     const bool Clean = !Run.failed() && !Run.ErrorSignalled;
     Protected += Clean;
-    std::printf("%s under the community patch: %s\n", Users[I].Name,
+    std::printf("%s under the community patches: %s\n", Users[I].Name,
                 Clean ? "protected" : "STILL EXPOSED");
   }
-  std::printf("\n%u/3 users protected by patches their neighbors "
-              "generated\n",
+  std::printf("\n%u/3 users protected by evidence their neighbors "
+              "submitted\n",
               Protected);
+
+  const PatchServerStats Stats = Server.stats();
+  std::printf("server ingested %llu image(s) across %llu fetch(es)\n",
+              static_cast<unsigned long long>(Stats.ImagesIngested),
+              static_cast<unsigned long long>(Stats.FetchesServed));
+  Front.stop();
   return Protected == 3 ? 0 : 1;
 }

@@ -86,6 +86,15 @@ bool DieHardHeap::deallocateWithRef(void *Ptr, ObjectRef &RefOut,
     return false;
   }
   Miniheap &Heap = miniheap(*Found);
+  // The free stamps FreeTime/FreeSite into this slot's metadata after
+  // the bitmap check; random placement makes that line a near-certain
+  // miss on DRAM-bound churn, so start pulling it for write now.  The
+  // prefetch lives here, not in findObject, so pure lookups
+  // (isLivePointer, diffing) do not pay the read-for-ownership — and
+  // the legacy toggle keeps measuring the pre-PR-1 free path unaided.
+  if (!Config.LegacyHotPath)
+    __builtin_prefetch(&Heap.slot(Found->SlotIndex), /*rw=*/1,
+                       /*locality=*/3);
   if (Ptr != Heap.slotPointer(Found->SlotIndex)) {
     ++Stats.InvalidFrees;
     return false;

@@ -83,3 +83,38 @@ bool BayesClassifier::isErrorSource(const std::vector<BayesTrial> &Trials,
     return false;
   return logBayesFactor(Trials) > logThreshold(NumSites);
 }
+
+//===----------------------------------------------------------------------===//
+// BayesAccumulator
+//===----------------------------------------------------------------------===//
+
+BayesAccumulator::BayesAccumulator() : NodeLogSums(NumIntervals + 1, 0.0) {}
+
+void BayesAccumulator::addTrial(const BayesTrial &Trial) {
+  ++NumTrials;
+  const double X = clampProbability(Trial.Probability);
+  // Exactly logLikelihoodH0's per-trial term, folded in arrival order so
+  // the running sum matches the batch recompute bit for bit.
+  LogH0 += std::log(Trial.Observed ? X : 1.0 - X);
+  // And logLikelihoodAtTheta's per-trial term at every quadrature node.
+  const double H = 1.0 / NumIntervals;
+  for (int I = 0; I <= NumIntervals; ++I) {
+    const double Theta = I * H;
+    const double PYes = clampProbability((1.0 - Theta) * X + Theta);
+    NodeLogSums[I] += std::log(Trial.Observed ? PYes : 1.0 - PYes);
+  }
+}
+
+double BayesAccumulator::logLikelihoodH1() const {
+  // The batch logLikelihoodH1 loop with the per-node trial sums already
+  // in hand.
+  const double H = 1.0 / NumIntervals;
+  double LogAccum = -std::numeric_limits<double>::infinity();
+  for (int I = 0; I <= NumIntervals; ++I) {
+    double Weight = (I == 0 || I == NumIntervals) ? 1.0
+                    : (I % 2 == 1)                ? 4.0
+                                                  : 2.0;
+    LogAccum = logAdd(LogAccum, NodeLogSums[I] + std::log(Weight));
+  }
+  return LogAccum + std::log(H / 3.0);
+}

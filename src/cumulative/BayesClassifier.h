@@ -22,6 +22,14 @@
 /// Likelihoods are evaluated in log space; the θ integral uses composite
 /// Simpson quadrature on the log-sum-exp of the per-node log likelihoods.
 ///
+/// Two evaluation forms exist: the batch statics (recompute over a trial
+/// vector) and BayesAccumulator, which folds trials in as they arrive and
+/// answers logBayesFactor() in O(#quadrature nodes) instead of
+/// O(#nodes × #trials).  The accumulator performs the identical additions
+/// in the identical order, so both forms produce bit-identical factors —
+/// what lets the patch server classify after every ingested summary
+/// without the per-summary cost growing with the fleet's history.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_CUMULATIVE_BAYESCLASSIFIER_H
@@ -66,6 +74,31 @@ public:
 
 private:
   double PriorC;
+};
+
+/// Incremental evaluation state for one site's trials: the running H0
+/// log likelihood plus the running per-θ-node log likelihoods of the
+/// Simpson quadrature.  addTrial is O(nodes); logBayesFactor is O(nodes)
+/// regardless of how many trials have accumulated.  Bit-identical to the
+/// batch statics over the same trial sequence (same additions, same
+/// order).
+class BayesAccumulator {
+public:
+  BayesAccumulator();
+
+  void addTrial(const BayesTrial &Trial);
+
+  size_t trialCount() const { return NumTrials; }
+
+  double logLikelihoodH0() const { return LogH0; }
+  double logLikelihoodH1() const;
+  double logBayesFactor() const { return logLikelihoodH1() - LogH0; }
+
+private:
+  size_t NumTrials = 0;
+  double LogH0 = 0.0;
+  /// Running Σ_i log P(Y_i | θ_node, X_i) per quadrature node.
+  std::vector<double> NodeLogSums;
 };
 
 } // namespace exterminator

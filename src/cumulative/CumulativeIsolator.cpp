@@ -11,6 +11,24 @@ using namespace exterminator;
 CumulativeIsolator::CumulativeIsolator(const CumulativeConfig &Config)
     : Config(Config) {}
 
+/// Most distinct sites/pairs the accumulated state will track.  Real
+/// programs have at most tens of thousands of allocation sites; the cap
+/// exists for the patch-server deployment, where each tracked entry
+/// costs trial state (including the ~4 KB incremental Bayes
+/// accumulator) and a stream of forged summaries could otherwise grow
+/// the server without bound.  Trials for sites past the cap are
+/// dropped; already-tracked sites keep accumulating.
+static constexpr size_t MaxTrackedSites = size_t(1) << 16;
+
+/// Most trials retained per site/pair.  At thousands of coin flips the
+/// Bayes factor has decided the site either way — further trials only
+/// grow the stored vector (classification reads the O(1) accumulator),
+/// so the long-lived server drops them instead of growing per-site
+/// state forever.  The accumulator stops folding at the same count so
+/// serialize → deserialize (which replays the stored trials) rebuilds
+/// the identical classifier state.
+static constexpr size_t MaxTrialsPerSite = size_t(1) << 12;
+
 void CumulativeIsolator::addRun(const RunSummary &Summary) {
   ++Runs;
   if (Summary.Failed)
@@ -19,17 +37,30 @@ void CumulativeIsolator::addRun(const RunSummary &Summary) {
     ++CorruptRuns;
 
   for (const OverflowTrial &Trial : Summary.OverflowTrials) {
+    if (OverflowSites.size() >= MaxTrackedSites &&
+        !OverflowSites.count(Trial.AllocSite))
+      continue;
     OverflowSiteState &State = OverflowSites[Trial.AllocSite];
-    State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+    if (State.Trials.size() < MaxTrialsPerSite) {
+      State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+      State.Accum.addTrial(State.Trials.back());
+    }
+    // Pad estimates stay live past the trial cap: the patch value must
+    // track the largest overflow ever observed.
     if (Trial.Observed) {
       ++State.Observed;
       State.MaxPad = std::max(State.MaxPad, Trial.PadEstimate);
     }
   }
   for (const DanglingTrial &Trial : Summary.DanglingTrials) {
-    DanglingPairState &State =
-        DanglingPairs[pairKey(Trial.AllocSite, Trial.FreeSite)];
-    State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+    const uint64_t Key = pairKey(Trial.AllocSite, Trial.FreeSite);
+    if (DanglingPairs.size() >= MaxTrackedSites && !DanglingPairs.count(Key))
+      continue;
+    DanglingPairState &State = DanglingPairs[Key];
+    if (State.Trials.size() < MaxTrialsPerSite) {
+      State.Trials.push_back(BayesTrial{Trial.Probability, Trial.Observed});
+      State.Accum.addTrial(State.Trials.back());
+    }
     if (Trial.Observed) {
       ++State.Observed;
       State.MaxFreeToFailure =
@@ -50,7 +81,10 @@ CumulativeIsolator::classifyOverflows() const {
   const double Threshold = Classifier.logThreshold(NumSites);
 
   for (const auto &[Site, State] : OverflowSites) {
-    const double LogBF = BayesClassifier::logBayesFactor(State.Trials);
+    // O(nodes) from the incremental accumulator — classification after
+    // every ingested summary stays flat as the fleet's history grows
+    // (bit-identical to recomputing over State.Trials).
+    const double LogBF = State.Accum.logBayesFactor();
     if (LogBF <= Threshold)
       continue;
     CumulativeOverflowFinding Finding;
@@ -81,7 +115,7 @@ CumulativeIsolator::classifyDanglings() const {
   const double Threshold = Classifier.logThreshold(NumPairs);
 
   for (const auto &[Key, State] : DanglingPairs) {
-    const double LogBF = BayesClassifier::logBayesFactor(State.Trials);
+    const double LogBF = State.Accum.logBayesFactor();
     if (LogBF <= Threshold)
       continue;
     CumulativeDanglingFinding Finding;
@@ -167,6 +201,7 @@ bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
       Trial.Probability = Reader.readF64();
       Trial.Observed = Reader.readU8() != 0;
       State.Trials.push_back(Trial);
+      State.Accum.addTrial(Trial);
     }
   }
   const uint64_t NumPairs = Reader.readU64();
@@ -181,6 +216,7 @@ bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
       Trial.Probability = Reader.readF64();
       Trial.Observed = Reader.readU8() != 0;
       State.Trials.push_back(Trial);
+      State.Accum.addTrial(Trial);
     }
   }
   return Reader.atEnd();

@@ -90,11 +90,16 @@ public:
 private:
   struct OverflowSiteState {
     std::vector<BayesTrial> Trials;
+    /// Incremental classifier state over Trials (same order, so the
+    /// factor is bit-identical to a batch recompute) — keeps per-summary
+    /// classification cost flat as runs accumulate.
+    BayesAccumulator Accum;
     uint32_t MaxPad = 0;
     uint32_t Observed = 0;
   };
   struct DanglingPairState {
     std::vector<BayesTrial> Trials;
+    BayesAccumulator Accum;
     uint64_t MaxFreeToFailure = 0;
     uint32_t Observed = 0;
   };

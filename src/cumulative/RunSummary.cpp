@@ -8,6 +8,15 @@ using namespace exterminator;
 
 static constexpr uint32_t SummaryMagic = 0x58525331; // "XRS1"
 
+/// Per-category trial bound for deserialization.  One run's trials are
+/// bounded by the sites the program touched — real summaries carry
+/// dozens to hundreds ("a few kilobytes per execution", §5) — so 16K is
+/// generous headroom while keeping a forged summary from declaring
+/// millions of distinct sites, each of which would cost the ingesting
+/// CumulativeIsolator a trial-state entry (now including the ~4 KB
+/// incremental Bayes accumulator).
+static constexpr uint64_t MaxSummaryTrials = uint64_t(1) << 14;
+
 std::vector<uint8_t>
 exterminator::serializeRunSummary(const RunSummary &Summary) {
   ByteWriter Writer;
@@ -43,6 +52,8 @@ bool exterminator::deserializeRunSummary(const std::vector<uint8_t> &Buffer,
   SummaryOut.CorruptionObserved = Reader.readU8() != 0;
   SummaryOut.EndTime = Reader.readU64();
   const uint64_t NumOverflow = Reader.readU64();
+  if (Reader.failed() || NumOverflow > MaxSummaryTrials)
+    return false;
   for (uint64_t I = 0; I < NumOverflow && !Reader.failed(); ++I) {
     OverflowTrial Trial;
     Trial.AllocSite = Reader.readU32();
@@ -52,6 +63,8 @@ bool exterminator::deserializeRunSummary(const std::vector<uint8_t> &Buffer,
     SummaryOut.OverflowTrials.push_back(Trial);
   }
   const uint64_t NumDangling = Reader.readU64();
+  if (Reader.failed() || NumDangling > MaxSummaryTrials)
+    return false;
   for (uint64_t I = 0; I < NumDangling && !Reader.failed(); ++I) {
     DanglingTrial Trial;
     Trial.AllocSite = Reader.readU32();

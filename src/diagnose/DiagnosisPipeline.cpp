@@ -11,15 +11,32 @@ using namespace exterminator;
 DiagnosisPipeline::DiagnosisPipeline(const DiagnosisConfig &Config)
     : Config(Config), Cumulative(Config.Cumulative) {}
 
-void DiagnosisPipeline::seedPatches(const PatchSet &Initial) {
-  Active.merge(Initial);
+void DiagnosisPipeline::mergeActive(const PatchSet &Derived) {
+  // merge reports change itself, so the common nothing-new ingest pays
+  // no copy or deep compare of the active set.
+  if (!Derived.empty() && Active.merge(Derived))
+    ++Epoch;
 }
 
-IsolationResult DiagnosisPipeline::submitImages(const ImageEvidence &Evidence) {
+void DiagnosisPipeline::seedPatches(const PatchSet &Initial) {
+  mergeActive(Initial);
+}
+
+IsolationResult
+DiagnosisPipeline::isolateImages(const ImageEvidence &Evidence) const {
   IsolationResult Result = isolateErrors(Evidence.Primary, Config.Isolation);
   if (Result.Patches.empty() && Evidence.Fallback.size() >= 2)
     Result = isolateErrors(Evidence.Fallback, Config.Isolation);
-  Active.merge(Result.Patches);
+  return Result;
+}
+
+void DiagnosisPipeline::absorbIsolation(const IsolationResult &Result) {
+  mergeActive(Result.Patches);
+}
+
+IsolationResult DiagnosisPipeline::submitImages(const ImageEvidence &Evidence) {
+  IsolationResult Result = isolateImages(Evidence);
+  absorbIsolation(Result);
   return Result;
 }
 
@@ -40,16 +57,18 @@ CumulativeDiagnosis DiagnosisPipeline::submitSummary(const RunSummary &Summary,
   // already been applied but keeps failing doubles instead — the §6.2
   // logarithmic-convergence rule — because post-patch failures measure
   // their free-to-failure distance from the already-deferred free.
+  PatchSet Derived;
   for (const CumulativeOverflowFinding &Finding : Diagnosis.Overflows)
-    Active.addPad(Finding.AllocSite, Finding.PadBytes);
+    Derived.addPad(Finding.AllocSite, Finding.PadBytes);
   for (const CumulativeDanglingFinding &Finding : Diagnosis.Danglings) {
     const uint64_t Existing =
         Active.deferralFor(Finding.AllocSite, Finding.FreeSite);
     uint64_t Target = Finding.DeferralTicks;
     if (Existing > 0 && CleanStreak == 0)
       Target = std::max(Target, Existing * 2 + 1);
-    Active.addDeferral(Finding.AllocSite, Finding.FreeSite, Target);
+    Derived.addDeferral(Finding.AllocSite, Finding.FreeSite, Target);
   }
+  mergeActive(Derived);
   return Diagnosis;
 }
 

@@ -72,6 +72,15 @@ struct CumulativeDiagnosis {
   }
 };
 
+/// A versioned snapshot of the active patch set: the unit the patch
+/// exchange broadcasts.  Epochs let a client fetch incrementally — it
+/// sends the epoch it already holds and the server skips the (unchanged)
+/// patch payload when nothing new has been diagnosed.
+struct PatchSnapshot {
+  uint64_t Epoch = 0;
+  PatchSet Patches;
+};
+
 /// The unified diagnosis pipeline (see file comment).
 class DiagnosisPipeline {
 public:
@@ -83,10 +92,29 @@ public:
   /// The active patch set: everything diagnosed so far, max-merged.
   const PatchSet &patches() const { return Active; }
 
+  /// Version of the active set: bumps exactly when a submission changes
+  /// it (max-merge is idempotent, so re-submitted evidence does not).
+  /// Starts at 0 for an empty set.
+  uint64_t epoch() const { return Epoch; }
+
+  /// The active set plus its epoch (what patches() broadcasts as).
+  PatchSnapshot snapshot() const { return {Epoch, Active}; }
+
   /// Submits image evidence: runs §4 isolation over the primary images,
   /// falls back to the end-of-run images when the primaries yield no
   /// patches, and merges derived patches into the active set.
+  /// Equivalent to isolateImages + absorbIsolation.
   IsolationResult submitImages(const ImageEvidence &Evidence);
+
+  /// The isolation half of submitImages, with no pipeline mutation.
+  /// Reads only the (immutable) configuration, so concurrent callers
+  /// need no synchronization — the patch server runs this outside its
+  /// lock and serializes only the merge.
+  IsolationResult isolateImages(const ImageEvidence &Evidence) const;
+
+  /// The merge half of submitImages: folds already-derived patches into
+  /// the active set (bumping the epoch if anything changed).
+  void absorbIsolation(const IsolationResult &Result);
 
   /// Reduces a final heap image to a §5 run summary (the evidence format
   /// cheap enough to ship: kilobytes instead of megabytes).
@@ -109,9 +137,14 @@ public:
   std::string report(const SiteRegistry *Registry = nullptr) const;
 
 private:
+  /// Merges \p Derived into the active set, bumping the epoch when the
+  /// merge actually changed it.
+  void mergeActive(const PatchSet &Derived);
+
   DiagnosisConfig Config;
   CumulativeIsolator Cumulative;
   PatchSet Active;
+  uint64_t Epoch = 0;
 };
 
 } // namespace exterminator

@@ -1,0 +1,170 @@
+//===- exchange/PatchClient.cpp - Evidence shipping client ------------------===//
+
+#include "exchange/PatchClient.h"
+
+#include <algorithm>
+
+using namespace exterminator;
+
+bool PatchClient::queueImages(const ImageEvidence &Evidence) {
+  std::vector<uint8_t> Frame =
+      encodeFrame(MessageType::SubmitImages, encodeSubmitImages(Evidence));
+  if (Frame.empty())
+    return false; // evidence exceeds the frame limit
+  PendingRequests.push_back(std::move(Frame));
+  return true;
+}
+
+bool PatchClient::queueSummary(const RunSummary &Summary,
+                               unsigned CleanStreak) {
+  std::vector<uint8_t> Frame = encodeFrame(
+      MessageType::SubmitSummary, encodeSubmitSummary(Summary, CleanStreak));
+  if (Frame.empty())
+    return false;
+  PendingRequests.push_back(std::move(Frame));
+  return true;
+}
+
+void PatchClient::noteServerState(uint64_t Instance, uint64_t Epoch) {
+  SeenInstance = Instance;
+  SeenEpoch = Epoch;
+  SeenAnything = true;
+}
+
+bool PatchClient::flush() {
+  // Bounded chunks: with pipelining, replies to early requests sit
+  // unread while later requests are still being written; a chunk keeps
+  // that backlog far below any socket buffer so neither peer can end up
+  // blocked in send() against the other.
+  std::vector<std::vector<uint8_t>> Batch = std::move(PendingRequests);
+  PendingRequests.clear();
+  bool Ok = true;
+  for (size_t Begin = 0; Begin < Batch.size() && Ok;
+       Begin += FlushChunk) {
+    const size_t End = std::min(Batch.size(), Begin + FlushChunk);
+    const std::vector<std::vector<uint8_t>> Chunk(
+        std::make_move_iterator(Batch.begin() + Begin),
+        std::make_move_iterator(Batch.begin() + End));
+    std::vector<std::vector<uint8_t>> Responses;
+    if (!Transport.exchange(Chunk, Responses) ||
+        Responses.size() != Chunk.size()) {
+      Ok = false;
+      break;
+    }
+    for (const std::vector<uint8_t> &Response : Responses) {
+      Frame Reply;
+      size_t Consumed = 0;
+      if (decodeFrame(Response.data(), Response.size(), Reply, Consumed) !=
+              FrameError::None ||
+          Reply.Type == MessageType::ErrorReply) {
+        Ok = false;
+        break;
+      }
+      // Track the server state the replies report so a following
+      // syncPatches can skip its round trip.  A success-typed reply
+      // whose payload fails to decode is a protocol failure, same as
+      // in the one-shot submit paths.
+      if (Reply.Type == MessageType::SubmitImagesReply) {
+        ImagesReply Decoded;
+        if (!decodeImagesReply(Reply.Payload, Decoded)) {
+          Ok = false;
+          break;
+        }
+        noteServerState(Decoded.Instance, Decoded.Epoch);
+      } else if (Reply.Type == MessageType::SubmitSummaryReply) {
+        SummaryReply Decoded;
+        if (!decodeSummaryReply(Reply.Payload, Decoded)) {
+          Ok = false;
+          break;
+        }
+        noteServerState(Decoded.Instance, Decoded.Epoch);
+      }
+    }
+  }
+  return Ok;
+}
+
+bool PatchClient::roundTrip(std::vector<uint8_t> Request, Frame &ReplyFrame) {
+  std::vector<std::vector<uint8_t>> Responses;
+  if (!Transport.exchange({std::move(Request)}, Responses) ||
+      Responses.size() != 1)
+    return false;
+  size_t Consumed = 0;
+  if (decodeFrame(Responses[0].data(), Responses[0].size(), ReplyFrame,
+                  Consumed) != FrameError::None)
+    return false;
+  return ReplyFrame.Type != MessageType::ErrorReply;
+}
+
+bool PatchClient::submitImages(const ImageEvidence &Evidence,
+                               ImagesReply *ReplyOut) {
+  std::vector<uint8_t> Request =
+      encodeFrame(MessageType::SubmitImages, encodeSubmitImages(Evidence));
+  if (Request.empty())
+    return false; // evidence exceeds the frame limit
+  Frame Reply;
+  if (!roundTrip(std::move(Request), Reply) ||
+      Reply.Type != MessageType::SubmitImagesReply)
+    return false;
+  ImagesReply Decoded;
+  if (!decodeImagesReply(Reply.Payload, Decoded))
+    return false;
+  noteServerState(Decoded.Instance, Decoded.Epoch);
+  if (ReplyOut)
+    *ReplyOut = Decoded;
+  return true;
+}
+
+bool PatchClient::submitSummary(const RunSummary &Summary,
+                                unsigned CleanStreak,
+                                CumulativeDiagnosis *DiagnosisOut) {
+  Frame Reply;
+  if (!roundTrip(encodeFrame(MessageType::SubmitSummary,
+                             encodeSubmitSummary(Summary, CleanStreak)),
+                 Reply) ||
+      Reply.Type != MessageType::SubmitSummaryReply)
+    return false;
+  SummaryReply Decoded;
+  if (!decodeSummaryReply(Reply.Payload, Decoded))
+    return false;
+  noteServerState(Decoded.Instance, Decoded.Epoch);
+  if (DiagnosisOut)
+    *DiagnosisOut = std::move(Decoded.Diagnosis);
+  return true;
+}
+
+bool PatchClient::fetchPatches() {
+  Frame Reply;
+  if (!roundTrip(encodeFrame(MessageType::FetchPatches,
+                             encodeFetchPatches(MirrorEpoch,
+                                                MirrorInstance)),
+                 Reply) ||
+      Reply.Type != MessageType::PatchesReply)
+    return false;
+  PatchesReply Decoded;
+  if (!decodePatchesReply(Reply.Payload, Decoded))
+    return false;
+  if (Decoded.Modified) {
+    Mirror = std::move(Decoded.Patches);
+  } else if (MirrorEpoch != Decoded.Epoch ||
+             MirrorInstance != Decoded.Instance) {
+    return false; // unmodified must mean "exactly what I sent"
+  }
+  MirrorEpoch = Decoded.Epoch;
+  MirrorInstance = Decoded.Instance;
+  noteServerState(Decoded.Instance, Decoded.Epoch);
+  return true;
+}
+
+bool PatchClient::syncPatches() {
+  if (SeenAnything && SeenInstance == MirrorInstance &&
+      SeenEpoch == MirrorEpoch)
+    return true; // the last reply proved the mirror current
+  return fetchPatches();
+}
+
+bool PatchClient::shutdownServer() {
+  Frame Reply;
+  return roundTrip(encodeFrame(MessageType::Shutdown, {}), Reply) &&
+         Reply.Type == MessageType::ShutdownReply;
+}

@@ -1,0 +1,138 @@
+//===- exchange/PatchServer.cpp - Evidence ingestion service ----------------===//
+
+#include "exchange/PatchServer.h"
+
+#include <random>
+
+using namespace exterminator;
+
+/// Nonzero random instance id; entropy quality is irrelevant, only
+/// cross-restart collision resistance (see PatchServer::instance).
+static uint64_t randomInstanceId() {
+  std::random_device Device;
+  uint64_t Id = (uint64_t(Device()) << 32) | Device();
+  return Id ? Id : 1;
+}
+
+PatchServer::PatchServer(const DiagnosisConfig &Config)
+    : Pipeline(Config), Instance(randomInstanceId()) {}
+
+void PatchServer::seedPatches(const PatchSet &Initial) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Pipeline.seedPatches(Initial);
+}
+
+PatchSnapshot PatchServer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Pipeline.snapshot();
+}
+
+PatchServerStats PatchServer::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+bool PatchServer::handleFrame(const uint8_t *Request, size_t Size,
+                              std::vector<uint8_t> &ResponseOut) {
+  Frame Parsed;
+  size_t Consumed = 0;
+  const FrameError Error = decodeFrame(Request, Size, Parsed, Consumed);
+  if (Error != FrameError::None) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.FramesRejected;
+    }
+    ResponseOut = encodeFrame(MessageType::ErrorReply,
+                              encodeErrorReply(frameErrorName(Error)));
+    return false;
+  }
+  if (Consumed != Size) {
+    // One request frame per handleFrame call; trailing bytes mean the
+    // transport mis-framed (byte-stream fronts delimit by the header's
+    // length field, so this only fires for hostile input).
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.FramesRejected;
+    ResponseOut = encodeFrame(MessageType::ErrorReply,
+                              encodeErrorReply("trailing bytes after frame"));
+    return false;
+  }
+  ResponseOut = dispatch(Parsed);
+  return true;
+}
+
+std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
+  auto Reject = [this](const char *Reason) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.FramesRejected;
+    return encodeFrame(MessageType::ErrorReply, encodeErrorReply(Reason));
+  };
+
+  switch (Request.Type) {
+  case MessageType::SubmitImages: {
+    ImageEvidence Evidence;
+    if (!decodeSubmitImages(Request.Payload, Evidence))
+      return Reject("malformed image bundle");
+    // Isolation is the expensive part and reads only immutable config —
+    // run it unlocked so concurrent fetches and submissions aren't
+    // stalled behind it; only the merge serializes.
+    const IsolationResult Result = Pipeline.isolateImages(Evidence);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pipeline.absorbIsolation(Result);
+    Stats.ImagesIngested +=
+        Evidence.Primary.size() + Evidence.Fallback.size();
+    ImagesReply Reply;
+    Reply.Instance = Instance;
+    Reply.Epoch = Pipeline.epoch();
+    Reply.OverflowFindings = Result.Overflows.size();
+    Reply.DanglingFindings = Result.Danglings.size();
+    return encodeFrame(MessageType::SubmitImagesReply,
+                       encodeImagesReply(Reply));
+  }
+
+  case MessageType::SubmitSummary: {
+    RunSummary Summary;
+    unsigned CleanStreak = 0;
+    if (!decodeSubmitSummary(Request.Payload, Summary, CleanStreak))
+      return Reject("malformed run summary");
+    std::lock_guard<std::mutex> Lock(Mutex);
+    SummaryReply Reply;
+    Reply.Instance = Instance;
+    Reply.Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
+    Reply.Epoch = Pipeline.epoch();
+    ++Stats.SummariesIngested;
+    return encodeFrame(MessageType::SubmitSummaryReply,
+                       encodeSummaryReply(Reply));
+  }
+
+  case MessageType::FetchPatches: {
+    uint64_t KnownEpoch = 0, KnownInstance = 0;
+    if (!decodeFetchPatches(Request.Payload, KnownEpoch, KnownInstance))
+      return Reject("malformed fetch request");
+    std::lock_guard<std::mutex> Lock(Mutex);
+    PatchesReply Reply;
+    Reply.Instance = Instance;
+    Reply.Epoch = Pipeline.epoch();
+    // Staleness is the (instance, epoch) pair: a client holding another
+    // instance's epoch always gets the full set.
+    Reply.Modified =
+        KnownInstance != Instance || KnownEpoch != Reply.Epoch;
+    if (Reply.Modified)
+      Reply.Patches = Pipeline.patches();
+    ++Stats.FetchesServed;
+    if (!Reply.Modified)
+      ++Stats.FetchesUnmodified;
+    return encodeFrame(MessageType::PatchesReply,
+                       encodePatchesReply(Reply));
+  }
+
+  case MessageType::Shutdown:
+    if (!Request.Payload.empty())
+      return Reject("shutdown carries no payload");
+    ShutdownFlag.store(true, std::memory_order_release);
+    return encodeFrame(MessageType::ShutdownReply, {});
+
+  default:
+    // A reply type arriving as a request.
+    return Reject("reply type sent as request");
+  }
+}

@@ -1,0 +1,94 @@
+//===- exchange/PatchServer.h - Evidence ingestion service -----*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The patch server: a DiagnosisPipeline behind the wire protocol.  It is
+/// the fleet-scale form of §6.4's collaborative correction — many
+/// processes observe errors independently, ship their evidence here, and
+/// every client pulls back one merged, versioned patch set covering all
+/// observed errors.
+///
+/// The server core is transport-agnostic: handleFrame maps one request
+/// frame to one response frame.  The in-process loopback transport calls
+/// it directly (deterministic; what tests and the collaborative bench
+/// use); SocketPatchServer pumps it from an accept/worker loop.  All
+/// entry points are thread-safe — concurrent connections serialize on
+/// the pipeline mutex, which is the merge order independence the
+/// PatchMerge tests already pin (max-merge commutes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_EXCHANGE_PATCHSERVER_H
+#define EXTERMINATOR_EXCHANGE_PATCHSERVER_H
+
+#include "exchange/WireProtocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace exterminator {
+
+/// Ingestion counters (observability for the bench and the CLI).
+struct PatchServerStats {
+  uint64_t ImagesIngested = 0;
+  uint64_t SummariesIngested = 0;
+  uint64_t FetchesServed = 0;
+  uint64_t FetchesUnmodified = 0;
+  uint64_t FramesRejected = 0;
+};
+
+/// Wraps a DiagnosisPipeline behind the framed wire protocol.
+class PatchServer {
+public:
+  explicit PatchServer(const DiagnosisConfig &Config = {});
+
+  /// Seeds the pipeline's active set (resuming a server from a patch
+  /// file on disk).
+  void seedPatches(const PatchSet &Initial);
+
+  /// Handles one request frame, producing exactly one response frame
+  /// (an ErrorReply for anything malformed — adversarial input never
+  /// crashes, it answers).  Returns false when the request could not be
+  /// parsed as a frame at all, in which case a byte-stream transport
+  /// cannot resynchronize and should close the connection after sending
+  /// the response.
+  bool handleFrame(const uint8_t *Request, size_t Size,
+                   std::vector<uint8_t> &ResponseOut);
+  bool handleFrame(const std::vector<uint8_t> &Request,
+                   std::vector<uint8_t> &ResponseOut) {
+    return handleFrame(Request.data(), Request.size(), ResponseOut);
+  }
+
+  /// A Shutdown frame was accepted; socket front-ends stop serving.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_acquire);
+  }
+
+  /// Current merged patch set + epoch (what PatchesReply serves).
+  PatchSnapshot snapshot() const;
+
+  PatchServerStats stats() const;
+
+  /// Random identity of this server process.  Epochs are only
+  /// comparable within one instance; clients key staleness on the
+  /// (instance, epoch) pair so a restarted server (epoch back at 0)
+  /// can never collide with a cached epoch.
+  uint64_t instance() const { return Instance; }
+
+private:
+  std::vector<uint8_t> dispatch(const Frame &Request);
+
+  mutable std::mutex Mutex;
+  DiagnosisPipeline Pipeline;
+  PatchServerStats Stats;
+  uint64_t Instance;
+  std::atomic<bool> ShutdownFlag{false};
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_EXCHANGE_PATCHSERVER_H

@@ -1,0 +1,385 @@
+//===- exchange/SocketTransport.cpp - Unix/TCP transport --------------------===//
+
+#include "exchange/SocketTransport.h"
+
+#include "exchange/PatchServer.h"
+#include "exchange/WireProtocol.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// Endpoint parsing
+//===----------------------------------------------------------------------===//
+
+bool exterminator::parseEndpoint(const std::string &Spec, Endpoint &Out) {
+  if (Spec.rfind("unix:", 0) == 0) {
+    Out.Family = Endpoint::Unix;
+    Out.Path = Spec.substr(5);
+    // sockaddr_un::sun_path is ~108 bytes; leave room for the NUL.
+    return !Out.Path.empty() && Out.Path.size() < sizeof(sockaddr_un{}.sun_path);
+  }
+  if (Spec.rfind("tcp:", 0) == 0) {
+    const std::string Rest = Spec.substr(4);
+    const size_t Colon = Rest.rfind(':');
+    std::string Host = "127.0.0.1";
+    std::string PortStr = Rest;
+    if (Colon != std::string::npos) {
+      Host = Rest.substr(0, Colon);
+      PortStr = Rest.substr(Colon + 1);
+    }
+    if (Host.empty() || PortStr.empty() ||
+        PortStr.find_first_not_of("0123456789") != std::string::npos ||
+        PortStr.size() > 5)
+      return false;
+    // Only IPv4 literals are supported (the connect path uses
+    // inet_pton, no resolver); reject hostnames here so the user gets
+    // an immediate parse error instead of a silent retry loop that can
+    // never succeed.
+    in_addr Parsed;
+    if (::inet_pton(AF_INET, Host.c_str(), &Parsed) != 1)
+      return false;
+    const unsigned long Port = std::stoul(PortStr);
+    if (Port > 65535)
+      return false;
+    Out.Family = Endpoint::Tcp;
+    Out.Host = Host;
+    Out.Port = static_cast<uint16_t>(Port);
+    return true;
+  }
+  return false;
+}
+
+std::string exterminator::endpointToString(const Endpoint &Ep) {
+  if (Ep.Family == Endpoint::Unix)
+    return "unix:" + Ep.Path;
+  return "tcp:" + Ep.Host + ":" + std::to_string(Ep.Port);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-stream plumbing
+//===----------------------------------------------------------------------===//
+
+/// Writes all of \p Size bytes (MSG_NOSIGNAL: a peer that hung up is a
+/// return value, not a SIGPIPE).
+static bool sendAll(int Fd, const uint8_t *Data, size_t Size) {
+  while (Size > 0) {
+    const ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Size bytes; returns the count actually read (short
+/// only at EOF or error).
+static size_t recvAll(int Fd, uint8_t *Data, size_t Size) {
+  size_t Total = 0;
+  while (Total < Size) {
+    const ssize_t N = ::recv(Fd, Data + Total, Size - Total, 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Total += static_cast<size_t>(N);
+  }
+  return Total;
+}
+
+namespace {
+enum class FrameRead {
+  Frame,    ///< a complete frame landed in the buffer
+  CleanEof, ///< the peer closed between frames
+  Garbage,  ///< undelimitable bytes (bad magic / absurd length / cut off)
+};
+} // namespace
+
+/// Reads one wire frame off \p Fd.  Delimits by the header's length
+/// field after bounding it; full validation (checksum, type) stays with
+/// decodeFrame.  On Garbage, \p Out holds whatever bytes arrived so the
+/// caller can run them through decodeFrame for a precise error reply.
+static FrameRead readFrameBytes(int Fd, std::vector<uint8_t> &Out) {
+  Out.resize(FrameHeaderBytes);
+  const size_t HeaderGot = recvAll(Fd, Out.data(), FrameHeaderBytes);
+  if (HeaderGot == 0)
+    return FrameRead::CleanEof;
+  if (HeaderGot < FrameHeaderBytes) {
+    Out.resize(HeaderGot);
+    return FrameRead::Garbage;
+  }
+  const uint32_t Magic = readFrameU32(Out.data());
+  const uint32_t Length = readFrameU32(Out.data() + 6);
+  if (Magic != FrameMagic || Length > MaxFramePayload)
+    return FrameRead::Garbage;
+  Out.resize(FrameHeaderBytes + size_t(Length) + 4);
+  if (recvAll(Fd, Out.data() + FrameHeaderBytes, size_t(Length) + 4) !=
+      size_t(Length) + 4)
+    return FrameRead::Garbage;
+  return FrameRead::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// SocketClientTransport
+//===----------------------------------------------------------------------===//
+
+int SocketClientTransport::connectToServer() const {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    int Fd = -1;
+    if (Server.Family == Endpoint::Unix) {
+      Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Fd >= 0) {
+        sockaddr_un Addr{};
+        Addr.sun_family = AF_UNIX;
+        std::strncpy(Addr.sun_path, Server.Path.c_str(),
+                     sizeof(Addr.sun_path) - 1);
+        if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)) == 0)
+          return Fd;
+        ::close(Fd);
+        Fd = -1;
+      }
+    } else {
+      Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (Fd >= 0) {
+        sockaddr_in Addr{};
+        Addr.sin_family = AF_INET;
+        Addr.sin_port = htons(Server.Port);
+        if (::inet_pton(AF_INET, Server.Host.c_str(), &Addr.sin_addr) == 1 &&
+            ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)) == 0)
+          return Fd;
+        ::close(Fd);
+        Fd = -1;
+      }
+    }
+    if (Attempt >= ConnectRetries)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool SocketClientTransport::exchange(
+    const std::vector<std::vector<uint8_t>> &Requests,
+    std::vector<std::vector<uint8_t>> &ResponsesOut) {
+  ResponsesOut.clear();
+  if (Requests.empty())
+    return true;
+  const int Fd = connectToServer();
+  if (Fd < 0)
+    return false;
+
+  // Pipeline: all requests out, then one response per request.  The
+  // server answers in order, so no request ids are needed.
+  bool Ok = true;
+  for (const std::vector<uint8_t> &Request : Requests)
+    if (!sendAll(Fd, Request.data(), Request.size())) {
+      Ok = false;
+      break;
+    }
+  for (size_t I = 0; Ok && I < Requests.size(); ++I) {
+    std::vector<uint8_t> Response;
+    if (readFrameBytes(Fd, Response) != FrameRead::Frame) {
+      Ok = false;
+      break;
+    }
+    ResponsesOut.push_back(std::move(Response));
+  }
+  ::close(Fd);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// SocketPatchServer
+//===----------------------------------------------------------------------===//
+
+SocketPatchServer::SocketPatchServer(PatchServer &Server, unsigned Workers)
+    : Server(Server), Workers(Workers == 0 ? 1 : Workers) {}
+
+SocketPatchServer::~SocketPatchServer() {
+  stop();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (!UnixPathToUnlink.empty())
+    ::unlink(UnixPathToUnlink.c_str());
+}
+
+bool SocketPatchServer::listen(const Endpoint &Ep) {
+  if (ListenFd >= 0)
+    return false;
+  Bound = Ep;
+  if (Ep.Family == Endpoint::Unix) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return false;
+    ::unlink(Ep.Path.c_str()); // stale socket from a previous run
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Ep.Path.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0 ||
+        ::listen(ListenFd, 64) != 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    UnixPathToUnlink = Ep.Path;
+    return true;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return false;
+  const int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Ep.Port);
+  if (::inet_pton(AF_INET, Ep.Host.empty() ? "127.0.0.1" : Ep.Host.c_str(),
+                  &Addr.sin_addr) != 1 ||
+      ::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 64) != 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  // tcp:0 asked the kernel for a port; report the real one.
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                    &AddrLen) == 0)
+    Bound.Port = ntohs(Addr.sin_port);
+  if (Bound.Host.empty())
+    Bound.Host = "127.0.0.1";
+  return true;
+}
+
+void SocketPatchServer::serve() {
+  if (ListenFd < 0)
+    return;
+  // 1 + Workers indexes over a pool of the same size: the accept loop
+  // and every worker each own one index for the whole serve lifetime,
+  // and parallelFor's join barrier is the drain barrier.
+  Pool = std::make_unique<Executor>(1 + Workers);
+  Pool->parallelFor(1 + Workers, [this](size_t I) {
+    if (I == 0)
+      acceptLoop();
+    else
+      workerLoop();
+  });
+  Pool.reset();
+}
+
+bool SocketPatchServer::start() {
+  if (ListenFd < 0 || Background.joinable())
+    return false;
+  Background = std::thread([this] { serve(); });
+  return true;
+}
+
+void SocketPatchServer::requestStop() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping)
+      return;
+    Stopping = true;
+    for (unsigned I = 0; I < Workers; ++I)
+      Pending.push_back(-1);
+  }
+  QueueReady.notify_all();
+  // Kicks accept() out with an error; the fd is closed in the
+  // destructor (closing here would race a concurrent accept).
+  ::shutdown(ListenFd, SHUT_RDWR);
+}
+
+void SocketPatchServer::stop() {
+  requestStop();
+  if (Background.joinable())
+    Background.join();
+}
+
+void SocketPatchServer::acceptLoop() {
+  for (;;) {
+    // Poll before accepting so stop detection does not depend on
+    // shutdown() unblocking accept() (Linux does, other platforms need
+    // not); the 200 ms tick bounds shutdown latency either way.
+    pollfd Poll{ListenFd, POLLIN, 0};
+    const int Ready = ::poll(&Poll, 1, 200);
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      if (Stopping)
+        return;
+    }
+    if (Ready < 0 && errno != EINTR) {
+      requestStop();
+      return;
+    }
+    if (Ready <= 0)
+      continue;
+    const int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // requestStop's shutdown(), or a dead listener either way.
+      requestStop();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      if (Stopping) {
+        ::close(Fd);
+        return;
+      }
+      Pending.push_back(Fd);
+    }
+    QueueReady.notify_one();
+  }
+}
+
+void SocketPatchServer::workerLoop() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueReady.wait(Lock, [this] { return !Pending.empty(); });
+      Fd = Pending.front();
+      Pending.pop_front();
+    }
+    if (Fd < 0)
+      return; // stop sentinel
+    serveConnection(Fd);
+    if (Server.shutdownRequested())
+      requestStop();
+  }
+}
+
+void SocketPatchServer::serveConnection(int Fd) {
+  std::vector<uint8_t> Request, Response;
+  for (;;) {
+    const FrameRead Read = readFrameBytes(Fd, Request);
+    if (Read == FrameRead::CleanEof)
+      break;
+    // handleFrame answers garbage with a precise ErrorReply; its false
+    // return means the byte stream cannot be resynchronized, so reply
+    // and close.
+    const bool Resyncable = Server.handleFrame(Request, Response);
+    sendAll(Fd, Response.data(), Response.size());
+    if (Read != FrameRead::Frame || !Resyncable ||
+        Server.shutdownRequested())
+      break;
+  }
+  ::close(Fd);
+}

@@ -1,0 +1,25 @@
+//===- exchange/Transport.cpp - Client transport interface ------------------===//
+
+#include "exchange/Transport.h"
+
+#include "exchange/PatchServer.h"
+
+using namespace exterminator;
+
+ClientTransport::~ClientTransport() = default;
+
+bool LoopbackTransport::exchange(
+    const std::vector<std::vector<uint8_t>> &Requests,
+    std::vector<std::vector<uint8_t>> &ResponsesOut) {
+  ResponsesOut.clear();
+  ResponsesOut.reserve(Requests.size());
+  for (const std::vector<uint8_t> &Request : Requests) {
+    std::vector<uint8_t> Response;
+    // A malformed request still yields an ErrorReply frame; the
+    // connection-close semantics of byte streams do not apply in
+    // process.
+    Server.handleFrame(Request, Response);
+    ResponsesOut.push_back(std::move(Response));
+  }
+  return true;
+}

@@ -1,0 +1,351 @@
+//===- exchange/WireProtocol.cpp - Patch-exchange wire format ---------------===//
+
+#include "exchange/WireProtocol.h"
+
+#include "heapimage/ImageBundle.h"
+#include "patch/PatchIO.h"
+
+#include <cstring>
+
+using namespace exterminator;
+
+uint32_t exterminator::frameChecksum(const uint8_t *Data, size_t Size) {
+  uint32_t Hash = 2166136261u; // FNV-1a
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Data[I];
+    Hash *= 16777619u;
+  }
+  return Hash;
+}
+
+static bool isKnownType(uint8_t Type) {
+  switch (static_cast<MessageType>(Type)) {
+  case MessageType::SubmitImages:
+  case MessageType::SubmitSummary:
+  case MessageType::FetchPatches:
+  case MessageType::Shutdown:
+  case MessageType::SubmitImagesReply:
+  case MessageType::SubmitSummaryReply:
+  case MessageType::PatchesReply:
+  case MessageType::ShutdownReply:
+  case MessageType::ErrorReply:
+    return true;
+  }
+  return false;
+}
+
+std::vector<uint8_t>
+exterminator::encodeFrame(MessageType Type,
+                          const std::vector<uint8_t> &Payload) {
+  // Enforce the bound on the send side too: a payload past the limit
+  // would be rejected by every receiver anyway (and past 4 GiB the u32
+  // length would silently wrap into a desynced stream), so refuse to
+  // encode it — callers treat an empty frame as "too big to ship".
+  if (Payload.size() > MaxFramePayload)
+    return {};
+  std::vector<uint8_t> Out;
+  VectorSink Sink(Out);
+  StreamWriter Writer(Sink);
+  Writer.writeU32(FrameMagic);
+  Writer.writeU8(ProtocolVersion);
+  Writer.writeU8(static_cast<uint8_t>(Type));
+  Writer.writeU32(static_cast<uint32_t>(Payload.size()));
+  Writer.writeBytes(Payload.data(), Payload.size());
+  Writer.writeU32(frameChecksum(Payload.data(), Payload.size()));
+  return Out;
+}
+
+uint32_t exterminator::readFrameU32(const uint8_t *Data) {
+  // Explicit little-endian, matching StreamWriter::writeU32 — the frame
+  // must decode identically on any host the TCP endpoint reaches.
+  return uint32_t(Data[0]) | uint32_t(Data[1]) << 8 |
+         uint32_t(Data[2]) << 16 | uint32_t(Data[3]) << 24;
+}
+
+FrameError exterminator::decodeFrame(const uint8_t *Data, size_t Size,
+                                     Frame &FrameOut, size_t &ConsumedOut) {
+  if (Size < FrameHeaderBytes)
+    return FrameError::Truncated;
+  const uint32_t Magic = readFrameU32(Data);
+  const uint8_t Version = Data[4];
+  const uint8_t Type = Data[5];
+  const uint32_t Length = readFrameU32(Data + 6);
+  if (Magic != FrameMagic)
+    return FrameError::BadMagic;
+  if (Version != ProtocolVersion)
+    return FrameError::BadVersion;
+  if (!isKnownType(Type))
+    return FrameError::BadType;
+  // The length bound comes before the truncation check so a forged
+  // multi-gigabyte prefix is its own error, not a "keep reading".
+  if (Length > MaxFramePayload)
+    return FrameError::OversizedLength;
+  if (Size < FrameHeaderBytes + size_t(Length) + 4)
+    return FrameError::Truncated;
+  if (readFrameU32(Data + FrameHeaderBytes + Length) !=
+      frameChecksum(Data + FrameHeaderBytes, Length))
+    return FrameError::BadChecksum;
+  FrameOut.Type = static_cast<MessageType>(Type);
+  FrameOut.Payload.assign(Data + FrameHeaderBytes,
+                          Data + FrameHeaderBytes + Length);
+  ConsumedOut = FrameHeaderBytes + size_t(Length) + 4;
+  return FrameError::None;
+}
+
+const char *exterminator::frameErrorName(FrameError Error) {
+  switch (Error) {
+  case FrameError::None:
+    return "none";
+  case FrameError::Truncated:
+    return "truncated frame";
+  case FrameError::BadMagic:
+    return "bad frame magic";
+  case FrameError::BadVersion:
+    return "unknown protocol version";
+  case FrameError::BadType:
+    return "unknown message type";
+  case FrameError::OversizedLength:
+    return "oversized length prefix";
+  case FrameError::BadChecksum:
+    return "payload checksum mismatch";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Payload codecs
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t>
+exterminator::encodeSubmitImages(const ImageEvidence &Evidence) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  serializeImageBundle(Evidence.Primary, Sink);
+  serializeImageBundle(Evidence.Fallback, Sink);
+  return Payload;
+}
+
+bool exterminator::decodeSubmitImages(const std::vector<uint8_t> &Payload,
+                                      ImageEvidence &EvidenceOut) {
+  MemorySource Source(Payload);
+  // One wire budget across both bundles: the server materializes at
+  // most MaxWireSlots decoded slots per submission no matter what the
+  // frame declares (see MaxWireSlots).
+  uint64_t SlotBudget = MaxWireSlots;
+  if (!deserializeImageBundle(Source, EvidenceOut.Primary, SlotBudget))
+    return false;
+  if (!deserializeImageBundle(Source, EvidenceOut.Fallback, SlotBudget))
+    return false;
+  return Source.remaining() == 0;
+}
+
+std::vector<uint8_t>
+exterminator::encodeSubmitSummary(const RunSummary &Summary,
+                                  unsigned CleanStreak) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeVarU64(CleanStreak);
+  const std::vector<uint8_t> Blob = serializeRunSummary(Summary);
+  Writer.writeVarU64(Blob.size());
+  Writer.writeBytes(Blob.data(), Blob.size());
+  return Payload;
+}
+
+bool exterminator::decodeSubmitSummary(const std::vector<uint8_t> &Payload,
+                                       RunSummary &SummaryOut,
+                                       unsigned &CleanStreakOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  const uint64_t Streak = Reader.readVarU64();
+  const uint64_t BlobSize = Reader.readVarU64();
+  if (Reader.failed() || Streak > ~0u || BlobSize > Payload.size())
+    return false;
+  std::vector<uint8_t> Blob(BlobSize);
+  if (!Reader.readBytes(Blob.data(), Blob.size()))
+    return false;
+  if (Source.remaining() != 0)
+    return false;
+  CleanStreakOut = static_cast<unsigned>(Streak);
+  return deserializeRunSummary(Blob, SummaryOut);
+}
+
+std::vector<uint8_t>
+exterminator::encodeFetchPatches(uint64_t KnownEpoch,
+                                 uint64_t KnownInstance) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(KnownInstance);
+  Writer.writeU64(KnownEpoch);
+  return Payload;
+}
+
+bool exterminator::decodeFetchPatches(const std::vector<uint8_t> &Payload,
+                                      uint64_t &KnownEpochOut,
+                                      uint64_t &KnownInstanceOut) {
+  if (Payload.size() != 16)
+    return false;
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  KnownInstanceOut = Reader.readU64();
+  KnownEpochOut = Reader.readU64();
+  return !Reader.failed();
+}
+
+std::vector<uint8_t>
+exterminator::encodeImagesReply(const ImagesReply &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeVarU64(Reply.OverflowFindings);
+  Writer.writeVarU64(Reply.DanglingFindings);
+  return Payload;
+}
+
+bool exterminator::decodeImagesReply(const std::vector<uint8_t> &Payload,
+                                     ImagesReply &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  ReplyOut.OverflowFindings = Reader.readVarU64();
+  ReplyOut.DanglingFindings = Reader.readVarU64();
+  return !Reader.failed() && Source.remaining() == 0;
+}
+
+/// Finding counts in a reply are bounded by the sites a program can
+/// contain, not by what a forged frame claims.
+static constexpr uint64_t MaxReplyFindings = uint64_t(1) << 20;
+
+std::vector<uint8_t>
+exterminator::encodeSummaryReply(const SummaryReply &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeVarU64(Reply.Diagnosis.Overflows.size());
+  for (const CumulativeOverflowFinding &F : Reply.Diagnosis.Overflows) {
+    Writer.writeU32(F.AllocSite);
+    Writer.writeF64(F.LogBayesFactor);
+    Writer.writeF64(F.LogThreshold);
+    Writer.writeU32(F.PadBytes);
+    Writer.writeU32(F.TrialCount);
+    Writer.writeU32(F.ObservedCount);
+  }
+  Writer.writeVarU64(Reply.Diagnosis.Danglings.size());
+  for (const CumulativeDanglingFinding &F : Reply.Diagnosis.Danglings) {
+    Writer.writeU32(F.AllocSite);
+    Writer.writeU32(F.FreeSite);
+    Writer.writeF64(F.LogBayesFactor);
+    Writer.writeF64(F.LogThreshold);
+    Writer.writeU64(F.DeferralTicks);
+    Writer.writeU32(F.TrialCount);
+    Writer.writeU32(F.ObservedCount);
+  }
+  return Payload;
+}
+
+bool exterminator::decodeSummaryReply(const std::vector<uint8_t> &Payload,
+                                      SummaryReply &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  const uint64_t NumOverflows = Reader.readVarU64();
+  if (Reader.failed() || NumOverflows > MaxReplyFindings)
+    return false;
+  ReplyOut.Diagnosis.Overflows.clear();
+  for (uint64_t I = 0; I < NumOverflows && !Reader.failed(); ++I) {
+    CumulativeOverflowFinding F;
+    F.AllocSite = Reader.readU32();
+    F.LogBayesFactor = Reader.readF64();
+    F.LogThreshold = Reader.readF64();
+    F.PadBytes = Reader.readU32();
+    F.TrialCount = Reader.readU32();
+    F.ObservedCount = Reader.readU32();
+    ReplyOut.Diagnosis.Overflows.push_back(F);
+  }
+  const uint64_t NumDanglings = Reader.readVarU64();
+  if (Reader.failed() || NumDanglings > MaxReplyFindings)
+    return false;
+  ReplyOut.Diagnosis.Danglings.clear();
+  for (uint64_t I = 0; I < NumDanglings && !Reader.failed(); ++I) {
+    CumulativeDanglingFinding F;
+    F.AllocSite = Reader.readU32();
+    F.FreeSite = Reader.readU32();
+    F.LogBayesFactor = Reader.readF64();
+    F.LogThreshold = Reader.readF64();
+    F.DeferralTicks = Reader.readU64();
+    F.TrialCount = Reader.readU32();
+    F.ObservedCount = Reader.readU32();
+    ReplyOut.Diagnosis.Danglings.push_back(F);
+  }
+  return !Reader.failed() && Source.remaining() == 0;
+}
+
+std::vector<uint8_t>
+exterminator::encodePatchesReply(const PatchesReply &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeU8(Reply.Modified ? 1 : 0);
+  if (Reply.Modified) {
+    const std::vector<uint8_t> Blob = serializePatchSet(Reply.Patches);
+    Writer.writeVarU64(Blob.size());
+    Writer.writeBytes(Blob.data(), Blob.size());
+  }
+  return Payload;
+}
+
+bool exterminator::decodePatchesReply(const std::vector<uint8_t> &Payload,
+                                      PatchesReply &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  const uint8_t Modified = Reader.readU8();
+  if (Reader.failed() || Modified > 1)
+    return false;
+  ReplyOut.Modified = Modified != 0;
+  ReplyOut.Patches.clear();
+  if (ReplyOut.Modified) {
+    const uint64_t BlobSize = Reader.readVarU64();
+    if (Reader.failed() || BlobSize > Payload.size())
+      return false;
+    std::vector<uint8_t> Blob(BlobSize);
+    if (!Reader.readBytes(Blob.data(), Blob.size()))
+      return false;
+    if (!deserializePatchSet(Blob, ReplyOut.Patches))
+      return false;
+  }
+  return Source.remaining() == 0;
+}
+
+std::vector<uint8_t>
+exterminator::encodeErrorReply(const std::string &Message) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeVarU64(Message.size());
+  Writer.writeBytes(Message.data(), Message.size());
+  return Payload;
+}
+
+bool exterminator::decodeErrorReply(const std::vector<uint8_t> &Payload,
+                                    std::string &MessageOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  const uint64_t Size = Reader.readVarU64();
+  if (Reader.failed() || Size > Payload.size())
+    return false;
+  MessageOut.resize(Size);
+  if (!Reader.readBytes(MessageOut.data(), Size))
+    return false;
+  return Source.remaining() == 0;
+}

@@ -2,26 +2,14 @@
 
 #include "heapimage/HeapImageIO.h"
 
+#include "heapimage/ImageFormatDetail.h"
+
 using namespace exterminator;
+using namespace exterminator::imagedetail;
 
 // Format magics: "XHI1" (legacy array-of-structs) and "XHI2" (columnar).
 static constexpr uint32_t ImageMagicV1 = 0x58484931;
 static constexpr uint32_t ImageMagicV2 = 0x58484932;
-
-// Sanity bounds rejecting absurd values from corrupt headers before any
-// allocation is sized from them.  Counts read from a header additionally
-// never pre-size more than ReserveCap entries (see reserveSlots calls):
-// a forged count with no data behind it then fails at the first record
-// read instead of reserving gigabytes up front.
-static constexpr uint64_t MaxMiniheaps = uint64_t(1) << 24;
-static constexpr uint64_t MaxSlotsPerMiniheap = uint64_t(1) << 28;
-static constexpr uint64_t MaxObjectSizeBound = uint64_t(1) << 20;
-static constexpr uint64_t MaxSites = uint64_t(1) << 20;
-static constexpr uint64_t ReserveCap = uint64_t(1) << 16;
-/// Virgin-region records amplify (a few bytes expand to Count slots), so
-/// the decoded image's total slot count is capped as well — 16M slots is
-/// an order of magnitude past any real capture.
-static constexpr uint64_t MaxTotalSlots = uint64_t(1) << 24;
 
 /// Marker tag for a run of consecutive virgin slots (never allocated,
 /// contents one repeated word).  Distinct from any flags|HasMeta byte:
@@ -32,11 +20,59 @@ static constexpr uint8_t FlagsMask =
     SlotFlagAllocated | SlotFlagBad | SlotFlagCanaried;
 
 //===----------------------------------------------------------------------===//
-// v2 serialization
+// Shared v2 body codec (ImageFormatDetail.h) — used by this file's
+// single-image format and by ImageBundle's multi-image format.
 //===----------------------------------------------------------------------===//
 
-/// True when global slot \p G can join a virgin region run: never
-/// allocated, no recorded history, and contents a single repeated word.
+void imagedetail::SiteDictionary::collect(const HeapImage &Image) {
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
+      const ImageLocation Loc{M, S};
+      intern(Image.allocSite(Loc));
+      intern(Image.freeSite(Loc));
+    }
+  }
+}
+
+void imagedetail::writeImageHeader(StreamWriter &Writer,
+                                   const HeapImage &Image) {
+  Writer.writeU64(Image.AllocationTime);
+  Writer.writeU32(Image.CanaryValue);
+  Writer.writeF64(Image.CanaryFillProbability);
+  Writer.writeF64(Image.Multiplier);
+  Writer.writeU64(Image.HeapSeed);
+}
+
+void imagedetail::readImageHeader(StreamReader &Reader, HeapImage &Image) {
+  Image.AllocationTime = Reader.readU64();
+  Image.CanaryValue = Reader.readU32();
+  Image.CanaryFillProbability = Reader.readF64();
+  Image.Multiplier = Reader.readF64();
+  Image.HeapSeed = Reader.readU64();
+}
+
+void imagedetail::writeSiteTable(StreamWriter &Writer,
+                                 const std::vector<SiteId> &Table) {
+  Writer.writeVarU64(Table.size());
+  for (SiteId Site : Table)
+    Writer.writeU32(Site);
+}
+
+bool imagedetail::readSiteTable(StreamReader &Reader,
+                                std::vector<SiteId> &TableOut) {
+  const uint64_t NumSites = Reader.readVarU64();
+  if (Reader.failed() || NumSites == 0 || NumSites > MaxSites)
+    return false;
+  TableOut.clear();
+  TableOut.reserve(std::min(NumSites, ReserveCap));
+  for (uint64_t I = 0; I < NumSites && !Reader.failed(); ++I)
+    TableOut.push_back(Reader.readU32());
+  return !Reader.failed();
+}
+
+/// True when slot \p Loc can join a virgin region run: never allocated,
+/// no recorded history, and contents a single repeated word.
 static bool isVirginSlot(const HeapImage &Image, const ImageLocation &Loc,
                          uint64_t &WordOut) {
   if (Image.slotFlags(Loc) != 0 || Image.objectId(Loc) != 0 ||
@@ -67,42 +103,8 @@ static void writeSlotContents(StreamWriter &Writer, const HeapImage &Image,
   }
 }
 
-bool exterminator::serializeHeapImage(const HeapImage &Image,
-                                      ByteSink &Sink) {
-  StreamWriter Writer(Sink);
-  Writer.writeU32(ImageMagicV2);
-  Writer.writeU32(HeapImageFormatV2);
-  Writer.writeU64(Image.AllocationTime);
-  Writer.writeU32(Image.CanaryValue);
-  Writer.writeF64(Image.CanaryFillProbability);
-  Writer.writeF64(Image.Multiplier);
-  Writer.writeU64(Image.HeapSeed);
-
-  // Call-site dictionary: a handful of 32-bit site hashes account for
-  // every slot, so slots store 1-byte dictionary indexes instead of
-  // 5-byte varint hashes.  First-appearance order keeps the encoding
-  // deterministic.
-  std::vector<SiteId> SiteTable;
-  std::unordered_map<SiteId, uint64_t> SiteIndex;
-  auto internSite = [&](SiteId Site) {
-    auto [It, Inserted] = SiteIndex.emplace(Site, SiteTable.size());
-    if (Inserted)
-      SiteTable.push_back(Site);
-    return It->second;
-  };
-  internSite(0); // Index 0 is always "no site".
-  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
-    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
-    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
-      const ImageLocation Loc{M, S};
-      internSite(Image.allocSite(Loc));
-      internSite(Image.freeSite(Loc));
-    }
-  }
-  Writer.writeVarU64(SiteTable.size());
-  for (SiteId Site : SiteTable)
-    Writer.writeU32(Site);
-
+void imagedetail::writeImageBody(StreamWriter &Writer, const HeapImage &Image,
+                                 const SiteDictionary &Sites) {
   Writer.writeVarU64(Image.miniheapCount());
 
   for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
@@ -141,28 +143,15 @@ bool exterminator::serializeHeapImage(const HeapImage &Image,
       if (HasMeta) {
         Writer.writeVarU64(Image.objectId(Loc));
         Writer.writeVarU64(Image.freeTime(Loc));
-        Writer.writeVarU64(SiteIndex.at(Image.allocSite(Loc)));
-        Writer.writeVarU64(SiteIndex.at(Image.freeSite(Loc)));
+        Writer.writeVarU64(Sites.indexOf(Image.allocSite(Loc)));
+        Writer.writeVarU64(Sites.indexOf(Image.freeSite(Loc)));
         Writer.writeVarU64(Image.requestedSize(Loc));
       }
       writeSlotContents(Writer, Image, Image.contents(Loc));
       ++S;
     }
   }
-  return !Writer.failed();
 }
-
-std::vector<uint8_t>
-exterminator::serializeHeapImage(const HeapImage &Image) {
-  std::vector<uint8_t> Buffer;
-  VectorSink Sink(Buffer);
-  serializeHeapImage(Image, Sink);
-  return Buffer;
-}
-
-//===----------------------------------------------------------------------===//
-// v2 deserialization
-//===----------------------------------------------------------------------===//
 
 /// Reads one slot's contents runs; total length must be exactly
 /// \p ObjectSize.
@@ -200,26 +189,9 @@ static bool readSlotContents(StreamReader &Reader, HeapImage &Image,
   return Total == ObjectSize;
 }
 
-static bool deserializeV2(StreamReader &Reader, HeapImage &Image) {
-  if (Reader.readU32() != HeapImageFormatV2)
-    return false;
-  Image.AllocationTime = Reader.readU64();
-  Image.CanaryValue = Reader.readU32();
-  Image.CanaryFillProbability = Reader.readF64();
-  Image.Multiplier = Reader.readF64();
-  Image.HeapSeed = Reader.readU64();
-  Image.SourceFormatVersion = HeapImageFormatV2;
-
-  const uint64_t NumSites = Reader.readVarU64();
-  if (Reader.failed() || NumSites == 0 || NumSites > MaxSites)
-    return false;
-  std::vector<SiteId> SiteTable;
-  SiteTable.reserve(std::min(NumSites, ReserveCap));
-  for (uint64_t I = 0; I < NumSites && !Reader.failed(); ++I)
-    SiteTable.push_back(Reader.readU32());
-  if (Reader.failed())
-    return false;
-
+bool imagedetail::readImageBody(StreamReader &Reader, HeapImage &Image,
+                                const std::vector<SiteId> &SiteTable,
+                                uint64_t &SlotBudget) {
   const uint64_t NumMiniheaps = Reader.readVarU64();
   if (Reader.failed() || NumMiniheaps > MaxMiniheaps)
     return false;
@@ -232,9 +204,10 @@ static bool deserializeV2(StreamReader &Reader, HeapImage &Image) {
     const uint64_t CreationTime = Reader.readVarU64();
     const uint64_t NumSlots = Reader.readVarU64();
     if (Reader.failed() || NumSlots > MaxSlotsPerMiniheap ||
-        Image.totalSlots() + NumSlots > MaxTotalSlots || ObjectSize == 0 ||
+        NumSlots > SlotBudget || ObjectSize == 0 ||
         ObjectSize > MaxObjectSizeBound || ObjectSize % 8 != 0)
       return false;
+    SlotBudget -= NumSlots;
     Image.beginMiniheap(static_cast<uint32_t>(SizeClassIndex), ObjectSize,
                         BaseAddress, CreationTime);
     Image.reserveSlots(std::min(NumSlots, ReserveCap));
@@ -280,6 +253,53 @@ static bool deserializeV2(StreamReader &Reader, HeapImage &Image) {
     }
   }
   return !Reader.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// v2 serialization
+//===----------------------------------------------------------------------===//
+
+bool exterminator::serializeHeapImage(const HeapImage &Image,
+                                      ByteSink &Sink) {
+  StreamWriter Writer(Sink);
+  Writer.writeU32(ImageMagicV2);
+  Writer.writeU32(HeapImageFormatV2);
+  writeImageHeader(Writer, Image);
+
+  // Call-site dictionary: a handful of 32-bit site hashes account for
+  // every slot, so slots store 1-byte dictionary indexes instead of
+  // 5-byte varint hashes.  First-appearance order keeps the encoding
+  // deterministic.
+  SiteDictionary Sites;
+  Sites.collect(Image);
+  writeSiteTable(Writer, Sites.table());
+  writeImageBody(Writer, Image, Sites);
+  return !Writer.failed();
+}
+
+std::vector<uint8_t>
+exterminator::serializeHeapImage(const HeapImage &Image) {
+  std::vector<uint8_t> Buffer;
+  VectorSink Sink(Buffer);
+  serializeHeapImage(Image, Sink);
+  return Buffer;
+}
+
+//===----------------------------------------------------------------------===//
+// v2 deserialization
+//===----------------------------------------------------------------------===//
+
+static bool deserializeV2(StreamReader &Reader, HeapImage &Image) {
+  if (Reader.readU32() != HeapImageFormatV2)
+    return false;
+  readImageHeader(Reader, Image);
+  Image.SourceFormatVersion = HeapImageFormatV2;
+
+  std::vector<SiteId> SiteTable;
+  if (!readSiteTable(Reader, SiteTable))
+    return false;
+  uint64_t SlotBudget = MaxTotalSlots;
+  return readImageBody(Reader, Image, SiteTable, SlotBudget);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,103 @@
+//===- heapimage/ImageBundle.cpp - Multi-image wire format ------------------===//
+
+#include "heapimage/ImageBundle.h"
+
+#include "heapimage/HeapImageIO.h"
+#include "heapimage/ImageFormatDetail.h"
+
+using namespace exterminator;
+using namespace exterminator::imagedetail;
+
+// "XIB1": image bundle, cross-image dictionary.
+static constexpr uint32_t BundleMagic = 0x58494231;
+
+bool exterminator::serializeImageBundle(const std::vector<HeapImage> &Images,
+                                        ByteSink &Sink) {
+  StreamWriter Writer(Sink);
+  Writer.writeU32(BundleMagic);
+  Writer.writeU32(ImageBundleFormatV1);
+  Writer.writeVarU64(Images.size());
+
+  // One dictionary across every image: replicated dumps of the same
+  // program reference the same sites, so the union table is barely
+  // larger than any one image's table.
+  SiteDictionary Sites;
+  for (const HeapImage &Image : Images)
+    Sites.collect(Image);
+  writeSiteTable(Writer, Sites.table());
+
+  for (const HeapImage &Image : Images) {
+    writeImageHeader(Writer, Image);
+    writeImageBody(Writer, Image, Sites);
+  }
+  return !Writer.failed();
+}
+
+std::vector<uint8_t>
+exterminator::serializeImageBundle(const std::vector<HeapImage> &Images) {
+  std::vector<uint8_t> Buffer;
+  VectorSink Sink(Buffer);
+  serializeImageBundle(Images, Sink);
+  return Buffer;
+}
+
+bool exterminator::deserializeImageBundle(ByteSource &Source,
+                                          std::vector<HeapImage> &ImagesOut,
+                                          uint64_t &SlotBudget) {
+  StreamReader Reader(Source);
+  if (Reader.readU32() != BundleMagic)
+    return false;
+  if (Reader.readU32() != ImageBundleFormatV1)
+    return false;
+  const uint64_t NumImages = Reader.readVarU64();
+  if (Reader.failed() || NumImages > MaxBundleImages)
+    return false;
+
+  std::vector<SiteId> SiteTable;
+  if (!readSiteTable(Reader, SiteTable))
+    return false;
+
+  ImagesOut.clear();
+  ImagesOut.reserve(NumImages);
+  for (uint64_t I = 0; I < NumImages; ++I) {
+    HeapImage Image;
+    readImageHeader(Reader, Image);
+    Image.SourceFormatVersion = HeapImageFormatV2;
+    // One budget across all images: N forged maximal images cannot
+    // multiply what one is allowed to declare.
+    if (Reader.failed() || !readImageBody(Reader, Image, SiteTable,
+                                          SlotBudget))
+      return false;
+    ImagesOut.push_back(std::move(Image));
+  }
+  return !Reader.failed();
+}
+
+bool exterminator::deserializeImageBundle(const std::vector<uint8_t> &Buffer,
+                                          std::vector<HeapImage> &ImagesOut,
+                                          uint64_t &SlotBudget) {
+  MemorySource Source(Buffer);
+  if (!deserializeImageBundle(Source, ImagesOut, SlotBudget))
+    return false;
+  return Source.remaining() == 0;
+}
+
+bool exterminator::saveImageBundle(const std::vector<HeapImage> &Images,
+                                   const std::string &Path) {
+  FileSink Sink(Path);
+  if (!Sink.ok())
+    return false;
+  if (!serializeImageBundle(Images, Sink))
+    return false;
+  return Sink.close();
+}
+
+bool exterminator::loadImageBundle(const std::string &Path,
+                                   std::vector<HeapImage> &ImagesOut) {
+  FileSource Source(Path);
+  if (!Source.ok())
+    return false;
+  if (!deserializeImageBundle(Source, ImagesOut))
+    return false;
+  return Source.exhausted();
+}

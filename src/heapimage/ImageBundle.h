@@ -1,0 +1,102 @@
+//===- heapimage/ImageBundle.h - Multi-image wire format -------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The image *bundle* format ("XIB1"): a set of heap images serialized
+/// with one cross-image call-site dictionary.  Diagnosis evidence always
+/// travels as sets — §4 isolation needs multiple images of
+/// differently-randomized heaps, and those replicated dumps reference
+/// almost exactly the same allocation/deallocation sites — so a bundle
+/// writes the union site table once and every image's slot records index
+/// into it.  A bundle of N replicated dumps is therefore strictly smaller
+/// than N independent v2 files (tests pin this), which is what makes
+/// image evidence cheap enough to ship to a patch server.
+///
+/// The per-image bodies reuse the v2 columnar/run-length encoding
+/// byte-for-byte (ImageFormatDetail.h); only the dictionary placement
+/// differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_HEAPIMAGE_IMAGEBUNDLE_H
+#define EXTERMINATOR_HEAPIMAGE_IMAGEBUNDLE_H
+
+#include "heapimage/HeapImage.h"
+#include "support/Serializer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Bundle wire-format version.
+inline constexpr uint32_t ImageBundleFormatV1 = 1;
+
+/// Most images one bundle may carry (far above MaxImages in any config;
+/// a forged count fails here instead of looping).
+inline constexpr uint64_t MaxBundleImages = 1024;
+
+/// Default decoded-slot budget shared across every image of one bundle
+/// (matches the single-image file bound).  Virgin-run records amplify —
+/// a dozen wire bytes declare Count slots — so decoders bound what they
+/// will materialize, not what they will read.
+inline constexpr uint64_t MaxBundleSlots = uint64_t(1) << 24;
+
+/// The tighter budget the patch server applies to bundles arriving over
+/// the wire (2M slots ≈ two orders of magnitude above any real evidence
+/// set: MaxImages ≤ 8 captures of thousands of slots).  Keeps a forged
+/// ~100-byte SubmitImages frame from inflating into gigabytes of
+/// columns before rejection.
+inline constexpr uint64_t MaxWireSlots = uint64_t(1) << 21;
+
+/// Streams \p Images as one bundle into \p Sink; returns false on write
+/// failure.  An empty set encodes as a valid zero-image bundle.
+bool serializeImageBundle(const std::vector<HeapImage> &Images,
+                          ByteSink &Sink);
+
+/// Encodes \p Images into a self-describing bundle byte buffer.
+std::vector<uint8_t>
+serializeImageBundle(const std::vector<HeapImage> &Images);
+
+/// Streaming decode of one bundle.  Returns false (leaving \p ImagesOut
+/// unspecified) on malformed input — truncation, bad magic/version,
+/// oversized counts, slot declarations past \p SlotBudget, or slot
+/// records referencing out-of-range dictionary entries.  \p SlotBudget
+/// is decremented by the slots actually declared, so one budget can
+/// span several bundles (the server shares one across a submission's
+/// primary + fallback pair).  Does not check for trailing bytes —
+/// callers owning the stream decide what follows.
+bool deserializeImageBundle(ByteSource &Source,
+                            std::vector<HeapImage> &ImagesOut,
+                            uint64_t &SlotBudget);
+inline bool deserializeImageBundle(ByteSource &Source,
+                                   std::vector<HeapImage> &ImagesOut) {
+  uint64_t SlotBudget = MaxBundleSlots;
+  return deserializeImageBundle(Source, ImagesOut, SlotBudget);
+}
+
+/// Buffer decode; additionally rejects trailing garbage.
+bool deserializeImageBundle(const std::vector<uint8_t> &Buffer,
+                            std::vector<HeapImage> &ImagesOut,
+                            uint64_t &SlotBudget);
+inline bool deserializeImageBundle(const std::vector<uint8_t> &Buffer,
+                                   std::vector<HeapImage> &ImagesOut) {
+  uint64_t SlotBudget = MaxBundleSlots;
+  return deserializeImageBundle(Buffer, ImagesOut, SlotBudget);
+}
+
+/// Saves \p Images as a bundle file; returns false on I/O failure.
+bool saveImageBundle(const std::vector<HeapImage> &Images,
+                     const std::string &Path);
+
+/// Loads a bundle file; returns false on I/O or format failure.
+bool loadImageBundle(const std::string &Path,
+                     std::vector<HeapImage> &ImagesOut);
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_HEAPIMAGE_IMAGEBUNDLE_H

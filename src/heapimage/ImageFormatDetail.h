@@ -1,0 +1,108 @@
+//===- heapimage/ImageFormatDetail.h - Shared v2 body codec ----*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal building blocks shared by the two columnar wire formats: the
+/// single-image v2 format (HeapImageIO) and the multi-image bundle format
+/// (ImageBundle).  Both encode the same header fields and miniheap/slot
+/// body; they differ only in where the call-site dictionary lives — per
+/// image for v2, one table across all images for a bundle (replicated
+/// dumps share almost all sites, so the bundle amortizes the table).
+///
+/// Not installed API: only the two format translation units include this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_HEAPIMAGE_IMAGEFORMATDETAIL_H
+#define EXTERMINATOR_HEAPIMAGE_IMAGEFORMATDETAIL_H
+
+#include "heapimage/HeapImage.h"
+#include "support/Serializer.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace exterminator {
+namespace imagedetail {
+
+// Sanity bounds rejecting absurd values from corrupt headers before any
+// allocation is sized from them.  Counts read from a header additionally
+// never pre-size more than ReserveCap entries (see reserveSlots calls):
+// a forged count with no data behind it then fails at the first record
+// read instead of reserving gigabytes up front.
+inline constexpr uint64_t MaxMiniheaps = uint64_t(1) << 24;
+inline constexpr uint64_t MaxSlotsPerMiniheap = uint64_t(1) << 28;
+inline constexpr uint64_t MaxObjectSizeBound = uint64_t(1) << 20;
+inline constexpr uint64_t MaxSites = uint64_t(1) << 20;
+inline constexpr uint64_t ReserveCap = uint64_t(1) << 16;
+/// Virgin-region records amplify (a few bytes expand to Count slots), so
+/// the decoded image's total slot count is capped as well — 16M slots is
+/// an order of magnitude past any real capture.
+inline constexpr uint64_t MaxTotalSlots = uint64_t(1) << 24;
+
+/// First-appearance-order call-site dictionary builder.  Index 0 is
+/// always "no site", so the dominant metadata-free slots encode their
+/// site references in one byte.
+class SiteDictionary {
+public:
+  SiteDictionary() { intern(0); }
+
+  uint64_t intern(SiteId Site) {
+    auto [It, Inserted] = Index.emplace(Site, Table.size());
+    if (Inserted)
+      Table.push_back(Site);
+    return It->second;
+  }
+
+  /// Interns every alloc/free site the image references.
+  void collect(const HeapImage &Image);
+
+  uint64_t indexOf(SiteId Site) const { return Index.at(Site); }
+  const std::vector<SiteId> &table() const { return Table; }
+
+private:
+  std::vector<SiteId> Table;
+  std::unordered_map<SiteId, uint64_t> Index;
+};
+
+/// Writes the per-image scalar header fields (allocation time, canary,
+/// p, M, seed) — everything that differs between replicated dumps.
+void writeImageHeader(StreamWriter &Writer, const HeapImage &Image);
+
+/// Reads the scalar header fields written by writeImageHeader.
+void readImageHeader(StreamReader &Reader, HeapImage &Image);
+
+/// Writes the dictionary's site table (varint count + 32-bit hashes).
+void writeSiteTable(StreamWriter &Writer, const std::vector<SiteId> &Table);
+
+/// Reads a site table; returns false on a malformed or oversized one.
+bool readSiteTable(StreamReader &Reader, std::vector<SiteId> &TableOut);
+
+/// Writes the image body: miniheap count, then per-miniheap descriptors
+/// and slot records (virgin regions collapsed, metadata varint-packed,
+/// contents run-encoded).  Site references are indexes into \p Sites,
+/// which must already contain every site the image uses.
+void writeImageBody(StreamWriter &Writer, const HeapImage &Image,
+                    const SiteDictionary &Sites);
+
+/// Reads an image body, resolving site indexes through \p SiteTable.
+/// Returns false on malformed input, including out-of-range dictionary
+/// references; \p Image must be freshly constructed apart from its
+/// header fields.  \p SlotBudget bounds the slots this body may declare
+/// and is decremented by what it consumes — virgin-run records amplify
+/// (a dozen wire bytes expand to Count decoded slots), so the budget is
+/// what keeps a tiny forged body from materializing gigabytes of
+/// columns.  Single-image formats pass MaxTotalSlots; a bundle shares
+/// one budget across all its images, and the wire path shrinks it
+/// further (MaxWireSlots).
+bool readImageBody(StreamReader &Reader, HeapImage &Image,
+                   const std::vector<SiteId> &SiteTable,
+                   uint64_t &SlotBudget);
+
+} // namespace imagedetail
+} // namespace exterminator
+
+#endif // EXTERMINATOR_HEAPIMAGE_IMAGEFORMATDETAIL_H

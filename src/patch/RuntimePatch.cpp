@@ -6,16 +6,26 @@
 
 using namespace exterminator;
 
-void PatchSet::addPad(SiteId AllocSite, uint32_t PadBytes) {
-  uint32_t &Entry = PadTable[AllocSite];
-  if (PadBytes > Entry)
-    Entry = PadBytes;
+/// The max-merge primitive all patch tables share: insert, or raise an
+/// existing entry to the maximum.  Returns whether the table changed
+/// (what the diagnosis pipeline's epoch detection keys on).
+template <typename MapT>
+static bool maxInsert(MapT &Table, typename MapT::key_type Key,
+                      typename MapT::mapped_type Value) {
+  auto [It, Inserted] = Table.try_emplace(Key, Value);
+  if (!Inserted && Value > It->second) {
+    It->second = Value;
+    return true;
+  }
+  return Inserted;
 }
 
-void PatchSet::addFrontPad(SiteId AllocSite, uint32_t PadBytes) {
-  uint32_t &Entry = FrontPadTable[AllocSite];
-  if (PadBytes > Entry)
-    Entry = PadBytes;
+bool PatchSet::addPad(SiteId AllocSite, uint32_t PadBytes) {
+  return maxInsert(PadTable, AllocSite, PadBytes);
+}
+
+bool PatchSet::addFrontPad(SiteId AllocSite, uint32_t PadBytes) {
+  return maxInsert(FrontPadTable, AllocSite, PadBytes);
 }
 
 uint32_t PatchSet::frontPadFor(SiteId AllocSite) const {
@@ -37,11 +47,9 @@ std::vector<FrontPadPatch> PatchSet::frontPads() const {
   return Result;
 }
 
-void PatchSet::addDeferral(SiteId AllocSite, SiteId FreeSite,
+bool PatchSet::addDeferral(SiteId AllocSite, SiteId FreeSite,
                            uint64_t DeferTicks) {
-  uint64_t &Entry = DeferralTable[pairKey(AllocSite, FreeSite)];
-  if (DeferTicks > Entry)
-    Entry = DeferTicks;
+  return maxInsert(DeferralTable, pairKey(AllocSite, FreeSite), DeferTicks);
 }
 
 uint32_t PatchSet::padFor(SiteId AllocSite) const {
@@ -60,16 +68,15 @@ uint64_t PatchSet::deferralFor(SiteId AllocSite, SiteId FreeSite) const {
   return It == DeferralTable.end() ? 0 : It->second;
 }
 
-void PatchSet::merge(const PatchSet &Other) {
+bool PatchSet::merge(const PatchSet &Other) {
+  bool Changed = false;
   for (const auto &[Site, Pad] : Other.PadTable)
-    addPad(Site, Pad);
+    Changed |= addPad(Site, Pad);
   for (const auto &[Site, Pad] : Other.FrontPadTable)
-    addFrontPad(Site, Pad);
-  for (const auto &[Key, Defer] : Other.DeferralTable) {
-    uint64_t &Entry = DeferralTable[Key];
-    if (Defer > Entry)
-      Entry = Defer;
-  }
+    Changed |= addFrontPad(Site, Pad);
+  for (const auto &[Key, Defer] : Other.DeferralTable)
+    Changed |= maxInsert(DeferralTable, Key, Defer);
+  return Changed;
 }
 
 std::vector<PadPatch> PatchSet::pads() const {

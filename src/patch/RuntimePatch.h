@@ -65,10 +65,12 @@ class PatchSet {
 public:
   /// Records a pad for \p AllocSite, keeping the maximum pad seen (§6.1:
   /// "Exterminator uses the maximum padding value encountered so far").
-  void addPad(SiteId AllocSite, uint32_t PadBytes);
+  /// Returns true when the set changed (new site, or a larger pad) —
+  /// what the diagnosis pipeline's epoch counter keys on.
+  bool addPad(SiteId AllocSite, uint32_t PadBytes);
 
   /// Records a front pad (backward-overflow extension), keeping the max.
-  void addFrontPad(SiteId AllocSite, uint32_t PadBytes);
+  bool addFrontPad(SiteId AllocSite, uint32_t PadBytes);
 
   /// Front pad for \p AllocSite; 0 when unpatched.
   uint32_t frontPadFor(SiteId AllocSite) const;
@@ -79,7 +81,7 @@ public:
   size_t frontPadCount() const { return FrontPadTable.size(); }
 
   /// Records a deferral for the site pair, keeping the maximum.
-  void addDeferral(SiteId AllocSite, SiteId FreeSite, uint64_t DeferTicks);
+  bool addDeferral(SiteId AllocSite, SiteId FreeSite, uint64_t DeferTicks);
 
   /// Pad for \p AllocSite; 0 when unpatched.
   uint32_t padFor(SiteId AllocSite) const;
@@ -87,8 +89,9 @@ public:
   /// Deferral for the site pair; 0 when unpatched.
   uint64_t deferralFor(SiteId AllocSite, SiteId FreeSite) const;
 
-  /// Max-merges \p Other into this set (collaborative correction, §6.4).
-  void merge(const PatchSet &Other);
+  /// Max-merges \p Other into this set (collaborative correction, §6.4);
+  /// returns true when anything changed.
+  bool merge(const PatchSet &Other);
 
   /// All pad patches, sorted by site for deterministic output.
   std::vector<PadPatch> pads() const;

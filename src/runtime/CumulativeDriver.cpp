@@ -2,6 +2,7 @@
 
 #include "runtime/CumulativeDriver.h"
 
+#include "exchange/PatchClient.h"
 #include "support/RandomGenerator.h"
 
 using namespace exterminator;
@@ -12,14 +13,22 @@ CumulativeOutcome CumulativeDriver::run(uint64_t InputSeed, unsigned MaxRuns,
   RandomGenerator SeedStream(Config.MasterSeed ^ 0xc0a1e5ceULL);
   // The driver executes runs and counts outcomes; summarization,
   // classification, and patch folding (including the §6.2 doubling rule)
-  // live in the diagnosis pipeline.
+  // live in the diagnosis pipeline — local, or behind the attached
+  // exchange client.  The local pipeline still does the (stateless)
+  // summarization in exchange mode.
   DiagnosisPipeline Pipeline({Config.Isolation, Config.Cumulative});
   unsigned CleanStreak = 0;
 
-  for (unsigned RunIndex = 0; RunIndex < MaxRuns; ++RunIndex) {
+  if (Exchange && !Exchange->syncPatches())
+    ++Outcome.TransportFailures;
+
+  for (unsigned RunIndex = 0;
+       RunIndex < MaxRuns && Outcome.TransportFailures == 0; ++RunIndex) {
     const uint64_t Input = VaryInput ? InputSeed + RunIndex : InputSeed;
-    SingleRunResult Run = runWorkloadOnce(Work, Input, SeedStream.next(),
-                                          Config, Pipeline.patches());
+    const PatchSet &Applied =
+        Exchange ? Exchange->patches() : Pipeline.patches();
+    SingleRunResult Run =
+        runWorkloadOnce(Work, Input, SeedStream.next(), Config, Applied);
     ++Outcome.RunsExecuted;
     if (Run.failed()) {
       ++Outcome.FailuresObserved;
@@ -32,8 +41,20 @@ CumulativeOutcome CumulativeDriver::run(uint64_t InputSeed, unsigned MaxRuns,
                                                   Run.failed());
     if (Summary.CorruptionObserved)
       ++Outcome.CorruptRuns;
-    const CumulativeDiagnosis Diagnosis =
-        Pipeline.submitSummary(Summary, CleanStreak);
+
+    CumulativeDiagnosis Diagnosis;
+    if (Exchange) {
+      // syncPatches is free when the submission reply's (instance,
+      // epoch) already matches the mirror — the common nothing-new run
+      // costs one round trip, not two.
+      if (!Exchange->submitSummary(Summary, CleanStreak, &Diagnosis) ||
+          !Exchange->syncPatches()) {
+        ++Outcome.TransportFailures;
+        break;
+      }
+    } else {
+      Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
+    }
 
     Outcome.Overflows = Diagnosis.Overflows;
     Outcome.Danglings = Diagnosis.Danglings;
@@ -42,7 +63,7 @@ CumulativeOutcome CumulativeDriver::run(uint64_t InputSeed, unsigned MaxRuns,
       Outcome.RunsToIsolation = Outcome.RunsExecuted;
       Outcome.FailuresToIsolation = Outcome.FailuresObserved;
     }
-    Outcome.Patches = Pipeline.patches();
+    Outcome.Patches = Exchange ? Exchange->patches() : Pipeline.patches();
 
     if (Outcome.Isolated && CleanStreak >= VerifyRuns) {
       Outcome.Corrected = true;

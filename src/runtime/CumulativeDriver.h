@@ -12,6 +12,13 @@
 /// flags error sources once their trials cross the likelihood threshold,
 /// and the derived patches correct subsequent executions.
 ///
+/// The accumulated state can live in-process (a local DiagnosisPipeline)
+/// or behind a PatchClient — the fleet deployment the paper's "community
+/// of users" sketches (§6.4): each process ships its summaries to a
+/// patch server and pulls back the community's merged patches.  The run
+/// protocol is identical either way, and a test pins that the two
+/// produce bit-identical patch sets for the same evidence.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_RUNTIME_CUMULATIVEDRIVER_H
@@ -21,6 +28,10 @@
 #include "runtime/Exterminator.h"
 
 namespace exterminator {
+
+// The exchange layer sits above the runtime: the driver holds only an
+// optional pointer, so the wire stack stays out of runtime consumers.
+class PatchClient;
 
 /// Outcome of a cumulative session.
 struct CumulativeOutcome {
@@ -38,6 +49,10 @@ struct CumulativeOutcome {
   bool Isolated = false;
   /// Patched runs reached a failure-free streak.
   bool Corrected = false;
+  /// Exchange mode only: submissions/fetches that failed in transit
+  /// (the session stops at the first one — evidence must not be lost
+  /// silently).
+  unsigned TransportFailures = 0;
   /// The classifier's findings when last computed.
   std::vector<CumulativeOverflowFinding> Overflows;
   std::vector<CumulativeDanglingFinding> Danglings;
@@ -55,6 +70,12 @@ public:
                    bool VaryInput = false)
       : Work(Work), Config(Config), VaryInput(VaryInput) {}
 
+  /// Routes diagnosis through \p Client instead of a local pipeline:
+  /// each run's summary is submitted to the patch server and the patch
+  /// set applied to subsequent runs is the server's merged set (which
+  /// may include other users' fixes).  Call before run().
+  void attachExchange(PatchClient &Client) { Exchange = &Client; }
+
   /// Executes up to \p MaxRuns runs, folding each into the accumulated
   /// state.  Patches apply to subsequent executions as soon as they
   /// exist; deferrals double when a patched pair keeps failing (§6.2's
@@ -67,6 +88,7 @@ private:
   Workload &Work;
   ExterminatorConfig Config;
   bool VaryInput;
+  PatchClient *Exchange = nullptr;
 };
 
 } // namespace exterminator

@@ -1,0 +1,112 @@
+//===- workload/ScriptedBugs.h - Canonical buggy traces --------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical scripted memory errors used wherever deterministic,
+/// reliably-isolating evidence is needed: the diagnosis and exchange
+/// tests, the exchange bench, `xtermtool record`, and the collaborative
+/// example.  One definition keeps "what makes a trace isolate" (slot
+/// exactness, churn that canaries the neighborhood, trailing activity
+/// that trips DieFast) in one place instead of drifting across copies.
+///
+/// Both traces run to completion, so end-of-run images of the same trace
+/// under different heap seeds share one allocation time — exactly the
+/// comparable image set §4 isolation wants, without the replay protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_WORKLOAD_SCRIPTEDBUGS_H
+#define EXTERMINATOR_WORKLOAD_SCRIPTEDBUGS_H
+
+#include "runtime/Exterminator.h"
+#include "workload/TraceWorkload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// Frame tokens of the canonical traces (the sites findings point at
+/// are the hashes of these via CallContext).
+struct ScriptedBugSites {
+  uint32_t Culprit = 0x100;   ///< the buggy allocation
+  uint32_t Bystander = 0x200; ///< innocent allocations
+  uint32_t Free = 0x300;      ///< all frees
+};
+
+/// A slot-exact 64-byte buffer overrun by \p OverflowBytes amid canaried
+/// churn: six rounds of alloc/free churn leave freed, canaried slots
+/// around the culprit, then trailing alloc/free pairs give DieFast
+/// checks a chance to fire.  Three end-of-run images of this trace
+/// reliably isolate the culprit site with a pad ≥ OverflowBytes.
+inline std::vector<TraceOp>
+scriptedOverflowTrace(uint32_t OverflowBytes,
+                      const ScriptedBugSites &Sites = {}) {
+  std::vector<TraceOp> Ops;
+  for (uint32_t Round = 0; Round < 6; ++Round) {
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(
+          TraceOp::alloc(1000 + Round * 30 + I, 64, Sites.Bystander));
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(TraceOp::free(1000 + Round * 30 + I, Sites.Free));
+  }
+  for (uint32_t I = 0; I < 24; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, Sites.Bystander));
+  for (uint32_t I = 0; I < 24; I += 2)
+    Ops.push_back(TraceOp::free(I, Sites.Free));
+  Ops.push_back(TraceOp::alloc(100, 64, Sites.Culprit));
+  Ops.push_back(TraceOp::write(100, 0, 64, 0x11));
+  Ops.push_back(TraceOp::write(100, 64, OverflowBytes, 0x77));
+  for (uint32_t I = 200; I < 212; ++I) {
+    Ops.push_back(TraceOp::alloc(I, 64, Sites.Bystander));
+    Ops.push_back(TraceOp::free(I, Sites.Free));
+  }
+  return Ops;
+}
+
+/// A write through a dangling pointer: the culprit object is freed (and
+/// canary-filled), bystander churn follows, then the stale pointer
+/// writes into the freed slot.
+inline std::vector<TraceOp>
+scriptedDanglingTrace(const ScriptedBugSites &Sites = {}) {
+  std::vector<TraceOp> Ops;
+  for (uint32_t I = 0; I < 16; ++I)
+    Ops.push_back(TraceOp::alloc(I, 32, Sites.Bystander));
+  Ops.push_back(TraceOp::alloc(50, 64, Sites.Culprit));
+  Ops.push_back(TraceOp::free(50, Sites.Free));
+  for (uint32_t I = 100; I < 106; ++I)
+    Ops.push_back(TraceOp::alloc(I, 32, Sites.Bystander));
+  Ops.push_back(TraceOp::write(50, 8, 16, 0x3c));
+  for (uint32_t I = 200; I < 204; ++I)
+    Ops.push_back(TraceOp::alloc(I, 32, Sites.Bystander));
+  return Ops;
+}
+
+/// The canonical evidence set: \p Count end-of-run images of the
+/// scripted overflow under the canonical heap seeds (1000, 8919, …).
+/// `xtermtool record`, the exchange bench, and CI all draw from this
+/// one definition, so the evidence CI submits is exactly the evidence
+/// the bench measures.
+inline std::vector<HeapImage>
+scriptedEvidenceImages(unsigned Count, uint32_t OverflowBytes,
+                       const ScriptedBugSites &Sites = {}) {
+  const std::vector<TraceOp> Ops = scriptedOverflowTrace(OverflowBytes, Sites);
+  ExterminatorConfig Config;
+  std::vector<HeapImage> Images;
+  Images.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    TraceWorkload Work(Ops);
+    Images.push_back(runWorkloadOnce(Work, /*InputSeed=*/1,
+                                     /*HeapSeed=*/1000 + I * 7919, Config,
+                                     PatchSet())
+                         .FinalImage);
+  }
+  return Images;
+}
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_WORKLOAD_SCRIPTEDBUGS_H

@@ -381,3 +381,64 @@ TEST(CumulativeIsolator, TotalSitesHintRaisesThreshold) {
   EXPECT_FALSE(Small.classifyOverflows().empty());
   EXPECT_TRUE(Huge.classifyOverflows().empty());
 }
+
+TEST(BayesAccumulator, BitIdenticalToBatchRecompute) {
+  // The incremental accumulator (what the patch server classifies with
+  // after every ingested summary) must produce exactly the batch
+  // statics' factor — same additions in the same order, no tolerance.
+  std::vector<BayesTrial> Trials;
+  BayesAccumulator Accum;
+  for (unsigned I = 0; I < 200; ++I) {
+    BayesTrial Trial;
+    Trial.Probability = (I % 97 + 1) / 100.0;
+    Trial.Observed = (I * 2654435761u) % 3 != 0;
+    Trials.push_back(Trial);
+    Accum.addTrial(Trial);
+
+    EXPECT_EQ(Accum.trialCount(), Trials.size());
+    EXPECT_EQ(Accum.logLikelihoodH0(),
+              BayesClassifier::logLikelihoodH0(Trials));
+    EXPECT_EQ(Accum.logLikelihoodH1(),
+              BayesClassifier::logLikelihoodH1(Trials));
+    EXPECT_EQ(Accum.logBayesFactor(),
+              BayesClassifier::logBayesFactor(Trials))
+        << "diverged after trial " << I;
+  }
+}
+
+TEST(CumulativeIsolator, DeserializedStateClassifiesIdentically) {
+  // Round-tripping accumulated state must rebuild the incremental
+  // classifier too: findings before and after are identical.
+  CumulativeIsolator Original;
+  RunSummary Summary;
+  Summary.Failed = true;
+  Summary.CorruptionObserved = true;
+  for (unsigned I = 0; I < 12; ++I) {
+    Summary.OverflowTrials = {{0xabc, 0.2, true, 16},
+                              {0xdef, 0.5, I % 2 == 0, 8}};
+    Summary.DanglingTrials = {{0x123, 0x456, 0.4, true, 100 + I}};
+    Original.addRun(Summary);
+  }
+
+  CumulativeIsolator Restored;
+  ASSERT_TRUE(Restored.deserialize(Original.serialize()));
+
+  const auto OriginalOverflows = Original.classifyOverflows();
+  const auto RestoredOverflows = Restored.classifyOverflows();
+  ASSERT_EQ(OriginalOverflows.size(), RestoredOverflows.size());
+  for (size_t I = 0; I < OriginalOverflows.size(); ++I) {
+    EXPECT_EQ(OriginalOverflows[I].AllocSite,
+              RestoredOverflows[I].AllocSite);
+    EXPECT_EQ(OriginalOverflows[I].LogBayesFactor,
+              RestoredOverflows[I].LogBayesFactor);
+  }
+  const auto OriginalDanglings = Original.classifyDanglings();
+  const auto RestoredDanglings = Restored.classifyDanglings();
+  ASSERT_EQ(OriginalDanglings.size(), RestoredDanglings.size());
+  for (size_t I = 0; I < OriginalDanglings.size(); ++I) {
+    EXPECT_EQ(OriginalDanglings[I].LogBayesFactor,
+              RestoredDanglings[I].LogBayesFactor);
+    EXPECT_EQ(OriginalDanglings[I].DeferralTicks,
+              RestoredDanglings[I].DeferralTicks);
+  }
+}

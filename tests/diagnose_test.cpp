@@ -13,7 +13,7 @@
 
 #include "heapimage/HeapImageIO.h"
 #include "TestHelpers.h"
-#include "workload/TraceWorkload.h"
+#include "workload/ScriptedBugs.h"
 
 #include <gtest/gtest.h>
 
@@ -22,9 +22,10 @@ using namespace exterminator::testing_support;
 
 namespace {
 
-constexpr uint32_t SiteA = 0x100; // culprit / dangled allocation site
-constexpr uint32_t SiteB = 0x200; // bystander allocations
-constexpr uint32_t SiteF = 0x300; // frees
+// The canonical scripted bugs' frame tokens (workload/ScriptedBugs.h).
+constexpr uint32_t SiteA = ScriptedBugSites().Culprit;
+constexpr uint32_t SiteB = ScriptedBugSites().Bystander;
+constexpr uint32_t SiteF = ScriptedBugSites().Free;
 
 SiteId tokenSite(uint32_t Token) {
   CallContext Context;
@@ -32,43 +33,11 @@ SiteId tokenSite(uint32_t Token) {
   return Context.currentSite();
 }
 
-/// Same scripted overflow as isolate_test: a slot-exact 64-byte buffer
-/// overrun by \p OverflowBytes amid canaried churn.
 std::vector<TraceOp> overflowTrace(uint32_t OverflowBytes) {
-  std::vector<TraceOp> Ops;
-  for (uint32_t Round = 0; Round < 6; ++Round) {
-    for (uint32_t I = 0; I < 30; ++I)
-      Ops.push_back(TraceOp::alloc(1000 + Round * 30 + I, 64, SiteB));
-    for (uint32_t I = 0; I < 30; ++I)
-      Ops.push_back(TraceOp::free(1000 + Round * 30 + I, SiteF));
-  }
-  for (uint32_t I = 0; I < 24; ++I)
-    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
-  for (uint32_t I = 0; I < 24; I += 2)
-    Ops.push_back(TraceOp::free(I, SiteF));
-  Ops.push_back(TraceOp::alloc(100, 64, SiteA));
-  Ops.push_back(TraceOp::write(100, 0, 64, 0x11));
-  Ops.push_back(TraceOp::write(100, 64, OverflowBytes, 0x77));
-  for (uint32_t I = 200; I < 212; ++I) {
-    Ops.push_back(TraceOp::alloc(I, 64, SiteB));
-    Ops.push_back(TraceOp::free(I, SiteF));
-  }
-  return Ops;
+  return scriptedOverflowTrace(OverflowBytes);
 }
 
-std::vector<TraceOp> danglingTrace() {
-  std::vector<TraceOp> Ops;
-  for (uint32_t I = 0; I < 16; ++I)
-    Ops.push_back(TraceOp::alloc(I, 32, SiteB));
-  Ops.push_back(TraceOp::alloc(50, 64, SiteA));
-  Ops.push_back(TraceOp::free(50, SiteF));
-  for (uint32_t I = 100; I < 106; ++I)
-    Ops.push_back(TraceOp::alloc(I, 32, SiteB));
-  Ops.push_back(TraceOp::write(50, 8, 16, 0x3c));
-  for (uint32_t I = 200; I < 204; ++I)
-    Ops.push_back(TraceOp::alloc(I, 32, SiteB));
-  return Ops;
-}
+std::vector<TraceOp> danglingTrace() { return scriptedDanglingTrace(); }
 
 } // namespace
 

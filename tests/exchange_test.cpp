@@ -1,0 +1,722 @@
+//===- tests/exchange_test.cpp - Patch-exchange tests -------------------------===//
+//
+// Covers the patch exchange: the frame codec and its adversarial-input
+// taxonomy, the acceptance criterion that evidence submitted through
+// PatchClient→PatchServer yields a patch set bit-identical to a local
+// DiagnosisPipeline (over both the loopback and the socket transport),
+// epoch/incremental fetch semantics, batching, server survival under
+// hostile bytes, and the exchange-backed CumulativeDriver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exchange/PatchClient.h"
+#include "exchange/PatchServer.h"
+#include "exchange/SocketTransport.h"
+
+#include "TestHelpers.h"
+#include "heapimage/ImageBundle.h"
+#include "runtime/CumulativeDriver.h"
+#include "support/Serializer.h"
+#include "workload/EspressoWorkload.h"
+#include "workload/ScriptedBugs.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace exterminator;
+using namespace exterminator::testing_support;
+
+namespace {
+
+/// The canonical scripted bugs (workload/ScriptedBugs.h) under the
+/// names the assertions below read naturally with.
+std::vector<TraceOp> overflowTrace(uint32_t OverflowBytes) {
+  return scriptedOverflowTrace(OverflowBytes);
+}
+
+std::vector<TraceOp> danglingTrace() { return scriptedDanglingTrace(); }
+
+/// Runs the acceptance round-trip over \p Transport: the same evidence
+/// submitted through the exchange and fed to a local pipeline must
+/// produce bit-identical patch sets.
+void expectRoundTripEquivalence(ClientTransport &Transport,
+                                PatchServer &Server) {
+  const ImageEvidence OverflowEvidence{imagesFromTrace(overflowTrace(6), 3),
+                                       {}};
+  const ImageEvidence DanglingEvidence{imagesFromTrace(danglingTrace(), 3),
+                                       {}};
+
+  DiagnosisPipeline Local;
+  Local.submitImages(OverflowEvidence);
+  Local.submitImages(DanglingEvidence);
+  const RunSummary Summary =
+      Local.summarize(OverflowEvidence.Primary.front(), /*Failed=*/true);
+  Local.submitSummary(Summary, /*CleanStreak=*/0);
+
+  PatchClient Client(Transport);
+  ImagesReply Images;
+  ASSERT_TRUE(Client.submitImages(OverflowEvidence, &Images));
+  EXPECT_GT(Images.OverflowFindings, 0u);
+  ASSERT_TRUE(Client.submitImages(DanglingEvidence));
+  ASSERT_TRUE(Client.submitSummary(Summary, 0));
+  ASSERT_TRUE(Client.fetchPatches());
+
+  EXPECT_FALSE(Client.patches().empty());
+  EXPECT_TRUE(Client.patches() == Local.patches());
+  EXPECT_TRUE(Server.snapshot().Patches == Local.patches());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Frame codec
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocol, FrameRoundTrip) {
+  const std::vector<uint8_t> Payload{1, 2, 3, 4, 5};
+  const std::vector<uint8_t> Bytes =
+      encodeFrame(MessageType::SubmitSummary, Payload);
+  Frame Decoded;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(Bytes.data(), Bytes.size(), Decoded, Consumed),
+            FrameError::None);
+  EXPECT_EQ(Consumed, Bytes.size());
+  EXPECT_EQ(Decoded.Type, MessageType::SubmitSummary);
+  EXPECT_EQ(Decoded.Payload, Payload);
+}
+
+TEST(WireProtocol, EmptyPayloadFrameRoundTrip) {
+  const std::vector<uint8_t> Bytes = encodeFrame(MessageType::Shutdown, {});
+  Frame Decoded;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(Bytes.data(), Bytes.size(), Decoded, Consumed),
+            FrameError::None);
+  EXPECT_TRUE(Decoded.Payload.empty());
+}
+
+TEST(WireProtocol, DetectsTruncation) {
+  const std::vector<uint8_t> Full =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(3, 0));
+  Frame Decoded;
+  size_t Consumed = 0;
+  for (size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    std::vector<uint8_t> Truncated(Full.begin(), Full.begin() + Cut);
+    EXPECT_NE(decodeFrame(Truncated.data(), Truncated.size(), Decoded,
+                          Consumed),
+              FrameError::None)
+        << "accepted truncation at " << Cut;
+  }
+}
+
+TEST(WireProtocol, DetectsBadMagicVersionTypeLengthChecksum) {
+  const std::vector<uint8_t> Good =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(1, 0));
+  Frame Decoded;
+  size_t Consumed = 0;
+
+  std::vector<uint8_t> BadMagic = Good;
+  BadMagic[0] ^= 0xff;
+  EXPECT_EQ(decodeFrame(BadMagic.data(), BadMagic.size(), Decoded, Consumed),
+            FrameError::BadMagic);
+
+  std::vector<uint8_t> BadVersion = Good;
+  BadVersion[4] = 99;
+  EXPECT_EQ(
+      decodeFrame(BadVersion.data(), BadVersion.size(), Decoded, Consumed),
+      FrameError::BadVersion);
+
+  std::vector<uint8_t> BadType = Good;
+  BadType[5] = 250;
+  EXPECT_EQ(decodeFrame(BadType.data(), BadType.size(), Decoded, Consumed),
+            FrameError::BadType);
+
+  std::vector<uint8_t> Oversized = Good;
+  const uint32_t Huge = MaxFramePayload + 1;
+  std::memcpy(Oversized.data() + 6, &Huge, 4);
+  EXPECT_EQ(
+      decodeFrame(Oversized.data(), Oversized.size(), Decoded, Consumed),
+      FrameError::OversizedLength);
+
+  std::vector<uint8_t> BadChecksum = Good;
+  BadChecksum[FrameHeaderBytes] ^= 0x01; // flip a payload bit
+  EXPECT_EQ(decodeFrame(BadChecksum.data(), BadChecksum.size(), Decoded,
+                        Consumed),
+            FrameError::BadChecksum);
+}
+
+//===----------------------------------------------------------------------===//
+// Payload codecs
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocol, SubmitImagesPayloadRoundTrip) {
+  ImageEvidence Evidence{imagesFromTrace(overflowTrace(6), 2),
+                         imagesFromTrace(danglingTrace(), 2)};
+  ImageEvidence Decoded;
+  ASSERT_TRUE(decodeSubmitImages(encodeSubmitImages(Evidence), Decoded));
+  ASSERT_EQ(Decoded.Primary.size(), 2u);
+  ASSERT_EQ(Decoded.Fallback.size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_TRUE(Decoded.Primary[I] == Evidence.Primary[I]);
+    EXPECT_TRUE(Decoded.Fallback[I] == Evidence.Fallback[I]);
+  }
+}
+
+TEST(WireProtocol, SummaryReplyRoundTrip) {
+  SummaryReply Reply;
+  Reply.Epoch = 9;
+  CumulativeOverflowFinding Overflow;
+  Overflow.AllocSite = 0xabc;
+  Overflow.LogBayesFactor = 3.5;
+  Overflow.LogThreshold = 1.25;
+  Overflow.PadBytes = 24;
+  Overflow.TrialCount = 7;
+  Overflow.ObservedCount = 6;
+  Reply.Diagnosis.Overflows.push_back(Overflow);
+  CumulativeDanglingFinding Dangling;
+  Dangling.AllocSite = 0x123;
+  Dangling.FreeSite = 0x456;
+  Dangling.DeferralTicks = 512;
+  Dangling.TrialCount = 4;
+  Dangling.ObservedCount = 4;
+  Reply.Diagnosis.Danglings.push_back(Dangling);
+
+  SummaryReply Decoded;
+  ASSERT_TRUE(decodeSummaryReply(encodeSummaryReply(Reply), Decoded));
+  EXPECT_EQ(Decoded.Epoch, 9u);
+  ASSERT_EQ(Decoded.Diagnosis.Overflows.size(), 1u);
+  EXPECT_EQ(Decoded.Diagnosis.Overflows[0].AllocSite, 0xabcu);
+  EXPECT_EQ(Decoded.Diagnosis.Overflows[0].PadBytes, 24u);
+  EXPECT_DOUBLE_EQ(Decoded.Diagnosis.Overflows[0].LogBayesFactor, 3.5);
+  ASSERT_EQ(Decoded.Diagnosis.Danglings.size(), 1u);
+  EXPECT_EQ(Decoded.Diagnosis.Danglings[0].DeferralTicks, 512u);
+}
+
+TEST(WireProtocol, PatchesReplySkipsPayloadWhenUnmodified) {
+  PatchesReply Unmodified;
+  Unmodified.Instance = 7;
+  Unmodified.Epoch = 4;
+  Unmodified.Modified = false;
+  const std::vector<uint8_t> Small = encodePatchesReply(Unmodified);
+  // u64 instance + u64 epoch + u8 flag, nothing else.
+  EXPECT_EQ(Small.size(), 17u);
+
+  PatchesReply Decoded;
+  ASSERT_TRUE(decodePatchesReply(Small, Decoded));
+  EXPECT_EQ(Decoded.Instance, 7u);
+  EXPECT_EQ(Decoded.Epoch, 4u);
+  EXPECT_FALSE(Decoded.Modified);
+  EXPECT_TRUE(Decoded.Patches.empty());
+}
+
+TEST(PatchExchange, InstanceChangeDefeatsEpochCollision) {
+  // Two server instances whose epochs coincide: a client carrying
+  // instance A's epoch must still get the full set from instance B
+  // (epoch-only staleness would silently serve stale patches after a
+  // server restart).
+  PatchServer A, B;
+  ASSERT_NE(A.instance(), B.instance());
+  {
+    LoopbackTransport TransportA(A);
+    PatchClient SeedA(TransportA);
+    ASSERT_TRUE(
+        SeedA.submitImages({imagesFromTrace(overflowTrace(6), 3), {}}));
+  }
+  {
+    LoopbackTransport TransportB(B);
+    PatchClient SeedB(TransportB);
+    ASSERT_TRUE(
+        SeedB.submitImages({imagesFromTrace(danglingTrace(), 3), {}}));
+  }
+  ASSERT_EQ(A.snapshot().Epoch, B.snapshot().Epoch); // colliding epochs
+
+  LoopbackTransport TransportA(A);
+  PatchClient Client(TransportA);
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_TRUE(Client.patches() == A.snapshot().Patches);
+
+  // "Restart": replay the client's cached (instance, epoch) — obtained
+  // from A — against B, whose epoch number coincides.
+  LoopbackTransport TransportB(B);
+  Frame Reply;
+  std::vector<std::vector<uint8_t>> Responses;
+  ASSERT_TRUE(TransportB.exchange(
+      {encodeFrame(MessageType::FetchPatches,
+                   encodeFetchPatches(Client.epoch(),
+                                      Client.serverInstance()))},
+      Responses));
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(Responses[0].data(), Responses[0].size(), Reply,
+                        Consumed),
+            FrameError::None);
+  PatchesReply Decoded;
+  ASSERT_TRUE(decodePatchesReply(Reply.Payload, Decoded));
+  EXPECT_TRUE(Decoded.Modified); // same epoch, different instance
+  EXPECT_TRUE(Decoded.Patches == B.snapshot().Patches);
+}
+
+TEST(PatchExchange, SyncSkipsRoundTripWhenReplyProvedCurrent) {
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+
+  ASSERT_TRUE(
+      Client.submitImages({imagesFromTrace(overflowTrace(6), 3), {}}));
+  ASSERT_TRUE(Client.syncPatches()); // must actually fetch (mirror stale)
+  EXPECT_FALSE(Client.patches().empty());
+
+  // Re-submitting the same evidence leaves the epoch alone; the reply
+  // says so, and syncPatches must not issue another fetch.
+  const uint64_t FetchesBefore = Server.stats().FetchesServed;
+  ASSERT_TRUE(
+      Client.submitImages({imagesFromTrace(overflowTrace(6), 3), {}}));
+  ASSERT_TRUE(Client.syncPatches());
+  EXPECT_EQ(Server.stats().FetchesServed, FetchesBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip equivalence (the acceptance criterion)
+//===----------------------------------------------------------------------===//
+
+TEST(PatchExchange, LoopbackMatchesLocalPipeline) {
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+  expectRoundTripEquivalence(Transport, Server);
+}
+
+TEST(PatchExchange, UnixSocketMatchesLocalPipeline) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint(
+      "unix:" + ::testing::TempDir() + "/exchange_test.sock", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  expectRoundTripEquivalence(Transport, Server);
+  Front.stop();
+}
+
+TEST(PatchExchange, TcpSocketMatchesLocalPipeline) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep)); // kernel-assigned port
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_NE(Front.endpoint().Port, 0);
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  expectRoundTripEquivalence(Transport, Server);
+  Front.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Epochs and incremental fetch
+//===----------------------------------------------------------------------===//
+
+TEST(PatchExchange, EpochAdvancesOnlyWhenPatchesChange) {
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+
+  // Empty server: first fetch transfers (client holds nothing), epoch 0.
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_EQ(Client.epoch(), 0u);
+  EXPECT_TRUE(Client.patches().empty());
+
+  // New evidence bumps the epoch and the next fetch sees it.
+  const ImageEvidence Evidence{imagesFromTrace(overflowTrace(6), 3), {}};
+  ASSERT_TRUE(Client.submitImages(Evidence));
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_EQ(Client.epoch(), 1u);
+  EXPECT_FALSE(Client.patches().empty());
+
+  // Resubmitting identical evidence max-merges to no change: the epoch
+  // holds, so the next fetch is the cheap unmodified round trip.
+  ASSERT_TRUE(Client.submitImages(Evidence));
+  const PatchServerStats Before = Server.stats();
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_EQ(Client.epoch(), 1u);
+  const PatchServerStats After = Server.stats();
+  EXPECT_EQ(After.FetchesUnmodified, Before.FetchesUnmodified + 1);
+}
+
+TEST(DiagnosisPipeline, EpochCountsDistinctChanges) {
+  DiagnosisPipeline Pipeline;
+  EXPECT_EQ(Pipeline.epoch(), 0u);
+  Pipeline.submitImages({imagesFromTrace(overflowTrace(6), 3), {}});
+  EXPECT_EQ(Pipeline.epoch(), 1u);
+  // Same evidence again: max-merge is idempotent, epoch must hold.
+  Pipeline.submitImages({imagesFromTrace(overflowTrace(6), 3), {}});
+  EXPECT_EQ(Pipeline.epoch(), 1u);
+  // Different error, new patches, new epoch.
+  Pipeline.submitImages({imagesFromTrace(danglingTrace(), 3), {}});
+  EXPECT_EQ(Pipeline.epoch(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batching
+//===----------------------------------------------------------------------===//
+
+TEST(PatchExchange, BatchedFlushDeliversEverything) {
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+
+  DiagnosisPipeline Local;
+  Client.queueImages({imagesFromTrace(overflowTrace(6), 3), {}});
+  Local.submitImages({imagesFromTrace(overflowTrace(6), 3), {}});
+  const RunSummary Summary = Local.summarize(
+      imagesFromTrace(overflowTrace(6), 1).front(), /*Failed=*/true);
+  for (unsigned I = 0; I < 3; ++I) {
+    Client.queueSummary(Summary, 0);
+    Local.submitSummary(Summary, 0);
+  }
+  EXPECT_EQ(Client.pendingCount(), 4u);
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Client.pendingCount(), 0u);
+
+  const PatchServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.ImagesIngested, 3u);
+  EXPECT_EQ(Stats.SummariesIngested, 3u);
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_TRUE(Client.patches() == Local.patches());
+}
+
+TEST(PatchExchange, BatchedFlushOverSocket) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  const RunSummary Summary = DiagnosisPipeline().summarize(
+      imagesFromTrace(overflowTrace(6), 1).front(), /*Failed=*/true);
+  for (unsigned I = 0; I < 16; ++I)
+    Client.queueSummary(Summary, 0);
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Server.stats().SummariesIngested, 16u);
+  Front.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial wire input (server must reject, never crash)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Connects to \p Ep, writes \p Bytes, half-closes, and drains whatever
+/// the server answers — the shape of a hostile or broken peer.  Never
+/// blocks: the half-close guarantees the server sees EOF.
+void sendRawBytes(const Endpoint &Ep, const std::vector<uint8_t> &Bytes) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Ep.Port);
+  ASSERT_EQ(::inet_pton(AF_INET, Ep.Host.c_str(), &Addr.sin_addr), 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  if (!Bytes.empty()) {
+    ASSERT_EQ(::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(Bytes.size()));
+  }
+  ::shutdown(Fd, SHUT_WR);
+  uint8_t Drain[256];
+  while (::recv(Fd, Drain, sizeof(Drain), 0) > 0) {
+  }
+  ::close(Fd);
+}
+
+/// Sends raw bytes to the server and expects a well-formed ErrorReply
+/// frame back, then proves the server still answers a good request.
+void expectRejectedThenAlive(PatchServer &Server,
+                             const std::vector<uint8_t> &Hostile) {
+  std::vector<uint8_t> Response;
+  Server.handleFrame(Hostile, Response);
+  Frame Reply;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(Response.data(), Response.size(), Reply, Consumed),
+            FrameError::None);
+  EXPECT_EQ(Reply.Type, MessageType::ErrorReply);
+  std::string Message;
+  EXPECT_TRUE(decodeErrorReply(Reply.Payload, Message));
+  EXPECT_FALSE(Message.empty());
+
+  // Still alive: a good fetch succeeds.
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+  EXPECT_TRUE(Client.fetchPatches());
+}
+
+} // namespace
+
+TEST(PatchExchange, RejectsTruncatedFrames) {
+  PatchServer Server;
+  const std::vector<uint8_t> Full =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  for (size_t Cut : {size_t(0), size_t(3), FrameHeaderBytes,
+                     Full.size() - 1})
+    expectRejectedThenAlive(Server,
+                            {Full.begin(), Full.begin() + Cut});
+  EXPECT_GE(Server.stats().FramesRejected, 4u);
+}
+
+TEST(PatchExchange, RejectsBadChecksum) {
+  PatchServer Server;
+  std::vector<uint8_t> Bytes =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  Bytes[FrameHeaderBytes] ^= 0x40;
+  expectRejectedThenAlive(Server, Bytes);
+}
+
+TEST(PatchExchange, RejectsOversizedLengthPrefix) {
+  PatchServer Server;
+  std::vector<uint8_t> Bytes = encodeFrame(MessageType::Shutdown, {});
+  const uint32_t Huge = ~uint32_t(0);
+  std::memcpy(Bytes.data() + 6, &Huge, 4);
+  expectRejectedThenAlive(Server, Bytes);
+  // The forged frame must not have triggered shutdown.
+  EXPECT_FALSE(Server.shutdownRequested());
+}
+
+TEST(PatchExchange, RejectsUnknownProtocolVersion) {
+  PatchServer Server;
+  std::vector<uint8_t> Bytes =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  Bytes[4] = ProtocolVersion + 1;
+  expectRejectedThenAlive(Server, Bytes);
+}
+
+TEST(PatchExchange, RejectsMalformedBundlePayload) {
+  PatchServer Server;
+  // A frame whose checksum is valid but whose payload is not a bundle.
+  expectRejectedThenAlive(
+      Server, encodeFrame(MessageType::SubmitImages, {1, 2, 3, 4}));
+  // And a structurally valid frame wrapping a bundle with an
+  // out-of-range dictionary reference (built like the ImageBundle test).
+  std::vector<uint8_t> Bundle;
+  {
+    VectorSink Sink(Bundle);
+    StreamWriter Writer(Sink);
+    Writer.writeU32(0x58494231);
+    Writer.writeU32(1);
+    Writer.writeVarU64(1);
+    Writer.writeVarU64(1);
+    Writer.writeU32(0);
+    Writer.writeU64(42);
+    Writer.writeU32(1);
+    Writer.writeF64(1.0);
+    Writer.writeF64(2.0);
+    Writer.writeU64(3);
+    Writer.writeVarU64(1);
+    Writer.writeVarU64(0);
+    Writer.writeVarU64(16);
+    Writer.writeU64(0x1000);
+    Writer.writeVarU64(0);
+    Writer.writeVarU64(1);
+    Writer.writeU8(0x80 | 1);
+    Writer.writeVarU64(5);
+    Writer.writeVarU64(0);
+    Writer.writeVarU64(9); // out-of-range site index
+    Writer.writeVarU64(0);
+    Writer.writeVarU64(16);
+    Writer.writeVarU64(1);
+    Writer.writeU8(1);
+    Writer.writeVarU64(16);
+    Writer.writeU64(0);
+  }
+  expectRejectedThenAlive(Server,
+                          encodeFrame(MessageType::SubmitImages, Bundle));
+}
+
+TEST(PatchExchange, RejectsSlotAmplificationBomb) {
+  // A tiny, structurally valid bundle can declare millions of virgin
+  // slots (a dozen wire bytes amplify to Count decoded slots).  The
+  // wire decode budget (MaxWireSlots) must reject the declaration
+  // before materializing anything.
+  PatchServer Server;
+  std::vector<uint8_t> Bundle;
+  {
+    VectorSink Sink(Bundle);
+    StreamWriter Writer(Sink);
+    Writer.writeU32(0x58494231); // magic
+    Writer.writeU32(1);          // bundle version
+    Writer.writeVarU64(1);       // one image
+    Writer.writeVarU64(1);       // site table: just "no site"
+    Writer.writeU32(0);
+    Writer.writeU64(1);   // AllocationTime
+    Writer.writeU32(1);   // CanaryValue
+    Writer.writeF64(1.0); // p
+    Writer.writeF64(2.0); // M
+    Writer.writeU64(3);   // seed
+    Writer.writeVarU64(1);                // one miniheap
+    Writer.writeVarU64(0);                // size class
+    Writer.writeVarU64(8);                // object size
+    Writer.writeU64(0x1000);              // base
+    Writer.writeVarU64(0);                // creation time
+    Writer.writeVarU64(MaxWireSlots + 8); // the bomb
+    Writer.writeU8(0xff);                 // virgin-run tag
+    Writer.writeVarU64(MaxWireSlots + 8);
+    Writer.writeU64(0);
+  }
+  expectRejectedThenAlive(Server,
+                          encodeFrame(MessageType::SubmitImages, Bundle));
+
+  // The same declaration through the file path (larger budget) is also
+  // bounded — just by MaxBundleSlots instead.
+  std::vector<HeapImage> Out;
+  uint64_t WireBudget = MaxWireSlots;
+  EXPECT_FALSE(deserializeImageBundle(Bundle, Out, WireBudget));
+}
+
+TEST(PatchExchange, SocketServerSurvivesHostileBytes) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  // Raw hostile connections: garbage bytes, a truncated header, a bad
+  // checksum, an oversized length prefix, and an instant hangup.
+  std::vector<uint8_t> BadChecksum =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  BadChecksum[FrameHeaderBytes + 2] ^= 0x80;
+  std::vector<uint8_t> Oversized =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  const uint32_t Huge = ~uint32_t(0);
+  std::memcpy(Oversized.data() + 6, &Huge, 4);
+  std::vector<uint8_t> BadVersion =
+      encodeFrame(MessageType::FetchPatches, encodeFetchPatches(0, 0));
+  BadVersion[4] = 42;
+
+  const std::vector<std::vector<uint8_t>> HostileStreams = {
+      {0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe},
+      {0x58}, // one byte of a would-be header, then hangup
+      BadChecksum,
+      Oversized,
+      BadVersion,
+      {}, // connect-and-hangup
+  };
+  for (const std::vector<uint8_t> &Hostile : HostileStreams)
+    sendRawBytes(Front.endpoint(), Hostile);
+
+  // The server is still healthy: a real client round-trips.
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_EQ(Client.epoch(), 0u);
+  Front.stop();
+}
+
+TEST(PatchExchange, ShutdownFrameStopsSocketServer) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  ASSERT_TRUE(Client.shutdownServer());
+  Front.stop(); // joins; returns promptly because shutdown was accepted
+  EXPECT_TRUE(Server.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Endpoint parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Endpoint, ParsesUnixAndTcpSpecs) {
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("unix:/tmp/a.sock", Ep));
+  EXPECT_EQ(Ep.Family, Endpoint::Unix);
+  EXPECT_EQ(Ep.Path, "/tmp/a.sock");
+
+  ASSERT_TRUE(parseEndpoint("tcp:8080", Ep));
+  EXPECT_EQ(Ep.Family, Endpoint::Tcp);
+  EXPECT_EQ(Ep.Host, "127.0.0.1");
+  EXPECT_EQ(Ep.Port, 8080);
+
+  ASSERT_TRUE(parseEndpoint("tcp:10.0.0.8:99", Ep));
+  EXPECT_EQ(Ep.Host, "10.0.0.8");
+  EXPECT_EQ(Ep.Port, 99);
+
+  EXPECT_FALSE(parseEndpoint("", Ep));
+  EXPECT_FALSE(parseEndpoint("unix:", Ep));
+  EXPECT_FALSE(parseEndpoint("tcp:", Ep));
+  EXPECT_FALSE(parseEndpoint("tcp:notaport", Ep));
+  EXPECT_FALSE(parseEndpoint("tcp:70000", Ep));
+  EXPECT_FALSE(parseEndpoint("http://x", Ep));
+  // Hostnames are rejected at parse time: the connect path has no
+  // resolver, so accepting one would mean a retry loop that can never
+  // succeed.
+  EXPECT_FALSE(parseEndpoint("tcp:localhost:8080", Ep));
+}
+
+//===----------------------------------------------------------------------===//
+// Exchange-backed cumulative driver
+//===----------------------------------------------------------------------===//
+
+TEST(PatchExchange, CumulativeDriverOverExchangeMatchesLocal) {
+  // The same buggy workload driven twice with identical seeds: once
+  // against a local pipeline, once against a patch server over loopback.
+  // The sessions must converge to bit-identical patch sets.
+  auto MakeConfig = [] {
+    ExterminatorConfig Config;
+    Config.MasterSeed = 0xc0de;
+    Config.CanaryFillProbability = 0.5;
+    Config.Fault.Kind = FaultKind::PrematureFree;
+    Config.Fault.TriggerAllocation = 180;
+    Config.Fault.PatternSeed = 2;
+    return Config;
+  };
+
+  EspressoWorkload LocalWork;
+  CumulativeDriver Local(LocalWork, MakeConfig());
+  const CumulativeOutcome LocalOutcome = Local.run(/*InputSeed=*/5, 150);
+
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+  EspressoWorkload RemoteWork;
+  CumulativeDriver Remote(RemoteWork, MakeConfig());
+  Remote.attachExchange(Client);
+  const CumulativeOutcome RemoteOutcome = Remote.run(/*InputSeed=*/5, 150);
+
+  EXPECT_TRUE(LocalOutcome.Isolated);
+  EXPECT_EQ(RemoteOutcome.TransportFailures, 0u);
+  EXPECT_EQ(RemoteOutcome.RunsExecuted, LocalOutcome.RunsExecuted);
+  EXPECT_EQ(RemoteOutcome.FailuresObserved, LocalOutcome.FailuresObserved);
+  EXPECT_EQ(RemoteOutcome.Isolated, LocalOutcome.Isolated);
+  EXPECT_EQ(RemoteOutcome.Corrected, LocalOutcome.Corrected);
+  EXPECT_TRUE(RemoteOutcome.Patches == LocalOutcome.Patches);
+  EXPECT_TRUE(Server.snapshot().Patches == LocalOutcome.Patches);
+}
+
+TEST(PatchExchange, TwoClientsShareOneServersPatches) {
+  // §6.4 at exchange scale: client A's evidence protects client B.
+  PatchServer Server;
+  LoopbackTransport Transport(Server);
+
+  PatchClient Alice(Transport);
+  ASSERT_TRUE(
+      Alice.submitImages({imagesFromTrace(overflowTrace(6), 3), {}}));
+
+  PatchClient Bob(Transport);
+  ASSERT_TRUE(Bob.fetchPatches());
+  EXPECT_FALSE(Bob.patches().empty());
+  EXPECT_TRUE(Bob.patches() == Server.snapshot().Patches);
+}

@@ -9,6 +9,7 @@
 
 #include "heapimage/HeapImageIO.h"
 
+#include "heapimage/ImageBundle.h"
 #include "support/Serializer.h"
 
 #include "diefast/DieFastHeap.h"
@@ -484,4 +485,127 @@ TEST(HeapImage, QuarantinedSlotSurvivesCapture) {
       }
     }
   EXPECT_TRUE(FoundBad);
+}
+
+//===----------------------------------------------------------------------===//
+// Image bundles (cross-image site dictionary)
+//===----------------------------------------------------------------------===//
+
+TEST(ImageBundle, RoundTripIsLossless) {
+  std::vector<HeapImage> Images;
+  for (uint64_t Seed : {11u, 22u, 33u})
+    Images.push_back(randomizedImage(Seed));
+
+  const std::vector<uint8_t> Bytes = serializeImageBundle(Images);
+  std::vector<HeapImage> Decoded;
+  ASSERT_TRUE(deserializeImageBundle(Bytes, Decoded));
+  ASSERT_EQ(Decoded.size(), Images.size());
+  for (size_t I = 0; I < Images.size(); ++I)
+    EXPECT_TRUE(Decoded[I] == Images[I]) << "image " << I;
+}
+
+TEST(ImageBundle, EmptyBundleRoundTrips) {
+  const std::vector<uint8_t> Bytes = serializeImageBundle({});
+  std::vector<HeapImage> Decoded{HeapImage()};
+  ASSERT_TRUE(deserializeImageBundle(Bytes, Decoded));
+  EXPECT_TRUE(Decoded.empty());
+}
+
+TEST(ImageBundle, BeatsIndependentImagesOnReplicatedDumps) {
+  // Replicated dumps: same program under different heap seeds, so the
+  // images reference (nearly) identical call sites.  The shared
+  // dictionary must make the bundle strictly smaller than shipping the
+  // images as independent v2 files.
+  std::vector<HeapImage> Images;
+  size_t IndependentBytes = 0;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    Images.push_back(randomizedImage(Seed * 1000));
+    IndependentBytes += serializeHeapImage(Images.back()).size();
+  }
+  const size_t BundleBytes = serializeImageBundle(Images).size();
+  EXPECT_LT(BundleBytes, IndependentBytes);
+}
+
+TEST(ImageBundle, RejectsTruncation) {
+  std::vector<HeapImage> Images{randomizedImage(7), randomizedImage(8)};
+  const std::vector<uint8_t> Full = serializeImageBundle(Images);
+  for (size_t Cut = 0; Cut < Full.size();
+       Cut += std::max<size_t>(1, Full.size() / 57)) {
+    std::vector<uint8_t> Truncated(Full.begin(), Full.begin() + Cut);
+    std::vector<HeapImage> Out;
+    EXPECT_FALSE(deserializeImageBundle(Truncated, Out))
+        << "accepted truncation at " << Cut;
+  }
+}
+
+TEST(ImageBundle, RejectsTrailingGarbage) {
+  std::vector<HeapImage> Images{randomizedImage(9)};
+  std::vector<uint8_t> Bytes = serializeImageBundle(Images);
+  Bytes.push_back(0x00);
+  std::vector<HeapImage> Out;
+  EXPECT_FALSE(deserializeImageBundle(Bytes, Out));
+}
+
+TEST(ImageBundle, RejectsOutOfRangeDictionaryIndex) {
+  // Hand-built bundle: one image whose only slot references site index
+  // 7 against a 1-entry dictionary.  Must be rejected, not crash or
+  // mis-resolve.
+  std::vector<uint8_t> Bytes;
+  VectorSink Sink(Bytes);
+  StreamWriter Writer(Sink);
+  Writer.writeU32(0x58494231); // "XIB1"
+  Writer.writeU32(1);          // bundle version
+  Writer.writeVarU64(1);       // one image
+  Writer.writeVarU64(1);       // site table: only index 0 ("no site")
+  Writer.writeU32(0);
+  // Image header.
+  Writer.writeU64(42);  // AllocationTime
+  Writer.writeU32(1);   // CanaryValue
+  Writer.writeF64(1.0); // CanaryFillProbability
+  Writer.writeF64(2.0); // Multiplier
+  Writer.writeU64(3);   // HeapSeed
+  // Body: one miniheap, one slot with metadata.
+  Writer.writeVarU64(1);   // miniheap count
+  Writer.writeVarU64(0);   // size class
+  Writer.writeVarU64(16);  // object size
+  Writer.writeU64(0x1000); // base address
+  Writer.writeVarU64(0);   // creation time
+  Writer.writeVarU64(1);   // one slot
+  Writer.writeU8(0x80 | 1); // HasMeta | Allocated
+  Writer.writeVarU64(5);   // object id
+  Writer.writeVarU64(0);   // free time
+  Writer.writeVarU64(7);   // alloc-site index: OUT OF RANGE
+  Writer.writeVarU64(0);   // free-site index
+  Writer.writeVarU64(16);  // requested size
+  Writer.writeVarU64(1);   // one contents run
+  Writer.writeU8(1);       // pattern
+  Writer.writeVarU64(16);
+  Writer.writeU64(0);
+  ASSERT_FALSE(Writer.failed());
+
+  std::vector<HeapImage> Out;
+  EXPECT_FALSE(deserializeImageBundle(Bytes, Out));
+}
+
+TEST(ImageBundle, RejectsOversizedImageCount) {
+  std::vector<uint8_t> Bytes;
+  VectorSink Sink(Bytes);
+  StreamWriter Writer(Sink);
+  Writer.writeU32(0x58494231);
+  Writer.writeU32(1);
+  Writer.writeVarU64(MaxBundleImages + 1);
+  std::vector<HeapImage> Out;
+  EXPECT_FALSE(deserializeImageBundle(Bytes, Out));
+}
+
+TEST(ImageBundle, FileRoundTrip) {
+  std::vector<HeapImage> Images{randomizedImage(4), randomizedImage(5)};
+  const std::string Path = ::testing::TempDir() + "/bundle_roundtrip.xib";
+  ASSERT_TRUE(saveImageBundle(Images, Path));
+  std::vector<HeapImage> Loaded;
+  ASSERT_TRUE(loadImageBundle(Path, Loaded));
+  ASSERT_EQ(Loaded.size(), 2u);
+  EXPECT_TRUE(Loaded[0] == Images[0]);
+  EXPECT_TRUE(Loaded[1] == Images[1]);
+  std::remove(Path.c_str());
 }

@@ -6,6 +6,9 @@
 #   BENCH_hotpath.json   — micro_allocators: per-op malloc/free costs,
 #                          fast-vs-legacy speedups, and the heap-image
 #                          v1-vs-v2 footprint (schema: ROADMAP.md)
+#   BENCH_exchange.json  — exp_collaborative: patch-exchange ingest
+#                          throughput and ImageBundle size ratio
+#                          (schema: ROADMAP.md)
 #   BENCH_fig7.json      — fig7_overhead: normalized whole-program
 #                          overheads vs the baseline allocator (--full;
 #                          CI runs it as a smoke step)
@@ -37,9 +40,10 @@ done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target micro_allocators fig7_overhead \
-  >/dev/null
+  exp_collaborative >/dev/null
 
 "$BUILD_DIR"/bench/micro_allocators $SMOKE --json BENCH_hotpath.json
+"$BUILD_DIR"/bench/exp_collaborative $SMOKE --json BENCH_exchange.json
 
 if [ "$FULL" = 1 ]; then
   "$BUILD_DIR"/bench/fig7_overhead --json BENCH_fig7.json

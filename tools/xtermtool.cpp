@@ -8,18 +8,33 @@
 //   xtermtool image    <dump.xhi>              summarize a heap image (§3.4)
 //   xtermtool diagnose <out.xpt> <dump.xhi>... run isolation over images
 //
+// Patch-exchange commands (the fleet-scale form of §6.4; endpoints are
+// "unix:/path.sock", "tcp:PORT", or "tcp:HOST:PORT"):
+//
+//   xtermtool serve         <endpoint> [--workers N] [--seed patch.xpt]
+//   xtermtool submit        <endpoint> <dump.xhi|summary.xrs>...
+//   xtermtool fetch-patches <endpoint> <out.xpt> [--require-nonempty]
+//   xtermtool shutdown      <endpoint>
+//   xtermtool record        <outdir>           write demo evidence files
+//
 // The tool is a thin client of the runtime: diagnose feeds images (v1 or
 // v2) straight into the DiagnosisPipeline — the same ingestion point the
-// mode drivers use — and writes out the derived patches plus the report.
+// mode drivers use — and submit ships the same evidence to a PatchServer
+// wrapping that pipeline on another machine.
 //
 //===----------------------------------------------------------------------===//
 
 #include "diagnose/DiagnosisPipeline.h"
 #include "diefast/Canary.h"
+#include "exchange/PatchClient.h"
+#include "exchange/PatchServer.h"
+#include "exchange/SocketTransport.h"
 #include "heapimage/HeapImageIO.h"
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
 #include "report/PatchReport.h"
+#include "runtime/Exterminator.h"
+#include "workload/ScriptedBugs.h"
 
 #include <cstdio>
 #include <cstring>
@@ -34,7 +49,16 @@ static int usage() {
                "       xtermtool report   <patch.xpt>\n"
                "       xtermtool merge    <out.xpt> <in.xpt>...\n"
                "       xtermtool image    <dump.xhi>\n"
-               "       xtermtool diagnose <out.xpt> <dump.xhi>...\n");
+               "       xtermtool diagnose <out.xpt> <dump.xhi>...\n"
+               "       xtermtool serve    <endpoint> [--workers N] "
+               "[--seed patch.xpt]\n"
+               "       xtermtool submit   <endpoint> "
+               "<dump.xhi|summary.xrs>...\n"
+               "       xtermtool fetch-patches <endpoint> <out.xpt> "
+               "[--require-nonempty]\n"
+               "       xtermtool shutdown <endpoint>\n"
+               "       xtermtool record   <outdir>\n"
+               "endpoints: unix:/path.sock | tcp:PORT | tcp:HOST:PORT\n");
   return 2;
 }
 
@@ -175,6 +199,204 @@ static int diagnoseImages(const std::string &Out,
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Patch-exchange commands
+//===----------------------------------------------------------------------===//
+
+static bool parseEndpointArg(const std::string &Spec, Endpoint &Out) {
+  if (!parseEndpoint(Spec, Out)) {
+    std::fprintf(stderr,
+                 "error: bad endpoint '%s' (want unix:/path.sock, "
+                 "tcp:PORT, or tcp:HOST:PORT)\n",
+                 Spec.c_str());
+    return false;
+  }
+  return true;
+}
+
+static int serveCommand(const std::string &Spec,
+                        const std::vector<std::string> &Options) {
+  unsigned Workers = 2;
+  std::string SeedFile;
+  for (size_t I = 0; I < Options.size(); ++I) {
+    if (Options[I] == "--workers" && I + 1 < Options.size())
+      Workers = static_cast<unsigned>(std::strtoul(Options[++I].c_str(),
+                                                   nullptr, 10));
+    else if (Options[I] == "--seed" && I + 1 < Options.size())
+      SeedFile = Options[++I];
+    else
+      return usage();
+  }
+
+  Endpoint Ep;
+  if (!parseEndpointArg(Spec, Ep))
+    return 1;
+
+  PatchServer Server;
+  if (!SeedFile.empty()) {
+    PatchSet Seed;
+    if (!loadPatchSet(SeedFile, Seed)) {
+      std::fprintf(stderr, "error: cannot load seed patch file '%s'\n",
+                   SeedFile.c_str());
+      return 1;
+    }
+    Server.seedPatches(Seed);
+  }
+
+  SocketPatchServer Front(Server, Workers);
+  if (!Front.listen(Ep)) {
+    std::fprintf(stderr, "error: cannot listen on %s\n", Spec.c_str());
+    return 1;
+  }
+  std::printf("patch server listening on %s (%u worker(s)); stop with "
+              "`xtermtool shutdown %s`\n",
+              endpointToString(Front.endpoint()).c_str(), Workers,
+              endpointToString(Front.endpoint()).c_str());
+  std::fflush(stdout);
+  Front.serve();
+
+  const PatchServerStats Stats = Server.stats();
+  const PatchSnapshot Snap = Server.snapshot();
+  std::printf("served: %llu image(s), %llu summarie(s), %llu fetch(es) "
+              "(%llu unmodified), %llu rejected frame(s); final epoch "
+              "%llu with %zu pad(s), %zu front pad(s), %zu deferral(s)\n",
+              (unsigned long long)Stats.ImagesIngested,
+              (unsigned long long)Stats.SummariesIngested,
+              (unsigned long long)Stats.FetchesServed,
+              (unsigned long long)Stats.FetchesUnmodified,
+              (unsigned long long)Stats.FramesRejected,
+              (unsigned long long)Snap.Epoch, Snap.Patches.padCount(),
+              Snap.Patches.frontPadCount(), Snap.Patches.deferralCount());
+  return 0;
+}
+
+static int submitEvidence(const std::string &Spec,
+                          const std::vector<std::string> &Inputs) {
+  Endpoint Ep;
+  if (!parseEndpointArg(Spec, Ep))
+    return 1;
+
+  // Images group into one evidence set (isolation needs the whole set);
+  // each summary is its own submission.
+  ImageEvidence Evidence;
+  std::vector<RunSummary> Summaries;
+  for (const std::string &Path : Inputs) {
+    std::vector<uint8_t> Bytes;
+    if (!readFileBytes(Path, Bytes)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+      return 1;
+    }
+    RunSummary Summary;
+    if (deserializeRunSummary(Bytes, Summary)) {
+      Summaries.push_back(std::move(Summary));
+      continue;
+    }
+    HeapImage Image;
+    if (!deserializeHeapImage(Bytes, Image)) {
+      std::fprintf(stderr,
+                   "error: '%s' is neither a heap image nor a run "
+                   "summary\n",
+                   Path.c_str());
+      return 1;
+    }
+    Evidence.Primary.push_back(std::move(Image));
+  }
+
+  SocketClientTransport Transport(Ep);
+  PatchClient Client(Transport);
+  if (!Evidence.Primary.empty() && !Client.queueImages(Evidence)) {
+    std::fprintf(stderr,
+                 "error: evidence set exceeds the %u MiB frame limit; "
+                 "submit fewer images per invocation\n",
+                 MaxFramePayload >> 20);
+    return 1;
+  }
+  for (const RunSummary &Summary : Summaries)
+    Client.queueSummary(Summary, /*CleanStreak=*/0);
+  if (!Client.flush()) {
+    std::fprintf(stderr, "error: submission to %s failed\n", Spec.c_str());
+    return 1;
+  }
+  std::printf("submitted %zu image(s), %zu summarie(s) to %s\n",
+              Evidence.Primary.size(), Summaries.size(), Spec.c_str());
+  return 0;
+}
+
+static int fetchPatchesCommand(const std::string &Spec,
+                               const std::string &Out,
+                               bool RequireNonEmpty) {
+  Endpoint Ep;
+  if (!parseEndpointArg(Spec, Ep))
+    return 1;
+  SocketClientTransport Transport(Ep);
+  PatchClient Client(Transport);
+  if (!Client.fetchPatches()) {
+    std::fprintf(stderr, "error: fetch from %s failed\n", Spec.c_str());
+    return 1;
+  }
+  if (!savePatchSet(Client.patches(), Out)) {
+    std::fprintf(stderr, "error: cannot write patch file '%s'\n",
+                 Out.c_str());
+    return 1;
+  }
+  std::printf("fetched epoch %llu -> %s (%zu pads, %zu front pads, %zu "
+              "deferrals)\n",
+              (unsigned long long)Client.epoch(), Out.c_str(),
+              Client.patches().padCount(), Client.patches().frontPadCount(),
+              Client.patches().deferralCount());
+  if (RequireNonEmpty && Client.patches().empty()) {
+    std::fprintf(stderr, "error: fetched patch set is empty\n");
+    return 1;
+  }
+  return 0;
+}
+
+static int shutdownCommand(const std::string &Spec) {
+  Endpoint Ep;
+  if (!parseEndpointArg(Spec, Ep))
+    return 1;
+  SocketClientTransport Transport(Ep);
+  PatchClient Client(Transport);
+  if (!Client.shutdownServer()) {
+    std::fprintf(stderr, "error: shutdown of %s failed\n", Spec.c_str());
+    return 1;
+  }
+  std::printf("server at %s shutting down\n", Spec.c_str());
+  return 0;
+}
+
+/// Writes demo evidence: three heap images of the canonical scripted
+/// overflow (workload/ScriptedBugs.h) under different heap seeds
+/// (enough for §4 isolation) plus one failed-run summary.  Exists so
+/// the exchange can be exercised end-to-end from a clean checkout
+/// (CI's collaborative smoke step).
+static int recordEvidence(const std::string &OutDir) {
+  const std::vector<HeapImage> Images =
+      scriptedEvidenceImages(/*Count=*/3, /*OverflowBytes=*/9);
+  for (unsigned I = 0; I < Images.size(); ++I) {
+    const std::string ImagePath =
+        OutDir + "/run" + std::to_string(I) + ".xhi";
+    if (!saveHeapImage(Images[I], ImagePath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", ImagePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu slots)\n", ImagePath.c_str(),
+                Images[I].totalSlots());
+  }
+  DiagnosisPipeline Pipeline;
+  const RunSummary Summary =
+      Pipeline.summarize(Images.front(), /*Failed=*/true);
+  const std::string SummaryPath = OutDir + "/run0.xrs";
+  if (!writeFileBytes(SummaryPath, serializeRunSummary(Summary))) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", SummaryPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu overflow trial(s), %zu dangling trial(s))\n",
+              SummaryPath.c_str(), Summary.OverflowTrials.size(),
+              Summary.DanglingTrials.size());
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
@@ -194,5 +416,35 @@ int main(int Argc, char **Argv) {
     return Command == "merge" ? mergePatches(Argv[2], Inputs)
                               : diagnoseImages(Argv[2], Inputs);
   }
+  if (Command == "serve") {
+    std::vector<std::string> Options;
+    for (int I = 3; I < Argc; ++I)
+      Options.push_back(Argv[I]);
+    return serveCommand(Argv[2], Options);
+  }
+  if (Command == "submit") {
+    if (Argc < 4)
+      return usage();
+    std::vector<std::string> Inputs;
+    for (int I = 3; I < Argc; ++I)
+      Inputs.push_back(Argv[I]);
+    return submitEvidence(Argv[2], Inputs);
+  }
+  if (Command == "fetch-patches") {
+    if (Argc < 4)
+      return usage();
+    bool RequireNonEmpty = false;
+    for (int I = 4; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--require-nonempty") == 0)
+        RequireNonEmpty = true;
+      else
+        return usage();
+    }
+    return fetchPatchesCommand(Argv[2], Argv[3], RequireNonEmpty);
+  }
+  if (Command == "shutdown")
+    return shutdownCommand(Argv[2]);
+  if (Command == "record")
+    return recordEvidence(Argv[2]);
   return usage();
 }
