@@ -39,6 +39,8 @@
 #include "patch/RuntimePatch.h"
 #include "report/PatchReport.h"
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -106,10 +108,19 @@ public:
   /// Equivalent to isolateImages + absorbIsolation.
   IsolationResult submitImages(const ImageEvidence &Evidence);
 
-  /// The isolation half of submitImages, with no pipeline mutation.
-  /// Reads only the (immutable) configuration, so concurrent callers
-  /// need no synchronization — the patch server runs this outside its
-  /// lock and serializes only the merge.
+  /// The isolation half of submitImages, with no pipeline mutation
+  /// (the internally-synchronized view cache aside).  Reads only the
+  /// (immutable) configuration, so concurrent callers need no external
+  /// synchronization — the patch server runs this outside its lock and
+  /// serializes only the merge.
+  ///
+  /// On the fast evidence path, isolation runs over *cached* views: an
+  /// image set already indexed by an earlier submission (keyed by
+  /// content fingerprint, verified by full equality) reuses its indexes
+  /// instead of rebuilding them, so retried/duplicate submissions and
+  /// the primary→fallback sequence never re-index the same images, and
+  /// the evidence sweeps fan out on the shared executor.  Cached and
+  /// fresh views diagnose identically (pinned by test).
   IsolationResult isolateImages(const ImageEvidence &Evidence) const;
 
   /// The merge half of submitImages: folds already-derived patches into
@@ -141,10 +152,40 @@ private:
   /// merge actually changed it.
   void mergeActive(const PatchSet &Derived);
 
+  /// One indexed image set.  Cached entries own copies of the images
+  /// their views reference (so a shared_ptr keeps an isolation run
+  /// safe against concurrent eviction); ephemeral entries borrow the
+  /// caller's images and must not outlive the isolation call.
+  struct IndexedImages {
+    std::vector<HeapImage> OwnedImages; ///< empty for ephemeral entries
+    std::vector<HeapImageView> Views;
+  };
+
+  /// Returns indexed views for \p Images: the cached entry when an
+  /// equal set was indexed and retained before, otherwise a fresh
+  /// build — which is *cached* (image set copied into the entry) only
+  /// on a fingerprint's second sighting, so one-off evidence never
+  /// pays the copy-and-retain cost.  Returns nullptr when \p Images
+  /// cannot be isolated (fewer than two images).
+  std::shared_ptr<const IndexedImages>
+  indexedViews(const std::vector<HeapImage> &Images) const;
+
   DiagnosisConfig Config;
   CumulativeIsolator Cumulative;
   PatchSet Active;
   uint64_t Epoch = 0;
+
+  struct CacheSlot {
+    uint64_t Fingerprint = 0;
+    uint64_t LastUse = 0;
+    std::shared_ptr<const IndexedImages> Entry;
+  };
+  static constexpr size_t MaxRecentFingerprints = 8;
+  mutable std::mutex CacheMutex;
+  mutable std::vector<CacheSlot> ViewCache;
+  /// Fingerprints seen once (FIFO): promotion-to-cache gate.
+  mutable std::vector<uint64_t> RecentFingerprints;
+  mutable uint64_t CacheClock = 0;
 };
 
 } // namespace exterminator

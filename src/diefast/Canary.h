@@ -48,13 +48,18 @@ enum class Mode {
   Sse2,
   /// 32-byte AVX2 kernels (requires AVX2 hardware; ignored without it).
   Avx2,
+  /// 64-byte AVX-512BW fill/verify/match kernels (verify-zero and the
+  /// pair scan stay on their AVX2/scalar forms); requires AVX-512BW
+  /// hardware, ignored without it.
+  Avx512,
 };
 
 /// Repoints the hot-path function pointers; Auto re-runs CPU detection.
 /// Unsupported requests degrade to the best available implementation.
 void force(Mode M);
 
-/// Name of the active implementation: "avx2", "sse2", or "scalar".
+/// Name of the active implementation: "avx512", "avx2", "sse2", or
+/// "scalar".
 const char *activeName();
 
 } // namespace canary_dispatch
@@ -66,6 +71,15 @@ namespace canary_detail {
 
 using FillFn = void (*)(uint8_t *Bytes, size_t Size, uint64_t Word);
 using VerifyFn = bool (*)(const uint8_t *Bytes, size_t Size, uint64_t Word);
+/// Number of leading 8-byte words of \p Bytes equal to \p Word (the
+/// repeat scan of the heap-image run encoder): compares vector-width
+/// blocks and converts the first mismatching byte back to a word count.
+using MatchWordsFn = size_t (*)(const uint8_t *Bytes, size_t Words,
+                                uint64_t Word);
+/// Smallest index I with word[I] == word[I+1] (where the run encoder's
+/// next pattern run starts), or \p Words when no adjacent pair matches.
+/// Lets literal regions scan at vector width instead of word-at-a-time.
+using FindPairFn = size_t (*)(const uint8_t *Bytes, size_t Words);
 /// Fused verify+zero: checks \p Size bytes against the pattern while
 /// zeroing the first \p ZeroPrefix bytes of every block it has just
 /// verified.  Returns the number of prefix bytes zeroed before a
@@ -79,6 +93,8 @@ inline constexpr size_t AllVerifiedSentinel = ~size_t(0);
 extern FillFn Fill;
 extern VerifyFn Verify;
 extern VerifyZeroFn VerifyZero;
+extern MatchWordsFn MatchWords;
+extern FindPairFn FindPair;
 
 } // namespace canary_detail
 

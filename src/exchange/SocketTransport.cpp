@@ -5,6 +5,7 @@
 #include "exchange/PatchServer.h"
 #include "exchange/WireProtocol.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -86,10 +87,33 @@ static bool sendAll(int Fd, const uint8_t *Data, size_t Size) {
 }
 
 /// Reads exactly \p Size bytes; returns the count actually read (short
-/// only at EOF or error).
-static size_t recvAll(int Fd, uint8_t *Data, size_t Size) {
+/// at EOF, error, or an expired deadline).  \p Deadline, when non-null,
+/// is an absolute bound on the whole read: unlike a per-recv timeout
+/// (SO_RCVTIMEO), it cannot be reset by a peer trickling one byte per
+/// interval, so a slow-loris frame is cut off just like a silent one.
+static size_t recvAll(int Fd, uint8_t *Data, size_t Size,
+                      const std::chrono::steady_clock::time_point *Deadline =
+                          nullptr) {
   size_t Total = 0;
   while (Total < Size) {
+    if (Deadline) {
+      const auto Now = std::chrono::steady_clock::now();
+      if (Now >= *Deadline)
+        break;
+      const auto RemainingMs =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*Deadline -
+                                                                Now)
+              .count() +
+          1;
+      pollfd Poll{Fd, POLLIN, 0};
+      const int Ready =
+          ::poll(&Poll, 1, static_cast<int>(std::min<long long>(
+                               RemainingMs, 1000000)));
+      if (Ready < 0 && errno == EINTR)
+        continue;
+      if (Ready <= 0)
+        break; // deadline expired (or a dead socket) with bytes pending
+    }
     const ssize_t N = ::recv(Fd, Data + Total, Size - Total, 0);
     if (N < 0 && errno == EINTR)
       continue;
@@ -112,9 +136,12 @@ enum class FrameRead {
 /// field after bounding it; full validation (checksum, type) stays with
 /// decodeFrame.  On Garbage, \p Out holds whatever bytes arrived so the
 /// caller can run them through decodeFrame for a precise error reply.
-static FrameRead readFrameBytes(int Fd, std::vector<uint8_t> &Out) {
+static FrameRead readFrameBytes(
+    int Fd, std::vector<uint8_t> &Out,
+    const std::chrono::steady_clock::time_point *Deadline = nullptr) {
   Out.resize(FrameHeaderBytes);
-  const size_t HeaderGot = recvAll(Fd, Out.data(), FrameHeaderBytes);
+  const size_t HeaderGot =
+      recvAll(Fd, Out.data(), FrameHeaderBytes, Deadline);
   if (HeaderGot == 0)
     return FrameRead::CleanEof;
   if (HeaderGot < FrameHeaderBytes) {
@@ -126,8 +153,8 @@ static FrameRead readFrameBytes(int Fd, std::vector<uint8_t> &Out) {
   if (Magic != FrameMagic || Length > MaxFramePayload)
     return FrameRead::Garbage;
   Out.resize(FrameHeaderBytes + size_t(Length) + 4);
-  if (recvAll(Fd, Out.data() + FrameHeaderBytes, size_t(Length) + 4) !=
-      size_t(Length) + 4)
+  if (recvAll(Fd, Out.data() + FrameHeaderBytes, size_t(Length) + 4,
+              Deadline) != size_t(Length) + 4)
     return FrameRead::Garbage;
   return FrameRead::Frame;
 }
@@ -337,9 +364,20 @@ void SocketPatchServer::acceptLoop() {
       requestStop();
       return;
     }
+    // Connection cap: shed load at the door instead of letting a flood
+    // pin unbounded fds and queue memory.  Closing with nothing written
+    // is the standard over-capacity signal (the client sees EOF and can
+    // retry against a less loaded mirror).
+    if (MaxConnections != 0 &&
+        ActiveConnections.load(std::memory_order_acquire) >= MaxConnections) {
+      ::close(Fd);
+      continue;
+    }
+    ActiveConnections.fetch_add(1, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       if (Stopping) {
+        ActiveConnections.fetch_sub(1, std::memory_order_acq_rel);
         ::close(Fd);
         return;
       }
@@ -361,15 +399,27 @@ void SocketPatchServer::workerLoop() {
     if (Fd < 0)
       return; // stop sentinel
     serveConnection(Fd);
+    ActiveConnections.fetch_sub(1, std::memory_order_acq_rel);
     if (Server.shutdownRequested())
       requestStop();
   }
 }
 
 void SocketPatchServer::serveConnection(int Fd) {
+  // Every frame read runs against an absolute per-frame deadline: a
+  // peer that stalls mid-frame, goes silent between frames, or
+  // trickles bytes to keep a per-recv timeout alive is cut off after
+  // at most ReadTimeoutMs, and readFrameBytes reports Garbage (partial
+  // frame, answered with an ErrorReply) or CleanEof (idle between
+  // frames) — the worker moves on either way.
   std::vector<uint8_t> Request, Response;
   for (;;) {
-    const FrameRead Read = readFrameBytes(Fd, Request);
+    std::chrono::steady_clock::time_point Deadline;
+    if (ReadTimeoutMs != 0)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ReadTimeoutMs);
+    const FrameRead Read =
+        readFrameBytes(Fd, Request, ReadTimeoutMs != 0 ? &Deadline : nullptr);
     if (Read == FrameRead::CleanEof)
       break;
     // handleFrame answers garbage with a precise ErrorReply; its false

@@ -31,6 +31,7 @@
 #include "exchange/Transport.h"
 #include "support/Executor.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -97,6 +98,22 @@ public:
   SocketPatchServer(PatchServer &Server, unsigned Workers = 2);
   ~SocketPatchServer();
 
+  /// Per-frame read deadline: each frame must arrive in full within
+  /// this long, measured from its first byte being awaited — an
+  /// absolute bound, so a peer that stalls, goes silent between
+  /// frames, or trickles bytes to keep a per-recv timeout alive parks
+  /// a worker for at most one deadline instead of indefinitely.
+  /// 0 disables the deadline.  Call before serving.
+  void setReadTimeout(unsigned Milliseconds) {
+    ReadTimeoutMs = Milliseconds;
+  }
+
+  /// Caps concurrent connections (queued + in service); connections
+  /// accepted past the cap are closed immediately, bounding the fds and
+  /// queue memory a connection flood can pin.  0 means unlimited.
+  /// Call before serving.
+  void setMaxConnections(unsigned Cap) { MaxConnections = Cap; }
+
   SocketPatchServer(const SocketPatchServer &) = delete;
   SocketPatchServer &operator=(const SocketPatchServer &) = delete;
 
@@ -133,6 +150,11 @@ private:
   Endpoint Bound;
   int ListenFd = -1;
   std::string UnixPathToUnlink;
+  /// 30 s default: generous for a live client, finite for a dead one.
+  unsigned ReadTimeoutMs = 30000;
+  unsigned MaxConnections = 0;
+  /// Connections accepted and not yet fully served.
+  std::atomic<unsigned> ActiveConnections{0};
 
   std::mutex QueueMutex;
   std::condition_variable QueueReady;

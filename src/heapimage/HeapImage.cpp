@@ -4,15 +4,38 @@
 
 #include "diefast/Canary.h"
 #include "diefast/DieFastHeap.h"
+#include "support/Executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <type_traits>
 
 using namespace exterminator;
 
 /// Shortest repeated-word run worth a Pattern entry: two words (16 bytes)
 /// already serialize smaller than their literal bytes.
 static constexpr size_t MinPatternWords = 2;
+
+//===----------------------------------------------------------------------===//
+// evidence_path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<evidence_path::Mode> ActiveMode{evidence_path::Mode::Fast};
+
+} // namespace
+
+void evidence_path::force(Mode M) {
+  ActiveMode.store(M, std::memory_order_relaxed);
+}
+
+evidence_path::Mode evidence_path::mode() {
+  return ActiveMode.load(std::memory_order_relaxed);
+}
+
+bool evidence_path::isLegacy() { return mode() == Mode::Legacy; }
 
 //===----------------------------------------------------------------------===//
 // SlotContents
@@ -207,7 +230,54 @@ void HeapImage::addPatternRun(uint64_t Word, uint32_t Length) {
   Runs.push_back(Run);
 }
 
+void HeapImage::addSlotBytesFast(const uint8_t *Data, size_t Size) {
+  // Uniform slot (virgin all-zero, canary-filled, or zero-filled
+  // fresh allocation — the dominant populations of a DieHard heap):
+  // one dispatched SIMD sweep settles the whole slot and emits the
+  // single pattern run directly, with no run-boundary scanning.
+  uint64_t First;
+  std::memcpy(&First, Data, 8);
+  if (canary_detail::Verify(Data, Size, First)) {
+    addPatternRun(First, static_cast<uint32_t>(Size));
+    return;
+  }
+  // Mixed contents: the same canonical run decomposition as the
+  // scalar encoder — a pattern run starts exactly where two adjacent
+  // words first match — but both scans run at vector width: FindPair
+  // locates the next run start across literal stretches, MatchWords
+  // measures the run.  The whole-slot-single-word special case of the
+  // scalar loop cannot fire here (the sweep above caught it), so the
+  // decompositions are identical (pinned by test).
+  size_t LiteralStart = 0;
+  const size_t Words = Size / 8;
+  size_t W = 0;
+  while (W < Words) {
+    const size_t RunStart =
+        W + canary_detail::FindPair(Data + W * 8, Words - W);
+    if (RunStart >= Words)
+      break; // no further adjacent pair: literal to the end
+    uint64_t Value;
+    std::memcpy(&Value, Data + RunStart * 8, 8);
+    const size_t Repeat =
+        2 + canary_detail::MatchWords(Data + (RunStart + 2) * 8,
+                                      Words - RunStart - 2, Value);
+    if (LiteralStart < RunStart * 8)
+      addLiteralRun(Data + LiteralStart, RunStart * 8 - LiteralStart);
+    addPatternRun(Value, static_cast<uint32_t>(Repeat * 8));
+    W = RunStart + Repeat;
+    LiteralStart = W * 8;
+  }
+  if (LiteralStart < Size)
+    addLiteralRun(Data + LiteralStart, Size - LiteralStart);
+}
+
 void HeapImage::addSlotBytes(const uint8_t *Data, size_t Size) {
+  if (!evidence_path::isLegacy() && Size >= 8 && Size % 8 == 0) {
+    addSlotBytesFast(Data, Size);
+    return;
+  }
+
+  // Legacy path (and the odd-size fallback): the scalar word loop.
   const size_t Words = Size / 8;
   auto wordAt = [&](size_t W) {
     uint64_t Value;
@@ -240,6 +310,81 @@ void HeapImage::addSlotBytes(const uint8_t *Data, size_t Size) {
     addLiteralRun(Data + LiteralStart, Size - LiteralStart);
 }
 
+void HeapImage::captureSlotsBulk(const Miniheap &Mini) {
+  assert(!Miniheaps.empty() && "captureSlotsBulk before beginMiniheap");
+  const size_t N = Mini.numSlots();
+  const size_t Base = Flags.size();
+  Miniheaps.back().NumSlots += N;
+  Flags.resize(Base + N);
+  ObjectIds.resize(Base + N);
+  FreeTimes.resize(Base + N);
+  AllocSites.resize(Base + N);
+  FreeSites.resize(Base + N);
+  RequestedSizes.resize(Base + N);
+  RunBegin.resize(Base + N);
+
+  uint8_t *FlagsOut = Flags.data() + Base;
+  uint64_t *IdsOut = ObjectIds.data() + Base;
+  uint64_t *FreeTimesOut = FreeTimes.data() + Base;
+  SiteId *AllocSitesOut = AllocSites.data() + Base;
+  SiteId *FreeSitesOut = FreeSites.data() + Base;
+  uint32_t *SizesOut = RequestedSizes.data() + Base;
+  uint32_t *RunBeginOut = RunBegin.data() + Base;
+
+  const size_t ObjectSize = Mini.objectSize();
+  // Every slot contributes at least one run; pre-sizing keeps growth
+  // out of the per-slot loop for the (dominant) uniform-slot case.
+  Runs.reserve(Runs.size() + N);
+  const bool WordSized = ObjectSize >= 8 && ObjectSize % 8 == 0;
+  for (size_t I = 0; I < N; ++I) {
+    const SlotMetadata &Meta = Mini.slot(I);
+    FlagsOut[I] =
+        (Mini.isAllocated(I) ? SlotFlagAllocated : 0) |
+        (Meta.Bad ? SlotFlagBad : 0) | (Meta.Canaried ? SlotFlagCanaried : 0);
+    IdsOut[I] = Meta.ObjectId;
+    FreeTimesOut[I] = Meta.FreeTime;
+    AllocSitesOut[I] = Meta.AllocSite;
+    FreeSitesOut[I] = Meta.FreeSite;
+    SizesOut[I] = Meta.RequestedSize;
+    RunBeginOut[I] = static_cast<uint32_t>(Runs.size());
+    if (WordSized)
+      addSlotBytesFast(Mini.slotPointer(I), ObjectSize);
+    else
+      addSlotBytes(Mini.slotPointer(I), ObjectSize);
+  }
+}
+
+void HeapImage::appendFragment(const HeapImage &Fragment) {
+  const uint64_t SlotBase = Flags.size();
+  const uint32_t RunBase = static_cast<uint32_t>(Runs.size());
+  const uint32_t PoolBase = static_cast<uint32_t>(Pool.size());
+
+  for (ImageMiniheapInfo Info : Fragment.Miniheaps) {
+    Info.FirstSlot += SlotBase;
+    Miniheaps.push_back(Info);
+  }
+  Flags.insert(Flags.end(), Fragment.Flags.begin(), Fragment.Flags.end());
+  ObjectIds.insert(ObjectIds.end(), Fragment.ObjectIds.begin(),
+                   Fragment.ObjectIds.end());
+  FreeTimes.insert(FreeTimes.end(), Fragment.FreeTimes.begin(),
+                   Fragment.FreeTimes.end());
+  AllocSites.insert(AllocSites.end(), Fragment.AllocSites.begin(),
+                    Fragment.AllocSites.end());
+  FreeSites.insert(FreeSites.end(), Fragment.FreeSites.begin(),
+                   Fragment.FreeSites.end());
+  RequestedSizes.insert(RequestedSizes.end(),
+                        Fragment.RequestedSizes.begin(),
+                        Fragment.RequestedSizes.end());
+  for (uint32_t Begin : Fragment.RunBegin)
+    RunBegin.push_back(Begin + RunBase);
+  for (ContentsRun Run : Fragment.Runs) {
+    if (Run.RunKind == ContentsRun::Literal)
+      Run.PoolOffset += PoolBase;
+    Runs.push_back(Run);
+  }
+  Pool.insert(Pool.end(), Fragment.Pool.begin(), Fragment.Pool.end());
+}
+
 void HeapImage::reserveSlots(size_t Slots) {
   Flags.reserve(Flags.size() + Slots);
   ObjectIds.reserve(ObjectIds.size() + Slots);
@@ -268,7 +413,36 @@ bool HeapImage::operator==(const HeapImage &Other) const {
 // Capture
 //===----------------------------------------------------------------------===//
 
-HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap) {
+namespace {
+
+/// Captures one miniheap (descriptor, slot columns, contents runs) into
+/// \p Image.  The per-slot encoding is slot-local, so the same function
+/// serves sequential capture and the per-fragment half of parallel
+/// capture — which is what makes the stitched result bit-identical.
+void captureMiniheapInto(HeapImage &Image, const Miniheap &Mini) {
+  Image.beginMiniheap(Mini.sizeClassIndex(), Mini.objectSize(),
+                      reinterpret_cast<uint64_t>(Mini.base()),
+                      Mini.creationTime());
+  if (!evidence_path::isLegacy()) {
+    Image.captureSlotsBulk(Mini);
+    return;
+  }
+  Image.reserveSlots(Mini.numSlots());
+  for (size_t I = 0; I < Mini.numSlots(); ++I) {
+    const SlotMetadata &Meta = Mini.slot(I);
+    const uint8_t Flags =
+        (Mini.isAllocated(I) ? SlotFlagAllocated : 0) |
+        (Meta.Bad ? SlotFlagBad : 0) | (Meta.Canaried ? SlotFlagCanaried : 0);
+    Image.addSlot(Flags, Meta.ObjectId, Meta.FreeTime, Meta.AllocSite,
+                  Meta.FreeSite, Meta.RequestedSize);
+    Image.addSlotBytes(Mini.slotPointer(I), Mini.objectSize());
+  }
+}
+
+} // namespace
+
+HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap,
+                                         Executor *Pool) {
   HeapImage Image;
   const DieHardHeap &Inner = Heap.heap();
   Image.AllocationTime = Inner.allocationClock();
@@ -277,35 +451,126 @@ HeapImage exterminator::captureHeapImage(const DieFastHeap &Heap) {
   Image.Multiplier = Inner.multiplier();
   Image.HeapSeed = Inner.config().Seed;
 
+  std::vector<const Miniheap *> Minis;
   Inner.forEachMiniheap([&](unsigned /*ClassIndex*/, unsigned /*HeapIndex*/,
-                            const Miniheap &Mini) {
-    Image.beginMiniheap(Mini.sizeClassIndex(), Mini.objectSize(),
-                        reinterpret_cast<uint64_t>(Mini.base()),
-                        Mini.creationTime());
-    Image.reserveSlots(Mini.numSlots());
-    for (size_t I = 0; I < Mini.numSlots(); ++I) {
-      const SlotMetadata &Meta = Mini.slot(I);
-      const uint8_t Flags =
-          (Mini.isAllocated(I) ? SlotFlagAllocated : 0) |
-          (Meta.Bad ? SlotFlagBad : 0) | (Meta.Canaried ? SlotFlagCanaried : 0);
-      Image.addSlot(Flags, Meta.ObjectId, Meta.FreeTime, Meta.AllocSite,
-                    Meta.FreeSite, Meta.RequestedSize);
-      Image.addSlotBytes(Mini.slotPointer(I), Mini.objectSize());
-    }
-  });
+                            const Miniheap &Mini) { Minis.push_back(&Mini); });
+
+  if (!evidence_path::isLegacy() && Pool && Pool->threadCount() > 1 &&
+      Minis.size() > 1) {
+    // Parallel capture: one fragment per miniheap, stitched in miniheap
+    // order.  Fragments are per-index slots, so no locking; the stitch
+    // order (not the completion order) fixes the output bytes.
+    std::vector<HeapImage> Fragments(Minis.size());
+    Pool->parallelFor(Minis.size(), [&](size_t I) {
+      captureMiniheapInto(Fragments[I], *Minis[I]);
+    });
+    for (const HeapImage &Fragment : Fragments)
+      Image.appendFragment(Fragment);
+    return Image;
+  }
+
+  for (const Miniheap *Mini : Minis)
+    captureMiniheapInto(Image, *Mini);
   return Image;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+inline uint64_t mixHash(uint64_t H, uint64_t Value) {
+  H ^= Value * 0x9E3779B97F4A7C15ull;
+  H = (H << 27) | (H >> 37);
+  return H * 0xBF58476D1CE4E5B9ull;
+}
+
+uint64_t hashBytes(uint64_t H, const uint8_t *Data, size_t Size) {
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Chunk;
+    std::memcpy(&Chunk, Data + I, 8);
+    H = mixHash(H, Chunk);
+  }
+  uint64_t Tail = 0;
+  for (size_t B = 0; I + B < Size; ++B)
+    Tail |= uint64_t(Data[I + B]) << (8 * B);
+  return mixHash(H, Tail ^ Size);
+}
+
+template <typename T>
+uint64_t hashPod(uint64_t H, const std::vector<T> &Column) {
+  static_assert(std::is_trivially_copyable_v<T> && !std::is_class_v<T>,
+                "column fingerprints cover padding-free scalars only");
+  H = mixHash(H, Column.size());
+  return hashBytes(H, reinterpret_cast<const uint8_t *>(Column.data()),
+                   Column.size() * sizeof(T));
+}
+
+} // namespace
+
+uint64_t exterminator::heapImageFingerprint(const HeapImage &Image) {
+  uint64_t H = 0x5851F42D4C957F2Dull;
+  H = mixHash(H, Image.AllocationTime);
+  H = mixHash(H, Image.CanaryValue);
+  uint64_t Bits;
+  std::memcpy(&Bits, &Image.CanaryFillProbability, 8);
+  H = mixHash(H, Bits);
+  std::memcpy(&Bits, &Image.Multiplier, 8);
+  H = mixHash(H, Bits);
+  H = mixHash(H, Image.HeapSeed);
+  // Structs are hashed field-wise: raw struct bytes would fold in
+  // indeterminate padding and make equal images fingerprint unequal.
+  H = mixHash(H, Image.miniheapCount());
+  for (const ImageMiniheapInfo &Mini : Image.miniheaps()) {
+    H = mixHash(H, Mini.SizeClassIndex);
+    H = mixHash(H, Mini.ObjectSize);
+    H = mixHash(H, Mini.BaseAddress);
+    H = mixHash(H, Mini.CreationTime);
+    H = mixHash(H, Mini.FirstSlot);
+    H = mixHash(H, Mini.NumSlots);
+  }
+  H = hashPod(H, Image.flagsColumn());
+  H = hashPod(H, Image.objectIdColumn());
+  H = hashPod(H, Image.freeTimeColumn());
+  H = hashPod(H, Image.allocSiteColumn());
+  H = hashPod(H, Image.freeSiteColumn());
+  H = hashPod(H, Image.requestedSizeColumn());
+  H = mixHash(H, Image.runs().size());
+  for (const ContentsRun &Run : Image.runs()) {
+    H = mixHash(H, (uint64_t(Run.Length) << 32) | Run.PoolOffset);
+    H = mixHash(H, Run.Word ^ Run.RunKind);
+  }
+  for (uint64_t G = 0; G < Image.totalSlots(); ++G)
+    H = mixHash(H, Image.slotFirstRun(G));
+  H = hashPod(H, Image.pool());
+  return H;
 }
 
 //===----------------------------------------------------------------------===//
 // HeapImageView
 //===----------------------------------------------------------------------===//
 
-HeapImageView::HeapImageView(const HeapImage &Image) : Image(Image) {
+HeapImageView::HeapImageView(const HeapImage &Image)
+    : Image(Image), LegacyIndex(evidence_path::isLegacy()) {
+  if (!LegacyIndex) {
+    // Pre-size the flat table exactly: one sequential pass over the id
+    // column is far cheaper than growth rehashes mid-build.
+    size_t IdCount = 0;
+    for (uint64_t Id : Image.objectIdColumn())
+      IdCount += Id != 0;
+    FlatById.reserve(IdCount);
+  }
   for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
     const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
     for (uint32_t S = 0; S < Mini.NumSlots; ++S)
-      if (uint64_t Id = Image.objectIdAt(Mini.FirstSlot + S))
-        ById.emplace(Id, ImageLocation{M, S});
+      if (uint64_t Id = Image.objectIdAt(Mini.FirstSlot + S)) {
+        if (LegacyIndex)
+          ById.emplace(Id, ImageLocation{M, S});
+        else
+          FlatById.emplace(Id, ImageLocation{M, S});
+      }
     ByAddress.push_back(M);
   }
   std::sort(ByAddress.begin(), ByAddress.end(), [&](uint32_t A, uint32_t B) {
@@ -316,6 +581,11 @@ HeapImageView::HeapImageView(const HeapImage &Image) : Image(Image) {
 
 std::optional<ImageLocation>
 HeapImageView::findById(uint64_t ObjectId) const {
+  if (!LegacyIndex) {
+    if (const ImageLocation *Loc = FlatById.lookup(ObjectId))
+      return *Loc;
+    return std::nullopt;
+  }
   auto It = ById.find(ObjectId);
   if (It == ById.end())
     return std::nullopt;

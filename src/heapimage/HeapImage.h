@@ -32,6 +32,7 @@
 #ifndef EXTERMINATOR_HEAPIMAGE_HEAPIMAGE_H
 #define EXTERMINATOR_HEAPIMAGE_HEAPIMAGE_H
 
+#include "support/FlatU64Map.h"
 #include "support/SiteHash.h"
 
 #include <cassert>
@@ -44,7 +45,47 @@ namespace exterminator {
 
 class DieFastHeap;
 class Canary;
+class Executor;
+class Miniheap;
 struct CorruptionExtent;
+
+/// Selects between the PR-4 fast evidence path and the pre-PR-4
+/// implementation kept in the same binary for A/B benchmarking (the
+/// evidence-side sibling of DieHardConfig::LegacyHotPath).  The toggle
+/// governs slot-contents run encoding (SIMD uniform-slot detection and
+/// repeat scans vs the scalar word loop), capture parallelism, the
+/// HeapImageView object-id index (flat open-addressing vs
+/// std::unordered_map), the columnar evidence sweeps, and the
+/// DiagnosisPipeline view cache.  Both paths are pinned bit-identical
+/// (same serialized images, same derived patch sets) by
+/// tests/evidence_test.cpp; never enable Legacy in production.
+namespace evidence_path {
+
+enum class Mode {
+  /// SIMD encoding, flat indexes, parallel sweeps, cached views.
+  Fast,
+  /// The pre-PR-4 implementation (bench baseline toggle).
+  Legacy,
+};
+
+void force(Mode M);
+Mode mode();
+bool isLegacy();
+
+/// RAII: forces \p M for a scope, restoring the previous mode (tests
+/// and the fast-vs-legacy bench sections).
+class Scoped {
+public:
+  explicit Scoped(Mode M) : Previous(mode()) { force(M); }
+  ~Scoped() { force(Previous); }
+  Scoped(const Scoped &) = delete;
+  Scoped &operator=(const Scoped &) = delete;
+
+private:
+  Mode Previous;
+};
+
+} // namespace evidence_path
 
 /// Per-slot state bits (the Flags column).
 enum : uint8_t {
@@ -227,6 +268,19 @@ public:
   // Global-index variants for whole-image column sweeps.
   uint8_t slotFlagsAt(uint64_t G) const { return Flags[G]; }
   uint64_t objectIdAt(uint64_t G) const { return ObjectIds[G]; }
+  SlotContents contentsAt(uint64_t G) const { return SlotContents(*this, G); }
+
+  // Raw column access for the fast evidence sweeps: isolators iterate
+  // these directly instead of taking the per-slot accessor chain
+  // (ImageLocation -> globalSlot -> column) for every slot.
+  const std::vector<uint8_t> &flagsColumn() const { return Flags; }
+  const std::vector<uint64_t> &objectIdColumn() const { return ObjectIds; }
+  const std::vector<uint64_t> &freeTimeColumn() const { return FreeTimes; }
+  const std::vector<SiteId> &allocSiteColumn() const { return AllocSites; }
+  const std::vector<SiteId> &freeSiteColumn() const { return FreeSites; }
+  const std::vector<uint32_t> &requestedSizeColumn() const {
+    return RequestedSizes;
+  }
 
   //===--------------------------------------------------------------------===//
   // Construction (capture and deserialization)
@@ -256,6 +310,20 @@ public:
   /// Reserves column capacity for \p Slots upcoming slots.
   void reserveSlots(size_t Slots);
 
+  /// Bulk capture of every slot of \p Mini into the current miniheap
+  /// (which must just have been begun): columns are resized once and
+  /// filled through raw pointers, skipping the per-slot push_back
+  /// capacity checks that dominate small-slot captures.  Produces
+  /// exactly what addSlot + addSlotBytes per slot produce.
+  void captureSlotsBulk(const Miniheap &Mini);
+
+  /// Appends every miniheap of \p Fragment (columns, runs, pool) after
+  /// this image's own, rebasing slot, run, and pool offsets — the
+  /// deterministic stitch step of parallel capture.  The result is
+  /// byte-identical to having captured the fragment's miniheaps into
+  /// this image directly.
+  void appendFragment(const HeapImage &Fragment);
+
   //===--------------------------------------------------------------------===//
   // Raw access for serialization
   //===--------------------------------------------------------------------===//
@@ -273,6 +341,12 @@ public:
 private:
   friend class SlotContents;
 
+  /// The fast-path half of addSlotBytes (SIMD uniform sweep + vector
+  /// run scans); requires Size >= 8 and Size % 8 == 0.  captureSlotsBulk
+  /// calls it directly so the per-slot mode dispatch disappears from
+  /// the capture inner loop.
+  void addSlotBytesFast(const uint8_t *Data, size_t Size);
+
   std::vector<ImageMiniheapInfo> Miniheaps;
 
   // One entry per slot, all miniheaps concatenated.
@@ -289,8 +363,17 @@ private:
   std::vector<uint8_t> Pool;
 };
 
-/// Captures a heap image from a live DieFast heap.
-HeapImage captureHeapImage(const DieFastHeap &Heap);
+/// Captures a heap image from a live DieFast heap.  With a \p Pool, the
+/// fast path captures miniheaps concurrently and stitches the fragments
+/// in deterministic miniheap order — bit-identical to the sequential
+/// capture (pinned by test); the legacy path ignores the pool.
+HeapImage captureHeapImage(const DieFastHeap &Heap, Executor *Pool = nullptr);
+
+/// A 64-bit content fingerprint over everything operator== compares.
+/// Equal images always fingerprint equal; the DiagnosisPipeline view
+/// cache keys on this (and re-checks full equality on a hit, so hash
+/// collisions cost a rebuild, never a wrong diagnosis).
+uint64_t heapImageFingerprint(const HeapImage &Image);
 
 /// Zero-copy read interface over one image: columnar accessors plus the
 /// id and address indexes isolation needs.  Replaces both the old
@@ -313,6 +396,13 @@ public:
 
 private:
   const HeapImage &Image;
+  /// Which index the constructor populated (the evidence_path mode at
+  /// construction time, so a view stays self-consistent even if the
+  /// global toggle flips while it is alive).
+  bool LegacyIndex;
+  /// Fast path: flat open-addressing id index (one probe per lookup).
+  FlatU64Map<ImageLocation> FlatById;
+  /// Legacy path: the pre-PR-4 node-based index.
   std::unordered_map<uint64_t, ImageLocation> ById;
   /// Miniheap index sorted by base address for binary search.
   std::vector<uint32_t> ByAddress;

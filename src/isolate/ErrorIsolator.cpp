@@ -6,7 +6,7 @@ using namespace exterminator;
 
 IsolationResult
 exterminator::isolateErrors(const std::vector<HeapImageView> &Views,
-                            const IsolationConfig &Config) {
+                            const IsolationConfig &Config, Executor *Pool) {
   IsolationResult Result;
   if (Views.size() < 2)
     return Result;
@@ -22,7 +22,7 @@ exterminator::isolateErrors(const std::vector<HeapImageView> &Views,
   for (const DanglingFinding &Finding : Result.Danglings)
     ExcludeIds.push_back(Finding.ObjectId);
 
-  OverflowIsolator Overflow(Views, Config.Overflow);
+  OverflowIsolator Overflow(Views, Config.Overflow, Pool);
   Result.Overflows = Overflow.isolate(ExcludeIds);
 
   // Patches: every dangling finding defers its site pair; overflows pad
@@ -47,8 +47,8 @@ exterminator::isolateErrors(const std::vector<HeapImageView> &Views,
 
 IsolationResult
 exterminator::isolateErrors(const std::vector<HeapImage> &Images,
-                            const IsolationConfig &Config) {
+                            const IsolationConfig &Config, Executor *Pool) {
   if (Images.size() < 2)
     return IsolationResult();
-  return isolateErrors(makeViews(Images), Config);
+  return isolateErrors(makeViews(Images), Config, Pool);
 }

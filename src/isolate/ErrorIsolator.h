@@ -51,14 +51,20 @@ struct IsolationResult {
   }
 };
 
+class Executor;
+
 /// Runs the complete §4 isolation pipeline over a set of heap images.
+/// \p Pool, when given, fans the evidence sweeps across the executor
+/// (deterministic: findings are identical to a sequential run).
 IsolationResult isolateErrors(const std::vector<HeapImage> &Images,
-                              const IsolationConfig &Config = {});
+                              const IsolationConfig &Config = {},
+                              Executor *Pool = nullptr);
 
 /// Same pipeline over pre-built views (avoids re-indexing when the
 /// caller — e.g. DiagnosisPipeline — already holds them).
 IsolationResult isolateErrors(const std::vector<HeapImageView> &Views,
-                              const IsolationConfig &Config = {});
+                              const IsolationConfig &Config = {},
+                              Executor *Pool = nullptr);
 
 } // namespace exterminator
 

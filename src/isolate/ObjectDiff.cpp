@@ -3,6 +3,7 @@
 #include "isolate/ObjectDiff.h"
 
 #include "diefast/Canary.h"
+#include "support/Executor.h"
 
 #include <algorithm>
 #include <cstring>
@@ -10,8 +11,9 @@
 
 using namespace exterminator;
 
-EvidenceCollector::EvidenceCollector(const std::vector<HeapImageView> &Views)
-    : Views(Views) {}
+EvidenceCollector::EvidenceCollector(const std::vector<HeapImageView> &Views,
+                                     Executor *Pool)
+    : Views(Views), Pool(Pool) {}
 
 std::vector<CorruptionRegion> EvidenceCollector::collectCanaryEvidence(
     uint32_t ImageIndex, const std::vector<uint64_t> &ExcludeIds) const {
@@ -22,6 +24,40 @@ std::vector<CorruptionRegion> EvidenceCollector::collectCanaryEvidence(
 
   std::vector<CorruptionRegion> Evidence;
   std::vector<uint8_t> Scratch;
+
+  if (!evidence_path::isLegacy()) {
+    // Fast path: iterate the flag and id columns directly — one byte
+    // load per slot decides inspectability, with none of the per-slot
+    // ImageLocation -> globalSlot accessor chain.
+    const uint8_t *Flags = Image.flagsColumn().data();
+    const uint64_t *Ids = Image.objectIdColumn().data();
+    for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+      const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+      for (uint64_t G = Mini.FirstSlot, S = 0; S < Mini.NumSlots; ++G, ++S) {
+        const uint8_t F = Flags[G];
+        if (!(F & SlotFlagCanaried) ||
+            ((F & SlotFlagAllocated) && !(F & SlotFlagBad)))
+          continue;
+        if (!Excluded.empty() && Excluded.count(Ids[G]))
+          continue;
+        const SlotContents Contents = Image.contentsAt(G);
+        std::optional<CorruptionExtent> Extent =
+            Contents.findCorruption(HeapCanary);
+        if (!Extent)
+          continue;
+        CorruptionRegion Region;
+        Region.ImageIndex = ImageIndex;
+        Region.Victim = ImageLocation{M, static_cast<uint32_t>(S)};
+        Region.BeginAddress = Mini.slotAddress(S) + Extent->Begin;
+        Region.EndAddress = Mini.slotAddress(S) + Extent->End;
+        const uint8_t *Bytes = Contents.bytes(Scratch);
+        Region.Bytes.assign(Bytes + Extent->Begin, Bytes + Extent->End);
+        Evidence.push_back(std::move(Region));
+      }
+    }
+    return Evidence;
+  }
+
   for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
     const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
     for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
@@ -62,8 +98,10 @@ EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
 
   bool AllEqual = true;
   for (size_t I = 1; I < Values.size(); ++I)
-    if (Values[I] != Values[0])
+    if (Values[I] != Values[0]) {
       AllEqual = false;
+      break;
+    }
   if (AllEqual)
     return WordClassKind::Equal;
 
@@ -88,6 +126,7 @@ EvidenceCollector::classifyWord(uint64_t ObjectId, uint64_t WordOffset,
       PointeeOffset = Located->second;
     } else if (Id != PointeeId || Located->second != PointeeOffset) {
       AllPointers = false;
+      break;
     }
   }
   if (AllPointers)
@@ -211,26 +250,48 @@ void EvidenceCollector::diffLiveObject(
 
 std::vector<std::vector<CorruptionRegion>> EvidenceCollector::collectAllEvidence(
     const std::vector<uint64_t> &ExcludeIds) const {
+  const bool Parallel =
+      Pool && Pool->threadCount() > 1 && !evidence_path::isLegacy();
+
+  // Canary sweeps are independent per image (per-index result slots).
   std::vector<std::vector<CorruptionRegion>> ByImage(Views.size());
-  for (uint32_t I = 0; I < Views.size(); ++I)
-    ByImage[I] = collectCanaryEvidence(I, ExcludeIds);
+  if (Parallel && Views.size() > 1) {
+    Pool->parallelFor(Views.size(), [&](size_t I) {
+      ByImage[I] =
+          collectCanaryEvidence(static_cast<uint32_t>(I), ExcludeIds);
+    });
+  } else {
+    for (uint32_t I = 0; I < Views.size(); ++I)
+      ByImage[I] = collectCanaryEvidence(I, ExcludeIds);
+  }
 
   // Diff every object that is live in image 0 (liveness elsewhere is
-  // checked inside diffLiveObject).
-  std::vector<CorruptionRegion> DiffEvidence;
+  // checked inside diffLiveObject).  The sweep fans out per miniheap of
+  // the first image; per-miniheap evidence merges in miniheap order, so
+  // the result is the exact sequential-order evidence list.
   const HeapImage &FirstImage = Views.front().image();
-  for (uint32_t M = 0; M < FirstImage.miniheapCount(); ++M) {
-    const ImageMiniheapInfo &Mini = FirstImage.miniheapInfo(M);
-    for (uint32_t S = 0; S < Mini.NumSlots; ++S) {
-      const ImageLocation Loc{M, S};
-      const uint8_t Flags = FirstImage.slotFlags(Loc);
-      if ((Flags & SlotFlagAllocated) && !(Flags & SlotFlagBad) &&
-          FirstImage.objectId(Loc) != 0)
-        diffLiveObject(FirstImage.objectId(Loc), DiffEvidence);
+  std::vector<std::vector<CorruptionRegion>> PerMini(
+      FirstImage.miniheapCount());
+  auto DiffMiniheap = [&](size_t M) {
+    const ImageMiniheapInfo &Mini =
+        FirstImage.miniheapInfo(static_cast<uint32_t>(M));
+    const uint8_t *Flags = FirstImage.flagsColumn().data();
+    const uint64_t *Ids = FirstImage.objectIdColumn().data();
+    for (uint64_t G = Mini.FirstSlot, S = 0; S < Mini.NumSlots; ++G, ++S) {
+      const uint8_t F = Flags[G];
+      if ((F & SlotFlagAllocated) && !(F & SlotFlagBad) && Ids[G] != 0)
+        diffLiveObject(Ids[G], PerMini[M]);
     }
-  }
-  for (CorruptionRegion &Region : DiffEvidence)
-    ByImage[Region.ImageIndex].push_back(std::move(Region));
+  };
+  if (Parallel && PerMini.size() > 1)
+    Pool->parallelFor(PerMini.size(), DiffMiniheap);
+  else
+    for (size_t M = 0; M < PerMini.size(); ++M)
+      DiffMiniheap(M);
+
+  for (std::vector<CorruptionRegion> &Regions : PerMini)
+    for (CorruptionRegion &Region : Regions)
+      ByImage[Region.ImageIndex].push_back(std::move(Region));
 
   for (auto &Regions : ByImage)
     coalesceRegions(Regions);

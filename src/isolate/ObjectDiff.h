@@ -73,12 +73,19 @@ struct CorruptionRegion {
   uint64_t length() const { return EndAddress - BeginAddress; }
 };
 
+class Executor;
+
 /// Gathers corruption evidence from a set of heap images of the same
 /// program execution (iterative or replicated mode).
 class EvidenceCollector {
 public:
-  /// \p Views must outlive the collector.
-  explicit EvidenceCollector(const std::vector<HeapImageView> &Views);
+  /// \p Views must outlive the collector.  With a \p Pool (and the fast
+  /// evidence path active), collectAllEvidence fans the per-image canary
+  /// sweeps and the per-miniheap live-object diffs across the pool;
+  /// results land in per-index slots and merge in deterministic order,
+  /// so the evidence is identical to a sequential collection.
+  explicit EvidenceCollector(const std::vector<HeapImageView> &Views,
+                             Executor *Pool = nullptr);
 
   /// Broken-canary evidence in image \p ImageIndex, optionally skipping
   /// the object ids in \p ExcludeIds (objects already classified as
@@ -107,6 +114,7 @@ public:
 
 private:
   const std::vector<HeapImageView> &Views;
+  Executor *Pool;
 };
 
 /// Merges regions in place: regions of the same image whose address

@@ -9,8 +9,9 @@
 using namespace exterminator;
 
 OverflowIsolator::OverflowIsolator(const std::vector<HeapImageView> &Views,
-                                   const OverflowIsolatorConfig &Config)
-    : Views(Views), Config(Config) {}
+                                   const OverflowIsolatorConfig &Config,
+                                   Executor *Pool)
+    : Views(Views), Config(Config), Pool(Pool) {}
 
 namespace {
 
@@ -24,18 +25,18 @@ struct RelativeRegion {
   const std::vector<uint8_t> *Bytes;
 };
 
+/// One observed byte at one culprit-relative offset in one image — a
+/// row of the fast path's flat agreement table.
+struct Observation {
+  int64_t Offset;
+  uint32_t ImageIndex;
+  uint8_t Byte;
+};
+
 } // namespace
 
-std::vector<OverflowCandidate>
-OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
-  std::vector<OverflowCandidate> Result;
-  if (Views.size() < 2)
-    return Result; // Theorem 3: one image leaves H−1 candidates per victim.
-
-  const EvidenceCollector Collector(Views);
-  const std::vector<std::vector<CorruptionRegion>> ByImage =
-      Collector.collectAllEvidence(ExcludeIds);
-
+std::vector<uint64_t> OverflowIsolator::candidatesLegacy(
+    const std::vector<std::vector<CorruptionRegion>> &ByImage) const {
   // Enumerate candidate culprits: for each victim region, every object at
   // a lower address in the same miniheap could be a forward-overflow
   // source; with the backward extension, objects at higher addresses are
@@ -59,13 +60,102 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
       }
     }
   }
-
-  for (const auto &[CulpritId, Unused] : CandidateIds) {
+  std::vector<uint64_t> Candidates;
+  Candidates.reserve(CandidateIds.size());
+  for (const auto &[Id, Unused] : CandidateIds) {
     (void)Unused;
+    Candidates.push_back(Id);
+  }
+  return Candidates;
+}
 
+std::vector<uint64_t> OverflowIsolator::candidatesFast(
+    const std::vector<std::vector<CorruptionRegion>> &ByImage) const {
+  // Same candidate set as the legacy enumeration, but victim regions
+  // are first grouped by (image, miniheap) so each miniheap's id column
+  // is swept exactly once instead of once per region.
+  struct VictimGroup {
+    uint32_t Image;
+    uint32_t Mini;
+    std::vector<uint32_t> Victims;
+  };
+  std::vector<VictimGroup> Groups;
+  for (uint32_t I = 0; I < ByImage.size(); ++I)
+    for (const CorruptionRegion &Region : ByImage[I]) {
+      VictimGroup *Group = nullptr;
+      for (VictimGroup &Existing : Groups)
+        if (Existing.Image == I &&
+            Existing.Mini == Region.Victim.MiniheapIndex) {
+          Group = &Existing;
+          break;
+        }
+      if (!Group) {
+        Groups.push_back({I, Region.Victim.MiniheapIndex, {}});
+        Group = &Groups.back();
+      }
+      Group->Victims.push_back(Region.Victim.SlotIndex);
+    }
+
+  std::vector<uint64_t> Candidates;
+  for (VictimGroup &Group : Groups) {
+    const HeapImage &Image = Views[Group.Image].image();
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(Group.Mini);
+    const uint64_t *Ids = Image.objectIdColumn().data() + Mini.FirstSlot;
+    std::sort(Group.Victims.begin(), Group.Victims.end());
+    Group.Victims.erase(
+        std::unique(Group.Victims.begin(), Group.Victims.end()),
+        Group.Victims.end());
+    if (Config.DetectBackwardOverflows) {
+      // Per region, legacy admits every slot but that region's victim;
+      // the union over a group therefore excludes a slot only when it
+      // is the group's sole victim.
+      const bool SingleVictim = Group.Victims.size() == 1;
+      for (uint32_t C = 0; C < Mini.NumSlots; ++C) {
+        if (SingleVictim && C == Group.Victims.front())
+          continue;
+        if (Ids[C] != 0)
+          Candidates.push_back(Ids[C]);
+      }
+    } else {
+      // Forward-only legacy admits C < victim slot; the union over the
+      // group is C < its highest victim slot.
+      const uint32_t Limit = Group.Victims.back();
+      for (uint32_t C = 0; C < Limit; ++C)
+        if (Ids[C] != 0)
+          Candidates.push_back(Ids[C]);
+    }
+  }
+  std::sort(Candidates.begin(), Candidates.end());
+  Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
+                   Candidates.end());
+  return Candidates;
+}
+
+std::vector<OverflowCandidate>
+OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
+  std::vector<OverflowCandidate> Result;
+  if (Views.size() < 2)
+    return Result; // Theorem 3: one image leaves H−1 candidates per victim.
+
+  const EvidenceCollector Collector(Views, Pool);
+  const std::vector<std::vector<CorruptionRegion>> ByImage =
+      Collector.collectAllEvidence(ExcludeIds);
+
+  const std::vector<uint64_t> CandidateIds =
+      evidence_path::isLegacy() ? candidatesLegacy(ByImage)
+                                : candidatesFast(ByImage);
+
+  // Hoisted scratch: the candidate loop reuses these instead of paying
+  // an allocation per candidate (the fast path's flat offset table
+  // replaces the per-offset node-and-vector std::map as well).
+  std::vector<ImageLocation> Locations(Views.size());
+  std::vector<Observation> Observations;
+  std::vector<RelativeRegion> Relative;
+  std::vector<uint8_t> ImageConfirmed;
+
+  for (const uint64_t CulpritId : CandidateIds) {
     // Locate the culprit in every image; candidates whose slot has been
     // recycled in some image cannot be cross-checked.
-    std::vector<ImageLocation> Locations(Views.size());
     bool Present = true;
     for (size_t I = 0; I < Views.size() && Present; ++I) {
       std::optional<ImageLocation> Loc = Views[I].findById(CulpritId);
@@ -85,7 +175,7 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
     // offsets; a deterministic overflow produces the same offsets (same
     // distance δ) in every image, while unrelated corruption lands at
     // random offsets (Theorem 3).
-    std::vector<RelativeRegion> Relative;
+    Relative.clear();
     for (uint32_t I = 0; I < ByImage.size(); ++I) {
       const HeapImage &Image = Views[I].image();
       const ImageMiniheapInfo &CulpritMini = Image.miniheap(Locations[I]);
@@ -115,35 +205,85 @@ OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
     // an image when that image's observed byte agrees with at least one
     // *other* image at the same culprit-relative offset ("the overflowed
     // values have some bytes in common across the images").
-    std::map<int64_t, std::vector<std::pair<uint32_t, uint8_t>>> ByOffset;
-    for (const RelativeRegion &Rel : Relative)
-      for (int64_t Offset = Rel.BeginOffset; Offset < Rel.EndOffset;
-           ++Offset)
-        ByOffset[Offset].emplace_back(
-            Rel.ImageIndex,
-            (*Rel.Bytes)[static_cast<size_t>(Offset - Rel.BeginOffset)]);
-
     uint64_t EvidenceBytes = 0;
     int64_t MaxEndOffset = 0;
     int64_t MinBeginOffset = 0;
-    std::vector<bool> ImageConfirmed(Views.size(), false);
-    for (const auto &[Offset, Observations] : ByOffset) {
-      for (size_t A = 0; A < Observations.size(); ++A) {
+    ImageConfirmed.assign(Views.size(), 0);
+
+    auto ScoreGroup = [&](const Observation *Group, size_t Count,
+                          int64_t Offset) {
+      for (size_t A = 0; A < Count; ++A) {
         bool Agrees = false;
-        for (size_t B = 0; B < Observations.size(); ++B)
-          if (B != A && Observations[B].first != Observations[A].first &&
-              Observations[B].second == Observations[A].second) {
+        for (size_t B = 0; B < Count; ++B)
+          if (B != A && Group[B].ImageIndex != Group[A].ImageIndex &&
+              Group[B].Byte == Group[A].Byte) {
             Agrees = true;
             break;
           }
         if (Agrees) {
           ++EvidenceBytes;
-          ImageConfirmed[Observations[A].first] = true;
+          ImageConfirmed[Group[A].ImageIndex] = 1;
           if (Offset >= 0)
             MaxEndOffset = std::max(MaxEndOffset, Offset + 1);
           else
             MinBeginOffset = std::min(MinBeginOffset, Offset);
         }
+      }
+    };
+
+    if (evidence_path::isLegacy()) {
+      // Pre-PR-4 structure, verbatim: one red-black-tree node (and one
+      // vector) per distinct offset, scored in place.
+      std::map<int64_t, std::vector<std::pair<uint32_t, uint8_t>>> ByOffset;
+      for (const RelativeRegion &Rel : Relative)
+        for (int64_t Offset = Rel.BeginOffset; Offset < Rel.EndOffset;
+             ++Offset)
+          ByOffset[Offset].emplace_back(
+              Rel.ImageIndex,
+              (*Rel.Bytes)[static_cast<size_t>(Offset - Rel.BeginOffset)]);
+      for (const auto &[Offset, Entries] : ByOffset) {
+        for (size_t A = 0; A < Entries.size(); ++A) {
+          bool Agrees = false;
+          for (size_t B = 0; B < Entries.size(); ++B)
+            if (B != A && Entries[B].first != Entries[A].first &&
+                Entries[B].second == Entries[A].second) {
+              Agrees = true;
+              break;
+            }
+          if (Agrees) {
+            ++EvidenceBytes;
+            ImageConfirmed[Entries[A].first] = 1;
+            if (Offset >= 0)
+              MaxEndOffset = std::max(MaxEndOffset, Offset + 1);
+            else
+              MinBeginOffset = std::min(MinBeginOffset, Offset);
+          }
+        }
+      }
+    } else {
+      // Fast path: one flat, reused observation table, sorted by offset
+      // and scored per group — no per-offset allocations.  Agreement is
+      // order-independent within a group, so the sort only needs the
+      // offset key.
+      Observations.clear();
+      for (const RelativeRegion &Rel : Relative)
+        for (int64_t Offset = Rel.BeginOffset; Offset < Rel.EndOffset;
+             ++Offset)
+          Observations.push_back(Observation{
+              Offset, Rel.ImageIndex,
+              (*Rel.Bytes)[static_cast<size_t>(Offset - Rel.BeginOffset)]});
+      std::sort(Observations.begin(), Observations.end(),
+                [](const Observation &A, const Observation &B) {
+                  return A.Offset < B.Offset;
+                });
+      for (size_t Begin = 0; Begin < Observations.size();) {
+        size_t End = Begin + 1;
+        while (End < Observations.size() &&
+               Observations[End].Offset == Observations[Begin].Offset)
+          ++End;
+        ScoreGroup(Observations.data() + Begin, End - Begin,
+                   Observations[Begin].Offset);
+        Begin = End;
       }
     }
 

@@ -68,8 +68,11 @@ struct OverflowIsolatorConfig {
 /// Searches heap images for buffer overflows.
 class OverflowIsolator {
 public:
+  /// \p Pool, when given, fans the evidence-collection sweeps across the
+  /// executor (see EvidenceCollector; the findings are unaffected).
   explicit OverflowIsolator(const std::vector<HeapImageView> &Views,
-                            const OverflowIsolatorConfig &Config = {});
+                            const OverflowIsolatorConfig &Config = {},
+                            Executor *Pool = nullptr);
 
   /// Returns culprits ranked by score (ties broken toward more evidence
   /// bytes).  \p ExcludeIds lists objects already classified as dangling
@@ -79,8 +82,20 @@ public:
   isolate(const std::vector<uint64_t> &ExcludeIds = {}) const;
 
 private:
+  /// Candidate-culprit enumeration, pre-PR-4 shape: every region
+  /// re-scans its victim's whole miniheap into a node-based dedup map.
+  std::vector<uint64_t> candidatesLegacy(
+      const std::vector<std::vector<CorruptionRegion>> &ByImage) const;
+
+  /// Fast enumeration: victim regions grouped by (image, miniheap) so
+  /// each miniheap's id column is scanned exactly once; produces the
+  /// same candidate *set* (pinned by the fast/legacy equivalence test).
+  std::vector<uint64_t> candidatesFast(
+      const std::vector<std::vector<CorruptionRegion>> &ByImage) const;
+
   const std::vector<HeapImageView> &Views;
   OverflowIsolatorConfig Config;
+  Executor *Pool;
 };
 
 } // namespace exterminator

@@ -3,6 +3,7 @@
 #include "runtime/Exterminator.h"
 
 #include "inject/FaultInjector.h"
+#include "support/Executor.h"
 
 #include <memory>
 
@@ -27,7 +28,7 @@ public:
   void *allocate(size_t Size) override {
     if (!Captured &&
         Inner.diefast().heap().allocationClock() >= BreakAt) {
-      Image = captureHeapImage(Inner.diefast());
+      Image = captureHeapImage(Inner.diefast(), &sharedExecutor());
       Captured = true;
     }
     return Inner.allocate(Size);
@@ -74,7 +75,7 @@ SingleRunResult exterminator::runWorkloadOnce(
         return;
       Run.ErrorSignalled = true;
       Run.FirstSignalTime = Signal.DetectionTime;
-      Run.SignalImage = captureHeapImage(Heap.diefast());
+      Run.SignalImage = captureHeapImage(Heap.diefast(), &sharedExecutor());
     });
   }
 
@@ -95,7 +96,7 @@ SingleRunResult exterminator::runWorkloadOnce(
   Run.Result = Work.run(Handle, InputSeed);
 
   Run.EndTime = Heap.diefast().heap().allocationClock();
-  Run.FinalImage = captureHeapImage(Heap.diefast());
+  Run.FinalImage = captureHeapImage(Heap.diefast(), &sharedExecutor());
   if (Watcher && Watcher->captured())
     Run.BreakpointImage = Watcher->takeImage();
   Run.Alloc = Heap.stats();

@@ -158,6 +158,20 @@ private:
   std::shared_ptr<JobState> Current;
 };
 
+/// The process-wide executor the evidence path fans out on (parallel
+/// heap-image capture, §4 evidence sweeps).  Lazily constructed on first
+/// use with one worker per hardware thread; concurrent parallelFor calls
+/// from different threads are safe — every caller drains its own job to
+/// completion, so a job whose Current slot was overtaken still finishes.
+/// Dedicated pools (replicated-mode replicas, the socket server's
+/// accept/worker loop) stay separate: a parallelFor body must never
+/// re-enter its own executor, and those pools park threads in
+/// long-running bodies.
+inline Executor &sharedExecutor() {
+  static Executor Pool;
+  return Pool;
+}
+
 } // namespace exterminator
 
 #endif // EXTERMINATOR_SUPPORT_EXECUTOR_H

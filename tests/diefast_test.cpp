@@ -84,7 +84,8 @@ TEST(Canary, DispatchModesAgree) {
   const Canary C = Canary::random(Rng);
   const canary_dispatch::Mode Modes[] = {
       canary_dispatch::Mode::Scalar, canary_dispatch::Mode::Sse2,
-      canary_dispatch::Mode::Avx2, canary_dispatch::Mode::Auto};
+      canary_dispatch::Mode::Avx2, canary_dispatch::Mode::Avx512,
+      canary_dispatch::Mode::Auto};
   for (size_t Size : {size_t(1), size_t(7), size_t(8), size_t(16),
                       size_t(24), size_t(63), size_t(64), size_t(65),
                       size_t(129), size_t(256), size_t(1000)}) {
@@ -139,7 +140,7 @@ TEST(Canary, VerifyAndZeroPrefixRestoresOnCorruption) {
   const Canary C = Canary::random(Rng);
   const canary_dispatch::Mode Modes[] = {
       canary_dispatch::Mode::Scalar, canary_dispatch::Mode::Sse2,
-      canary_dispatch::Mode::Avx2};
+      canary_dispatch::Mode::Avx2, canary_dispatch::Mode::Avx512};
   for (canary_dispatch::Mode Mode : Modes) {
     canary_dispatch::force(Mode);
     for (size_t Corrupt : {size_t(0), size_t(5), size_t(64), size_t(200),

@@ -1,0 +1,302 @@
+//===- tests/evidence_test.cpp - Evidence-path fast/legacy pins ---------------===//
+//
+// PR 4's acceptance pins: the fast evidence path (SIMD slot encoding,
+// parallel capture, flat view indexes, cached views, parallel evidence
+// sweeps) must be *bit-identical* to the legacy pre-PR-4 path — same
+// serialized heap images, same view lookups, same derived patch sets —
+// across real-workload and scripted-bug heaps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heapimage/HeapImageIO.h"
+
+#include "diagnose/DiagnosisPipeline.h"
+#include "runtime/LiveRun.h"
+#include "support/Executor.h"
+#include "workload/EspressoWorkload.h"
+#include "workload/ScriptedBugs.h"
+#include "workload/SquidWorkload.h"
+#include "workload/TraceWorkload.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace exterminator;
+using namespace exterminator::testing_support;
+
+namespace {
+
+/// The live post-run heaps the capture pins run against: two real
+/// workloads plus both canonical scripted bugs.
+struct NamedRun {
+  const char *Name;
+  LiveHeapRun Run;
+};
+
+std::vector<NamedRun> captureFixtures() {
+  std::vector<NamedRun> Runs;
+  EspressoWorkload Espresso;
+  Runs.push_back({"espresso", runWorkloadKeepHeap(Espresso, 5, 11)});
+  SquidWorkload Squid;
+  Runs.push_back({"squid", runWorkloadKeepHeap(Squid, 1, 13)});
+  TraceWorkload Overflow(scriptedOverflowTrace(9));
+  Runs.push_back({"scripted-overflow", runWorkloadKeepHeap(Overflow, 1, 1000)});
+  TraceWorkload Dangling(scriptedDanglingTrace());
+  Runs.push_back({"scripted-dangling", runWorkloadKeepHeap(Dangling, 1, 1000)});
+  return Runs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Capture determinism
+//===----------------------------------------------------------------------===//
+
+TEST(EvidencePath, FastLegacyAndParallelCapturesBitIdentical) {
+  // A forced 4-thread pool exercises real cross-thread stitching even on
+  // a single-core host.
+  Executor Pool(4);
+  for (NamedRun &Fixture : captureFixtures()) {
+    std::vector<uint8_t> LegacyBytes, FastBytes, ParallelBytes;
+    {
+      evidence_path::Scoped Legacy(evidence_path::Mode::Legacy);
+      LegacyBytes = serializeHeapImage(captureHeapImage(Fixture.Run.diefast()));
+    }
+    {
+      evidence_path::Scoped Fast(evidence_path::Mode::Fast);
+      FastBytes = serializeHeapImage(captureHeapImage(Fixture.Run.diefast()));
+      ParallelBytes =
+          serializeHeapImage(captureHeapImage(Fixture.Run.diefast(), &Pool));
+    }
+    EXPECT_EQ(FastBytes, LegacyBytes) << Fixture.Name;
+    EXPECT_EQ(ParallelBytes, FastBytes) << Fixture.Name;
+  }
+}
+
+TEST(EvidencePath, ParallelCaptureEqualsSequentialInMemory) {
+  Executor Pool(4);
+  for (NamedRun &Fixture : captureFixtures()) {
+    const HeapImage Sequential = captureHeapImage(Fixture.Run.diefast());
+    const HeapImage Parallel =
+        captureHeapImage(Fixture.Run.diefast(), &Pool);
+    EXPECT_TRUE(Parallel == Sequential) << Fixture.Name;
+  }
+}
+
+TEST(EvidencePath, FastEncoderMatchesScalarAcrossDispatchKernels) {
+  // Adversarial run shapes: uniform, alternating, runs at either edge,
+  // runs meeting exactly the 2-word pattern threshold.
+  std::vector<std::vector<uint8_t>> Buffers;
+  auto Buffer = [&](std::initializer_list<uint64_t> Words) {
+    std::vector<uint8_t> Bytes(Words.size() * 8);
+    size_t I = 0;
+    for (uint64_t W : Words)
+      std::memcpy(Bytes.data() + 8 * I++, &W, 8);
+    Buffers.push_back(std::move(Bytes));
+  };
+  Buffer({0});
+  Buffer({5, 5});
+  Buffer({1, 2, 3, 4});
+  Buffer({7, 7, 1, 9, 9, 9, 2, 3});
+  Buffer({1, 2, 2, 3, 3, 3, 3, 4});
+  Buffer({0, 0, 0, 1});
+  Buffer({1, 0, 0, 0});
+  // A pseudo-random mix with embedded runs.
+  std::vector<uint8_t> Mixed(512);
+  uint64_t State = 0x12345;
+  for (size_t W = 0; W < Mixed.size() / 8; ++W) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t Word = (State >> 60) < 10 ? State : 0xABCDABCDABCDABCDull;
+    std::memcpy(Mixed.data() + 8 * W, &Word, 8);
+  }
+  Buffers.push_back(std::move(Mixed));
+
+  auto Encode = [](const std::vector<uint8_t> &Bytes) {
+    HeapImage Image;
+    Image.beginMiniheap(0, Bytes.size(), 0x1000, 0);
+    Image.addSlot(0, 0, 0, 0, 0, 0);
+    Image.addSlotBytes(Bytes.data(), Bytes.size());
+    return Image;
+  };
+
+  for (const std::vector<uint8_t> &Bytes : Buffers) {
+    HeapImage Reference;
+    {
+      evidence_path::Scoped Legacy(evidence_path::Mode::Legacy);
+      Reference = Encode(Bytes);
+    }
+    for (canary_dispatch::Mode Kernel :
+         {canary_dispatch::Mode::Scalar, canary_dispatch::Mode::Sse2,
+          canary_dispatch::Mode::Avx2, canary_dispatch::Mode::Avx512}) {
+      canary_dispatch::force(Kernel);
+      evidence_path::Scoped Fast(evidence_path::Mode::Fast);
+      const HeapImage Encoded = Encode(Bytes);
+      EXPECT_TRUE(Encoded == Reference)
+          << Bytes.size() << " bytes under " << canary_dispatch::activeName();
+    }
+    canary_dispatch::force(canary_dispatch::Mode::Auto);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// View equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(EvidencePath, FlatViewMatchesLegacyView) {
+  const auto Images = imagesFromTrace(scriptedOverflowTrace(9), 1);
+  const HeapImage &Image = Images.front();
+
+  evidence_path::Scoped FastMode(evidence_path::Mode::Fast);
+  const HeapImageView Fast(Image);
+  HeapImageView Legacy = [&] {
+    evidence_path::Scoped LegacyMode(evidence_path::Mode::Legacy);
+    return HeapImageView(Image);
+  }();
+
+  size_t Ids = 0;
+  for (uint64_t G = 0; G < Image.totalSlots(); ++G) {
+    const uint64_t Id = Image.objectIdAt(G);
+    if (Id == 0)
+      continue;
+    ++Ids;
+    const auto FromFast = Fast.findById(Id);
+    const auto FromLegacy = Legacy.findById(Id);
+    ASSERT_TRUE(FromFast.has_value());
+    ASSERT_TRUE(FromLegacy.has_value());
+    EXPECT_TRUE(*FromFast == *FromLegacy) << "id " << Id;
+  }
+  EXPECT_GT(Ids, 40u); // the trace churns enough to make this meaningful
+  EXPECT_FALSE(Fast.findById(0).has_value());
+  EXPECT_FALSE(Fast.findById(~uint64_t(0)).has_value());
+
+  // Address lookups share one implementation, but pin a sample anyway.
+  for (uint32_t M = 0; M < Image.miniheapCount(); ++M) {
+    const ImageMiniheapInfo &Mini = Image.miniheapInfo(M);
+    const uint64_t Probe = Mini.BaseAddress + Mini.ObjectSize + 3;
+    const auto A = Fast.locateAddress(Probe);
+    const auto B = Legacy.locateAddress(Probe);
+    ASSERT_EQ(A.has_value(), B.has_value());
+    if (A) {
+      EXPECT_TRUE(A->first == B->first && A->second == B->second);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnosis equivalence (the patch-set pin)
+//===----------------------------------------------------------------------===//
+
+TEST(EvidencePath, FastAndLegacyIsolationDeriveIdenticalPatches) {
+  for (const std::vector<TraceOp> &Trace :
+       {scriptedOverflowTrace(9), scriptedDanglingTrace()}) {
+    const auto Images = imagesFromTrace(Trace, 3);
+
+    IsolationResult Legacy;
+    {
+      evidence_path::Scoped Mode(evidence_path::Mode::Legacy);
+      Legacy = isolateErrors(Images);
+    }
+    evidence_path::Scoped Mode(evidence_path::Mode::Fast);
+    const IsolationResult Fast = isolateErrors(Images, {}, &sharedExecutor());
+
+    EXPECT_TRUE(Fast.Patches == Legacy.Patches);
+    ASSERT_EQ(Fast.Overflows.size(), Legacy.Overflows.size());
+    for (size_t I = 0; I < Fast.Overflows.size(); ++I) {
+      EXPECT_EQ(Fast.Overflows[I].CulpritObjectId,
+                Legacy.Overflows[I].CulpritObjectId);
+      EXPECT_EQ(Fast.Overflows[I].PadBytes, Legacy.Overflows[I].PadBytes);
+      EXPECT_EQ(Fast.Overflows[I].EvidenceBytes,
+                Legacy.Overflows[I].EvidenceBytes);
+      EXPECT_DOUBLE_EQ(Fast.Overflows[I].Score, Legacy.Overflows[I].Score);
+    }
+    ASSERT_EQ(Fast.Danglings.size(), Legacy.Danglings.size());
+    for (size_t I = 0; I < Fast.Danglings.size(); ++I) {
+      EXPECT_EQ(Fast.Danglings[I].ObjectId, Legacy.Danglings[I].ObjectId);
+      EXPECT_EQ(Fast.Danglings[I].DeferralTicks,
+                Legacy.Danglings[I].DeferralTicks);
+    }
+  }
+}
+
+TEST(EvidencePath, FastAndLegacyPipelinesDeriveIdenticalPatchSets) {
+  const ImageEvidence Overflow{imagesFromTrace(scriptedOverflowTrace(9), 3),
+                               {}};
+  const ImageEvidence Dangling{imagesFromTrace(scriptedDanglingTrace(), 3),
+                               {}};
+
+  DiagnosisPipeline LegacyPipeline;
+  {
+    evidence_path::Scoped Mode(evidence_path::Mode::Legacy);
+    LegacyPipeline.submitImages(Overflow);
+    LegacyPipeline.submitImages(Dangling);
+  }
+  evidence_path::Scoped Mode(evidence_path::Mode::Fast);
+  DiagnosisPipeline FastPipeline;
+  FastPipeline.submitImages(Overflow);
+  FastPipeline.submitImages(Dangling);
+
+  EXPECT_FALSE(FastPipeline.patches().empty());
+  EXPECT_TRUE(FastPipeline.patches() == LegacyPipeline.patches());
+  EXPECT_EQ(FastPipeline.epoch(), LegacyPipeline.epoch());
+}
+
+TEST(EvidencePath, CachedViewsDiagnoseIdenticallyToFreshViews) {
+  evidence_path::Scoped Mode(evidence_path::Mode::Fast);
+  const ImageEvidence Evidence{imagesFromTrace(scriptedOverflowTrace(9), 3),
+                               {}};
+
+  DiagnosisPipeline Cached;
+  const IsolationResult First = Cached.submitImages(Evidence);
+  const uint64_t EpochAfterFirst = Cached.epoch();
+  // The second submission reuses the cached views end to end.
+  const IsolationResult Second = Cached.submitImages(Evidence);
+
+  DiagnosisPipeline Fresh;
+  const IsolationResult Baseline = Fresh.submitImages(Evidence);
+
+  ASSERT_FALSE(Baseline.Patches.empty());
+  EXPECT_TRUE(First.Patches == Baseline.Patches);
+  EXPECT_TRUE(Second.Patches == Baseline.Patches);
+  EXPECT_TRUE(Cached.patches() == Fresh.patches());
+  // Re-submitted evidence is idempotent: no epoch churn.
+  EXPECT_EQ(Cached.epoch(), EpochAfterFirst);
+}
+
+TEST(EvidencePath, FallbackEvidenceReusesCacheAndStillIsolates) {
+  evidence_path::Scoped Mode(evidence_path::Mode::Fast);
+  // Clean primaries force the fallback attempt; submitting twice drives
+  // the fallback set through the cache as well.
+  std::vector<TraceOp> Clean;
+  for (uint32_t I = 0; I < 24; ++I)
+    Clean.push_back(TraceOp::alloc(I, 64, 0x200));
+  ImageEvidence Evidence;
+  Evidence.Primary = imagesFromTrace(Clean, 3);
+  Evidence.Fallback = imagesFromTrace(scriptedDanglingTrace(), 3);
+
+  DiagnosisPipeline Pipeline;
+  const IsolationResult First = Pipeline.submitImages(Evidence);
+  const IsolationResult Second = Pipeline.submitImages(Evidence);
+  ASSERT_FALSE(First.Danglings.empty());
+  ASSERT_EQ(First.Danglings.size(), Second.Danglings.size());
+  EXPECT_TRUE(First.Patches == Second.Patches);
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(EvidencePath, FingerprintTracksImageContent) {
+  const auto Images = imagesFromTrace(scriptedOverflowTrace(9), 2);
+  EXPECT_EQ(heapImageFingerprint(Images[0]),
+            heapImageFingerprint(Images[0]));
+  // Differently-seeded captures of the same trace differ.
+  EXPECT_NE(heapImageFingerprint(Images[0]),
+            heapImageFingerprint(Images[1]));
+
+  HeapImage Copy = Images[0];
+  ASSERT_TRUE(Copy == Images[0]);
+  EXPECT_EQ(heapImageFingerprint(Copy), heapImageFingerprint(Images[0]));
+}

@@ -23,8 +23,11 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -719,4 +722,171 @@ TEST(PatchExchange, TwoClientsShareOneServersPatches) {
   ASSERT_TRUE(Bob.fetchPatches());
   EXPECT_FALSE(Bob.patches().empty());
   EXPECT_TRUE(Bob.patches() == Server.snapshot().Patches);
+}
+
+//===----------------------------------------------------------------------===//
+// Hardening: stalled peers and connection caps (PR 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Connects to a TCP endpoint without sending anything; returns the fd.
+int connectRaw(const Endpoint &Ep) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Ep.Port);
+  if (::inet_pton(AF_INET, Ep.Host.c_str(), &Addr.sin_addr) != 1 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// True if the server closed \p Fd within \p TimeoutMs (poll reports
+/// readable and the read drains to EOF).
+bool closedByServer(int Fd, int TimeoutMs) {
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
+  uint8_t Drain[256];
+  for (;;) {
+    const auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline)
+      return false;
+    const int Remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count());
+    pollfd Poll{Fd, POLLIN, 0};
+    if (::poll(&Poll, 1, Remaining) <= 0)
+      continue;
+    const ssize_t N = ::recv(Fd, Drain, sizeof(Drain), 0);
+    if (N == 0)
+      return true; // EOF: the server hung up
+    if (N < 0 && errno != EINTR)
+      return true; // reset also counts as "not parked"
+  }
+}
+
+} // namespace
+
+TEST(PatchExchange, StalledPeerCannotParkAWorkerIndefinitely) {
+  PatchServer Server;
+  // ONE worker: if the stalled connection parked it forever, no other
+  // client could ever be served.
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Front.setReadTimeout(200);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  // The stalled peer: half a frame header, then silence.
+  const int Stalled = connectRaw(Front.endpoint());
+  ASSERT_GE(Stalled, 0);
+  const uint8_t Partial[4] = {0x58, 0x50, 0x46, 0x31}; // "XPF1"
+  ASSERT_EQ(::send(Stalled, Partial, sizeof(Partial), MSG_NOSIGNAL), 4);
+
+  // A well-behaved client still gets served: the worker is freed after
+  // at most one read timeout.
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  EXPECT_TRUE(Client.fetchPatches());
+
+  // And the stalled connection itself is cut off (ErrorReply + close),
+  // not held open forever.
+  EXPECT_TRUE(closedByServer(Stalled, /*TimeoutMs=*/5000));
+  ::close(Stalled);
+  Front.stop();
+}
+
+TEST(PatchExchange, TricklingPeerCannotResetTheFrameDeadline) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Front.setReadTimeout(250);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  // Slow loris: one header byte at a time, each gap shorter than the
+  // deadline.  A per-recv timeout would reset on every byte; the
+  // absolute per-frame deadline must not.
+  const int Trickler = connectRaw(Front.endpoint());
+  ASSERT_GE(Trickler, 0);
+  const uint8_t Header[4] = {0x58, 0x50, 0x46, 0x31}; // "XPF1"
+  const auto Start = std::chrono::steady_clock::now();
+  bool Closed = false;
+  for (int I = 0; !Closed && std::chrono::steady_clock::now() - Start <
+                                 std::chrono::seconds(5);
+       ++I) {
+    ::send(Trickler, Header + (I % 4), 1, MSG_NOSIGNAL);
+    Closed = closedByServer(Trickler, /*TimeoutMs=*/100);
+  }
+  EXPECT_TRUE(Closed);
+  ::close(Trickler);
+
+  // The worker came back: a real client round-trips.
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  EXPECT_TRUE(Client.fetchPatches());
+  Front.stop();
+}
+
+TEST(PatchExchange, IdlePeerIsCutOffAfterReadTimeout) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Front.setReadTimeout(150);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  // Connect and send nothing at all: the worker must not idle on the
+  // silent connection past the timeout.
+  const int Idle = connectRaw(Front.endpoint());
+  ASSERT_GE(Idle, 0);
+  EXPECT_TRUE(closedByServer(Idle, /*TimeoutMs=*/5000));
+  ::close(Idle);
+  Front.stop();
+}
+
+TEST(PatchExchange, ConnectionCapShedsExcessConnections) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Front.setMaxConnections(2);
+  Front.setReadTimeout(0); // the held connections stay parked on purpose
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  // Two connections occupy the cap...
+  const int First = connectRaw(Front.endpoint());
+  const int Second = connectRaw(Front.endpoint());
+  ASSERT_GE(First, 0);
+  ASSERT_GE(Second, 0);
+  // ...so the third is accepted and immediately closed.
+  const int Third = connectRaw(Front.endpoint());
+  ASSERT_GE(Third, 0);
+  EXPECT_TRUE(closedByServer(Third, /*TimeoutMs=*/5000));
+  ::close(Third);
+
+  // Releasing capacity lets new connections through again: close one
+  // holder and a real client round-trips.  The retry loop absorbs the
+  // window in which the worker has not yet noticed the holder's EOF
+  // (until it does, the cap still sheds the new connection).
+  ::close(First);
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  bool Fetched = false;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!Fetched && std::chrono::steady_clock::now() < Deadline)
+    Fetched = Client.fetchPatches();
+  EXPECT_TRUE(Fetched);
+  ::close(Second);
+  Front.stop();
 }

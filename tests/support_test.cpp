@@ -1,6 +1,7 @@
 //===- tests/support_test.cpp - Support substrate tests ---------------------===//
 
 #include "support/Bitmap.h"
+#include "support/FlatU64Map.h"
 #include "support/PageTable.h"
 #include "support/RandomGenerator.h"
 #include "support/Executor.h"
@@ -676,4 +677,66 @@ TEST(Executor, EmptyJobReturnsImmediately) {
   bool Ran = false;
   Exec.parallelFor(0, [&](size_t) { Ran = true; });
   EXPECT_FALSE(Ran);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatU64Map
+//===----------------------------------------------------------------------===//
+
+TEST(FlatU64Map, EmplaceAndLookup) {
+  FlatU64Map<uint32_t> Map;
+  EXPECT_EQ(Map.lookup(1), nullptr);
+  EXPECT_TRUE(Map.emplace(1, 10));
+  EXPECT_TRUE(Map.emplace(2, 20));
+  ASSERT_NE(Map.lookup(1), nullptr);
+  EXPECT_EQ(*Map.lookup(1), 10u);
+  ASSERT_NE(Map.lookup(2), nullptr);
+  EXPECT_EQ(*Map.lookup(2), 20u);
+  EXPECT_EQ(Map.lookup(3), nullptr);
+  EXPECT_EQ(Map.size(), 2u);
+}
+
+TEST(FlatU64Map, FirstEmplaceWins) {
+  // unordered_map::emplace semantics: the view index keeps the first
+  // slot seen for an id.
+  FlatU64Map<uint32_t> Map;
+  EXPECT_TRUE(Map.emplace(7, 1));
+  EXPECT_FALSE(Map.emplace(7, 2));
+  EXPECT_EQ(*Map.lookup(7), 1u);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TEST(FlatU64Map, SurvivesGrowthWithConsecutiveKeys) {
+  // Object ids are consecutive clock values — the pattern Fibonacci
+  // hashing exists to spread.  Push far past the initial capacity.
+  FlatU64Map<uint64_t> Map;
+  constexpr uint64_t N = 10000;
+  for (uint64_t Key = 1; Key <= N; ++Key)
+    ASSERT_TRUE(Map.emplace(Key, Key * 3));
+  EXPECT_EQ(Map.size(), N);
+  for (uint64_t Key = 1; Key <= N; ++Key) {
+    ASSERT_NE(Map.lookup(Key), nullptr) << Key;
+    EXPECT_EQ(*Map.lookup(Key), Key * 3);
+  }
+  EXPECT_EQ(Map.lookup(N + 1), nullptr);
+}
+
+TEST(FlatU64Map, ReserveAvoidsNothingObservable) {
+  // reserve is a pure pre-size: contents and lookups are unchanged.
+  FlatU64Map<uint32_t> Reserved, Grown;
+  Reserved.reserve(1000);
+  for (uint64_t Key = 1; Key <= 1000; ++Key) {
+    Reserved.emplace(Key * 977, static_cast<uint32_t>(Key));
+    Grown.emplace(Key * 977, static_cast<uint32_t>(Key));
+  }
+  for (uint64_t Key = 1; Key <= 1000; ++Key) {
+    ASSERT_NE(Reserved.lookup(Key * 977), nullptr);
+    EXPECT_EQ(*Reserved.lookup(Key * 977), *Grown.lookup(Key * 977));
+  }
+}
+
+TEST(FlatU64Map, ZeroKeyNeverStoredNeverFound) {
+  FlatU64Map<uint32_t> Map;
+  Map.emplace(1, 1);
+  EXPECT_EQ(Map.lookup(0), nullptr);
 }

@@ -9,6 +9,10 @@
 #   BENCH_exchange.json  — exp_collaborative: patch-exchange ingest
 #                          throughput and ImageBundle size ratio
 #                          (schema: ROADMAP.md)
+#   BENCH_diagnosis.json — exp_diagnosis: evidence-path throughput
+#                          (capture MB/s, view build, §4 isolation,
+#                          server ingest; fast vs legacy — schema:
+#                          ROADMAP.md)
 #   BENCH_fig7.json      — fig7_overhead: normalized whole-program
 #                          overheads vs the baseline allocator (--full;
 #                          CI runs it as a smoke step)
@@ -40,10 +44,11 @@ done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target micro_allocators fig7_overhead \
-  exp_collaborative >/dev/null
+  exp_collaborative exp_diagnosis >/dev/null
 
 "$BUILD_DIR"/bench/micro_allocators $SMOKE --json BENCH_hotpath.json
 "$BUILD_DIR"/bench/exp_collaborative $SMOKE --json BENCH_exchange.json
+"$BUILD_DIR"/bench/exp_diagnosis $SMOKE --json BENCH_diagnosis.json
 
 if [ "$FULL" = 1 ]; then
   "$BUILD_DIR"/bench/fig7_overhead --json BENCH_fig7.json
