@@ -2,11 +2,13 @@
 
 #include "cumulative/BayesClassifier.h"
 
+#include "support/Serializer.h"
 #include "support/Statistics.h"
 
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 using namespace exterminator;
 
@@ -103,6 +105,33 @@ void BayesAccumulator::addTrial(const BayesTrial &Trial) {
     const double PYes = clampProbability((1.0 - Theta) * X + Theta);
     NodeLogSums[I] += std::log(Trial.Observed ? PYes : 1.0 - PYes);
   }
+}
+
+void BayesAccumulator::serialize(ByteWriter &Writer) const {
+  Writer.writeVarU64(NumTrials);
+  Writer.writeVarU64(NodeLogSums.size());
+  Writer.writeF64(LogH0);
+  for (double Sum : NodeLogSums)
+    Writer.writeF64(Sum);
+}
+
+bool BayesAccumulator::deserialize(ByteReader &Reader) {
+  const uint64_t Trials = Reader.readVarU64();
+  const uint64_t Nodes = Reader.readVarU64();
+  // A node-count mismatch means the state was written by a build with a
+  // different quadrature resolution; its sums are not comparable.
+  if (Reader.failed() || Nodes != uint64_t(NumIntervals) + 1)
+    return false;
+  const double H0 = Reader.readF64();
+  std::vector<double> Sums(NumIntervals + 1, 0.0);
+  for (double &Sum : Sums)
+    Sum = Reader.readF64();
+  if (Reader.failed())
+    return false;
+  NumTrials = Trials;
+  LogH0 = H0;
+  NodeLogSums = std::move(Sums);
+  return true;
 }
 
 double BayesAccumulator::logLikelihoodH1() const {

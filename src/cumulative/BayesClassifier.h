@@ -40,6 +40,9 @@
 
 namespace exterminator {
 
+class ByteWriter;
+class ByteReader;
+
 /// One (X, Y) observation for a site.
 struct BayesTrial {
   /// Probability of Y = 1 under the null hypothesis.
@@ -93,6 +96,17 @@ public:
   double logLikelihoodH0() const { return LogH0; }
   double logLikelihoodH1() const;
   double logBayesFactor() const { return logLikelihoodH1() - LogH0; }
+
+  /// Serializes the running sums (trial count, H0 sum, per-node sums) so
+  /// accumulated classifier state survives a server restart.  Restoring
+  /// the f64 bits directly is bit-identical to replaying the folded
+  /// trials — and O(nodes) instead of O(trials × nodes).
+  void serialize(ByteWriter &Writer) const;
+
+  /// Restores serialized sums; returns false (leaving the accumulator
+  /// untouched) when the stream is malformed or the quadrature node
+  /// count does not match this build's.
+  bool deserialize(ByteReader &Reader);
 
 private:
   size_t NumTrials = 0;

@@ -5,6 +5,7 @@
 #include "support/Serializer.h"
 
 #include <algorithm>
+#include <utility>
 
 using namespace exterminator;
 
@@ -146,11 +147,18 @@ PatchSet CumulativeIsolator::patches() const {
   return Patches;
 }
 
-static constexpr uint32_t StateMagic = 0x58435331; // "XCS1"
+/// State format magics.  v1 ("XCS1") stores trials only and rebuilds the
+/// incremental Bayes accumulators by replaying them; v2 ("XCS2") appends
+/// each site's running log-likelihood sums so a restored server gets its
+/// classifier state back in O(nodes) per site without replay — the f64
+/// bits round-trip exactly, so the restored factors are bit-identical
+/// either way.  serialize() writes v2; deserialize() accepts both.
+static constexpr uint32_t StateMagicV1 = 0x58435331; // "XCS1"
+static constexpr uint32_t StateMagicV2 = 0x58435332; // "XCS2"
 
 std::vector<uint8_t> CumulativeIsolator::serialize() const {
   ByteWriter Writer;
-  Writer.writeU32(StateMagic);
+  Writer.writeU32(StateMagicV2);
   Writer.writeU64(Runs);
   Writer.writeU64(FailedRuns);
   Writer.writeU64(CorruptRuns);
@@ -164,6 +172,7 @@ std::vector<uint8_t> CumulativeIsolator::serialize() const {
       Writer.writeF64(Trial.Probability);
       Writer.writeU8(Trial.Observed ? 1 : 0);
     }
+    State.Accum.serialize(Writer);
   }
   Writer.writeU64(DanglingPairs.size());
   for (const auto &[Key, State] : DanglingPairs) {
@@ -175,24 +184,30 @@ std::vector<uint8_t> CumulativeIsolator::serialize() const {
       Writer.writeF64(Trial.Probability);
       Writer.writeU8(Trial.Observed ? 1 : 0);
     }
+    State.Accum.serialize(Writer);
   }
   return Writer.buffer();
 }
 
 bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
+  // Decode into locals and swap only on success — a torn state file must
+  // never half-seed the accumulated history (all-or-nothing, like
+  // deserializePatchSet).
   ByteReader Reader(Buffer);
-  if (Reader.readU32() != StateMagic)
+  const uint32_t Magic = Reader.readU32();
+  if (Magic != StateMagicV1 && Magic != StateMagicV2)
     return false;
-  Runs = Reader.readU64();
-  FailedRuns = Reader.readU64();
-  CorruptRuns = Reader.readU64();
-  OverflowSites.clear();
-  DanglingPairs.clear();
+  const bool HasAccum = Magic == StateMagicV2;
+  uint64_t NewRuns = Reader.readU64();
+  uint64_t NewFailedRuns = Reader.readU64();
+  uint64_t NewCorruptRuns = Reader.readU64();
+  std::map<SiteId, OverflowSiteState> NewOverflowSites;
+  std::map<uint64_t, DanglingPairState> NewDanglingPairs;
 
   const uint64_t NumSites = Reader.readU64();
   for (uint64_t I = 0; I < NumSites && !Reader.failed(); ++I) {
     const SiteId Site = Reader.readU32();
-    OverflowSiteState &State = OverflowSites[Site];
+    OverflowSiteState &State = NewOverflowSites[Site];
     State.MaxPad = Reader.readU32();
     State.Observed = Reader.readU32();
     const uint64_t NumTrials = Reader.readU64();
@@ -201,13 +216,16 @@ bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
       Trial.Probability = Reader.readF64();
       Trial.Observed = Reader.readU8() != 0;
       State.Trials.push_back(Trial);
-      State.Accum.addTrial(Trial);
+      if (!HasAccum)
+        State.Accum.addTrial(Trial);
     }
+    if (HasAccum && !State.Accum.deserialize(Reader))
+      return false;
   }
   const uint64_t NumPairs = Reader.readU64();
   for (uint64_t I = 0; I < NumPairs && !Reader.failed(); ++I) {
     const uint64_t Key = Reader.readU64();
-    DanglingPairState &State = DanglingPairs[Key];
+    DanglingPairState &State = NewDanglingPairs[Key];
     State.MaxFreeToFailure = Reader.readU64();
     State.Observed = Reader.readU32();
     const uint64_t NumTrials = Reader.readU64();
@@ -216,8 +234,18 @@ bool CumulativeIsolator::deserialize(const std::vector<uint8_t> &Buffer) {
       Trial.Probability = Reader.readF64();
       Trial.Observed = Reader.readU8() != 0;
       State.Trials.push_back(Trial);
-      State.Accum.addTrial(Trial);
+      if (!HasAccum)
+        State.Accum.addTrial(Trial);
     }
+    if (HasAccum && !State.Accum.deserialize(Reader))
+      return false;
   }
-  return Reader.atEnd();
+  if (!Reader.atEnd())
+    return false;
+  Runs = NewRuns;
+  FailedRuns = NewFailedRuns;
+  CorruptRuns = NewCorruptRuns;
+  OverflowSites = std::move(NewOverflowSites);
+  DanglingPairs = std::move(NewDanglingPairs);
+  return true;
 }

@@ -3,7 +3,9 @@
 #include "diagnose/DiagnosisPipeline.h"
 
 #include "cumulative/SiteEstimator.h"
+#include "patch/PatchIO.h"
 #include "support/Executor.h"
+#include "support/Serializer.h"
 
 #include <algorithm>
 
@@ -174,4 +176,41 @@ CumulativeDiagnosis DiagnosisPipeline::submitSummary(const RunSummary &Summary,
 
 std::string DiagnosisPipeline::report(const SiteRegistry *Registry) const {
   return generatePatchReport(Active, Registry);
+}
+
+/// Pipeline-state blob magic ("XDS1"): epoch + active set + cumulative
+/// isolator state, the payload the exchange StateStore snapshots.
+static constexpr uint32_t PipelineStateMagic = 0x58445331;
+
+std::vector<uint8_t> DiagnosisPipeline::serializeState() const {
+  ByteWriter Writer;
+  Writer.writeU32(PipelineStateMagic);
+  Writer.writeU64(Epoch);
+  Writer.writeBlob(serializePatchSet(Active));
+  Writer.writeBlob(Cumulative.serialize());
+  return Writer.buffer();
+}
+
+bool DiagnosisPipeline::restoreState(const std::vector<uint8_t> &Buffer) {
+  ByteReader Reader(Buffer);
+  if (Reader.readU32() != PipelineStateMagic)
+    return false;
+  const uint64_t NewEpoch = Reader.readU64();
+  const std::vector<uint8_t> PatchBytes = Reader.readBlob();
+  const std::vector<uint8_t> CumulativeBytes = Reader.readBlob();
+  if (Reader.failed() || !Reader.atEnd())
+    return false;
+  // Decode both halves into locals before touching any member: the
+  // deserializers are themselves all-or-nothing, so a failure here
+  // leaves the pipeline exactly as it was.
+  PatchSet NewActive;
+  if (!deserializePatchSet(PatchBytes, NewActive))
+    return false;
+  CumulativeIsolator NewCumulative(Config.Cumulative);
+  if (!NewCumulative.deserialize(CumulativeBytes))
+    return false;
+  Epoch = NewEpoch;
+  Active = std::move(NewActive);
+  Cumulative = std::move(NewCumulative);
+  return true;
 }

@@ -88,6 +88,8 @@ class DiagnosisPipeline {
 public:
   explicit DiagnosisPipeline(const DiagnosisConfig &Config = {});
 
+  const DiagnosisConfig &config() const { return Config; }
+
   /// Seeds the active patch set (earlier sessions, other users — §6.4).
   void seedPatches(const PatchSet &Initial);
 
@@ -143,6 +145,18 @@ public:
 
   /// The accumulated cumulative-mode state (run counts, Bayes trials).
   const CumulativeIsolator &cumulative() const { return Cumulative; }
+
+  /// Serializes the full diagnostic state — epoch, active patch set, and
+  /// the cumulative isolator including its running Bayes sums ("XDS1").
+  /// What the patch server's durable snapshots store: restoreState on a
+  /// fresh pipeline reproduces this pipeline bit-identically (same
+  /// patches, same epoch, same classification factors).
+  std::vector<uint8_t> serializeState() const;
+
+  /// All-or-nothing restore of serializeState's output: a malformed
+  /// buffer returns false and leaves the pipeline untouched.  The view
+  /// cache is not part of the state (it is a cache).
+  bool restoreState(const std::vector<uint8_t> &Buffer);
 
   /// Renders the active patch set as a bug report (§9).
   std::string report(const SiteRegistry *Registry = nullptr) const;

@@ -2,6 +2,8 @@
 
 #include "exchange/PatchServer.h"
 
+#include "exchange/StateStore.h"
+
 #include <random>
 
 using namespace exterminator;
@@ -18,13 +20,119 @@ PatchServer::PatchServer(const DiagnosisConfig &Config)
     : Pipeline(Config), Instance(randomInstanceId()) {}
 
 void PatchServer::seedPatches(const PatchSet &Initial) {
+  bool Persist = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    const uint64_t Before = Pipeline.epoch();
+    Pipeline.seedPatches(Initial);
+    if (Store && Pipeline.epoch() != Before) {
+      StateStore::JournalRecord Record;
+      Record.RecordKind = StateStore::JournalRecord::PatchesKind;
+      Record.EpochAfter = Pipeline.epoch();
+      Record.PatchDelta = Initial;
+      Store->enqueue(Record);
+      Persist = true;
+    }
+  }
+  if (Persist)
+    persistQueued();
+}
+
+bool PatchServer::attachState(StateStore &NewStore, unsigned Interval,
+                              std::string *ErrorOut) {
+  auto Fail = [&](const char *Reason) {
+    if (ErrorOut)
+      *ErrorOut = Reason;
+    return false;
+  };
   std::lock_guard<std::mutex> Lock(Mutex);
-  Pipeline.seedPatches(Initial);
+  std::vector<uint8_t> State;
+  std::vector<StateStore::JournalRecord> Records;
+  switch (NewStore.load(State, Records)) {
+  case StateStore::LoadResult::Corrupt:
+    return Fail("state directory is corrupt (truncated snapshot, or a "
+                "journal that does not pair with it)");
+  case StateStore::LoadResult::Fresh:
+    break;
+  case StateStore::LoadResult::Restored: {
+    // Restore and replay into a scratch pipeline first: a journal that
+    // conflicts partway through must not leave the *serving* pipeline
+    // holding a partially replayed foreign history.
+    DiagnosisPipeline Scratch(Pipeline.config());
+    if (!Scratch.restoreState(State))
+      return Fail("snapshot payload does not decode");
+    for (const StateStore::JournalRecord &Record : Records) {
+      // Replay is the same code path live ingestion took, so the
+      // rebuilt state is bit-identical to the pre-crash server's.
+      if (Record.RecordKind == StateStore::JournalRecord::PatchesKind)
+        Scratch.seedPatches(Record.PatchDelta);
+      else
+        Scratch.submitSummary(Record.Summary, Record.CleanStreak);
+      if (Scratch.epoch() != Record.EpochAfter)
+        return Fail("conflicting epochs: journal records do not replay "
+                    "against this snapshot");
+    }
+    if (!Pipeline.restoreState(Scratch.serializeState()))
+      return Fail("snapshot payload does not decode");
+    break;
+  }
+  }
+  // Compact everything replayed into one fresh snapshot; this also
+  // resets the journal, so appends never follow a torn tail.
+  if (!NewStore.writeSnapshot(Pipeline.serializeState()))
+    return Fail("cannot write snapshot to state directory");
+  ++Stats.SnapshotsWritten;
+  Store = &NewStore;
+  SnapshotInterval = Interval ? Interval : 1;
+  return true;
+}
+
+bool PatchServer::persistNow() {
+  if (!Store)
+    return true;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const bool Ok = Store->writeSnapshot(Pipeline.serializeState());
+  if (Ok)
+    ++Stats.SnapshotsWritten;
+  else
+    ++Stats.PersistFailures;
+  return Ok;
+}
+
+std::vector<uint8_t> PatchServer::serializeState() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Pipeline.serializeState();
+}
+
+void PatchServer::persistQueued() {
+  if (!Store)
+    return;
+  size_t Appended = 0;
+  const bool Ok = Store->drain(Appended);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stats.JournalAppends += Appended;
+    if (!Ok)
+      ++Stats.PersistFailures;
+  }
+  // A failed drain (full disk, torn append) disables the journal; a
+  // successful snapshot re-establishes full durability — the pipeline
+  // state already contains every applied submission, including the
+  // records the drain dropped — and reopens a fresh journal.  While the
+  // disk stays broken this retries (and counts a failure) per
+  // submission; the previous snapshot is never at risk.
+  if (!Ok || Store->appendedSinceSnapshot() >= SnapshotInterval)
+    persistNow();
 }
 
 PatchSnapshot PatchServer::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Pipeline.snapshot();
+}
+
+uint64_t PatchServer::cumulativeRuns() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Pipeline.cumulative().runCount();
 }
 
 PatchServerStats PatchServer::stats() const {
@@ -74,17 +182,36 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       return Reject("malformed image bundle");
     // Isolation is the expensive part and reads only immutable config —
     // run it unlocked so concurrent fetches and submissions aren't
-    // stalled behind it; only the merge serializes.
+    // stalled behind it; only the merge serializes.  Likewise the
+    // journal: the record is *enqueued* under the lock (fixing its
+    // replay order) but written to disk after release.
     const IsolationResult Result = Pipeline.isolateImages(Evidence);
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Pipeline.absorbIsolation(Result);
-    Stats.ImagesIngested +=
-        Evidence.Primary.size() + Evidence.Fallback.size();
     ImagesReply Reply;
-    Reply.Instance = Instance;
-    Reply.Epoch = Pipeline.epoch();
-    Reply.OverflowFindings = Result.Overflows.size();
-    Reply.DanglingFindings = Result.Danglings.size();
+    bool Persist = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      const uint64_t Before = Pipeline.epoch();
+      Pipeline.absorbIsolation(Result);
+      Stats.ImagesIngested +=
+          Evidence.Primary.size() + Evidence.Fallback.size();
+      Reply.Instance = Instance;
+      Reply.Epoch = Pipeline.epoch();
+      Reply.OverflowFindings = Result.Overflows.size();
+      Reply.DanglingFindings = Result.Danglings.size();
+      // An image submission's only durable effect is the patch merge, so
+      // journal the derived delta — and only when it changed the set
+      // (max-merge idempotence makes re-submissions no-ops).
+      if (Store && Reply.Epoch != Before) {
+        StateStore::JournalRecord Record;
+        Record.RecordKind = StateStore::JournalRecord::PatchesKind;
+        Record.EpochAfter = Reply.Epoch;
+        Record.PatchDelta = Result.Patches;
+        Store->enqueue(Record);
+        Persist = true;
+      }
+    }
+    if (Persist)
+      persistQueued();
     return encodeFrame(MessageType::SubmitImagesReply,
                        encodeImagesReply(Reply));
   }
@@ -94,12 +221,27 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
     unsigned CleanStreak = 0;
     if (!decodeSubmitSummary(Request.Payload, Summary, CleanStreak))
       return Reject("malformed run summary");
-    std::lock_guard<std::mutex> Lock(Mutex);
     SummaryReply Reply;
-    Reply.Instance = Instance;
-    Reply.Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
-    Reply.Epoch = Pipeline.epoch();
-    ++Stats.SummariesIngested;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Reply.Instance = Instance;
+      Reply.Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
+      Reply.Epoch = Pipeline.epoch();
+      ++Stats.SummariesIngested;
+      // Every accepted summary is journaled, epoch bump or not: it
+      // grows the cumulative trial state even when no patch is derived,
+      // and the Bayes history is exactly what restarts must not lose.
+      if (Store) {
+        StateStore::JournalRecord Record;
+        Record.RecordKind = StateStore::JournalRecord::SummaryKind;
+        Record.EpochAfter = Reply.Epoch;
+        Record.Summary = Summary;
+        Record.CleanStreak = CleanStreak;
+        Store->enqueue(Record);
+      }
+    }
+    if (Store)
+      persistQueued();
     return encodeFrame(MessageType::SubmitSummaryReply,
                        encodeSummaryReply(Reply));
   }

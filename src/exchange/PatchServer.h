@@ -29,8 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 
 namespace exterminator {
+
+class StateStore;
 
 /// Ingestion counters (observability for the bench and the CLI).
 struct PatchServerStats {
@@ -39,6 +42,10 @@ struct PatchServerStats {
   uint64_t FetchesServed = 0;
   uint64_t FetchesUnmodified = 0;
   uint64_t FramesRejected = 0;
+  /// Durable-state counters (zero unless a StateStore is attached).
+  uint64_t JournalAppends = 0;
+  uint64_t SnapshotsWritten = 0;
+  uint64_t PersistFailures = 0;
 };
 
 /// Wraps a DiagnosisPipeline behind the framed wire protocol.
@@ -47,8 +54,41 @@ public:
   explicit PatchServer(const DiagnosisConfig &Config = {});
 
   /// Seeds the pipeline's active set (resuming a server from a patch
-  /// file on disk).
+  /// file on disk).  With a state store attached, a seed that changes
+  /// the active set is journaled like any other submission — so attach
+  /// first, then seed: the seed max-merges *into* the restored state
+  /// (restored state is the base and keeps its epoch; the seed only
+  /// ever adds or widens patches).
   void seedPatches(const PatchSet &Initial);
+
+  /// Attaches durable state: restores \p Store's snapshot, replays its
+  /// journal (verifying each record's epoch — a mismatch means the
+  /// journal does not belong to the snapshot), writes a fresh compacting
+  /// snapshot, and from then on journals every accepted state-changing
+  /// submission, re-snapshotting every \p SnapshotInterval journal
+  /// appends and on persistNow().  Returns false (serving from it would
+  /// lose or fabricate history) on corrupt state, a replay epoch
+  /// conflict, or snapshot I/O failure; \p ErrorOut names the reason.
+  ///
+  /// Restart semantics: a recovered server keeps the epoch it crashed
+  /// with, but this process's instance id is fresh — so a client holding
+  /// the pre-crash (instance, epoch) re-fetches exactly once and is
+  /// current again.
+  bool attachState(StateStore &Store, unsigned SnapshotInterval = 64,
+                   std::string *ErrorOut = nullptr);
+
+  /// Snapshots the current state to the attached store (shutdown path,
+  /// and the every-N compaction); true when no store is attached or the
+  /// snapshot succeeded.  Serialization and the snapshot write happen
+  /// under the server mutex — the compaction pause that buys the
+  /// journal its bounded replay; per-submission journal appends never
+  /// pay it.
+  bool persistNow();
+
+  /// The full diagnostic state (what snapshots persist): epoch, active
+  /// set, cumulative trials and Bayes sums.  Two servers with equal
+  /// serializeState() bytes are bit-identical diagnostically.
+  std::vector<uint8_t> serializeState() const;
 
   /// Handles one request frame, producing exactly one response frame
   /// (an ErrorReply for anything malformed — adversarial input never
@@ -71,6 +111,10 @@ public:
   /// Current merged patch set + epoch (what PatchesReply serves).
   PatchSnapshot snapshot() const;
 
+  /// Runs accumulated in the cumulative (§5) state — observability for
+  /// the CLI's restore banner.
+  uint64_t cumulativeRuns() const;
+
   PatchServerStats stats() const;
 
   /// Random identity of this server process.  Epochs are only
@@ -82,11 +126,20 @@ public:
 private:
   std::vector<uint8_t> dispatch(const Frame &Request);
 
+  /// Drains queued journal records to the attached store and
+  /// re-snapshots when the interval is due.  Called with no locks held
+  /// (the journal IO must never stall fetches waiting on Mutex).
+  void persistQueued();
+
   mutable std::mutex Mutex;
   DiagnosisPipeline Pipeline;
   PatchServerStats Stats;
   uint64_t Instance;
   std::atomic<bool> ShutdownFlag{false};
+  /// Durable state (optional; guarded by Mutex for attach-time writes,
+  /// internally synchronized for enqueue/drain).
+  StateStore *Store = nullptr;
+  unsigned SnapshotInterval = 64;
 };
 
 } // namespace exterminator

@@ -1,0 +1,251 @@
+//===- exchange/StateStore.cpp - Durable exchange state --------------------===//
+
+#include "exchange/StateStore.h"
+
+#include "exchange/WireProtocol.h"
+#include "patch/PatchIO.h"
+#include "support/Serializer.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utility>
+
+using namespace exterminator;
+
+static constexpr uint32_t SnapshotMagic = 0x58535431; // "XST1"
+static constexpr uint32_t JournalMagic = 0x58534A31;  // "XSJ1"
+static constexpr uint8_t StateVersion = 1;
+/// Journal header: magic + version + generation.
+static constexpr size_t JournalHeaderBytes = 4 + 1 + 8;
+/// Record size bound: protects the loader from sizing a buffer off a
+/// corrupt length prefix (the same reasoning as MaxFramePayload, and
+/// journal records are re-encodings of wire payloads anyway).
+static constexpr uint32_t MaxJournalRecordBytes = MaxFramePayload;
+
+StateStore::StateStore(const std::string &Directory) : Dir(Directory) {
+  // Best-effort create; an unusable directory surfaces as a failed
+  // load/snapshot, which callers already have to handle.
+  ::mkdir(Dir.c_str(), 0755);
+}
+
+StateStore::~StateStore() { closeJournal(); }
+
+std::string StateStore::snapshotPath() const { return Dir + "/snapshot.xst"; }
+std::string StateStore::journalPath() const { return Dir + "/journal.xsj"; }
+
+uint64_t StateStore::appendedSinceSnapshot() const {
+  return Appended.load(std::memory_order_relaxed);
+}
+
+void StateStore::closeJournal() {
+  if (Journal) {
+    std::fclose(Journal);
+    Journal = nullptr;
+  }
+}
+
+bool StateStore::openJournalForAppend() {
+  Journal = std::fopen(journalPath().c_str(), "ab");
+  return Journal != nullptr;
+}
+
+static std::vector<uint8_t>
+encodeRecord(const StateStore::JournalRecord &Record) {
+  ByteWriter Writer;
+  Writer.writeU8(Record.RecordKind);
+  Writer.writeU64(Record.EpochAfter);
+  if (Record.RecordKind == StateStore::JournalRecord::PatchesKind) {
+    Writer.writeBlob(serializePatchSet(Record.PatchDelta));
+  } else {
+    Writer.writeVarU64(Record.CleanStreak);
+    Writer.writeBlob(serializeRunSummary(Record.Summary));
+  }
+  return Writer.buffer();
+}
+
+static bool decodeRecord(const uint8_t *Data, size_t Size,
+                         StateStore::JournalRecord &Out) {
+  ByteReader Reader(Data, Size);
+  Out.RecordKind = Reader.readU8();
+  Out.EpochAfter = Reader.readU64();
+  if (Out.RecordKind == StateStore::JournalRecord::PatchesKind) {
+    if (!deserializePatchSet(Reader.readBlob(), Out.PatchDelta))
+      return false;
+  } else if (Out.RecordKind == StateStore::JournalRecord::SummaryKind) {
+    Out.CleanStreak = static_cast<unsigned>(Reader.readVarU64());
+    if (!deserializeRunSummary(Reader.readBlob(), Out.Summary))
+      return false;
+  } else {
+    return false;
+  }
+  return !Reader.failed() && Reader.atEnd();
+}
+
+StateStore::LoadResult
+StateStore::load(std::vector<uint8_t> &SnapshotStateOut,
+                 std::vector<JournalRecord> &RecordsOut) {
+  SnapshotStateOut.clear();
+  RecordsOut.clear();
+
+  std::vector<uint8_t> SnapBytes;
+  const bool HaveSnapshot = readFileBytes(snapshotPath(), SnapBytes);
+  std::vector<uint8_t> JournalBytes;
+  const bool HaveJournal = readFileBytes(journalPath(), JournalBytes);
+
+  if (!HaveSnapshot) {
+    // A journal without its snapshot means the directory lost a file —
+    // replaying deltas against empty state would fabricate a history.
+    return HaveJournal ? LoadResult::Corrupt : LoadResult::Fresh;
+  }
+
+  // The trailing checksum covers everything before it, so a truncated
+  // or bit-flipped snapshot is rejected before any field is trusted.
+  if (SnapBytes.size() <= 4)
+    return LoadResult::Corrupt;
+  const uint32_t StoredCheck =
+      readFrameU32(SnapBytes.data() + SnapBytes.size() - 4);
+  if (frameChecksum(SnapBytes.data(), SnapBytes.size() - 4) != StoredCheck)
+    return LoadResult::Corrupt;
+  ByteReader Reader(SnapBytes.data(), SnapBytes.size() - 4);
+  if (Reader.readU32() != SnapshotMagic || Reader.readU8() != StateVersion)
+    return LoadResult::Corrupt;
+  const uint64_t SnapshotGen = Reader.readU64();
+  std::vector<uint8_t> State = Reader.readBlob();
+  if (Reader.failed() || !Reader.atEnd())
+    return LoadResult::Corrupt;
+
+  if (HaveJournal) {
+    // The journal header is only ever written atomically (the reset is
+    // a crash-safe replace), so a short or mis-magicked header means
+    // external corruption; its records carried acknowledged
+    // submissions, so refuse rather than silently dropping them.
+    if (JournalBytes.size() < JournalHeaderBytes)
+      return LoadResult::Corrupt;
+    ByteReader Header(JournalBytes.data(), JournalHeaderBytes);
+    const uint32_t Magic = Header.readU32();
+    const uint8_t Version = Header.readU8();
+    const uint64_t JournalGen = Header.readU64();
+    if (Magic != JournalMagic || Version != StateVersion)
+      return LoadResult::Corrupt;
+    {
+      // A journal generation *ahead* of the snapshot cannot come from
+      // this class's write ordering (snapshot first, then journal
+      // reset); the directory mixes state from different servers.
+      if (JournalGen > SnapshotGen)
+        return LoadResult::Corrupt;
+      if (JournalGen == SnapshotGen) {
+        // Stale generations (JournalGen < SnapshotGen) are the normal
+        // crash window between snapshot rename and journal reset: the
+        // records are already inside the snapshot, so skip them.
+        size_t Offset = JournalHeaderBytes;
+        while (JournalBytes.size() - Offset >= 8) {
+          const uint32_t Length = readFrameU32(JournalBytes.data() + Offset);
+          if (Length > MaxJournalRecordBytes)
+            break;
+          if (JournalBytes.size() - Offset - 4 < uint64_t(Length) + 4)
+            break; // torn tail: the record a crash interrupted
+          const uint8_t *Record = JournalBytes.data() + Offset + 4;
+          if (frameChecksum(Record, Length) != readFrameU32(Record + Length))
+            break;
+          JournalRecord Decoded;
+          if (!decodeRecord(Record, Length, Decoded))
+            break;
+          RecordsOut.push_back(std::move(Decoded));
+          Offset += 4 + size_t(Length) + 4;
+        }
+      }
+    }
+  }
+
+  Generation = SnapshotGen;
+  SnapshotStateOut = std::move(State);
+  return LoadResult::Restored;
+}
+
+bool StateStore::writeSnapshot(const std::vector<uint8_t> &PipelineState) {
+  std::lock_guard<std::mutex> JournalLock(JournalMutex);
+  {
+    // Enqueued-but-undrained records were applied (and enqueued) under
+    // the caller's application lock before the state was serialized, so
+    // the snapshot already contains their effects — journaling them on
+    // top of it would replay them twice.
+    std::lock_guard<std::mutex> QueueLock(QueueMutex);
+    Queue.clear();
+  }
+  closeJournal();
+
+  const uint64_t NextGen = Generation + 1;
+  ByteWriter Writer;
+  Writer.writeU32(SnapshotMagic);
+  Writer.writeU8(StateVersion);
+  Writer.writeU64(NextGen);
+  Writer.writeBlob(PipelineState);
+  Writer.writeU32(frameChecksum(Writer.buffer().data(), Writer.size()));
+  if (!writeFileBytes(snapshotPath(), Writer.buffer()))
+    return false;
+  Generation = NextGen;
+
+  // Reset the journal to the new generation.  A crash between the two
+  // writeFileBytes calls leaves a stale-generation journal that load()
+  // ignores; a failure here leaves Journal closed, so drains fail loudly
+  // instead of appending records the next load would mispair.
+  ByteWriter Header;
+  Header.writeU32(JournalMagic);
+  Header.writeU8(StateVersion);
+  Header.writeU64(NextGen);
+  if (!writeFileBytes(journalPath(), Header.buffer()))
+    return false;
+  Appended.store(0, std::memory_order_relaxed);
+  JournalFailed = false;
+  return openJournalForAppend();
+}
+
+void StateStore::enqueue(const JournalRecord &Record) {
+  std::vector<uint8_t> Encoded = encodeRecord(Record);
+  std::lock_guard<std::mutex> QueueLock(QueueMutex);
+  Queue.push_back(std::move(Encoded));
+}
+
+bool StateStore::drain(size_t &AppendedOut) {
+  AppendedOut = 0;
+  std::lock_guard<std::mutex> JournalLock(JournalMutex);
+  // Take the whole queue in one swap: records enqueued after this point
+  // belong to a later drain (their enqueuer calls drain itself and is
+  // blocked on JournalMutex right now), which keeps append order equal
+  // to enqueue order across concurrent drainers.
+  std::vector<std::vector<uint8_t>> Batch;
+  {
+    std::lock_guard<std::mutex> QueueLock(QueueMutex);
+    Batch.swap(Queue);
+  }
+  if (Batch.empty())
+    return Journal != nullptr && !JournalFailed;
+
+  bool Ok = Journal != nullptr && !JournalFailed;
+  size_t Wrote = 0;
+  for (const std::vector<uint8_t> &Record : Batch) {
+    if (!Ok)
+      break;
+    uint8_t Length[4];
+    for (int I = 0; I < 4; ++I)
+      Length[I] = static_cast<uint8_t>(Record.size() >> (8 * I));
+    const uint32_t Check = frameChecksum(Record.data(), Record.size());
+    uint8_t CheckBytes[4];
+    for (int I = 0; I < 4; ++I)
+      CheckBytes[I] = static_cast<uint8_t>(Check >> (8 * I));
+    Ok = std::fwrite(Length, 1, 4, Journal) == 4 &&
+         std::fwrite(Record.data(), 1, Record.size(), Journal) ==
+             Record.size() &&
+         std::fwrite(CheckBytes, 1, 4, Journal) == 4;
+    if (Ok)
+      ++Wrote;
+  }
+  if (Wrote) {
+    Ok = Ok && std::fflush(Journal) == 0 && ::fsync(::fileno(Journal)) == 0;
+    Appended.fetch_add(Wrote, std::memory_order_relaxed);
+  }
+  AppendedOut = Wrote;
+  if (!Ok)
+    JournalFailed = true;
+  return Ok;
+}

@@ -1,0 +1,155 @@
+//===- exchange/StateStore.h - Durable exchange state ----------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable state for the patch server: what makes restarts lossless.
+/// §6.4's community of users only pays off if accumulated evidence
+/// survives the server process — the §5.1 Bayesian classifier needs the
+/// full trial history, not just the patches it has derived so far.
+///
+/// A state directory holds two files:
+///
+///  * `snapshot.xst` ("XST1") — a checksummed snapshot of the full
+///    diagnostic state (DiagnosisPipeline::serializeState: epoch, active
+///    patch set, cumulative isolator with its running Bayes sums) plus a
+///    generation counter.  Snapshots are written through the crash-safe
+///    writeFileBytes (temp file + fsync + rename), so a crash mid-write
+///    leaves the previous snapshot intact.
+///
+///  * `journal.xsj` ("XSJ1") — an append-only journal of the accepted
+///    state-changing submissions since the snapshot.  Each record is
+///    length-prefixed and checksummed and carries the epoch the server
+///    held after applying it; replaying the journal on top of its
+///    snapshot reproduces the exact pre-crash state, and a torn tail
+///    (the record a crash interrupted) is detected and skipped.
+///
+/// The generation counter pairs the two files: a snapshot write bumps it
+/// and resets the journal, so a crash between those steps leaves a
+/// stale-generation journal that load() ignores (its records are already
+/// inside the snapshot).  A journal generation *newer* than the snapshot
+/// can only mean the directory holds files from different servers —
+/// load() reports it as corrupt rather than guessing.
+///
+/// Write path: callers enqueue() encoded records while holding whatever
+/// lock orders their application (the patch server's pipeline mutex —
+/// enqueue is a cheap queue push, so the lock is never held across file
+/// IO), then drain() outside that lock to append and fsync.  drain()
+/// returns only once every record enqueued before the call is on disk,
+/// so a server that drains before replying has made that reply durable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_EXCHANGE_STATESTORE_H
+#define EXTERMINATOR_EXCHANGE_STATESTORE_H
+
+#include "cumulative/RunSummary.h"
+#include "patch/RuntimePatch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace exterminator {
+
+/// Manages one durable-state directory (see file comment).
+class StateStore {
+public:
+  /// Opens (creating if needed) the state directory at \p Directory.
+  explicit StateStore(const std::string &Directory);
+  ~StateStore();
+
+  StateStore(const StateStore &) = delete;
+  StateStore &operator=(const StateStore &) = delete;
+
+  /// One journaled submission.
+  struct JournalRecord {
+    enum Kind : uint8_t {
+      /// A patch-set delta max-merged into the active set (an image
+      /// submission's isolation result, or a seed file).
+      PatchesKind = 1,
+      /// One accepted run summary (changes the cumulative trial state
+      /// even when no patch is derived, so every summary is journaled).
+      SummaryKind = 2,
+    };
+    uint8_t RecordKind = PatchesKind;
+    /// The server's epoch after applying this record; replay verifies
+    /// it so a journal can never be applied against the wrong snapshot.
+    uint64_t EpochAfter = 0;
+    PatchSet PatchDelta;      ///< PatchesKind
+    RunSummary Summary;       ///< SummaryKind
+    unsigned CleanStreak = 0; ///< SummaryKind
+  };
+
+  enum class LoadResult {
+    Fresh,    ///< no prior state (empty or brand-new directory)
+    Restored, ///< snapshot (and any replayable journal records) loaded
+    Corrupt,  ///< state present but unusable; do not serve from it
+  };
+
+  /// Reads the directory's state: on Restored, \p SnapshotStateOut holds
+  /// the pipeline-state blob and \p RecordsOut the journal records to
+  /// replay on top of it, in append order.  A torn journal tail is
+  /// skipped (everything before it is returned); a stale-generation
+  /// journal is ignored wholesale.  A truncated or corrupted snapshot —
+  /// impossible through this class's own writes, which replace
+  /// atomically — returns Corrupt.
+  LoadResult load(std::vector<uint8_t> &SnapshotStateOut,
+                  std::vector<JournalRecord> &RecordsOut);
+
+  /// Writes \p PipelineState as the new snapshot (crash-safe replace),
+  /// bumps the generation, and resets the journal — including any
+  /// enqueued-but-undrained records, whose effects the caller's state
+  /// already contains.  Returns false on I/O failure (the previous
+  /// snapshot then remains authoritative).
+  bool writeSnapshot(const std::vector<uint8_t> &PipelineState);
+
+  /// Queues one record for the journal.  Cheap (encode + push): call it
+  /// while holding the lock that orders record application, so the
+  /// journal order always matches the apply order.
+  void enqueue(const JournalRecord &Record);
+
+  /// Appends every queued record to the journal and fsyncs.  Call
+  /// outside the application lock — this is the file IO.  On return,
+  /// all records enqueued before the call are durable (possibly written
+  /// by a concurrent drainer).  \p AppendedOut is how many this call
+  /// wrote.  Returns false on I/O failure.
+  bool drain(size_t &AppendedOut);
+
+  /// Records appended since the last snapshot (the snapshot-interval
+  /// trigger).
+  uint64_t appendedSinceSnapshot() const;
+
+  const std::string &directory() const { return Dir; }
+  std::string snapshotPath() const;
+  std::string journalPath() const;
+
+private:
+  bool openJournalForAppend();
+  void closeJournal();
+
+  std::string Dir;
+  /// Snapshot/journal pairing counter; 0 until the first snapshot.
+  uint64_t Generation = 0;
+
+  std::mutex QueueMutex;
+  std::vector<std::vector<uint8_t>> Queue;
+
+  /// Serializes journal file access (appends and resets).  Lock order:
+  /// callers may hold their application lock when enqueueing (which
+  /// takes only QueueMutex) but must not hold JournalMutex while
+  /// acquiring it.
+  std::mutex JournalMutex;
+  std::FILE *Journal = nullptr;
+  std::atomic<uint64_t> Appended{0};
+  bool JournalFailed = false;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_EXCHANGE_STATESTORE_H

@@ -4,6 +4,8 @@
 
 #include "support/Serializer.h"
 
+#include <utility>
+
 using namespace exterminator;
 
 static constexpr uint32_t PatchMagic = 0x58505432; // "XPT2"
@@ -35,30 +37,37 @@ std::vector<uint8_t> exterminator::serializePatchSet(const PatchSet &Patches) {
 
 bool exterminator::deserializePatchSet(const std::vector<uint8_t> &Buffer,
                                        PatchSet &PatchesOut) {
+  // Decode into a local and swap only on success: a buffer malformed
+  // mid-stream (a torn state file) must never leave \p PatchesOut half
+  // populated — a partially-seeded server would serve weaker patches
+  // than it claims to hold.
   ByteReader Reader(Buffer);
   if (Reader.readU32() != PatchMagic)
     return false;
-  PatchesOut.clear();
+  PatchSet Decoded;
   const uint64_t NumPads = Reader.readU64();
   for (uint64_t I = 0; I < NumPads && !Reader.failed(); ++I) {
     SiteId Site = Reader.readU32();
     uint32_t Pad = Reader.readU32();
-    PatchesOut.addPad(Site, Pad);
+    Decoded.addPad(Site, Pad);
   }
   const uint64_t NumFrontPads = Reader.readU64();
   for (uint64_t I = 0; I < NumFrontPads && !Reader.failed(); ++I) {
     SiteId Site = Reader.readU32();
     uint32_t Pad = Reader.readU32();
-    PatchesOut.addFrontPad(Site, Pad);
+    Decoded.addFrontPad(Site, Pad);
   }
   const uint64_t NumDeferrals = Reader.readU64();
   for (uint64_t I = 0; I < NumDeferrals && !Reader.failed(); ++I) {
     SiteId AllocSite = Reader.readU32();
     SiteId FreeSite = Reader.readU32();
     uint64_t Defer = Reader.readU64();
-    PatchesOut.addDeferral(AllocSite, FreeSite, Defer);
+    Decoded.addDeferral(AllocSite, FreeSite, Defer);
   }
-  return Reader.atEnd();
+  if (!Reader.atEnd())
+    return false;
+  PatchesOut = std::move(Decoded);
+  return true;
 }
 
 bool exterminator::savePatchSet(const PatchSet &Patches,

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include <unistd.h>
+
 using namespace exterminator;
 
 void ByteWriter::writeU32(uint32_t Value) {
@@ -315,14 +317,25 @@ bool StreamReader::readBytes(void *Out, size_t Count) {
 
 bool exterminator::writeFileBytes(const std::string &Path,
                                   const std::vector<uint8_t> &Buffer) {
-  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  // Never truncate the target in place: a crash or full disk mid-write
+  // must leave any existing file (a patch file, a server snapshot)
+  // untouched.  Write a sibling temp file, fsync it, then rename() over
+  // the target — the replacement is all-or-nothing.
+  const std::string Temp = Path + ".tmp";
+  std::FILE *File = std::fopen(Temp.c_str(), "wb");
   if (!File)
     return false;
   size_t Written =
       Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
   bool Ok = Written == Buffer.size();
+  Ok = Ok && std::fflush(File) == 0 && ::fsync(::fileno(File)) == 0;
   Ok &= std::fclose(File) == 0;
-  return Ok;
+  Ok = Ok && std::rename(Temp.c_str(), Path.c_str()) == 0;
+  if (!Ok) {
+    std::remove(Temp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool exterminator::readFileBytes(const std::string &Path,

@@ -200,7 +200,11 @@ private:
   bool Failed = false;
 };
 
-/// Writes \p Buffer to \p Path; returns false on I/O failure.
+/// Writes \p Buffer to \p Path crash-safely: the bytes land in a temp
+/// file in the same directory, are fsync'ed, and rename() atomically
+/// replaces the target — an interruption or I/O failure mid-write leaves
+/// any existing file at \p Path intact.  Returns false on failure
+/// (without clobbering the old file).
 bool writeFileBytes(const std::string &Path,
                     const std::vector<uint8_t> &Buffer);
 

@@ -12,6 +12,7 @@
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
 #include "exchange/SocketTransport.h"
+#include "exchange/StateStore.h"
 
 #include "TestHelpers.h"
 #include "heapimage/ImageBundle.h"
@@ -25,6 +26,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -889,4 +891,381 @@ TEST(PatchExchange, ConnectionCapShedsExcessConnections) {
   EXPECT_TRUE(Fetched);
   ::close(Second);
   Front.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Durable state: crash recovery (StateStore)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fresh per-test state directory under gtest's temp dir.
+std::string freshStateDir(const std::string &Name) {
+  const std::string Dir = ::testing::TempDir() + "/xst_" + Name;
+  // Start clean: earlier runs of the same test leave files behind.
+  std::remove((Dir + "/snapshot.xst").c_str());
+  std::remove((Dir + "/journal.xsj").c_str());
+  return Dir;
+}
+
+/// The evidence stream the recovery tests feed: two image sets plus a
+/// few summaries (enough to grow both patch and Bayes-trial state).
+struct EvidenceStream {
+  ImageEvidence Overflow;
+  ImageEvidence Dangling;
+  std::vector<RunSummary> Summaries;
+};
+
+EvidenceStream recoveryEvidence() {
+  EvidenceStream Stream;
+  Stream.Overflow = {imagesFromTrace(overflowTrace(6), 3), {}};
+  Stream.Dangling = {imagesFromTrace(danglingTrace(), 3), {}};
+  DiagnosisPipeline Scratch;
+  for (const HeapImage &Image : Stream.Overflow.Primary)
+    Stream.Summaries.push_back(Scratch.summarize(Image, /*Failed=*/true));
+  return Stream;
+}
+
+/// Feeds \p Stream to \p Server through a loopback client (the same
+/// frames a socket client would send).
+void submitStream(PatchServer &Server, const EvidenceStream &Stream) {
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+  ASSERT_TRUE(Client.submitImages(Stream.Overflow));
+  ASSERT_TRUE(Client.submitImages(Stream.Dangling));
+  for (const RunSummary &Summary : Stream.Summaries)
+    ASSERT_TRUE(Client.submitSummary(Summary, /*CleanStreak=*/0));
+}
+
+} // namespace
+
+TEST(StatePersistence, RestartReplaysJournalToBitIdenticalState) {
+  const std::string Dir = freshStateDir("replay");
+  const EvidenceStream Stream = recoveryEvidence();
+
+  // The uninterrupted reference: a local pipeline fed the same stream.
+  DiagnosisPipeline Local;
+  Local.submitImages(Stream.Overflow);
+  Local.submitImages(Stream.Dangling);
+  for (const RunSummary &Summary : Stream.Summaries)
+    Local.submitSummary(Summary, 0);
+
+  std::vector<uint8_t> PreCrashState;
+  {
+    // Original server: attach (snapshot interval high enough that all
+    // submissions stay in the journal), ingest, then "crash" — no
+    // persistNow, no graceful anything; the destructor is all it gets.
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    submitStream(Original, Stream);
+    EXPECT_GT(Original.stats().JournalAppends, 0u);
+    EXPECT_EQ(Original.stats().PersistFailures, 0u);
+    PreCrashState = Original.serializeState();
+  }
+  EXPECT_EQ(PreCrashState, Local.serializeState());
+
+  // Recovery: snapshot + journal replay must land on the bit-identical
+  // diagnostic state — same patches, same epoch, same Bayes sums.
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Recovered.attachState(Store));
+  EXPECT_EQ(Recovered.serializeState(), PreCrashState);
+  EXPECT_TRUE(Recovered.snapshot().Patches == Local.patches());
+  EXPECT_EQ(Recovered.snapshot().Epoch, Local.epoch());
+
+  // And the recovered classifier keeps classifying identically: one
+  // more summary lands on both and must produce the same factors.
+  const CumulativeDiagnosis FromLocal =
+      Local.submitSummary(Stream.Summaries.front(), 0);
+  LoopbackTransport Transport(Recovered);
+  PatchClient Client(Transport);
+  CumulativeDiagnosis FromRecovered;
+  ASSERT_TRUE(
+      Client.submitSummary(Stream.Summaries.front(), 0, &FromRecovered));
+  ASSERT_EQ(FromRecovered.Overflows.size(), FromLocal.Overflows.size());
+  for (size_t I = 0; I < FromLocal.Overflows.size(); ++I) {
+    EXPECT_EQ(FromRecovered.Overflows[I].AllocSite,
+              FromLocal.Overflows[I].AllocSite);
+    EXPECT_EQ(FromRecovered.Overflows[I].LogBayesFactor,
+              FromLocal.Overflows[I].LogBayesFactor);
+  }
+  ASSERT_EQ(FromRecovered.Danglings.size(), FromLocal.Danglings.size());
+  for (size_t I = 0; I < FromLocal.Danglings.size(); ++I)
+    EXPECT_EQ(FromRecovered.Danglings[I].LogBayesFactor,
+              FromLocal.Danglings[I].LogBayesFactor);
+  EXPECT_EQ(Recovered.serializeState(), Local.serializeState());
+}
+
+TEST(StatePersistence, SnapshotIntervalCompactsAndStillRecovers) {
+  const std::string Dir = freshStateDir("interval");
+  const EvidenceStream Stream = recoveryEvidence();
+
+  std::vector<uint8_t> PreCrashState;
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    // Interval 1: every submission immediately folds into a snapshot.
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1));
+    submitStream(Original, Stream);
+    EXPECT_GT(Original.stats().SnapshotsWritten, 1u);
+    PreCrashState = Original.serializeState();
+  }
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Recovered.attachState(Store));
+  EXPECT_EQ(Recovered.serializeState(), PreCrashState);
+}
+
+TEST(StatePersistence, TruncatedSnapshotIsRejectedNotHalfLoaded) {
+  const std::string Dir = freshStateDir("truncsnap");
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store));
+    submitStream(Original, recoveryEvidence());
+    ASSERT_TRUE(Original.persistNow());
+  }
+  // Tear the snapshot: drop its tail (what an interrupted non-atomic
+  // write would have left).
+  std::vector<uint8_t> Snap;
+  StateStore Probe(Dir);
+  ASSERT_TRUE(readFileBytes(Probe.snapshotPath(), Snap));
+  ASSERT_GT(Snap.size(), 16u);
+  Snap.resize(Snap.size() - 11);
+  ASSERT_TRUE(writeFileBytes(Probe.snapshotPath(), Snap));
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  std::string Error;
+  EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
+  EXPECT_FALSE(Error.empty());
+  // Nothing half-seeded the pipeline: still a blank server.
+  EXPECT_EQ(Recovered.snapshot().Epoch, 0u);
+  EXPECT_TRUE(Recovered.snapshot().Patches.empty());
+}
+
+TEST(StatePersistence, TornJournalTailIsSkipped) {
+  const std::string Dir = freshStateDir("torntail");
+  std::vector<uint8_t> PreCrashState;
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    submitStream(Original, recoveryEvidence());
+    PreCrashState = Original.serializeState();
+  }
+  // Simulate a crash mid-append: a record whose length prefix promises
+  // more bytes than the file holds.
+  StateStore Probe(Dir);
+  std::vector<uint8_t> Journal;
+  ASSERT_TRUE(readFileBytes(Probe.journalPath(), Journal));
+  const std::vector<uint8_t> Torn = {0x40, 0x00, 0x00, 0x00, 1, 2, 3};
+  Journal.insert(Journal.end(), Torn.begin(), Torn.end());
+  ASSERT_TRUE(writeFileBytes(Probe.journalPath(), Journal));
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Recovered.attachState(Store));
+  EXPECT_EQ(Recovered.serializeState(), PreCrashState);
+}
+
+TEST(StatePersistence, CorruptedJournalRecordStopsReplayThere) {
+  const std::string Dir = freshStateDir("badsum");
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    submitStream(Original, recoveryEvidence());
+  }
+  // Flip one byte inside the last record's payload: its checksum no
+  // longer matches, so replay must stop before it — without crashing.
+  StateStore Probe(Dir);
+  std::vector<uint8_t> Journal;
+  ASSERT_TRUE(readFileBytes(Probe.journalPath(), Journal));
+  ASSERT_GT(Journal.size(), 20u);
+  Journal[Journal.size() - 10] ^= 0xff;
+  ASSERT_TRUE(writeFileBytes(Probe.journalPath(), Journal));
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Recovered.attachState(Store));
+  // The last record (the third summary) is gone; everything before it
+  // replayed.
+  EXPECT_EQ(Recovered.cumulativeRuns(), 2u);
+}
+
+TEST(StatePersistence, RecoveredServerKeepsEpochAndClientRefetchesOnce) {
+  const std::string Dir = freshStateDir("refetch");
+  const EvidenceStream Stream = recoveryEvidence();
+
+  uint64_t OldInstance = 0, OldEpoch = 0;
+  PatchSet OldPatches;
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store));
+    submitStream(Original, Stream);
+    LoopbackTransport Transport(Original);
+    PatchClient Client(Transport);
+    ASSERT_TRUE(Client.fetchPatches());
+    OldInstance = Client.serverInstance();
+    OldEpoch = Client.epoch();
+    OldPatches = Client.patches();
+    ASSERT_GT(OldEpoch, 0u);
+  }
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Recovered.attachState(Store));
+  // Same epoch, fresh instance: the (instance, epoch) staleness pair
+  // can never collide with the pre-crash server's.
+  ASSERT_EQ(Recovered.snapshot().Epoch, OldEpoch);
+  ASSERT_NE(Recovered.instance(), OldInstance);
+
+  // A client still holding the pre-crash pair re-fetches exactly once...
+  LoopbackTransport Transport(Recovered);
+  auto FetchWith = [&](uint64_t Epoch, uint64_t Instance,
+                       PatchesReply &Out) {
+    std::vector<std::vector<uint8_t>> Responses;
+    ASSERT_TRUE(Transport.exchange(
+        {encodeFrame(MessageType::FetchPatches,
+                     encodeFetchPatches(Epoch, Instance))},
+        Responses));
+    Frame Reply;
+    size_t Consumed = 0;
+    ASSERT_EQ(decodeFrame(Responses[0].data(), Responses[0].size(), Reply,
+                          Consumed),
+              FrameError::None);
+    ASSERT_TRUE(decodePatchesReply(Reply.Payload, Out));
+  };
+  PatchesReply First;
+  FetchWith(OldEpoch, OldInstance, First);
+  EXPECT_TRUE(First.Modified);
+  EXPECT_TRUE(First.Patches == OldPatches);
+  EXPECT_EQ(First.Epoch, OldEpoch);
+  EXPECT_EQ(First.Instance, Recovered.instance());
+
+  // ...and holding the recovered pair, not again.
+  PatchesReply Second;
+  FetchWith(First.Epoch, First.Instance, Second);
+  EXPECT_FALSE(Second.Modified);
+}
+
+TEST(StatePersistence, SeedMergesIntoRestoredStateAndIsJournaled) {
+  const std::string Dir = freshStateDir("seed");
+  const EvidenceStream Stream = recoveryEvidence();
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store));
+    submitStream(Original, Stream);
+  }
+
+  PatchSet Seed;
+  Seed.addPad(0xfeedface, 96); // a site the evidence never produced
+  PatchSet Expected;
+  {
+    PatchServer Recovered;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Recovered.attachState(Store));
+    const PatchSnapshot Restored = Recovered.snapshot();
+    const uint64_t EpochBefore = Restored.Epoch;
+    Recovered.seedPatches(Seed); // state dir is the base; seed merges in
+    Expected = Restored.Patches;
+    Expected.merge(Seed);
+    EXPECT_TRUE(Recovered.snapshot().Patches == Expected);
+    EXPECT_EQ(Recovered.snapshot().Epoch, EpochBefore + 1);
+    // Crash again (no persistNow): the seed must have been journaled.
+  }
+  PatchServer Again;
+  StateStore Store(Dir);
+  ASSERT_TRUE(Again.attachState(Store));
+  EXPECT_TRUE(Again.snapshot().Patches == Expected);
+}
+
+TEST(StatePersistence, ForeignJournalConflictingEpochsRejected) {
+  const std::string DirA = freshStateDir("conflict_a");
+  const std::string DirB = freshStateDir("conflict_b");
+
+  // Server A: fresh attach (snapshot generation 1, epoch 0), then one
+  // epoch-bumping image submission left in the journal.
+  {
+    PatchServer A;
+    StateStore Store(DirA);
+    ASSERT_TRUE(A.attachState(Store, /*SnapshotInterval=*/1000));
+    LoopbackTransport Transport(A);
+    PatchClient Client(Transport);
+    ASSERT_TRUE(
+        Client.submitImages({imagesFromTrace(overflowTrace(6), 3), {}}));
+    ASSERT_EQ(A.snapshot().Epoch, 1u);
+  }
+  // Server B: seeded *before* attach, so its generation-1 snapshot
+  // already sits at epoch 1 with different patches.
+  {
+    PatchServer B;
+    PatchSet Seed;
+    Seed.addPad(0xb00b00, 32);
+    B.seedPatches(Seed);
+    StateStore Store(DirB);
+    ASSERT_TRUE(B.attachState(Store, /*SnapshotInterval=*/1000));
+  }
+  // Graft A's journal (same generation, records expecting EpochAfter 1)
+  // onto B's snapshot: replaying A's delta on top of B's state lands on
+  // epoch 2 ≠ 1 — the journal does not belong to this snapshot.
+  std::vector<uint8_t> ForeignJournal;
+  ASSERT_TRUE(
+      readFileBytes(StateStore(DirA).journalPath(), ForeignJournal));
+  ASSERT_TRUE(
+      writeFileBytes(StateStore(DirB).journalPath(), ForeignJournal));
+
+  PatchServer Grafted;
+  StateStore Store(DirB);
+  std::string Error;
+  EXPECT_FALSE(Grafted.attachState(Store, 64, &Error));
+  EXPECT_NE(Error.find("conflicting epochs"), std::string::npos);
+  // The failed attach left the serving pipeline untouched — no
+  // partially replayed foreign history.
+  EXPECT_EQ(Grafted.snapshot().Epoch, 0u);
+  EXPECT_TRUE(Grafted.snapshot().Patches.empty());
+}
+
+TEST(StatePersistence, CorruptedJournalHeaderIsRejected) {
+  const std::string Dir = freshStateDir("badheader");
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    submitStream(Original, recoveryEvidence());
+  }
+  // Header writes are atomic, so a flipped magic byte is external
+  // corruption of records clients were told are durable: refuse to
+  // serve rather than silently dropping them.
+  StateStore Probe(Dir);
+  std::vector<uint8_t> Journal;
+  ASSERT_TRUE(readFileBytes(Probe.journalPath(), Journal));
+  Journal[0] ^= 0xff;
+  ASSERT_TRUE(writeFileBytes(Probe.journalPath(), Journal));
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  std::string Error;
+  EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
+}
+
+TEST(StatePersistence, JournalWithoutSnapshotIsCorrupt) {
+  const std::string Dir = freshStateDir("orphan");
+  {
+    PatchServer Original;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    submitStream(Original, recoveryEvidence());
+  }
+  StateStore Probe(Dir);
+  ASSERT_EQ(std::remove(Probe.snapshotPath().c_str()), 0);
+
+  PatchServer Recovered;
+  StateStore Store(Dir);
+  std::string Error;
+  EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
 }

@@ -127,6 +127,30 @@ TEST(PatchIO, RejectsGarbage) {
   EXPECT_FALSE(deserializePatchSet({0, 1, 2, 3}, Back));
 }
 
+TEST(PatchIO, MalformedInputLeavesOutputUntouched) {
+  // All-or-nothing: a buffer that fails mid-stream (every truncation
+  // point of a valid encoding) must not half-populate — or clear — the
+  // output set a caller already holds.
+  PatchSet Full;
+  Full.addPad(0xdeadbeef, 6);
+  Full.addFrontPad(0xcafe, 12);
+  Full.addDeferral(0xa, 0xb, 2001);
+  const std::vector<uint8_t> Bytes = serializePatchSet(Full);
+
+  PatchSet Existing;
+  Existing.addPad(42, 8);
+  const PatchSet Original = Existing;
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    const std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(deserializePatchSet(Truncated, Existing))
+        << "accepted truncation at " << Cut;
+    EXPECT_TRUE(Existing == Original) << "mutated output at cut " << Cut;
+  }
+  // And the full buffer still replaces the output wholesale.
+  ASSERT_TRUE(deserializePatchSet(Bytes, Existing));
+  EXPECT_TRUE(Existing == Full);
+}
+
 TEST(PatchIO, FileRoundTrip) {
   PatchSet Patches;
   Patches.addPad(77, 6);

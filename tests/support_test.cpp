@@ -467,6 +467,30 @@ TEST(Serializer, ReadMissingFileFails) {
   EXPECT_FALSE(readFileBytes("/nonexistent/path/nope.bin", Back));
 }
 
+TEST(Serializer, WriteFailureDoesNotClobberOrCreate) {
+  // Writes go to a temp file and rename over the target; a failure
+  // (here: an unwritable directory) must neither create nor disturb
+  // anything at the destination path.
+  const std::string Path = "/nonexistent/path/nope.bin";
+  EXPECT_FALSE(writeFileBytes(Path, {1, 2, 3}));
+  std::vector<uint8_t> Back;
+  EXPECT_FALSE(readFileBytes(Path, Back));
+}
+
+TEST(Serializer, WriteReplacesExistingFileAndLeavesNoTemp) {
+  const std::string Path = ::testing::TempDir() + "/serializer_atomic.bin";
+  ASSERT_TRUE(writeFileBytes(Path, {1, 1, 1}));
+  // A stale temp file from a previous crashed writer must not confuse
+  // the replacement.
+  ASSERT_TRUE(writeFileBytes(Path + ".tmp", {9, 9, 9, 9, 9}));
+  ASSERT_TRUE(writeFileBytes(Path, {2, 2}));
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back));
+  EXPECT_EQ(Back, (std::vector<uint8_t>{2, 2}));
+  // The successful rename consumed the temp file.
+  EXPECT_FALSE(readFileBytes(Path + ".tmp", Back));
+}
+
 //===----------------------------------------------------------------------===//
 // Statistics
 //===----------------------------------------------------------------------===//

@@ -12,6 +12,13 @@
 // "unix:/path.sock", "tcp:PORT", or "tcp:HOST:PORT"):
 //
 //   xtermtool serve         <endpoint> [--workers N] [--seed patch.xpt]
+//                           [--state-dir DIR] [--snapshot-every N]
+//       --state-dir makes restarts lossless: the server restores its full
+//       diagnostic state (patches, epoch, Bayes trial history) from DIR's
+//       snapshot + journal on start, journals every accepted submission,
+//       and snapshots every N submissions (default 64) and on shutdown.
+//       With both --state-dir and --seed, the state dir is authoritative
+//       (it keeps its epoch); the seed max-merges into the restored set.
 //   xtermtool submit        <endpoint> <dump.xhi|summary.xrs>...
 //   xtermtool fetch-patches <endpoint> <out.xpt> [--require-nonempty]
 //   xtermtool shutdown      <endpoint>
@@ -29,6 +36,7 @@
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
 #include "exchange/SocketTransport.h"
+#include "exchange/StateStore.h"
 #include "heapimage/HeapImageIO.h"
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
@@ -38,6 +46,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +61,8 @@ static int usage() {
                "       xtermtool diagnose <out.xpt> <dump.xhi>...\n"
                "       xtermtool serve    <endpoint> [--workers N] "
                "[--seed patch.xpt]\n"
+               "                          [--state-dir DIR] "
+               "[--snapshot-every N]\n"
                "       xtermtool submit   <endpoint> "
                "<dump.xhi|summary.xrs>...\n"
                "       xtermtool fetch-patches <endpoint> <out.xpt> "
@@ -218,12 +229,19 @@ static int serveCommand(const std::string &Spec,
                         const std::vector<std::string> &Options) {
   unsigned Workers = 2;
   std::string SeedFile;
+  std::string StateDir;
+  unsigned SnapshotEvery = 64;
   for (size_t I = 0; I < Options.size(); ++I) {
     if (Options[I] == "--workers" && I + 1 < Options.size())
       Workers = static_cast<unsigned>(std::strtoul(Options[++I].c_str(),
                                                    nullptr, 10));
     else if (Options[I] == "--seed" && I + 1 < Options.size())
       SeedFile = Options[++I];
+    else if (Options[I] == "--state-dir" && I + 1 < Options.size())
+      StateDir = Options[++I];
+    else if (Options[I] == "--snapshot-every" && I + 1 < Options.size())
+      SnapshotEvery = static_cast<unsigned>(
+          std::strtoul(Options[++I].c_str(), nullptr, 10));
     else
       return usage();
   }
@@ -233,6 +251,29 @@ static int serveCommand(const std::string &Spec,
     return 1;
 
   PatchServer Server;
+
+  // Durable state restores first: the state directory is authoritative
+  // (it keeps its epoch and the accumulated Bayes history), and a --seed
+  // file then max-merges *into* the restored state — seeding can only
+  // add or widen patches, never roll restored state back.
+  std::unique_ptr<StateStore> Store;
+  if (!StateDir.empty()) {
+    Store = std::make_unique<StateStore>(StateDir);
+    std::string Error;
+    if (!Server.attachState(*Store, SnapshotEvery, &Error)) {
+      std::fprintf(stderr, "error: cannot restore state from '%s': %s\n",
+                   StateDir.c_str(), Error.c_str());
+      return 1;
+    }
+    const PatchSnapshot Restored = Server.snapshot();
+    std::printf("restored state from %s: epoch %llu, %zu pad(s), %zu "
+                "front pad(s), %zu deferral(s), %llu accumulated run(s)\n",
+                StateDir.c_str(), (unsigned long long)Restored.Epoch,
+                Restored.Patches.padCount(),
+                Restored.Patches.frontPadCount(),
+                Restored.Patches.deferralCount(),
+                (unsigned long long)Server.cumulativeRuns());
+  }
   if (!SeedFile.empty()) {
     PatchSet Seed;
     if (!loadPatchSet(SeedFile, Seed)) {
@@ -255,6 +296,12 @@ static int serveCommand(const std::string &Spec,
   std::fflush(stdout);
   Front.serve();
 
+  // Snapshot-on-shutdown: fold the journal into one fresh snapshot so
+  // the next start replays nothing.
+  if (Store && !Server.persistNow())
+    std::fprintf(stderr, "warning: final snapshot to '%s' failed\n",
+                 StateDir.c_str());
+
   const PatchServerStats Stats = Server.stats();
   const PatchSnapshot Snap = Server.snapshot();
   std::printf("served: %llu image(s), %llu summarie(s), %llu fetch(es) "
@@ -267,6 +314,13 @@ static int serveCommand(const std::string &Spec,
               (unsigned long long)Stats.FramesRejected,
               (unsigned long long)Snap.Epoch, Snap.Patches.padCount(),
               Snap.Patches.frontPadCount(), Snap.Patches.deferralCount());
+  if (Store)
+    std::printf("persisted: %llu journal append(s), %llu snapshot(s), "
+                "%llu failure(s) -> %s\n",
+                (unsigned long long)Stats.JournalAppends,
+                (unsigned long long)Stats.SnapshotsWritten,
+                (unsigned long long)Stats.PersistFailures,
+                StateDir.c_str());
   return 0;
 }
 
