@@ -16,21 +16,33 @@
 // decode → diagnose per item) and the ImageBundle saving (one
 // cross-image site dictionary vs N independent v2 images).
 //
+// PR 6 adds the replicated fleet: the same summary stream submitted
+// through a rotating FailoverTransport into a 3-server full mesh
+// (journal streaming + anti-entropy over loopback), measuring fleet
+// ingest throughput and the pump rounds until every server's patch
+// set serializes bit-identically.
+//
 // --json FILE writes BENCH_exchange.json (schema in ROADMAP.md):
-//   schema_version        1
+//   schema_version        2
 //   config                {smoke, images_per_submission, rounds}
 //   ingest[]              {kind, items, seconds, per_sec} for
 //                         kind ∈ {image-submission, image, summary}
 //   bundle                {images, bundle_bytes, independent_bytes,
 //                          ratio}
 //   collaboration         {users, pads_merged, all_protected}
+//   fleet                 {servers, summaries, seconds, per_sec,
+//                          pump_rounds, records_streamed,
+//                          replicated_summaries, duplicates_suppressed,
+//                          converged_identical, patch_bytes}
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
 
+#include "exchange/FailoverTransport.h"
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
+#include "exchange/Replication.h"
 #include "heapimage/HeapImageIO.h"
 #include "heapimage/ImageBundle.h"
 #include "patch/PatchIO.h"
@@ -41,6 +53,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace exterminator;
@@ -200,6 +213,106 @@ int main(int Argc, char **Argv) {
        static_cast<unsigned long long>(IngestStats.FramesRejected));
 
   //===--------------------------------------------------------------------===//
+  // Replicated fleet ingest (3-server mesh, rotating failover)
+  //===--------------------------------------------------------------------===//
+
+  heading("PR 6: replicated fleet ingest (3-server mesh, rotating failover)");
+  note("summaries enter round-robin through FailoverTransport; journal "
+       "streaming + anti-entropy converge the mesh");
+
+  const unsigned FleetSummaries = Smoke ? 150 : 1500;
+
+  // Each server starts from a *different* user's patches, so
+  // convergence below exercises real anti-entropy merging, not just
+  // identical-state no-ops.
+  PatchServer FleetServers[3];
+  for (unsigned I = 0; I < 3; ++I)
+    FleetServers[I].seedPatches(UserPatches[I]);
+
+  std::vector<std::unique_ptr<ReplicaSet>> FleetReplicas;
+  for (unsigned I = 0; I < 3; ++I) {
+    auto Replicas = std::make_unique<ReplicaSet>(FleetServers[I]);
+    for (unsigned J = 0; J < 3; ++J)
+      if (J != I)
+        Replicas->addPeer(fmt("s%u", J),
+                          std::make_unique<LoopbackTransport>(
+                              FleetServers[J]));
+    FleetReplicas.push_back(std::move(Replicas));
+  }
+
+  LoopbackTransport FleetLinks[3] = {LoopbackTransport(FleetServers[0]),
+                                     LoopbackTransport(FleetServers[1]),
+                                     LoopbackTransport(FleetServers[2])};
+  FailoverPolicy RotatePolicy;
+  RotatePolicy.Rotate = true;
+  FailoverTransport FleetTransport(
+      {&FleetLinks[0], &FleetLinks[1], &FleetLinks[2]}, RotatePolicy,
+      {"s0", "s1", "s2"});
+  PatchClient FleetClient(FleetTransport);
+
+  bool FleetOk = true;
+  const double FleetSeconds = timeSeconds([&] {
+    for (unsigned I = 0; I < FleetSummaries; ++I)
+      FleetOk &= FleetClient.submitSummary(Summary, 0);
+    for (auto &Replicas : FleetReplicas)
+      FleetOk &= Replicas->drainOnce();
+  });
+  const double FleetPerSec = FleetSummaries / FleetSeconds;
+
+  // Pump anti-entropy until every server's canonical serialization is
+  // bit-identical (the wire/on-disk convergence the chaos tests pin).
+  unsigned PumpRounds = 0;
+  bool ConvergedIdentical = false;
+  std::vector<uint8_t> FleetBytes;
+  for (; PumpRounds < 8 && !ConvergedIdentical; ) {
+    for (auto &Replicas : FleetReplicas)
+      Replicas->antiEntropyOnce();
+    ++PumpRounds;
+    FleetBytes = serializePatchSet(FleetServers[0].snapshot().Patches);
+    ConvergedIdentical =
+        FleetBytes ==
+            serializePatchSet(FleetServers[1].snapshot().Patches) &&
+        FleetBytes == serializePatchSet(FleetServers[2].snapshot().Patches);
+  }
+  uint64_t RecordsStreamed = 0, ReplicatedSummaries = 0,
+           DuplicatesSuppressed = 0, FleetRunsTotal = 0;
+  for (unsigned I = 0; I < 3; ++I) {
+    RecordsStreamed += FleetReplicas[I]->stats().RecordsStreamed;
+    const PatchServerStats Stats = FleetServers[I].stats();
+    ReplicatedSummaries += Stats.ReplicatedSummaries;
+    DuplicatesSuppressed += Stats.DuplicatesSuppressed;
+    FleetRunsTotal += FleetServers[I].cumulativeRuns();
+  }
+  // Every server must hold every summary exactly once: each one
+  // ingested at its entry server and streamed to the other two, never
+  // double-applied (dedup tokens).
+  if (!FleetOk || !ConvergedIdentical ||
+      FleetRunsTotal != 3ull * FleetSummaries) {
+    std::fprintf(stderr, "fleet ingest failed, mesh did not converge, or "
+                         "summary accounting is off\n");
+    return 1;
+  }
+
+  Table Fleet({"metric", "value"});
+  Fleet.addRow({"summaries via rotating failover",
+                fmt("%u", FleetSummaries)});
+  Fleet.addRow({"ingest+stream seconds", fmt("%.3f", FleetSeconds)});
+  Fleet.addRow({"summaries/sec (fleet-wide)", fmt("%.0f", FleetPerSec)});
+  Fleet.addRow({"anti-entropy rounds to converge", fmt("%u", PumpRounds)});
+  Fleet.addRow({"journal records streamed", fmt("%llu",
+                static_cast<unsigned long long>(RecordsStreamed))});
+  Fleet.addRow({"replicated summaries applied", fmt("%llu",
+                static_cast<unsigned long long>(ReplicatedSummaries))});
+  Fleet.addRow({"duplicate tokens suppressed", fmt("%llu",
+                static_cast<unsigned long long>(DuplicatesSuppressed))});
+  Fleet.addRow({"converged patch bytes", fmt("%zu", FleetBytes.size())});
+  Fleet.print();
+  note("every server holds all %u summaries exactly once (total runs "
+       "%llu = 3 x %u) and serializes the same merged set bit-for-bit",
+       FleetSummaries, static_cast<unsigned long long>(FleetRunsTotal),
+       FleetSummaries);
+
+  //===--------------------------------------------------------------------===//
   // Bundle vs independent images
   //===--------------------------------------------------------------------===//
 
@@ -233,12 +346,13 @@ int main(int Argc, char **Argv) {
   if (!JsonPath.empty()) {
     JsonWriter Json;
     Json.beginObject();
-    Json.field("schema_version", 1);
+    Json.field("schema_version", 2);
     Json.beginObject("config");
     Json.field("smoke", Smoke);
     Json.field("images_per_submission", int(ImagesPerSubmission));
     Json.field("image_rounds", int(ImageRounds));
     Json.field("summary_rounds", int(SummaryRounds));
+    Json.field("fleet_summaries", int(FleetSummaries));
     Json.endObject();
     Json.beginArray("ingest");
     Json.beginObject();
@@ -270,6 +384,18 @@ int main(int Argc, char **Argv) {
     Json.field("users", 3);
     Json.field("pads_merged", uint64_t(Merged.padCount()));
     Json.field("all_protected", AllFixed == 3);
+    Json.endObject();
+    Json.beginObject("fleet");
+    Json.field("servers", 3);
+    Json.field("summaries", uint64_t(FleetSummaries));
+    Json.field("seconds", FleetSeconds);
+    Json.field("per_sec", FleetPerSec);
+    Json.field("pump_rounds", uint64_t(PumpRounds));
+    Json.field("records_streamed", RecordsStreamed);
+    Json.field("replicated_summaries", ReplicatedSummaries);
+    Json.field("duplicates_suppressed", DuplicatesSuppressed);
+    Json.field("converged_identical", ConvergedIdentical);
+    Json.field("patch_bytes", uint64_t(FleetBytes.size()));
     Json.endObject();
     Json.endObject();
     if (!Json.writeFile(JsonPath)) {

@@ -1,0 +1,117 @@
+//===- exchange/FailoverTransport.cpp - Multi-endpoint failover -----------===//
+
+#include "exchange/FailoverTransport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+using namespace exterminator;
+
+FailoverTransport::FailoverTransport(const std::vector<Endpoint> &Endpoints,
+                                     const FailoverPolicy &Policy)
+    : Policy(Policy), RngState(Policy.Seed ? Policy.Seed : 1) {
+  for (const Endpoint &Ep : Endpoints) {
+    Slot S;
+    S.Label = endpointToString(Ep);
+    // Zero connect retries: a dead endpoint must fail fast so the
+    // budgeted walk reaches a live one; this class owns all waiting.
+    S.Owned = std::make_unique<SocketClientTransport>(Ep, 0);
+    S.Transport = S.Owned.get();
+    Slots.push_back(std::move(S));
+  }
+}
+
+FailoverTransport::FailoverTransport(
+    const std::vector<ClientTransport *> &Transports,
+    const FailoverPolicy &Policy, const std::vector<std::string> &Labels)
+    : Policy(Policy), RngState(Policy.Seed ? Policy.Seed : 1) {
+  for (size_t I = 0; I < Transports.size(); ++I) {
+    Slot S;
+    S.Label = I < Labels.size() ? Labels[I] : "peer" + std::to_string(I);
+    S.Transport = Transports[I];
+    Slots.push_back(std::move(S));
+  }
+}
+
+unsigned FailoverTransport::plannedBackoffMs(unsigned Failure) {
+  // min(Base·2^Failure, Max), with the shift saturated well before the
+  // doubling could overflow.
+  const double Base = double(Policy.BaseBackoffMs) *
+                      double(uint64_t(1) << std::min(Failure, 30u));
+  const double Capped = std::min(Base, double(Policy.MaxBackoffMs));
+  // xorshift64 → uniform in [0, 1); deterministic for the seed, so the
+  // bounds test can replay the stream.
+  uint64_t X = RngState;
+  X ^= X << 13;
+  X ^= X >> 7;
+  X ^= X << 17;
+  RngState = X;
+  const double Unit = double(X >> 11) / double(uint64_t(1) << 53);
+  const double Jitter =
+      std::clamp(Policy.JitterFraction, 0.0, 1.0) * Unit;
+  return static_cast<unsigned>(std::floor(Capped * (1.0 - Jitter)));
+}
+
+bool FailoverTransport::exchange(
+    const std::vector<std::vector<uint8_t>> &Requests,
+    std::vector<std::vector<uint8_t>> &ResponsesOut) {
+  ++Stats.Exchanges;
+  LastBackoffsMs.clear();
+  LastError.clear();
+  if (Slots.empty()) {
+    LastError = "no endpoints configured";
+    return false;
+  }
+
+  size_t Index;
+  if (Policy.Rotate) {
+    Index = RotateCursor % Slots.size();
+    RotateCursor = (RotateCursor + 1) % Slots.size();
+  } else {
+    Index = Preferred % Slots.size();
+  }
+
+  const unsigned Budget = std::max(1u, Policy.MaxAttempts);
+  for (unsigned Attempt = 0; Attempt < Budget; ++Attempt) {
+    Slot &S = Slots[Index];
+    ++Stats.Attempts;
+    if (S.Transport->exchange(Requests, ResponsesOut)) {
+      Preferred = Index;
+      return true;
+    }
+    S.LastError = S.Transport->lastError();
+    if (S.LastError.empty())
+      S.LastError = "exchange failed";
+    if (Attempt + 1 == Budget)
+      break;
+    // Walk the list before sleeping: the very next endpoint may be
+    // healthy, and the growing backoff only needs to gate how fast the
+    // *whole list* is re-polled.
+    if (Slots.size() > 1) {
+      Index = (Index + 1) % Slots.size();
+      ++Stats.Failovers;
+    }
+    const unsigned SleepMs = plannedBackoffMs(Attempt);
+    LastBackoffsMs.push_back(SleepMs);
+    if (SleepMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+  }
+
+  ++Stats.Exhausted;
+  for (const Slot &S : Slots) {
+    if (S.LastError.empty())
+      continue;
+    if (!LastError.empty())
+      LastError += "; ";
+    // Socket transports already lead with their endpoint string.
+    if (S.LastError.rfind(S.Label, 0) == 0)
+      LastError += S.LastError;
+    else
+      LastError += S.Label + ": " + S.LastError;
+  }
+  if (LastError.empty())
+    LastError = "every endpoint failed";
+  return false;
+}

@@ -1,0 +1,67 @@
+//===- exchange/FaultyTransport.cpp - Fault-injection decorator -----------===//
+
+#include "exchange/FaultyTransport.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace exterminator;
+
+bool FaultyTransport::exchange(
+    const std::vector<std::vector<uint8_t>> &Requests,
+    std::vector<std::vector<uint8_t>> &ResponsesOut) {
+  ++Stats.Exchanges;
+  LastError.clear();
+  Plan Next;
+  if (!Script.empty()) {
+    Next = Script.front();
+    Script.pop_front();
+  }
+  if (Next.Kind != TransportFault::None)
+    ++Stats.Injected;
+
+  switch (Next.Kind) {
+  case TransportFault::FailConnect:
+    LastError = "injected: connect failed";
+    return false;
+
+  case TransportFault::DropReply:
+    // The server sees and applies the batch; the client never learns.
+    Inner.exchange(Requests, ResponsesOut);
+    ResponsesOut.clear();
+    LastError = "injected: connection lost before replies";
+    return false;
+
+  case TransportFault::Duplicate: {
+    std::vector<std::vector<uint8_t>> First;
+    if (!Inner.exchange(Requests, First)) {
+      LastError = Inner.lastError();
+      return false;
+    }
+    break; // fall through to the second, authoritative delivery
+  }
+
+  case TransportFault::TruncateReply: {
+    if (!Inner.exchange(Requests, ResponsesOut)) {
+      LastError = Inner.lastError();
+      return false;
+    }
+    if (!ResponsesOut.empty() && !ResponsesOut.back().empty())
+      ResponsesOut.back().resize(ResponsesOut.back().size() / 2);
+    return true;
+  }
+
+  case TransportFault::Delay:
+    if (Next.DelayMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Next.DelayMs));
+    break;
+
+  case TransportFault::None:
+    break;
+  }
+
+  if (Inner.exchange(Requests, ResponsesOut))
+    return true;
+  LastError = Inner.lastError();
+  return false;
+}

@@ -3,8 +3,22 @@
 #include "exchange/PatchClient.h"
 
 #include <algorithm>
+#include <random>
 
 using namespace exterminator;
+
+/// Nonzero random token identifying one summary submission.  Generated
+/// when the frame is *encoded*, so every retry of that frame — by a
+/// failover transport or a flaky network — carries the same token and
+/// the server applies the summary exactly once.
+static uint64_t freshSubmissionToken() {
+  static std::mt19937_64 Rng([] {
+    std::random_device Device;
+    return (uint64_t(Device()) << 32) | Device();
+  }());
+  const uint64_t Token = Rng();
+  return Token ? Token : 1;
+}
 
 bool PatchClient::queueImages(const ImageEvidence &Evidence) {
   std::vector<uint8_t> Frame =
@@ -18,7 +32,8 @@ bool PatchClient::queueImages(const ImageEvidence &Evidence) {
 bool PatchClient::queueSummary(const RunSummary &Summary,
                                unsigned CleanStreak) {
   std::vector<uint8_t> Frame = encodeFrame(
-      MessageType::SubmitSummary, encodeSubmitSummary(Summary, CleanStreak));
+      MessageType::SubmitSummary,
+      encodeSubmitSummary(Summary, CleanStreak, freshSubmissionToken()));
   if (Frame.empty())
     return false;
   PendingRequests.push_back(std::move(Frame));
@@ -120,7 +135,8 @@ bool PatchClient::submitSummary(const RunSummary &Summary,
                                 CumulativeDiagnosis *DiagnosisOut) {
   Frame Reply;
   if (!roundTrip(encodeFrame(MessageType::SubmitSummary,
-                             encodeSubmitSummary(Summary, CleanStreak)),
+                             encodeSubmitSummary(Summary, CleanStreak,
+                                                 freshSubmissionToken())),
                  Reply) ||
       Reply.Type != MessageType::SubmitSummaryReply)
     return false;

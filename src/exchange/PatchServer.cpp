@@ -16,26 +16,67 @@ static uint64_t randomInstanceId() {
   return Id ? Id : 1;
 }
 
+ReplicationSink::~ReplicationSink() = default;
+
 PatchServer::PatchServer(const DiagnosisConfig &Config)
     : Pipeline(Config), Instance(randomInstanceId()) {}
 
+bool PatchServer::noteToken(uint64_t Token) {
+  if (Token == 0)
+    return true;
+  if (TokensCurrent.count(Token) || TokensPrevious.count(Token))
+    return false;
+  if (TokensCurrent.size() >= TokenWindow) {
+    TokensPrevious = std::move(TokensCurrent);
+    TokensCurrent.clear();
+  }
+  TokensCurrent.insert(Token);
+  return true;
+}
+
 void PatchServer::seedPatches(const PatchSet &Initial) {
-  bool Persist = false;
+  bool Changed = false;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     const uint64_t Before = Pipeline.epoch();
     Pipeline.seedPatches(Initial);
-    if (Store && Pipeline.epoch() != Before) {
+    Changed = Pipeline.epoch() != Before;
+    if (Store && Changed) {
       StateStore::JournalRecord Record;
       Record.RecordKind = StateStore::JournalRecord::PatchesKind;
       Record.EpochAfter = Pipeline.epoch();
       Record.PatchDelta = Initial;
       Store->enqueue(Record);
-      Persist = true;
     }
   }
-  if (Persist)
+  if (Changed && Store)
     persistQueued();
+  // A seed is a local origin (an operator handed this server a patch
+  // file), so it streams to peers like any accepted submission.
+  if (Changed && Replica)
+    Replica->onPatchDelta(Initial);
+}
+
+bool PatchServer::mergePatches(const PatchSet &Delta) {
+  bool Changed = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    const uint64_t Before = Pipeline.epoch();
+    Pipeline.seedPatches(Delta);
+    Changed = Pipeline.epoch() != Before;
+    ++Stats.MergesIngested;
+    if (Store && Changed) {
+      StateStore::JournalRecord Record;
+      Record.RecordKind = StateStore::JournalRecord::PatchesKind;
+      Record.EpochAfter = Pipeline.epoch();
+      Record.PatchDelta = Delta;
+      Store->enqueue(Record);
+    }
+  }
+  if (Changed && Store)
+    persistQueued();
+  // Remote origin: no replication-sink forward (no-restream rule).
+  return Changed;
 }
 
 bool PatchServer::attachState(StateStore &NewStore, unsigned Interval,
@@ -74,6 +115,13 @@ bool PatchServer::attachState(StateStore &NewStore, unsigned Interval,
     }
     if (!Pipeline.restoreState(Scratch.serializeState()))
       return Fail("snapshot payload does not decode");
+    // Rebuild the duplicate-suppression window from the replayed
+    // records: a client retrying across the restart must still be
+    // suppressed (tokens from before the snapshot are gone, but so is
+    // any plausible retry window).
+    for (const StateStore::JournalRecord &Record : Records)
+      if (Record.RecordKind == StateStore::JournalRecord::SummaryKind)
+        noteToken(Record.Token);
     break;
   }
   }
@@ -187,7 +235,7 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
     // replay order) but written to disk after release.
     const IsolationResult Result = Pipeline.isolateImages(Evidence);
     ImagesReply Reply;
-    bool Persist = false;
+    bool Changed = false;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       const uint64_t Before = Pipeline.epoch();
@@ -198,20 +246,22 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       Reply.Epoch = Pipeline.epoch();
       Reply.OverflowFindings = Result.Overflows.size();
       Reply.DanglingFindings = Result.Danglings.size();
+      Changed = Reply.Epoch != Before;
       // An image submission's only durable effect is the patch merge, so
       // journal the derived delta — and only when it changed the set
       // (max-merge idempotence makes re-submissions no-ops).
-      if (Store && Reply.Epoch != Before) {
+      if (Store && Changed) {
         StateStore::JournalRecord Record;
         Record.RecordKind = StateStore::JournalRecord::PatchesKind;
         Record.EpochAfter = Reply.Epoch;
         Record.PatchDelta = Result.Patches;
         Store->enqueue(Record);
-        Persist = true;
       }
     }
-    if (Persist)
+    if (Changed && Store)
       persistQueued();
+    if (Changed && Replica)
+      Replica->onPatchDelta(Result.Patches);
     return encodeFrame(MessageType::SubmitImagesReply,
                        encodeImagesReply(Reply));
   }
@@ -219,31 +269,96 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
   case MessageType::SubmitSummary: {
     RunSummary Summary;
     unsigned CleanStreak = 0;
-    if (!decodeSubmitSummary(Request.Payload, Summary, CleanStreak))
+    uint64_t Token = 0;
+    if (!decodeSubmitSummary(Request.Payload, Summary, CleanStreak, Token))
       return Reject("malformed run summary");
     SummaryReply Reply;
+    bool Applied = false;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Reply.Instance = Instance;
-      Reply.Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
+      Applied = noteToken(Token);
+      if (Applied) {
+        Reply.Diagnosis = Pipeline.submitSummary(Summary, CleanStreak);
+        ++Stats.SummariesIngested;
+      } else {
+        // A retry of a summary this server (or a replica that forwarded
+        // it here) already counted: acknowledge with the current state
+        // and an empty diagnosis, but do not grow the trial history
+        // again — that is the epoch-idempotence the duplicate tests
+        // pin.
+        ++Stats.DuplicatesSuppressed;
+      }
       Reply.Epoch = Pipeline.epoch();
-      ++Stats.SummariesIngested;
       // Every accepted summary is journaled, epoch bump or not: it
       // grows the cumulative trial state even when no patch is derived,
       // and the Bayes history is exactly what restarts must not lose.
-      if (Store) {
+      if (Store && Applied) {
         StateStore::JournalRecord Record;
         Record.RecordKind = StateStore::JournalRecord::SummaryKind;
         Record.EpochAfter = Reply.Epoch;
         Record.Summary = Summary;
         Record.CleanStreak = CleanStreak;
+        Record.Token = Token;
         Store->enqueue(Record);
       }
     }
-    if (Store)
+    if (Applied && Store)
       persistQueued();
+    if (Applied && Replica)
+      Replica->onSummary(Summary, CleanStreak, Token);
     return encodeFrame(MessageType::SubmitSummaryReply,
                        encodeSummaryReply(Reply));
+  }
+
+  case MessageType::MergePatches: {
+    PatchSet Delta;
+    if (!decodeMergePatches(Request.Payload, Delta))
+      return Reject("malformed patch delta");
+    MergeReply Reply;
+    Reply.Changed = mergePatches(Delta);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Reply.Instance = Instance;
+      Reply.Epoch = Pipeline.epoch();
+    }
+    return encodeFrame(MessageType::MergePatchesReply,
+                       encodeMergeReply(Reply));
+  }
+
+  case MessageType::ReplicateSummary: {
+    RunSummary Summary;
+    unsigned CleanStreak = 0;
+    uint64_t Token = 0;
+    if (!decodeSubmitSummary(Request.Payload, Summary, CleanStreak, Token))
+      return Reject("malformed run summary");
+    ReplicateAck Reply;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Reply.Instance = Instance;
+      Reply.Applied = noteToken(Token);
+      if (Reply.Applied) {
+        Pipeline.submitSummary(Summary, CleanStreak);
+        ++Stats.ReplicatedSummaries;
+      } else {
+        ++Stats.DuplicatesSuppressed;
+      }
+      Reply.Epoch = Pipeline.epoch();
+      if (Store && Reply.Applied) {
+        StateStore::JournalRecord Record;
+        Record.RecordKind = StateStore::JournalRecord::SummaryKind;
+        Record.EpochAfter = Reply.Epoch;
+        Record.Summary = Summary;
+        Record.CleanStreak = CleanStreak;
+        Record.Token = Token;
+        Store->enqueue(Record);
+      }
+    }
+    if (Reply.Applied && Store)
+      persistQueued();
+    // Remote origin: never re-forwarded (no-restream rule).
+    return encodeFrame(MessageType::ReplicateReply,
+                       encodeReplicateReply(Reply));
   }
 
   case MessageType::FetchPatches: {

@@ -30,10 +30,32 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 
 namespace exterminator {
 
 class StateStore;
+
+/// Where a server forwards its locally accepted state changes so replica
+/// peers can apply them too (implemented by ReplicaSet).  Only *local*
+/// origins stream — a change that arrived via MergePatches or
+/// ReplicateSummary is never re-forwarded, which is what keeps a full
+/// mesh loop-free; transitive propagation is anti-entropy's job.
+/// Callbacks run outside the server mutex and must not re-enter the
+/// server synchronously on the same thread.
+class ReplicationSink {
+public:
+  virtual ~ReplicationSink();
+
+  /// A patch-set delta the local server just merged (an image
+  /// submission's isolation result, or a seed file).
+  virtual void onPatchDelta(const PatchSet &Delta) = 0;
+
+  /// A run summary the local server just accepted from a client,
+  /// with the client's dedup token (0 if the client sent none).
+  virtual void onSummary(const RunSummary &Summary, unsigned CleanStreak,
+                         uint64_t Token) = 0;
+};
 
 /// Ingestion counters (observability for the bench and the CLI).
 struct PatchServerStats {
@@ -46,6 +68,10 @@ struct PatchServerStats {
   uint64_t JournalAppends = 0;
   uint64_t SnapshotsWritten = 0;
   uint64_t PersistFailures = 0;
+  /// Replication counters (zero unless this server has peers).
+  uint64_t MergesIngested = 0;       ///< MergePatches frames accepted
+  uint64_t ReplicatedSummaries = 0;  ///< ReplicateSummary frames applied
+  uint64_t DuplicatesSuppressed = 0; ///< summary tokens seen twice
 };
 
 /// Wraps a DiagnosisPipeline behind the framed wire protocol.
@@ -76,6 +102,18 @@ public:
   /// current again.
   bool attachState(StateStore &Store, unsigned SnapshotInterval = 64,
                    std::string *ErrorOut = nullptr);
+
+  /// Attaches the replication sink that receives locally accepted state
+  /// changes (see ReplicationSink).  Attach before serving; pass
+  /// nullptr to detach.
+  void attachReplication(ReplicationSink *Sink) { Replica = Sink; }
+
+  /// Max-merges \p Delta into the active set as a *remote-origin*
+  /// change: journaled like any submission but never forwarded to the
+  /// replication sink (the anti-entropy pull path; the wire-side
+  /// MergePatches handler is the same logic).  Returns true when the
+  /// merge changed the active set.
+  bool mergePatches(const PatchSet &Delta);
 
   /// Snapshots the current state to the attached store (shutdown path,
   /// and the every-N compaction); true when no store is attached or the
@@ -131,6 +169,11 @@ private:
   /// (the journal IO must never stall fetches waiting on Mutex).
   void persistQueued();
 
+  /// Records \p Token in the duplicate-suppression window; returns
+  /// false when it was already there (a retry to suppress).  Token 0 is
+  /// always fresh.  Call under Mutex.
+  bool noteToken(uint64_t Token);
+
   mutable std::mutex Mutex;
   DiagnosisPipeline Pipeline;
   PatchServerStats Stats;
@@ -140,6 +183,14 @@ private:
   /// internally synchronized for enqueue/drain).
   StateStore *Store = nullptr;
   unsigned SnapshotInterval = 64;
+  /// Replication sink (optional; set before serving).
+  ReplicationSink *Replica = nullptr;
+  /// Two-generation token window: lookups hit both sets, inserts go to
+  /// Current; when Current fills, Previous is dropped and the sets
+  /// rotate.  Bounds memory while keeping any token for at least
+  /// TokenWindow further submissions — far past any retry budget.
+  static constexpr size_t TokenWindow = 4096;
+  std::unordered_set<uint64_t> TokensCurrent, TokensPrevious;
 };
 
 } // namespace exterminator

@@ -60,6 +60,25 @@ bool exterminator::parseEndpoint(const std::string &Spec, Endpoint &Out) {
   return false;
 }
 
+bool exterminator::parseEndpointList(const std::string &Spec,
+                                     std::vector<Endpoint> &Out) {
+  Out.clear();
+  size_t Begin = 0;
+  while (Begin <= Spec.size()) {
+    size_t End = Spec.find(',', Begin);
+    if (End == std::string::npos)
+      End = Spec.size();
+    Endpoint Ep;
+    if (!parseEndpoint(Spec.substr(Begin, End - Begin), Ep))
+      return false;
+    Out.push_back(Ep);
+    Begin = End + 1;
+    if (End == Spec.size())
+      break;
+  }
+  return !Out.empty();
+}
+
 std::string exterminator::endpointToString(const Endpoint &Ep) {
   if (Ep.Family == Endpoint::Unix)
     return "unix:" + Ep.Path;
@@ -163,7 +182,15 @@ static FrameRead readFrameBytes(
 // SocketClientTransport
 //===----------------------------------------------------------------------===//
 
-int SocketClientTransport::connectToServer() const {
+bool SocketClientTransport::fail(const std::string &Context, int Errno) {
+  LastError = endpointToString(Server) + ": " + Context;
+  if (Errno != 0)
+    LastError += std::string(": ") + std::strerror(Errno);
+  return false;
+}
+
+int SocketClientTransport::connectToServer() {
+  int LastErrno = 0;
   for (unsigned Attempt = 0;; ++Attempt) {
     int Fd = -1;
     if (Server.Family == Endpoint::Unix) {
@@ -176,8 +203,11 @@ int SocketClientTransport::connectToServer() const {
         if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
                       sizeof(Addr)) == 0)
           return Fd;
+        LastErrno = errno;
         ::close(Fd);
         Fd = -1;
+      } else {
+        LastErrno = errno;
       }
     } else {
       Fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -189,12 +219,17 @@ int SocketClientTransport::connectToServer() const {
             ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
                       sizeof(Addr)) == 0)
           return Fd;
+        LastErrno = errno;
         ::close(Fd);
         Fd = -1;
+      } else {
+        LastErrno = errno;
       }
     }
-    if (Attempt >= ConnectRetries)
+    if (Attempt >= ConnectRetries) {
+      fail("connect failed", LastErrno);
       return -1;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 }
@@ -203,24 +238,33 @@ bool SocketClientTransport::exchange(
     const std::vector<std::vector<uint8_t>> &Requests,
     std::vector<std::vector<uint8_t>> &ResponsesOut) {
   ResponsesOut.clear();
+  LastError.clear();
   if (Requests.empty())
     return true;
   const int Fd = connectToServer();
   if (Fd < 0)
-    return false;
+    return false; // connectToServer recorded the reason
 
   // Pipeline: all requests out, then one response per request.  The
   // server answers in order, so no request ids are needed.
   bool Ok = true;
   for (const std::vector<uint8_t> &Request : Requests)
     if (!sendAll(Fd, Request.data(), Request.size())) {
-      Ok = false;
+      Ok = fail("send failed", errno);
       break;
     }
   for (size_t I = 0; Ok && I < Requests.size(); ++I) {
     std::vector<uint8_t> Response;
-    if (readFrameBytes(Fd, Response) != FrameRead::Frame) {
-      Ok = false;
+    const FrameRead Read = readFrameBytes(Fd, Response);
+    if (Read != FrameRead::Frame) {
+      // errno is only meaningful when recv actually failed; a clean
+      // close or a short/garbled frame is a protocol-level report.
+      Ok = fail(Read == FrameRead::CleanEof
+                    ? "connection closed before reply " +
+                          std::to_string(I + 1) + " of " +
+                          std::to_string(Requests.size())
+                    : "short or garbled reply frame",
+                0);
       break;
     }
     ResponsesOut.push_back(std::move(Response));

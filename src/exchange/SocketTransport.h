@@ -56,6 +56,11 @@ struct Endpoint {
 /// anything else.
 bool parseEndpoint(const std::string &Spec, Endpoint &Out);
 
+/// Parses a comma-separated endpoint list — the failover spelling the
+/// CLI accepts ("unix:/a.sock,tcp:7302,tcp:10.0.0.3:7303"); order is
+/// preference order.  False on an empty list or any bad element.
+bool parseEndpointList(const std::string &Spec, std::vector<Endpoint> &Out);
+
 /// Renders an endpoint back to its string spelling.
 std::string endpointToString(const Endpoint &Ep);
 
@@ -67,7 +72,8 @@ public:
   /// \param ConnectRetries extra connect attempts (50 ms apart) before
   ///        giving up — absorbs the server-startup race in scripted use
   ///        (CI starts `xtermtool serve` in the background and submits
-  ///        immediately).
+  ///        immediately).  Pass 0 when a failover wrapper owns the
+  ///        retry policy.
   explicit SocketClientTransport(const Endpoint &Server,
                                  unsigned ConnectRetries = 40)
       : Server(Server), ConnectRetries(ConnectRetries) {}
@@ -75,11 +81,20 @@ public:
   bool exchange(const std::vector<std::vector<uint8_t>> &Requests,
                 std::vector<std::vector<uint8_t>> &ResponsesOut) override;
 
+  /// "<endpoint>: <what failed>: <strerror>" for the last failure.
+  std::string lastError() const override { return LastError; }
+
+  const Endpoint &serverEndpoint() const { return Server; }
+
 private:
-  int connectToServer() const;
+  int connectToServer();
+  /// Records "<endpoint>: <Context>[: strerror(Errno)]"; returns false
+  /// so failure paths read `return fail(...)`.
+  bool fail(const std::string &Context, int Errno);
 
   Endpoint Server;
   unsigned ConnectRetries;
+  std::string LastError;
 };
 
 /// Socket front-end for a PatchServer: accepts connections and pumps

@@ -6,6 +6,9 @@
 #include "patch/PatchIO.h"
 #include "support/Serializer.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #include <utility>
@@ -14,13 +17,22 @@ using namespace exterminator;
 
 static constexpr uint32_t SnapshotMagic = 0x58535431; // "XST1"
 static constexpr uint32_t JournalMagic = 0x58534A31;  // "XSJ1"
-static constexpr uint8_t StateVersion = 1;
+static constexpr uint8_t SnapshotVersion = 1;
+/// Journal format: v1 (PR 5) has no token field; v2 appends the dedup
+/// token to summary records.  Both load; new journals are written as v2.
+static constexpr uint8_t JournalVersionLegacy = 1;
+static constexpr uint8_t JournalVersion = 2;
 /// Journal header: magic + version + generation.
 static constexpr size_t JournalHeaderBytes = 4 + 1 + 8;
 /// Record size bound: protects the loader from sizing a buffer off a
 /// corrupt length prefix (the same reasoning as MaxFramePayload, and
 /// journal records are re-encodings of wire payloads anyway).
 static constexpr uint32_t MaxJournalRecordBytes = MaxFramePayload;
+
+/// Pre-rotation layouts used one fixed snapshot name.
+static constexpr const char *LegacySnapshotName = "snapshot.xst";
+static constexpr const char *SnapshotPrefix = "snapshot-";
+static constexpr const char *SnapshotSuffix = ".xst";
 
 StateStore::StateStore(const std::string &Directory) : Dir(Directory) {
   // Best-effort create; an unusable directory surfaces as a failed
@@ -30,8 +42,73 @@ StateStore::StateStore(const std::string &Directory) : Dir(Directory) {
 
 StateStore::~StateStore() { closeJournal(); }
 
-std::string StateStore::snapshotPath() const { return Dir + "/snapshot.xst"; }
+std::string StateStore::rotatedSnapshotPath(uint64_t Gen) const {
+  // Zero-padded so lexicographic order equals generation order in
+  // directory listings (a debugging nicety; load() parses the number).
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "%s%020llu%s", SnapshotPrefix,
+                static_cast<unsigned long long>(Gen), SnapshotSuffix);
+  return Dir + "/" + Name;
+}
+
 std::string StateStore::journalPath() const { return Dir + "/journal.xsj"; }
+
+/// Parses a rotated snapshot filename; returns false for anything else.
+static bool parseSnapshotName(const std::string &Name, uint64_t &GenOut) {
+  const std::string Prefix = SnapshotPrefix;
+  const std::string Suffix = SnapshotSuffix;
+  if (Name.size() <= Prefix.size() + Suffix.size() ||
+      Name.compare(0, Prefix.size(), Prefix) != 0 ||
+      Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  const std::string Digits =
+      Name.substr(Prefix.size(), Name.size() - Prefix.size() - Suffix.size());
+  if (Digits.empty() ||
+      Digits.find_first_not_of("0123456789") != std::string::npos ||
+      Digits.size() > 20)
+    return false;
+  GenOut = 0;
+  for (char C : Digits) {
+    if (GenOut > (~uint64_t(0) - (C - '0')) / 10)
+      return false; // overflow: not a generation this class wrote
+    GenOut = GenOut * 10 + uint64_t(C - '0');
+  }
+  return true;
+}
+
+/// Lists rotated snapshots, newest generation first.
+static std::vector<std::pair<uint64_t, std::string>>
+listRotatedSnapshots(const std::string &Dir) {
+  std::vector<std::pair<uint64_t, std::string>> Found;
+  if (DIR *Handle = ::opendir(Dir.c_str())) {
+    while (dirent *Entry = ::readdir(Handle)) {
+      uint64_t Gen = 0;
+      if (parseSnapshotName(Entry->d_name, Gen))
+        Found.emplace_back(Gen, Dir + "/" + Entry->d_name);
+    }
+    ::closedir(Handle);
+  }
+  std::sort(Found.begin(), Found.end(),
+            [](const auto &A, const auto &B) { return A.first > B.first; });
+  return Found;
+}
+
+std::string StateStore::snapshotPath() const {
+  const auto Rotated = listRotatedSnapshots(Dir);
+  if (!Rotated.empty())
+    return Rotated.front().second;
+  return Dir + "/" + LegacySnapshotName;
+}
+
+std::vector<std::string> StateStore::snapshotFiles() const {
+  std::vector<std::string> Paths;
+  for (const auto &[Gen, Path] : listRotatedSnapshots(Dir))
+    Paths.push_back(Path);
+  const std::string Legacy = Dir + "/" + LegacySnapshotName;
+  if (::access(Legacy.c_str(), F_OK) == 0)
+    Paths.push_back(Legacy);
+  return Paths;
+}
 
 uint64_t StateStore::appendedSinceSnapshot() const {
   return Appended.load(std::memory_order_relaxed);
@@ -59,11 +136,13 @@ encodeRecord(const StateStore::JournalRecord &Record) {
   } else {
     Writer.writeVarU64(Record.CleanStreak);
     Writer.writeBlob(serializeRunSummary(Record.Summary));
+    Writer.writeU64(Record.Token);
   }
   return Writer.buffer();
 }
 
 static bool decodeRecord(const uint8_t *Data, size_t Size,
+                         uint8_t JournalFormat,
                          StateStore::JournalRecord &Out) {
   ByteReader Reader(Data, Size);
   Out.RecordKind = Reader.readU8();
@@ -75,9 +154,33 @@ static bool decodeRecord(const uint8_t *Data, size_t Size,
     Out.CleanStreak = static_cast<unsigned>(Reader.readVarU64());
     if (!deserializeRunSummary(Reader.readBlob(), Out.Summary))
       return false;
+    // v1 journals predate submission tokens; a zero token is never
+    // suppressed, which is the right degradation for pre-upgrade
+    // records.
+    Out.Token =
+        JournalFormat >= JournalVersion ? Reader.readU64() : uint64_t(0);
   } else {
     return false;
   }
+  return !Reader.failed() && Reader.atEnd();
+}
+
+/// Validates one snapshot file: checksum over everything, then magic,
+/// version, generation, state blob.
+static bool readSnapshotFile(const std::string &Path, uint64_t &GenOut,
+                             std::vector<uint8_t> &StateOut) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes) || Bytes.size() <= 4)
+    return false;
+  const uint32_t StoredCheck = readFrameU32(Bytes.data() + Bytes.size() - 4);
+  if (frameChecksum(Bytes.data(), Bytes.size() - 4) != StoredCheck)
+    return false;
+  ByteReader Reader(Bytes.data(), Bytes.size() - 4);
+  if (Reader.readU32() != SnapshotMagic ||
+      Reader.readU8() != SnapshotVersion)
+    return false;
+  GenOut = Reader.readU64();
+  StateOut = Reader.readBlob();
   return !Reader.failed() && Reader.atEnd();
 }
 
@@ -87,31 +190,42 @@ StateStore::load(std::vector<uint8_t> &SnapshotStateOut,
   SnapshotStateOut.clear();
   RecordsOut.clear();
 
-  std::vector<uint8_t> SnapBytes;
-  const bool HaveSnapshot = readFileBytes(snapshotPath(), SnapBytes);
+  // Candidate snapshots, newest first; the legacy single-file layout is
+  // the oldest candidate (it predates every rotated generation this
+  // store would have written after upgrading).
+  std::vector<std::string> Candidates;
+  uint64_t NewestNamedGen = 0;
+  for (const auto &[Gen, Path] : listRotatedSnapshots(Dir)) {
+    NewestNamedGen = std::max(NewestNamedGen, Gen);
+    Candidates.push_back(Path);
+  }
+  {
+    const std::string Legacy = Dir + "/" + LegacySnapshotName;
+    if (::access(Legacy.c_str(), F_OK) == 0)
+      Candidates.push_back(Legacy);
+  }
+
   std::vector<uint8_t> JournalBytes;
   const bool HaveJournal = readFileBytes(journalPath(), JournalBytes);
 
-  if (!HaveSnapshot) {
-    // A journal without its snapshot means the directory lost a file —
+  if (Candidates.empty()) {
+    // A journal without any snapshot means the directory lost a file —
     // replaying deltas against empty state would fabricate a history.
     return HaveJournal ? LoadResult::Corrupt : LoadResult::Fresh;
   }
 
-  // The trailing checksum covers everything before it, so a truncated
-  // or bit-flipped snapshot is rejected before any field is trusted.
-  if (SnapBytes.size() <= 4)
-    return LoadResult::Corrupt;
-  const uint32_t StoredCheck =
-      readFrameU32(SnapBytes.data() + SnapBytes.size() - 4);
-  if (frameChecksum(SnapBytes.data(), SnapBytes.size() - 4) != StoredCheck)
-    return LoadResult::Corrupt;
-  ByteReader Reader(SnapBytes.data(), SnapBytes.size() - 4);
-  if (Reader.readU32() != SnapshotMagic || Reader.readU8() != StateVersion)
-    return LoadResult::Corrupt;
-  const uint64_t SnapshotGen = Reader.readU64();
-  std::vector<uint8_t> State = Reader.readBlob();
-  if (Reader.failed() || !Reader.atEnd())
+  uint64_t ChosenGen = 0;
+  std::vector<uint8_t> State;
+  bool Loaded = false;
+  bool SkippedCorrupt = false;
+  for (const std::string &Path : Candidates) {
+    if (readSnapshotFile(Path, ChosenGen, State)) {
+      Loaded = true;
+      break;
+    }
+    SkippedCorrupt = true;
+  }
+  if (!Loaded)
     return LoadResult::Corrupt;
 
   if (HaveJournal) {
@@ -125,41 +239,55 @@ StateStore::load(std::vector<uint8_t> &SnapshotStateOut,
     const uint32_t Magic = Header.readU32();
     const uint8_t Version = Header.readU8();
     const uint64_t JournalGen = Header.readU64();
-    if (Magic != JournalMagic || Version != StateVersion)
+    if (Magic != JournalMagic ||
+        (Version != JournalVersionLegacy && Version != JournalVersion))
       return LoadResult::Corrupt;
-    {
-      // A journal generation *ahead* of the snapshot cannot come from
-      // this class's write ordering (snapshot first, then journal
-      // reset); the directory mixes state from different servers.
-      if (JournalGen > SnapshotGen)
-        return LoadResult::Corrupt;
-      if (JournalGen == SnapshotGen) {
-        // Stale generations (JournalGen < SnapshotGen) are the normal
-        // crash window between snapshot rename and journal reset: the
-        // records are already inside the snapshot, so skip them.
-        size_t Offset = JournalHeaderBytes;
-        while (JournalBytes.size() - Offset >= 8) {
-          const uint32_t Length = readFrameU32(JournalBytes.data() + Offset);
-          if (Length > MaxJournalRecordBytes)
-            break;
-          if (JournalBytes.size() - Offset - 4 < uint64_t(Length) + 4)
-            break; // torn tail: the record a crash interrupted
-          const uint8_t *Record = JournalBytes.data() + Offset + 4;
-          if (frameChecksum(Record, Length) != readFrameU32(Record + Length))
-            break;
-          JournalRecord Decoded;
-          if (!decodeRecord(Record, Length, Decoded))
-            break;
-          RecordsOut.push_back(std::move(Decoded));
-          Offset += 4 + size_t(Length) + 4;
-        }
+    // A journal generation no snapshot file accounts for cannot come
+    // from this class's write ordering (snapshot first, then journal
+    // reset); the directory mixes state from different servers.  When
+    // the journal's own snapshot is the corrupt head being skipped, the
+    // journal is sacrificed with it: its records applied on top of a
+    // state we can no longer read.
+    if (JournalGen > ChosenGen && JournalGen > NewestNamedGen &&
+        !SkippedCorrupt)
+      return LoadResult::Corrupt;
+    if (JournalGen == ChosenGen) {
+      // Generations behind the snapshot (the normal crash window
+      // between snapshot rename and journal reset) are already inside
+      // it, so only the exact pair replays.
+      size_t Offset = JournalHeaderBytes;
+      while (JournalBytes.size() - Offset >= 8) {
+        const uint32_t Length = readFrameU32(JournalBytes.data() + Offset);
+        if (Length > MaxJournalRecordBytes)
+          break;
+        if (JournalBytes.size() - Offset - 4 < uint64_t(Length) + 4)
+          break; // torn tail: the record a crash interrupted
+        const uint8_t *Record = JournalBytes.data() + Offset + 4;
+        if (frameChecksum(Record, Length) != readFrameU32(Record + Length))
+          break;
+        JournalRecord Decoded;
+        if (!decodeRecord(Record, Length, Version, Decoded))
+          break;
+        RecordsOut.push_back(std::move(Decoded));
+        Offset += 4 + size_t(Length) + 4;
       }
     }
   }
 
-  Generation = SnapshotGen;
+  Generation = std::max(ChosenGen, NewestNamedGen);
   SnapshotStateOut = std::move(State);
   return LoadResult::Restored;
+}
+
+void StateStore::pruneSnapshots(uint64_t NewestGen) {
+  // Retention: keep the newest SnapshotKeep generations; everything
+  // older (and any legacy single-file snapshot, now superseded) goes.
+  // Best-effort — a prune that fails leaves extra fallbacks, never
+  // less state.
+  for (const auto &[Gen, Path] : listRotatedSnapshots(Dir))
+    if (Gen + SnapshotKeep <= NewestGen)
+      ::unlink(Path.c_str());
+  ::unlink((Dir + "/" + LegacySnapshotName).c_str());
 }
 
 bool StateStore::writeSnapshot(const std::vector<uint8_t> &PipelineState) {
@@ -177,13 +305,14 @@ bool StateStore::writeSnapshot(const std::vector<uint8_t> &PipelineState) {
   const uint64_t NextGen = Generation + 1;
   ByteWriter Writer;
   Writer.writeU32(SnapshotMagic);
-  Writer.writeU8(StateVersion);
+  Writer.writeU8(SnapshotVersion);
   Writer.writeU64(NextGen);
   Writer.writeBlob(PipelineState);
   Writer.writeU32(frameChecksum(Writer.buffer().data(), Writer.size()));
-  if (!writeFileBytes(snapshotPath(), Writer.buffer()))
+  if (!writeFileBytes(rotatedSnapshotPath(NextGen), Writer.buffer()))
     return false;
   Generation = NextGen;
+  pruneSnapshots(NextGen);
 
   // Reset the journal to the new generation.  A crash between the two
   // writeFileBytes calls leaves a stale-generation journal that load()
@@ -191,7 +320,7 @@ bool StateStore::writeSnapshot(const std::vector<uint8_t> &PipelineState) {
   // instead of appending records the next load would mispair.
   ByteWriter Header;
   Header.writeU32(JournalMagic);
-  Header.writeU8(StateVersion);
+  Header.writeU8(JournalVersion);
   Header.writeU64(NextGen);
   if (!writeFileBytes(journalPath(), Header.buffer()))
     return false;

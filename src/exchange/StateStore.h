@@ -10,28 +10,39 @@
 /// survives the server process — the §5.1 Bayesian classifier needs the
 /// full trial history, not just the patches it has derived so far.
 ///
-/// A state directory holds two files:
+/// A state directory holds a ring of snapshots plus one journal:
 ///
-///  * `snapshot.xst` ("XST1") — a checksummed snapshot of the full
-///    diagnostic state (DiagnosisPipeline::serializeState: epoch, active
-///    patch set, cumulative isolator with its running Bayes sums) plus a
-///    generation counter.  Snapshots are written through the crash-safe
-///    writeFileBytes (temp file + fsync + rename), so a crash mid-write
-///    leaves the previous snapshot intact.
+///  * `snapshot-<generation>.xst` ("XST1") — checksummed snapshots of
+///    the full diagnostic state (DiagnosisPipeline::serializeState:
+///    epoch, active patch set, cumulative isolator with its running
+///    Bayes sums), one file per generation, the last K generations
+///    retained (setSnapshotKeep; default 2).  Each is written through
+///    the crash-safe writeFileBytes (temp file + fsync + rename), so a
+///    crash mid-write leaves prior snapshots intact; keeping more than
+///    one means even external corruption of the newest file (the disk,
+///    not this class) degrades to the previous generation instead of an
+///    unusable directory.  The pre-rotation single `snapshot.xst`
+///    layout still loads.
 ///
 ///  * `journal.xsj` ("XSJ1") — an append-only journal of the accepted
-///    state-changing submissions since the snapshot.  Each record is
-///    length-prefixed and checksummed and carries the epoch the server
-///    held after applying it; replaying the journal on top of its
-///    snapshot reproduces the exact pre-crash state, and a torn tail
-///    (the record a crash interrupted) is detected and skipped.
+///    state-changing submissions since the newest snapshot.  Each
+///    record is length-prefixed and checksummed and carries the epoch
+///    the server held after applying it; replaying the journal on top
+///    of its snapshot reproduces the exact pre-crash state, and a torn
+///    tail (the record a crash interrupted) is detected and skipped.
+///    Header version 2 records also carry the submission's dedup token
+///    (version-1 journals still load, with zero tokens).
 ///
-/// The generation counter pairs the two files: a snapshot write bumps it
-/// and resets the journal, so a crash between those steps leaves a
-/// stale-generation journal that load() ignores (its records are already
-/// inside the snapshot).  A journal generation *newer* than the snapshot
-/// can only mean the directory holds files from different servers —
-/// load() reports it as corrupt rather than guessing.
+/// The generation counter pairs the journal with its snapshot: a
+/// snapshot write bumps it and resets the journal, so a crash between
+/// those steps leaves a stale-generation journal that load() ignores
+/// (its records are already inside the snapshot).  load() restores the
+/// newest snapshot that validates; the journal replays only on top of
+/// its exact-generation snapshot — when that snapshot is the corrupt
+/// one being skipped, the journal is sacrificed with it (falling back a
+/// generation is lossy by definition).  A journal generation ahead of
+/// *every* snapshot present can only mean the directory mixes files
+/// from different servers — that stays Corrupt rather than a guess.
 ///
 /// Write path: callers enqueue() encoded records while holding whatever
 /// lock orders their application (the patch server's pipeline mutex —
@@ -84,6 +95,9 @@ public:
     PatchSet PatchDelta;      ///< PatchesKind
     RunSummary Summary;       ///< SummaryKind
     unsigned CleanStreak = 0; ///< SummaryKind
+    /// SummaryKind: the submission's dedup token, so a replayed server
+    /// still suppresses a client retry that straddles its restart.
+    uint64_t Token = 0;
   };
 
   enum class LoadResult {
@@ -93,14 +107,25 @@ public:
   };
 
   /// Reads the directory's state: on Restored, \p SnapshotStateOut holds
-  /// the pipeline-state blob and \p RecordsOut the journal records to
-  /// replay on top of it, in append order.  A torn journal tail is
-  /// skipped (everything before it is returned); a stale-generation
-  /// journal is ignored wholesale.  A truncated or corrupted snapshot —
-  /// impossible through this class's own writes, which replace
-  /// atomically — returns Corrupt.
+  /// the pipeline-state blob of the newest snapshot that validates and
+  /// \p RecordsOut the journal records to replay on top of it, in
+  /// append order.  A torn journal tail is skipped (everything before
+  /// it is returned); a journal whose generation does not match the
+  /// chosen snapshot is ignored wholesale (stale, or paired with a
+  /// corrupt head snapshot that was skipped).  Corrupt means nothing in
+  /// the directory is servable: every snapshot fails validation, or a
+  /// journal claims a generation no snapshot file accounts for.
   LoadResult load(std::vector<uint8_t> &SnapshotStateOut,
                   std::vector<JournalRecord> &RecordsOut);
+
+  /// Retention: how many generation-numbered snapshots writeSnapshot
+  /// leaves on disk (clamped to >= 1; default 2 — the head plus one
+  /// fallback).  Call before attaching.
+  void setSnapshotKeep(unsigned Keep) { SnapshotKeep = Keep ? Keep : 1; }
+
+  /// The on-disk snapshot files, newest generation first (observability
+  /// for the retention tests and the CLI).
+  std::vector<std::string> snapshotFiles() const;
 
   /// Writes \p PipelineState as the new snapshot (crash-safe replace),
   /// bumps the generation, and resets the journal — including any
@@ -126,16 +151,21 @@ public:
   uint64_t appendedSinceSnapshot() const;
 
   const std::string &directory() const { return Dir; }
+  /// Path of the newest on-disk snapshot (the head of the ring), or of
+  /// the legacy single-file layout when only that exists.
   std::string snapshotPath() const;
   std::string journalPath() const;
 
 private:
   bool openJournalForAppend();
   void closeJournal();
+  std::string rotatedSnapshotPath(uint64_t Gen) const;
+  void pruneSnapshots(uint64_t NewestGen);
 
   std::string Dir;
   /// Snapshot/journal pairing counter; 0 until the first snapshot.
   uint64_t Generation = 0;
+  unsigned SnapshotKeep = 2;
 
   std::mutex QueueMutex;
   std::vector<std::vector<uint8_t>> Queue;

@@ -25,6 +25,7 @@
 #define EXTERMINATOR_EXCHANGE_TRANSPORT_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace exterminator {
@@ -41,6 +42,13 @@ public:
   /// contents of \p ResponsesOut are then unspecified).
   virtual bool exchange(const std::vector<std::vector<uint8_t>> &Requests,
                         std::vector<std::vector<uint8_t>> &ResponsesOut) = 0;
+
+  /// Human-readable reason for the most recent exchange() failure —
+  /// endpoint and errno for sockets, the per-endpoint roll-up for
+  /// failover — so a failed submission names what broke instead of a
+  /// bare false.  Empty when nothing failed (or the transport cannot
+  /// say).
+  virtual std::string lastError() const { return {}; }
 };
 
 /// In-process transport: requests go straight to a PatchServer.

@@ -24,11 +24,15 @@ static bool isKnownType(uint8_t Type) {
   case MessageType::SubmitSummary:
   case MessageType::FetchPatches:
   case MessageType::Shutdown:
+  case MessageType::MergePatches:
+  case MessageType::ReplicateSummary:
   case MessageType::SubmitImagesReply:
   case MessageType::SubmitSummaryReply:
   case MessageType::PatchesReply:
   case MessageType::ShutdownReply:
   case MessageType::ErrorReply:
+  case MessageType::MergePatchesReply:
+  case MessageType::ReplicateReply:
     return true;
   }
   return false;
@@ -141,10 +145,11 @@ bool exterminator::decodeSubmitImages(const std::vector<uint8_t> &Payload,
 
 std::vector<uint8_t>
 exterminator::encodeSubmitSummary(const RunSummary &Summary,
-                                  unsigned CleanStreak) {
+                                  unsigned CleanStreak, uint64_t Token) {
   std::vector<uint8_t> Payload;
   VectorSink Sink(Payload);
   StreamWriter Writer(Sink);
+  Writer.writeU64(Token);
   Writer.writeVarU64(CleanStreak);
   const std::vector<uint8_t> Blob = serializeRunSummary(Summary);
   Writer.writeVarU64(Blob.size());
@@ -154,9 +159,11 @@ exterminator::encodeSubmitSummary(const RunSummary &Summary,
 
 bool exterminator::decodeSubmitSummary(const std::vector<uint8_t> &Payload,
                                        RunSummary &SummaryOut,
-                                       unsigned &CleanStreakOut) {
+                                       unsigned &CleanStreakOut,
+                                       uint64_t &TokenOut) {
   MemorySource Source(Payload);
   StreamReader Reader(Source);
+  TokenOut = Reader.readU64();
   const uint64_t Streak = Reader.readVarU64();
   const uint64_t BlobSize = Reader.readVarU64();
   if (Reader.failed() || Streak > ~0u || BlobSize > Payload.size())
@@ -324,6 +331,81 @@ bool exterminator::decodePatchesReply(const std::vector<uint8_t> &Payload,
     if (!deserializePatchSet(Blob, ReplyOut.Patches))
       return false;
   }
+  return Source.remaining() == 0;
+}
+
+std::vector<uint8_t>
+exterminator::encodeMergePatches(const PatchSet &Delta) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  const std::vector<uint8_t> Blob = serializePatchSet(Delta);
+  Writer.writeVarU64(Blob.size());
+  Writer.writeBytes(Blob.data(), Blob.size());
+  return Payload;
+}
+
+bool exterminator::decodeMergePatches(const std::vector<uint8_t> &Payload,
+                                      PatchSet &DeltaOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  const uint64_t BlobSize = Reader.readVarU64();
+  if (Reader.failed() || BlobSize > Payload.size())
+    return false;
+  std::vector<uint8_t> Blob(BlobSize);
+  if (!Reader.readBytes(Blob.data(), Blob.size()))
+    return false;
+  if (Source.remaining() != 0)
+    return false;
+  DeltaOut.clear();
+  return deserializePatchSet(Blob, DeltaOut);
+}
+
+std::vector<uint8_t>
+exterminator::encodeMergeReply(const MergeReply &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeU8(Reply.Changed ? 1 : 0);
+  return Payload;
+}
+
+bool exterminator::decodeMergeReply(const std::vector<uint8_t> &Payload,
+                                    MergeReply &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  const uint8_t Changed = Reader.readU8();
+  if (Reader.failed() || Changed > 1)
+    return false;
+  ReplyOut.Changed = Changed != 0;
+  return Source.remaining() == 0;
+}
+
+std::vector<uint8_t>
+exterminator::encodeReplicateReply(const ReplicateAck &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeU8(Reply.Applied ? 1 : 0);
+  return Payload;
+}
+
+bool exterminator::decodeReplicateReply(const std::vector<uint8_t> &Payload,
+                                        ReplicateAck &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  const uint8_t Applied = Reader.readU8();
+  if (Reader.failed() || Applied > 1)
+    return false;
+  ReplyOut.Applied = Applied != 0;
   return Source.remaining() == 0;
 }
 

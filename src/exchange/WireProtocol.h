@@ -28,6 +28,17 @@
 /// cross-image site dictionary each), run summaries and patch sets in
 /// their existing serialized forms, plus varint-packed scalars.
 ///
+/// Version history: v1 was the single-server protocol.  v2 adds the
+/// replication messages (MergePatches, ReplicateSummary) and prefixes
+/// every summary submission with a random u64 *submission token*.  The
+/// token is what makes summaries safe to retry: patch merges are
+/// idempotent under max-merge, but a run summary grows the Bayesian
+/// trial history every time it is applied, so a client retry after a
+/// lost reply (or a replica forwarding a summary the origin also
+/// retried) would double-count trials.  Servers remember recently seen
+/// tokens and answer a duplicate with their current state instead of
+/// re-applying it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_EXCHANGE_WIREPROTOCOL_H
@@ -44,7 +55,7 @@ namespace exterminator {
 
 /// Protocol constants.
 inline constexpr uint32_t FrameMagic = 0x58504631; // "XPF1"
-inline constexpr uint8_t ProtocolVersion = 1;
+inline constexpr uint8_t ProtocolVersion = 2;
 /// Bytes of frame header before the payload: magic + version + type +
 /// payload length.
 inline constexpr size_t FrameHeaderBytes = 10;
@@ -57,9 +68,19 @@ inline constexpr uint32_t MaxFramePayload = 64u << 20;
 enum class MessageType : uint8_t {
   // Requests.
   SubmitImages = 1,  ///< payload: ImageBundle primary ++ ImageBundle fallback
-  SubmitSummary = 2, ///< payload: varint CleanStreak ++ RunSummary blob
+  SubmitSummary = 2, ///< payload: u64 token ++ varint CleanStreak ++ blob
   FetchPatches = 3,  ///< payload: u64 instance ++ u64 epoch the client holds
   Shutdown = 4,      ///< payload: empty (admin; server stops serving)
+  /// Peer-to-peer: max-merge a serialized PatchSet into the active set.
+  /// Carries either one journaled delta (streaming replication) or a
+  /// peer's full set (anti-entropy); max-merge makes the two
+  /// indistinguishable and the message idempotent.
+  MergePatches = 5, ///< payload: length-prefixed PatchSet
+  /// Peer-to-peer: a run summary forwarded by the server that accepted
+  /// it.  Same payload as SubmitSummary; a separate type because the
+  /// receiver must *not* forward it again (no-restream rule, see
+  /// Replication.h) and answers with a cheap ack, not a diagnosis.
+  ReplicateSummary = 6, ///< payload: u64 token ++ varint CleanStreak ++ blob
 
   // Replies.  Every substantive reply leads with the server's
   // u64 instance ++ u64 epoch (see encodeFetchPatches on why the pair).
@@ -68,6 +89,8 @@ enum class MessageType : uint8_t {
   PatchesReply = 66,       ///< ++ u8 modified, [length-prefixed PatchSet]
   ShutdownReply = 67,      ///< payload: empty
   ErrorReply = 68,         ///< payload: length-prefixed message string
+  MergePatchesReply = 69,  ///< ++ u8 changed
+  ReplicateReply = 70,     ///< ++ u8 applied (0: duplicate suppressed)
 };
 
 inline bool isReply(MessageType Type) {
@@ -124,10 +147,16 @@ bool decodeSubmitImages(const std::vector<uint8_t> &Payload,
 
 /// SubmitSummary: the §5 per-run statistics plus the client's clean-run
 /// streak (drives the §6.2 deferral-doubling rule server-side).
+/// \p Token is the submission's random retry-dedup identity (see the
+/// file comment); 0 means "untracked" and is never suppressed.  The
+/// same codec carries ReplicateSummary, which forwards the origin's
+/// token so a retry suppressed anywhere is suppressed everywhere.
 std::vector<uint8_t> encodeSubmitSummary(const RunSummary &Summary,
-                                         unsigned CleanStreak);
+                                         unsigned CleanStreak,
+                                         uint64_t Token);
 bool decodeSubmitSummary(const std::vector<uint8_t> &Payload,
-                         RunSummary &SummaryOut, unsigned &CleanStreakOut);
+                         RunSummary &SummaryOut, unsigned &CleanStreakOut,
+                         uint64_t &TokenOut);
 
 /// FetchPatches: what the client already holds.  Epochs are only
 /// comparable within one server instance — a restarted server counts
@@ -177,6 +206,35 @@ struct PatchesReply {
 std::vector<uint8_t> encodePatchesReply(const PatchesReply &Reply);
 bool decodePatchesReply(const std::vector<uint8_t> &Payload,
                         PatchesReply &ReplyOut);
+
+/// MergePatches: a patch-set delta (or full set) to max-merge into the
+/// receiver's active set.
+std::vector<uint8_t> encodeMergePatches(const PatchSet &Delta);
+bool decodeMergePatches(const std::vector<uint8_t> &Payload,
+                        PatchSet &DeltaOut);
+
+/// MergePatchesReply: the receiver's identity/epoch after the merge and
+/// whether the merge changed anything (what lets an anti-entropy pusher
+/// cache "this peer already holds my set").
+struct MergeReply {
+  uint64_t Instance = 0;
+  uint64_t Epoch = 0;
+  bool Changed = false;
+};
+std::vector<uint8_t> encodeMergeReply(const MergeReply &Reply);
+bool decodeMergeReply(const std::vector<uint8_t> &Payload,
+                      MergeReply &ReplyOut);
+
+/// ReplicateReply: ack for a forwarded summary.  Applied=false means
+/// the token was a known duplicate and the summary was suppressed.
+struct ReplicateAck {
+  uint64_t Instance = 0;
+  uint64_t Epoch = 0;
+  bool Applied = false;
+};
+std::vector<uint8_t> encodeReplicateReply(const ReplicateAck &Reply);
+bool decodeReplicateReply(const std::vector<uint8_t> &Payload,
+                          ReplicateAck &ReplyOut);
 
 /// ErrorReply: a short human-readable reason.
 std::vector<uint8_t> encodeErrorReply(const std::string &Message);

@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -902,9 +903,23 @@ namespace {
 /// A fresh per-test state directory under gtest's temp dir.
 std::string freshStateDir(const std::string &Name) {
   const std::string Dir = ::testing::TempDir() + "/xst_" + Name;
-  // Start clean: earlier runs of the same test leave files behind.
-  std::remove((Dir + "/snapshot.xst").c_str());
+  // Start clean: earlier runs of the same test leave files behind —
+  // the legacy single snapshot, the journal, and the whole rotated
+  // snapshot ring.
   std::remove((Dir + "/journal.xsj").c_str());
+  if (DIR *Handle = ::opendir(Dir.c_str())) {
+    std::vector<std::string> Stale;
+    while (struct dirent *Entry = ::readdir(Handle)) {
+      const std::string File = Entry->d_name;
+      if (File.rfind("snapshot", 0) == 0 &&
+          File.size() >= 4 &&
+          File.compare(File.size() - 4, 4, ".xst") == 0)
+        Stale.push_back(Dir + "/" + File);
+    }
+    ::closedir(Handle);
+    for (const std::string &Path : Stale)
+      std::remove(Path.c_str());
+  }
   return Dir;
 }
 
@@ -1017,32 +1032,78 @@ TEST(StatePersistence, SnapshotIntervalCompactsAndStillRecovers) {
   EXPECT_EQ(Recovered.serializeState(), PreCrashState);
 }
 
-TEST(StatePersistence, TruncatedSnapshotIsRejectedNotHalfLoaded) {
+TEST(StatePersistence, TruncatedHeadSnapshotFallsBackToPreviousGeneration) {
   const std::string Dir = freshStateDir("truncsnap");
+  const EvidenceStream Stream = recoveryEvidence();
+
+  // Build two durable generations with distinct states: generation A
+  // (overflow evidence only) and generation B (dangling evidence on
+  // top).  The intermediate attach re-snapshots A, so after pruning
+  // (keep defaults to 2) the ring holds one snapshot of each state.
+  std::vector<uint8_t> StateA, StateB;
   {
     PatchServer Original;
     StateStore Store(Dir);
-    ASSERT_TRUE(Original.attachState(Store));
-    submitStream(Original, recoveryEvidence());
+    ASSERT_TRUE(Original.attachState(Store, /*SnapshotInterval=*/1000));
+    LoopbackTransport Transport(Original);
+    PatchClient Client(Transport);
+    ASSERT_TRUE(Client.submitImages(Stream.Overflow));
     ASSERT_TRUE(Original.persistNow());
+    StateA = Original.serializeState();
   }
-  // Tear the snapshot: drop its tail (what an interrupted non-atomic
-  // write would have left).
-  std::vector<uint8_t> Snap;
-  StateStore Probe(Dir);
-  ASSERT_TRUE(readFileBytes(Probe.snapshotPath(), Snap));
-  ASSERT_GT(Snap.size(), 16u);
-  Snap.resize(Snap.size() - 11);
-  ASSERT_TRUE(writeFileBytes(Probe.snapshotPath(), Snap));
+  {
+    PatchServer Middle;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Middle.attachState(Store, /*SnapshotInterval=*/1000));
+    LoopbackTransport Transport(Middle);
+    PatchClient Client(Transport);
+    ASSERT_TRUE(Client.submitImages(Stream.Dangling));
+    ASSERT_TRUE(Middle.persistNow());
+    StateB = Middle.serializeState();
+    ASSERT_NE(StateA, StateB);
+  }
 
-  PatchServer Recovered;
-  StateStore Store(Dir);
-  std::string Error;
-  EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
-  EXPECT_FALSE(Error.empty());
-  // Nothing half-seeded the pipeline: still a blank server.
-  EXPECT_EQ(Recovered.snapshot().Epoch, 0u);
-  EXPECT_TRUE(Recovered.snapshot().Patches.empty());
+  // Tear the head snapshot: drop its tail (what an interrupted
+  // non-atomic write would have left).
+  {
+    StateStore Probe(Dir);
+    const std::vector<std::string> Ring = Probe.snapshotFiles();
+    ASSERT_GE(Ring.size(), 2u);
+    std::vector<uint8_t> Snap;
+    ASSERT_TRUE(readFileBytes(Probe.snapshotPath(), Snap));
+    ASSERT_GT(Snap.size(), 16u);
+    Snap.resize(Snap.size() - 11);
+    ASSERT_TRUE(writeFileBytes(Probe.snapshotPath(), Snap));
+  }
+
+  // Recovery falls back to the previous generation — state A, whole,
+  // never a half-load of the torn head.
+  {
+    PatchServer Recovered;
+    StateStore Store(Dir);
+    ASSERT_TRUE(Recovered.attachState(Store));
+    EXPECT_EQ(Recovered.serializeState(), StateA);
+  }
+
+  // When every snapshot in the ring is torn there is nothing left to
+  // fall back to: attach must fail and leave the pipeline blank.
+  {
+    StateStore Probe(Dir);
+    for (const std::string &Path : Probe.snapshotFiles()) {
+      std::vector<uint8_t> Snap;
+      ASSERT_TRUE(readFileBytes(Path, Snap));
+      ASSERT_GT(Snap.size(), 16u);
+      Snap.resize(Snap.size() - 11);
+      ASSERT_TRUE(writeFileBytes(Path, Snap));
+    }
+    PatchServer Recovered;
+    StateStore Store(Dir);
+    std::string Error;
+    EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
+    EXPECT_FALSE(Error.empty());
+    EXPECT_EQ(Recovered.snapshot().Epoch, 0u);
+    EXPECT_TRUE(Recovered.snapshot().Patches.empty());
+  }
 }
 
 TEST(StatePersistence, TornJournalTailIsSkipped) {

@@ -13,15 +13,26 @@
 //
 //   xtermtool serve         <endpoint> [--workers N] [--seed patch.xpt]
 //                           [--state-dir DIR] [--snapshot-every N]
+//                           [--snapshot-keep K] [--peer endpoint]...
+//                           [--anti-entropy-ms N]
 //       --state-dir makes restarts lossless: the server restores its full
 //       diagnostic state (patches, epoch, Bayes trial history) from DIR's
 //       snapshot + journal on start, journals every accepted submission,
 //       and snapshots every N submissions (default 64) and on shutdown.
+//       The last K snapshot generations are retained (default 2), so a
+//       torn head snapshot falls back to the previous one.
 //       With both --state-dir and --seed, the state dir is authoritative
 //       (it keeps its epoch); the seed max-merges into the restored set.
-//   xtermtool submit        <endpoint> <dump.xhi|summary.xrs>...
-//   xtermtool fetch-patches <endpoint> <out.xpt> [--require-nonempty]
-//   xtermtool shutdown      <endpoint>
+//       Each --peer names another server of the same fleet: accepted
+//       local submissions stream to every peer, and an anti-entropy
+//       round every N ms (default 1000) repairs whatever streaming
+//       missed, so the fleet converges without a leader.
+//   xtermtool submit        <endpoints> <dump.xhi|summary.xrs>...
+//   xtermtool fetch-patches <endpoints> <out.xpt> [--require-nonempty]
+//   xtermtool shutdown      <endpoints>
+//       <endpoints> is a comma-separated list; clients fail over down
+//       the list with jittered exponential backoff (shutdown instead
+//       addresses *every* listed server).
 //   xtermtool record        <outdir>           write demo evidence files
 //
 // The tool is a thin client of the runtime: diagnose feeds images (v1 or
@@ -33,8 +44,10 @@
 
 #include "diagnose/DiagnosisPipeline.h"
 #include "diefast/Canary.h"
+#include "exchange/FailoverTransport.h"
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
+#include "exchange/Replication.h"
 #include "exchange/SocketTransport.h"
 #include "exchange/StateStore.h"
 #include "heapimage/HeapImageIO.h"
@@ -62,14 +75,19 @@ static int usage() {
                "       xtermtool serve    <endpoint> [--workers N] "
                "[--seed patch.xpt]\n"
                "                          [--state-dir DIR] "
-               "[--snapshot-every N]\n"
-               "       xtermtool submit   <endpoint> "
+               "[--snapshot-every N] [--snapshot-keep K]\n"
+               "                          [--peer endpoint]... "
+               "[--anti-entropy-ms N]\n"
+               "       xtermtool submit   <endpoints> "
                "<dump.xhi|summary.xrs>...\n"
-               "       xtermtool fetch-patches <endpoint> <out.xpt> "
+               "       xtermtool fetch-patches <endpoints> <out.xpt> "
                "[--require-nonempty]\n"
-               "       xtermtool shutdown <endpoint>\n"
+               "       xtermtool shutdown <endpoints>\n"
                "       xtermtool record   <outdir>\n"
-               "endpoints: unix:/path.sock | tcp:PORT | tcp:HOST:PORT\n");
+               "endpoints: unix:/path.sock | tcp:PORT | tcp:HOST:PORT\n"
+               "  submit/fetch-patches/shutdown accept a comma-separated\n"
+               "  endpoint list (a replicated fleet; clients fail over\n"
+               "  down the list, shutdown addresses every server)\n");
   return 2;
 }
 
@@ -225,12 +243,27 @@ static bool parseEndpointArg(const std::string &Spec, Endpoint &Out) {
   return true;
 }
 
+static bool parseEndpointListArg(const std::string &Spec,
+                                 std::vector<Endpoint> &Out) {
+  if (!parseEndpointList(Spec, Out)) {
+    std::fprintf(stderr,
+                 "error: bad endpoint list '%s' (want a comma-separated "
+                 "list of unix:/path.sock, tcp:PORT, or tcp:HOST:PORT)\n",
+                 Spec.c_str());
+    return false;
+  }
+  return true;
+}
+
 static int serveCommand(const std::string &Spec,
                         const std::vector<std::string> &Options) {
   unsigned Workers = 2;
   std::string SeedFile;
   std::string StateDir;
   unsigned SnapshotEvery = 64;
+  unsigned SnapshotKeep = 2;
+  unsigned AntiEntropyMs = 1000;
+  std::vector<Endpoint> PeerEndpoints;
   for (size_t I = 0; I < Options.size(); ++I) {
     if (Options[I] == "--workers" && I + 1 < Options.size())
       Workers = static_cast<unsigned>(std::strtoul(Options[++I].c_str(),
@@ -242,7 +275,18 @@ static int serveCommand(const std::string &Spec,
     else if (Options[I] == "--snapshot-every" && I + 1 < Options.size())
       SnapshotEvery = static_cast<unsigned>(
           std::strtoul(Options[++I].c_str(), nullptr, 10));
-    else
+    else if (Options[I] == "--snapshot-keep" && I + 1 < Options.size())
+      SnapshotKeep = static_cast<unsigned>(
+          std::strtoul(Options[++I].c_str(), nullptr, 10));
+    else if (Options[I] == "--anti-entropy-ms" && I + 1 < Options.size())
+      AntiEntropyMs = static_cast<unsigned>(
+          std::strtoul(Options[++I].c_str(), nullptr, 10));
+    else if (Options[I] == "--peer" && I + 1 < Options.size()) {
+      Endpoint Peer;
+      if (!parseEndpointArg(Options[++I], Peer))
+        return 1;
+      PeerEndpoints.push_back(Peer);
+    } else
       return usage();
   }
 
@@ -252,6 +296,17 @@ static int serveCommand(const std::string &Spec,
 
   PatchServer Server;
 
+  // Replication links attach before any state arrives, so a --seed
+  // file streams to the peers like any other local-origin change, and
+  // restored state reaches them in the first anti-entropy push (a peer
+  // that is down just queues; anti-entropy repairs it once it is back).
+  std::unique_ptr<ReplicaSet> Replicas;
+  if (!PeerEndpoints.empty()) {
+    Replicas = std::make_unique<ReplicaSet>(Server);
+    for (const Endpoint &Peer : PeerEndpoints)
+      Replicas->addPeer(Peer);
+  }
+
   // Durable state restores first: the state directory is authoritative
   // (it keeps its epoch and the accumulated Bayes history), and a --seed
   // file then max-merges *into* the restored state — seeding can only
@@ -259,6 +314,7 @@ static int serveCommand(const std::string &Spec,
   std::unique_ptr<StateStore> Store;
   if (!StateDir.empty()) {
     Store = std::make_unique<StateStore>(StateDir);
+    Store->setSnapshotKeep(SnapshotKeep);
     std::string Error;
     if (!Server.attachState(*Store, SnapshotEvery, &Error)) {
       std::fprintf(stderr, "error: cannot restore state from '%s': %s\n",
@@ -289,12 +345,19 @@ static int serveCommand(const std::string &Spec,
     std::fprintf(stderr, "error: cannot listen on %s\n", Spec.c_str());
     return 1;
   }
+  if (Replicas) {
+    Replicas->start(AntiEntropyMs);
+    std::printf("replicating to %zu peer(s), anti-entropy every %u ms\n",
+                Replicas->peerCount(), AntiEntropyMs);
+  }
   std::printf("patch server listening on %s (%u worker(s)); stop with "
               "`xtermtool shutdown %s`\n",
               endpointToString(Front.endpoint()).c_str(), Workers,
               endpointToString(Front.endpoint()).c_str());
   std::fflush(stdout);
   Front.serve();
+  if (Replicas)
+    Replicas->stop();
 
   // Snapshot-on-shutdown: fold the journal into one fresh snapshot so
   // the next start replays nothing.
@@ -321,13 +384,29 @@ static int serveCommand(const std::string &Spec,
                 (unsigned long long)Stats.SnapshotsWritten,
                 (unsigned long long)Stats.PersistFailures,
                 StateDir.c_str());
+  if (Replicas) {
+    const ReplicaSetStats Rep = Replicas->stats();
+    std::printf("replicated: %llu record(s) streamed, %llu stream "
+                "failure(s), %llu anti-entropy round(s), %llu push "
+                "merge(s), %llu pull merge(s); ingested %llu merge(s), "
+                "%llu replicated summarie(s), %llu duplicate(s) "
+                "suppressed\n",
+                (unsigned long long)Rep.RecordsStreamed,
+                (unsigned long long)Rep.StreamFailures,
+                (unsigned long long)Rep.AntiEntropyRounds,
+                (unsigned long long)Rep.PushMerges,
+                (unsigned long long)Rep.PullMerges,
+                (unsigned long long)Stats.MergesIngested,
+                (unsigned long long)Stats.ReplicatedSummaries,
+                (unsigned long long)Stats.DuplicatesSuppressed);
+  }
   return 0;
 }
 
 static int submitEvidence(const std::string &Spec,
                           const std::vector<std::string> &Inputs) {
-  Endpoint Ep;
-  if (!parseEndpointArg(Spec, Ep))
+  std::vector<Endpoint> Fleet;
+  if (!parseEndpointListArg(Spec, Fleet))
     return 1;
 
   // Images group into one evidence set (isolation needs the whole set);
@@ -356,7 +435,7 @@ static int submitEvidence(const std::string &Spec,
     Evidence.Primary.push_back(std::move(Image));
   }
 
-  SocketClientTransport Transport(Ep);
+  FailoverTransport Transport(Fleet);
   PatchClient Client(Transport);
   if (!Evidence.Primary.empty() && !Client.queueImages(Evidence)) {
     std::fprintf(stderr,
@@ -368,7 +447,8 @@ static int submitEvidence(const std::string &Spec,
   for (const RunSummary &Summary : Summaries)
     Client.queueSummary(Summary, /*CleanStreak=*/0);
   if (!Client.flush()) {
-    std::fprintf(stderr, "error: submission to %s failed\n", Spec.c_str());
+    std::fprintf(stderr, "error: submission to %s failed: %s\n",
+                 Spec.c_str(), Transport.lastError().c_str());
     return 1;
   }
   std::printf("submitted %zu image(s), %zu summarie(s) to %s\n",
@@ -379,13 +459,14 @@ static int submitEvidence(const std::string &Spec,
 static int fetchPatchesCommand(const std::string &Spec,
                                const std::string &Out,
                                bool RequireNonEmpty) {
-  Endpoint Ep;
-  if (!parseEndpointArg(Spec, Ep))
+  std::vector<Endpoint> Fleet;
+  if (!parseEndpointListArg(Spec, Fleet))
     return 1;
-  SocketClientTransport Transport(Ep);
+  FailoverTransport Transport(Fleet);
   PatchClient Client(Transport);
   if (!Client.fetchPatches()) {
-    std::fprintf(stderr, "error: fetch from %s failed\n", Spec.c_str());
+    std::fprintf(stderr, "error: fetch from %s failed: %s\n", Spec.c_str(),
+                 Transport.lastError().c_str());
     return 1;
   }
   if (!savePatchSet(Client.patches(), Out)) {
@@ -406,17 +487,26 @@ static int fetchPatchesCommand(const std::string &Spec,
 }
 
 static int shutdownCommand(const std::string &Spec) {
-  Endpoint Ep;
-  if (!parseEndpointArg(Spec, Ep))
+  // Shutdown is the one command that must NOT fail over — it addresses
+  // every listed server individually, and reports which ones failed.
+  std::vector<Endpoint> Fleet;
+  if (!parseEndpointListArg(Spec, Fleet))
     return 1;
-  SocketClientTransport Transport(Ep);
-  PatchClient Client(Transport);
-  if (!Client.shutdownServer()) {
-    std::fprintf(stderr, "error: shutdown of %s failed\n", Spec.c_str());
-    return 1;
+  int Failures = 0;
+  for (const Endpoint &Ep : Fleet) {
+    SocketClientTransport Transport(Ep);
+    PatchClient Client(Transport);
+    if (!Client.shutdownServer()) {
+      std::fprintf(stderr, "error: shutdown of %s failed: %s\n",
+                   endpointToString(Ep).c_str(),
+                   Transport.lastError().c_str());
+      ++Failures;
+      continue;
+    }
+    std::printf("server at %s shutting down\n",
+                endpointToString(Ep).c_str());
   }
-  std::printf("server at %s shutting down\n", Spec.c_str());
-  return 0;
+  return Failures ? 1 : 0;
 }
 
 /// Writes demo evidence: three heap images of the canonical scripted
