@@ -27,6 +27,16 @@
 //  * op:*           — isolated hot-path operations (pointer lookup,
 //                     placement, canary fill/verify) for the per-op cost
 //                     trajectory.
+//  * mt-hot-pairs   — N threads of immediate malloc/free pairs with
+//  * mt-churn         cross-thread frees, through the PR-7 concurrent
+//                     front-end in both its modes: per-thread caches
+//                     ("cached") and one mutex around the backend
+//                     ("global-lock").  Alongside wall time the run
+//                     records backend lock acquisitions per operation —
+//                     the machine-independent decontention witness,
+//                     since wall-clock scaling saturates at the host's
+//                     core count (recorded in the JSON as
+//                     hardware_threads).
 //
 // Usage:
 //   micro_allocators [--json FILE] [--smoke]
@@ -39,8 +49,10 @@
 #include "BenchReport.h"
 
 #include "alloc/BaselineAllocator.h"
+#include "alloc/ConcurrentAllocator.h"
 #include "correct/CorrectingHeap.h"
 #include "heapimage/HeapImageIO.h"
+#include "runtime/ConcurrentStress.h"
 #include "runtime/Exterminator.h"
 #include "workload/EspressoWorkload.h"
 #include "workload/SquidWorkload.h"
@@ -50,6 +62,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace exterminator;
@@ -290,6 +303,98 @@ opSpeedups(const std::vector<Measurement> &OpResults) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Contended scenarios (PR 7)
+//===----------------------------------------------------------------------===//
+
+struct MtMeasurement {
+  std::string Scenario; // "mt-hot-pairs" or "mt-churn"
+  unsigned Threads = 1;
+  std::string Mode; // "cached" or "global-lock"
+  double NsPerOp = 0;
+  double OpsPerSec = 0;
+  /// Backend lock acquisitions per operation during the measured run:
+  /// ~2/MagazineSize for the cached mode, exactly 1 for global-lock.
+  double LockAcquiresPerOp = 0;
+  /// Header-stamp mismatches (must be 0: the bench doubles as a
+  /// memory-integrity check).
+  uint64_t PatternFaults = 0;
+};
+
+/// One contended run: N workers over one shared ConcurrentAllocator via
+/// runConcurrentStress, best-of-3 wall time (thread startup noise is
+/// larger than single-thread loop noise, but so are the run times).
+MtMeasurement runMtScenario(const std::string &Scenario, unsigned Threads,
+                            bool GlobalLock, const Options &Opts) {
+  ConcurrentAllocatorConfig Cfg;
+  Cfg.Heap.Seed = 1;
+  Cfg.MagazineSize = 32;
+  Cfg.GlobalLockBaseline = GlobalLock;
+
+  ConcurrentStressConfig Stress;
+  Stress.Threads = Threads;
+  Stress.OpsPerThread =
+      (Scenario == "mt-churn" ? 100000 : 200000) / Opts.Scale;
+  Stress.ResidentPerThread =
+      Scenario == "mt-churn" ? 2000 / static_cast<size_t>(Opts.Scale) : 0;
+  Stress.CrossFreeFraction = 0.25;
+  Stress.Seed = 1;
+
+  MtMeasurement M;
+  M.Scenario = Scenario;
+  M.Threads = Threads;
+  M.Mode = GlobalLock ? "global-lock" : "cached";
+
+  double BestSeconds = 1e30;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    ConcurrentAllocator Alloc(Cfg);
+    const ConcurrentStressResult R = runConcurrentStress(Alloc, Stress);
+    // Allocate + free for every allocation: 2 ops each.
+    const uint64_t Ops = 2 * R.Allocations;
+    const uint64_t Locks = Alloc.backendLockAcquires(); // before flushAll
+    Alloc.flushAll();
+    M.PatternFaults += R.PatternFaults;
+    if (R.Seconds < BestSeconds) {
+      BestSeconds = R.Seconds;
+      M.NsPerOp = R.Seconds * 1e9 / static_cast<double>(Ops);
+      M.OpsPerSec = static_cast<double>(Ops) / R.Seconds;
+      M.LockAcquiresPerOp =
+          static_cast<double>(Locks) / static_cast<double>(Ops);
+    }
+  }
+  return M;
+}
+
+/// Runs both contended scenarios across the thread sweep in both modes.
+std::vector<MtMeasurement> runMtBenches(const Options &Opts) {
+  std::vector<MtMeasurement> Out;
+  for (const char *Scenario : {"mt-hot-pairs", "mt-churn"})
+    for (unsigned Threads : {1u, 2u, 4u, 8u})
+      for (bool GlobalLock : {false, true})
+        Out.push_back(runMtScenario(Scenario, Threads, GlobalLock, Opts));
+  return Out;
+}
+
+/// global-lock ns / cached ns at matching (scenario, threads).
+std::vector<std::pair<std::string, double>>
+mtSpeedups(const std::vector<MtMeasurement> &MtResults) {
+  std::vector<std::pair<std::string, double>> Out;
+  for (const MtMeasurement &Cached : MtResults) {
+    if (Cached.Mode != "cached")
+      continue;
+    for (const MtMeasurement &Locked : MtResults)
+      if (Locked.Mode == "global-lock" &&
+          Locked.Scenario == Cached.Scenario &&
+          Locked.Threads == Cached.Threads) {
+        Out.emplace_back(fmt("%s/%ut", Cached.Scenario.c_str(),
+                             Cached.Threads),
+                         Locked.NsPerOp / Cached.NsPerOp);
+        break;
+      }
+  }
+  return Out;
+}
+
 /// Heap-image format footprint: serialized bytes of the same image in
 /// the legacy v1 layout and the columnar v2 layout (PR 2), on the
 /// example workloads the diagnosis side processes.
@@ -401,6 +506,35 @@ int main(int Argc, char **Argv) {
   note("resident-churn is DRAM-bound by design (random placement defeats "
        "locality), so its speedups are memory-limited");
 
+  const std::vector<MtMeasurement> MtResults = runMtBenches(Opts);
+  const std::vector<std::pair<std::string, double>> MtSpeedupRows =
+      mtSpeedups(MtResults);
+  heading("Contended scenarios: per-thread caches vs global lock");
+  note("hardware threads on this host: %u (wall-clock scaling saturates "
+       "here; lock acquisitions per op do not)",
+       std::thread::hardware_concurrency());
+  Table MtTable(
+      {"scenario", "threads", "mode", "ns/op", "Mops/s", "locks/op"});
+  uint64_t MtFaults = 0;
+  for (const MtMeasurement &M : MtResults) {
+    MtTable.addRow({M.Scenario, fmt("%u", M.Threads), M.Mode,
+                    fmt("%.1f", M.NsPerOp), fmt("%.2f", M.OpsPerSec / 1e6),
+                    fmt("%.4f", M.LockAcquiresPerOp)});
+    MtFaults += M.PatternFaults;
+  }
+  MtTable.print();
+  Table MtSpeedupTable({"scenario/threads", "cached vs global-lock"});
+  double MtHeadline = 0;
+  for (const auto &[Key, Speedup] : MtSpeedupRows) {
+    MtSpeedupTable.addRow({Key, fmt("%.2fx", Speedup)});
+    if (Key == std::string("mt-hot-pairs/4t"))
+      MtHeadline = Speedup;
+  }
+  MtSpeedupTable.print();
+  note("mt headline (mt-hot-pairs, 4 threads, cached vs global-lock): "
+       "%.2fx; pattern faults across all runs: %llu",
+       MtHeadline, static_cast<unsigned long long>(MtFaults));
+
   const std::vector<ImageSizeSample> ImageSizes = measureImageSizes();
   heading("Heap-image footprint: columnar v2 vs legacy v1 (bytes)");
   Table ImageTable({"workload", "v1 bytes", "v2 bytes", "reduction"});
@@ -414,10 +548,12 @@ int main(int Argc, char **Argv) {
     JsonWriter Json;
     Json.beginObject();
     Json.field("bench", "hotpath");
-    Json.field("schema_version", 2);
+    Json.field("schema_version", 3);
     Json.beginObject("config");
     Json.field("scale_divisor", Opts.Scale);
     Json.field("canary_dispatch_auto", canary_dispatch::activeName());
+    Json.field("hardware_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
     Json.endObject();
     Json.beginArray("results");
     for (const std::vector<Measurement> *Set : {&Results, &OpResults})
@@ -447,6 +583,29 @@ int main(int Argc, char **Argv) {
       Json.endObject();
     }
     Json.endArray();
+    Json.beginArray("mt_results");
+    for (const MtMeasurement &M : MtResults) {
+      Json.beginObject();
+      Json.field("scenario", M.Scenario);
+      Json.field("threads", static_cast<uint64_t>(M.Threads));
+      Json.field("mode", M.Mode);
+      Json.field("ns_per_op", M.NsPerOp);
+      Json.field("ops_per_sec", M.OpsPerSec);
+      Json.field("lock_acquires_per_op", M.LockAcquiresPerOp);
+      Json.field("pattern_faults", M.PatternFaults);
+      Json.endObject();
+    }
+    Json.endArray();
+    Json.beginArray("mt_speedups");
+    for (const auto &[Key, Speedup] : MtSpeedupRows) {
+      Json.beginObject();
+      Json.field("scenario", Key);
+      Json.field("speedup", Speedup);
+      Json.endObject();
+    }
+    Json.endArray();
+    Json.field("mt_headline_scenario", "mt-hot-pairs/4t cached vs global-lock");
+    Json.field("mt_headline_speedup", MtHeadline);
     Json.beginArray("image_format");
     for (const ImageSizeSample &Sample : ImageSizes) {
       Json.beginObject();

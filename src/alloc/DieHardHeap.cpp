@@ -13,6 +13,7 @@ DieHardHeap::DieHardHeap(const DieHardConfig &Config,
   assert(Config.Multiplier > 1.0 && "heap multiplier must exceed 1");
   assert(Config.InitialSlots > 0 && "initial miniheap must be nonempty");
   Classes.resize(sizeclass::numClasses());
+  Slabs.reserve(MaxSlabs);
 }
 
 DieHardHeap::~DieHardHeap() = default;
@@ -39,14 +40,27 @@ void DieHardHeap::tickAllocationClock(size_t Size) {
   Stats.BytesRequested += Size;
 }
 
-ObjectRef DieHardHeap::reserveSlot(unsigned ClassIndex) {
+ObjectRef DieHardHeap::reserveSlot(unsigned ClassIndex, Miniheap **HeapOut) {
   ClassState &Class = Classes[ClassIndex];
   ensureCapacity(Class, ClassIndex);
   const ObjectRef Ref = placeRandomly(Class, ClassIndex);
-  Class.Heaps[Ref.HeapIndex]->markAllocated(Ref.SlotIndex);
+  Miniheap &Heap = *Class.Heaps[Ref.HeapIndex];
+  Heap.markAllocated(Ref.SlotIndex);
   ++Class.Live;
   ++LiveObjects;
+  if (HeapOut)
+    *HeapOut = &Heap;
   return Ref;
+}
+
+void DieHardHeap::releaseReserved(const ObjectRef &Ref) {
+  Miniheap &Heap = miniheap(Ref);
+  assert(Heap.isAllocated(Ref.SlotIndex) &&
+         "releaseReserved requires a reserved slot");
+  assert(!Heap.slot(Ref.SlotIndex).Bad && "bad slots are never released");
+  Heap.markFree(Ref.SlotIndex);
+  --Classes[Ref.ClassIndex].Live;
+  --LiveObjects;
 }
 
 void DieHardHeap::commitAllocation(const ObjectRef &Ref, size_t Size) {
@@ -161,6 +175,40 @@ std::optional<ObjectRef> DieHardHeap::findObject(const void *Ptr) const {
   std::optional<size_t> Slot = Slab.Heap->slotContaining(Addr);
   assert(Slot && "in-range address must resolve to a slot");
   return ObjectRef{Slab.ClassIndex, Slab.HeapIndex, *Slot};
+}
+
+std::optional<DieHardHeap::ResolvedObject>
+DieHardHeap::resolvePointer(const void *Ptr) const {
+  const uint8_t *Addr = static_cast<const uint8_t *>(Ptr);
+  std::optional<ObjectRef> Found;
+  Miniheap *Heap = nullptr;
+  if (Config.LegacyHotPath) {
+    Found = findObjectSorted(Addr);
+    if (Found)
+      Heap = Classes[Found->ClassIndex].Heaps[Found->HeapIndex].get();
+  } else {
+    const uint32_t Id = PageDirectory.lookup(pageOf(Addr));
+    if (Id == PageTable::NotFound)
+      return std::nullopt;
+    if (Id == AmbiguousPage) {
+      // Sub-page guards only; the lock-free contract (see header) is off
+      // this path.
+      Found = findObjectSorted(Addr);
+      if (Found)
+        Heap = Classes[Found->ClassIndex].Heaps[Found->HeapIndex].get();
+    } else {
+      const Range &Slab = Slabs[Id];
+      if (Addr < Slab.Base || Addr >= Slab.End)
+        return std::nullopt;
+      std::optional<size_t> Slot = Slab.Heap->slotContaining(Addr);
+      assert(Slot && "in-range address must resolve to a slot");
+      Found = ObjectRef{Slab.ClassIndex, Slab.HeapIndex, *Slot};
+      Heap = Slab.Heap;
+    }
+  }
+  if (!Found)
+    return std::nullopt;
+  return ResolvedObject{*Found, Heap, Heap->slotPointer(Found->SlotIndex)};
 }
 
 std::optional<ObjectRef>
@@ -305,13 +353,20 @@ void DieHardHeap::registerRange(Miniheap *Heap, unsigned ClassIndex,
   // slab.  A page already claimed by another slab (only possible when
   // guard regions are smaller than a page) turns ambiguous and falls back
   // to the sorted-range search.
+  assert(Slabs.size() < MaxSlabs &&
+         "slab cap reached; raise MaxSlabs (reserved so concurrent "
+         "readers never race a reallocation)");
   const uint32_t SlabId = static_cast<uint32_t>(Slabs.size());
+  // The Range must be fully written before any page id pointing at it
+  // publishes: emplace's release store is the publication point for
+  // lock-free resolvePointer readers.
   Slabs.push_back(NewRange);
   for (uintptr_t Page = pageOf(NewRange.Base),
                  LastPage = pageOf(NewRange.End - 1);
        Page <= LastPage; ++Page) {
     const auto [Value, Inserted] = PageDirectory.emplace(Page, SlabId);
+    (void)Value;
     if (!Inserted)
-      Value = AmbiguousPage;
+      PageDirectory.overwrite(Page, AmbiguousPage);
   }
 }

@@ -112,8 +112,25 @@ public:
 
   /// Reserves a uniformly random free slot of \p ClassIndex: marks it
   /// allocated but leaves its metadata (the previous object's history)
-  /// untouched.  Grows the class if needed.
-  ObjectRef reserveSlot(unsigned ClassIndex);
+  /// untouched.  Grows the class if needed.  \p HeapOut, when non-null,
+  /// receives the owning miniheap (the concurrent front-end caches it so
+  /// cached allocations never touch Classes).
+  ObjectRef reserveSlot(unsigned ClassIndex, Miniheap **HeapOut = nullptr);
+
+  /// Returns a reserved-but-uncommitted slot to the free pool without
+  /// touching metadata or stats: the undo of reserveSlot, used by the
+  /// concurrent front-end to flush unconsumed magazine slots.
+  void releaseReserved(const ObjectRef &Ref);
+
+  /// Advances the allocation clock to at least \p Time without counting
+  /// an allocation.  The concurrent front-end stamps object ids from its
+  /// own atomic clock and re-synchronizes the backend clock here whenever
+  /// it takes the lock, so FreeTime stamps and miniheap creation times
+  /// stay on the same timeline.
+  void advanceClockTo(uint64_t Time) {
+    if (Time > Clock)
+      Clock = Time;
+  }
 
   /// Fills in metadata for a reserved slot as a fresh object of \p Size
   /// bytes, stamped with the current clock and call context.
@@ -145,6 +162,25 @@ public:
 
   /// Maps any address within an object slot to the slot.
   std::optional<ObjectRef> findObject(const void *Ptr) const;
+
+  /// A pointer resolved to its slot with the owning miniheap and the
+  /// slot's start address already in hand (one lookup serves the whole
+  /// free path).
+  struct ResolvedObject {
+    ObjectRef Ref;
+    Miniheap *Heap;
+    uint8_t *SlotStart;
+  };
+
+  /// Like findObject, but also reports the owning miniheap and slot
+  /// start.  When guard regions span at least a page (no ambiguous
+  /// pages) this takes the page-directory path only and is safe to call
+  /// lock-free, concurrently with allocations on other threads, for
+  /// pointers whose slab registration happened-before this call — i.e.
+  /// any pointer the allocator previously returned and the program
+  /// handed to this thread.  With sub-page guards it may fall back to
+  /// the sorted-range search, which requires external serialization.
+  std::optional<ResolvedObject> resolvePointer(const void *Ptr) const;
 
   /// True if \p Ptr points into a currently-allocated (non-bad) slot.
   bool isLivePointer(const void *Ptr) const;
@@ -197,6 +233,14 @@ public:
 
   /// Visits every miniheap (heap-image capture, isolation).
   template <typename CallbackT> void forEachMiniheap(CallbackT Callback) const {
+    for (unsigned C = 0; C < Classes.size(); ++C)
+      for (unsigned H = 0; H < Classes[C].Heaps.size(); ++H)
+        Callback(C, H, *Classes[C].Heaps[H]);
+  }
+
+  /// Mutable visit (the concurrent front-end drains per-miniheap
+  /// remote-free queues; callers hold the backend lock).
+  template <typename CallbackT> void forEachMiniheap(CallbackT Callback) {
     for (unsigned C = 0; C < Classes.size(); ++C)
       for (unsigned H = 0; H < Classes[C].Heaps.size(); ++H)
         Callback(C, H, *Classes[C].Heaps[H]);
@@ -263,8 +307,15 @@ private:
   /// Sorted (by base address) index of every slab: the fallback lookup
   /// path and the legacy toggle's only path.
   std::vector<Range> Ranges;
+  /// Hard cap on slabs per heap.  Doubling miniheaps mean even a class
+  /// grown to 2^MaxSlabs-ish slots stays far below it; the cap buys a
+  /// never-reallocated Slabs array, which lock-free readers index
+  /// concurrently with registration (entries are fully written before
+  /// their page-directory ids publish).
+  static constexpr size_t MaxSlabs = 1024;
   /// Append-only copy of every slab in registration order; stable ids for
-  /// the page directory.
+  /// the page directory.  reserve(MaxSlabs) in the constructor pins the
+  /// storage so concurrent directory hits never race a reallocation.
   std::vector<Range> Slabs;
 
   static constexpr unsigned PageShift = 12;

@@ -25,6 +25,8 @@ Miniheap::Miniheap(unsigned SizeClassIndex, size_t NumSlots,
   std::memset(Slab.get(), 0, SlabBytes);
   InUse.resize(NumSlots);
   Metadata = std::make_unique<SlotMetadata[]>(NumSlots);
+  PendingFreeWords =
+      std::make_unique<std::atomic<uint64_t>[]>((NumSlots + 63) / 64);
 }
 
 bool Miniheap::contains(const void *Ptr) const {

@@ -2,7 +2,7 @@
 
 #include "diefast/DieFastHeap.h"
 
-#include <cstring>
+#include "diefast/CanaryOps.h"
 
 using namespace exterminator;
 
@@ -28,43 +28,22 @@ void *DieFastHeap::allocate(size_t Size) {
   for (;;) {
     const ObjectRef Ref = Heap.reserveSlot(ClassIndex);
     Miniheap &Mini = Heap.miniheap(Ref);
-    SlotMetadata &Meta = Mini.slot(Ref.SlotIndex);
     uint8_t *Ptr = Mini.slotPointer(Ref.SlotIndex);
 
     // Figure 4: check that the object either wasn't canary-filled or is
-    // uncorrupted.  A corrupt slot is never reused ("bad object
-    // isolation"): mark it allocated-for-good and pick another slot.
-    //
-    // Zeroing the requested bytes (§2.1) is fused into the verification
-    // sweep: the slot is traversed once instead of verify-then-memset.
-    // The slot's tail keeps whatever canary it carried: the next free
-    // re-fills the whole slot, so the alloc-time whole-slot verification
-    // stays sound.
-    if (Meta.Canaried && Config.ZeroFillAllocations &&
-        !Config.Heap.LegacyHotPath) {
-      const size_t Zeroed =
-          HeapCanary.verifyAndZeroPrefix(Ptr, Mini.objectSize(), Size);
-      if (Zeroed != Canary::AllVerified) {
-        // Only intact canary bytes were zeroed; restore them so the
-        // quarantined slot carries its exact corruption evidence.
-        HeapCanary.fill(Ptr, Zeroed);
-        Heap.markBad(Ref);
-        signalError(ErrorSignalKind::CanaryCorruptOnAlloc, Ref);
-        continue;
-      }
-      Heap.commitAllocation(Ref, Size);
-      return Ptr;
-    }
-
-    if (Meta.Canaried && !HeapCanary.verify(Ptr, Mini.objectSize())) {
+    // uncorrupted, fusing the §2.1 zero-fill into the verification sweep
+    // (see canary_ops::prepareReusedSlot).  A corrupt slot is never
+    // reused ("bad object isolation"): mark it allocated-for-good and
+    // pick another slot.
+    if (!canary_ops::prepareReusedSlot(
+            HeapCanary, Mini.slot(Ref.SlotIndex), Ptr, Mini.objectSize(),
+            Size, Config.ZeroFillAllocations, Config.Heap.LegacyHotPath)) {
       Heap.markBad(Ref);
       signalError(ErrorSignalKind::CanaryCorruptOnAlloc, Ref);
       continue;
     }
 
     Heap.commitAllocation(Ref, Size);
-    if (Config.ZeroFillAllocations)
-      std::memset(Ptr, 0, Size);
     return Ptr;
   }
 }
@@ -95,46 +74,23 @@ void DieFastHeap::afterFree(const ObjectRef &Ref) {
   if (Config.Heap.LegacyHotPath)
     Stats = Heap.stats(); // pre-PR-1 per-op copy, kept for the bench toggle
 
-  // Check the preceding and following objects: random placement means the
-  // identity of these neighbors differs from run to run, so repeated runs
-  // check different pairs and detect overflows within E(H) frees (§3.3).
-  // Neighbors live in the freed slot's own miniheap, so it is resolved
-  // exactly once for the neighbor checks and the canary fill.
+  // Check the preceding and following objects (§3.3); neighbors live in
+  // the freed slot's own miniheap, so it is resolved exactly once for the
+  // neighbor checks and the canary fill.  Quarantine preserves the
+  // corrupted contents for the error isolator.
   Miniheap &Mini = Heap.miniheap(Ref);
-  if (Ref.SlotIndex > 0) {
-    const size_t Prev = Ref.SlotIndex - 1;
-    if (!Mini.isAllocated(Prev) && Mini.slot(Prev).Canaried)
-      checkSlot(Mini, ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Prev},
-                ErrorSignalKind::CanaryCorruptOnFree);
-  }
-  if (Ref.SlotIndex + 1 < Mini.numSlots()) {
-    const size_t Next = Ref.SlotIndex + 1;
-    if (!Mini.isAllocated(Next) && Mini.slot(Next).Canaried)
-      checkSlot(Mini, ObjectRef{Ref.ClassIndex, Ref.HeapIndex, Next},
-                ErrorSignalKind::CanaryCorruptOnFree);
-  }
+  canary_ops::sweepFreedNeighbors(
+      Mini, HeapCanary, Ref, [&](const ObjectRef &Corrupt) {
+        Heap.quarantine(Corrupt);
+        signalError(ErrorSignalKind::CanaryCorruptOnFree, Corrupt);
+      });
 
   // Probabilistically fill the freed object with canaries.  Cumulative
   // mode needs p < 1 to turn each run into a Bernoulli trial over which
   // freed objects got canaried (§5.2).
-  SlotMetadata &Meta = Mini.slot(Ref.SlotIndex);
-  if (Rng.chance(Config.CanaryFillProbability)) {
-    HeapCanary.fill(Mini.slotPointer(Ref.SlotIndex), Mini.objectSize());
-    Meta.Canaried = true;
-  } else {
-    Meta.Canaried = false;
-  }
-}
-
-bool DieFastHeap::checkSlot(Miniheap &Mini, const ObjectRef &Ref,
-                            ErrorSignalKind Kind) {
-  const uint8_t *Ptr = Mini.slotPointer(Ref.SlotIndex);
-  if (HeapCanary.verify(Ptr, Mini.objectSize()))
-    return true;
-  // Quarantine preserves the corrupted contents for the error isolator.
-  Heap.quarantine(Ref);
-  signalError(Kind, Ref);
-  return false;
+  canary_ops::canaryFillFreedSlot(Mini, HeapCanary, Rng,
+                                  Config.CanaryFillProbability,
+                                  Ref.SlotIndex);
 }
 
 void DieFastHeap::signalError(ErrorSignalKind Kind, const ObjectRef &Where) {

@@ -92,13 +92,8 @@ private:
   void deallocateImpl(void *Ptr, std::optional<SiteId> SiteOverride);
 
   /// Neighbor canary checks plus probabilistic canary fill of the slot
-  /// that was just freed (the Figure 4 post-free work).
+  /// that was just freed (the Figure 4 post-free work, via canary_ops).
   void afterFree(const ObjectRef &Ref);
-
-  /// Runs the canary check on a free slot of \p Mini (the slot's already
-  /// -resolved miniheap); on corruption quarantines it, signals \p Kind,
-  /// and returns false.
-  bool checkSlot(Miniheap &Mini, const ObjectRef &Ref, ErrorSignalKind Kind);
 
   void signalError(ErrorSignalKind Kind, const ObjectRef &Where);
 

@@ -1,0 +1,96 @@
+//===- support/MpscQueue.h - Lock-free MPSC intrusive queue ----*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free multi-producer single-consumer queue of intrusive nodes,
+/// the spine of the concurrent allocator's remote-free path: a thread
+/// freeing an object owned by another structure pushes one node (stored
+/// in the freed object's own first bytes) and walks away; the owner
+/// drains the whole queue in one atomic exchange during its next refill.
+///
+/// The producer side is a Treiber push: one compare-exchange on the head,
+/// no allocation, no waiting — a failed CAS retries against the fresh
+/// head and cannot livelock producers against the consumer (drain swaps
+/// the head to null, after which pushes succeed immediately on the empty
+/// list).  The consumer side is a single exchange(nullptr), so drain is
+/// wait-free and sees a consistent snapshot: every push whose CAS
+/// completed before the exchange is in the snapshot, later pushes land on
+/// the fresh empty list.
+///
+/// Pushes build a LIFO chain; drainAll reverses it before returning, so
+/// the consumer observes each producer's nodes in push order
+/// (FIFO-per-producer).  All head updates are RMWs, so they form a single
+/// release sequence: a consumer that acquires the head synchronizes with
+/// *every* producer in the chain, not just the last one — each node's
+/// payload writes (sequenced before its push) are visible at drain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_SUPPORT_MPSCQUEUE_H
+#define EXTERMINATOR_SUPPORT_MPSCQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace exterminator {
+
+/// One queue link.  Embed as the first member of (or placement-new into)
+/// the queued object; the queue never allocates.
+struct MpscNode {
+  MpscNode *Next = nullptr;
+};
+
+/// Lock-free multi-producer single-consumer intrusive queue.
+///
+/// Any thread may push concurrently; drainAll must be called by one
+/// thread at a time (the owner, under its own serialization).  Nodes are
+/// borrowed, never owned: after drainAll returns, the consumer is free to
+/// reuse or destroy the node memory.
+class MpscQueue {
+public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue &) = delete;
+  MpscQueue &operator=(const MpscQueue &) = delete;
+
+  /// Links \p Node into the queue.  Lock-free; safe from any thread.
+  void push(MpscNode *Node) {
+    MpscNode *Expected = Head.load(std::memory_order_relaxed);
+    do {
+      Node->Next = Expected;
+    } while (!Head.compare_exchange_weak(Expected, Node,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Detaches every queued node and returns them in FIFO-per-producer
+  /// order (oldest first).  Wait-free; single consumer at a time.
+  MpscNode *drainAll() {
+    MpscNode *Chain = Head.exchange(nullptr, std::memory_order_acquire);
+    // The chain is newest-first; reverse it so consumers see each
+    // producer's pushes in order.
+    MpscNode *Reversed = nullptr;
+    while (Chain) {
+      MpscNode *Next = Chain->Next;
+      Chain->Next = Reversed;
+      Reversed = Chain;
+      Chain = Next;
+    }
+    return Reversed;
+  }
+
+  /// True when no node is queued.  A racing push may land immediately
+  /// after; use only as a drain-skip hint or under quiescence.
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) == nullptr;
+  }
+
+private:
+  std::atomic<MpscNode *> Head{nullptr};
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_SUPPORT_MPSCQUEUE_H

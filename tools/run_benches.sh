@@ -4,8 +4,11 @@
 # Builds the tree and regenerates the machine-readable bench reports:
 #
 #   BENCH_hotpath.json   — micro_allocators: per-op malloc/free costs,
-#                          fast-vs-legacy speedups, and the heap-image
-#                          v1-vs-v2 footprint (schema: ROADMAP.md)
+#                          fast-vs-legacy speedups, the contended mt-*
+#                          scenarios (per-thread caches vs global lock,
+#                          with lock-acquisitions-per-op), and the
+#                          heap-image v1-vs-v2 footprint
+#                          (schema: ROADMAP.md)
 #   BENCH_exchange.json  — exp_collaborative: patch-exchange ingest
 #                          throughput and ImageBundle size ratio
 #                          (schema: ROADMAP.md)
