@@ -22,8 +22,14 @@
 // ingest throughput and the pump rounds until every server's patch
 // set serializes bit-identically.
 //
+// PR 8 adds the observability-plane overhead measurement: the same
+// 3-server fleet ingest run twice — once with a MetricsRegistry
+// attached to every server and replica set, once bare — in alternating
+// timed blocks, reporting the relative ingest cost of being observable
+// (the pull-collector design should make it noise-level).
+//
 // --json FILE writes BENCH_exchange.json (schema in ROADMAP.md):
-//   schema_version        2
+//   schema_version        3
 //   config                {smoke, images_per_submission, rounds}
 //   ingest[]              {kind, items, seconds, per_sec} for
 //                         kind ∈ {image-submission, image, summary}
@@ -34,6 +40,8 @@
 //                          pump_rounds, records_streamed,
 //                          replicated_summaries, duplicates_suppressed,
 //                          converged_identical, patch_bytes}
+//   stats_overhead        {rounds, summaries_per_round, base_per_sec,
+//                          instrumented_per_sec, overhead_pct}
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +52,7 @@
 #include "exchange/PatchServer.h"
 #include "exchange/Replication.h"
 #include "heapimage/HeapImageIO.h"
+#include "observe/MetricsRegistry.h"
 #include "heapimage/ImageBundle.h"
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
@@ -313,6 +322,92 @@ int main(int Argc, char **Argv) {
        FleetSummaries);
 
   //===--------------------------------------------------------------------===//
+  // Observability-plane overhead (registry vs no-op)
+  //===--------------------------------------------------------------------===//
+
+  heading("PR 8: observability-plane overhead (registry vs no-op)");
+  note("same 3-server fleet ingest, alternating bare and instrumented "
+       "blocks; the pull-collector design touches nothing on the ingest "
+       "path, so the delta should be noise");
+
+  const unsigned OverheadRounds = Smoke ? 3 : 8;
+  const unsigned OverheadSummaries = Smoke ? 100 : 500;
+
+  // One full fleet ingest block: fresh 3-server loopback mesh, summaries
+  // in round-robin, one stream drain.  When \p Instrumented, every
+  // server and replica set publishes into a registry and one scrape runs
+  // at the end — the steady-state shape of a monitored fleet.
+  auto fleetIngestSeconds = [&](bool Instrumented) -> double {
+    MetricsRegistry Registry;
+    PatchServer Servers[3];
+    std::vector<std::unique_ptr<ReplicaSet>> Mesh;
+    for (unsigned I = 0; I < 3; ++I) {
+      auto Replicas = std::make_unique<ReplicaSet>(Servers[I]);
+      for (unsigned J = 0; J < 3; ++J)
+        if (J != I)
+          Replicas->addPeer(fmt("s%u", J),
+                            std::make_unique<LoopbackTransport>(Servers[J]));
+      if (Instrumented) {
+        Servers[I].attachMetrics(Registry);
+        Replicas->attachMetrics(Registry);
+      }
+      Mesh.push_back(std::move(Replicas));
+    }
+    LoopbackTransport Links[3] = {LoopbackTransport(Servers[0]),
+                                  LoopbackTransport(Servers[1]),
+                                  LoopbackTransport(Servers[2])};
+    FailoverPolicy Rotate;
+    Rotate.Rotate = true;
+    FailoverTransport Transport({&Links[0], &Links[1], &Links[2]}, Rotate,
+                                {"s0", "s1", "s2"});
+    PatchClient Client(Transport);
+    bool Ok = true;
+    const double Seconds = timeSeconds([&] {
+      for (unsigned I = 0; I < OverheadSummaries; ++I)
+        Ok &= Client.submitSummary(Summary, 0);
+      for (auto &Replicas : Mesh)
+        Ok &= Replicas->drainOnce();
+    });
+    if (Instrumented && Registry.snapshot().Samples.empty())
+      Ok = false; // scrape must actually see the fleet
+    return Ok ? Seconds : -1.0;
+  };
+
+  // Alternate bare/instrumented so clock drift and cache warmth hit
+  // both sides equally; first pair is a discarded warmup.
+  fleetIngestSeconds(false);
+  fleetIngestSeconds(true);
+  double BaseSeconds = 0.0, InstrSeconds = 0.0;
+  bool OverheadOk = true;
+  for (unsigned Round = 0; Round < OverheadRounds; ++Round) {
+    const double Base = fleetIngestSeconds(false);
+    const double Instr = fleetIngestSeconds(true);
+    OverheadOk &= Base > 0.0 && Instr > 0.0;
+    BaseSeconds += Base;
+    InstrSeconds += Instr;
+  }
+  if (!OverheadOk) {
+    std::fprintf(stderr, "overhead measurement fleet failed\n");
+    return 1;
+  }
+  const double TotalOverheadSummaries =
+      double(OverheadRounds) * OverheadSummaries;
+  const double BasePerSec = TotalOverheadSummaries / BaseSeconds;
+  const double InstrPerSec = TotalOverheadSummaries / InstrSeconds;
+  const double OverheadPct = (InstrSeconds / BaseSeconds - 1.0) * 100.0;
+
+  Table Overhead({"fleet", "summaries", "seconds", "per second"});
+  Overhead.addRow({"bare (no registry)",
+                   fmt("%.0f", TotalOverheadSummaries),
+                   fmt("%.3f", BaseSeconds), fmt("%.0f", BasePerSec)});
+  Overhead.addRow({"instrumented (registry + scrape)",
+                   fmt("%.0f", TotalOverheadSummaries),
+                   fmt("%.3f", InstrSeconds), fmt("%.0f", InstrPerSec)});
+  Overhead.print();
+  note("observability overhead: %+.2f%% ingest cost (target: <= 2%%)",
+       OverheadPct);
+
+  //===--------------------------------------------------------------------===//
   // Bundle vs independent images
   //===--------------------------------------------------------------------===//
 
@@ -346,7 +441,7 @@ int main(int Argc, char **Argv) {
   if (!JsonPath.empty()) {
     JsonWriter Json;
     Json.beginObject();
-    Json.field("schema_version", 2);
+    Json.field("schema_version", 3);
     Json.beginObject("config");
     Json.field("smoke", Smoke);
     Json.field("images_per_submission", int(ImagesPerSubmission));
@@ -396,6 +491,13 @@ int main(int Argc, char **Argv) {
     Json.field("duplicates_suppressed", DuplicatesSuppressed);
     Json.field("converged_identical", ConvergedIdentical);
     Json.field("patch_bytes", uint64_t(FleetBytes.size()));
+    Json.endObject();
+    Json.beginObject("stats_overhead");
+    Json.field("rounds", uint64_t(OverheadRounds));
+    Json.field("summaries_per_round", uint64_t(OverheadSummaries));
+    Json.field("base_per_sec", BasePerSec);
+    Json.field("instrumented_per_sec", InstrPerSec);
+    Json.field("overhead_pct", OverheadPct);
     Json.endObject();
     Json.endObject();
     if (!Json.writeFile(JsonPath)) {

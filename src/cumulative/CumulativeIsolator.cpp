@@ -137,6 +137,49 @@ CumulativeIsolator::classifyDanglings() const {
   return Findings;
 }
 
+std::vector<SitePosterior>
+CumulativeIsolator::sitePosteriors(size_t MaxSites) const {
+  std::vector<SitePosterior> Out;
+  const BayesClassifier Classifier(Config.PriorC);
+  if (!OverflowSites.empty()) {
+    const size_t NumSites = Config.TotalSitesHint ? Config.TotalSitesHint
+                                                  : OverflowSites.size();
+    const double Threshold = Classifier.logThreshold(NumSites);
+    for (const auto &[Site, State] : OverflowSites) {
+      SitePosterior P;
+      P.AllocSite = Site;
+      P.LogBayesFactor = State.Accum.logBayesFactor();
+      P.LogThreshold = Threshold;
+      P.TrialCount = static_cast<uint32_t>(State.Trials.size());
+      P.ObservedCount = State.Observed;
+      Out.push_back(P);
+    }
+  }
+  if (!DanglingPairs.empty()) {
+    const size_t NumPairs = Config.TotalSitesHint ? Config.TotalSitesHint
+                                                  : DanglingPairs.size();
+    const double Threshold = Classifier.logThreshold(NumPairs);
+    for (const auto &[Key, State] : DanglingPairs) {
+      SitePosterior P;
+      P.Dangling = true;
+      P.AllocSite = static_cast<SiteId>(Key >> 32);
+      P.FreeSite = static_cast<SiteId>(Key & 0xffffffffu);
+      P.LogBayesFactor = State.Accum.logBayesFactor();
+      P.LogThreshold = Threshold;
+      P.TrialCount = static_cast<uint32_t>(State.Trials.size());
+      P.ObservedCount = State.Observed;
+      Out.push_back(P);
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SitePosterior &A, const SitePosterior &B) {
+              return A.margin() > B.margin();
+            });
+  if (MaxSites && Out.size() > MaxSites)
+    Out.resize(MaxSites);
+  return Out;
+}
+
 PatchSet CumulativeIsolator::patches() const {
   PatchSet Patches;
   for (const CumulativeOverflowFinding &Finding : classifyOverflows())

@@ -64,6 +64,21 @@ struct CumulativeDanglingFinding {
   uint32_t ObservedCount = 0;
 };
 
+/// One tracked site's (or site pair's) standing against the §5.1
+/// classification bar, classified or not — what the observability plane
+/// exports as the xterm_site_posterior family.  margin() > 0 is exactly
+/// the classify* flagging condition.
+struct SitePosterior {
+  bool Dangling = false;
+  SiteId AllocSite = 0;
+  SiteId FreeSite = 0; ///< meaningful only when Dangling
+  double LogBayesFactor = 0.0;
+  double LogThreshold = 0.0;
+  uint32_t TrialCount = 0;
+  uint32_t ObservedCount = 0;
+  double margin() const { return LogBayesFactor - LogThreshold; }
+};
+
 /// Accumulates run summaries and classifies error sources.
 class CumulativeIsolator {
 public:
@@ -79,6 +94,12 @@ public:
   /// Sites whose Bayes factor crosses the threshold, best-first.
   std::vector<CumulativeOverflowFinding> classifyOverflows() const;
   std::vector<CumulativeDanglingFinding> classifyDanglings() const;
+
+  /// Every tracked site's standing against the bar (thresholds computed
+  /// exactly as classify* computes them), worst-offender-first by
+  /// margin; \p MaxSites > 0 truncates to the top offenders so the
+  /// exported family stays bounded regardless of fleet history.
+  std::vector<SitePosterior> sitePosteriors(size_t MaxSites = 0) const;
 
   /// Runtime patches for everything currently classified as an error.
   PatchSet patches() const;

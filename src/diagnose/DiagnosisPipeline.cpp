@@ -8,6 +8,7 @@
 #include "support/Serializer.h"
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace exterminator;
 
@@ -71,12 +72,14 @@ DiagnosisPipeline::indexedViews(const std::vector<HeapImage> &Images) const {
       Equal = Candidate->OwnedImages[I] == Images[I];
     if (!Equal)
       continue;
+    CacheHits.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> Lock(CacheMutex);
     for (CacheSlot &Slot : ViewCache)
       if (Slot.Entry == Candidate)
         Slot.LastUse = ++CacheClock;
     return Candidate;
   }
+  CacheMisses.fetch_add(1, std::memory_order_relaxed);
   // A cached candidate that fails equality is a fingerprint collision:
   // treat it as a second sighting so the colliding set can still be
   // cached (insertion below replaces nothing; both entries coexist).
@@ -213,4 +216,50 @@ bool DiagnosisPipeline::restoreState(const std::vector<uint8_t> &Buffer) {
   Active = std::move(NewActive);
   Cumulative = std::move(NewCumulative);
   return true;
+}
+
+/// Renders a 32-bit site id the way reports print them.
+static std::string formatSite(SiteId Site) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", Site);
+  return Buf;
+}
+
+void DiagnosisPipeline::collectMetrics(std::vector<MetricSample> &Out,
+                                       size_t MaxSites) const {
+  MetricsRegistry::addGauge(Out, "xterm_epoch", {}, double(Epoch));
+  MetricsRegistry::addGauge(Out, "xterm_active_patches",
+                            MetricsRegistry::label("kind", "pad"),
+                            double(Active.padCount()));
+  MetricsRegistry::addGauge(Out, "xterm_active_patches",
+                            MetricsRegistry::label("kind", "front_pad"),
+                            double(Active.frontPadCount()));
+  MetricsRegistry::addGauge(Out, "xterm_active_patches",
+                            MetricsRegistry::label("kind", "deferral"),
+                            double(Active.deferralCount()));
+  MetricsRegistry::addCounter(Out, "xterm_cumulative_runs_total", {},
+                              double(Cumulative.runCount()));
+  MetricsRegistry::addCounter(Out, "xterm_cumulative_failed_runs_total", {},
+                              double(Cumulative.failedRunCount()));
+  MetricsRegistry::addCounter(Out, "xterm_cumulative_corrupt_runs_total", {},
+                              double(Cumulative.corruptRunCount()));
+  const double Hits = double(CacheHits.load(std::memory_order_relaxed));
+  const double Misses = double(CacheMisses.load(std::memory_order_relaxed));
+  MetricsRegistry::addCounter(Out, "xterm_image_cache_hits_total", {}, Hits);
+  MetricsRegistry::addCounter(Out, "xterm_image_cache_misses_total", {},
+                              Misses);
+  MetricsRegistry::addGauge(Out, "xterm_image_cache_hit_ratio", {},
+                            Hits + Misses > 0 ? Hits / (Hits + Misses) : 0.0);
+  for (const SitePosterior &P : Cumulative.sitePosteriors(MaxSites)) {
+    std::string Labels =
+        P.Dangling
+            ? MetricsRegistry::label("kind", "dangling") + "," +
+                  MetricsRegistry::label("alloc", formatSite(P.AllocSite)) +
+                  "," + MetricsRegistry::label("free", formatSite(P.FreeSite))
+            : MetricsRegistry::label("kind", "overflow") + "," +
+                  MetricsRegistry::label("site", formatSite(P.AllocSite));
+    MetricsRegistry::addGauge(Out, "xterm_site_posterior", Labels, P.margin());
+    MetricsRegistry::addCounter(Out, "xterm_site_trials_total",
+                                std::move(Labels), double(P.TrialCount));
+  }
 }

@@ -36,9 +36,11 @@
 #include "cumulative/CumulativeIsolator.h"
 #include "heapimage/HeapImage.h"
 #include "isolate/ErrorIsolator.h"
+#include "observe/MetricsRegistry.h"
 #include "patch/RuntimePatch.h"
 #include "report/PatchReport.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -161,6 +163,15 @@ public:
   /// Renders the active patch set as a bug report (§9).
   std::string report(const SiteRegistry *Registry = nullptr) const;
 
+  /// Appends this pipeline's observability samples: epoch, active patch
+  /// counts, cumulative run counts, image-cache hit rate, and the top
+  /// \p MaxSites per-site corruption posteriors (margin over the §5.1
+  /// bar) with their trial counts.  The caller synchronizes pipeline
+  /// access exactly as for any other read (the patch server calls this
+  /// under its mutex).
+  void collectMetrics(std::vector<MetricSample> &Out,
+                      size_t MaxSites = 32) const;
+
 private:
   /// Merges \p Derived into the active set, bumping the epoch when the
   /// merge actually changed it.
@@ -196,6 +207,12 @@ private:
   };
   static constexpr size_t MaxRecentFingerprints = 8;
   mutable std::mutex CacheMutex;
+  /// View-cache effectiveness counters (observability): a hit is an
+  /// equality-verified cached entry reused; everything else that
+  /// indexes views is a miss.  Atomic because isolateImages is const
+  /// and concurrent.
+  mutable std::atomic<uint64_t> CacheHits{0};
+  mutable std::atomic<uint64_t> CacheMisses{0};
   mutable std::vector<CacheSlot> ViewCache;
   /// Fingerprints seen once (FIFO): promotion-to-cache gate.
   mutable std::vector<uint64_t> RecentFingerprints;

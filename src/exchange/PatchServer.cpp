@@ -188,6 +188,46 @@ PatchServerStats PatchServer::stats() const {
   return Stats;
 }
 
+uint64_t PatchServer::epoch() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Pipeline.epoch();
+}
+
+void PatchServer::attachMetrics(MetricsRegistry &Registry) {
+  Metrics = &Registry;
+  Registry.addCollector(
+      [this](std::vector<MetricSample> &Out) { collectMetrics(Out); });
+}
+
+void PatchServer::collectMetrics(std::vector<MetricSample> &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsRegistry::addCounter(Out, "xterm_ingest_images_total", {},
+                              double(Stats.ImagesIngested));
+  MetricsRegistry::addCounter(Out, "xterm_ingest_summaries_total", {},
+                              double(Stats.SummariesIngested));
+  MetricsRegistry::addCounter(Out, "xterm_fetches_served_total", {},
+                              double(Stats.FetchesServed));
+  MetricsRegistry::addCounter(Out, "xterm_fetches_unmodified_total", {},
+                              double(Stats.FetchesUnmodified));
+  MetricsRegistry::addCounter(Out, "xterm_frames_rejected_total", {},
+                              double(Stats.FramesRejected));
+  MetricsRegistry::addCounter(Out, "xterm_journal_appends_total", {},
+                              double(Stats.JournalAppends));
+  MetricsRegistry::addCounter(Out, "xterm_snapshots_written_total", {},
+                              double(Stats.SnapshotsWritten));
+  MetricsRegistry::addCounter(Out, "xterm_persist_failures_total", {},
+                              double(Stats.PersistFailures));
+  MetricsRegistry::addCounter(Out, "xterm_merges_ingested_total", {},
+                              double(Stats.MergesIngested));
+  MetricsRegistry::addCounter(Out, "xterm_replicated_summaries_total", {},
+                              double(Stats.ReplicatedSummaries));
+  MetricsRegistry::addCounter(Out, "xterm_duplicates_suppressed_total", {},
+                              double(Stats.DuplicatesSuppressed));
+  MetricsRegistry::addCounter(Out, "xterm_stats_served_total", {},
+                              double(Stats.StatsServed));
+  Pipeline.collectMetrics(Out);
+}
+
 bool PatchServer::handleFrame(const uint8_t *Request, size_t Size,
                               std::vector<uint8_t> &ResponseOut) {
   Frame Parsed;
@@ -380,6 +420,32 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       ++Stats.FetchesUnmodified;
     return encodeFrame(MessageType::PatchesReply,
                        encodePatchesReply(Reply));
+  }
+
+  case MessageType::Stats: {
+    StatsFormat Format;
+    if (!decodeStatsRequest(Request.Payload, Format))
+      return Reject("malformed stats request");
+    // Snapshot *outside* Mutex: collectors (this server's included)
+    // take their own locks.
+    MetricsSnapshot Snap;
+    if (Metrics)
+      Snap = Metrics->snapshot();
+    else
+      collectMetrics(Snap.Samples);
+    StatsReply Reply;
+    Reply.Format = Format;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Reply.Instance = Instance;
+      Reply.Epoch = Pipeline.epoch();
+      ++Stats.StatsServed;
+    }
+    if (Format == StatsFormat::Text)
+      Reply.Text = MetricsRegistry::renderText(Snap);
+    else
+      Reply.Samples = std::move(Snap.Samples);
+    return encodeFrame(MessageType::StatsReply, encodeStatsReply(Reply));
   }
 
   case MessageType::Shutdown:

@@ -72,6 +72,8 @@ struct PatchServerStats {
   uint64_t MergesIngested = 0;       ///< MergePatches frames accepted
   uint64_t ReplicatedSummaries = 0;  ///< ReplicateSummary frames applied
   uint64_t DuplicatesSuppressed = 0; ///< summary tokens seen twice
+  /// Observability counters.
+  uint64_t StatsServed = 0; ///< Stats frames answered
 };
 
 /// Wraps a DiagnosisPipeline behind the framed wire protocol.
@@ -155,6 +157,25 @@ public:
 
   PatchServerStats stats() const;
 
+  /// Current epoch of the active patch set (one mutex acquisition; the
+  /// cheap accessor observability collectors read *before* taking their
+  /// own locks — see ReplicaSet::attachMetrics).
+  uint64_t epoch() const;
+
+  /// Attaches the observability plane: registers a collector exporting
+  /// this server's counters and its pipeline's diagnostic metrics, and
+  /// makes Stats requests answer with \p Registry's full snapshot
+  /// (every subsystem that attached to it) instead of only this
+  /// server's own samples.  Attach before serving; this server must
+  /// outlive the registry's last snapshot.
+  void attachMetrics(MetricsRegistry &Registry);
+
+  /// Appends this server's samples (ingestion counters plus the
+  /// pipeline's collectMetrics) — what the registry collector pulls,
+  /// and what a Stats request falls back to when no registry is
+  /// attached.
+  void collectMetrics(std::vector<MetricSample> &Out) const;
+
   /// Random identity of this server process.  Epochs are only
   /// comparable within one instance; clients key staleness on the
   /// (instance, epoch) pair so a restarted server (epoch back at 0)
@@ -185,6 +206,10 @@ private:
   unsigned SnapshotInterval = 64;
   /// Replication sink (optional; set before serving).
   ReplicationSink *Replica = nullptr;
+  /// Observability registry (optional; set before serving).  Stats
+  /// requests snapshot it *outside* Mutex — collectors take their own
+  /// subsystem locks, this server's included.
+  MetricsRegistry *Metrics = nullptr;
   /// Two-generation token window: lookups hit both sets, inserts go to
   /// Current; when Current fills, Previous is dropped and the sets
   /// rotate.  Bounds memory while keeping any token for at least

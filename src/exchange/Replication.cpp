@@ -43,6 +43,44 @@ ReplicaSetStats ReplicaSet::stats() const {
   return Counters;
 }
 
+void ReplicaSet::attachMetrics(MetricsRegistry &Registry) {
+  Registry.addCollector(
+      [this](std::vector<MetricSample> &Out) { collectMetrics(Out); });
+}
+
+void ReplicaSet::collectMetrics(std::vector<MetricSample> &Out) const {
+  // Fetch the local epoch *before* taking the replica mutex: epoch()
+  // locks the server, and Mutex is never held across calls into Local
+  // (the lock-order rule in the member comment applies to collectors
+  // too).
+  const uint64_t LocalEpoch = Local.epoch();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsRegistry::addCounter(Out, "xterm_replication_records_streamed_total",
+                              {}, double(Counters.RecordsStreamed));
+  MetricsRegistry::addCounter(Out, "xterm_replication_stream_failures_total",
+                              {}, double(Counters.StreamFailures));
+  MetricsRegistry::addCounter(Out, "xterm_replication_anti_entropy_rounds_total",
+                              {}, double(Counters.AntiEntropyRounds));
+  MetricsRegistry::addCounter(Out, "xterm_replication_push_merges_total", {},
+                              double(Counters.PushMerges));
+  MetricsRegistry::addCounter(Out, "xterm_replication_pull_merges_total", {},
+                              double(Counters.PullMerges));
+  MetricsRegistry::addCounter(Out, "xterm_replication_queue_overflows_total",
+                              {}, double(Counters.QueueOverflows));
+  for (const std::unique_ptr<Peer> &P : Peers) {
+    const std::string Labels = MetricsRegistry::label("peer", P->Label);
+    MetricsRegistry::addGauge(Out, "xterm_replication_queue_depth", Labels,
+                              double(P->Outbound.size()));
+    const uint64_t Lag = P->PushedEpoch == NeverAcked
+                             ? LocalEpoch
+                             : (LocalEpoch > P->PushedEpoch
+                                    ? LocalEpoch - P->PushedEpoch
+                                    : 0);
+    MetricsRegistry::addGauge(Out, "xterm_replication_acked_epoch_lag", Labels,
+                              double(Lag));
+  }
+}
+
 void ReplicaSet::enqueueAll(const std::vector<uint8_t> &Frame) {
   if (Frame.empty())
     return; // over the frame limit; anti-entropy will carry the state

@@ -122,7 +122,17 @@ public:
 
   ReplicaSetStats stats() const;
 
+  /// Attaches the observability plane: a pull collector exporting the
+  /// replication counters plus per-peer queue depth and acked-epoch lag
+  /// gauges (labelled peer="<Label>").  Lag is how many epochs the
+  /// local set is ahead of the peer's last acked push (a peer that
+  /// never acked lags by the full local epoch).  Attach before serving;
+  /// this set must outlive the registry's last snapshot.
+  void attachMetrics(MetricsRegistry &Registry);
+
 private:
+  void collectMetrics(std::vector<MetricSample> &Out) const;
+
   struct Peer {
     std::string Label;
     std::unique_ptr<ClientTransport> Transport;

@@ -382,6 +382,23 @@ void SocketPatchServer::stop() {
     Background.join();
 }
 
+void SocketPatchServer::attachMetrics(MetricsRegistry &Registry) {
+  Registry.addCollector([this](std::vector<MetricSample> &Out) {
+    MetricsRegistry::addCounter(
+        Out, "xterm_connections_accepted_total", {},
+        double(ConnectionsAccepted.load(std::memory_order_relaxed)));
+    MetricsRegistry::addCounter(
+        Out, "xterm_connections_shed_total", {},
+        double(ConnectionsShed.load(std::memory_order_relaxed)));
+    MetricsRegistry::addCounter(
+        Out, "xterm_read_timeout_cutoffs_total", {},
+        double(ReadTimeoutCutoffs.load(std::memory_order_relaxed)));
+    MetricsRegistry::addGauge(
+        Out, "xterm_active_connections", {},
+        double(ActiveConnections.load(std::memory_order_relaxed)));
+  });
+}
+
 void SocketPatchServer::acceptLoop() {
   for (;;) {
     // Poll before accepting so stop detection does not depend on
@@ -414,9 +431,11 @@ void SocketPatchServer::acceptLoop() {
     // retry against a less loaded mirror).
     if (MaxConnections != 0 &&
         ActiveConnections.load(std::memory_order_acquire) >= MaxConnections) {
+      ConnectionsShed.fetch_add(1, std::memory_order_relaxed);
       ::close(Fd);
       continue;
     }
+    ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
     ActiveConnections.fetch_add(1, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -466,6 +485,12 @@ void SocketPatchServer::serveConnection(int Fd) {
         readFrameBytes(Fd, Request, ReadTimeoutMs != 0 ? &Deadline : nullptr);
     if (Read == FrameRead::CleanEof)
       break;
+    // readFrameBytes reports a deadline expiry as Garbage (a partial
+    // frame); the expired clock is what distinguishes a cut-off stall
+    // from actual garbage bytes.
+    if (Read == FrameRead::Garbage && ReadTimeoutMs != 0 &&
+        std::chrono::steady_clock::now() >= Deadline)
+      ReadTimeoutCutoffs.fetch_add(1, std::memory_order_relaxed);
     // handleFrame answers garbage with a precise ErrorReply; its false
     // return means the byte stream cannot be resynchronized, so reply
     // and close.

@@ -42,6 +42,7 @@
 
 namespace exterminator {
 
+class MetricsRegistry;
 class PatchServer;
 
 /// A parsed endpoint string.
@@ -153,6 +154,12 @@ public:
   /// requestStop() and join the background thread, if any.
   void stop();
 
+  /// Attaches the observability plane: a pull collector exporting
+  /// connections accepted/shed, read-timeout cutoffs, and the active
+  /// connection gauge.  Attach before serving; this front-end must
+  /// outlive the registry's last snapshot.
+  void attachMetrics(MetricsRegistry &Registry);
+
 private:
   void acceptLoop();
   void workerLoop();
@@ -170,6 +177,12 @@ private:
   unsigned MaxConnections = 0;
   /// Connections accepted and not yet fully served.
   std::atomic<unsigned> ActiveConnections{0};
+  /// Observability counters (exported by attachMetrics; always
+  /// maintained — they are single relaxed atomics on per-connection,
+  /// not per-frame, paths).
+  std::atomic<uint64_t> ConnectionsAccepted{0};
+  std::atomic<uint64_t> ConnectionsShed{0};
+  std::atomic<uint64_t> ReadTimeoutCutoffs{0};
 
   std::mutex QueueMutex;
   std::condition_variable QueueReady;

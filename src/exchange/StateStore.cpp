@@ -7,6 +7,7 @@
 #include "support/Serializer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <dirent.h>
 #include <sys/stat.h>
@@ -112,6 +113,11 @@ std::vector<std::string> StateStore::snapshotFiles() const {
 
 uint64_t StateStore::appendedSinceSnapshot() const {
   return Appended.load(std::memory_order_relaxed);
+}
+
+void StateStore::attachMetrics(MetricsRegistry &Registry) {
+  AppendLatency = Registry.histogram("xterm_journal_append_seconds");
+  FsyncLatency = Registry.histogram("xterm_journal_fsync_seconds");
 }
 
 void StateStore::closeJournal() {
@@ -352,6 +358,12 @@ bool StateStore::drain(size_t &AppendedOut) {
 
   bool Ok = Journal != nullptr && !JournalFailed;
   size_t Wrote = 0;
+  // Timing is gated on attachment: un-instrumented stores must not pay
+  // even the clock reads.
+  const bool Timed = bool(AppendLatency);
+  const auto AppendStart =
+      Timed ? std::chrono::steady_clock::now()
+            : std::chrono::steady_clock::time_point();
   for (const std::vector<uint8_t> &Record : Batch) {
     if (!Ok)
       break;
@@ -370,7 +382,17 @@ bool StateStore::drain(size_t &AppendedOut) {
       ++Wrote;
   }
   if (Wrote) {
-    Ok = Ok && std::fflush(Journal) == 0 && ::fsync(::fileno(Journal)) == 0;
+    if (Timed) {
+      const auto WriteEnd = std::chrono::steady_clock::now();
+      AppendLatency.observe(
+          std::chrono::duration<double>(WriteEnd - AppendStart).count());
+      Ok = Ok && std::fflush(Journal) == 0 && ::fsync(::fileno(Journal)) == 0;
+      FsyncLatency.observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - WriteEnd)
+                               .count());
+    } else {
+      Ok = Ok && std::fflush(Journal) == 0 && ::fsync(::fileno(Journal)) == 0;
+    }
     Appended.fetch_add(Wrote, std::memory_order_relaxed);
   }
   AppendedOut = Wrote;

@@ -57,6 +57,7 @@
 #define EXTERMINATOR_EXCHANGE_STATESTORE_H
 
 #include "cumulative/RunSummary.h"
+#include "observe/MetricsRegistry.h"
 #include "patch/RuntimePatch.h"
 
 #include <atomic>
@@ -150,6 +151,13 @@ public:
   /// trigger).
   uint64_t appendedSinceSnapshot() const;
 
+  /// Publishes journal IO latency into \p Registry as the
+  /// xterm_journal_append_seconds (per-drain batch write) and
+  /// xterm_journal_fsync_seconds (per-drain fflush+fsync) histograms.
+  /// Push-model: the fsync these time dwarfs the atomic bucket bumps.
+  /// Attach before serving.
+  void attachMetrics(MetricsRegistry &Registry);
+
   const std::string &directory() const { return Dir; }
   /// Path of the newest on-disk snapshot (the head of the ring), or of
   /// the legacy single-file layout when only that exists.
@@ -178,6 +186,10 @@ private:
   std::FILE *Journal = nullptr;
   std::atomic<uint64_t> Appended{0};
   bool JournalFailed = false;
+
+  /// Observability (no-op handles until attachMetrics).
+  MetricsRegistry::Histogram AppendLatency;
+  MetricsRegistry::Histogram FsyncLatency;
 };
 
 } // namespace exterminator

@@ -26,6 +26,7 @@ static bool isKnownType(uint8_t Type) {
   case MessageType::Shutdown:
   case MessageType::MergePatches:
   case MessageType::ReplicateSummary:
+  case MessageType::Stats:
   case MessageType::SubmitImagesReply:
   case MessageType::SubmitSummaryReply:
   case MessageType::PatchesReply:
@@ -33,6 +34,7 @@ static bool isKnownType(uint8_t Type) {
   case MessageType::ErrorReply:
   case MessageType::MergePatchesReply:
   case MessageType::ReplicateReply:
+  case MessageType::StatsReply:
     return true;
   }
   return false;
@@ -429,5 +431,95 @@ bool exterminator::decodeErrorReply(const std::vector<uint8_t> &Payload,
   MessageOut.resize(Size);
   if (!Reader.readBytes(MessageOut.data(), Size))
     return false;
+  return Source.remaining() == 0;
+}
+
+std::vector<uint8_t> exterminator::encodeStatsRequest(StatsFormat Format) {
+  return {static_cast<uint8_t>(Format)};
+}
+
+bool exterminator::decodeStatsRequest(const std::vector<uint8_t> &Payload,
+                                      StatsFormat &FormatOut) {
+  if (Payload.size() != 1 ||
+      Payload[0] > static_cast<uint8_t>(StatsFormat::Text))
+    return false;
+  FormatOut = static_cast<StatsFormat>(Payload[0]);
+  return true;
+}
+
+/// Sample counts in a reply are bounded by what a registry can plausibly
+/// hold (tens of instruments plus a capped per-site family), not by what
+/// a forged frame claims.
+static constexpr uint64_t MaxStatsSamples = uint64_t(1) << 16;
+
+std::vector<uint8_t> exterminator::encodeStatsReply(const StatsReply &Reply) {
+  std::vector<uint8_t> Payload;
+  VectorSink Sink(Payload);
+  StreamWriter Writer(Sink);
+  Writer.writeU64(Reply.Instance);
+  Writer.writeU64(Reply.Epoch);
+  Writer.writeU8(static_cast<uint8_t>(Reply.Format));
+  if (Reply.Format == StatsFormat::Text) {
+    Writer.writeVarU64(Reply.Text.size());
+    Writer.writeBytes(Reply.Text.data(), Reply.Text.size());
+    return Payload;
+  }
+  Writer.writeVarU64(Reply.Samples.size());
+  for (const MetricSample &S : Reply.Samples) {
+    Writer.writeVarU64(S.Name.size());
+    Writer.writeBytes(S.Name.data(), S.Name.size());
+    Writer.writeVarU64(S.Labels.size());
+    Writer.writeBytes(S.Labels.data(), S.Labels.size());
+    Writer.writeF64(S.Value);
+    Writer.writeU8(static_cast<uint8_t>(S.Kind));
+  }
+  return Payload;
+}
+
+bool exterminator::decodeStatsReply(const std::vector<uint8_t> &Payload,
+                                    StatsReply &ReplyOut) {
+  MemorySource Source(Payload);
+  StreamReader Reader(Source);
+  ReplyOut.Instance = Reader.readU64();
+  ReplyOut.Epoch = Reader.readU64();
+  const uint8_t Format = Reader.readU8();
+  if (Reader.failed() || Format > static_cast<uint8_t>(StatsFormat::Text))
+    return false;
+  ReplyOut.Format = static_cast<StatsFormat>(Format);
+  if (ReplyOut.Format == StatsFormat::Text) {
+    const uint64_t TextSize = Reader.readVarU64();
+    if (Reader.failed() || TextSize > Payload.size())
+      return false;
+    ReplyOut.Text.resize(TextSize);
+    if (!Reader.readBytes(ReplyOut.Text.data(), TextSize))
+      return false;
+    return Source.remaining() == 0;
+  }
+  const uint64_t Count = Reader.readVarU64();
+  if (Reader.failed() || Count > MaxStatsSamples)
+    return false;
+  ReplyOut.Samples.clear();
+  ReplyOut.Samples.reserve(Count);
+  for (uint64_t I = 0; I < Count; ++I) {
+    MetricSample S;
+    const uint64_t NameSize = Reader.readVarU64();
+    if (Reader.failed() || NameSize > Payload.size())
+      return false;
+    S.Name.resize(NameSize);
+    if (!Reader.readBytes(S.Name.data(), NameSize))
+      return false;
+    const uint64_t LabelsSize = Reader.readVarU64();
+    if (Reader.failed() || LabelsSize > Payload.size())
+      return false;
+    S.Labels.resize(LabelsSize);
+    if (!Reader.readBytes(S.Labels.data(), LabelsSize))
+      return false;
+    S.Value = Reader.readF64();
+    const uint8_t Kind = Reader.readU8();
+    if (Reader.failed() || Kind > static_cast<uint8_t>(SampleKind::Gauge))
+      return false;
+    S.Kind = static_cast<SampleKind>(Kind);
+    ReplyOut.Samples.push_back(std::move(S));
+  }
   return Source.remaining() == 0;
 }

@@ -39,12 +39,19 @@
 /// tokens and answer a duplicate with their current state instead of
 /// re-applying it.
 ///
+/// v3 adds the observability pair (Stats, StatsReply): any endpoint can
+/// be scraped for a point-in-time metrics snapshot, either as binary
+/// samples (what `xtermtool watch` and the AlertEngine consume) or as
+/// server-rendered Prometheus-style text exposition (what `xtermtool
+/// stats` prints).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_EXCHANGE_WIREPROTOCOL_H
 #define EXTERMINATOR_EXCHANGE_WIREPROTOCOL_H
 
 #include "diagnose/DiagnosisPipeline.h"
+#include "observe/MetricsRegistry.h"
 
 #include <cstdint>
 #include <optional>
@@ -55,7 +62,7 @@ namespace exterminator {
 
 /// Protocol constants.
 inline constexpr uint32_t FrameMagic = 0x58504631; // "XPF1"
-inline constexpr uint8_t ProtocolVersion = 2;
+inline constexpr uint8_t ProtocolVersion = 3;
 /// Bytes of frame header before the payload: magic + version + type +
 /// payload length.
 inline constexpr size_t FrameHeaderBytes = 10;
@@ -81,6 +88,8 @@ enum class MessageType : uint8_t {
   /// receiver must *not* forward it again (no-restream rule, see
   /// Replication.h) and answers with a cheap ack, not a diagnosis.
   ReplicateSummary = 6, ///< payload: u64 token ++ varint CleanStreak ++ blob
+  /// Scrape the server's metrics snapshot (observability; read-only).
+  Stats = 7, ///< payload: u8 format (see StatsFormat)
 
   // Replies.  Every substantive reply leads with the server's
   // u64 instance ++ u64 epoch (see encodeFetchPatches on why the pair).
@@ -91,6 +100,7 @@ enum class MessageType : uint8_t {
   ErrorReply = 68,         ///< payload: length-prefixed message string
   MergePatchesReply = 69,  ///< ++ u8 changed
   ReplicateReply = 70,     ///< ++ u8 applied (0: duplicate suppressed)
+  StatsReply = 71,         ///< ++ u8 format ++ samples or text blob
 };
 
 inline bool isReply(MessageType Type) {
@@ -240,6 +250,35 @@ bool decodeReplicateReply(const std::vector<uint8_t> &Payload,
 std::vector<uint8_t> encodeErrorReply(const std::string &Message);
 bool decodeErrorReply(const std::vector<uint8_t> &Payload,
                       std::string &MessageOut);
+
+/// How a Stats requester wants the snapshot serialized.
+enum class StatsFormat : uint8_t {
+  /// Flat MetricSample list — machine-readable, what `xtermtool watch`
+  /// and the AlertEngine consume.
+  Samples = 0,
+  /// Server-rendered text exposition — what `xtermtool stats` prints
+  /// verbatim (rendering on the server keeps every scraper's output
+  /// identical to the server's own exit report).
+  Text = 1,
+};
+
+/// Stats request: just the desired format.
+std::vector<uint8_t> encodeStatsRequest(StatsFormat Format);
+bool decodeStatsRequest(const std::vector<uint8_t> &Payload,
+                        StatsFormat &FormatOut);
+
+/// StatsReply: the server identity and epoch plus the snapshot in the
+/// requested format.
+struct StatsReply {
+  uint64_t Instance = 0;
+  uint64_t Epoch = 0;
+  StatsFormat Format = StatsFormat::Samples;
+  std::vector<MetricSample> Samples; ///< when Format == Samples
+  std::string Text;                  ///< when Format == Text
+};
+std::vector<uint8_t> encodeStatsReply(const StatsReply &Reply);
+bool decodeStatsReply(const std::vector<uint8_t> &Payload,
+                      StatsReply &ReplyOut);
 
 } // namespace exterminator
 

@@ -33,6 +33,16 @@
 //       <endpoints> is a comma-separated list; clients fail over down
 //       the list with jittered exponential backoff (shutdown instead
 //       addresses *every* listed server).
+//   xtermtool stats         <endpoints>
+//       Scrapes every listed server's metrics snapshot and prints the
+//       text exposition (`name{label="v"} value`) each one rendered,
+//       prefixed with a `# server` banner per endpoint.
+//   xtermtool watch         <endpoints> [--once] [--interval-ms N]
+//       Polls every listed server's metrics and renders a terse
+//       per-server line plus any active threshold alerts (built-in
+//       rules: corruption posterior over the classification bar,
+//       persist failures, replication queue overflow — with netdata-
+//       style hysteresis so a flapping metric alerts once).
 //   xtermtool record        <outdir>           write demo evidence files
 //
 // The tool is a thin client of the runtime: diagnose feeds images (v1 or
@@ -51,16 +61,20 @@
 #include "exchange/SocketTransport.h"
 #include "exchange/StateStore.h"
 #include "heapimage/HeapImageIO.h"
+#include "observe/AlertEngine.h"
+#include "observe/MetricsRegistry.h"
 #include "patch/PatchIO.h"
 #include "patch/PatchMerge.h"
 #include "report/PatchReport.h"
 #include "runtime/Exterminator.h"
 #include "workload/ScriptedBugs.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace exterminator;
@@ -83,11 +97,15 @@ static int usage() {
                "       xtermtool fetch-patches <endpoints> <out.xpt> "
                "[--require-nonempty]\n"
                "       xtermtool shutdown <endpoints>\n"
+               "       xtermtool stats    <endpoints>\n"
+               "       xtermtool watch    <endpoints> [--once] "
+               "[--interval-ms N]\n"
                "       xtermtool record   <outdir>\n"
                "endpoints: unix:/path.sock | tcp:PORT | tcp:HOST:PORT\n"
                "  submit/fetch-patches/shutdown accept a comma-separated\n"
                "  endpoint list (a replicated fleet; clients fail over\n"
-               "  down the list, shutdown addresses every server)\n");
+               "  down the list; shutdown/stats/watch address every\n"
+               "  server)\n");
   return 2;
 }
 
@@ -294,7 +312,12 @@ static int serveCommand(const std::string &Spec,
   if (!parseEndpointArg(Spec, Ep))
     return 1;
 
+  // One registry for every subsystem this process runs: the live Stats
+  // endpoint and the exit report below both render the same snapshot,
+  // so they can never disagree.
+  MetricsRegistry Registry;
   PatchServer Server;
+  Server.attachMetrics(Registry);
 
   // Replication links attach before any state arrives, so a --seed
   // file streams to the peers like any other local-origin change, and
@@ -305,6 +328,7 @@ static int serveCommand(const std::string &Spec,
     Replicas = std::make_unique<ReplicaSet>(Server);
     for (const Endpoint &Peer : PeerEndpoints)
       Replicas->addPeer(Peer);
+    Replicas->attachMetrics(Registry);
   }
 
   // Durable state restores first: the state directory is authoritative
@@ -315,6 +339,7 @@ static int serveCommand(const std::string &Spec,
   if (!StateDir.empty()) {
     Store = std::make_unique<StateStore>(StateDir);
     Store->setSnapshotKeep(SnapshotKeep);
+    Store->attachMetrics(Registry);
     std::string Error;
     if (!Server.attachState(*Store, SnapshotEvery, &Error)) {
       std::fprintf(stderr, "error: cannot restore state from '%s': %s\n",
@@ -341,6 +366,7 @@ static int serveCommand(const std::string &Spec,
   }
 
   SocketPatchServer Front(Server, Workers);
+  Front.attachMetrics(Registry);
   if (!Front.listen(Ep)) {
     std::fprintf(stderr, "error: cannot listen on %s\n", Spec.c_str());
     return 1;
@@ -365,41 +391,11 @@ static int serveCommand(const std::string &Spec,
     std::fprintf(stderr, "warning: final snapshot to '%s' failed\n",
                  StateDir.c_str());
 
-  const PatchServerStats Stats = Server.stats();
-  const PatchSnapshot Snap = Server.snapshot();
-  std::printf("served: %llu image(s), %llu summarie(s), %llu fetch(es) "
-              "(%llu unmodified), %llu rejected frame(s); final epoch "
-              "%llu with %zu pad(s), %zu front pad(s), %zu deferral(s)\n",
-              (unsigned long long)Stats.ImagesIngested,
-              (unsigned long long)Stats.SummariesIngested,
-              (unsigned long long)Stats.FetchesServed,
-              (unsigned long long)Stats.FetchesUnmodified,
-              (unsigned long long)Stats.FramesRejected,
-              (unsigned long long)Snap.Epoch, Snap.Patches.padCount(),
-              Snap.Patches.frontPadCount(), Snap.Patches.deferralCount());
-  if (Store)
-    std::printf("persisted: %llu journal append(s), %llu snapshot(s), "
-                "%llu failure(s) -> %s\n",
-                (unsigned long long)Stats.JournalAppends,
-                (unsigned long long)Stats.SnapshotsWritten,
-                (unsigned long long)Stats.PersistFailures,
-                StateDir.c_str());
-  if (Replicas) {
-    const ReplicaSetStats Rep = Replicas->stats();
-    std::printf("replicated: %llu record(s) streamed, %llu stream "
-                "failure(s), %llu anti-entropy round(s), %llu push "
-                "merge(s), %llu pull merge(s); ingested %llu merge(s), "
-                "%llu replicated summarie(s), %llu duplicate(s) "
-                "suppressed\n",
-                (unsigned long long)Rep.RecordsStreamed,
-                (unsigned long long)Rep.StreamFailures,
-                (unsigned long long)Rep.AntiEntropyRounds,
-                (unsigned long long)Rep.PushMerges,
-                (unsigned long long)Rep.PullMerges,
-                (unsigned long long)Stats.MergesIngested,
-                (unsigned long long)Stats.ReplicatedSummaries,
-                (unsigned long long)Stats.DuplicatesSuppressed);
-  }
+  // Exit report = the same registry snapshot the live Stats endpoint
+  // serves (the ad-hoc per-struct printing this replaces could drift
+  // from what a scrape saw; one snapshot path cannot).
+  std::printf("exit stats (registry snapshot):\n%s",
+              MetricsRegistry::renderText(Registry.snapshot()).c_str());
   return 0;
 }
 
@@ -509,6 +505,112 @@ static int shutdownCommand(const std::string &Spec) {
   return Failures ? 1 : 0;
 }
 
+/// One Stats exchange with one server.  Returns false (with stderr
+/// noise) on transport failure, a rejected frame, or a malformed reply.
+static bool fetchStats(const Endpoint &Ep, StatsFormat Format,
+                       StatsReply &Out) {
+  SocketClientTransport Transport(Ep);
+  const std::vector<std::vector<uint8_t>> Requests = {
+      encodeFrame(MessageType::Stats, encodeStatsRequest(Format))};
+  std::vector<std::vector<uint8_t>> Responses;
+  if (!Transport.exchange(Requests, Responses) || Responses.size() != 1) {
+    std::fprintf(stderr, "error: stats exchange with %s failed: %s\n",
+                 endpointToString(Ep).c_str(),
+                 Transport.lastError().c_str());
+    return false;
+  }
+  Frame Reply;
+  size_t Consumed = 0;
+  if (decodeFrame(Responses[0].data(), Responses[0].size(), Reply,
+                  Consumed) != FrameError::None ||
+      Reply.Type != MessageType::StatsReply ||
+      !decodeStatsReply(Reply.Payload, Out)) {
+    std::fprintf(stderr, "error: malformed stats reply from %s\n",
+                 endpointToString(Ep).c_str());
+    return false;
+  }
+  return true;
+}
+
+static int statsCommand(const std::string &Spec) {
+  // Like shutdown, stats addresses every listed server individually —
+  // a scrape that silently failed over would attribute one server's
+  // metrics to another.
+  std::vector<Endpoint> Fleet;
+  if (!parseEndpointListArg(Spec, Fleet))
+    return 1;
+  int Failures = 0;
+  for (const Endpoint &Ep : Fleet) {
+    StatsReply Stats;
+    if (!fetchStats(Ep, StatsFormat::Text, Stats)) {
+      ++Failures;
+      continue;
+    }
+    std::printf("# server %s instance=%016llx epoch=%llu\n%s",
+                endpointToString(Ep).c_str(),
+                (unsigned long long)Stats.Instance,
+                (unsigned long long)Stats.Epoch, Stats.Text.c_str());
+  }
+  return Failures ? 1 : 0;
+}
+
+static int watchCommand(const std::string &Spec,
+                        const std::vector<std::string> &Options) {
+  std::vector<Endpoint> Fleet;
+  if (!parseEndpointListArg(Spec, Fleet))
+    return 1;
+  bool Once = false;
+  unsigned IntervalMs = 1000;
+  for (size_t I = 0; I < Options.size(); ++I) {
+    if (Options[I] == "--once") {
+      Once = true;
+    } else if (Options[I] == "--interval-ms" && I + 1 < Options.size()) {
+      IntervalMs = (unsigned)std::strtoul(Options[++I].c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown watch option '%s'\n",
+                   Options[I].c_str());
+      return usage();
+    }
+  }
+
+  // One engine per endpoint, persistent across rounds: hysteresis state
+  // (pending de-escalations, raise counts) lives in the engine, so a
+  // fresh engine each round would re-raise every alert every tick.
+  std::vector<AlertEngine> Engines(Fleet.size());
+  for (AlertEngine &Engine : Engines)
+    Engine.addBuiltinRules();
+
+  for (uint64_t Round = 0;; ++Round) {
+    for (size_t I = 0; I < Fleet.size(); ++I) {
+      StatsReply Stats;
+      if (!fetchStats(Fleet[I], StatsFormat::Samples, Stats))
+        continue; // engine holds state across a missed scrape
+      MetricsSnapshot Snap;
+      Snap.Samples = std::move(Stats.Samples);
+      Engines[I].evaluate(Snap, Round);
+      const auto Summaries = Snap.find("xterm_ingest_summaries_total");
+      const auto Posterior = Snap.maxValue("xterm_site_posterior");
+      std::printf("[%llu] %s epoch=%llu summaries=%.0f top_posterior=%s "
+                  "active_alerts=%zu\n",
+                  (unsigned long long)Round,
+                  endpointToString(Fleet[I]).c_str(),
+                  (unsigned long long)Stats.Epoch,
+                  Summaries ? Summaries->Value : 0.0,
+                  Posterior ? std::to_string(*Posterior).c_str() : "n/a",
+                  Engines[I].active().size());
+      const std::string Alerts = Engines[I].renderText();
+      if (!Alerts.empty())
+        std::printf("%s", Alerts.c_str());
+    }
+    std::fflush(stdout);
+    if (Once)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        IntervalMs ? IntervalMs : 1));
+  }
+  return 0;
+}
+
 /// Writes demo evidence: three heap images of the canonical scripted
 /// overflow (workload/ScriptedBugs.h) under different heap seeds
 /// (enough for §4 isolation) plus one failed-run summary.  Exists so
@@ -588,6 +690,14 @@ int main(int Argc, char **Argv) {
   }
   if (Command == "shutdown")
     return shutdownCommand(Argv[2]);
+  if (Command == "stats")
+    return statsCommand(Argv[2]);
+  if (Command == "watch") {
+    std::vector<std::string> Options;
+    for (int I = 3; I < Argc; ++I)
+      Options.push_back(Argv[I]);
+    return watchCommand(Argv[2], Options);
+  }
   if (Command == "record")
     return recordEvidence(Argv[2]);
   return usage();
