@@ -21,17 +21,28 @@
 #include "workload/EspressoWorkload.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace exterminator;
 using namespace benchreport;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+
   heading("Sec 7.2: injected dangling pointers in espresso");
 
   // --- Iterative mode --------------------------------------------------
   note("iterative mode (paper: 4 isolated / 4 read-only / 2 cascade of 10)");
   Table Iter({"fault", "discovery", "isolated", "corrected", "images"});
   unsigned IterIsolated = 0, IterCorrected = 0, NotIsolable = 0;
+  // Misclassification guard (PR 9): pure software faults, hardware
+  // injection off — the origin classifier diverting any of this
+  // evidence into a hardware-fault report would be a misclassification.
+  unsigned HardwareMisattributed = 0;
 
   for (unsigned Fault = 0; Fault < 10; ++Fault) {
     EspressoWorkload Work;
@@ -47,6 +58,7 @@ int main() {
     unsigned Images = 0;
     const char *Discovery = "clean";
     for (const IterativeEpisode &Ep : Outcome.Episodes) {
+      HardwareMisattributed += Ep.Result.HardwareFaults.size();
       Discovery = Ep.SignalAnchored                       ? "DieFast signal"
                   : Ep.DiscoveryStatus == RunStatusKind::Crash ? "crash"
                   : Ep.DiscoveryStatus == RunStatusKind::Abort ? "abort"
@@ -71,6 +83,8 @@ int main() {
   note("isolated %u/10, unisolable (read-only or cascade) %u/10 "
        "(paper: 4 and 6)",
        IterIsolated, NotIsolable);
+  note("origin attribution: %u hardware misclassification(s) (must be 0)",
+       HardwareMisattributed);
 
   // --- Cumulative mode -------------------------------------------------
   note("");
@@ -109,5 +123,25 @@ int main() {
          "failures: %.0f-%.0f (mean %.1f)",
          CumIsolated, RunsStat.min(), RunsStat.max(), RunsStat.mean(),
          FailStat.min(), FailStat.max(), FailStat.mean());
-  return 0;
+
+  if (!JsonPath.empty()) {
+    JsonWriter Json;
+    Json.beginObject();
+    Json.field("schema_version", 1);
+    Json.field("experiment", "injected_dangling");
+    Json.field("software_findings", uint64_t(IterIsolated + CumIsolated));
+    Json.field("hardware_misclassifications", uint64_t(HardwareMisattributed));
+    Json.field("software_attribution_pct",
+               HardwareMisattributed == 0 ? 100.0
+                                          : 100.0 * (IterIsolated + CumIsolated) /
+                                                (IterIsolated + CumIsolated +
+                                                 HardwareMisattributed));
+    Json.endObject();
+    if (!Json.writeFile(JsonPath)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    note("wrote %s", JsonPath.c_str());
+  }
+  return HardwareMisattributed == 0 ? 0 : 1;
 }

@@ -17,20 +17,33 @@
 #include "workload/EspressoWorkload.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace exterminator;
 using namespace benchreport;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+
   heading("Sec 7.2: injected buffer overflows in espresso (iterative mode)");
   note("paper: 10 faults x sizes {4,20,36}B, isolated+corrected with 3 "
        "images each");
 
   Table Out({"size(B)", "faults", "isolated", "corrected", "images(min)",
-             "images(avg)", "images(max)", "pad>=size"});
+             "images(avg)", "images(max)", "pad>=size", "hw-findings"});
+
+  // Misclassification guard (PR 9): these are pure software faults with
+  // hardware injection off, so the origin classifier must attribute
+  // every finding to a software site — any hardware-fault finding here
+  // is a misclassification.
+  unsigned TotalIsolated = 0, TotalHardware = 0;
 
   for (uint32_t Size : {4u, 20u, 36u}) {
-    unsigned Isolated = 0, Corrected = 0, PadOk = 0;
+    unsigned Isolated = 0, Corrected = 0, PadOk = 0, Hardware = 0;
     unsigned MinImages = ~0u, MaxImages = 0, SumImages = 0, Counted = 0;
 
     for (unsigned Fault = 0; Fault < 10; ++Fault) {
@@ -47,8 +60,9 @@ int main() {
       const IterativeOutcome Outcome = Driver.run(/*InputSeed=*/5);
 
       bool FaultIsolated = false;
-      for (const IterativeEpisode &Ep : Outcome.Episodes)
-        if (!Ep.Result.Overflows.empty()) {
+      for (const IterativeEpisode &Ep : Outcome.Episodes) {
+        Hardware += Ep.Result.HardwareFaults.size();
+        if (!FaultIsolated && !Ep.Result.Overflows.empty()) {
           FaultIsolated = true;
           SumImages += Ep.ImagesUsed;
           ++Counted;
@@ -56,8 +70,8 @@ int main() {
             MinImages = Ep.ImagesUsed;
           if (Ep.ImagesUsed > MaxImages)
             MaxImages = Ep.ImagesUsed;
-          break;
         }
+      }
       Isolated += FaultIsolated;
       Corrected += Outcome.Corrected;
       for (const PadPatch &Pad : Outcome.Patches.pads())
@@ -71,9 +85,34 @@ int main() {
                 fmt("%u", Corrected),
                 Counted ? fmt("%u", MinImages) : "-",
                 Counted ? fmt("%.1f", double(SumImages) / Counted) : "-",
-                Counted ? fmt("%u", MaxImages) : "-", fmt("%u", PadOk)});
+                Counted ? fmt("%u", MaxImages) : "-", fmt("%u", PadOk),
+                fmt("%u", Hardware)});
+    TotalIsolated += Isolated;
+    TotalHardware += Hardware;
   }
   Out.print();
   note("paper reference: isolated=10/10 per size, 3 images in every case");
-  return 0;
+  note("origin attribution: %u software finding(s), %u hardware "
+       "misclassification(s) (must be 0)",
+       TotalIsolated, TotalHardware);
+
+  if (!JsonPath.empty()) {
+    JsonWriter Json;
+    Json.beginObject();
+    Json.field("schema_version", 1);
+    Json.field("experiment", "injected_overflow");
+    Json.field("software_findings", uint64_t(TotalIsolated));
+    Json.field("hardware_misclassifications", uint64_t(TotalHardware));
+    Json.field("software_attribution_pct",
+               TotalIsolated + TotalHardware
+                   ? 100.0 * TotalIsolated / (TotalIsolated + TotalHardware)
+                   : 100.0);
+    Json.endObject();
+    if (!Json.writeFile(JsonPath)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    note("wrote %s", JsonPath.c_str());
+  }
+  return TotalHardware == 0 ? 0 : 1;
 }

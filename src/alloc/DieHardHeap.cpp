@@ -61,6 +61,12 @@ void DieHardHeap::releaseReserved(const ObjectRef &Ref) {
   Heap.markFree(Ref.SlotIndex);
   --Classes[Ref.ClassIndex].Live;
   --LiveObjects;
+  // A magazine slot whose page was retired while it sat reserved in a
+  // thread cache must not rejoin the free pool on flush.
+  if (!RetiredPages.empty() && slotOnRetiredPage(Heap, Ref.SlotIndex)) {
+    quarantine(Ref);
+    ++RetiredSlots;
+  }
 }
 
 void DieHardHeap::commitAllocation(const ObjectRef &Ref, size_t Size) {
@@ -142,6 +148,16 @@ bool DieHardHeap::deallocateIn(Miniheap &Heap, const ObjectRef &Ref,
   Meta.FreeTime = Clock;
   Meta.FreeSite =
       SiteOverride ? *SiteOverride : (Context ? Context->currentSite() : 0);
+
+  // A slot whose page was retired while the object lived is withdrawn
+  // the moment it comes back: the free succeeds, then the slot goes
+  // straight to quarantine instead of the free pool.  This is the only
+  // re-entry path into the lottery, so it covers the concurrent
+  // front-end's magazines as well.
+  if (!RetiredPages.empty() && slotOnRetiredPage(Heap, Ref.SlotIndex)) {
+    quarantine(Ref);
+    ++RetiredSlots;
+  }
   return true;
 }
 
@@ -153,6 +169,54 @@ void DieHardHeap::quarantine(const ObjectRef &Ref) {
   Heap.slot(Ref.SlotIndex).Bad = true;
   ++Classes[Ref.ClassIndex].Live;
   ++LiveObjects;
+}
+
+bool DieHardHeap::slotOnRetiredPage(const Miniheap &Heap, size_t Slot) const {
+  const uint8_t *Begin = Heap.slotPointer(Slot);
+  const uintptr_t FirstPage =
+      reinterpret_cast<uintptr_t>(Begin) >> PageShift << PageShift;
+  const uintptr_t LastPage =
+      reinterpret_cast<uintptr_t>(Begin + Heap.objectSize() - 1) >> PageShift
+      << PageShift;
+  for (uintptr_t Page = FirstPage; Page <= LastPage;
+       Page += uintptr_t(1) << PageShift)
+    if (std::binary_search(RetiredPages.begin(), RetiredPages.end(), Page))
+      return true;
+  return false;
+}
+
+size_t DieHardHeap::retirePage(uintptr_t PageAddress) {
+  const uintptr_t Page = PageAddress >> PageShift << PageShift;
+  auto It = std::lower_bound(RetiredPages.begin(), RetiredPages.end(), Page);
+  if (It != RetiredPages.end() && *It == Page)
+    return 0; // already retired
+  RetiredPages.insert(It, Page);
+
+  // Quarantine every currently-free slot overlapping the page.  Live
+  // slots keep serving their object; deallocateIn retires them on free.
+  size_t Quarantined = 0;
+  for (unsigned C = 0; C < Classes.size(); ++C)
+    for (unsigned H = 0; H < Classes[C].Heaps.size(); ++H) {
+      Miniheap &Heap = *Classes[C].Heaps[H];
+      const uintptr_t SlabBegin = reinterpret_cast<uintptr_t>(Heap.base());
+      const uintptr_t SlabEnd =
+          SlabBegin + Heap.numSlots() * Heap.objectSize();
+      if (SlabEnd <= Page || SlabBegin >= Page + (uintptr_t(1) << PageShift))
+        continue;
+      for (size_t Slot = 0; Slot < Heap.numSlots(); ++Slot) {
+        if (Heap.isAllocated(Slot) || !slotOnRetiredPage(Heap, Slot))
+          continue;
+        quarantine(ObjectRef{C, H, Slot});
+        ++RetiredSlots;
+        ++Quarantined;
+      }
+    }
+  return Quarantined;
+}
+
+bool DieHardHeap::isPageRetired(uintptr_t Address) const {
+  const uintptr_t Page = Address >> PageShift << PageShift;
+  return std::binary_search(RetiredPages.begin(), RetiredPages.end(), Page);
 }
 
 std::optional<ObjectRef> DieHardHeap::findObject(const void *Ptr) const {

@@ -160,6 +160,26 @@ public:
   /// (DieFast's bad-object isolation, §3.3).  The slot must be free.
   void quarantine(const ObjectRef &Ref);
 
+  /// Retires the 4 KiB page containing \p PageAddress from the slot
+  /// lottery (PR 9: a hardware-fault report implicated it).  Free slots
+  /// overlapping the page are quarantined immediately; live slots are
+  /// quarantined the moment they are freed.  Because quarantined slots
+  /// are marked allocated+bad, random placement — the single draw path
+  /// under both the sequential heap and the concurrent front-end's
+  /// magazines — can never hand them out again.  Addresses that overlap
+  /// no slab (reports imported from another process's address space) are
+  /// recorded but retire nothing.  Returns the slots quarantined now.
+  size_t retirePage(uintptr_t PageAddress);
+
+  /// True if the page containing \p Address has been retired.
+  bool isPageRetired(uintptr_t Address) const;
+
+  /// Pages retired so far (the xterm_retired_pages gauge).
+  size_t retiredPageCount() const { return RetiredPages.size(); }
+
+  /// Slots quarantined by page retirement (immediate + on-free).
+  size_t retiredSlotCount() const { return RetiredSlots; }
+
   /// Maps any address within an object slot to the slot.
   std::optional<ObjectRef> findObject(const void *Ptr) const;
 
@@ -287,12 +307,21 @@ private:
 
   void registerRange(Miniheap *Heap, unsigned ClassIndex, unsigned HeapIndex);
 
+  /// True when any byte of \p Heap's slot \p Slot lies on a retired page.
+  bool slotOnRetiredPage(const Miniheap &Heap, size_t Slot) const;
+
   DieHardConfig Config;
   const CallContext *Context;
   RandomGenerator Rng;
   std::vector<ClassState> Classes;
   uint64_t Clock = 0;
   size_t LiveObjects = 0;
+
+  /// Sorted page-aligned addresses of retired pages (PR 9).  Empty for
+  /// nearly every heap, so the free-path check is one branch.
+  std::vector<uintptr_t> RetiredPages;
+  /// Slots quarantined because their page was retired.
+  size_t RetiredSlots = 0;
 
   /// One slab's object region (guard regions excluded).
   struct Range {

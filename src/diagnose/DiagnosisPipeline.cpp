@@ -237,6 +237,12 @@ void DiagnosisPipeline::collectMetrics(std::vector<MetricSample> &Out,
   MetricsRegistry::addGauge(Out, "xterm_active_patches",
                             MetricsRegistry::label("kind", "deferral"),
                             double(Active.deferralCount()));
+  MetricsRegistry::addGauge(Out, "xterm_active_patches",
+                            MetricsRegistry::label("kind", "hardware_page"),
+                            double(Active.hardwareReportCount()));
+  // Σ max-merged evidence regions: monotone under merge, hence a counter.
+  MetricsRegistry::addCounter(Out, "xterm_hardware_faults_total", {},
+                              double(Active.hardwareEvidenceTotal()));
   MetricsRegistry::addCounter(Out, "xterm_cumulative_runs_total", {},
                               double(Cumulative.runCount()));
   MetricsRegistry::addCounter(Out, "xterm_cumulative_failed_runs_total", {},

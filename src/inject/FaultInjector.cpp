@@ -2,6 +2,7 @@
 
 #include "inject/FaultInjector.h"
 
+#include "alloc/DieHardHeap.h"
 #include "inject/FaultPlan.h"
 
 #include <algorithm>
@@ -48,7 +49,24 @@ void *FaultInjector::allocate(size_t Size) {
       Live.erase(Live.begin() + Pick);
       Inner.deallocate(Victim);
       Fired = true;
+      ++IStats.SoftwareFaultsFired;
     }
+    break;
+
+  case FaultKind::BitFlip:
+  case FaultKind::StuckAt:
+  case FaultKind::RowCluster:
+    // A freed slot being recycled loses its canary (and our claim to its
+    // bytes): drop the stale entry before tracking the new owner.
+    for (size_t I = 0; I < Tracked.size(); ++I)
+      if (Tracked[I].FreedCanaried && Tracked[I].Ptr == Ptr) {
+        Tracked.erase(Tracked.begin() + I);
+        --FreedTracked;
+        break;
+      }
+    Tracked.push_back(TrackedObject{Ptr, Size, AllocCount, false});
+    fireHardwareIfDue();
+    enforceStuckAt();
     break;
   }
   return Ptr;
@@ -73,6 +91,31 @@ void FaultInjector::deallocate(void *Ptr) {
     fireOverflowIfDue(/*Force=*/true);
     OverflowTarget = nullptr;
   }
+  if (isHardwareFault(Plan.Kind)) {
+    // Keep the freed slot tracked: DieFast canary-fills it, making it
+    // exactly the cell population DRAM faults are seen through.  Bounded
+    // retention; oldest freed entries age out first.
+    auto It = std::find_if(
+        Tracked.begin(), Tracked.end(), [&](const TrackedObject &O) {
+          return O.Ptr == Ptr && !O.FreedCanaried;
+        });
+    if (It != Tracked.end()) {
+      It->FreedCanaried = true;
+      ++FreedTracked;
+      if (FreedTracked > MaxFreedTracked)
+        for (size_t I = 0; I < Tracked.size(); ++I)
+          if (Tracked[I].FreedCanaried) {
+            Tracked.erase(Tracked.begin() + I);
+            --FreedTracked;
+            break;
+          }
+    }
+    Inner.deallocate(Ptr);
+    // The free rewrote the slot (canary fill): a stuck cell in it is
+    // re-corrupted immediately.
+    enforceStuckAt();
+    return;
+  }
   Inner.deallocate(Ptr);
 }
 
@@ -95,4 +138,165 @@ void FaultInjector::fireOverflowIfDue(bool Force) {
     At[I] = Byte ? Byte : 0x5a;
   }
   Fired = true;
+  ++IStats.SoftwareFaultsFired;
+}
+
+uint64_t FaultInjector::placementKey(const TrackedObject &Object) const {
+  if (Backend) {
+    // Key the choice to slab-relative placement: replaying the same heap
+    // seed reproduces it exactly, while differently-randomized replicas
+    // place other objects at this physical location — the decorrelation
+    // that distinguishes a failing cell from a buggy call site.
+    if (auto Resolved = Backend->resolvePointer(Object.Ptr)) {
+      const Miniheap &Mini = Backend->miniheap(Resolved->Ref);
+      const uint64_t RelOffset =
+          static_cast<uint64_t>(Resolved->SlotStart - Mini.base());
+      uint64_t State = Plan.PatternSeed ^
+                       (uint64_t(Resolved->Ref.ClassIndex) << 48) ^
+                       (uint64_t(Resolved->Ref.HeapIndex) << 40) ^ RelOffset;
+      return splitMix64(State);
+    }
+  }
+  // No backend attached (or a foreign pointer): replayable fallback keyed
+  // to allocation order.
+  uint64_t State = Plan.PatternSeed ^ Object.AllocIndex;
+  return splitMix64(State);
+}
+
+void FaultInjector::flipBit(const TrackedObject &Object, uint64_t KeyBits,
+                            uint32_t FlipIndex) {
+  uint64_t State = KeyBits + 0x9e3779b97f4a7c15ull * (FlipIndex + 1);
+  const uint64_t H = splitMix64(State);
+  const uint32_t ByteOffset =
+      static_cast<uint32_t>(H % std::max<size_t>(Object.Size, 1));
+  const uint8_t Mask = static_cast<uint8_t>(1u << ((H >> 32) & 7));
+  static_cast<uint8_t *>(Object.Ptr)[ByteOffset] ^= Mask;
+  Flips.push_back(InjectedFlip{Object.AllocIndex, ByteOffset, Mask});
+  ++IStats.BitsFlipped;
+}
+
+void FaultInjector::fireHardwareIfDue() {
+  if (Fired || AllocCount < Plan.TriggerAllocation || Tracked.empty())
+    return;
+
+  // Victim: the placement-minimal candidate, preferring freed
+  // (canary-filled) cells, where corruption is observable evidence.
+  const TrackedObject *VictimObject = nullptr;
+  uint64_t VictimKey = 0;
+  for (int Pass = 0; Pass < 2 && !VictimObject; ++Pass) {
+    const bool WantFreed = Pass == 0;
+    for (const TrackedObject &Object : Tracked) {
+      if (Object.FreedCanaried != WantFreed)
+        continue;
+      const uint64_t Key = placementKey(Object);
+      if (!VictimObject || Key < VictimKey ||
+          (Key == VictimKey && Object.AllocIndex < VictimObject->AllocIndex)) {
+        VictimObject = &Object;
+        VictimKey = Key;
+      }
+    }
+  }
+  if (!VictimObject)
+    return;
+  Victim = VictimObject->Ptr;
+  Fired = true;
+  ++IStats.HardwareFaultEvents;
+
+  switch (Plan.Kind) {
+  case FaultKind::BitFlip: {
+    // FlipBits distinct bit positions within the victim; a colliding
+    // draw re-rolls (bounded — positions are plentiful next to draws).
+    std::vector<std::pair<uint32_t, uint8_t>> Chosen;
+    for (uint32_t I = 0; Chosen.size() < Plan.FlipBits && I < 8 * Plan.FlipBits + 64;
+         ++I) {
+      uint64_t State = VictimKey + 0x9e3779b97f4a7c15ull * (I + 1);
+      const uint64_t H = splitMix64(State);
+      const uint32_t ByteOffset = static_cast<uint32_t>(
+          H % std::max<size_t>(VictimObject->Size, 1));
+      const uint8_t Mask = static_cast<uint8_t>(1u << ((H >> 32) & 7));
+      bool Duplicate = false;
+      for (const auto &[Byte, Bit] : Chosen)
+        Duplicate |= Byte == ByteOffset && Bit == Mask;
+      if (Duplicate)
+        continue;
+      Chosen.emplace_back(ByteOffset, Mask);
+      static_cast<uint8_t *>(VictimObject->Ptr)[ByteOffset] ^= Mask;
+      Flips.push_back(
+          InjectedFlip{VictimObject->AllocIndex, ByteOffset, Mask});
+      ++IStats.BitsFlipped;
+    }
+    break;
+  }
+
+  case FaultKind::StuckAt: {
+    const uint64_t H = splitMix64(VictimKey);
+    StuckOffset = static_cast<uint32_t>(
+        H % std::max<size_t>(VictimObject->Size, 1));
+    StuckMask = static_cast<uint8_t>(1u << ((H >> 32) & 7));
+    StuckByte = static_cast<uint8_t *>(VictimObject->Ptr) + StuckOffset;
+    // Stuck at the complement of the current value, so the fault is
+    // visible immediately and every faithful rewrite re-corrupts.
+    StuckValue = static_cast<uint8_t>((*StuckByte & StuckMask) ^ StuckMask);
+    StuckAllocIndex = VictimObject->AllocIndex;
+    enforceStuckAt();
+    break;
+  }
+
+  case FaultKind::RowCluster: {
+    // The simulated DRAM row: RowBytes aligned within the victim's slab
+    // (absolute-address fallback without a backend).  Clamped to a page
+    // so the row never crosses the 4 KiB unit retirement works in.
+    const uint64_t Row =
+        std::clamp<uint64_t>(Plan.RowBytes, 8, uint64_t(1) << 12);
+    const uint8_t *VictimPtr = static_cast<const uint8_t *>(Victim);
+    const Miniheap *VictimMini = nullptr;
+    uint64_t RowBegin, RowEnd;
+    if (Backend) {
+      if (auto Resolved = Backend->resolvePointer(Victim)) {
+        VictimMini = &Backend->miniheap(Resolved->Ref);
+        const uint64_t Base = reinterpret_cast<uint64_t>(VictimMini->base());
+        const uint64_t Rel = reinterpret_cast<uint64_t>(VictimPtr) - Base;
+        RowBegin = Base + (Rel / Row) * Row;
+      } else {
+        RowBegin = reinterpret_cast<uint64_t>(VictimPtr) & ~(Row - 1);
+      }
+    } else {
+      RowBegin = reinterpret_cast<uint64_t>(VictimPtr) & ~(Row - 1);
+    }
+    RowEnd = RowBegin + Row;
+
+    // Flip one placement-keyed bit in every tracked object overlapping
+    // the row, in allocation order (deterministic given the heap seed).
+    for (const TrackedObject &Object : Tracked) {
+      const uint64_t Begin = reinterpret_cast<uint64_t>(Object.Ptr);
+      const uint64_t End = Begin + Object.Size;
+      if (End <= RowBegin || Begin >= RowEnd)
+        continue;
+      if (VictimMini) {
+        // Same-slab membership: the row is physical, not an artifact of
+        // where the process allocator happened to place two slabs.
+        auto Resolved = Backend->resolvePointer(Object.Ptr);
+        if (!Resolved || &Backend->miniheap(Resolved->Ref) != VictimMini)
+          continue;
+      }
+      flipBit(Object, placementKey(Object), 0);
+      ++IStats.RowObjectsCorrupted;
+    }
+    break;
+  }
+
+  default:
+    break;
+  }
+}
+
+void FaultInjector::enforceStuckAt() {
+  if (!StuckByte)
+    return;
+  const uint8_t Current = *StuckByte;
+  if ((Current & StuckMask) != StuckValue) {
+    *StuckByte = static_cast<uint8_t>((Current & ~StuckMask) | StuckValue);
+    ++IStats.StuckAtRewrites;
+    Flips.push_back(InjectedFlip{StuckAllocIndex, StuckOffset, StuckMask});
+  }
 }

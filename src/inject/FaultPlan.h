@@ -20,7 +20,12 @@
 
 namespace exterminator {
 
-/// Kinds of injectable errors.
+/// Kinds of injectable errors.  The first group are the paper's software
+/// bugs (§7.2); the hardware group models failing DRAM (PR 9): faults
+/// keyed to *heap placement* rather than allocation order, so they strike
+/// the same physical location in every replay of one heap seed but
+/// uncorrelated locations across differently-randomized replicas — the
+/// signature the origin classifier keys on.
 enum class FaultKind {
   None,
   /// Write OverflowBytes past the requested end of a chosen allocation.
@@ -31,7 +36,23 @@ enum class FaultKind {
   /// Free a still-live object behind the program's back, leaving the
   /// program with a dangling pointer it will keep using.
   PrematureFree,
+  /// Flip FlipBits seeded bits in one placement-chosen victim cell — a
+  /// transient single/multi bit upset.
+  BitFlip,
+  /// A cell whose chosen bit is stuck at a seeded value: re-corrupted
+  /// after every rewrite (the injector re-forces it on every subsequent
+  /// heap operation, whoever owns the cell by then).
+  StuckAt,
+  /// Flip one seeded bit in every tracked object overlapping the
+  /// simulated DRAM row (RowBytes, slab-aligned) containing the victim.
+  RowCluster,
 };
+
+/// True for the DRAM-fault models (PR 9).
+inline bool isHardwareFault(FaultKind Kind) {
+  return Kind == FaultKind::BitFlip || Kind == FaultKind::StuckAt ||
+         Kind == FaultKind::RowCluster;
+}
 
 /// One injected error.
 struct FaultPlan {
@@ -58,6 +79,14 @@ struct FaultPlan {
   /// PrematureFree: choose the victim among the oldest live objects
   /// (index drawn from [0, VictimWindow) in allocation order).
   uint64_t VictimWindow = 16;
+
+  /// BitFlip: number of distinct bits to flip in the victim object.
+  uint32_t FlipBits = 1;
+
+  /// RowCluster: size of the simulated DRAM row, aligned within the
+  /// victim's slab.  Clamped to a 4 KiB page so a row never leaves the
+  /// page the fault implicates.
+  uint64_t RowBytes = 1024;
 };
 
 } // namespace exterminator

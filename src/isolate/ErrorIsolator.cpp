@@ -23,13 +23,21 @@ exterminator::isolateErrors(const std::vector<HeapImageView> &Views,
     ExcludeIds.push_back(Finding.ObjectId);
 
   OverflowIsolator Overflow(Views, Config.Overflow, Pool);
-  Result.Overflows = Overflow.isolate(ExcludeIds);
+  OverflowIsolator::Isolation Isolation =
+      Overflow.isolateWithOrigins(ExcludeIds, Config.Origin);
+  Result.Overflows = std::move(Isolation.Candidates);
+  Result.HardwareFaults = std::move(Isolation.Hardware);
 
   // Patches: every dangling finding defers its site pair; overflows pad
   // the most highly-ranked culprit (§6.1) unless configured otherwise.
+  // Hardware findings implicate no site at all — they become page
+  // reports, and the correcting allocator retires the pages.
   for (const DanglingFinding &Finding : Result.Danglings)
     Result.Patches.addDeferral(Finding.AllocSite, Finding.FreeSite,
                                Finding.DeferralTicks);
+  for (const HardwareFinding &Finding : Result.HardwareFaults)
+    Result.Patches.addHardwareReport(Finding.PageAddress, Finding.KindMask,
+                                     Finding.EvidenceRegions);
   for (const OverflowCandidate &Candidate : Result.Overflows) {
     if (Candidate.Score < Config.MinPatchScore)
       break; // Ranked: everything after is below threshold too.

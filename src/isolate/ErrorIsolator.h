@@ -29,6 +29,9 @@ namespace exterminator {
 /// Tuning for the full isolation pipeline.
 struct IsolationConfig {
   OverflowIsolatorConfig Overflow;
+  /// Origin classification (PR 9): hardware-shaped evidence is diverted
+  /// into page findings instead of feeding site patches.
+  OriginClassifierConfig Origin;
   /// Patch every overflow candidate at or above this score rather than
   /// only the top-ranked one (off by default; the paper patches "the most
   /// highly-ranked culprit").
@@ -43,11 +46,15 @@ struct IsolationResult {
   std::vector<OverflowCandidate> Overflows;
   /// Dangling-pointer overwrites.
   std::vector<DanglingFinding> Danglings;
-  /// The runtime patches derived from the findings.
+  /// Suspected failing pages (hardware-origin evidence, PR 9).
+  std::vector<HardwareFinding> HardwareFaults;
+  /// The runtime patches derived from the findings (site patches for the
+  /// software findings, page reports for the hardware ones).
   PatchSet Patches;
 
   bool foundAnything() const {
-    return !Overflows.empty() || !Danglings.empty();
+    return !Overflows.empty() || !Danglings.empty() ||
+           !HardwareFaults.empty();
   }
 };
 

@@ -1,0 +1,98 @@
+//===- isolate/OriginClassifier.h - Software-vs-hardware origin *- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Origin classification of corruption evidence (PR 9): before corruption
+/// regions feed the §4 overflow analysis, each is judged *software* (a
+/// buggy call site — eligible for site patches) or *hardware* (a failing
+/// memory cell — diverted into a page-level hardware-fault report).
+///
+/// The signature of hardware damage, following the DRAM field studies in
+/// the related work, is the inverse of an overflow's:
+///
+///  * **Extent**: one or two bytes with one or two flipped bits each
+///    (single/multi bit upsets), versus an overflow's dense byte string.
+///    The expected value is known exactly for canary-filled slots, so the
+///    flipped-bit population is computable, not guessed.
+///
+///  * **Decorrelation**: a deterministic software bug is keyed to
+///    allocation order and so corrupts the *same logical object at the
+///    same offset with the same bytes* in every differently-randomized
+///    image (§2.1); a failing cell is keyed to physical placement and so
+///    corrupts whatever object each image's randomization put there.
+///    Evidence reproduced across images is therefore pulled back to the
+///    software side regardless of how bit-flip-like it looks.
+///
+///  * **Spatial clustering**: several corrupted slots inside one
+///    row-sized window of a single slab indicate a row/column fault
+///    (kind mask RowCluster); a single cell indicates a bit flip; the
+///    same cell and mask recurring across images indicates stuck-at.
+///
+/// Diversion is deliberately conservative: anything failing the bit-level
+/// tests stays software, so pure-software runs produce evidence — and
+/// hence patches — bit-identical to a classifier-free pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_ISOLATE_ORIGINCLASSIFIER_H
+#define EXTERMINATOR_ISOLATE_ORIGINCLASSIFIER_H
+
+#include "isolate/ObjectDiff.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// Tuning for origin classification.
+struct OriginClassifierConfig {
+  /// Classification on/off; when off, every region is software and no
+  /// hardware findings are produced (the pre-PR-9 pipeline).
+  bool Enabled = true;
+  /// Hardware damage is at most this many contiguous bytes; longer
+  /// regions are overflow strings.
+  uint32_t MaxRegionBytes = 2;
+  /// Each corrupted byte may have at most this many flipped bits versus
+  /// its expected (canary) value.
+  uint32_t MaxFlippedBitsPerByte = 2;
+  /// Window for spatial clustering: candidate regions within one aligned
+  /// window of this size count toward a row-cluster signature.
+  uint64_t RowWindowBytes = 1024;
+  /// Distinct corrupted slots within one window needed to call the
+  /// damage a row cluster.
+  uint32_t MinClusterSlots = 2;
+};
+
+/// One suspected failing page, aggregated over all images' diverted
+/// evidence.  Feeds PatchSet::addHardwareReport.
+struct HardwareFinding {
+  /// 4 KiB-aligned address of the implicated page.
+  uint64_t PageAddress = 0;
+  /// HardwareFaultKindMask bits inferred from the evidence shape.
+  uint32_t KindMask = 0;
+  /// Number of corruption regions attributed to the page.
+  uint64_t EvidenceRegions = 0;
+};
+
+/// The result of classifying one evidence set.
+struct OriginPartition {
+  /// Software-origin regions, per image, in the exact order they were
+  /// collected (the overflow isolator depends on evidence order).
+  std::vector<std::vector<CorruptionRegion>> Software;
+  /// Page-level hardware findings, sorted by page address.
+  std::vector<HardwareFinding> Hardware;
+};
+
+/// Partitions \p ByImage (as produced by EvidenceCollector) into
+/// software-origin evidence and hardware-fault findings.
+OriginPartition
+classifyOrigins(const std::vector<HeapImageView> &Views,
+                const std::vector<std::vector<CorruptionRegion>> &ByImage,
+                const OriginClassifierConfig &Config = {});
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_ISOLATE_ORIGINCLASSIFIER_H

@@ -133,13 +133,31 @@ std::vector<uint64_t> OverflowIsolator::candidatesFast(
 
 std::vector<OverflowCandidate>
 OverflowIsolator::isolate(const std::vector<uint64_t> &ExcludeIds) const {
-  std::vector<OverflowCandidate> Result;
   if (Views.size() < 2)
-    return Result; // Theorem 3: one image leaves H−1 candidates per victim.
+    return {}; // Theorem 3: one image leaves H−1 candidates per victim.
 
   const EvidenceCollector Collector(Views, Pool);
-  const std::vector<std::vector<CorruptionRegion>> ByImage =
-      Collector.collectAllEvidence(ExcludeIds);
+  return isolateFromEvidence(Collector.collectAllEvidence(ExcludeIds));
+}
+
+OverflowIsolator::Isolation
+OverflowIsolator::isolateWithOrigins(const std::vector<uint64_t> &ExcludeIds,
+                                     const OriginClassifierConfig &Origin) const {
+  Isolation Result;
+  if (Views.size() < 2)
+    return Result;
+
+  const EvidenceCollector Collector(Views, Pool);
+  OriginPartition Partition =
+      classifyOrigins(Views, Collector.collectAllEvidence(ExcludeIds), Origin);
+  Result.Hardware = std::move(Partition.Hardware);
+  Result.Candidates = isolateFromEvidence(Partition.Software);
+  return Result;
+}
+
+std::vector<OverflowCandidate> OverflowIsolator::isolateFromEvidence(
+    const std::vector<std::vector<CorruptionRegion>> &ByImage) const {
+  std::vector<OverflowCandidate> Result;
 
   const std::vector<uint64_t> CandidateIds =
       evidence_path::isLegacy() ? candidatesLegacy(ByImage)

@@ -26,6 +26,7 @@
 #define EXTERMINATOR_ISOLATE_OVERFLOWISOLATOR_H
 
 #include "isolate/ObjectDiff.h"
+#include "isolate/OriginClassifier.h"
 #include "support/SiteHash.h"
 
 #include <cstdint>
@@ -81,7 +82,27 @@ public:
   std::vector<OverflowCandidate>
   isolate(const std::vector<uint64_t> &ExcludeIds = {}) const;
 
+  /// Overflow candidates plus the hardware findings diverted before
+  /// candidate scoring (PR 9).
+  struct Isolation {
+    std::vector<OverflowCandidate> Candidates;
+    std::vector<HardwareFinding> Hardware;
+  };
+
+  /// Like isolate(), but runs the origin classifier over the collected
+  /// evidence first: hardware-origin regions never become site-patch
+  /// evidence and are returned as page findings instead.  With the
+  /// classifier disabled (or no hardware-shaped evidence present) the
+  /// candidates are bit-identical to isolate()'s.
+  Isolation isolateWithOrigins(const std::vector<uint64_t> &ExcludeIds,
+                               const OriginClassifierConfig &Origin) const;
+
 private:
+  /// The §4.1 candidate enumeration + δ-agreement scoring over an
+  /// already-collected (and possibly origin-filtered) evidence set.
+  std::vector<OverflowCandidate> isolateFromEvidence(
+      const std::vector<std::vector<CorruptionRegion>> &ByImage) const;
+
   /// Candidate-culprit enumeration, pre-PR-4 shape: every region
   /// re-scans its victim's whole miniheap into a node-based dedup map.
   std::vector<uint64_t> candidatesLegacy(

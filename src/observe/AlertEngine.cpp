@@ -49,6 +49,16 @@ void AlertEngine::addBuiltinRules() {
   Overflow.Cmp = AlertRule::Compare::GreaterThan;
   Overflow.Crit = 0.0;
   addRule(Overflow);
+
+  // A hardware-fault report means a physical page is corrupting memory
+  // right now — software patches cannot fix it and every fleet member
+  // sharing the DIMM is at risk, so it pages immediately (PR 9).
+  AlertRule Hardware;
+  Hardware.Name = "hardware_fault_detected";
+  Hardware.Metric = "xterm_hardware_faults_total";
+  Hardware.Cmp = AlertRule::Compare::GreaterThan;
+  Hardware.Crit = 0.0;
+  addRule(Hardware);
 }
 
 static bool crosses(AlertRule::Compare Cmp, double Value, double Threshold) {

@@ -3,6 +3,8 @@
 #include "observe/MetricsRegistry.h"
 
 #include "alloc/Allocator.h"
+#include "alloc/DieHardHeap.h"
+#include "inject/FaultInjector.h"
 
 #include <algorithm>
 #include <cmath>
@@ -279,5 +281,38 @@ void exterminator::registerAllocatorMetrics(MetricsRegistry &Registry,
                                 double(S.DoubleFrees));
     MetricsRegistry::addCounter(Out, "xterm_alloc_bytes_requested_total",
                                 Labels, double(S.BytesRequested));
+  });
+}
+
+void exterminator::registerInjectorMetrics(MetricsRegistry &Registry,
+                                           const FaultInjector &Injector,
+                                           std::string Label) {
+  std::string Labels = MetricsRegistry::label("heap", Label);
+  Registry.addCollector([&Injector, Labels = std::move(Labels)](
+                            std::vector<MetricSample> &Out) {
+    const FaultInjectorStats &S = Injector.injectorStats();
+    MetricsRegistry::addCounter(Out, "xterm_inject_software_faults_total",
+                                Labels, double(S.SoftwareFaultsFired));
+    MetricsRegistry::addCounter(Out, "xterm_inject_hardware_events_total",
+                                Labels, double(S.HardwareFaultEvents));
+    MetricsRegistry::addCounter(Out, "xterm_inject_bits_flipped_total",
+                                Labels, double(S.BitsFlipped));
+    MetricsRegistry::addCounter(Out, "xterm_inject_stuckat_rewrites_total",
+                                Labels, double(S.StuckAtRewrites));
+    MetricsRegistry::addCounter(Out, "xterm_inject_row_objects_total", Labels,
+                                double(S.RowObjectsCorrupted));
+  });
+}
+
+void exterminator::registerRetirementMetrics(MetricsRegistry &Registry,
+                                             const DieHardHeap &Heap,
+                                             std::string Label) {
+  std::string Labels = MetricsRegistry::label("heap", Label);
+  Registry.addCollector([&Heap, Labels = std::move(Labels)](
+                            std::vector<MetricSample> &Out) {
+    MetricsRegistry::addGauge(Out, "xterm_retired_pages", Labels,
+                              double(Heap.retiredPageCount()));
+    MetricsRegistry::addGauge(Out, "xterm_retired_slots", Labels,
+                              double(Heap.retiredSlotCount()));
   });
 }

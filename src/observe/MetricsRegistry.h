@@ -226,6 +226,23 @@ private:
 void registerAllocatorMetrics(MetricsRegistry &Registry, const Allocator &Heap,
                               std::string Label);
 
+class FaultInjector;
+
+/// Registers a pull collector exporting \p Injector's FaultInjectorStats
+/// as xterm_inject_* counters labelled heap="<Label>" (PR 9), so
+/// injected-fault counts are scrapeable next to the heap stats they
+/// perturb.  \p Injector must outlive the registry's last snapshot.
+void registerInjectorMetrics(MetricsRegistry &Registry,
+                             const FaultInjector &Injector, std::string Label);
+
+class DieHardHeap;
+
+/// Registers a pull collector exporting \p Heap's page-retirement state
+/// (PR 9): xterm_retired_pages / xterm_retired_slots gauges labelled
+/// heap="<Label>".  \p Heap must outlive the registry's last snapshot.
+void registerRetirementMetrics(MetricsRegistry &Registry,
+                               const DieHardHeap &Heap, std::string Label);
+
 } // namespace exterminator
 
 #endif // EXTERMINATOR_OBSERVE_METRICSREGISTRY_H

@@ -8,11 +8,16 @@
 
 using namespace exterminator;
 
-static constexpr uint32_t PatchMagic = 0x58505432; // "XPT2"
+static constexpr uint32_t PatchMagic = 0x58505432;   // "XPT2"
+static constexpr uint32_t PatchMagicV3 = 0x58505433; // "XPT3": + hardware
 
 std::vector<uint8_t> exterminator::serializePatchSet(const PatchSet &Patches) {
+  // Sets without hardware reports serialize as XPT2, byte-identical to
+  // the pre-PR-9 format: pure-software patch files (and their on-disk
+  // fingerprints) are unchanged, and old readers keep working on them.
+  const std::vector<HardwareFaultReport> Hardware = Patches.hardwareReports();
   ByteWriter Writer;
-  Writer.writeU32(PatchMagic);
+  Writer.writeU32(Hardware.empty() ? PatchMagic : PatchMagicV3);
   const std::vector<PadPatch> Pads = Patches.pads();
   const std::vector<FrontPadPatch> FrontPads = Patches.frontPads();
   const std::vector<DeferralPatch> Deferrals = Patches.deferrals();
@@ -32,6 +37,14 @@ std::vector<uint8_t> exterminator::serializePatchSet(const PatchSet &Patches) {
     Writer.writeU32(Deferral.FreeSite);
     Writer.writeU64(Deferral.DeferTicks);
   }
+  if (!Hardware.empty()) {
+    Writer.writeU64(Hardware.size());
+    for (const HardwareFaultReport &Report : Hardware) {
+      Writer.writeU64(Report.PageAddress);
+      Writer.writeU32(Report.KindMask);
+      Writer.writeU64(Report.EvidenceRegions);
+    }
+  }
   return Writer.buffer();
 }
 
@@ -42,7 +55,8 @@ bool exterminator::deserializePatchSet(const std::vector<uint8_t> &Buffer,
   // populated — a partially-seeded server would serve weaker patches
   // than it claims to hold.
   ByteReader Reader(Buffer);
-  if (Reader.readU32() != PatchMagic)
+  const uint32_t Magic = Reader.readU32();
+  if (Magic != PatchMagic && Magic != PatchMagicV3)
     return false;
   PatchSet Decoded;
   const uint64_t NumPads = Reader.readU64();
@@ -63,6 +77,15 @@ bool exterminator::deserializePatchSet(const std::vector<uint8_t> &Buffer,
     SiteId FreeSite = Reader.readU32();
     uint64_t Defer = Reader.readU64();
     Decoded.addDeferral(AllocSite, FreeSite, Defer);
+  }
+  if (Magic == PatchMagicV3) {
+    const uint64_t NumHardware = Reader.readU64();
+    for (uint64_t I = 0; I < NumHardware && !Reader.failed(); ++I) {
+      uint64_t Page = Reader.readU64();
+      uint32_t Mask = Reader.readU32();
+      uint64_t Evidence = Reader.readU64();
+      Decoded.addHardwareReport(Page, Mask, Evidence);
+    }
   }
   if (!Reader.atEnd())
     return false;

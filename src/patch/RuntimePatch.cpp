@@ -68,6 +68,45 @@ uint64_t PatchSet::deferralFor(SiteId AllocSite, SiteId FreeSite) const {
   return It == DeferralTable.end() ? 0 : It->second;
 }
 
+bool PatchSet::addHardwareReport(uint64_t PageAddress, uint32_t KindMask,
+                                 uint64_t EvidenceRegions) {
+  auto [It, Inserted] =
+      HardwareTable.try_emplace(PageAddress,
+                                HardwareCell{KindMask, EvidenceRegions});
+  if (Inserted)
+    return true;
+  bool Changed = false;
+  if ((It->second.KindMask | KindMask) != It->second.KindMask) {
+    It->second.KindMask |= KindMask;
+    Changed = true;
+  }
+  if (EvidenceRegions > It->second.EvidenceRegions) {
+    It->second.EvidenceRegions = EvidenceRegions;
+    Changed = true;
+  }
+  return Changed;
+}
+
+std::vector<HardwareFaultReport> PatchSet::hardwareReports() const {
+  std::vector<HardwareFaultReport> Result;
+  Result.reserve(HardwareTable.size());
+  for (const auto &[Page, Cell] : HardwareTable)
+    Result.push_back(
+        HardwareFaultReport{Page, Cell.KindMask, Cell.EvidenceRegions});
+  std::sort(Result.begin(), Result.end(),
+            [](const HardwareFaultReport &A, const HardwareFaultReport &B) {
+              return A.PageAddress < B.PageAddress;
+            });
+  return Result;
+}
+
+uint64_t PatchSet::hardwareEvidenceTotal() const {
+  uint64_t Total = 0;
+  for (const auto &[Page, Cell] : HardwareTable)
+    Total += Cell.EvidenceRegions;
+  return Total;
+}
+
 bool PatchSet::merge(const PatchSet &Other) {
   bool Changed = false;
   for (const auto &[Site, Pad] : Other.PadTable)
@@ -76,6 +115,8 @@ bool PatchSet::merge(const PatchSet &Other) {
     Changed |= addFrontPad(Site, Pad);
   for (const auto &[Key, Defer] : Other.DeferralTable)
     Changed |= maxInsert(DeferralTable, Key, Defer);
+  for (const auto &[Page, Cell] : Other.HardwareTable)
+    Changed |= addHardwareReport(Page, Cell.KindMask, Cell.EvidenceRegions);
   return Changed;
 }
 
@@ -111,10 +152,12 @@ void PatchSet::clear() {
   PadTable.clear();
   FrontPadTable.clear();
   DeferralTable.clear();
+  HardwareTable.clear();
 }
 
 bool PatchSet::operator==(const PatchSet &Other) const {
   return PadTable == Other.PadTable &&
          FrontPadTable == Other.FrontPadTable &&
-         DeferralTable == Other.DeferralTable;
+         DeferralTable == Other.DeferralTable &&
+         HardwareTable == Other.HardwareTable;
 }

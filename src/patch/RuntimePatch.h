@@ -59,6 +59,33 @@ struct DeferralPatch {
   bool operator==(const DeferralPatch &Other) const = default;
 };
 
+/// Fault-model bits for a hardware-fault report; ORed under merge (two
+/// sightings of the same page with different signatures accumulate).
+enum HardwareFaultKindMask : uint32_t {
+  HardwareFaultBitFlip = 1u << 0,
+  HardwareFaultStuckAt = 1u << 1,
+  HardwareFaultRowCluster = 1u << 2,
+};
+
+/// A suspected failing physical page (PR 9).  Not a patch in the §6
+/// sense — no allocation site is to blame — but it rides in the PatchSet
+/// because its merge laws (OR the kind mask, max the evidence count) are
+/// idempotent/commutative/associative like the patch tables', so epochs,
+/// journaling, replication, and snapshots work unchanged.  The
+/// correcting allocator's response is page retirement, not padding.
+struct HardwareFaultReport {
+  /// Page-aligned address of the implicated page (the unit DRAM-style
+  /// faults cluster in, and the unit the allocator retires).
+  uint64_t PageAddress = 0;
+  /// HardwareFaultKindMask bits observed for this page.
+  uint32_t KindMask = 0;
+  /// Corruption regions attributed to this page so far (max-merged; the
+  /// xterm_hardware_faults_total metric sums these).
+  uint64_t EvidenceRegions = 0;
+
+  bool operator==(const HardwareFaultReport &Other) const = default;
+};
+
 /// A set of runtime patches: the pad table and the deferral table the
 /// correcting allocator builds at load time (§6.3).
 class PatchSet {
@@ -89,6 +116,21 @@ public:
   /// Deferral for the site pair; 0 when unpatched.
   uint64_t deferralFor(SiteId AllocSite, SiteId FreeSite) const;
 
+  /// Records a hardware-fault report for a page: ORs \p KindMask into
+  /// the page's mask and raises its evidence count to the maximum seen.
+  /// Returns true when the set changed (epoch detection, like addPad).
+  bool addHardwareReport(uint64_t PageAddress, uint32_t KindMask,
+                         uint64_t EvidenceRegions);
+
+  /// All hardware-fault reports, sorted by page address.
+  std::vector<HardwareFaultReport> hardwareReports() const;
+
+  /// Sum of EvidenceRegions over all reports — monotone under merge, so
+  /// it is exported as the xterm_hardware_faults_total counter.
+  uint64_t hardwareEvidenceTotal() const;
+
+  size_t hardwareReportCount() const { return HardwareTable.size(); }
+
   /// Max-merges \p Other into this set (collaborative correction, §6.4);
   /// returns true when anything changed.
   bool merge(const PatchSet &Other);
@@ -103,7 +145,7 @@ public:
   size_t deferralCount() const { return DeferralTable.size(); }
   bool empty() const {
     return PadTable.empty() && FrontPadTable.empty() &&
-           DeferralTable.empty();
+           DeferralTable.empty() && HardwareTable.empty();
   }
   void clear();
 
@@ -114,9 +156,17 @@ private:
     return (uint64_t(AllocSite) << 32) | FreeSite;
   }
 
+  struct HardwareCell {
+    uint32_t KindMask = 0;
+    uint64_t EvidenceRegions = 0;
+
+    bool operator==(const HardwareCell &Other) const = default;
+  };
+
   std::unordered_map<SiteId, uint32_t> PadTable;
   std::unordered_map<SiteId, uint32_t> FrontPadTable;
   std::unordered_map<uint64_t, uint64_t> DeferralTable;
+  std::unordered_map<uint64_t, HardwareCell> HardwareTable;
 };
 
 } // namespace exterminator

@@ -118,11 +118,51 @@ exterminator::generatePatchReport(const PatchSet &Patches,
            "use, or transfer ownership to the longer-lived consumer\n");
   }
 
-  std::snprintf(Line, sizeof(Line),
-                "\n%u finding(s): %zu overflow site(s), %zu underflow "
-                "site(s), %zu dangling site pair(s)\n",
-                Finding, Patches.padCount(), Patches.frontPadCount(),
-                Patches.deferralCount());
+  for (const HardwareFaultReport &Report2 : Patches.hardwareReports()) {
+    ++Finding;
+    std::snprintf(Line, sizeof(Line),
+                  "\n[%u] hardware memory fault (suspected failing DRAM)\n",
+                  Finding);
+    Append(Line);
+    std::snprintf(Line, sizeof(Line),
+                  "    where:  physical page 0x%012llx\n",
+                  static_cast<unsigned long long>(Report2.PageAddress));
+    Append(Line);
+    std::string Kinds;
+    if (Report2.KindMask & HardwareFaultBitFlip)
+      Kinds += "bit-flip ";
+    if (Report2.KindMask & HardwareFaultStuckAt)
+      Kinds += "stuck-at ";
+    if (Report2.KindMask & HardwareFaultRowCluster)
+      Kinds += "row-cluster ";
+    if (Kinds.empty())
+      Kinds = "unknown ";
+    std::snprintf(Line, sizeof(Line),
+                  "    signature: %swith %llu corruption region(s)\n",
+                  Kinds.c_str(),
+                  static_cast<unsigned long long>(Report2.EvidenceRegions));
+    Append(Line);
+    Append("    active mitigation: the page is retired from the slot "
+           "lottery (no future allocation lands on it)\n");
+    Append("    suggested fix: no code change — schedule the DIMM for "
+           "replacement; no allocation site is implicated\n");
+  }
+
+  if (Patches.hardwareReportCount() == 0) {
+    // Pre-PR-9 rendering, byte-identical for pure-software patch sets.
+    std::snprintf(Line, sizeof(Line),
+                  "\n%u finding(s): %zu overflow site(s), %zu underflow "
+                  "site(s), %zu dangling site pair(s)\n",
+                  Finding, Patches.padCount(), Patches.frontPadCount(),
+                  Patches.deferralCount());
+  } else {
+    std::snprintf(Line, sizeof(Line),
+                  "\n%u finding(s): %zu overflow site(s), %zu underflow "
+                  "site(s), %zu dangling site pair(s), %zu hardware "
+                  "page(s)\n",
+                  Finding, Patches.padCount(), Patches.frontPadCount(),
+                  Patches.deferralCount(), Patches.hardwareReportCount());
+  }
   Append(Line);
   return Report;
 }

@@ -89,6 +89,10 @@ SingleRunResult exterminator::runWorkloadOnce(
   std::unique_ptr<FaultInjector> Injector;
   if (Config.Fault.Kind != FaultKind::None) {
     Injector = std::make_unique<FaultInjector>(*Top, Config.Fault);
+    // Hardware fault models key victims to slab-relative placement, so
+    // they strike this replica's physical layout, not its logical
+    // allocation order.
+    Injector->attachHeap(&Heap.diefast().heap());
     Top = Injector.get();
   }
 

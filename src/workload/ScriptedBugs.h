@@ -85,6 +85,33 @@ scriptedDanglingTrace(const ScriptedBugSites &Sites = {}) {
   return Ops;
 }
 
+/// A bug-free trace with the same canaried churn as the overflow trace:
+/// every write stays in bounds, so any corruption in its end-of-run
+/// images comes from an injected hardware fault (PR 9).  The churn
+/// leaves plenty of freed, canary-filled slots — exactly the victims
+/// the hardware fault models prefer, since flips there are visible to
+/// the canary sweep.
+inline std::vector<TraceOp>
+scriptedHardwareTrace(const ScriptedBugSites &Sites = {}) {
+  std::vector<TraceOp> Ops;
+  for (uint32_t Round = 0; Round < 6; ++Round) {
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(
+          TraceOp::alloc(1000 + Round * 30 + I, 64, Sites.Bystander));
+    for (uint32_t I = 0; I < 30; ++I)
+      Ops.push_back(TraceOp::free(1000 + Round * 30 + I, Sites.Free));
+  }
+  for (uint32_t I = 0; I < 24; ++I)
+    Ops.push_back(TraceOp::alloc(I, 64, Sites.Bystander));
+  for (uint32_t I = 0; I < 24; I += 2)
+    Ops.push_back(TraceOp::free(I, Sites.Free));
+  for (uint32_t I = 200; I < 212; ++I) {
+    Ops.push_back(TraceOp::alloc(I, 64, Sites.Bystander));
+    Ops.push_back(TraceOp::free(I, Sites.Free));
+  }
+  return Ops;
+}
+
 /// The canonical evidence set: \p Count end-of-run images of the
 /// scripted overflow under the canonical heap seeds (1000, 8919, …).
 /// `xtermtool record`, the exchange bench, and CI all draw from this
@@ -95,6 +122,30 @@ scriptedEvidenceImages(unsigned Count, uint32_t OverflowBytes,
                        const ScriptedBugSites &Sites = {}) {
   const std::vector<TraceOp> Ops = scriptedOverflowTrace(OverflowBytes, Sites);
   ExterminatorConfig Config;
+  std::vector<HeapImage> Images;
+  Images.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    TraceWorkload Work(Ops);
+    Images.push_back(runWorkloadOnce(Work, /*InputSeed=*/1,
+                                     /*HeapSeed=*/1000 + I * 7919, Config,
+                                     PatchSet())
+                         .FinalImage);
+  }
+  return Images;
+}
+
+/// Hardware-fault evidence: \p Count end-of-run images of the bug-free
+/// churn trace with \p Fault injected in every replica.  Same canonical
+/// heap seeds as scriptedEvidenceImages, so the corruption each image
+/// carries is placement-keyed to *its* heap layout — decorrelated
+/// across replicas, which is precisely the signature the origin
+/// classifier keys on.
+inline std::vector<HeapImage>
+scriptedHardwareEvidenceImages(unsigned Count, const FaultPlan &Fault,
+                               const ScriptedBugSites &Sites = {}) {
+  const std::vector<TraceOp> Ops = scriptedHardwareTrace(Sites);
+  ExterminatorConfig Config;
+  Config.Fault = Fault;
   std::vector<HeapImage> Images;
   Images.reserve(Count);
   for (unsigned I = 0; I < Count; ++I) {

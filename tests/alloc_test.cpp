@@ -886,3 +886,84 @@ TEST(ConcurrentAllocator, ThreadExitFlushesItsCache) {
   EXPECT_EQ(Alloc.stats().Allocations, 1u);
   EXPECT_EQ(Alloc.stats().Deallocations, 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// Page retirement (PR 9)
+//===----------------------------------------------------------------------===//
+
+TEST(PageRetirement, RetiredPagesNeverReenterTheLottery) {
+  DieHardHeap Heap(testConfig(77));
+  // Populate, then retire the page under one victim object.
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 32; ++I)
+    Ptrs.push_back(Heap.allocate(64));
+  const uintptr_t Page = reinterpret_cast<uintptr_t>(Ptrs[5]) & ~uintptr_t(0xfff);
+  Heap.retirePage(Page);
+  EXPECT_TRUE(Heap.isPageRetired(Page));
+  EXPECT_GE(Heap.retiredPageCount(), 1u);
+
+  // Free everything — slots on the retired page go to quarantine, the
+  // rest return to the pool.
+  for (void *Ptr : Ptrs)
+    Heap.deallocate(Ptr);
+  EXPECT_GT(Heap.retiredSlotCount(), 0u);
+
+  // No future allocation may land on the retired page.
+  for (int I = 0; I < 2000; ++I) {
+    void *Ptr = Heap.allocate(64);
+    ASSERT_NE(Ptr, nullptr);
+    EXPECT_FALSE(Heap.isPageRetired(reinterpret_cast<uintptr_t>(Ptr)))
+        << "allocation " << I << " landed on a retired page";
+  }
+}
+
+TEST(PageRetirement, RetireIsIdempotent) {
+  DieHardHeap Heap(testConfig(5));
+  void *Ptr = Heap.allocate(64);
+  const uintptr_t Page = reinterpret_cast<uintptr_t>(Ptr) & ~uintptr_t(0xfff);
+  Heap.deallocate(Ptr);
+  const size_t First = Heap.retirePage(Page);
+  EXPECT_GT(First, 0u); // the freed slot was quarantined immediately
+  EXPECT_EQ(Heap.retirePage(Page), 0u);
+  EXPECT_EQ(Heap.retiredPageCount(), 1u);
+}
+
+TEST(PageRetirement, ForeignPageRetiresNothing) {
+  DieHardHeap Heap(testConfig(6));
+  EXPECT_EQ(Heap.retirePage(0x12340000), 0u);
+  EXPECT_TRUE(Heap.isPageRetired(0x12340000));
+  // The heap still allocates normally.
+  EXPECT_NE(Heap.allocate(64), nullptr);
+}
+
+TEST(PageRetirement, MagazinePathHonorsRetirement) {
+  // The concurrent front-end's magazines pre-draw slots; retirement must
+  // hold through refills, remote-free drains, and cache flushes.
+  ConcurrentAllocatorConfig Cfg;
+  Cfg.Heap = testConfig(88);
+  Cfg.MagazineSize = 8;
+  ConcurrentAllocator Front(Cfg);
+  ConcurrentAllocator::ThreadCache &Cache = Front.createCache();
+
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 64; ++I)
+    Ptrs.push_back(Front.allocateFrom(Cache, 64));
+  const uintptr_t Page =
+      reinterpret_cast<uintptr_t>(Ptrs[3]) & ~uintptr_t(0xfff);
+  Front.backend().retirePage(Page);
+
+  // Lock-free frees of retired-page objects drain into quarantine.
+  for (void *Ptr : Ptrs)
+    Front.deallocate(Ptr);
+  // Flush returns reserved magazine slots: retired ones must not rejoin.
+  Front.flushAll();
+  EXPECT_GT(Front.backend().retiredSlotCount(), 0u);
+
+  for (int I = 0; I < 2000; ++I) {
+    void *Ptr = Front.allocateFrom(Cache, 64);
+    ASSERT_NE(Ptr, nullptr);
+    EXPECT_FALSE(Front.backend().isPageRetired(
+        reinterpret_cast<uintptr_t>(Ptr)))
+        << "magazine handed out a retired-page slot at " << I;
+  }
+}

@@ -276,3 +276,113 @@ TEST(CorrectingHeap, DeferredObjectNotReusedWhileDeferred) {
   for (int I = 0; I < 32; ++I)
     EXPECT_EQ(Ptr[I], 0x42);
 }
+
+//===----------------------------------------------------------------------===//
+// Hardware reports + criticality tiering (PR 9)
+//===----------------------------------------------------------------------===//
+
+#include "alloc/SizeClass.h"
+
+TEST(CorrectingHeap, HardwareReportRetiresItsPage) {
+  Fixture F;
+  void *Ptr = F.allocateAtSite(64);
+  const uintptr_t Page =
+      reinterpret_cast<uintptr_t>(Ptr) & ~uintptr_t(0xfff);
+  F.freeAtSite(Ptr);
+
+  PatchSet Patches;
+  Patches.addHardwareReport(Page, HardwareFaultBitFlip, 2);
+  F.Heap.setPatches(Patches);
+
+  DieHardHeap &Backend = F.Heap.diefast().heap();
+  EXPECT_TRUE(Backend.isPageRetired(Page));
+  EXPECT_GT(Backend.retiredSlotCount(), 0u);
+  for (int I = 0; I < 500; ++I) {
+    void *Fresh = F.allocateAtSite(64);
+    ASSERT_NE(Fresh, nullptr);
+    EXPECT_FALSE(Backend.isPageRetired(reinterpret_cast<uintptr_t>(Fresh)));
+  }
+}
+
+TEST(CorrectingHeap, TieringHardensErrorConcentratedClasses) {
+  Fixture F;
+  CriticalityConfig Crit;
+  Crit.Enabled = true;
+  Crit.HardenThreshold = 2;
+  Crit.DefensivePadBytes = 16;
+  Crit.DefensiveDeferTicks = 8;
+  F.Heap.setCriticality(Crit);
+
+  // Two padded-site allocations at the 64-byte class cross the harden
+  // threshold.
+  PatchSet Patches;
+  Patches.addPad(F.AllocSite, 6);
+  F.Heap.setPatches(Patches);
+  const unsigned Class = sizeclass::classFor(64);
+  void *A = F.allocateAtSite(64);
+  void *B = F.allocateAtSite(64);
+  EXPECT_TRUE(F.Heap.isClassHardened(Class));
+
+  // Hardened-class allocations now carry the defensive pad: 64 + 6 + 16
+  // still lands in the 128-byte class, and the defensive counters move.
+  void *C = F.allocateAtSite(64);
+  EXPECT_GE(F.Heap.correctionStats().DefensivePadAllocations, 1u);
+  EXPECT_GE(F.Heap.correctionStats().DefensivePadBytesAdded, 16u);
+
+  // Frees of the hardened class defer defensively even with no deferral
+  // patch installed.
+  const size_t DeferredBefore = F.Heap.deferredCount();
+  F.freeAtSite(C);
+  EXPECT_EQ(F.Heap.deferredCount(), DeferredBefore + 1);
+  EXPECT_GE(F.Heap.correctionStats().DefensiveDeferrals, 1u);
+  F.freeAtSite(A);
+  F.freeAtSite(B);
+  F.Heap.flushDeferrals();
+}
+
+TEST(CorrectingHeap, TieringOffByDefaultKeepsLeanPath) {
+  Fixture F;
+  EXPECT_FALSE(F.Heap.criticality().Enabled);
+  PatchSet Patches;
+  Patches.addPad(F.AllocSite, 6);
+  F.Heap.setPatches(Patches);
+  void *A = F.allocateAtSite(64);
+  void *B = F.allocateAtSite(64);
+  void *C = F.allocateAtSite(64);
+  // Error history accrues, but with tiering off nothing is hardened and
+  // no defensive machinery engages.
+  EXPECT_GE(F.Heap.classErrorCount(sizeclass::classFor(64)), 2u);
+  EXPECT_FALSE(F.Heap.isClassHardened(sizeclass::classFor(64)));
+  EXPECT_EQ(F.Heap.correctionStats().DefensivePadAllocations, 0u);
+  F.freeAtSite(A);
+  F.freeAtSite(B);
+  F.freeAtSite(C);
+  EXPECT_EQ(F.Heap.correctionStats().DefensiveDeferrals, 0u);
+  EXPECT_EQ(F.Heap.deferredCount(), 0u);
+}
+
+TEST(CorrectingHeap, HardwarePageCreditsOverlappingClasses) {
+  Fixture F;
+  CriticalityConfig Crit;
+  Crit.Enabled = true;
+  Crit.HardenThreshold = 2;
+  F.Heap.setCriticality(Crit);
+
+  void *Ptr = F.allocateAtSite(64);
+  const uintptr_t Page =
+      reinterpret_cast<uintptr_t>(Ptr) & ~uintptr_t(0xfff);
+  F.freeAtSite(Ptr);
+
+  PatchSet Patches;
+  Patches.addHardwareReport(Page, HardwareFaultRowCluster, 3);
+  F.Heap.setPatches(Patches);
+  // One hardware page is decisive: it credits HardenThreshold sightings,
+  // hardening the class outright.
+  const unsigned Class = sizeclass::classFor(64);
+  EXPECT_TRUE(F.Heap.isClassHardened(Class));
+  // Re-applying the same (or a superset) patch set must not double-credit.
+  const uint32_t Count = F.Heap.classErrorCount(Class);
+  Patches.addHardwareReport(Page, HardwareFaultRowCluster, 4);
+  F.Heap.setPatches(Patches);
+  EXPECT_EQ(F.Heap.classErrorCount(Class), Count);
+}

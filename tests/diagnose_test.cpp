@@ -219,3 +219,52 @@ TEST(DiagnosisPipeline, ReportRendersActivePatches) {
   const std::string Report = Pipeline.report();
   EXPECT_NE(Report.find("heap-buffer-overflow"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Hardware-fault evidence (PR 9)
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosisPipeline, HardwareEvidenceReportsPagesNotPatches) {
+  FaultPlan Fault;
+  Fault.Kind = FaultKind::RowCluster;
+  Fault.TriggerAllocation = 150;
+  Fault.PatternSeed = 11;
+
+  DiagnosisPipeline Pipeline;
+  const std::vector<HeapImage> Images = scriptedHardwareEvidenceImages(3, Fault);
+  const IsolationResult Result = Pipeline.submitImages({Images, {}});
+
+  // Decorrelated physical damage must never be mistaken for a site bug.
+  EXPECT_EQ(Result.Patches.padCount(), 0u);
+  EXPECT_EQ(Result.Patches.frontPadCount(), 0u);
+  EXPECT_EQ(Result.Patches.deferralCount(), 0u);
+  ASSERT_FALSE(Result.HardwareFaults.empty());
+
+  // The hardware table is part of the active set and versions it.
+  EXPECT_GT(Pipeline.patches().hardwareReportCount(), 0u);
+  EXPECT_EQ(Pipeline.patches().padCount(), 0u);
+  EXPECT_GE(Pipeline.epoch(), 1u);
+
+  // Re-submitting the same evidence max-merges to a no-op.
+  const uint64_t Epoch = Pipeline.epoch();
+  Pipeline.submitImages({Images, {}});
+  EXPECT_EQ(Pipeline.epoch(), Epoch);
+
+  // The observability plane sees the faults...
+  std::vector<MetricSample> Samples;
+  Pipeline.collectMetrics(Samples);
+  MetricsSnapshot Snap;
+  Snap.Samples = Samples;
+  const MetricSample *Faults = Snap.find("xterm_hardware_faults_total", "");
+  ASSERT_NE(Faults, nullptr);
+  EXPECT_GT(Faults->Value, 0.0);
+  const MetricSample *Pages =
+      Snap.find("xterm_active_patches",
+                MetricsRegistry::label("kind", "hardware_page"));
+  ASSERT_NE(Pages, nullptr);
+  EXPECT_GT(Pages->Value, 0.0);
+
+  // ...and the human-readable report names the failure class.
+  EXPECT_NE(Pipeline.report().find("hardware memory fault"),
+            std::string::npos);
+}

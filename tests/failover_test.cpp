@@ -654,3 +654,43 @@ TEST(FleetReplication, ChaosKillConvergesBitIdenticalToNoFailureRun) {
                 F.Servers[2]->cumulativeRuns(),
             2 * ReferenceRuns);
 }
+
+TEST(FleetReplication, MixedSoftwareAndHardwareEvidenceConvergesFleetWide) {
+  // PR 9 acceptance: a fleet where one member sees an overflow and
+  // another sees physical bit damage must converge to one set carrying
+  // both the site pad and the hardware-page report — the hardware table
+  // rides the same journal / anti-entropy machinery as the site tables.
+  Fleet F;
+
+  LoopbackTransport T0(*F.Servers[0]);
+  PatchClient Software(T0);
+  ASSERT_TRUE(Software.submitImages(overflowEvidence()));
+
+  FaultPlan Fault;
+  Fault.Kind = FaultKind::BitFlip;
+  Fault.TriggerAllocation = 150;
+  Fault.PatternSeed = 7;
+  LoopbackTransport T1(*F.Servers[1]);
+  PatchClient Hardware(T1);
+  ASSERT_TRUE(Hardware.submitImages(
+      {scriptedHardwareEvidenceImages(3, Fault), {}}));
+
+  F.pump();
+  F.pump();
+
+  CallContext Context;
+  Context.pushFrame(ScriptedBugSites().Culprit);
+  const SiteId Culprit = Context.currentSite();
+  const std::vector<uint8_t> Reference = F.patchBytes(0);
+  for (int I = 0; I < 3; ++I) {
+    const PatchSet &Merged = F.Servers[I]->snapshot().Patches;
+    EXPECT_GE(Merged.padFor(Culprit), 6u) << I;
+    EXPECT_GT(Merged.hardwareReportCount(), 0u) << I;
+    EXPECT_EQ(F.patchBytes(I), Reference) << I;
+  }
+
+  // Converged for good: further rounds are no-ops.
+  F.pump();
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(F.patchBytes(I), Reference) << I;
+}

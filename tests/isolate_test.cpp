@@ -3,9 +3,12 @@
 #include "isolate/ErrorIsolator.h"
 
 #include "TestHelpers.h"
+#include "workload/ScriptedBugs.h"
 #include "workload/TraceWorkload.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace exterminator;
 using namespace exterminator::testing_support;
@@ -282,4 +285,115 @@ TEST(ErrorIsolation, CoalesceKeepsDistinctImagesSeparate) {
   Regions[1].Bytes = {5, 6, 7, 8};
   coalesceRegions(Regions);
   EXPECT_EQ(Regions.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Software-vs-hardware origin classification (PR 9)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+FaultPlan hardwareFault(FaultKind Kind, uint64_t Seed) {
+  FaultPlan Plan;
+  Plan.Kind = Kind;
+  // After the churn warmup (180 allocations) there are plenty of freed,
+  // canaried victim slots.
+  Plan.TriggerAllocation = 150;
+  Plan.PatternSeed = Seed;
+  return Plan;
+}
+
+} // namespace
+
+TEST(OriginClassifier, BitFlipYieldsHardwareReportAndZeroSitePatches) {
+  // The load-bearing discrimination: decorrelated single-bit damage must
+  // never become a site patch — it becomes a hardware-fault report with
+  // the suspected physical pages.
+  const auto Images =
+      scriptedHardwareEvidenceImages(3, hardwareFault(FaultKind::BitFlip, 7));
+  const IsolationResult Result = isolateErrors(Images);
+  EXPECT_EQ(Result.Patches.padCount(), 0u);
+  EXPECT_EQ(Result.Patches.frontPadCount(), 0u);
+  EXPECT_EQ(Result.Patches.deferralCount(), 0u);
+  ASSERT_FALSE(Result.HardwareFaults.empty());
+  for (const HardwareFinding &Finding : Result.HardwareFaults) {
+    EXPECT_NE(Finding.PageAddress, 0u);
+    EXPECT_EQ(Finding.PageAddress & 0xfffu, 0u);
+    EXPECT_NE(Finding.KindMask, 0u);
+    EXPECT_GE(Finding.EvidenceRegions, 1u);
+  }
+  EXPECT_EQ(Result.Patches.hardwareReportCount(),
+            Result.HardwareFaults.size());
+}
+
+TEST(OriginClassifier, StuckAtYieldsHardwareReportAndZeroSitePatches) {
+  const auto Images =
+      scriptedHardwareEvidenceImages(3, hardwareFault(FaultKind::StuckAt, 5));
+  const IsolationResult Result = isolateErrors(Images);
+  EXPECT_EQ(Result.Patches.padCount(), 0u);
+  EXPECT_EQ(Result.Patches.frontPadCount(), 0u);
+  EXPECT_EQ(Result.Patches.deferralCount(), 0u);
+  EXPECT_FALSE(Result.HardwareFaults.empty());
+}
+
+TEST(OriginClassifier, RowClusterYieldsClusteredHardwareReport) {
+  const auto Images = scriptedHardwareEvidenceImages(
+      3, hardwareFault(FaultKind::RowCluster, 3));
+  const IsolationResult Result = isolateErrors(Images);
+  EXPECT_EQ(Result.Patches.padCount(), 0u);
+  EXPECT_EQ(Result.Patches.frontPadCount(), 0u);
+  EXPECT_EQ(Result.Patches.deferralCount(), 0u);
+  ASSERT_FALSE(Result.HardwareFaults.empty());
+  // Many slots of one simulated row corrupt together: at least one page
+  // carries the row-cluster signature and several evidence regions.
+  uint32_t CombinedMask = 0;
+  uint64_t MaxRegions = 0;
+  for (const HardwareFinding &Finding : Result.HardwareFaults) {
+    CombinedMask |= Finding.KindMask;
+    MaxRegions = std::max(MaxRegions, Finding.EvidenceRegions);
+  }
+  EXPECT_TRUE(CombinedMask & HardwareFaultRowCluster);
+  EXPECT_GE(MaxRegions, 2u);
+}
+
+TEST(OriginClassifier, OverflowDiagnosisIsBitIdenticalWithClassifier) {
+  // A pure-software evidence set must flow through the classifier
+  // untouched: the diagnosis with classification enabled is identical to
+  // the pre-PR-9 path (classifier off).
+  const auto Images = imagesFromTrace(overflowTrace(6), 3);
+  IsolationConfig Disabled;
+  Disabled.Origin.Enabled = false;
+  const IsolationResult Before = isolateErrors(Images, Disabled);
+  const IsolationResult After = isolateErrors(Images);
+  EXPECT_GT(Before.Patches.padCount(), 0u);
+  EXPECT_TRUE(Before.Patches == After.Patches);
+  EXPECT_TRUE(After.HardwareFaults.empty());
+  ASSERT_EQ(Before.Overflows.size(), After.Overflows.size());
+  for (size_t I = 0; I < Before.Overflows.size(); ++I) {
+    EXPECT_EQ(Before.Overflows[I].CulpritAllocSite,
+              After.Overflows[I].CulpritAllocSite);
+    EXPECT_EQ(Before.Overflows[I].PadBytes, After.Overflows[I].PadBytes);
+  }
+}
+
+TEST(OriginClassifier, MixedRunPatchesSoftwareAndReportsHardware) {
+  // An overflow and a DRAM fault in the same heap: the overflow still
+  // gets its pad (same site, same size as a clean software-only run) and
+  // the flip damage goes to a hardware report, not a second site patch.
+  ExterminatorConfig WithFault;
+  WithFault.Fault = hardwareFault(FaultKind::BitFlip, 11);
+  WithFault.Fault.TriggerAllocation = 190;
+  const auto Mixed = imagesFromTrace(overflowTrace(6), 3, 1000, WithFault);
+  const IsolationResult Result = isolateErrors(Mixed);
+
+  const auto Clean = imagesFromTrace(overflowTrace(6), 3);
+  const IsolationResult Reference = isolateErrors(Clean);
+
+  ASSERT_FALSE(Result.Overflows.empty());
+  ASSERT_FALSE(Reference.Overflows.empty());
+  EXPECT_EQ(Result.Overflows[0].CulpritAllocSite,
+            Reference.Overflows[0].CulpritAllocSite);
+  EXPECT_GT(Result.Patches.padFor(tokenSite(SiteA)), 0u);
+  EXPECT_FALSE(Result.HardwareFaults.empty());
+  EXPECT_EQ(Result.Patches.deferralCount(), 0u);
 }

@@ -14,6 +14,8 @@
 #include "observe/MetricsRegistry.h"
 
 #include "alloc/DieHardHeap.h"
+#include "diefast/DieFastHeap.h"
+#include "inject/FaultInjector.h"
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
 #include "exchange/SocketTransport.h"
@@ -629,4 +631,94 @@ TEST(AlertEngine, BuiltinPosteriorRuleFiresAndUnfiresWithHysteresis) {
   EXPECT_EQ(PosteriorRule().Severity, AlertSeverity::Clear);
   EXPECT_LT(PosteriorRule().LastValue, 0.0);
   EXPECT_EQ(PosteriorRule().RaisedEvents, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hardware-fault observability (PR 9)
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, InjectorAdapterExportsHardwareCounters) {
+  MetricsRegistry Registry;
+  DieFastConfig Config;
+  Config.Heap.Seed = 5;
+  Config.Heap.InitialSlots = 16;
+  DieFastHeap Heap(Config);
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::BitFlip;
+  Plan.TriggerAllocation = 20;
+  Plan.PatternSeed = 42;
+  FaultInjector Injector(Heap, Plan);
+  Injector.attachHeap(&Heap.heap());
+  registerInjectorMetrics(Registry, Injector, "diefast");
+
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 16; ++I)
+    Ptrs.push_back(Injector.allocate(64));
+  for (int I = 0; I < 16; I += 2)
+    Injector.deallocate(Ptrs[I]);
+  for (int I = 0; I < 24; ++I)
+    Injector.deallocate(Injector.allocate(64));
+
+  const MetricsSnapshot Snap = Registry.snapshot();
+  const std::string Labels = MetricsRegistry::label("heap", "diefast");
+  const MetricSample *Events =
+      Snap.find("xterm_inject_hardware_events_total", Labels);
+  ASSERT_NE(Events, nullptr);
+  EXPECT_EQ(Events->Value, 1.0);
+  const MetricSample *Bits =
+      Snap.find("xterm_inject_bits_flipped_total", Labels);
+  ASSERT_NE(Bits, nullptr);
+  EXPECT_GE(Bits->Value, 1.0);
+  const MetricSample *Software =
+      Snap.find("xterm_inject_software_faults_total", Labels);
+  ASSERT_NE(Software, nullptr);
+  EXPECT_EQ(Software->Value, 0.0);
+}
+
+TEST(MetricsRegistry, RetirementAdapterExportsGauges) {
+  MetricsRegistry Registry;
+  DieHardHeap Heap;
+  registerRetirementMetrics(Registry, Heap, "diehard");
+
+  const std::string Labels = MetricsRegistry::label("heap", "diehard");
+  MetricsSnapshot Snap = Registry.snapshot();
+  ASSERT_NE(Snap.find("xterm_retired_pages", Labels), nullptr);
+  EXPECT_EQ(Snap.find("xterm_retired_pages", Labels)->Value, 0.0);
+
+  void *Ptr = Heap.allocate(64);
+  ASSERT_NE(Ptr, nullptr);
+  Heap.retirePage(reinterpret_cast<uintptr_t>(Ptr));
+
+  Snap = Registry.snapshot();
+  EXPECT_EQ(Snap.find("xterm_retired_pages", Labels)->Value, 1.0);
+  EXPECT_GE(Snap.find("xterm_retired_slots", Labels)->Value, 1.0);
+}
+
+TEST(AlertEngine, BuiltinHardwareRulePagesImmediately) {
+  AlertEngine Engine;
+  Engine.addBuiltinRules();
+
+  auto HardwareRule = [&]() -> const AlertStatus & {
+    for (const AlertStatus &S : Engine.status())
+      if (S.Rule.Name == "hardware_fault_detected")
+        return S;
+    static AlertStatus Missing;
+    return Missing;
+  };
+
+  MetricsSnapshot Clean;
+  MetricsRegistry::addCounter(Clean.Samples, "xterm_hardware_faults_total", "",
+                              0.0);
+  Engine.evaluate(Clean, 0);
+  ASSERT_FALSE(HardwareRule().Rule.Name.empty());
+  EXPECT_EQ(HardwareRule().Severity, AlertSeverity::Clear);
+
+  // One confirmed hardware fault anywhere in the fleet is a page, not a
+  // warning: software patches cannot correct a failing DIMM.
+  MetricsSnapshot Faulty;
+  MetricsRegistry::addCounter(Faulty.Samples, "xterm_hardware_faults_total",
+                              "", 1.0);
+  Engine.evaluate(Faulty, 1);
+  EXPECT_EQ(HardwareRule().Severity, AlertSeverity::Critical);
+  EXPECT_EQ(HardwareRule().RaisedEvents, 1u);
 }

@@ -246,3 +246,77 @@ TEST(PatchMerge, DuplicateSetsAreIdempotent) {
   const PatchSet Merged = mergePatchSets({User, User, User});
   EXPECT_TRUE(Merged == User);
 }
+
+//===----------------------------------------------------------------------===//
+// Hardware-fault reports (PR 9)
+//===----------------------------------------------------------------------===//
+
+TEST(HardwareReports, KindMaskOrsAndEvidenceMaxMerges) {
+  PatchSet Patches;
+  EXPECT_TRUE(Patches.addHardwareReport(0x1000, HardwareFaultBitFlip, 2));
+  // Same page: kinds accumulate, evidence takes the max.
+  EXPECT_TRUE(Patches.addHardwareReport(0x1000, HardwareFaultStuckAt, 1));
+  // Nothing new: no change reported.
+  EXPECT_FALSE(Patches.addHardwareReport(0x1000, HardwareFaultBitFlip, 2));
+  ASSERT_EQ(Patches.hardwareReportCount(), 1u);
+  const auto Reports = Patches.hardwareReports();
+  EXPECT_EQ(Reports[0].PageAddress, 0x1000u);
+  EXPECT_EQ(Reports[0].KindMask,
+            uint32_t(HardwareFaultBitFlip | HardwareFaultStuckAt));
+  EXPECT_EQ(Reports[0].EvidenceRegions, 2u);
+  EXPECT_EQ(Patches.hardwareEvidenceTotal(), 2u);
+}
+
+TEST(HardwareReports, MergeIsIdempotentAndCommutative) {
+  PatchSet A, B;
+  A.addHardwareReport(0x1000, HardwareFaultBitFlip, 3);
+  A.addPad(0x10, 8);
+  B.addHardwareReport(0x1000, HardwareFaultRowCluster, 1);
+  B.addHardwareReport(0x2000, HardwareFaultStuckAt, 5);
+
+  PatchSet AB = A;
+  AB.merge(B);
+  PatchSet BA = B;
+  BA.merge(A);
+  EXPECT_TRUE(AB == BA);
+  EXPECT_FALSE(AB.merge(B)); // re-merge changes nothing
+  EXPECT_EQ(AB.hardwareReportCount(), 2u);
+  EXPECT_EQ(AB.hardwareEvidenceTotal(), 8u);
+  EXPECT_EQ(AB.hardwareReports()[0].KindMask,
+            uint32_t(HardwareFaultBitFlip | HardwareFaultRowCluster));
+}
+
+TEST(HardwareReports, SerializationIsBackwardCompatible) {
+  // Without hardware reports the wire bytes are the pre-PR-9 XPT2 format
+  // verbatim; with reports, the XPT3 extension round-trips everything.
+  PatchSet SoftwareOnly;
+  SoftwareOnly.addPad(0xdeadbeef, 6);
+  SoftwareOnly.addDeferral(0xa, 0xb, 2001);
+  const std::vector<uint8_t> V2 = serializePatchSet(SoftwareOnly);
+  ASSERT_GE(V2.size(), 4u);
+  // "XPT2" little-endian magic leads the buffer.
+  EXPECT_EQ(V2[0], uint8_t('2'));
+  EXPECT_EQ(V2[3], uint8_t('X'));
+  PatchSet Back;
+  ASSERT_TRUE(deserializePatchSet(V2, Back));
+  EXPECT_TRUE(Back == SoftwareOnly);
+
+  PatchSet WithHardware = SoftwareOnly;
+  WithHardware.addHardwareReport(0x7000, HardwareFaultBitFlip, 4);
+  const std::vector<uint8_t> V3 = serializePatchSet(WithHardware);
+  EXPECT_EQ(V3[0], uint8_t('3'));
+  ASSERT_TRUE(deserializePatchSet(V3, Back));
+  EXPECT_TRUE(Back == WithHardware);
+  EXPECT_EQ(Back.hardwareReportCount(), 1u);
+  EXPECT_EQ(Back.hardwareReports()[0].EvidenceRegions, 4u);
+}
+
+TEST(HardwareReports, EmptyIncludesHardwareTable) {
+  PatchSet Patches;
+  EXPECT_TRUE(Patches.empty());
+  Patches.addHardwareReport(0x4000, HardwareFaultBitFlip, 1);
+  EXPECT_FALSE(Patches.empty());
+  Patches.clear();
+  EXPECT_TRUE(Patches.empty());
+  EXPECT_EQ(Patches.hardwareReportCount(), 0u);
+}

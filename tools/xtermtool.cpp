@@ -43,7 +43,9 @@
 //       rules: corruption posterior over the classification bar,
 //       persist failures, replication queue overflow — with netdata-
 //       style hysteresis so a flapping metric alerts once).
-//   xtermtool record        <outdir>           write demo evidence files
+//   xtermtool record        <outdir> [--hardware]  write demo evidence
+//       files: scripted-overflow images by default, row-cluster
+//       DRAM-fault images with --hardware
 //
 // The tool is a thin client of the runtime: diagnose feeds images (v1 or
 // v2) straight into the DiagnosisPipeline — the same ingestion point the
@@ -85,7 +87,8 @@ static int usage() {
                "       xtermtool report   <patch.xpt>\n"
                "       xtermtool merge    <out.xpt> <in.xpt>...\n"
                "       xtermtool image    <dump.xhi>\n"
-               "       xtermtool diagnose <out.xpt> <dump.xhi>...\n"
+               "       xtermtool diagnose <out.xpt> <dump.xhi>... "
+               "[--json]\n"
                "       xtermtool serve    <endpoint> [--workers N] "
                "[--seed patch.xpt]\n"
                "                          [--state-dir DIR] "
@@ -100,7 +103,7 @@ static int usage() {
                "       xtermtool stats    <endpoints>\n"
                "       xtermtool watch    <endpoints> [--once] "
                "[--interval-ms N]\n"
-               "       xtermtool record   <outdir>\n"
+               "       xtermtool record   <outdir> [--hardware]\n"
                "endpoints: unix:/path.sock | tcp:PORT | tcp:HOST:PORT\n"
                "  submit/fetch-patches/shutdown accept a comma-separated\n"
                "  endpoint list (a replicated fleet; clients fail over\n"
@@ -116,9 +119,10 @@ static int inspectPatches(const std::string &Path) {
                  Path.c_str());
     return 1;
   }
-  std::printf("%s: %zu pad(s), %zu front pad(s), %zu deferral(s)\n",
+  std::printf("%s: %zu pad(s), %zu front pad(s), %zu deferral(s), "
+              "%zu hardware page(s)\n",
               Path.c_str(), Patches.padCount(), Patches.frontPadCount(),
-              Patches.deferralCount());
+              Patches.deferralCount(), Patches.hardwareReportCount());
   for (const PadPatch &Pad : Patches.pads())
     std::printf("  pad      site=0x%08x  bytes=%u\n", Pad.AllocSite,
                 Pad.PadBytes);
@@ -129,6 +133,11 @@ static int inspectPatches(const std::string &Path) {
     std::printf("  deferral alloc=0x%08x free=0x%08x  ticks=%llu\n",
                 Deferral.AllocSite, Deferral.FreeSite,
                 static_cast<unsigned long long>(Deferral.DeferTicks));
+  for (const HardwareFaultReport &Report : Patches.hardwareReports())
+    std::printf("  hardware page=0x%012llx kinds=0x%x regions=%llu\n",
+                static_cast<unsigned long long>(Report.PageAddress),
+                Report.KindMask,
+                static_cast<unsigned long long>(Report.EvidenceRegions));
   return 0;
 }
 
@@ -206,8 +215,28 @@ static int summarizeImage(const std::string &Path) {
   return 0;
 }
 
+/// One kind-mask rendering shared by the table and the JSON output.
+static std::string hardwareKindNames(uint32_t Mask) {
+  std::string Names;
+  auto Add = [&](const char *Name) {
+    if (!Names.empty())
+      Names += "|";
+    Names += Name;
+  };
+  if (Mask & HardwareFaultBitFlip)
+    Add("bit-flip");
+  if (Mask & HardwareFaultStuckAt)
+    Add("stuck-at");
+  if (Mask & HardwareFaultRowCluster)
+    Add("row-cluster");
+  if (Names.empty())
+    Names = "unknown";
+  return Names;
+}
+
 static int diagnoseImages(const std::string &Out,
-                          const std::vector<std::string> &Inputs) {
+                          const std::vector<std::string> &Inputs,
+                          bool Json) {
   ImageEvidence Evidence;
   for (const std::string &Path : Inputs) {
     HeapImage Image;
@@ -216,11 +245,12 @@ static int diagnoseImages(const std::string &Out,
                    Path.c_str());
       return 1;
     }
-    std::printf("loaded %s (format v%u, %zu slots, allocation time "
-                "%llu)\n",
-                Path.c_str(), Image.SourceFormatVersion,
-                Image.totalSlots(),
-                static_cast<unsigned long long>(Image.AllocationTime));
+    if (!Json)
+      std::printf("loaded %s (format v%u, %zu slots, allocation time "
+                  "%llu)\n",
+                  Path.c_str(), Image.SourceFormatVersion,
+                  Image.totalSlots(),
+                  static_cast<unsigned long long>(Image.AllocationTime));
     Evidence.Primary.push_back(std::move(Image));
   }
   if (Evidence.Primary.size() < 2) {
@@ -231,18 +261,91 @@ static int diagnoseImages(const std::string &Out,
 
   DiagnosisPipeline Pipeline;
   const IsolationResult Result = Pipeline.submitImages(Evidence);
-  std::printf("%zu overflow candidate(s), %zu dangling finding(s)\n",
-              Result.Overflows.size(), Result.Danglings.size());
-  std::fputs(Pipeline.report().c_str(), stdout);
-  if (!savePatchSet(Pipeline.patches(), Out)) {
+  const PatchSet &Patches = Pipeline.patches();
+
+  if (Json) {
+    // Machine-readable summary for CI smoke checks: flat keys first so a
+    // plain grep can assert on them, findings after.
+    std::printf("{\"overflows\":%zu,\"danglings\":%zu,"
+                "\"hardware_faults\":%zu,\"pads\":%zu,\"front_pads\":%zu,"
+                "\"deferrals\":%zu,\"hardware_pages\":%zu,\"findings\":[",
+                Result.Overflows.size(), Result.Danglings.size(),
+                Result.HardwareFaults.size(), Patches.padCount(),
+                Patches.frontPadCount(), Patches.deferralCount(),
+                Patches.hardwareReportCount());
+    bool First = true;
+    auto Comma = [&]() {
+      if (!First)
+        std::printf(",");
+      First = false;
+    };
+    for (const OverflowCandidate &Candidate : Result.Overflows) {
+      Comma();
+      const bool Patched =
+          Patches.padFor(Candidate.CulpritAllocSite) > 0 ||
+          Patches.frontPadFor(Candidate.CulpritAllocSite) > 0;
+      std::printf("{\"origin\":\"%s\",\"kind\":\"overflow\","
+                  "\"site\":\"0x%08x\",\"pad\":%u,\"front_pad\":%u,"
+                  "\"score\":%.6f}",
+                  Patched ? "software-site" : "unclassified",
+                  Candidate.CulpritAllocSite, Candidate.PadBytes,
+                  Candidate.FrontPadBytes, Candidate.Score);
+    }
+    for (const DanglingFinding &Finding : Result.Danglings) {
+      Comma();
+      std::printf("{\"origin\":\"software-site\",\"kind\":\"dangling\","
+                  "\"alloc\":\"0x%08x\",\"free\":\"0x%08x\","
+                  "\"defer\":%llu}",
+                  Finding.AllocSite, Finding.FreeSite,
+                  static_cast<unsigned long long>(Finding.DeferralTicks));
+    }
+    for (const HardwareFinding &Finding : Result.HardwareFaults) {
+      Comma();
+      std::printf("{\"origin\":\"hardware-page\",\"kind\":\"%s\","
+                  "\"page\":\"0x%012llx\",\"regions\":%llu}",
+                  hardwareKindNames(Finding.KindMask).c_str(),
+                  static_cast<unsigned long long>(Finding.PageAddress),
+                  static_cast<unsigned long long>(Finding.EvidenceRegions));
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("%zu overflow candidate(s), %zu dangling finding(s), "
+                "%zu hardware fault(s)\n",
+                Result.Overflows.size(), Result.Danglings.size(),
+                Result.HardwareFaults.size());
+    // Origin table: every finding with its classified origin.
+    std::printf("%-14s %-10s %s\n", "origin", "kind", "where");
+    for (const OverflowCandidate &Candidate : Result.Overflows) {
+      const bool Patched =
+          Patches.padFor(Candidate.CulpritAllocSite) > 0 ||
+          Patches.frontPadFor(Candidate.CulpritAllocSite) > 0;
+      std::printf("%-14s %-10s site 0x%08x (pad %u, score %.3f)\n",
+                  Patched ? "software-site" : "unclassified", "overflow",
+                  Candidate.CulpritAllocSite, Candidate.PadBytes,
+                  Candidate.Score);
+    }
+    for (const DanglingFinding &Finding : Result.Danglings)
+      std::printf("%-14s %-10s alloc 0x%08x free 0x%08x (defer %llu)\n",
+                  "software-site", "dangling", Finding.AllocSite,
+                  Finding.FreeSite,
+                  static_cast<unsigned long long>(Finding.DeferralTicks));
+    for (const HardwareFinding &Finding : Result.HardwareFaults)
+      std::printf("%-14s %-10s page 0x%012llx (%llu region(s))\n",
+                  "hardware-page", hardwareKindNames(Finding.KindMask).c_str(),
+                  static_cast<unsigned long long>(Finding.PageAddress),
+                  static_cast<unsigned long long>(Finding.EvidenceRegions));
+    std::fputs(Pipeline.report().c_str(), stdout);
+  }
+  if (!savePatchSet(Patches, Out)) {
     std::fprintf(stderr, "error: cannot write patch file '%s'\n",
                  Out.c_str());
     return 1;
   }
-  std::printf("wrote %s (%zu pads, %zu front pads, %zu deferrals)\n",
-              Out.c_str(), Pipeline.patches().padCount(),
-              Pipeline.patches().frontPadCount(),
-              Pipeline.patches().deferralCount());
+  if (!Json)
+    std::printf("wrote %s (%zu pads, %zu front pads, %zu deferrals, "
+                "%zu hardware pages)\n",
+                Out.c_str(), Patches.padCount(), Patches.frontPadCount(),
+                Patches.deferralCount(), Patches.hardwareReportCount());
   return 0;
 }
 
@@ -615,10 +718,21 @@ static int watchCommand(const std::string &Spec,
 /// overflow (workload/ScriptedBugs.h) under different heap seeds
 /// (enough for §4 isolation) plus one failed-run summary.  Exists so
 /// the exchange can be exercised end-to-end from a clean checkout
-/// (CI's collaborative smoke step).
-static int recordEvidence(const std::string &OutDir) {
-  const std::vector<HeapImage> Images =
-      scriptedEvidenceImages(/*Count=*/3, /*OverflowBytes=*/9);
+/// (CI's collaborative smoke step).  With \p Hardware the images carry
+/// an injected row-cluster DRAM fault over a bug-free trace instead —
+/// evidence that must classify as a hardware-page report, never a site
+/// patch (CI's hardware-fault smoke step).
+static int recordEvidence(const std::string &OutDir, bool Hardware) {
+  std::vector<HeapImage> Images;
+  if (Hardware) {
+    FaultPlan Fault;
+    Fault.Kind = FaultKind::RowCluster;
+    Fault.TriggerAllocation = 150;
+    Fault.PatternSeed = 17;
+    Images = scriptedHardwareEvidenceImages(/*Count=*/3, Fault);
+  } else {
+    Images = scriptedEvidenceImages(/*Count=*/3, /*OverflowBytes=*/9);
+  }
   for (unsigned I = 0; I < Images.size(); ++I) {
     const std::string ImagePath =
         OutDir + "/run" + std::to_string(I) + ".xhi";
@@ -657,10 +771,17 @@ int main(int Argc, char **Argv) {
     if (Argc < 4)
       return usage();
     std::vector<std::string> Inputs;
-    for (int I = 3; I < Argc; ++I)
-      Inputs.push_back(Argv[I]);
+    bool Json = false;
+    for (int I = 3; I < Argc; ++I) {
+      if (Command == "diagnose" && std::strcmp(Argv[I], "--json") == 0)
+        Json = true;
+      else
+        Inputs.push_back(Argv[I]);
+    }
+    if (Inputs.empty())
+      return usage();
     return Command == "merge" ? mergePatches(Argv[2], Inputs)
-                              : diagnoseImages(Argv[2], Inputs);
+                              : diagnoseImages(Argv[2], Inputs, Json);
   }
   if (Command == "serve") {
     std::vector<std::string> Options;
@@ -698,7 +819,12 @@ int main(int Argc, char **Argv) {
       Options.push_back(Argv[I]);
     return watchCommand(Argv[2], Options);
   }
-  if (Command == "record")
-    return recordEvidence(Argv[2]);
+  if (Command == "record") {
+    bool Hardware = false;
+    for (int I = 3; I < Argc; ++I)
+      if (std::strcmp(Argv[I], "--hardware") == 0)
+        Hardware = true;
+    return recordEvidence(Argv[2], Hardware);
+  }
   return usage();
 }
