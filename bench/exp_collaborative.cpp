@@ -25,28 +25,41 @@
 // PR 8 adds the observability-plane overhead measurement: the same
 // 3-server fleet ingest run twice — once with a MetricsRegistry
 // attached to every server and replica set, once bare — in alternating
-// timed blocks, reporting the relative ingest cost of being observable
-// (the pull-collector design should make it noise-level).
+// timed blocks.  PR 10 hardens the discipline: each side reports its
+// *best* block (noise and scheduler interference only ever slow a
+// block down, so best-of is the robust comparator), and a non-smoke
+// run exits nonzero when the overhead exceeds the 2% target.
+//
+// PR 10 also adds the codec section: the LZ block codec's compression
+// ratio and encode/decode throughput over a representative evidence
+// stream (a v1 image bundle of replicated espresso dumps — the bytes
+// the wire, the state dir, and the bundle container all now route
+// through codec/), and the bundle comparison gains the v2 delta
+// encoding next to v1 and independent images.
 //
 // --json FILE writes BENCH_exchange.json (schema in ROADMAP.md):
-//   schema_version        3
+//   schema_version        4
 //   config                {smoke, images_per_submission, rounds}
 //   ingest[]              {kind, items, seconds, per_sec} for
 //                         kind ∈ {image-submission, image, summary}
-//   bundle                {images, bundle_bytes, independent_bytes,
-//                          ratio}
+//   bundle                {images, bundle_bytes, v1_bytes,
+//                          independent_bytes, ratio, v1_ratio}
+//   codec                 {raw_bytes, compressed_bytes, ratio,
+//                          encode_mb_per_sec, decode_mb_per_sec}
 //   collaboration         {users, pads_merged, all_protected}
 //   fleet                 {servers, summaries, seconds, per_sec,
 //                          pump_rounds, records_streamed,
 //                          replicated_summaries, duplicates_suppressed,
 //                          converged_identical, patch_bytes}
 //   stats_overhead        {rounds, summaries_per_round, base_per_sec,
-//                          instrumented_per_sec, overhead_pct}
+//                          instrumented_per_sec, overhead_pct,
+//                          target_pct}
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
 
+#include "codec/BlockCodec.h"
 #include "exchange/FailoverTransport.h"
 #include "exchange/PatchClient.h"
 #include "exchange/PatchServer.h"
@@ -60,6 +73,7 @@
 #include "workload/EspressoWorkload.h"
 #include "workload/ScriptedBugs.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -327,10 +341,10 @@ int main(int Argc, char **Argv) {
 
   heading("PR 8: observability-plane overhead (registry vs no-op)");
   note("same 3-server fleet ingest, alternating bare and instrumented "
-       "blocks; the pull-collector design touches nothing on the ingest "
-       "path, so the delta should be noise");
+       "blocks, best block per side; the pull-collector design touches "
+       "nothing on the ingest path, so the delta should be noise");
 
-  const unsigned OverheadRounds = Smoke ? 3 : 8;
+  const unsigned OverheadRounds = Smoke ? 6 : 12;
   const unsigned OverheadSummaries = Smoke ? 100 : 500;
 
   // One full fleet ingest block: fresh 3-server loopback mesh, summaries
@@ -374,44 +388,55 @@ int main(int Argc, char **Argv) {
   };
 
   // Alternate bare/instrumented so clock drift and cache warmth hit
-  // both sides equally; first pair is a discarded warmup.
+  // both sides equally; first pair is a discarded warmup.  Each side
+  // reports its *best* block: a summed comparator lets one block that
+  // ate a scheduler preemption or page-cache stall manufacture percent-
+  // level "overhead" out of thin air (the committed 7.58% artifact),
+  // while interference can only ever make a block slower, never faster
+  // — so min-of-rounds converges on the true cost from above.
   fleetIngestSeconds(false);
   fleetIngestSeconds(true);
-  double BaseSeconds = 0.0, InstrSeconds = 0.0;
+  double BestBase = 0.0, BestInstr = 0.0;
   bool OverheadOk = true;
   for (unsigned Round = 0; Round < OverheadRounds; ++Round) {
     const double Base = fleetIngestSeconds(false);
     const double Instr = fleetIngestSeconds(true);
     OverheadOk &= Base > 0.0 && Instr > 0.0;
-    BaseSeconds += Base;
-    InstrSeconds += Instr;
+    BestBase = Round == 0 ? Base : std::min(BestBase, Base);
+    BestInstr = Round == 0 ? Instr : std::min(BestInstr, Instr);
   }
   if (!OverheadOk) {
     std::fprintf(stderr, "overhead measurement fleet failed\n");
     return 1;
   }
-  const double TotalOverheadSummaries =
-      double(OverheadRounds) * OverheadSummaries;
-  const double BasePerSec = TotalOverheadSummaries / BaseSeconds;
-  const double InstrPerSec = TotalOverheadSummaries / InstrSeconds;
-  const double OverheadPct = (InstrSeconds / BaseSeconds - 1.0) * 100.0;
+  const double OverheadTargetPct = 2.0;
+  const double BasePerSec = OverheadSummaries / BestBase;
+  const double InstrPerSec = OverheadSummaries / BestInstr;
+  const double OverheadPct = (BestInstr / BestBase - 1.0) * 100.0;
 
-  Table Overhead({"fleet", "summaries", "seconds", "per second"});
-  Overhead.addRow({"bare (no registry)",
-                   fmt("%.0f", TotalOverheadSummaries),
-                   fmt("%.3f", BaseSeconds), fmt("%.0f", BasePerSec)});
+  Table Overhead({"fleet", "summaries/block", "best block (s)",
+                  "per second"});
+  Overhead.addRow({"bare (no registry)", fmt("%u", OverheadSummaries),
+                   fmt("%.3f", BestBase), fmt("%.0f", BasePerSec)});
   Overhead.addRow({"instrumented (registry + scrape)",
-                   fmt("%.0f", TotalOverheadSummaries),
-                   fmt("%.3f", InstrSeconds), fmt("%.0f", InstrPerSec)});
+                   fmt("%u", OverheadSummaries), fmt("%.3f", BestInstr),
+                   fmt("%.0f", InstrPerSec)});
   Overhead.print();
-  note("observability overhead: %+.2f%% ingest cost (target: <= 2%%)",
-       OverheadPct);
+  note("observability overhead: %+.2f%% ingest cost over %u blocks/side "
+       "(target: <= %.0f%%)",
+       OverheadPct, OverheadRounds, OverheadTargetPct);
+  if (!Smoke && OverheadPct > OverheadTargetPct) {
+    std::fprintf(stderr,
+                 "observability overhead %.2f%% exceeds the %.0f%% target\n",
+                 OverheadPct, OverheadTargetPct);
+    return 1;
+  }
 
   //===--------------------------------------------------------------------===//
   // Bundle vs independent images
   //===--------------------------------------------------------------------===//
 
-  heading("PR 3: ImageBundle vs independent v2 images");
+  heading("PR 10: delta ImageBundle vs v1 bundle vs independent images");
   // Replicated espresso dumps: the site-rich images real deployments
   // ship (the trace evidence above references too few sites to show the
   // shared dictionary off).
@@ -428,11 +453,87 @@ int main(int Argc, char **Argv) {
   size_t IndependentBytes = 0;
   for (const HeapImage &Image : Dumps)
     IndependentBytes += serializeHeapImage(Image).size();
+  const size_t BundleV1Bytes =
+      serializeImageBundle(Dumps, ImageBundleFormatV1).size();
   const size_t BundleBytes = serializeImageBundle(Dumps).size();
   const double Ratio = double(BundleBytes) / double(IndependentBytes);
-  note("%u replicated espresso dumps: bundle %zu B vs %zu B independent "
-       "(%.3fx, one shared site dictionary)",
-       BundleImages, BundleBytes, IndependentBytes, Ratio);
+  const double RatioV1 = double(BundleV1Bytes) / double(IndependentBytes);
+  Table Bundles({"encoding", "bytes", "vs independent"});
+  Bundles.addRow({"independent v2 images", fmt("%zu", IndependentBytes),
+                  "1.000x"});
+  Bundles.addRow({"v1 bundle (shared site dictionary)",
+                  fmt("%zu", BundleV1Bytes), fmt("%.3fx", RatioV1)});
+  Bundles.addRow({"v2 bundle (delta vs first image)",
+                  fmt("%zu", BundleBytes), fmt("%.3fx", Ratio)});
+  Bundles.print();
+  note("%u replicated espresso dumps: delta encoding %.3fx of independent "
+       "(target: <= 0.5, pinned by codec_test)",
+       BundleImages, Ratio);
+  if (Ratio > 0.5) {
+    std::fprintf(stderr, "delta bundle ratio %.3f exceeds the 0.5 target\n",
+                 Ratio);
+    return 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Block codec ratio and throughput
+  //===--------------------------------------------------------------------===//
+
+  heading("PR 10: block codec ratio + throughput");
+  note("LZ block codec over a v1 evidence bundle — the byte stream wire "
+       "frames, snapshots, and the bundle container all route through");
+
+  // Representative input: the v1 bundle above — varint-packed metadata
+  // and repeated slot structure, exactly what travels in SubmitImages
+  // payloads and lands in the state dir.
+  std::vector<uint8_t> CodecRaw =
+      serializeImageBundle(Dumps, ImageBundleFormatV1);
+  std::vector<uint8_t> CodecComp;
+  const size_t CodecCompBytes = lzCompress(CodecRaw.data(), CodecRaw.size(),
+                                           CodecComp);
+  std::vector<uint8_t> CodecOut(CodecRaw.size());
+  if (CodecCompBytes == 0 ||
+      !lzDecompress(CodecComp.data(), CodecComp.size(), CodecOut.data(),
+                    CodecOut.size()) ||
+      CodecOut != CodecRaw) {
+    std::fprintf(stderr, "codec round trip failed on bundle bytes\n");
+    return 1;
+  }
+  const double CodecRatio = double(CodecCompBytes) / double(CodecRaw.size());
+
+  // Best-of-blocks throughput, same discipline as stats_overhead: each
+  // block runs the transform enough times to outlast timer noise.
+  const unsigned CodecBlocks = Smoke ? 3 : 8;
+  const unsigned CodecReps = Smoke ? 4 : 16;
+  double BestEncode = 0.0, BestDecode = 0.0;
+  for (unsigned Block = 0; Block < CodecBlocks; ++Block) {
+    const double Encode = timeSeconds([&] {
+      for (unsigned I = 0; I < CodecReps; ++I)
+        lzCompress(CodecRaw.data(), CodecRaw.size(), CodecComp);
+    });
+    const double Decode = timeSeconds([&] {
+      for (unsigned I = 0; I < CodecReps; ++I)
+        lzDecompress(CodecComp.data(), CodecComp.size(), CodecOut.data(),
+                     CodecOut.size());
+    });
+    BestEncode = Block == 0 ? Encode : std::min(BestEncode, Encode);
+    BestDecode = Block == 0 ? Decode : std::min(BestDecode, Decode);
+  }
+  const double BlockMb = double(CodecRaw.size()) * CodecReps / 1e6;
+  const double EncodeMbPerSec = BlockMb / BestEncode;
+  const double DecodeMbPerSec = BlockMb / BestDecode;
+
+  Table Codec({"metric", "value"});
+  Codec.addRow({"raw bytes", fmt("%zu", CodecRaw.size())});
+  Codec.addRow({"compressed bytes", fmt("%zu", CodecCompBytes)});
+  Codec.addRow({"ratio", fmt("%.3f", CodecRatio)});
+  Codec.addRow({fmt("encode MB/s (best of %u blocks)", CodecBlocks),
+                fmt("%.0f", EncodeMbPerSec)});
+  Codec.addRow({fmt("decode MB/s (best of %u blocks)", CodecBlocks),
+                fmt("%.0f", DecodeMbPerSec)});
+  Codec.print();
+  note("paper reference: espresso patches were \"130K, and shrinks to 17K "
+       "compressed\" — compression has been part of the story since §6.4");
 
   //===--------------------------------------------------------------------===//
   // Machine-readable report
@@ -441,7 +542,7 @@ int main(int Argc, char **Argv) {
   if (!JsonPath.empty()) {
     JsonWriter Json;
     Json.beginObject();
-    Json.field("schema_version", 3);
+    Json.field("schema_version", 4);
     Json.beginObject("config");
     Json.field("smoke", Smoke);
     Json.field("images_per_submission", int(ImagesPerSubmission));
@@ -472,8 +573,17 @@ int main(int Argc, char **Argv) {
     Json.beginObject("bundle");
     Json.field("images", uint64_t(BundleImages));
     Json.field("bundle_bytes", uint64_t(BundleBytes));
+    Json.field("v1_bytes", uint64_t(BundleV1Bytes));
     Json.field("independent_bytes", uint64_t(IndependentBytes));
     Json.field("ratio", Ratio);
+    Json.field("v1_ratio", RatioV1);
+    Json.endObject();
+    Json.beginObject("codec");
+    Json.field("raw_bytes", uint64_t(CodecRaw.size()));
+    Json.field("compressed_bytes", uint64_t(CodecCompBytes));
+    Json.field("ratio", CodecRatio);
+    Json.field("encode_mb_per_sec", EncodeMbPerSec);
+    Json.field("decode_mb_per_sec", DecodeMbPerSec);
     Json.endObject();
     Json.beginObject("collaboration");
     Json.field("users", 3);
@@ -498,6 +608,7 @@ int main(int Argc, char **Argv) {
     Json.field("base_per_sec", BasePerSec);
     Json.field("instrumented_per_sec", InstrPerSec);
     Json.field("overhead_pct", OverheadPct);
+    Json.field("target_pct", OverheadTargetPct);
     Json.endObject();
     Json.endObject();
     if (!Json.writeFile(JsonPath)) {

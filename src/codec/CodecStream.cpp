@@ -1,0 +1,131 @@
+//===- codec/CodecStream.cpp - Codec-wrapped byte streams -------------------===//
+
+#include "codec/CodecStream.h"
+
+#include "codec/BlockCodec.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace exterminator;
+
+//===----------------------------------------------------------------------===//
+// CompressingSink
+//===----------------------------------------------------------------------===//
+
+CompressingSink::~CompressingSink() { finish(); }
+
+bool CompressingSink::write(const void *Data, size_t Size) {
+  if (Failed || Finished)
+    return false;
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  while (Size > 0) {
+    const size_t Take = std::min(Size, CodecStreamBlockCap - Buffer.size());
+    Buffer.insert(Buffer.end(), Bytes, Bytes + Take);
+    Bytes += Take;
+    Size -= Take;
+    if (Buffer.size() == CodecStreamBlockCap && !flushBlock())
+      return false;
+  }
+  return true;
+}
+
+bool CompressingSink::flushBlock() {
+  if (Buffer.empty())
+    return true;
+  StreamWriter Writer(Inner);
+  Writer.writeVarU64(Buffer.size());
+  const size_t CompSize = lzCompress(Buffer.data(), Buffer.size(), Scratch);
+  if (CompSize != 0) {
+    Writer.writeVarU64(CompSize);
+    Writer.writeBytes(Scratch.data(), CompSize);
+  } else {
+    Writer.writeVarU64(0); // Stored: RawLen bytes follow verbatim.
+    Writer.writeBytes(Buffer.data(), Buffer.size());
+  }
+  codecdetail::noteCompress(Buffer.size(),
+                            CompSize != 0 ? CompSize : Buffer.size(),
+                            CompSize == 0);
+  Buffer.clear();
+  if (Writer.failed())
+    Failed = true;
+  return !Failed;
+}
+
+bool CompressingSink::finish() {
+  if (Finished)
+    return !Failed;
+  if (!flushBlock()) {
+    Finished = true;
+    return false;
+  }
+  StreamWriter Writer(Inner);
+  Writer.writeVarU64(0); // Terminator.
+  if (Writer.failed())
+    Failed = true;
+  Finished = true;
+  return !Failed;
+}
+
+//===----------------------------------------------------------------------===//
+// DecompressingSource
+//===----------------------------------------------------------------------===//
+
+size_t DecompressingSource::read(void *Out, size_t Size) {
+  uint8_t *Bytes = static_cast<uint8_t *>(Out);
+  size_t Total = 0;
+  while (Size > 0) {
+    if (Offset == Block.size()) {
+      if (Done || Failed || !refill())
+        break;
+    }
+    const size_t Take = std::min(Size, Block.size() - Offset);
+    std::memcpy(Bytes, Block.data() + Offset, Take);
+    Offset += Take;
+    Bytes += Take;
+    Size -= Take;
+    Total += Take;
+  }
+  return Total;
+}
+
+bool DecompressingSource::refill() {
+  StreamReader Reader(Inner);
+  const uint64_t RawLen = Reader.readVarU64();
+  if (Reader.failed()) {
+    Failed = true; // Truncated before the terminator.
+    return false;
+  }
+  if (RawLen == 0) {
+    Done = true;
+    return false;
+  }
+  const uint64_t EncLen = Reader.readVarU64();
+  // Both declared lengths are validated against the block cap before
+  // they size an allocation (compression-bomb budget).
+  if (Reader.failed() || RawLen > CodecStreamBlockCap ||
+      EncLen > lzMaxCompressedSize(CodecStreamBlockCap)) {
+    codecdetail::noteReject();
+    Failed = true;
+    return false;
+  }
+  Block.resize(RawLen);
+  Offset = 0;
+  if (EncLen == 0) {
+    if (!Reader.readBytes(Block.data(), RawLen)) {
+      codecdetail::noteReject();
+      Failed = true;
+      return false;
+    }
+  } else {
+    Scratch.resize(EncLen);
+    if (!Reader.readBytes(Scratch.data(), EncLen) ||
+        !lzDecompress(Scratch.data(), EncLen, Block.data(), RawLen)) {
+      codecdetail::noteReject();
+      Failed = true;
+      return false;
+    }
+  }
+  codecdetail::noteDecompress(RawLen);
+  return true;
+}

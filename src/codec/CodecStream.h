@@ -1,0 +1,94 @@
+//===- codec/CodecStream.h - Codec-wrapped byte streams --------*- C++ -*-===//
+//
+// Part of the Exterminator reproduction (Novark, Berger & Zorn, PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The codec-wrapped stages the Serializer streaming layer grows in PR
+/// 10: a CompressingSink that chops its input into bounded blocks and LZ
+/// compresses each, and the matching DecompressingSource.  Any
+/// StreamWriter/StreamReader pipeline gains compression by interposing
+/// these between the field codec and the real sink/source — the bundle
+/// file container ("XIC1", ImageBundle.cpp) is the first user.
+///
+/// Stream format (repeated blocks, then a terminator):
+///
+///   varint RawLen      block's decompressed size; 0 terminates the stream
+///   varint EncLen      compressed size; 0 ==> RawLen stored bytes follow
+///   body               EncLen LZ bytes, or RawLen stored bytes
+///
+/// Blocks are capped at CodecStreamBlockCap raw bytes, and the decoder
+/// validates both declared lengths against that cap *before* sizing any
+/// allocation from them — the streaming analogue of decodeCodecBlock's
+/// bomb budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTERMINATOR_CODEC_CODECSTREAM_H
+#define EXTERMINATOR_CODEC_CODECSTREAM_H
+
+#include "support/Serializer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exterminator {
+
+/// Raw bytes per compressed block: large enough to give the LZ window
+/// real context, small enough that decode buffers stay modest.
+inline constexpr size_t CodecStreamBlockCap = size_t(256) * 1024;
+
+/// A ByteSink stage that LZ-compresses what is written through it.
+/// Call finish() after the last write — it flushes the trailing partial
+/// block and the stream terminator.
+class CompressingSink : public ByteSink {
+public:
+  explicit CompressingSink(ByteSink &Inner) : Inner(Inner) {}
+  ~CompressingSink() override;
+
+  bool write(const void *Data, size_t Size) override;
+
+  /// Flushes buffered bytes and writes the terminator; returns false if
+  /// any write failed.  Idempotent.
+  bool finish();
+
+private:
+  bool flushBlock();
+
+  ByteSink &Inner;
+  std::vector<uint8_t> Buffer;
+  std::vector<uint8_t> Scratch;
+  bool Finished = false;
+  bool Failed = false;
+};
+
+/// A ByteSource stage that decompresses a CompressingSink stream.  After
+/// the terminator block, reads return 0 (end of stream); any
+/// malformation (truncation, oversized declared lengths, corrupt LZ
+/// bytes) makes every subsequent read return 0 with failed() set, so
+/// downstream StreamReaders fail sticky as usual.
+class DecompressingSource : public ByteSource {
+public:
+  explicit DecompressingSource(ByteSource &Inner) : Inner(Inner) {}
+
+  size_t read(void *Out, size_t Size) override;
+
+  bool failed() const { return Failed; }
+  /// True once the terminator was consumed and the buffer drained.
+  bool finished() const { return Done && Offset == Block.size() && !Failed; }
+
+private:
+  bool refill();
+
+  ByteSource &Inner;
+  std::vector<uint8_t> Block;
+  std::vector<uint8_t> Scratch;
+  size_t Offset = 0;
+  bool Done = false;
+  bool Failed = false;
+};
+
+} // namespace exterminator
+
+#endif // EXTERMINATOR_CODEC_CODECSTREAM_H

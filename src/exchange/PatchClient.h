@@ -18,6 +18,17 @@
 /// skips even that when the last submission reply already proved the
 /// mirror current.
 ///
+/// Version negotiation (v4): the client speaks the newest protocol
+/// until this peer proves it cannot — the transport fails mid-exchange
+/// (a pre-v4 server closes after rejecting the first frame) or an
+/// ErrorReply says "unknown protocol version" — then re-encodes at v3
+/// and sticks there for the life of this client.  Queued evidence is
+/// stored as *parameters*, not frames, so a downgrade re-encodes the
+/// same batch (same dedup tokens, v1 bundles for the legacy peer) and
+/// retries once; the retry is safe because a server that rejected the
+/// version never processed the payload, summaries carry their original
+/// tokens, and patch merges are idempotent.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_EXCHANGE_PATCHCLIENT_H
@@ -26,6 +37,7 @@
 #include "exchange/Transport.h"
 #include "exchange/WireProtocol.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace exterminator {
@@ -83,6 +95,17 @@ public:
   /// shutdown` and test teardown).
   bool shutdownServer();
 
+  /// Caps the wire version this client speaks (the "force a legacy
+  /// client" test knob; also clamps the starting peer version).
+  void setMaxWireVersion(uint8_t Version) {
+    MaxVersion = Version;
+    PeerVersion = std::min(PeerVersion, Version);
+  }
+
+  /// The version this client currently believes the peer speaks
+  /// (observability: tests pin the sticky downgrade through this).
+  uint8_t peerVersion() const { return PeerVersion; }
+
   /// Last fetched merged patch set (empty before the first fetch).
   const PatchSet &patches() const { return Mirror; }
   /// Epoch of patches(); NeverFetched before the first fetch.
@@ -91,9 +114,33 @@ public:
   uint64_t serverInstance() const { return MirrorInstance; }
 
 private:
-  /// Ships \p Request alone and decodes the single reply frame into
+  /// One queued submission, stored as parameters so a version downgrade
+  /// can re-encode it (same token, the right bundle format) instead of
+  /// replaying stale bytes.
+  struct PendingRequest {
+    MessageType Type = MessageType::SubmitSummary;
+    ImageEvidence Evidence;  ///< SubmitImages
+    RunSummary Summary;      ///< SubmitSummary
+    unsigned CleanStreak = 0;
+    uint64_t Token = 0; ///< minted at queue time; stable across retries
+  };
+
+  /// Encodes \p Request as a frame at \p Version (bundle format coupled
+  /// to the wire version for image submissions).
+  std::vector<uint8_t> encodePending(const PendingRequest &Request,
+                                     uint8_t Version) const;
+
+  /// Ships one request (re-encoding \p Payload via \p BuildPayload at
+  /// the current peer version) and decodes the single reply frame into
   /// \p ReplyFrame; returns false on transport failure or ErrorReply.
-  bool roundTrip(std::vector<uint8_t> Request, Frame &ReplyFrame);
+  /// A version rejection downgrades and retries once.
+  template <typename BuildPayloadFn>
+  bool roundTrip(MessageType Type, BuildPayloadFn BuildPayload,
+                 Frame &ReplyFrame);
+
+  /// Sticks this peer at the legacy version; false when already there
+  /// (so a rejection loop terminates after one retry).
+  bool downgrade();
 
   /// Records the (instance, epoch) a submission reply reported.
   void noteServerState(uint64_t Instance, uint64_t Epoch);
@@ -103,7 +150,10 @@ private:
   static constexpr size_t FlushChunk = 32;
 
   ClientTransport &Transport;
-  std::vector<std::vector<uint8_t>> PendingRequests;
+  std::vector<PendingRequest> PendingRequests;
+  /// Version this client encodes at for this peer (sticky downgrade).
+  uint8_t PeerVersion = ProtocolVersion;
+  uint8_t MaxVersion = ProtocolVersion;
   PatchSet Mirror;
   uint64_t MirrorEpoch = NeverFetched;
   uint64_t MirrorInstance = 0;

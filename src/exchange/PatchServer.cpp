@@ -238,8 +238,26 @@ bool PatchServer::handleFrame(const uint8_t *Request, size_t Size,
       std::lock_guard<std::mutex> Lock(Mutex);
       ++Stats.FramesRejected;
     }
+    // The sender's version is unknown (or unparseable), so the error
+    // answers in the legacy encoding every client generation reads.
     ResponseOut = encodeFrame(MessageType::ErrorReply,
-                              encodeErrorReply(frameErrorName(Error)));
+                              encodeErrorReply(frameErrorName(Error)),
+                              LegacyProtocolVersion);
+    return false;
+  }
+  if (Parsed.Version > MaxWireVersion) {
+    // The legacy-peer emulation (setMaxWireVersion): answer exactly as
+    // a pre-v4 server's decodeFrame rejection would — a v3 ErrorReply
+    // saying "unknown protocol version", then close the connection —
+    // which is the reply a v4 client keys its downgrade on.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.FramesRejected;
+    }
+    ResponseOut =
+        encodeFrame(MessageType::ErrorReply,
+                    encodeErrorReply(frameErrorName(FrameError::BadVersion)),
+                    LegacyProtocolVersion);
     return false;
   }
   if (Consumed != Size) {
@@ -249,7 +267,8 @@ bool PatchServer::handleFrame(const uint8_t *Request, size_t Size,
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.FramesRejected;
     ResponseOut = encodeFrame(MessageType::ErrorReply,
-                              encodeErrorReply("trailing bytes after frame"));
+                              encodeErrorReply("trailing bytes after frame"),
+                              Parsed.Version);
     return false;
   }
   ResponseOut = dispatch(Parsed);
@@ -257,10 +276,18 @@ bool PatchServer::handleFrame(const uint8_t *Request, size_t Size,
 }
 
 std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
-  auto Reject = [this](const char *Reason) {
+  // Every reply echoes the request's wire version: a legacy v3 peer
+  // must never be handed a v4 envelope it cannot parse, and a v4 peer
+  // gets its replies compressed.
+  const uint8_t Version = Request.Version;
+  auto Respond = [Version](MessageType Type,
+                           const std::vector<uint8_t> &Payload) {
+    return encodeFrame(Type, Payload, Version);
+  };
+  auto Reject = [this, &Respond](const char *Reason) {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.FramesRejected;
-    return encodeFrame(MessageType::ErrorReply, encodeErrorReply(Reason));
+    return Respond(MessageType::ErrorReply, encodeErrorReply(Reason));
   };
 
   switch (Request.Type) {
@@ -302,8 +329,7 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       persistQueued();
     if (Changed && Replica)
       Replica->onPatchDelta(Result.Patches);
-    return encodeFrame(MessageType::SubmitImagesReply,
-                       encodeImagesReply(Reply));
+    return Respond(MessageType::SubmitImagesReply, encodeImagesReply(Reply));
   }
 
   case MessageType::SubmitSummary: {
@@ -347,8 +373,8 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       persistQueued();
     if (Applied && Replica)
       Replica->onSummary(Summary, CleanStreak, Token);
-    return encodeFrame(MessageType::SubmitSummaryReply,
-                       encodeSummaryReply(Reply));
+    return Respond(MessageType::SubmitSummaryReply,
+                   encodeSummaryReply(Reply));
   }
 
   case MessageType::MergePatches: {
@@ -362,8 +388,7 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       Reply.Instance = Instance;
       Reply.Epoch = Pipeline.epoch();
     }
-    return encodeFrame(MessageType::MergePatchesReply,
-                       encodeMergeReply(Reply));
+    return Respond(MessageType::MergePatchesReply, encodeMergeReply(Reply));
   }
 
   case MessageType::ReplicateSummary: {
@@ -397,8 +422,7 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
     if (Reply.Applied && Store)
       persistQueued();
     // Remote origin: never re-forwarded (no-restream rule).
-    return encodeFrame(MessageType::ReplicateReply,
-                       encodeReplicateReply(Reply));
+    return Respond(MessageType::ReplicateReply, encodeReplicateReply(Reply));
   }
 
   case MessageType::FetchPatches: {
@@ -418,8 +442,7 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
     ++Stats.FetchesServed;
     if (!Reply.Modified)
       ++Stats.FetchesUnmodified;
-    return encodeFrame(MessageType::PatchesReply,
-                       encodePatchesReply(Reply));
+    return Respond(MessageType::PatchesReply, encodePatchesReply(Reply));
   }
 
   case MessageType::Stats: {
@@ -445,14 +468,14 @@ std::vector<uint8_t> PatchServer::dispatch(const Frame &Request) {
       Reply.Text = MetricsRegistry::renderText(Snap);
     else
       Reply.Samples = std::move(Snap.Samples);
-    return encodeFrame(MessageType::StatsReply, encodeStatsReply(Reply));
+    return Respond(MessageType::StatsReply, encodeStatsReply(Reply));
   }
 
   case MessageType::Shutdown:
     if (!Request.Payload.empty())
       return Reject("shutdown carries no payload");
     ShutdownFlag.store(true, std::memory_order_release);
-    return encodeFrame(MessageType::ShutdownReply, {});
+    return Respond(MessageType::ShutdownReply, {});
 
   default:
     // A reply type arriving as a request.

@@ -81,8 +81,8 @@ void ReplicaSet::collectMetrics(std::vector<MetricSample> &Out) const {
   }
 }
 
-void ReplicaSet::enqueueAll(const std::vector<uint8_t> &Frame) {
-  if (Frame.empty())
+void ReplicaSet::enqueueAll(MessageType Type, std::vector<uint8_t> Payload) {
+  if (Payload.size() > MaxFramePayload)
     return; // over the frame limit; anti-entropy will carry the state
   bool Notify = false;
   {
@@ -98,7 +98,7 @@ void ReplicaSet::enqueueAll(const std::vector<uint8_t> &Frame) {
         P->PushedEpoch = NeverAcked;
         ++Counters.QueueOverflows;
       }
-      P->Outbound.push_back(Frame);
+      P->Outbound.push_back(OutboundRecord{Type, Payload});
       Notify = true;
     }
     WakeFlag = Notify;
@@ -108,57 +108,89 @@ void ReplicaSet::enqueueAll(const std::vector<uint8_t> &Frame) {
 }
 
 void ReplicaSet::onPatchDelta(const PatchSet &Delta) {
-  enqueueAll(encodeFrame(MessageType::MergePatches,
-                         encodeMergePatches(Delta)));
+  enqueueAll(MessageType::MergePatches, encodeMergePatches(Delta));
 }
 
 void ReplicaSet::onSummary(const RunSummary &Summary, unsigned CleanStreak,
                            uint64_t Token) {
-  enqueueAll(encodeFrame(MessageType::ReplicateSummary,
-                         encodeSubmitSummary(Summary, CleanStreak, Token)));
+  enqueueAll(MessageType::ReplicateSummary,
+             encodeSubmitSummary(Summary, CleanStreak, Token));
 }
 
 bool ReplicaSet::drainPeer(Peer &P) {
   // Copy the queue head under the lock, ship outside it, pop what was
   // acked.  Records enqueued mid-exchange stay behind the copied batch,
-  // so per-peer order is preserved.
-  std::vector<std::vector<uint8_t>> Batch;
+  // so per-peer order is preserved.  Frames are built here, at the
+  // peer's negotiated version; a version rejection downgrades the peer
+  // and re-frames the same batch once (the rejecting peer never
+  // processed it, and summaries keep their origin tokens).
+  std::vector<OutboundRecord> Batch;
+  uint8_t Version;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Batch.assign(P.Outbound.begin(), P.Outbound.end());
+    Version = P.Version;
   }
   if (Batch.empty())
     return true;
 
-  std::vector<std::vector<uint8_t>> Responses;
-  if (!P.Transport->exchange(Batch, Responses) ||
-      Responses.size() != Batch.size()) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.StreamFailures;
-    return false;
-  }
+  for (;;) {
+    std::vector<std::vector<uint8_t>> Frames;
+    Frames.reserve(Batch.size());
+    for (const OutboundRecord &Record : Batch)
+      Frames.push_back(encodeFrame(Record.Type, Record.Payload, Version));
 
-  size_t Acked = 0, Rejected = 0;
-  for (const std::vector<uint8_t> &Response : Responses) {
-    Frame Reply;
-    size_t Consumed = 0;
-    if (decodeFrame(Response.data(), Response.size(), Reply, Consumed) ==
-            FrameError::None &&
-        Reply.Type != MessageType::ErrorReply)
-      ++Acked;
-    else
-      ++Rejected; // poison record: dropped, not retried forever
+    auto TryDowngrade = [&]() {
+      if (Version <= LegacyProtocolVersion)
+        return false;
+      Version = LegacyProtocolVersion;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      P.Version = Version;
+      return true;
+    };
+
+    std::vector<std::vector<uint8_t>> Responses;
+    if (!P.Transport->exchange(Frames, Responses) ||
+        Responses.size() != Frames.size()) {
+      // Downgrade only on evidence: a version rejection in the partial
+      // response prefix.  A down peer is a stream failure, not a
+      // version mismatch.
+      if (sawVersionRejection(Responses) && TryDowngrade())
+        continue;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.StreamFailures;
+      return false;
+    }
+
+    size_t Acked = 0, Rejected = 0;
+    bool VersionRejected = false;
+    for (const std::vector<uint8_t> &Response : Responses) {
+      Frame Reply;
+      size_t Consumed = 0;
+      if (decodeFrame(Response.data(), Response.size(), Reply, Consumed) !=
+          FrameError::None) {
+        ++Rejected; // garbled reply: dropped, not retried forever
+      } else if (Reply.Type != MessageType::ErrorReply) {
+        ++Acked;
+      } else {
+        if (isVersionRejection(Reply))
+          VersionRejected = true;
+        ++Rejected; // poison record: dropped, not retried forever
+      }
+    }
+    if (VersionRejected && TryDowngrade())
+      continue;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      // The transport delivered every frame, so the whole batch leaves
+      // the queue either way; rejects only affect the counters.
+      for (size_t I = 0; I < Batch.size() && !P.Outbound.empty(); ++I)
+        P.Outbound.pop_front();
+      Counters.RecordsStreamed += Acked;
+      Counters.StreamFailures += Rejected;
+    }
+    return Rejected == 0;
   }
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    // The transport delivered every frame, so the whole batch leaves
-    // the queue either way; rejects only affect the counters.
-    for (size_t I = 0; I < Batch.size() && !P.Outbound.empty(); ++I)
-      P.Outbound.pop_front();
-    Counters.RecordsStreamed += Acked;
-    Counters.StreamFailures += Rejected;
-  }
-  return Rejected == 0;
 }
 
 bool ReplicaSet::drainOnce() {
@@ -192,29 +224,61 @@ size_t ReplicaSet::antiEntropyOnce() {
   for (size_t I = 0; I < Count; ++I) {
     Peer *P;
     uint64_t PushedEpoch, SeenInstance, SeenEpoch;
+    uint8_t Version;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       P = Peers[I].get();
       PushedEpoch = P->PushedEpoch;
       SeenInstance = P->SeenInstance;
       SeenEpoch = P->SeenEpoch;
+      Version = P->Version;
     }
 
     // Push before pull in one batched exchange: the pull's reply then
     // already reflects the push, so the merged result this round is the
-    // pairwise join.
+    // pairwise join.  Frames encode at the peer's negotiated version —
+    // full-set pushes are the biggest frames replication ships, so a v4
+    // peer receives them compressed — and a version rejection
+    // downgrades and retries once, like every other send path.
     const bool Push = PushedEpoch != Snap.Epoch;
-    std::vector<std::vector<uint8_t>> Requests;
-    if (Push)
-      Requests.push_back(encodeFrame(MessageType::MergePatches,
-                                     encodeMergePatches(Snap.Patches)));
-    Requests.push_back(encodeFrame(MessageType::FetchPatches,
-                                   encodeFetchPatches(SeenEpoch,
-                                                      SeenInstance)));
+    auto TryDowngrade = [&]() {
+      if (Version <= LegacyProtocolVersion)
+        return false;
+      Version = LegacyProtocolVersion;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      P->Version = Version;
+      return true;
+    };
 
     std::vector<std::vector<uint8_t>> Responses;
-    if (!P->Transport->exchange(Requests, Responses) ||
-        Responses.size() != Requests.size())
+    for (;;) {
+      std::vector<std::vector<uint8_t>> Requests;
+      if (Push)
+        Requests.push_back(encodeFrame(MessageType::MergePatches,
+                                       encodeMergePatches(Snap.Patches),
+                                       Version));
+      Requests.push_back(encodeFrame(MessageType::FetchPatches,
+                                     encodeFetchPatches(SeenEpoch,
+                                                        SeenInstance),
+                                     Version));
+
+      Responses.clear();
+      if (!P->Transport->exchange(Requests, Responses) ||
+          Responses.size() != Requests.size()) {
+        if (sawVersionRejection(Responses) && TryDowngrade())
+          continue;
+        Responses.clear();
+        break;
+      }
+      Frame First;
+      size_t Consumed = 0;
+      if (decodeFrame(Responses[0].data(), Responses[0].size(), First,
+                      Consumed) == FrameError::None &&
+          isVersionRejection(First) && TryDowngrade())
+        continue;
+      break;
+    }
+    if (Responses.empty())
       continue;
     ++Answered;
 

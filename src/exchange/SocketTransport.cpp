@@ -497,8 +497,44 @@ void SocketPatchServer::serveConnection(int Fd) {
     const bool Resyncable = Server.handleFrame(Request, Response);
     sendAll(Fd, Response.data(), Response.size());
     if (Read != FrameRead::Frame || !Resyncable ||
-        Server.shutdownRequested())
+        Server.shutdownRequested()) {
+      // Lingering close.  The peer may still be writing a pipelined
+      // batch; an immediate close() turns its unread bytes into an
+      // RST, and a reset flushes the peer's receive queue — including
+      // the ErrorReply just sent (for a version rejection, that reply
+      // is the very evidence the client's downgrade logic needs).
+      // Half-close our direction and drain, bounded in both time and
+      // bytes, until the peer reads the reply and closes.
+      ::shutdown(Fd, SHUT_WR);
+      const auto LingerDeadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1000);
+      size_t LingerBudget = 4u << 20;
+      for (;;) {
+        const auto Now = std::chrono::steady_clock::now();
+        if (Now >= LingerDeadline || LingerBudget == 0)
+          break;
+        const auto RemainingMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                LingerDeadline - Now)
+                .count() +
+            1;
+        pollfd Poll{Fd, POLLIN, 0};
+        const int Ready = ::poll(&Poll, 1, static_cast<int>(RemainingMs));
+        if (Ready < 0 && errno == EINTR)
+          continue;
+        if (Ready <= 0)
+          break;
+        uint8_t Scratch[4096];
+        const ssize_t N = ::recv(
+            Fd, Scratch, std::min(sizeof(Scratch), LingerBudget), 0);
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break; // EOF: the peer saw the reply and closed
+        LingerBudget -= static_cast<size_t>(N);
+      }
       break;
+    }
   }
   ::close(Fd);
 }

@@ -2,6 +2,7 @@
 
 #include "exchange/StateStore.h"
 
+#include "codec/BlockCodec.h"
 #include "exchange/WireProtocol.h"
 #include "patch/PatchIO.h"
 #include "support/Serializer.h"
@@ -18,11 +19,27 @@ using namespace exterminator;
 
 static constexpr uint32_t SnapshotMagic = 0x58535431; // "XST1"
 static constexpr uint32_t JournalMagic = 0x58534A31;  // "XSJ1"
-static constexpr uint8_t SnapshotVersion = 1;
+/// Snapshot format: v1 stores the pipeline-state blob raw; v2 (PR 10)
+/// stores it as a codec envelope (BlockCodec.h).  Both load; new
+/// snapshots are written as v2.  The checksum still covers the whole
+/// file, so corruption is caught before any decompression runs.
+static constexpr uint8_t SnapshotVersionLegacy = 1;
+static constexpr uint8_t SnapshotVersion = 2;
 /// Journal format: v1 (PR 5) has no token field; v2 appends the dedup
-/// token to summary records.  Both load; new journals are written as v2.
+/// token to summary records; v3 (PR 10) may wrap a record in the codec
+/// envelope behind a marker byte (records below the threshold stay
+/// plain — compressing a 40-byte patch delta buys nothing).  All load;
+/// new journals are written as v3.
 static constexpr uint8_t JournalVersionLegacy = 1;
-static constexpr uint8_t JournalVersion = 2;
+static constexpr uint8_t JournalVersionTokens = 2;
+static constexpr uint8_t JournalVersion = 3;
+/// First byte of a v3 compressed record: outside the Kind value space
+/// (kinds are small enums), so a record is self-describing.  The codec
+/// envelope of the plain record bytes follows.
+static constexpr uint8_t CompressedRecordMarker = 0x80;
+/// Records below this many encoded bytes are stored plain — the
+/// envelope header plus LZ overhead beats the savings on small records.
+static constexpr size_t CompressRecordThreshold = 512;
 /// Journal header: magic + version + generation.
 static constexpr size_t JournalHeaderBytes = 4 + 1 + 8;
 /// Record size bound: protects the loader from sizing a buffer off a
@@ -144,12 +161,41 @@ encodeRecord(const StateStore::JournalRecord &Record) {
     Writer.writeBlob(serializeRunSummary(Record.Summary));
     Writer.writeU64(Record.Token);
   }
-  return Writer.buffer();
+  std::vector<uint8_t> Plain = Writer.buffer();
+  // v3: big records (full patch-set seeds, summary batches) ship
+  // through the codec when that actually shrinks them; the marker byte
+  // keeps plain and compressed records distinguishable per record.
+  if (Plain.size() >= CompressRecordThreshold) {
+    std::vector<uint8_t> Envelope = encodeCodecBlock(Plain);
+    if (Envelope.size() + 1 < Plain.size()) {
+      std::vector<uint8_t> Wrapped;
+      Wrapped.reserve(Envelope.size() + 1);
+      Wrapped.push_back(CompressedRecordMarker);
+      Wrapped.insert(Wrapped.end(), Envelope.begin(), Envelope.end());
+      return Wrapped;
+    }
+  }
+  return Plain;
 }
 
 static bool decodeRecord(const uint8_t *Data, size_t Size,
                          uint8_t JournalFormat,
                          StateStore::JournalRecord &Out) {
+  // v3 compressed record: unwrap the envelope, then decode the plain
+  // bytes.  The expansion bound mirrors the record-length bound — a
+  // corrupt envelope cannot inflate past what a plain record may hold.
+  std::vector<uint8_t> Expanded;
+  if (Size >= 1 && Data[0] == CompressedRecordMarker) {
+    if (JournalFormat < JournalVersion)
+      return false; // pre-v3 journals never wrote the marker
+    if (!decodeCodecBlock(Data + 1, Size - 1, Expanded,
+                          MaxJournalRecordBytes))
+      return false;
+    if (!Expanded.empty() && Expanded[0] == CompressedRecordMarker)
+      return false; // no nested compression
+    Data = Expanded.data();
+    Size = Expanded.size();
+  }
   ByteReader Reader(Data, Size);
   Out.RecordKind = Reader.readU8();
   Out.EpochAfter = Reader.readU64();
@@ -163,8 +209,8 @@ static bool decodeRecord(const uint8_t *Data, size_t Size,
     // v1 journals predate submission tokens; a zero token is never
     // suppressed, which is the right degradation for pre-upgrade
     // records.
-    Out.Token =
-        JournalFormat >= JournalVersion ? Reader.readU64() : uint64_t(0);
+    Out.Token = JournalFormat >= JournalVersionTokens ? Reader.readU64()
+                                                      : uint64_t(0);
   } else {
     return false;
   }
@@ -172,7 +218,7 @@ static bool decodeRecord(const uint8_t *Data, size_t Size,
 }
 
 /// Validates one snapshot file: checksum over everything, then magic,
-/// version, generation, state blob.
+/// version, generation, state blob (v2: codec envelope around it).
 static bool readSnapshotFile(const std::string &Path, uint64_t &GenOut,
                              std::vector<uint8_t> &StateOut) {
   std::vector<uint8_t> Bytes;
@@ -182,11 +228,24 @@ static bool readSnapshotFile(const std::string &Path, uint64_t &GenOut,
   if (frameChecksum(Bytes.data(), Bytes.size() - 4) != StoredCheck)
     return false;
   ByteReader Reader(Bytes.data(), Bytes.size() - 4);
-  if (Reader.readU32() != SnapshotMagic ||
-      Reader.readU8() != SnapshotVersion)
+  if (Reader.readU32() != SnapshotMagic)
+    return false;
+  const uint8_t Version = Reader.readU8();
+  if (Version != SnapshotVersionLegacy && Version != SnapshotVersion)
     return false;
   GenOut = Reader.readU64();
-  StateOut = Reader.readBlob();
+  if (Version == SnapshotVersionLegacy) {
+    StateOut = Reader.readBlob();
+  } else {
+    // The envelope's declared raw size is bounded before allocation;
+    // pipeline states are megabytes at the extreme, so the frame bound
+    // is generous and a forged multi-gigabyte declaration still fails
+    // cheaply.
+    const std::vector<uint8_t> Envelope = Reader.readBlob();
+    if (Reader.failed() ||
+        !decodeCodecBlock(Envelope, StateOut, MaxFramePayload))
+      return false;
+  }
   return !Reader.failed() && Reader.atEnd();
 }
 
@@ -245,8 +304,8 @@ StateStore::load(std::vector<uint8_t> &SnapshotStateOut,
     const uint32_t Magic = Header.readU32();
     const uint8_t Version = Header.readU8();
     const uint64_t JournalGen = Header.readU64();
-    if (Magic != JournalMagic ||
-        (Version != JournalVersionLegacy && Version != JournalVersion))
+    if (Magic != JournalMagic || Version < JournalVersionLegacy ||
+        Version > JournalVersion)
       return LoadResult::Corrupt;
     // A journal generation no snapshot file accounts for cannot come
     // from this class's write ordering (snapshot first, then journal
@@ -313,7 +372,10 @@ bool StateStore::writeSnapshot(const std::vector<uint8_t> &PipelineState) {
   Writer.writeU32(SnapshotMagic);
   Writer.writeU8(SnapshotVersion);
   Writer.writeU64(NextGen);
-  Writer.writeBlob(PipelineState);
+  // v2: the state blob travels as a codec envelope (stored raw inside
+  // it when incompressible, so this never grows the file by more than
+  // the envelope header).
+  Writer.writeBlob(encodeCodecBlock(PipelineState));
   Writer.writeU32(frameChecksum(Writer.buffer().data(), Writer.size()));
   if (!writeFileBytes(rotatedSnapshotPath(NextGen), Writer.buffer()))
     return false;

@@ -31,7 +31,12 @@
 ///    of its snapshot reproduces the exact pre-crash state, and a torn
 ///    tail (the record a crash interrupted) is detected and skipped.
 ///    Header version 2 records also carry the submission's dedup token
-///    (version-1 journals still load, with zero tokens).
+///    (version-1 journals still load, with zero tokens).  Version 3
+///    records may travel through the codec layer: a record whose
+///    encoding crosses a size threshold is stored as a marker byte plus
+///    its compressed envelope, with the declared expansion bounded
+///    before any allocation.  Snapshots compress the same way from
+///    snapshot version 2 (older snapshots and journals still load).
 ///
 /// The generation counter pairs the journal with its snapshot: a
 /// snapshot write bumps it and resets the journal, so a crash between

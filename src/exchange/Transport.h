@@ -38,8 +38,11 @@ public:
   virtual ~ClientTransport();
 
   /// Ships every frame in \p Requests and collects one response frame
-  /// per request, in order.  Returns false on transport failure (the
-  /// contents of \p ResponsesOut are then unspecified).
+  /// per request, in order.  Returns false on transport failure; \p
+  /// ResponsesOut then holds, best-effort, the prefix of responses that
+  /// *were* received before the failure — which is how a protocol layer
+  /// sees the ErrorReply a pre-v4 server sends right before closing the
+  /// connection on a pipelined batch (the v4 downgrade trigger).
   virtual bool exchange(const std::vector<std::vector<uint8_t>> &Requests,
                         std::vector<std::vector<uint8_t>> &ResponsesOut) = 0;
 

@@ -2,6 +2,7 @@
 
 #include "exchange/WireProtocol.h"
 
+#include "codec/BlockCodec.h"
 #include "heapimage/ImageBundle.h"
 #include "patch/PatchIO.h"
 
@@ -40,24 +41,67 @@ static bool isKnownType(uint8_t Type) {
   return false;
 }
 
+/// Builds the v4 payload envelope: u8 encoding ++ [varint RawSize ++]
+/// body.  Compresses only when the whole envelope ends up smaller than
+/// raw ++ its one-byte tag.
+static std::vector<uint8_t>
+buildEnvelope(const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Envelope;
+  std::vector<uint8_t> Compressed;
+  const size_t CompSize =
+      lzCompress(Payload.data(), Payload.size(), Compressed);
+  if (CompSize != 0) {
+    VectorSink Sink(Envelope);
+    StreamWriter Writer(Sink);
+    Writer.writeU8(PayloadEncodingLz);
+    Writer.writeVarU64(Payload.size());
+    Writer.writeBytes(Compressed.data(), CompSize);
+    if (Envelope.size() < 1 + Payload.size()) {
+      codecdetail::noteCompress(Payload.size(), Envelope.size(),
+                                /*Stored=*/false);
+      return Envelope;
+    }
+    Envelope.clear();
+  }
+  Envelope.reserve(1 + Payload.size());
+  Envelope.push_back(PayloadEncodingRaw);
+  Envelope.insert(Envelope.end(), Payload.begin(), Payload.end());
+  codecdetail::noteCompress(Payload.size(), Envelope.size(),
+                            /*Stored=*/true);
+  return Envelope;
+}
+
 std::vector<uint8_t>
 exterminator::encodeFrame(MessageType Type,
-                          const std::vector<uint8_t> &Payload) {
+                          const std::vector<uint8_t> &Payload,
+                          uint8_t Version) {
   // Enforce the bound on the send side too: a payload past the limit
   // would be rejected by every receiver anyway (and past 4 GiB the u32
   // length would silently wrap into a desynced stream), so refuse to
   // encode it — callers treat an empty frame as "too big to ship".
   if (Payload.size() > MaxFramePayload)
     return {};
+  if (Version != ProtocolVersion && Version != LegacyProtocolVersion)
+    return {};
+  // v3 wire bytes stay bit-identical to the pre-v4 encoder: the
+  // envelope exists only inside v4 frames.
+  const std::vector<uint8_t> *Wire = &Payload;
+  std::vector<uint8_t> Envelope;
+  if (Version == ProtocolVersion) {
+    Envelope = buildEnvelope(Payload);
+    if (Envelope.size() > MaxFramePayload)
+      return {};
+    Wire = &Envelope;
+  }
   std::vector<uint8_t> Out;
   VectorSink Sink(Out);
   StreamWriter Writer(Sink);
   Writer.writeU32(FrameMagic);
-  Writer.writeU8(ProtocolVersion);
+  Writer.writeU8(Version);
   Writer.writeU8(static_cast<uint8_t>(Type));
-  Writer.writeU32(static_cast<uint32_t>(Payload.size()));
-  Writer.writeBytes(Payload.data(), Payload.size());
-  Writer.writeU32(frameChecksum(Payload.data(), Payload.size()));
+  Writer.writeU32(static_cast<uint32_t>(Wire->size()));
+  Writer.writeBytes(Wire->data(), Wire->size());
+  Writer.writeU32(frameChecksum(Wire->data(), Wire->size()));
   return Out;
 }
 
@@ -66,6 +110,39 @@ uint32_t exterminator::readFrameU32(const uint8_t *Data) {
   // must decode identically on any host the TCP endpoint reaches.
   return uint32_t(Data[0]) | uint32_t(Data[1]) << 8 |
          uint32_t(Data[2]) << 16 | uint32_t(Data[3]) << 24;
+}
+
+/// Expands a v4 payload envelope into FrameOut.Payload.  Runs only
+/// after the checksum passed, so every byte here is what the sender
+/// meant — failures are a hostile or buggy *encoder*, not line noise.
+static FrameError expandEnvelope(const uint8_t *Data, size_t Size,
+                                 Frame &FrameOut) {
+  if (Size < 1)
+    return FrameError::BadEncoding;
+  const uint8_t Encoding = Data[0];
+  if (Encoding == PayloadEncodingRaw) {
+    FrameOut.Payload.assign(Data + 1, Data + Size);
+    return FrameError::None;
+  }
+  if (Encoding != PayloadEncodingLz)
+    return FrameError::BadEncoding;
+  ByteReader Reader(Data + 1, Size - 1);
+  const uint64_t RawSize = Reader.readVarU64();
+  if (Reader.failed())
+    return FrameError::BadEncoding;
+  // The bomb gate: the declared expansion is bounded *before* any
+  // buffer is sized from it, same discipline as MaxWireSlots.
+  if (RawSize > MaxFramePayload)
+    return FrameError::OversizedExpansion;
+  FrameOut.Payload.resize(RawSize);
+  const size_t BodyOffset = 1 + (Size - 1 - Reader.remaining());
+  if (!lzDecompress(Data + BodyOffset, Size - BodyOffset,
+                    FrameOut.Payload.data(), RawSize)) {
+    FrameOut.Payload.clear();
+    return FrameError::BadEncoding;
+  }
+  codecdetail::noteDecompress(RawSize);
+  return FrameError::None;
 }
 
 FrameError exterminator::decodeFrame(const uint8_t *Data, size_t Size,
@@ -78,7 +155,7 @@ FrameError exterminator::decodeFrame(const uint8_t *Data, size_t Size,
   const uint32_t Length = readFrameU32(Data + 6);
   if (Magic != FrameMagic)
     return FrameError::BadMagic;
-  if (Version != ProtocolVersion)
+  if (Version != ProtocolVersion && Version != LegacyProtocolVersion)
     return FrameError::BadVersion;
   if (!isKnownType(Type))
     return FrameError::BadType;
@@ -92,8 +169,18 @@ FrameError exterminator::decodeFrame(const uint8_t *Data, size_t Size,
       frameChecksum(Data + FrameHeaderBytes, Length))
     return FrameError::BadChecksum;
   FrameOut.Type = static_cast<MessageType>(Type);
-  FrameOut.Payload.assign(Data + FrameHeaderBytes,
-                          Data + FrameHeaderBytes + Length);
+  FrameOut.Version = Version;
+  if (Version == ProtocolVersion) {
+    const FrameError Error =
+        expandEnvelope(Data + FrameHeaderBytes, Length, FrameOut);
+    if (Error != FrameError::None) {
+      codecdetail::noteReject();
+      return Error;
+    }
+  } else {
+    FrameOut.Payload.assign(Data + FrameHeaderBytes,
+                            Data + FrameHeaderBytes + Length);
+  }
   ConsumedOut = FrameHeaderBytes + size_t(Length) + 4;
   return FrameError::None;
 }
@@ -114,8 +201,33 @@ const char *exterminator::frameErrorName(FrameError Error) {
     return "oversized length prefix";
   case FrameError::BadChecksum:
     return "payload checksum mismatch";
+  case FrameError::BadEncoding:
+    return "bad payload encoding";
+  case FrameError::OversizedExpansion:
+    return "oversized declared expansion";
   }
   return "unknown";
+}
+
+bool exterminator::isVersionRejection(const Frame &Reply) {
+  if (Reply.Type != MessageType::ErrorReply)
+    return false;
+  std::string Message;
+  return decodeErrorReply(Reply.Payload, Message) &&
+         Message == frameErrorName(FrameError::BadVersion);
+}
+
+bool exterminator::sawVersionRejection(
+    const std::vector<std::vector<uint8_t>> &Responses) {
+  for (const std::vector<uint8_t> &Response : Responses) {
+    Frame Reply;
+    size_t Consumed = 0;
+    if (decodeFrame(Response.data(), Response.size(), Reply, Consumed) ==
+            FrameError::None &&
+        isVersionRejection(Reply))
+      return true;
+  }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
@@ -123,11 +235,12 @@ const char *exterminator::frameErrorName(FrameError Error) {
 //===----------------------------------------------------------------------===//
 
 std::vector<uint8_t>
-exterminator::encodeSubmitImages(const ImageEvidence &Evidence) {
+exterminator::encodeSubmitImages(const ImageEvidence &Evidence,
+                                 uint32_t BundleVersion) {
   std::vector<uint8_t> Payload;
   VectorSink Sink(Payload);
-  serializeImageBundle(Evidence.Primary, Sink);
-  serializeImageBundle(Evidence.Fallback, Sink);
+  serializeImageBundle(Evidence.Primary, Sink, BundleVersion);
+  serializeImageBundle(Evidence.Fallback, Sink, BundleVersion);
   return Payload;
 }
 

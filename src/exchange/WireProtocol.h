@@ -12,11 +12,11 @@
 /// Every message is one *frame*:
 ///
 ///   u32  FrameMagic      "XPF1"
-///   u8   ProtocolVersion 1
+///   u8   ProtocolVersion (3 or 4; see the version history below)
 ///   u8   MessageType
 ///   u32  PayloadLength   (little-endian; bounded by MaxFramePayload)
-///   u8[] Payload
-///   u32  Checksum        FNV-1a over the payload bytes
+///   u8[] Payload         (v4: compression envelope, see below)
+///   u32  Checksum        FNV-1a over the payload bytes as transmitted
 ///
 /// The fixed 10-byte header makes frames cheap to delimit on a byte
 /// stream; the length bound and checksum make a hostile or corrupted
@@ -45,12 +45,38 @@
 /// server-rendered Prometheus-style text exposition (what `xtermtool
 /// stats` prints).
 ///
+/// v4 adds payload compression.  A v4 payload is an *envelope*:
+///
+///   u8 encoding            0 = raw, 1 = LZ block codec
+///   [varint RawSize]       encoding 1 only; bounded by MaxFramePayload
+///   u8[] body              raw bytes, or the compressed block
+///
+/// The checksum still covers the payload bytes *as transmitted* (the
+/// envelope), so corruption is rejected by a cheap hash before any
+/// decompression runs.  The declared RawSize is validated against
+/// MaxFramePayload before any buffer is sized from it — a compression
+/// bomb is FrameError::OversizedExpansion, never an allocation.
+/// Encoders compress only when it shrinks the frame, so small or
+/// incompressible payloads ride as encoding 0 with one byte of
+/// overhead.
+///
+/// Negotiation is by downgrade, not handshake: a v4 client speaks v4
+/// until a peer rejects the version (the transport fails or the first
+/// reply is an ErrorReply saying "unknown protocol version"), then
+/// re-encodes at v3 and sticks there for that peer.  Servers accept
+/// both versions, answer each request in the version it arrived with,
+/// and couple the bundle format to it (v4 SubmitImages carries delta
+/// bundles, v3 carries the standalone v1 bundles a legacy server
+/// expects) — so an uncompressed v3 peer interoperates bit-identically
+/// with the pre-v4 protocol.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_EXCHANGE_WIREPROTOCOL_H
 #define EXTERMINATOR_EXCHANGE_WIREPROTOCOL_H
 
 #include "diagnose/DiagnosisPipeline.h"
+#include "heapimage/ImageBundle.h"
 #include "observe/MetricsRegistry.h"
 
 #include <cstdint>
@@ -62,7 +88,14 @@ namespace exterminator {
 
 /// Protocol constants.
 inline constexpr uint32_t FrameMagic = 0x58504631; // "XPF1"
-inline constexpr uint8_t ProtocolVersion = 3;
+/// Current protocol version (v4: compressed payload envelopes).
+inline constexpr uint8_t ProtocolVersion = 4;
+/// Oldest version every endpoint still speaks (raw payloads, standalone
+/// v1 bundles).  Clients downgrade to this when a peer rejects v4.
+inline constexpr uint8_t LegacyProtocolVersion = 3;
+/// v4 payload-envelope encoding bytes.
+inline constexpr uint8_t PayloadEncodingRaw = 0;
+inline constexpr uint8_t PayloadEncodingLz = 1;
 /// Bytes of frame header before the payload: magic + version + type +
 /// payload length.
 inline constexpr size_t FrameHeaderBytes = 10;
@@ -114,16 +147,24 @@ uint32_t frameChecksum(const uint8_t *Data, size_t Size);
 /// decoder and the socket stream delimiter; host-endianness-independent).
 uint32_t readFrameU32(const uint8_t *Data);
 
-/// Encodes a complete frame around \p Payload.  Returns an empty buffer
-/// when the payload exceeds MaxFramePayload — such a frame could never
-/// be accepted, and past 4 GiB the u32 length prefix would wrap into a
-/// desynced stream, so the bound is enforced on the send side too.
+/// Encodes a complete frame around \p Payload at \p Version.  v3 frames
+/// are bit-identical to the pre-v4 encoder; v4 frames wrap the payload
+/// in the compression envelope (compressed only when that shrinks it).
+/// Returns an empty buffer when the payload exceeds MaxFramePayload or
+/// \p Version is unknown — such a frame could never be accepted, and
+/// past 4 GiB the u32 length prefix would wrap into a desynced stream,
+/// so the bound is enforced on the send side too.
 std::vector<uint8_t> encodeFrame(MessageType Type,
-                                 const std::vector<uint8_t> &Payload);
+                                 const std::vector<uint8_t> &Payload,
+                                 uint8_t Version = ProtocolVersion);
 
-/// A decoded frame (payload copied out of the transport buffer).
+/// A decoded frame (payload copied out of the transport buffer, with
+/// the v4 envelope already stripped/expanded).  Version records which
+/// protocol the frame arrived in — servers echo it in their replies so
+/// a legacy peer never sees a frame it cannot parse.
 struct Frame {
   MessageType Type = MessageType::ErrorReply;
+  uint8_t Version = ProtocolVersion;
   std::vector<uint8_t> Payload;
 };
 
@@ -137,6 +178,10 @@ enum class FrameError {
   BadType,         ///< message type outside the known set
   OversizedLength, ///< length prefix past MaxFramePayload
   BadChecksum,     ///< payload bytes do not match the checksum
+  BadEncoding,     ///< v4 envelope: unknown encoding byte or a
+                   ///< compressed body that fails to expand
+  OversizedExpansion, ///< v4 envelope: declared raw size past
+                      ///< MaxFramePayload (compression bomb)
 };
 
 /// Decodes one frame from \p Data; on success sets \p FrameOut and
@@ -146,12 +191,31 @@ FrameError decodeFrame(const uint8_t *Data, size_t Size, Frame &FrameOut,
 
 const char *frameErrorName(FrameError Error);
 
+/// True when \p Reply is the "unknown protocol version" ErrorReply a
+/// pre-v4 server answers a v4 frame with — the shared downgrade trigger
+/// for PatchClient and ReplicaSet.
+bool isVersionRejection(const Frame &Reply);
+
+/// True when any frame in \p Responses decodes as a version rejection.
+/// Senders run this over the (possibly partial) response set of a
+/// failed exchange: a pre-v4 server answers the first pipelined frame
+/// with the rejection and then closes, so the evidence of *why* the
+/// transport failed sits in the received prefix.  A transport failure
+/// with no such evidence (connect refused, timeout) is NOT a downgrade
+/// trigger — transient faults must stay failures, not silent retries.
+bool sawVersionRejection(const std::vector<std::vector<uint8_t>> &Responses);
+
 //===----------------------------------------------------------------------===//
 // Payload codecs
 //===----------------------------------------------------------------------===//
 
 /// SubmitImages: primary and fallback image sets as two bundles.
-std::vector<uint8_t> encodeSubmitImages(const ImageEvidence &Evidence);
+/// \p BundleVersion couples the bundle format to the negotiated wire
+/// version: v4 peers receive delta-encoded v2 bundles, v3 peers the
+/// standalone v1 encoding they predate the delta codec expect.
+std::vector<uint8_t>
+encodeSubmitImages(const ImageEvidence &Evidence,
+                   uint32_t BundleVersion = ImageBundleFormatV2);
 bool decodeSubmitImages(const std::vector<uint8_t> &Payload,
                         ImageEvidence &EvidenceOut);
 

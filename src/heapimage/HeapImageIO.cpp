@@ -11,13 +11,9 @@ using namespace exterminator::imagedetail;
 static constexpr uint32_t ImageMagicV1 = 0x58484931;
 static constexpr uint32_t ImageMagicV2 = 0x58484932;
 
-/// Marker tag for a run of consecutive virgin slots (never allocated,
-/// contents one repeated word).  Distinct from any flags|HasMeta byte:
-/// flags occupy the low three bits and HasMeta bit 7.
-static constexpr uint8_t VirginRunTag = 0xff;
-static constexpr uint8_t HasMetaBit = 0x80;
-static constexpr uint8_t FlagsMask =
-    SlotFlagAllocated | SlotFlagBad | SlotFlagCanaried;
+// The slot-record tag constants (VirginRunTag, HasMetaBit, FlagsMask)
+// live in ImageFormatDetail.h since PR 10: the delta body codec shares
+// them.
 
 //===----------------------------------------------------------------------===//
 // Shared v2 body codec (ImageFormatDetail.h) — used by this file's
@@ -89,8 +85,9 @@ static bool isVirginSlot(const HeapImage &Image, const ImageLocation &Loc,
   return true;
 }
 
-static void writeSlotContents(StreamWriter &Writer, const HeapImage &Image,
-                              const SlotContents &Contents) {
+void imagedetail::writeSlotContents(StreamWriter &Writer,
+                                    const HeapImage &Image,
+                                    const SlotContents &Contents) {
   Writer.writeVarU64(Contents.runCount());
   for (size_t R = 0; R < Contents.runCount(); ++R) {
     const ContentsRun &Run = Contents.run(R);
@@ -153,11 +150,9 @@ void imagedetail::writeImageBody(StreamWriter &Writer, const HeapImage &Image,
   }
 }
 
-/// Reads one slot's contents runs; total length must be exactly
-/// \p ObjectSize.
-static bool readSlotContents(StreamReader &Reader, HeapImage &Image,
-                             uint64_t ObjectSize,
-                             std::vector<uint8_t> &Scratch) {
+bool imagedetail::readSlotContents(StreamReader &Reader, HeapImage &Image,
+                                   uint64_t ObjectSize,
+                                   std::vector<uint8_t> &Scratch) {
   const uint64_t RunCount = Reader.readVarU64();
   if (Reader.failed() || RunCount > ObjectSize / 8 + 1)
     return false;

@@ -2,8 +2,12 @@
 
 #include "heapimage/ImageBundle.h"
 
+#include "codec/CodecStream.h"
+#include "codec/DeltaCodec.h"
 #include "heapimage/HeapImageIO.h"
 #include "heapimage/ImageFormatDetail.h"
+
+#include <memory>
 
 using namespace exterminator;
 using namespace exterminator::imagedetail;
@@ -12,10 +16,14 @@ using namespace exterminator::imagedetail;
 static constexpr uint32_t BundleMagic = 0x58494231;
 
 bool exterminator::serializeImageBundle(const std::vector<HeapImage> &Images,
-                                        ByteSink &Sink) {
+                                        ByteSink &Sink,
+                                        uint32_t FormatVersion) {
+  if (FormatVersion != ImageBundleFormatV1 &&
+      FormatVersion != ImageBundleFormatV2)
+    return false;
   StreamWriter Writer(Sink);
   Writer.writeU32(BundleMagic);
-  Writer.writeU32(ImageBundleFormatV1);
+  Writer.writeU32(FormatVersion);
   Writer.writeVarU64(Images.size());
 
   // One dictionary across every image: replicated dumps of the same
@@ -26,28 +34,40 @@ bool exterminator::serializeImageBundle(const std::vector<HeapImage> &Images,
     Sites.collect(Image);
   writeSiteTable(Writer, Sites.table());
 
+  // v2: every body uses the delta codec — the first image with a null
+  // base (canary-run encoding only), members referencing the first
+  // image's slots by object id (codec/DeltaCodec.h).
+  std::unique_ptr<HeapImageView> Base;
   for (const HeapImage &Image : Images) {
     writeImageHeader(Writer, Image);
-    writeImageBody(Writer, Image, Sites);
+    if (FormatVersion == ImageBundleFormatV1) {
+      writeImageBody(Writer, Image, Sites);
+      continue;
+    }
+    writeDeltaImageBody(Writer, Image, Sites, Base.get());
+    if (!Base)
+      Base = std::make_unique<HeapImageView>(Images.front());
   }
   return !Writer.failed();
 }
 
 std::vector<uint8_t>
-exterminator::serializeImageBundle(const std::vector<HeapImage> &Images) {
+exterminator::serializeImageBundle(const std::vector<HeapImage> &Images,
+                                   uint32_t FormatVersion) {
   std::vector<uint8_t> Buffer;
   VectorSink Sink(Buffer);
-  serializeImageBundle(Images, Sink);
+  if (!serializeImageBundle(Images, Sink, FormatVersion))
+    Buffer.clear();
   return Buffer;
 }
 
-bool exterminator::deserializeImageBundle(ByteSource &Source,
-                                          std::vector<HeapImage> &ImagesOut,
-                                          uint64_t &SlotBudget) {
-  StreamReader Reader(Source);
-  if (Reader.readU32() != BundleMagic)
-    return false;
-  if (Reader.readU32() != ImageBundleFormatV1)
+/// Decodes a bundle after its magic: version, count, site table, images.
+static bool deserializeBundleBody(StreamReader &Reader,
+                                  std::vector<HeapImage> &ImagesOut,
+                                  uint64_t &SlotBudget) {
+  const uint32_t FormatVersion = Reader.readU32();
+  if (FormatVersion != ImageBundleFormatV1 &&
+      FormatVersion != ImageBundleFormatV2)
     return false;
   const uint64_t NumImages = Reader.readVarU64();
   if (Reader.failed() || NumImages > MaxBundleImages)
@@ -59,18 +79,56 @@ bool exterminator::deserializeImageBundle(ByteSource &Source,
 
   ImagesOut.clear();
   ImagesOut.reserve(NumImages);
+  std::unique_ptr<HeapImageView> Base;
   for (uint64_t I = 0; I < NumImages; ++I) {
     HeapImage Image;
     readImageHeader(Reader, Image);
     Image.SourceFormatVersion = HeapImageFormatV2;
-    // One budget across all images: N forged maximal images cannot
-    // multiply what one is allowed to declare.
-    if (Reader.failed() || !readImageBody(Reader, Image, SiteTable,
-                                          SlotBudget))
+    if (Reader.failed())
       return false;
+    // One budget across all images: N forged maximal images cannot
+    // multiply what one is allowed to declare.  The first v2 image reads
+    // with a null base — readDeltaImageBody rejects reference tags
+    // there, so a forged bundle cannot make image 0 reference a base
+    // that does not exist.
+    if (FormatVersion == ImageBundleFormatV1) {
+      if (!readImageBody(Reader, Image, SiteTable, SlotBudget))
+        return false;
+    } else if (!readDeltaImageBody(Reader, Image, SiteTable, Base.get(),
+                                   SlotBudget)) {
+      return false;
+    }
     ImagesOut.push_back(std::move(Image));
+    if (FormatVersion == ImageBundleFormatV2 && !Base)
+      Base = std::make_unique<HeapImageView>(ImagesOut.front());
   }
   return !Reader.failed();
+}
+
+bool exterminator::deserializeImageBundle(ByteSource &Source,
+                                          std::vector<HeapImage> &ImagesOut,
+                                          uint64_t &SlotBudget) {
+  StreamReader Reader(Source);
+  const uint32_t Magic = Reader.readU32();
+  if (Reader.failed())
+    return false;
+  if (Magic == CompressedBundleMagic) {
+    // Compressed container: the inner stream must be exactly one bare
+    // bundle (no nested containers — bounds adversarial recursion).
+    DecompressingSource Unzip(Source);
+    StreamReader Inner(Unzip);
+    if (Inner.readU32() != BundleMagic)
+      return false;
+    if (!deserializeBundleBody(Inner, ImagesOut, SlotBudget))
+      return false;
+    // Drain the terminator and reject trailing bytes *inside* the
+    // compressed stream; what follows it in Source is the caller's.
+    uint8_t Tail = 0;
+    return Unzip.read(&Tail, 1) == 0 && Unzip.finished();
+  }
+  if (Magic != BundleMagic)
+    return false;
+  return deserializeBundleBody(Reader, ImagesOut, SlotBudget);
 }
 
 bool exterminator::deserializeImageBundle(const std::vector<uint8_t> &Buffer,
@@ -87,7 +145,14 @@ bool exterminator::saveImageBundle(const std::vector<HeapImage> &Images,
   FileSink Sink(Path);
   if (!Sink.ok())
     return false;
-  if (!serializeImageBundle(Images, Sink))
+  StreamWriter Header(Sink);
+  Header.writeU32(CompressedBundleMagic);
+  if (Header.failed())
+    return false;
+  CompressingSink Zip(Sink);
+  if (!serializeImageBundle(Images, Zip))
+    return false;
+  if (!Zip.finish())
     return false;
   return Sink.close();
 }

@@ -19,6 +19,18 @@
 /// byte-for-byte (ImageFormatDetail.h); only the dictionary placement
 /// differs.
 ///
+/// Bundle format v2 (PR 10) additionally *delta-encodes* every member
+/// image against the first: replicated dumps capture the same program
+/// state under different heap layouts, so member slots reference the
+/// base image's slot by object id instead of repeating metadata and
+/// contents (codec/DeltaCodec.h).  v1 bundles still decode; encoders
+/// pick the version per peer (uncompressed v3 wire peers receive v1).
+///
+/// On disk a bundle is wrapped in the compressed container ("XIC1"): the
+/// bundle byte stream passes through the LZ block codec
+/// (codec/CodecStream.h).  loadImageBundle transparently reads both the
+/// container and bare "XIB1" files.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTERMINATOR_HEAPIMAGE_IMAGEBUNDLE_H
@@ -33,8 +45,14 @@
 
 namespace exterminator {
 
-/// Bundle wire-format version.
+/// Bundle wire-format versions: v1 encodes every image standalone, v2
+/// delta-encodes members against the first image.
 inline constexpr uint32_t ImageBundleFormatV1 = 1;
+inline constexpr uint32_t ImageBundleFormatV2 = 2;
+
+/// "XIC1": the compressed bundle file container (an "XIB1" byte stream
+/// passed through the codec layer's block stream).
+inline constexpr uint32_t CompressedBundleMagic = 0x58494331;
 
 /// Most images one bundle may carry (far above MaxImages in any config;
 /// a forged count fails here instead of looping).
@@ -54,13 +72,18 @@ inline constexpr uint64_t MaxBundleSlots = uint64_t(1) << 24;
 inline constexpr uint64_t MaxWireSlots = uint64_t(1) << 21;
 
 /// Streams \p Images as one bundle into \p Sink; returns false on write
-/// failure.  An empty set encodes as a valid zero-image bundle.
+/// failure or an unknown \p FormatVersion.  An empty set encodes as a
+/// valid zero-image bundle.  v2 (the default) delta-encodes members
+/// against the first image; pass ImageBundleFormatV1 for peers that
+/// predate the delta codec.
 bool serializeImageBundle(const std::vector<HeapImage> &Images,
-                          ByteSink &Sink);
+                          ByteSink &Sink,
+                          uint32_t FormatVersion = ImageBundleFormatV2);
 
 /// Encodes \p Images into a self-describing bundle byte buffer.
 std::vector<uint8_t>
-serializeImageBundle(const std::vector<HeapImage> &Images);
+serializeImageBundle(const std::vector<HeapImage> &Images,
+                     uint32_t FormatVersion = ImageBundleFormatV2);
 
 /// Streaming decode of one bundle.  Returns false (leaving \p ImagesOut
 /// unspecified) on malformed input — truncation, bad magic/version,

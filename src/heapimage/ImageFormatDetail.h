@@ -12,7 +12,9 @@
 /// image for v2, one table across all images for a bundle (replicated
 /// dumps share almost all sites, so the bundle amortizes the table).
 ///
-/// Not installed API: only the two format translation units include this.
+/// Not installed API: only the format translation units (HeapImageIO,
+/// ImageBundle) and the codec layer's delta body codec (codec/DeltaCodec)
+/// include this.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +44,15 @@ inline constexpr uint64_t ReserveCap = uint64_t(1) << 16;
 /// the decoded image's total slot count is capped as well — 16M slots is
 /// an order of magnitude past any real capture.
 inline constexpr uint64_t MaxTotalSlots = uint64_t(1) << 24;
+
+/// Slot-record tag bytes.  A plain record's tag is flags|HasMetaBit with
+/// the flags in the low three bits, so the high tag values are free for
+/// markers: 0xff collapses a virgin region, and the delta body codec
+/// (codec/DeltaCodec.h) claims 0xfe/0xfd for base-image references.
+inline constexpr uint8_t VirginRunTag = 0xff;
+inline constexpr uint8_t HasMetaBit = 0x80;
+inline constexpr uint8_t FlagsMask =
+    SlotFlagAllocated | SlotFlagBad | SlotFlagCanaried;
 
 /// First-appearance-order call-site dictionary builder.  Index 0 is
 /// always "no site", so the dominant metadata-free slots encode their
@@ -80,6 +91,16 @@ void writeSiteTable(StreamWriter &Writer, const std::vector<SiteId> &Table);
 
 /// Reads a site table; returns false on a malformed or oversized one.
 bool readSiteTable(StreamReader &Reader, std::vector<SiteId> &TableOut);
+
+/// Writes one slot's contents as run records (varint run count, then per
+/// run: kind byte, varint length, repeated word or literal bytes).
+void writeSlotContents(StreamWriter &Writer, const HeapImage &Image,
+                       const SlotContents &Contents);
+
+/// Reads one slot's contents runs into the current slot of \p Image;
+/// the total decoded length must be exactly \p ObjectSize.
+bool readSlotContents(StreamReader &Reader, HeapImage &Image,
+                      uint64_t ObjectSize, std::vector<uint8_t> &Scratch);
 
 /// Writes the image body: miniheap count, then per-miniheap descriptors
 /// and slot records (virgin regions collapsed, metadata varint-packed,

@@ -4,6 +4,7 @@
 
 #include "alloc/Allocator.h"
 #include "alloc/DieHardHeap.h"
+#include "codec/BlockCodec.h"
 #include "inject/FaultInjector.h"
 
 #include <algorithm>
@@ -314,5 +315,28 @@ void exterminator::registerRetirementMetrics(MetricsRegistry &Registry,
                               double(Heap.retiredPageCount()));
     MetricsRegistry::addGauge(Out, "xterm_retired_slots", Labels,
                               double(Heap.retiredSlotCount()));
+  });
+}
+
+void exterminator::registerCodecMetrics(MetricsRegistry &Registry) {
+  // The codec counters are process-global (every wire frame, snapshot,
+  // and bundle in the process funnels through the same encoder), so the
+  // collector captures nothing.
+  Registry.addCollector([](std::vector<MetricSample> &Out) {
+    const CodecStatsSnapshot S = codecStats();
+    MetricsRegistry::addCounter(Out, "xterm_codec_compress_calls_total", {},
+                                double(S.CompressCalls));
+    MetricsRegistry::addCounter(Out, "xterm_codec_compress_in_bytes_total", {},
+                                double(S.CompressInBytes));
+    MetricsRegistry::addCounter(Out, "xterm_codec_compress_out_bytes_total", {},
+                                double(S.CompressOutBytes));
+    MetricsRegistry::addCounter(Out, "xterm_codec_decompress_calls_total", {},
+                                double(S.DecompressCalls));
+    MetricsRegistry::addCounter(Out, "xterm_codec_decompress_out_bytes_total",
+                                {}, double(S.DecompressOutBytes));
+    MetricsRegistry::addCounter(Out, "xterm_codec_incompressible_blocks_total",
+                                {}, double(S.IncompressibleBlocks));
+    MetricsRegistry::addCounter(Out, "xterm_codec_rejected_blocks_total", {},
+                                double(S.RejectedBlocks));
   });
 }

@@ -243,6 +243,14 @@ class DieHardHeap;
 void registerRetirementMetrics(MetricsRegistry &Registry,
                                const DieHardHeap &Heap, std::string Label);
 
+/// Registers a pull collector exporting the process-wide codec counters
+/// (codec/BlockCodec.h) as xterm_codec_* samples (PR 10): compressed
+/// bytes in/out, decode expansions, stored-raw blocks, and rejected
+/// (bomb/corrupt) blocks — what lets an operator see both the
+/// compression ratio the fleet is getting and whether anyone is feeding
+/// it garbage.
+void registerCodecMetrics(MetricsRegistry &Registry);
+
 } // namespace exterminator
 
 #endif // EXTERMINATOR_OBSERVE_METRICSREGISTRY_H

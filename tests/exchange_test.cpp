@@ -642,6 +642,301 @@ TEST(PatchExchange, ShutdownFrameStopsSocketServer) {
 }
 
 //===----------------------------------------------------------------------===//
+// Wire v4: compressed frames and version negotiation (PR 10)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Repetitive bytes that the frame envelope will actually compress.
+std::vector<uint8_t> compressiblePayload(size_t Size) {
+  std::vector<uint8_t> Payload;
+  Payload.reserve(Size);
+  for (size_t I = 0; I < Size; ++I)
+    Payload.push_back(static_cast<uint8_t>((I / 64) % 16));
+  return Payload;
+}
+
+/// Hand-assembles a v4 frame around an arbitrary (possibly forged)
+/// payload envelope, with a valid checksum — the shape of a hostile
+/// compressed-frame sender.
+std::vector<uint8_t> forgedV4Frame(MessageType Type,
+                                   const std::vector<uint8_t> &Envelope) {
+  std::vector<uint8_t> Out;
+  VectorSink Sink(Out);
+  StreamWriter Writer(Sink);
+  Writer.writeU32(FrameMagic);
+  Writer.writeU8(ProtocolVersion);
+  Writer.writeU8(static_cast<uint8_t>(Type));
+  Writer.writeU32(static_cast<uint32_t>(Envelope.size()));
+  Writer.writeBytes(Envelope.data(), Envelope.size());
+  Writer.writeU32(frameChecksum(Envelope.data(), Envelope.size()));
+  return Out;
+}
+
+/// An envelope declaring an expansion past the frame budget: the
+/// compression bomb every decoder must reject before allocating.
+std::vector<uint8_t> bombEnvelope() {
+  std::vector<uint8_t> Envelope;
+  VectorSink Sink(Envelope);
+  StreamWriter Writer(Sink);
+  Writer.writeU8(PayloadEncodingLz);
+  Writer.writeVarU64(uint64_t(MaxFramePayload) + 1);
+  Writer.writeU8(0x00); // token bytes; never reached
+  return Envelope;
+}
+
+RunSummary anySummary() {
+  return DiagnosisPipeline().summarize(
+      imagesFromTrace(overflowTrace(6), 1).front(), /*Failed=*/true);
+}
+
+} // namespace
+
+TEST(WireProtocol, V4CompressesAndRoundTrips) {
+  const std::vector<uint8_t> Payload = compressiblePayload(32 * 1024);
+  const std::vector<uint8_t> V4 =
+      encodeFrame(MessageType::SubmitSummary, Payload);
+  const std::vector<uint8_t> V3 =
+      encodeFrame(MessageType::SubmitSummary, Payload, LegacyProtocolVersion);
+  EXPECT_LT(V4.size(), V3.size());
+
+  Frame Decoded;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(V4.data(), V4.size(), Decoded, Consumed),
+            FrameError::None);
+  EXPECT_EQ(Consumed, V4.size());
+  EXPECT_EQ(Decoded.Version, ProtocolVersion);
+  EXPECT_EQ(Decoded.Payload, Payload);
+}
+
+TEST(WireProtocol, V4StoresIncompressiblePayloadsRaw) {
+  // Random bytes cannot shrink; the envelope must cost exactly its
+  // one-byte encoding tag, and still round-trip.
+  std::vector<uint8_t> Payload(4096);
+  uint32_t State = 0x12345678;
+  for (uint8_t &B : Payload) {
+    State = State * 1664525u + 1013904223u;
+    B = static_cast<uint8_t>(State >> 24);
+  }
+  const std::vector<uint8_t> V4 =
+      encodeFrame(MessageType::SubmitSummary, Payload);
+  const std::vector<uint8_t> V3 =
+      encodeFrame(MessageType::SubmitSummary, Payload, LegacyProtocolVersion);
+  EXPECT_EQ(V4.size(), V3.size() + 1);
+  Frame Decoded;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(V4.data(), V4.size(), Decoded, Consumed),
+            FrameError::None);
+  EXPECT_EQ(Decoded.Payload, Payload);
+}
+
+TEST(WireProtocol, LegacyEncodingIsBitIdenticalToPreCodecLayout) {
+  // The uncompressed-peer interop pin: a v3 frame from this encoder must
+  // match the pre-codec layout byte for byte — hand-assembled here from
+  // the documented format.
+  const std::vector<uint8_t> Payload{9, 8, 7, 6, 5, 4};
+  const std::vector<uint8_t> Legacy =
+      encodeFrame(MessageType::SubmitSummary, Payload, LegacyProtocolVersion);
+
+  std::vector<uint8_t> Expected;
+  VectorSink Sink(Expected);
+  StreamWriter Writer(Sink);
+  Writer.writeU32(FrameMagic);
+  Writer.writeU8(LegacyProtocolVersion);
+  Writer.writeU8(static_cast<uint8_t>(MessageType::SubmitSummary));
+  Writer.writeU32(static_cast<uint32_t>(Payload.size()));
+  Writer.writeBytes(Payload.data(), Payload.size());
+  Writer.writeU32(frameChecksum(Payload.data(), Payload.size()));
+  EXPECT_EQ(Legacy, Expected);
+}
+
+TEST(WireProtocol, RejectsCompressionBombBeforeAllocation) {
+  const std::vector<uint8_t> Frame =
+      forgedV4Frame(MessageType::SubmitSummary, bombEnvelope());
+  exterminator::Frame Decoded;
+  size_t Consumed = 0;
+  EXPECT_EQ(decodeFrame(Frame.data(), Frame.size(), Decoded, Consumed),
+            FrameError::OversizedExpansion);
+
+  // Unknown encoding ids and empty envelopes are their own error.
+  EXPECT_EQ(decodeFrame(
+                forgedV4Frame(MessageType::SubmitSummary, {0x3f, 1, 2}).data(),
+                forgedV4Frame(MessageType::SubmitSummary, {0x3f, 1, 2}).size(),
+                Decoded, Consumed),
+            FrameError::BadEncoding);
+  const std::vector<uint8_t> Empty =
+      forgedV4Frame(MessageType::SubmitSummary, {});
+  EXPECT_EQ(decodeFrame(Empty.data(), Empty.size(), Decoded, Consumed),
+            FrameError::BadEncoding);
+}
+
+TEST(WireProtocol, RejectsCorruptCompressedBody) {
+  // Flip bytes inside a genuine v4 compressed envelope: the expansion
+  // must fail as BadEncoding (or the checksum catches it first), never
+  // produce wrong payload bytes silently.
+  const std::vector<uint8_t> Payload = compressiblePayload(16 * 1024);
+  std::vector<uint8_t> Good = encodeFrame(MessageType::SubmitSummary, Payload);
+  size_t WrongPayloads = 0;
+  for (size_t I = FrameHeaderBytes + 2; I < Good.size() - 4; I += 97) {
+    std::vector<uint8_t> Mutated = Good;
+    Mutated[I] ^= 0xff;
+    Frame Decoded;
+    size_t Consumed = 0;
+    if (decodeFrame(Mutated.data(), Mutated.size(), Decoded, Consumed) ==
+            FrameError::None &&
+        Decoded.Payload != Payload)
+      ++WrongPayloads; // checksum passed but payload differs: impossible
+  }
+  EXPECT_EQ(WrongPayloads, 0u);
+}
+
+TEST(PatchExchange, CompressionBombGetsErrorReplyOnLoopback) {
+  PatchServer Server;
+  expectRejectedThenAlive(Server,
+                          forgedV4Frame(MessageType::SubmitSummary,
+                                        bombEnvelope()));
+  EXPECT_GE(Server.stats().FramesRejected, 1u);
+}
+
+TEST(PatchExchange, CompressionBombGetsErrorReplyOverTcp) {
+  PatchServer Server;
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  std::vector<std::vector<uint8_t>> Responses;
+  ASSERT_TRUE(Transport.exchange(
+      {forgedV4Frame(MessageType::SubmitSummary, bombEnvelope())},
+      Responses));
+  ASSERT_EQ(Responses.size(), 1u);
+  Frame Reply;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeFrame(Responses[0].data(), Responses[0].size(), Reply,
+                        Consumed),
+            FrameError::None);
+  EXPECT_EQ(Reply.Type, MessageType::ErrorReply);
+  std::string Message;
+  ASSERT_TRUE(decodeErrorReply(Reply.Payload, Message));
+  EXPECT_EQ(Message, frameErrorName(FrameError::OversizedExpansion));
+
+  // Still healthy afterwards.
+  SocketClientTransport Fresh(Front.endpoint());
+  PatchClient Client(Fresh);
+  EXPECT_TRUE(Client.fetchPatches());
+  Front.stop();
+}
+
+TEST(WireNegotiation, ModernClientDowngradesToLegacyServerLoopback) {
+  // A pre-v4 server (emulated with the version cap) rejects the first
+  // compressed frame; the client must downgrade, re-send, and land the
+  // exact same diagnostic state as a local pipeline.
+  PatchServer Server;
+  Server.setMaxWireVersion(LegacyProtocolVersion);
+  LoopbackTransport Transport(Server);
+  expectRoundTripEquivalence(Transport, Server);
+  EXPECT_GE(Server.stats().FramesRejected, 1u);
+}
+
+TEST(WireNegotiation, ModernClientDowngradesToLegacyServerOverTcp) {
+  PatchServer Server;
+  Server.setMaxWireVersion(LegacyProtocolVersion);
+  SocketPatchServer Front(Server, /*Workers=*/2);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+  SocketClientTransport Transport(Front.endpoint());
+  expectRoundTripEquivalence(Transport, Server);
+  Front.stop();
+}
+
+TEST(WireNegotiation, LegacyClientInteroperatesWithModernServer) {
+  // The reverse direction: an uncompressed v3 client against a v4
+  // server must work unchanged — the server answers at the version the
+  // request arrived in, and never rejects anything.
+  for (const bool OverTcp : {false, true}) {
+    PatchServer Server;
+    SocketPatchServer Front(Server, /*Workers=*/1);
+    std::unique_ptr<SocketClientTransport> Socket;
+    std::unique_ptr<LoopbackTransport> Loopback;
+    ClientTransport *Transport = nullptr;
+    if (OverTcp) {
+      Endpoint Ep;
+      ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+      ASSERT_TRUE(Front.listen(Ep));
+      ASSERT_TRUE(Front.start());
+      Socket = std::make_unique<SocketClientTransport>(Front.endpoint());
+      Transport = Socket.get();
+    } else {
+      Loopback = std::make_unique<LoopbackTransport>(Server);
+      Transport = Loopback.get();
+    }
+
+    PatchClient Client(*Transport);
+    Client.setMaxWireVersion(LegacyProtocolVersion);
+    const ImageEvidence Evidence{imagesFromTrace(overflowTrace(6), 3), {}};
+    DiagnosisPipeline Local;
+    Local.submitImages(Evidence);
+    ASSERT_TRUE(Client.submitImages(Evidence));
+    ASSERT_TRUE(Client.fetchPatches());
+    EXPECT_TRUE(Client.patches() == Local.patches());
+    EXPECT_EQ(Client.peerVersion(), LegacyProtocolVersion);
+    EXPECT_EQ(Server.stats().FramesRejected, 0u);
+    if (OverTcp)
+      Front.stop();
+  }
+}
+
+TEST(WireNegotiation, DowngradeIsStickyAndEvidenceBased) {
+  PatchServer Server;
+  Server.setMaxWireVersion(LegacyProtocolVersion);
+  LoopbackTransport Transport(Server);
+  PatchClient Client(Transport);
+  EXPECT_EQ(Client.peerVersion(), ProtocolVersion);
+
+  // First round trip: one v4 rejection, then success at v3 — and the
+  // retry reuses the same submission token, so the summary lands once.
+  ASSERT_TRUE(Client.submitSummary(anySummary(), /*CleanStreak=*/0));
+  EXPECT_EQ(Client.peerVersion(), LegacyProtocolVersion);
+  EXPECT_EQ(Server.stats().SummariesIngested, 1u);
+  const uint64_t RejectionsAfterFirst = Server.stats().FramesRejected;
+  EXPECT_GE(RejectionsAfterFirst, 1u);
+
+  // Sticky: further traffic goes straight to v3, no new rejections.
+  ASSERT_TRUE(Client.submitSummary(anySummary(), 0));
+  ASSERT_TRUE(Client.fetchPatches());
+  EXPECT_EQ(Server.stats().FramesRejected, RejectionsAfterFirst);
+}
+
+TEST(WireNegotiation, BatchedFlushDowngradesMidPipelineOverTcp) {
+  // Pipelined chunk against a legacy server: the rejection ErrorReply
+  // sits in the received prefix of a failed exchange (the server closes
+  // after rejecting frame one).  The client must find it there,
+  // downgrade, and re-send the whole chunk — every summary ingested
+  // exactly once.
+  PatchServer Server;
+  Server.setMaxWireVersion(LegacyProtocolVersion);
+  SocketPatchServer Front(Server, /*Workers=*/1);
+  Endpoint Ep;
+  ASSERT_TRUE(parseEndpoint("tcp:0", Ep));
+  ASSERT_TRUE(Front.listen(Ep));
+  ASSERT_TRUE(Front.start());
+
+  SocketClientTransport Transport(Front.endpoint());
+  PatchClient Client(Transport);
+  const RunSummary Summary = anySummary();
+  for (unsigned I = 0; I < 16; ++I)
+    ASSERT_TRUE(Client.queueSummary(Summary, 0));
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Server.stats().SummariesIngested, 16u);
+  EXPECT_EQ(Client.peerVersion(), LegacyProtocolVersion);
+  Front.stop();
+}
+
+//===----------------------------------------------------------------------===//
 // Endpoint parsing
 //===----------------------------------------------------------------------===//
 
@@ -1329,4 +1624,33 @@ TEST(StatePersistence, JournalWithoutSnapshotIsCorrupt) {
   StateStore Store(Dir);
   std::string Error;
   EXPECT_FALSE(Recovered.attachState(Store, 64, &Error));
+}
+
+TEST(StatePersistence, SnapshotsAreCompressedStrictlySmallerThanRaw) {
+  // The PR 10 acceptance pin: the on-disk snapshot file must be
+  // strictly smaller than the raw pipeline state it holds, and load
+  // back bit-identically.
+  const std::string Dir = freshStateDir("codecsnap");
+  PatchServer Server;
+  submitStream(Server, recoveryEvidence());
+  const std::vector<uint8_t> RawState = Server.serializeState();
+  ASSERT_GT(RawState.size(), 0u);
+
+  {
+    StateStore Store(Dir);
+    ASSERT_TRUE(Store.writeSnapshot(RawState));
+    std::vector<uint8_t> FileBytes;
+    ASSERT_TRUE(readFileBytes(Store.snapshotPath(), FileBytes));
+    EXPECT_LT(FileBytes.size(), RawState.size())
+        << "snapshot file " << FileBytes.size() << " B vs raw state "
+        << RawState.size() << " B";
+  }
+
+  std::vector<uint8_t> Restored;
+  std::vector<StateStore::JournalRecord> Records;
+  StateStore Reopened(Dir);
+  ASSERT_EQ(Reopened.load(Restored, Records),
+            StateStore::LoadResult::Restored);
+  EXPECT_EQ(Restored, RawState);
+  EXPECT_TRUE(Records.empty());
 }

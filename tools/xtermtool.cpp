@@ -2,8 +2,12 @@
 //
 // Command-line companion to the Exterminator runtime:
 //
-//   xtermtool inspect  <patch.xpt>             list a patch file's contents
-//   xtermtool report   <patch.xpt>             render it as a bug report (§9)
+//   xtermtool inspect  <file>                  list a patch file's contents;
+//                                              images/bundles/snapshots print
+//                                              compressed vs raw sizes (PR 10)
+//   xtermtool report   <file>                  render a patch file as a bug
+//                                              report (§9); other artifacts as
+//                                              with inspect
 //   xtermtool merge    <out.xpt> <in.xpt>...   collaborative max-merge (§6.4)
 //   xtermtool image    <dump.xhi>              summarize a heap image (§3.4)
 //   xtermtool diagnose <out.xpt> <dump.xhi>... run isolation over images
@@ -54,6 +58,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "codec/BlockCodec.h"
 #include "diagnose/DiagnosisPipeline.h"
 #include "diefast/Canary.h"
 #include "exchange/FailoverTransport.h"
@@ -63,6 +68,7 @@
 #include "exchange/SocketTransport.h"
 #include "exchange/StateStore.h"
 #include "heapimage/HeapImageIO.h"
+#include "heapimage/ImageBundle.h"
 #include "observe/AlertEngine.h"
 #include "observe/MetricsRegistry.h"
 #include "patch/PatchIO.h"
@@ -83,8 +89,11 @@ using namespace exterminator;
 
 static int usage() {
   std::fprintf(stderr,
-               "usage: xtermtool inspect  <patch.xpt>\n"
-               "       xtermtool report   <patch.xpt>\n"
+               "usage: xtermtool inspect  <file>\n"
+               "       xtermtool report   <file>\n"
+               "         <file>: patch.xpt (listing / bug report), or a\n"
+               "         heap image / bundle / state snapshot (prints\n"
+               "         compressed vs raw byte sizes)\n"
                "       xtermtool merge    <out.xpt> <in.xpt>...\n"
                "       xtermtool image    <dump.xhi>\n"
                "       xtermtool diagnose <out.xpt> <dump.xhi>... "
@@ -150,6 +159,149 @@ static int reportPatches(const std::string &Path) {
   }
   std::fputs(generatePatchReport(Patches).c_str(), stdout);
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Codec-size inspection (PR 10)
+//===----------------------------------------------------------------------===//
+
+// File magics the inspect dispatcher sniffs.  Each format owns its
+// constant inside its own module; these mirror them for routing only.
+static constexpr uint32_t SniffPatchV2 = 0x58505432;  // "XPT2"
+static constexpr uint32_t SniffPatchV3 = 0x58505433;  // "XPT3"
+static constexpr uint32_t SniffImageV1 = 0x58484931;  // "XHI1"
+static constexpr uint32_t SniffImageV2 = 0x58484932;  // "XHI2"
+static constexpr uint32_t SniffBundle = 0x58494231;   // "XIB1"
+static constexpr uint32_t SniffSnapshot = 0x58535431; // "XST1"
+
+/// One "raw vs compressed" line — the operator-visible proof the codec
+/// layer is earning its keep.
+static void printSizeLine(const char *What, uint64_t RawBytes,
+                          uint64_t StoredBytes) {
+  const double Pct =
+      RawBytes ? 100.0 * double(StoredBytes) / double(RawBytes) : 100.0;
+  std::printf("  %-22s %10llu B  (%.1f%% of raw)\n", What,
+              static_cast<unsigned long long>(StoredBytes), Pct);
+}
+
+static int inspectImageSizes(const std::string &Path,
+                             const std::vector<uint8_t> &FileBytes) {
+  HeapImage Image;
+  if (!loadHeapImage(Path, Image)) {
+    std::fprintf(stderr, "error: cannot load heap image '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  const std::vector<uint8_t> RawV2 = serializeHeapImage(Image);
+  const std::vector<uint8_t> Envelope = encodeCodecBlock(RawV2);
+  std::printf("%s: heap image (format v%u, %zu miniheap(s), %zu slot(s))\n",
+              Path.c_str(), Image.SourceFormatVersion, Image.miniheapCount(),
+              Image.totalSlots());
+  std::printf("  %-22s %10llu B\n", "raw (v2 columnar)",
+              static_cast<unsigned long long>(RawV2.size()));
+  printSizeLine("compressed (codec)", RawV2.size(), Envelope.size());
+  printSizeLine("on-disk", RawV2.size(), FileBytes.size());
+  return 0;
+}
+
+static int inspectBundleSizes(const std::string &Path,
+                              const std::vector<uint8_t> &FileBytes) {
+  std::vector<HeapImage> Images;
+  if (!loadImageBundle(Path, Images)) {
+    std::fprintf(stderr, "error: cannot load image bundle '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  const size_t RawV1 = serializeImageBundle(Images, ImageBundleFormatV1).size();
+  const size_t DeltaV2 =
+      serializeImageBundle(Images, ImageBundleFormatV2).size();
+  std::printf("%s: image bundle, %zu image(s)\n", Path.c_str(),
+              Images.size());
+  std::printf("  %-22s %10llu B\n", "raw (v1 standalone)",
+              static_cast<unsigned long long>(RawV1));
+  printSizeLine("delta-encoded (v2)", RawV1, DeltaV2);
+  printSizeLine("on-disk (compressed)", RawV1, FileBytes.size());
+  return 0;
+}
+
+static int inspectSnapshotSizes(const std::string &Path,
+                                const std::vector<uint8_t> &Bytes) {
+  // Mirrors StateStore's snapshot reader: trailing u32 checksum, then
+  // magic, version, generation, state blob (v2 wraps the blob in a
+  // codec envelope).
+  const char *Bad = nullptr;
+  do {
+    if (Bytes.size() <= 4 ||
+        frameChecksum(Bytes.data(), Bytes.size() - 4) !=
+            readFrameU32(Bytes.data() + Bytes.size() - 4)) {
+      Bad = "checksum mismatch";
+      break;
+    }
+    ByteReader Reader(Bytes.data(), Bytes.size() - 4);
+    Reader.readU32(); // magic, already sniffed
+    const uint8_t Version = Reader.readU8();
+    const uint64_t Generation = Reader.readU64();
+    std::vector<uint8_t> State;
+    uint64_t StoredBlob = 0;
+    if (Version == 1) {
+      State = Reader.readBlob();
+      StoredBlob = State.size();
+    } else if (Version == 2) {
+      const std::vector<uint8_t> Envelope = Reader.readBlob();
+      StoredBlob = Envelope.size();
+      if (!decodeCodecBlock(Envelope, State, MaxFramePayload)) {
+        Bad = "corrupt codec envelope";
+        break;
+      }
+    } else {
+      Bad = "unknown snapshot version";
+      break;
+    }
+    if (Reader.failed() || !Reader.atEnd()) {
+      Bad = "truncated or oversized";
+      break;
+    }
+    std::printf("%s: state snapshot v%u, generation %llu\n", Path.c_str(),
+                Version, static_cast<unsigned long long>(Generation));
+    std::printf("  %-22s %10llu B\n", "raw state blob",
+                static_cast<unsigned long long>(State.size()));
+    printSizeLine("stored blob", State.size(), StoredBlob);
+    printSizeLine("on-disk", State.size(), Bytes.size());
+    return 0;
+  } while (false);
+  std::fprintf(stderr, "error: cannot parse snapshot '%s': %s\n",
+               Path.c_str(), Bad);
+  return 1;
+}
+
+/// inspect/report accept any repo artifact, routed by leading magic.
+/// Patch files keep their classic listings; images, bundles, and
+/// snapshots print compressed-vs-raw sizes (PR 10).
+static int inspectFile(const std::string &Path, bool Report) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes) || Bytes.size() < 4) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return 1;
+  }
+  ByteReader Sniff(Bytes.data(), Bytes.size());
+  switch (Sniff.readU32()) {
+  case SniffPatchV2:
+  case SniffPatchV3:
+    return Report ? reportPatches(Path) : inspectPatches(Path);
+  case SniffImageV1:
+  case SniffImageV2:
+    return inspectImageSizes(Path, Bytes);
+  case SniffBundle:
+  case CompressedBundleMagic:
+    return inspectBundleSizes(Path, Bytes);
+  case SniffSnapshot:
+    return inspectSnapshotSizes(Path, Bytes);
+  }
+  std::fprintf(stderr,
+               "error: '%s' is not a patch, image, bundle, or snapshot "
+               "file\n",
+               Path.c_str());
+  return 1;
 }
 
 static int mergePatches(const std::string &Out,
@@ -419,6 +571,7 @@ static int serveCommand(const std::string &Spec,
   // endpoint and the exit report below both render the same snapshot,
   // so they can never disagree.
   MetricsRegistry Registry;
+  registerCodecMetrics(Registry);
   PatchServer Server;
   Server.attachMetrics(Registry);
 
@@ -743,6 +896,18 @@ static int recordEvidence(const std::string &OutDir, bool Hardware) {
     std::printf("wrote %s (%zu slots)\n", ImagePath.c_str(),
                 Images[I].totalSlots());
   }
+  // The same evidence as one compressed bundle container (delta-encoded
+  // members + LZ stream, PR 10) — what a deployment would actually ship
+  // or archive, and what CI's size-regression step budgets.
+  const std::string BundlePath = OutDir + "/evidence.xib";
+  if (!saveImageBundle(Images, BundlePath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", BundlePath.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> BundleBytes;
+  readFileBytes(BundlePath, BundleBytes);
+  std::printf("wrote %s (%zu images, %zu bytes compressed)\n",
+              BundlePath.c_str(), Images.size(), BundleBytes.size());
   DiagnosisPipeline Pipeline;
   const RunSummary Summary =
       Pipeline.summarize(Images.front(), /*Failed=*/true);
@@ -762,9 +927,9 @@ int main(int Argc, char **Argv) {
     return usage();
   const std::string Command = Argv[1];
   if (Command == "inspect")
-    return inspectPatches(Argv[2]);
+    return inspectFile(Argv[2], /*Report=*/false);
   if (Command == "report")
-    return reportPatches(Argv[2]);
+    return inspectFile(Argv[2], /*Report=*/true);
   if (Command == "image")
     return summarizeImage(Argv[2]);
   if (Command == "merge" || Command == "diagnose") {
